@@ -1,0 +1,177 @@
+(* The command-line driver: run any experiment of the paper's
+   evaluation and print it in the paper's format. *)
+
+module E = Newt_core.Experiments
+module F = Newt_reliability.Fault_inject
+module C = Newt_stack.Capacity
+
+let print_table2 costs =
+  ignore costs;
+  print_endline "Table II — peak performance of outgoing TCP in various setups";
+  print_endline "--------------------------------------------------------------";
+  Printf.printf "%-62s %7s %9s\n" "configuration" "paper" "measured";
+  List.iter
+    (fun (r : E.table2_row) ->
+      Printf.printf "%-62s %7s %6.2f Gbps   [bottleneck: %s]\n" r.E.label
+        r.E.paper_gbps r.E.measured_gbps r.E.bottleneck)
+    (E.table_ii ());
+  print_newline ()
+
+let print_trace name (t : E.crash_trace) ~paper_note =
+  Printf.printf "%s\n" name;
+  print_endline (String.make (String.length name) '-');
+  Printf.printf "(%s)\n" paper_note;
+  Array.iter
+    (fun (time, mbps) ->
+      let bar = String.make (int_of_float (mbps /. 20.0)) '#' in
+      Printf.printf "%6.1fs %8.1f Mbps |%s\n" time mbps bar)
+    t.E.points;
+  Printf.printf
+    "duplicates seen by receiver: %d; sender retransmits: %d; segments lost: %d; restarts: %d\n\n"
+    t.E.duplicate_segments t.E.sender_retransmits t.E.lost_segments
+    t.E.component_restarts
+
+let print_fig4 seed =
+  let t = E.figure_ip_crash ~seed () in
+  print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
+    ~paper_note:
+      "paper: gap of ~2s while the link resets, one retransmission, full recovery"
+
+let print_fig5 seed =
+  let t = E.figure_pf_crash ~seed () in
+  print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
+    ~paper_note:"paper: crashes almost not noticeable, no packets lost, 1024 rules recovered"
+
+let print_campaign runs seed =
+  let c = E.fault_campaign ~runs ~seed () in
+  print_endline "Table III — distribution of crashes in the stack";
+  print_endline "-------------------------------------------------";
+  Printf.printf "%-8s %6s %6s\n" "" "paper" "ours";
+  Printf.printf "%-8s %6d %6d\n" "Total" 100 runs;
+  Printf.printf "%-8s %6d %6d\n" "TCP" 25 c.E.crashes_tcp;
+  Printf.printf "%-8s %6d %6d\n" "UDP" 10 c.E.crashes_udp;
+  Printf.printf "%-8s %6d %6d\n" "IP" 24 c.E.crashes_ip;
+  Printf.printf "%-8s %6d %6d\n" "PF" 25 c.E.crashes_pf;
+  Printf.printf "%-8s %6d %6d\n" "Driver" 16 c.E.crashes_drv;
+  print_newline ();
+  print_endline "Table IV — consequences of crashes";
+  print_endline "-----------------------------------";
+  Printf.printf "%-42s %8s %6s\n" "" "paper" "ours";
+  Printf.printf "%-42s %8d %6d\n" "Fully transparent crashes" 70 c.E.fully_transparent;
+  Printf.printf "%-42s %5d+%-2d %4d+%-2d\n" "Reachable from outside (auto + manual)" 90 6
+    c.E.reachable c.E.manually_fixed;
+  Printf.printf "%-42s %8d %6d\n" "Crash broke TCP connections" 30 c.E.broke_tcp;
+  Printf.printf "%-42s %8d %6d\n" "Transparent to UDP" 95 c.E.transparent_udp;
+  Printf.printf "%-42s %8d %6d\n" "Reboot necessary" 3 c.E.reboots;
+  print_newline ()
+
+let print_crosscheck () =
+  print_endline "Cross-validation — packet level vs capacity model";
+  print_endline "---------------------------------------------------";
+  let r = E.split_peak_event_sim () in
+  Printf.printf "split stack:   %.2f Gbps (model %.2f); tcp %.0f%%, ip %.0f%%, pf %.0f%%, drv %.0f%%\n"
+    r.E.goodput_gbps r.E.capacity_prediction_gbps (100. *. r.E.tcp_util)
+    (100. *. r.E.ip_util) (100. *. r.E.pf_util) (100. *. r.E.drv_util);
+  let single_gbps, single_util = E.single_server_event_sim () in
+  Printf.printf "single server: %.2f Gbps (core %.0f%%)\n" single_gbps (100. *. single_util);
+  let m = E.minix_event_sim () in
+  Printf.printf "minix:         %.3f Gbps; %.0fk sync IPCs/s; lossless=%b\n"
+    (m.E.minix_mbps /. 1000.) (m.E.sync_ipcs_per_sec /. 1000.) m.E.minix_lossless;
+  print_newline ()
+
+let print_sweep () =
+  print_endline "NIC reset time vs recovery outage (restart-aware hardware, Section V-D)";
+  print_endline "-------------------------------------------------------------------------";
+  List.iter
+    (fun (p : E.reset_sweep_point) ->
+      Printf.printf "device reset %5.2f s -> outage %5.2f s (%d duplicates)\n"
+        p.E.reset_time_s p.E.outage_s p.E.duplicates)
+    (E.nic_reset_sweep ());
+  print_newline ()
+
+let print_coalesce () =
+  print_endline "Section VI-A — driver coalescing (one driver for all interfaces)";
+  print_endline "-----------------------------------------------------------------";
+  List.iter
+    (fun (r : E.coalescing_result) ->
+      Printf.printf
+        "%d driver(s), %d NIC(s) each: busiest driver core %.1f%% utilized -> %s\n"
+        r.E.drivers r.E.nics_served
+        (100.0 *. r.E.driver_core_utilization)
+        (if r.E.sustainable then "sustains the full 5-NIC TSO rate"
+         else "OVERLOADED");
+      ())
+    (E.driver_coalescing ());
+  print_newline ()
+
+open Cmdliner
+
+let seed =
+  let doc = "Random seed for the simulation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let campaign_seed =
+  let doc = "Random seed for the fault-injection campaign." in
+  Arg.(value & opt int 2 & info [ "seed" ] ~doc)
+
+let runs =
+  let doc = "Number of fault-injection runs." in
+  Arg.(value & opt int 100 & info [ "runs" ] ~doc)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II (peak outgoing TCP throughput)")
+    Term.(const print_table2 $ const ())
+
+let fig4_cmd =
+  Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (IP server crash bitrate trace)")
+    Term.(const print_fig4 $ seed)
+
+let fig5_cmd =
+  Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
+    Term.(const print_fig5 $ seed)
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Reproduce Tables III and IV (fault-injection campaign)")
+    Term.(const (fun runs seed -> print_campaign runs seed) $ runs $ campaign_seed)
+
+let coalesce_cmd =
+  Cmd.v (Cmd.info "coalesce" ~doc:"Driver coalescing analysis (Section VI-A)")
+    Term.(const print_coalesce $ const ())
+
+let crosscheck_cmd =
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:"Packet-level simulations vs the capacity model (split/single/minix)")
+    Term.(const print_crosscheck $ const ())
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"NIC reset time vs recovery outage (Section V-D)")
+    Term.(const print_sweep $ const ())
+
+let all_cmd =
+  let run () =
+    print_table2 ();
+    print_fig4 42;
+    print_fig5 42;
+    print_campaign 100 2;
+    print_crosscheck ();
+    print_coalesce ();
+    print_sweep ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation") Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "newtos_sim" ~doc:"NewtOS 'Keep Net Working' reproduction" in
+  exit (Cmd.eval (Cmd.group ~default info [
+          table2_cmd;
+          fig4_cmd;
+          fig5_cmd;
+          campaign_cmd;
+          crosscheck_cmd;
+          coalesce_cmd;
+          sweep_cmd;
+          all_cmd;
+        ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Filename List Newt_core Newt_net Newt_nic Newt_sim Newt_sockets Newt_stack Printf String

@@ -1,0 +1,1 @@
+examples/live_update.ml: Array Newt_core Newt_sim Newt_sockets Newt_stack Printf String

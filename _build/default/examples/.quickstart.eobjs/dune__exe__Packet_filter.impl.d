@@ -1,0 +1,1 @@
+examples/packet_filter.ml: Newt_core Newt_net Newt_pf Newt_sim Newt_sockets Newt_stack Printf

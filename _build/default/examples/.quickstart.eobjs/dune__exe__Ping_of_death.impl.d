@@ -1,0 +1,1 @@
+examples/ping_of_death.ml: Bytes Char Newt_core Newt_net Newt_nic Newt_sim Newt_sockets Newt_stack Printf

@@ -1,0 +1,1 @@
+examples/ping_of_death.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Newt_core Newt_hw Newt_net Newt_sim Newt_sockets Newt_stack Printf

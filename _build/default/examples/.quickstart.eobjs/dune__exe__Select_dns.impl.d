@@ -1,0 +1,1 @@
+examples/select_dns.ml: List Newt_core Newt_net Newt_sim Newt_sockets Newt_stack Printf

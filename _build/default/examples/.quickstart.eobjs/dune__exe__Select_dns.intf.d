@@ -1,0 +1,1 @@
+examples/select_dns.mli:

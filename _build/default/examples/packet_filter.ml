@@ -1,0 +1,86 @@
+(* The isolated packet filter: a 1024-rule firewall in its own server.
+
+   Demonstrates:
+   - rule evaluation: a blocked port really is unreachable while
+     allowed traffic flows;
+   - connection tracking: a keep-state rule admits reply traffic;
+   - the Figure 5 property: a PF crash loses no packets (IP holds every
+     packet until the filter answers) and the restarted filter recovers
+     its ruleset from storage and its connection table by querying the
+     TCP server.
+
+   Run: dune exec examples/packet_filter.exe *)
+
+module Host = Newt_core.Host
+module Apps = Newt_sockets.Apps
+module Sink = Newt_stack.Sink
+module Time = Newt_sim.Time
+module Rng = Newt_sim.Rng
+module Rule = Newt_pf.Rule
+module Pf_engine = Newt_pf.Pf_engine
+module Conntrack = Newt_pf.Conntrack
+module Tcp = Newt_net.Tcp
+
+let () =
+  (* 1022 noise rules, then: block outgoing telnet (quick), pass the
+     rest with state. *)
+  let noise =
+    Pf_engine.generate_ruleset (Rng.create 11) ~n:1022 ~protect_port:5001
+  in
+  let block_telnet =
+    {
+      Rule.block_all with
+      Rule.proto = Rule.Match_tcp;
+      dst_port = Rule.Port 23;
+      quick = true;
+    }
+  in
+  let rules = block_telnet :: noise in
+  let config = { Host.default_config with Host.pf_rules = rules } in
+  let host = Host.create ~config () in
+  let peer = Host.sink host 0 in
+  let received = ref 0 in
+  Sink.sink_tcp peer ~port:5001 ~on_bytes:(fun ~at:_ n -> received := !received + n);
+  Sink.serve_tcp_echo peer ~port:23;
+
+  Printf.printf "Firewall loaded: %d rules\n"
+    (Newt_stack.Pf_srv.rule_count (Host.pf_srv host));
+
+  (* Allowed traffic. *)
+  let _iperf =
+    Apps.Iperf.start (Host.machine host) ~sc:(Host.sc host) ~app:(Host.app host)
+      ~dst:(Host.sink_addr host 0) ~port:5001 ~until:(Time.of_seconds 4.0) ()
+  in
+  (* Blocked traffic: telnet must fail. *)
+  let telnet = ref "pending" in
+  Newt_sockets.Socket_api.tcp_socket (Host.sc host) (Host.app host) (fun conn ->
+      Newt_sockets.Socket_api.connect conn ~dst:(Host.sink_addr host 0) ~port:23
+        (fun result ->
+          telnet := (match result with `Ok -> "CONNECTED (bad!)" | `Error _ -> "blocked")));
+
+  (* Crash the filter twice mid-stream. *)
+  Host.at host (Time.of_seconds 1.5) (fun () -> Host.kill_component host Host.C_pf);
+  Host.at host (Time.of_seconds 3.0) (fun () -> Host.kill_component host Host.C_pf);
+
+  Host.run host ~until:(Time.of_seconds 4.5);
+
+  (* A filtered SYN gets silently dropped: the connect is still waiting
+     when the run ends, exactly like telnet against a real firewall. *)
+  let telnet_outcome =
+    match !telnet with "pending" -> "no response (SYNs filtered)" | s -> s
+  in
+  Printf.printf "telnet to port 23: %s [%d packets blocked by PF]\n" telnet_outcome
+    (Newt_stack.Pf_srv.blocked (Host.pf_srv host));
+  Printf.printf "iperf delivered: %d bytes (%.0f Mbps average)\n" !received
+    (float_of_int !received *. 8.0 /. 4.0 /. 1e6);
+  let sender = Newt_stack.Tcp_srv.engine (Host.tcp_srv host) in
+  Printf.printf
+    "sender retransmissions across two PF crashes: %d (only the filtered telnet \
+     SYN retries; the iperf stream lost nothing)\n"
+    (Tcp.stats sender).Tcp.retransmits;
+  Printf.printf "PF restarts: %d; rules after recovery: %d; tracked connections: %d\n"
+    (Host.restarts_of host Host.C_pf)
+    (Newt_stack.Pf_srv.rule_count (Host.pf_srv host))
+    (Conntrack.size (Pf_engine.conntrack (Newt_stack.Pf_srv.engine_of (Host.pf_srv host))));
+  print_endline
+    "The connection table was rebuilt by querying the TCP server (Section V-D)."

@@ -1,0 +1,94 @@
+(* A concurrent resolver built on the asynchronous select.
+
+   The paper's only reboot-class failures came from its synchronous
+   select path ("hangs in the synchronous part of the system which
+   merges sockets and file descriptors for select ... has not been
+   modified yet to use the asynchronous channels we propose",
+   Section VI-B) — converting select to the asynchronous design was its
+   explicit expectation. This example runs that converted select:
+
+   - a host with two NICs, a DNS server on each peer;
+   - one resolver querying both servers concurrently, multiplexing the
+     answers with select over two UDP sockets;
+   - and, mid-run, a live update of the UDP server and then a crash of
+     the IP server — the select-based app rides out both.
+
+   Run: dune exec examples/select_dns.exe *)
+
+module Host = Newt_core.Host
+module Sink = Newt_stack.Sink
+module S = Newt_sockets.Socket_api
+module Dns = Newt_net.Dns
+module Time = Newt_sim.Time
+
+let sec = Time.of_seconds
+
+let () =
+  let config = { Host.default_config with Host.nics = 2 } in
+  let host = Host.create ~config () in
+  for i = 0 to 1 do
+    Sink.serve_dns (Host.sink host i)
+      ~zone:(fun name -> if name = "unknown.example" then None else Some (Host.sink_addr host i))
+      ()
+  done;
+
+  let answers = ref 0 and nxdomains = ref 0 and rounds = ref 0 in
+  let app = Host.app host in
+
+  (* Two sockets, one per upstream resolver. *)
+  S.udp_socket (Host.sc host) app (fun c0 ->
+      S.udp_socket (Host.sc host) app (fun c1 ->
+          S.connect c0 ~dst:(Host.sink_addr host 0) ~port:53 (fun _ ->
+              S.connect c1 ~dst:(Host.sink_addr host 1) ~port:53 (fun _ ->
+                  let rec round n =
+                    incr rounds;
+                    let name =
+                      if n mod 5 = 0 then "unknown.example" else "www.vu.nl"
+                    in
+                    let consume c =
+                      S.recv c ~max:512 ~timeout:(sec 0.1) (fun rr ->
+                          match rr with
+                          | `Data d -> (
+                              match Dns.decode d with
+                              | Some m when m.Dns.answers <> [] -> incr answers
+                              | Some m when m.Dns.rcode = 3 -> incr nxdomains
+                              | Some _ | None -> ())
+                          | `Timeout | `Eof | `Error _ -> ())
+                    in
+                    let next () =
+                      Host.at host
+                        (Newt_sim.Engine.now (Host.engine host) + sec 0.1)
+                        (fun () -> if n < 40 then round (n + 1))
+                    in
+                    let on_select r =
+                      (match r with
+                      | `Ready ready -> List.iter consume ready
+                      | `Timeout | `Error _ -> ());
+                      next ()
+                    in
+                    S.send c0 (Dns.encode (Dns.query ~id:n name)) (fun _ ->
+                        S.send c1 (Dns.encode (Dns.query ~id:n name)) (fun _ ->
+                            (* Wait for whichever upstream answers
+                               first; drain both if ready. *)
+                            S.select [ c0; c1 ] ~timeout:(sec 1.0) on_select))
+                  in
+                  round 1))));
+
+  (* Meanwhile, the system changes under the resolver's feet. *)
+  Host.at host (sec 1.5) (fun () ->
+      print_endline ">>> t=1.5s: live-updating the UDP server under the select loop";
+      Host.live_update host Host.C_udp);
+  Host.at host (sec 3.0) (fun () ->
+      print_endline ">>> t=3.0s: crashing the IP server under the select loop";
+      Host.kill_component host Host.C_ip);
+
+  Host.run host ~until:(sec 8.0);
+  Printf.printf
+    "rounds=%d positive answers=%d nxdomain answers=%d (2 upstreams per round)\n"
+    !rounds !answers !nxdomains;
+  Printf.printf "udp version=%d (live-updated), ip restarts=%d\n"
+    (Newt_stack.Proc.version (Host.proc_of host Host.C_udp))
+    (Host.restarts_of host Host.C_ip);
+  print_endline
+    "The select-based resolver survived both — the paper's sync-select \
+     reboots are gone with the asynchronous design."

@@ -1,0 +1,1 @@
+lib/channels/pool.ml: Array Bytes Printf Rich_ptr Stack

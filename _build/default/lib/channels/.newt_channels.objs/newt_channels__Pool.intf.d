@@ -1,0 +1,1 @@
+lib/channels/pool.mli: Bytes Rich_ptr

@@ -1,0 +1,1 @@
+lib/channels/pubsub.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/channels/registry.ml: Bytes Hashtbl List Pool Rich_ptr

@@ -1,0 +1,1 @@
+lib/channels/registry.mli: Bytes Pool Rich_ptr

@@ -1,0 +1,1 @@
+lib/channels/request_db.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/channels/rich_ptr.ml: Format List

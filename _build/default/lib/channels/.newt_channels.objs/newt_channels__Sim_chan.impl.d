@@ -1,0 +1,1 @@
+lib/channels/sim_chan.ml: Option Queue

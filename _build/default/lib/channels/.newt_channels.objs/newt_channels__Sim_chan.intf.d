@@ -1,0 +1,1 @@
+lib/channels/sim_chan.mli:

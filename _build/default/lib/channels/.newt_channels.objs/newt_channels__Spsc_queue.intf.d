@@ -1,0 +1,1 @@
+lib/channels/spsc_queue.mli:

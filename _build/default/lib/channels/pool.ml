@@ -1,0 +1,98 @@
+type t = {
+  id : int;
+  slot_size : int;
+  data : Bytes.t array;
+  gens : int array;
+  free_list : int Stack.t;
+  live : bool array;
+}
+
+exception Stale_pointer of Rich_ptr.t
+exception Pool_exhausted
+
+let id_counter = ref 0
+
+let fresh_id () =
+  incr id_counter;
+  !id_counter
+
+let create ~id ~slots ~slot_size =
+  assert (slots > 0 && slot_size > 0);
+  let free_list = Stack.create () in
+  for i = slots - 1 downto 0 do
+    Stack.push i free_list
+  done;
+  {
+    id;
+    slot_size;
+    data = Array.init slots (fun _ -> Bytes.create slot_size);
+    gens = Array.make slots 0;
+    free_list;
+    live = Array.make slots false;
+  }
+
+let id t = t.id
+let slot_size t = t.slot_size
+let total_slots t = Array.length t.data
+let free_slots t = Stack.length t.free_list
+let in_use t = total_slots t - free_slots t
+
+let alloc t ~len =
+  if len > t.slot_size then
+    invalid_arg
+      (Printf.sprintf "Pool.alloc: len %d exceeds slot size %d" len t.slot_size);
+  match Stack.pop_opt t.free_list with
+  | None -> raise Pool_exhausted
+  | Some slot ->
+      t.live.(slot) <- true;
+      { Rich_ptr.pool = t.id; slot; off = 0; len; gen = t.gens.(slot) }
+
+let check t (p : Rich_ptr.t) =
+  if
+    p.Rich_ptr.pool <> t.id
+    || p.Rich_ptr.slot < 0
+    || p.Rich_ptr.slot >= Array.length t.data
+    || (not t.live.(p.Rich_ptr.slot))
+    || t.gens.(p.Rich_ptr.slot) <> p.Rich_ptr.gen
+  then raise (Stale_pointer p)
+
+let live t (p : Rich_ptr.t) =
+  p.Rich_ptr.pool = t.id
+  && p.Rich_ptr.slot >= 0
+  && p.Rich_ptr.slot < Array.length t.data
+  && t.live.(p.Rich_ptr.slot)
+  && t.gens.(p.Rich_ptr.slot) = p.Rich_ptr.gen
+
+let write t p ~src ~src_off =
+  check t p;
+  Bytes.blit src src_off t.data.(p.Rich_ptr.slot) p.Rich_ptr.off p.Rich_ptr.len
+
+let sub_ptr (p : Rich_ptr.t) ~off ~len =
+  if off < 0 || len < 0 || off + len > p.Rich_ptr.len then
+    invalid_arg "Pool.sub_ptr: out of chunk bounds";
+  { p with Rich_ptr.off = p.Rich_ptr.off + off; len }
+
+let read t p =
+  check t p;
+  Bytes.sub t.data.(p.Rich_ptr.slot) p.Rich_ptr.off p.Rich_ptr.len
+
+let blit t p ~dst ~dst_off =
+  check t p;
+  Bytes.blit t.data.(p.Rich_ptr.slot) p.Rich_ptr.off dst dst_off p.Rich_ptr.len
+
+let free t p =
+  check t p;
+  let slot = p.Rich_ptr.slot in
+  t.live.(slot) <- false;
+  t.gens.(slot) <- t.gens.(slot) + 1;
+  Stack.push slot t.free_list
+
+let free_all t =
+  Stack.clear t.free_list;
+  for i = Array.length t.data - 1 downto 0 do
+    if t.live.(i) then begin
+      t.live.(i) <- false;
+      t.gens.(i) <- t.gens.(i) + 1
+    end;
+    Stack.push i t.free_list
+  done

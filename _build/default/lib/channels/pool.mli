@@ -1,0 +1,70 @@
+(** Shared memory pools.
+
+    Pools carry the bulk data that is too large for queue slots
+    (Section IV): the owner allocates slots, fills them once, and passes
+    rich pointers down the stack. Pools are exported read-only — the
+    consumers cannot mutate the original data (immutability as in FBufs,
+    Section V-C), which the API enforces by only offering [read]/[blit]
+    to non-owners.
+
+    Frees are generation-counted: freeing a slot bumps its generation,
+    so reads through a stale {!Rich_ptr.t} raise {!Stale_pointer}
+    instead of returning reused bytes. This is what makes the zero-copy
+    crash-recovery protocol of Section V-D testable: after a component
+    restart, the surviving components' re-issued requests either refer
+    to still-live data or fail loudly. *)
+
+type t
+
+exception Stale_pointer of Rich_ptr.t
+(** Raised when dereferencing a pointer whose slot has been freed or
+    reused since the pointer was made. *)
+
+exception Pool_exhausted
+(** Raised by {!alloc} when no free slot is available. *)
+
+val create : id:int -> slots:int -> slot_size:int -> t
+(** [create ~id ~slots ~slot_size] makes a pool of [slots] buffers of
+    [slot_size] bytes each. Ids must be unique per pool universe
+    (machine); use {!fresh_id} unless reproducing a specific id. *)
+
+val fresh_id : unit -> int
+(** A process-wide unique pool identifier. *)
+
+val id : t -> int
+val slot_size : t -> int
+val total_slots : t -> int
+val free_slots : t -> int
+val in_use : t -> int
+
+val alloc : t -> len:int -> Rich_ptr.t
+(** Owner side: allocate a slot and return a pointer covering its first
+    [len] bytes. Raises {!Pool_exhausted} when full and [Invalid_argument]
+    when [len] exceeds the slot size. *)
+
+val write : t -> Rich_ptr.t -> src:Bytes.t -> src_off:int -> unit
+(** Owner side: fill the chunk behind a live pointer from [src]. Raises
+    {!Stale_pointer} on a dead pointer. Writing is an owner privilege:
+    this function is deliberately not part of what a consumer gets. *)
+
+val sub_ptr : Rich_ptr.t -> off:int -> len:int -> Rich_ptr.t
+(** A narrower view into the same chunk ([off] relative to the chunk).
+    The result shares the generation, so it dies with the slot. *)
+
+val read : t -> Rich_ptr.t -> Bytes.t
+(** Consumer side: copy the chunk out. Raises {!Stale_pointer}. *)
+
+val blit : t -> Rich_ptr.t -> dst:Bytes.t -> dst_off:int -> unit
+(** Consumer side: copy the chunk into [dst] at [dst_off]. *)
+
+val live : t -> Rich_ptr.t -> bool
+(** Whether a pointer is still valid (right pool, live generation). *)
+
+val free : t -> Rich_ptr.t -> unit
+(** Owner side: release the slot behind the pointer. Freeing through a
+    stale pointer raises {!Stale_pointer}; double frees are therefore
+    detected. *)
+
+val free_all : t -> unit
+(** Owner side: release every slot (used when the owner restarts and
+    reinitializes its pool, Section V-D). *)

@@ -1,0 +1,44 @@
+type publication = { key : string; creator : int; chan_id : int }
+
+type event = [ `Published of publication | `Gone ]
+
+type t = {
+  published : (string, publication) Hashtbl.t;
+  subscribers : (string, (event -> unit) list ref) Hashtbl.t;
+}
+
+let create () = { published = Hashtbl.create 32; subscribers = Hashtbl.create 32 }
+
+let subs t key =
+  match Hashtbl.find_opt t.subscribers key with
+  | Some l -> !l
+  | None -> []
+
+let publish t ~key ~creator ~chan_id =
+  let pub = { key; creator; chan_id } in
+  Hashtbl.replace t.published key pub;
+  List.iter (fun f -> f (`Published pub)) (subs t key)
+
+let unpublish t ~key =
+  if Hashtbl.mem t.published key then begin
+    Hashtbl.remove t.published key;
+    List.iter (fun f -> f `Gone) (subs t key)
+  end
+
+let lookup t ~key = Hashtbl.find_opt t.published key
+
+let subscribe t ~key f =
+  let l =
+    match Hashtbl.find_opt t.subscribers key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.subscribers key l;
+        l
+  in
+  l := !l @ [ f ];
+  match Hashtbl.find_opt t.published key with
+  | Some pub -> f (`Published pub)
+  | None -> ()
+
+let unsubscribe_all t ~key = Hashtbl.remove t.subscribers key

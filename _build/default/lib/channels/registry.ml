@@ -1,0 +1,33 @@
+type t = { pools : (int, Pool.t) Hashtbl.t }
+
+exception Unknown_pool of int
+
+let create () = { pools = Hashtbl.create 16 }
+let register t pool = Hashtbl.replace t.pools (Pool.id pool) pool
+let unregister t ~id = Hashtbl.remove t.pools id
+
+let find t id =
+  match Hashtbl.find_opt t.pools id with
+  | Some p -> p
+  | None -> raise (Unknown_pool id)
+
+let read t (ptr : Rich_ptr.t) = Pool.read (find t ptr.Rich_ptr.pool) ptr
+
+let gather t chain =
+  let total = Rich_ptr.chain_len chain in
+  let out = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun (ptr : Rich_ptr.t) ->
+      Pool.blit (find t ptr.Rich_ptr.pool) ptr ~dst:out ~dst_off:!off;
+      off := !off + ptr.Rich_ptr.len)
+    chain;
+  out
+
+let chain_live t chain =
+  List.for_all
+    (fun (ptr : Rich_ptr.t) ->
+      match Hashtbl.find_opt t.pools ptr.Rich_ptr.pool with
+      | Some pool -> Pool.live pool ptr
+      | None -> false)
+    chain

@@ -1,0 +1,48 @@
+type id = int
+type 'a abort = id -> 'a -> unit
+type 'a record = { peer : int; payload : 'a; abort : 'a abort; seq : int }
+
+type 'a t = {
+  table : (id, 'a record) Hashtbl.t;
+  mutable next_id : id;
+  mutable next_seq : int;
+}
+
+let create () = { table = Hashtbl.create 64; next_id = 0; next_seq = 0 }
+
+let submit t ~peer ~payload ~abort =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hashtbl.replace t.table id { peer; payload; abort; seq };
+  id
+
+let complete t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some r ->
+      Hashtbl.remove t.table id;
+      Some r.payload
+
+let peek t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some r -> Some r.payload
+
+let in_seq_order t =
+  Hashtbl.fold (fun id r acc -> (id, r) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare a.seq b.seq)
+
+let abort_peer t ~peer =
+  let doomed = List.filter (fun (_, r) -> r.peer = peer) (in_seq_order t) in
+  List.iter (fun (id, _) -> Hashtbl.remove t.table id) doomed;
+  List.iter (fun (id, r) -> r.abort id r.payload) doomed;
+  List.length doomed
+
+let outstanding t = Hashtbl.length t.table
+
+let outstanding_to t ~peer =
+  Hashtbl.fold (fun _ r acc -> if r.peer = peer then acc + 1 else acc) t.table 0
+
+let iter t f = List.iter (fun (id, r) -> f id ~peer:r.peer r.payload) (in_seq_order t)

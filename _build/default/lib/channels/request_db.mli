@@ -1,0 +1,52 @@
+(** The request database.
+
+    Single-threaded asynchronous servers must remember which requests
+    they injected into which channels, together with the data associated
+    with each request and an {e abort action} to run if the peer serving
+    the request crashes (Section IV, IV-D). The database generates a
+    unique identifier per request; replies are matched by identifier.
+
+    On a neighbour crash the owner calls {!abort_peer}, which removes
+    every outstanding request addressed to that peer and runs its abort
+    action — retransmit, drop, or propagate an error, at the server's
+    discretion. *)
+
+type 'a t
+(** A database holding per-request payloads of type ['a]. *)
+
+type id = int
+(** Request identifiers. Unique within one database instance for its
+    whole lifetime — identifiers are never reused, so replies to
+    pre-crash requests can be recognized as stale and ignored
+    (Section V-D: "We generate new identifiers so that we can ignore
+    replies to the original requests"). *)
+
+type 'a abort = id -> 'a -> unit
+(** Abort action, given the request id and payload. *)
+
+val create : unit -> 'a t
+
+val submit : 'a t -> peer:int -> payload:'a -> abort:'a abort -> id
+(** Record an in-flight request addressed to [peer]. *)
+
+val complete : 'a t -> id -> 'a option
+(** A reply arrived: remove and return the payload. [None] means the id
+    is unknown — typically a stale reply from before a crash, which the
+    caller must ignore. *)
+
+val peek : 'a t -> id -> 'a option
+(** Look at an in-flight payload without removing it. *)
+
+val abort_peer : 'a t -> peer:int -> int
+(** Remove all requests addressed to [peer], running each abort action.
+    Returns how many were aborted. Abort actions run in submission
+    order. *)
+
+val outstanding : 'a t -> int
+(** Number of in-flight requests. *)
+
+val outstanding_to : 'a t -> peer:int -> int
+(** Number of in-flight requests addressed to [peer]. *)
+
+val iter : 'a t -> (id -> peer:int -> 'a -> unit) -> unit
+(** Visit in-flight requests in submission order. *)

@@ -1,0 +1,55 @@
+type 'a t = {
+  id : int;
+  capacity : int;
+  q : 'a Queue.t;
+  mutable notify : (unit -> unit) option;
+  mutable down : bool;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 512) ~id () =
+  assert (capacity > 0);
+  {
+    id;
+    capacity;
+    q = Queue.create ();
+    notify = None;
+    down = false;
+    sent = 0;
+    dropped = 0;
+  }
+
+let id t = t.id
+let capacity t = t.capacity
+
+let send t x =
+  if t.down || Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    let was_empty = Queue.is_empty t.q in
+    Queue.push x t.q;
+    t.sent <- t.sent + 1;
+    if was_empty then Option.iter (fun f -> f ()) t.notify;
+    true
+  end
+
+let recv t = if t.down then None else Queue.take_opt t.q
+let peek t = if t.down then None else Queue.peek_opt t.q
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let set_notify t f = t.notify <- Some f
+
+let tear_down t =
+  t.down <- true;
+  Queue.clear t.q
+
+let revive t =
+  t.down <- false;
+  Queue.clear t.q
+
+let is_down t = t.down
+let sent_total t = t.sent
+let dropped_total t = t.dropped

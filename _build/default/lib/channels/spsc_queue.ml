@@ -1,0 +1,83 @@
+(* The head (consumer index) and tail (producer index) are separate
+   atomics. OCaml's [Atomic.t] boxes each counter in its own heap block,
+   which keeps them in distinct cache lines in practice; we additionally
+   pad the record with spacer fields so the two atomics are not adjacent
+   in the record itself. Slots hold ['a option] so the consumer can
+   release references ([None]) as it pops, letting the GC reclaim
+   payloads of long-lived queues. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  cap : int;
+  tail : int Atomic.t; (* producer writes, consumer reads *)
+  _pad0 : int;
+  _pad1 : int;
+  _pad2 : int;
+  _pad3 : int;
+  _pad4 : int;
+  _pad5 : int;
+  _pad6 : int;
+  _pad7 : int;
+  head : int Atomic.t; (* consumer writes, producer reads *)
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  assert (capacity > 0);
+  let cap = round_pow2 capacity in
+  {
+    slots = Array.make cap None;
+    mask = cap - 1;
+    cap;
+    tail = Atomic.make 0;
+    _pad0 = 0;
+    _pad1 = 0;
+    _pad2 = 0;
+    _pad3 = 0;
+    _pad4 = 0;
+    _pad5 = 0;
+    _pad6 = 0;
+    _pad7 = 0;
+    head = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.cap then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    (* The publication order matters: the slot write must be visible
+       before the tail increment. [Atomic.set] is a release store. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let peek t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None else t.slots.(head land t.mask)
+
+let is_empty t = Atomic.get t.tail = Atomic.get t.head
+
+let length t =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else if n > t.cap then t.cap else n

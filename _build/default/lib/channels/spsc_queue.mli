@@ -1,0 +1,44 @@
+(** Lock-free single-producer single-consumer ring buffer.
+
+    This is the real data structure behind the paper's fast-path
+    channels (Section IV): a fixed-capacity ring whose head and tail
+    indices live in different cache lines so they do not bounce between
+    the producer's and the consumer's cores, FastForward-style. One
+    domain may push while another pops without locks; the paper measures
+    ~30 cycles per asynchronous enqueue between two cores, which
+    [bench/main.exe micro] checks against this implementation.
+
+    The queue never blocks: both ends return [false]/[None] instead, as
+    required by the deadlock-avoidance rule of Section IV-A ("we must
+    never block when we want to add a request and the queue is full"). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue holding at most [capacity]
+    elements. [capacity] must be positive; it is rounded up to a power
+    of two. *)
+
+val capacity : 'a t -> int
+(** The rounded-up capacity. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side. [try_push q x] appends [x], or returns [false] when
+    the queue is full. Must be called from at most one domain at a
+    time. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side. [try_pop q] removes the oldest element, or returns
+    [None] when the queue is empty. Must be called from at most one
+    domain at a time. *)
+
+val peek : 'a t -> 'a option
+(** Consumer side: the oldest element without removing it. *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side emptiness check (exact for the consumer; a racing
+    producer may append concurrently). *)
+
+val length : 'a t -> int
+(** Snapshot of the number of queued elements; approximate under
+    concurrent use. *)

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Newt_hw Newt_reliability Newt_sim

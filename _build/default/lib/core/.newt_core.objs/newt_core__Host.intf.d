@@ -1,0 +1,1 @@
+lib/core/host.mli: Newt_channels Newt_hw Newt_net Newt_nic Newt_pf Newt_reliability Newt_sim Newt_stack

@@ -1,0 +1,532 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Series = Newt_sim.Series
+module Rng = Newt_sim.Rng
+module Costs = Newt_hw.Costs
+module Tcp = Newt_net.Tcp
+module Pf_engine = Newt_pf.Pf_engine
+module Sink = Newt_stack.Sink
+module Capacity = Newt_stack.Capacity
+module Fault_inject = Newt_reliability.Fault_inject
+module Apps = Newt_sockets.Apps
+
+(* {1 Table II} *)
+
+type table2_row = {
+  label : string;
+  paper_gbps : string;
+  measured_gbps : float;
+  bottleneck : string;
+}
+
+let paper_value = function
+  | Capacity.Minix_sync -> "0.12"
+  | Capacity.Split_dedicated -> "3.2"
+  | Capacity.Split_dedicated_sc -> "3.6"
+  | Capacity.Single_server_sc -> "3.9"
+  | Capacity.Single_server_sc_tso -> "5+"
+  | Capacity.Split_dedicated_sc_tso -> "5+"
+  | Capacity.Linux_10gbe -> "8.4"
+
+let table_ii ?costs () =
+  List.map
+    (fun config ->
+      let r = Capacity.evaluate ?costs config in
+      {
+        label = Capacity.name config;
+        paper_gbps = paper_value config;
+        measured_gbps = r.Capacity.goodput_gbps;
+        bottleneck = r.Capacity.bottleneck;
+      })
+    Capacity.all
+
+(* {1 Event-simulation cross-validation} *)
+
+type event_peak = {
+  goodput_gbps : float;
+  capacity_prediction_gbps : float;
+  per_link_mbps : float list;
+  tcp_util : float;
+  ip_util : float;
+  pf_util : float;
+  drv_util : float;
+}
+
+let split_peak_event_sim ?(nics = 5) ?(duration = 1.0) ?(coalesce_drivers = false) () =
+  let config =
+    { Host.default_config with Host.nics; app_cores = nics; coalesce_drivers }
+  in
+  let h = Host.create ~config () in
+  let totals = Array.make nics 0 in
+  for i = 0 to nics - 1 do
+    let peer = Host.sink h i in
+    Sink.sink_tcp peer ~port:5001 ~on_bytes:(fun ~at:_ n ->
+        totals.(i) <- totals.(i) + n)
+  done;
+  let _ =
+    List.init nics (fun i ->
+        Apps.Iperf.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+          ~dst:(Host.sink_addr h i) ~port:5001 ~until:(Time.of_seconds duration) ())
+  in
+  Host.run h ~until:(Time.of_seconds duration);
+  let now = Engine.now (Host.engine h) in
+  let util comp =
+    Newt_hw.Cpu.utilization (Newt_stack.Proc.core (Host.proc_of h comp)) ~now
+  in
+  let drv_util =
+    List.fold_left max 0.0 (List.init nics (fun i -> util (Host.C_drv i)))
+  in
+  let total = Array.fold_left ( + ) 0 totals in
+  {
+    goodput_gbps = float_of_int total *. 8.0 /. duration /. 1e9;
+    capacity_prediction_gbps =
+      (Capacity.evaluate ~nics Capacity.Split_dedicated_sc).Capacity.goodput_gbps;
+    per_link_mbps =
+      Array.to_list
+        (Array.map (fun t -> float_of_int t *. 8.0 /. duration /. 1e6) totals);
+    tcp_util = util Host.C_tcp;
+    ip_util = util Host.C_ip;
+    pf_util = util Host.C_pf;
+    drv_util;
+  }
+
+(* The single-server topology (Table II line 4), packet level: the same
+   protocol code as the split stack, deployed as one merged server. *)
+let single_server_event_sim ?(nics = 5) ?(duration = 1.0) () =
+  let module Machine = Newt_hw.Machine in
+  let module Registry = Newt_channels.Registry in
+  let module Sim_chan = Newt_channels.Sim_chan in
+  let module Link = Newt_nic.Link in
+  let module E1000 = Newt_nic.E1000 in
+  let module Addr = Newt_net.Addr in
+  let module Proc = Newt_stack.Proc in
+  let module Drv_srv = Newt_stack.Drv_srv in
+  let module Single = Newt_stack.Single_srv in
+  let module Sc = Newt_stack.Syscall_srv in
+  let engine = Engine.create () in
+  let machine = Machine.create engine in
+  let registry = Registry.create () in
+  let sc_core = Machine.add_dedicated_core machine in
+  let stk_core = Machine.add_dedicated_core machine in
+  let drv_cores = Array.init nics (fun _ -> Machine.add_dedicated_core machine) in
+  let app_cores = Array.init nics (fun _ -> Machine.add_timeshared_core machine) in
+  let sc_proc = Proc.create machine ~name:"sc" ~core:sc_core () in
+  let stk_proc = Proc.create machine ~name:"stack" ~core:stk_core () in
+  let sc = Sc.create machine ~proc:sc_proc () in
+  let stk =
+    Single.create machine ~proc:stk_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1) ()
+  in
+  let chan_id = ref 5000 in
+  let chan () =
+    incr chan_id;
+    Sim_chan.create ~capacity:8192 ~id:!chan_id ()
+  in
+  let ch_sc_to_stk = chan () and ch_stk_to_sc = chan () in
+  Sc.connect_transport sc ~transport:`Tcp ~to_transport:ch_sc_to_stk
+    ~from_transport:ch_stk_to_sc;
+  Single.connect_sc stk ~from_sc:ch_sc_to_stk ~to_sc:ch_stk_to_sc;
+  let totals = Array.make nics 0 in
+  let sinks =
+    Array.init nics (fun i ->
+        let link = Link.create engine () in
+        let nic =
+          E1000.create engine ~registry ~link ~side:Link.Left
+            ~mac:(Addr.Mac.of_index (100 + i))
+            ()
+        in
+        let drv_proc =
+          Proc.create machine ~name:(Printf.sprintf "drv%d" i) ~core:drv_cores.(i) ()
+        in
+        let drv = Drv_srv.create machine ~proc:drv_proc ~nic () in
+        let tx_chan = chan () and rx_chan = chan () in
+        let iface =
+          Single.add_iface stk ~addr:(Addr.Ipv4.v 10 0 i 1)
+            ~mac:(E1000.mac nic) ~drv ~tx_chan ~rx_chan
+        in
+        Single.add_route stk ~prefix:(Addr.Ipv4.v 10 0 i 0) ~bits:24 ~iface
+          ~gateway:None;
+        Single.add_neighbor stk ~iface (Addr.Ipv4.v 10 0 i 2)
+          (Addr.Mac.of_index (200 + i));
+        let sink =
+          Sink.create engine ~link ~side:Link.Right ~addr:(Addr.Ipv4.v 10 0 i 2)
+            ~mac:(Addr.Mac.of_index (200 + i))
+            ()
+        in
+        Sink.sink_tcp sink ~port:5001 ~on_bytes:(fun ~at:_ n ->
+            totals.(i) <- totals.(i) + n);
+        sink)
+  in
+  ignore sinks;
+  let next_app = ref 0 in
+  let app () =
+    let core = app_cores.(!next_app mod nics) in
+    incr next_app;
+    { Sc.app_core = core; app_pid = 20_000 + !next_app }
+  in
+  let _ =
+    List.init nics (fun i ->
+        Apps.Iperf.start machine ~sc ~app:(app ()) ~dst:(Addr.Ipv4.v 10 0 i 2)
+          ~port:5001 ~until:(Time.of_seconds duration) ())
+  in
+  Engine.run ~until:(Time.of_seconds duration) engine;
+  let total = Array.fold_left ( + ) 0 totals in
+  let util =
+    Newt_hw.Cpu.utilization stk_core ~now:(Engine.now engine)
+  in
+  (float_of_int total *. 8.0 /. duration /. 1e9, util)
+
+type minix_result = {
+  minix_mbps : float;
+  minix_core_util : float;
+  sync_ipcs_per_sec : float;
+  minix_lossless : bool;
+}
+
+let minix_event_sim ?(duration = 2.0) () =
+  let module Machine = Newt_hw.Machine in
+  let module Link = Newt_nic.Link in
+  let module Addr = Newt_net.Addr in
+  let module Minix = Newt_stack.Minix_stack in
+  let engine = Engine.create () in
+  let machine = Machine.create engine in
+  let link = Link.create engine () in
+  let sink =
+    Sink.create engine ~link ~side:Link.Right ~addr:(Addr.Ipv4.v 10 0 0 2)
+      ~mac:(Addr.Mac.of_index 200) ()
+  in
+  let received = ref 0 in
+  Sink.sink_tcp sink ~port:5001 ~on_bytes:(fun ~at:_ n -> received := !received + n);
+  let mx =
+    Minix.create machine ~link ~addr:(Addr.Ipv4.v 10 0 0 1)
+      ~peer_mac:(Addr.Mac.of_index 200) ()
+  in
+  Minix.start_iperf mx ~dst:(Addr.Ipv4.v 10 0 0 2) ~port:5001
+    ~until:(Time.of_seconds duration);
+  Engine.run ~until:(Time.of_seconds (duration +. 0.5)) engine;
+  {
+    minix_mbps = float_of_int !received *. 8.0 /. duration /. 1e6;
+    minix_core_util = Minix.core_utilization mx;
+    sync_ipcs_per_sec = float_of_int (Minix.sync_ipc_count mx) /. duration;
+    minix_lossless =
+      Minix.bytes_sent mx = !received && Sink.checksum_failures sink = 0;
+  }
+
+(* {1 Figures 4 and 5} *)
+
+type crash_trace = {
+  points : (float * float) array;
+  duplicate_segments : int;
+  sender_retransmits : int;
+  lost_segments : int;
+  component_restarts : int;
+}
+
+let crash_run ?nic_reset ~seed ~rules ~protect_port ~crashes ~component ~duration () =
+  let rule_list =
+    if rules <= 2 then [ Newt_pf.Rule.pass_all ]
+    else Pf_engine.generate_ruleset (Rng.create (seed + 1)) ~n:rules ~protect_port
+  in
+  let config = { Host.default_config with Host.seed; pf_rules = rule_list } in
+  let config =
+    match nic_reset with
+    | Some r -> { config with Host.nic_reset_time = r }
+    | None -> config
+  in
+  let h = Host.create ~config () in
+  let sink = Host.sink h 0 in
+  let series = Series.create ~bin_width:(Time.of_seconds 0.1) in
+  Sink.sink_tcp sink ~port:protect_port ~on_bytes:(fun ~at n -> Series.add series at n);
+  let iperf =
+    Apps.Iperf.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+      ~dst:(Host.sink_addr h 0) ~port:protect_port
+      ~until:(Time.of_seconds (duration -. 1.0))
+      ()
+  in
+  List.iter
+    (fun at -> Host.at h (Time.of_seconds at) (fun () -> Host.kill_component h component))
+    crashes;
+  (* Run past the end so in-flight data drains and losses would show. *)
+  Host.run h ~until:(Time.of_seconds (duration +. 1.0));
+  let received = Sink.tcp_bytes_received sink in
+  let sent = Apps.Iperf.bytes_sent iperf in
+  let sink_stats = Tcp.stats (Sink.tcp sink) in
+  let sender_stats = Tcp.stats (Newt_stack.Tcp_srv.engine (Host.tcp_srv h)) in
+  {
+    points = Series.mbps series ~upto:(Time.of_seconds duration) ();
+    duplicate_segments = sink_stats.Tcp.dup_segs_in;
+    sender_retransmits = sender_stats.Tcp.retransmits;
+    lost_segments = (max 0 (sent - received) + 1459) / 1460;
+    component_restarts = Host.restarts_of h component;
+  }
+
+let figure_ip_crash ?(seed = 42) ?(crash_at = 4.0) ?(duration = 10.0) ?nic_reset () =
+  crash_run ?nic_reset ~seed ~rules:0 ~protect_port:5001 ~crashes:[ crash_at ]
+    ~component:Host.C_ip ~duration ()
+
+(* How long the Figure 4 outage lasts, from the crash until the bitrate
+   is back above the threshold. *)
+let recovery_gap ?(threshold_mbps = 800.0) ~crash_at (t : crash_trace) =
+  (* First bin after the crash where the bitrate is back. *)
+  let recovered = ref None in
+  Array.iter
+    (fun (time, mbps) ->
+      if !recovered = None && time > crash_at && mbps >= threshold_mbps then
+        recovered := Some time)
+    t.points;
+  match !recovered with Some time -> time -. crash_at | None -> infinity
+
+type reset_sweep_point = {
+  reset_time_s : float;
+  outage_s : float;
+  duplicates : int;
+}
+
+let nic_reset_sweep ?(seed = 42) () =
+  (* "We believe that restart-aware hardware would allow less
+     disruptive recovery" (Section V-D): sweep the device reset time
+     and measure the Figure 4 outage. *)
+  List.map
+    (fun reset_s ->
+      let t =
+        figure_ip_crash ~seed ~nic_reset:(Time.of_seconds reset_s) ~duration:8.0
+          ~crash_at:2.0 ()
+      in
+      {
+        reset_time_s = reset_s;
+        outage_s = recovery_gap ~crash_at:2.0 t;
+        duplicates = t.duplicate_segments;
+      })
+    [ 1.2; 0.3; 0.05 ]
+
+let figure_pf_crash ?(seed = 42) ?(rules = 1024) ?(crash_at = [ 6.0; 12.0 ])
+    ?(duration = 18.0) () =
+  crash_run ~seed ~rules ~protect_port:5001 ~crashes:crash_at ~component:Host.C_pf
+    ~duration ()
+
+(* {1 The fault-injection campaign} *)
+
+type run_outcome = {
+  injected : Fault_inject.injection;
+  ssh_survived : bool;
+  reachable_auto : bool;
+  reachable_after_manual : bool;
+  udp_transparent : bool;
+  needed_reboot : bool;
+  fully_transparent : bool;
+}
+
+type campaign = {
+  runs : run_outcome list;
+  crashes_tcp : int;
+  crashes_udp : int;
+  crashes_ip : int;
+  crashes_pf : int;
+  crashes_drv : int;
+  fully_transparent : int;
+  reachable : int;
+  manually_fixed : int;
+  broke_tcp : int;
+  transparent_udp : int;
+  reboots : int;
+}
+
+let campaign_run ~seed (inj : Fault_inject.injection) =
+  let rules =
+    Pf_engine.generate_ruleset (Rng.create (seed + 1)) ~n:64 ~protect_port:22
+  in
+  let config = { Host.default_config with Host.seed; pf_rules = rules } in
+  let h = Host.create ~config () in
+  let sink = Host.sink h 0 in
+  Sink.serve_tcp_echo sink ~port:22;
+  Sink.serve_dns sink ~zone:(fun _ -> Some (Host.sink_addr h 0)) ();
+  Sink.sink_tcp sink ~port:5001 ~on_bytes:(fun ~at:_ _ -> ());
+  (* The stress workload of Section VI-B: a TCP connection and periodic
+     DNS queries; plus the inbound SSH-like listener on the host. *)
+  Apps.Echo_listener.start (Host.sc h) ~app:(Host.app h) ~port:22;
+  let ssh =
+    Apps.Ssh_session.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+      ~dst:(Host.sink_addr h 0) ~port:22 ()
+  in
+  let dns =
+    Apps.Dns_client.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+      ~dst:(Host.sink_addr h 0) ~timeout:(Time.of_seconds 0.5) ()
+  in
+  let _iperf =
+    Apps.Iperf.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+      ~dst:(Host.sink_addr h 0) ~port:5001 ~pace:(Time.of_seconds 0.02)
+      ~until:(Time.of_seconds 9.5) ()
+  in
+  Host.at h (Time.of_seconds 2.0) (fun () -> Host.inject h inj);
+  (* Probe inbound reachability after recovery settles. *)
+  let reachable_auto = ref false in
+  Host.at h (Time.of_seconds 5.5) (fun () ->
+      Host.probe_reachable h ~port:22 ~timeout:(Time.of_seconds 1.4) (fun ok ->
+          reachable_auto := ok));
+  (* Administrator intervention for the stubborn cases, then re-probe. *)
+  let reachable_manual = ref false in
+  let manual_done = ref false in
+  Host.at h (Time.of_seconds 7.2) (fun () ->
+      if (not !reachable_auto) && not (Host.frozen h) then begin
+        manual_done := true;
+        Host.manual_restart h (Host.component_of_injection inj)
+      end);
+  Host.at h (Time.of_seconds 8.6) (fun () ->
+      if !manual_done then
+        Host.probe_reachable h ~port:22 ~timeout:(Time.of_seconds 1.2) (fun ok ->
+            reachable_manual := ok));
+  let ssh_ok_at_8s = ref 0 in
+  Host.at h (Time.of_seconds 8.0) (fun () -> ssh_ok_at_8s := Apps.Ssh_session.exchanges_ok ssh);
+  Host.run h ~until:(Time.of_seconds 10.0);
+  let frozen = Host.frozen h in
+  let ssh_survived =
+    (not (Apps.Ssh_session.broken ssh))
+    && Apps.Ssh_session.exchanges_ok ssh > !ssh_ok_at_8s
+  in
+  (* Transparent to UDP: the resolver rode out the fault on the same
+     socket — at most a short outage (a NIC reset takes ~1.4 s, i.e. 2-3
+     failed cycles), never reopening. *)
+  let udp_transparent =
+    (not frozen)
+    && Apps.Dns_client.max_consecutive_failures dns <= 4
+    && Apps.Dns_client.socket_reopens dns = 0
+    && Apps.Dns_client.answered dns > 0
+  in
+  let reachable_auto = !reachable_auto && not frozen in
+  {
+    injected = inj;
+    ssh_survived;
+    reachable_auto;
+    reachable_after_manual = !reachable_manual;
+    udp_transparent;
+    needed_reboot = frozen;
+    fully_transparent = ssh_survived && reachable_auto && udp_transparent && not frozen;
+  }
+
+(* The default seed gives a representative sample (the campaign is
+   stochastic, as the paper's was — "the tool injects faults randomly so
+   the faults are unpredictable"); other seeds vary by a few counts. *)
+let fault_campaign ?(runs = 100) ?(seed = 2) () =
+  let rng = Rng.create seed in
+  let injections = Fault_inject.draw_many rng ~ndrv:1 ~runs in
+  let outcomes =
+    List.mapi (fun i inj -> campaign_run ~seed:(seed + (1000 * (i + 1))) inj) injections
+  in
+  let count p = List.length (List.filter p outcomes) in
+  let target_is target o =
+    match (o.injected.Fault_inject.target, target) with
+    | Fault_inject.T_tcp, `Tcp
+    | Fault_inject.T_udp, `Udp
+    | Fault_inject.T_ip, `Ip
+    | Fault_inject.T_pf, `Pf
+    | Fault_inject.T_drv _, `Drv ->
+        true
+    | _ -> false
+  in
+  {
+    runs = outcomes;
+    crashes_tcp = count (target_is `Tcp);
+    crashes_udp = count (target_is `Udp);
+    crashes_ip = count (target_is `Ip);
+    crashes_pf = count (target_is `Pf);
+    crashes_drv = count (target_is `Drv);
+    fully_transparent = count (fun o -> o.fully_transparent);
+    reachable = count (fun o -> o.reachable_auto);
+    manually_fixed = count (fun o -> (not o.reachable_auto) && o.reachable_after_manual);
+    broke_tcp = count (fun o -> not o.ssh_survived);
+    transparent_udp = count (fun o -> o.udp_transparent);
+    reboots = count (fun o -> o.needed_reboot);
+  }
+
+(* {1 MWAIT latency ablation} *)
+
+type latency_point = {
+  poll_window_us : float;
+  mean_rtt_us : float;
+  pings : int;
+  awake_fraction : float;
+}
+
+let mwait_latency_ablation ?(seed = 42) () =
+  let measure poll_window =
+    let costs = { Costs.default with Costs.poll_window } in
+    let config = { Host.default_config with Host.seed; costs } in
+    let h = Host.create ~config () in
+    let sink = Host.sink h 0 in
+    let rtts = ref [] in
+    (* Space the pings out so every server goes idle in between. *)
+    for i = 1 to 50 do
+      Host.at h (Time.of_seconds (0.5 +. (0.005 *. float_of_int i))) (fun () ->
+          Sink.ping sink ~dst:(Host.local_addr h 0) (fun ~rtt ->
+              rtts := rtt :: !rtts))
+    done;
+    Host.run h ~until:(Time.of_seconds 1.2);
+    let n = List.length !rtts in
+    let mean =
+      if n = 0 then 0.0
+      else
+        float_of_int (List.fold_left ( + ) 0 !rtts)
+        /. float_of_int n
+        /. (float_of_int Time.cycles_per_second /. 1e6)
+    in
+    let now = Engine.now (Host.engine h) in
+    let os_cores =
+      List.map
+        (fun comp -> Newt_stack.Proc.core (Host.proc_of h comp))
+        [ Host.C_tcp; Host.C_udp; Host.C_ip; Host.C_pf; Host.C_drv 0 ]
+    in
+    let awake =
+      List.fold_left
+        (fun acc core ->
+          acc + Newt_hw.Cpu.busy_cycles core + Newt_hw.Cpu.polling_cycles core)
+        0 os_cores
+    in
+    {
+      poll_window_us =
+        float_of_int poll_window /. (float_of_int Time.cycles_per_second /. 1e6);
+      mean_rtt_us = mean;
+      pings = n;
+      awake_fraction =
+        float_of_int awake /. float_of_int (now * List.length os_cores);
+    }
+  in
+  List.map measure [ 0; Costs.default.Costs.poll_window; Time.of_micros 10_000.0 ]
+
+(* {1 Driver coalescing} *)
+
+type coalescing_result = {
+  drivers : int;
+  nics_served : int;
+  driver_core_utilization : float;
+  sustainable : bool;
+}
+
+let driver_coalescing ?(costs = Costs.default) () =
+  (* At the full 5-NIC TSO rate (Table II line 6), compute the load on a
+     driver core serving k NICs. *)
+  let r = Capacity.evaluate ~costs Capacity.Split_dedicated_sc_tso in
+  let total_gbps = r.Capacity.goodput_gbps in
+  let segments_per_sec = total_gbps *. 1e9 /. (1460.0 *. 8.0) in
+  let cycles_per_seg =
+    match
+      List.find_opt
+        (fun s -> s.Capacity.label = "driver server")
+        r.Capacity.stages
+    with
+    | Some s -> s.Capacity.cycles_per_segment
+    | None -> 0.0
+  in
+  List.map
+    (fun drivers ->
+      let nics = 5 in
+      let share = float_of_int nics /. float_of_int drivers in
+      let load =
+        segments_per_sec /. float_of_int nics *. share *. cycles_per_seg
+        /. float_of_int Time.cycles_per_second
+      in
+      {
+        drivers;
+        nics_served = (nics + drivers - 1) / drivers;
+        driver_core_utilization = load;
+        sustainable = load < 1.0;
+      })
+    [ 5; 1 ]

@@ -1,0 +1,168 @@
+(** Drivers for every table and figure of the paper's evaluation
+    (Section VI). Each function returns structured data; the [bin] and
+    [bench] executables format it like the paper does. *)
+
+(** {1 Table II — peak outgoing TCP performance} *)
+
+type table2_row = {
+  label : string;
+  paper_gbps : string;  (** The value the paper reports. *)
+  measured_gbps : float;
+  bottleneck : string;
+}
+
+val table_ii : ?costs:Newt_hw.Costs.t -> unit -> table2_row list
+
+(** {1 Cross-validation: the event-driven stack at peak load} *)
+
+type event_peak = {
+  goodput_gbps : float;  (** Achieved by the packet-level simulation. *)
+  capacity_prediction_gbps : float;  (** What the analytic model says. *)
+  per_link_mbps : float list;
+  tcp_util : float;  (** Utilization of the TCP server's core. *)
+  ip_util : float;
+  pf_util : float;
+  drv_util : float;  (** Busiest driver core. *)
+}
+
+val split_peak_event_sim :
+  ?nics:int -> ?duration:float -> ?coalesce_drivers:bool -> unit -> event_peak
+(** Drive the full packet-level simulator to saturation (default: five
+    1 Gbps links, 1 s) and compare against the Table II capacity model.
+    The paper's qualitative claims fall out: the TCP server saturates
+    first, IP has headroom despite handling each packet three times,
+    and the drivers are nearly idle. *)
+
+val single_server_event_sim : ?nics:int -> ?duration:float -> unit -> float * float
+(** The single-server topology (Table II line 4) at packet level: the
+    same protocol code as the split stack deployed as one merged server
+    behind the SYSCALL server. Returns (goodput Gbps, merged-server core
+    utilization). *)
+
+type minix_result = {
+  minix_mbps : float;
+  minix_core_util : float;
+  sync_ipcs_per_sec : float;
+      (** "A multiserver system under heavy load easily generates
+          hundreds of thousands of messages per second" (§III-A). *)
+  minix_lossless : bool;
+}
+
+val minix_event_sim : ?duration:float -> unit -> minix_result
+(** Run the packet-level MINIX 3 baseline (Table II line 1): one
+    timeshared core, synchronous kernel IPC with cold traps and context
+    switches on every hop, copies and software checksums everywhere,
+    one packet per driver round trip. The ~hundred-megabit ceiling is
+    emergent. *)
+
+(** {1 Figures 4 and 5 — bitrate across crashes} *)
+
+type crash_trace = {
+  points : (float * float) array;  (** (seconds, Mbps) per 100 ms bin. *)
+  duplicate_segments : int;  (** Seen by the receiver. *)
+  sender_retransmits : int;
+  lost_segments : int;
+      (** Receiver-side gaps never filled (0 = no loss). *)
+  component_restarts : int;
+}
+
+val figure_ip_crash :
+  ?seed:int ->
+  ?crash_at:float ->
+  ?duration:float ->
+  ?nic_reset:Newt_sim.Time.cycles ->
+  unit ->
+  crash_trace
+(** A single ~1 Gbps TCP connection; the IP server is killed at
+    [crash_at] (default 4 s) over [duration] (default 10 s) — Figure 4.
+    The visible gap is the NIC reset the crash forces. *)
+
+val recovery_gap : ?threshold_mbps:float -> crash_at:float -> crash_trace -> float
+(** Seconds from the crash until the bitrate is back above the
+    threshold. *)
+
+type reset_sweep_point = {
+  reset_time_s : float;  (** Device reset / link retraining time. *)
+  outage_s : float;  (** Resulting Figure 4 outage. *)
+  duplicates : int;
+}
+
+val nic_reset_sweep : ?seed:int -> unit -> reset_sweep_point list
+(** The paper's "restart-aware hardware would allow less disruptive
+    recovery" (Section V-D), quantified: the outage tracks the device
+    reset time, not the software restart. *)
+
+val figure_pf_crash :
+  ?seed:int -> ?rules:int -> ?crash_at:float list -> ?duration:float -> unit -> crash_trace
+(** Packet-filter crashes (default at 6 s and 12 s over 18 s) while
+    recovering a [rules]-entry configuration (default 1024) — Figure 5.
+    No packets are lost because IP resubmits unanswered filter
+    requests. *)
+
+(** {1 Tables III and IV — the fault-injection campaign} *)
+
+type run_outcome = {
+  injected : Newt_reliability.Fault_inject.injection;
+  ssh_survived : bool;  (** The established session kept working. *)
+  reachable_auto : bool;  (** New connections accepted without help. *)
+  reachable_after_manual : bool;
+  udp_transparent : bool;
+  needed_reboot : bool;
+  fully_transparent : bool;
+}
+
+type campaign = {
+  runs : run_outcome list;
+  (* Table III *)
+  crashes_tcp : int;
+  crashes_udp : int;
+  crashes_ip : int;
+  crashes_pf : int;
+  crashes_drv : int;
+  (* Table IV *)
+  fully_transparent : int;
+  reachable : int;  (** Automatically. *)
+  manually_fixed : int;
+  broke_tcp : int;
+  transparent_udp : int;
+  reboots : int;
+}
+
+val fault_campaign : ?runs:int -> ?seed:int -> unit -> campaign
+(** Default 100 runs, as in the paper. Each run boots a fresh world
+    with an SSH-like session, a DNS-like resolver, an iperf flow and an
+    inbound listener, injects one observable fault, lets the
+    reincarnation machinery recover, and probes the consequences. *)
+
+(** {1 Section IV-B — MWAIT wake-up latency vs polling} *)
+
+type latency_point = {
+  poll_window_us : float;
+      (** How long an idle server polls before halting its core. *)
+  mean_rtt_us : float;  (** ICMP echo RTT through the idle stack. *)
+  pings : int;
+  awake_fraction : float;
+      (** Fraction of OS-core time spent awake (busy + polling) — the
+          energy side: "constant checking keeps consuming energy". *)
+}
+
+val mwait_latency_ablation : ?seed:int -> unit -> latency_point list
+(** Ping the idle host with increasing poll windows. With a zero window
+    every hop pays the kernel-mediated MWAIT wake-up; with a large one
+    the cores spin and absorb it — the energy/latency trade-off of
+    Section IV-B. *)
+
+(** {1 Section VI-A — driver coalescing} *)
+
+type coalescing_result = {
+  drivers : int;
+  nics_served : int;
+  driver_core_utilization : float;
+      (** Of the busiest driver core at 5 Gbps TSO load. *)
+  sustainable : bool;
+}
+
+val driver_coalescing : ?costs:Newt_hw.Costs.t -> unit -> coalescing_result list
+(** Per-driver-count utilization: even one driver for all five NICs is
+    nowhere near saturation ("the work done by the drivers is extremely
+    small"). *)

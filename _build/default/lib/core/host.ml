@@ -1,0 +1,480 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Trace = Newt_sim.Trace
+module Machine = Newt_hw.Machine
+module Registry = Newt_channels.Registry
+module Sim_chan = Newt_channels.Sim_chan
+module Addr = Newt_net.Addr
+module Tcp = Newt_net.Tcp
+module Link = Newt_nic.Link
+module E1000 = Newt_nic.E1000
+module Rule = Newt_pf.Rule
+module Proc = Newt_stack.Proc
+module Msg = Newt_stack.Msg
+module Drv_srv = Newt_stack.Drv_srv
+module Ip_srv = Newt_stack.Ip_srv
+module Pf_srv = Newt_stack.Pf_srv
+module Tcp_srv = Newt_stack.Tcp_srv
+module Udp_srv = Newt_stack.Udp_srv
+module Syscall_srv = Newt_stack.Syscall_srv
+module Sink = Newt_stack.Sink
+module Storage = Newt_reliability.Storage
+module Reincarnation = Newt_reliability.Reincarnation
+module Fault_inject = Newt_reliability.Fault_inject
+
+type component = C_tcp | C_udp | C_ip | C_pf | C_drv of int
+
+let component_name = function
+  | C_tcp -> "tcp"
+  | C_udp -> "udp"
+  | C_ip -> "ip"
+  | C_pf -> "pf"
+  | C_drv i -> Printf.sprintf "drv%d" i
+
+type config = {
+  seed : int;
+  costs : Newt_hw.Costs.t;
+  nics : int;
+  pf_rules : Rule.t list;
+  tcp_config : Tcp.config option;
+  nic_reset_time : Time.cycles;
+  heartbeat_period : Time.cycles;
+  restart_delay : Time.cycles;
+  app_cores : int;
+  coalesce_drivers : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    costs = Newt_hw.Costs.default;
+    nics = 1;
+    pf_rules = [ Rule.pass_all ];
+    tcp_config = None;
+    nic_reset_time = Time.of_seconds 1.2;
+    heartbeat_period = Time.of_seconds 0.1;
+    restart_delay = Time.of_seconds 0.12;
+    app_cores = 2;
+    coalesce_drivers = false;
+  }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  machine : Machine.t;
+  registry : Registry.t;
+  trace : Trace.t;
+  directory : Newt_channels.Pubsub.t;
+  storage : Storage.t;
+  rs : Reincarnation.t;
+  sc : Syscall_srv.t;
+  tcp : Tcp_srv.t;
+  udp : Udp_srv.t;
+  ip : Ip_srv.t;
+  pf : Pf_srv.t;
+  drvs : Drv_srv.t array;
+  nics : E1000.t array;
+  links : Link.t array;
+  sinks : Sink.t array;
+  procs : (component * Proc.t) list;
+  app_cores : Newt_hw.Cpu.t array;
+  mutable next_app : int;
+  mutable next_app_pid : int;
+  mutable frozen : bool;
+  (* Components whose next automatic restart must come up broken
+     (Section VI-B's manual-intervention cases). *)
+  mutable broken_next_restart : component list;
+}
+
+let engine t = t.engine
+let machine t = t.machine
+let sc t = t.sc
+let tcp_srv t = t.tcp
+let udp_srv t = t.udp
+let ip_srv t = t.ip
+let pf_srv t = t.pf
+let rs t = t.rs
+let storage t = t.storage
+let nic t i = t.nics.(i)
+let link t i = t.links.(i)
+let sink t i = t.sinks.(i)
+let frozen t = t.frozen
+
+let directory t = t.directory
+let trace t = t.trace
+
+let proc_of t comp =
+  match List.find_opt (fun (c, _) -> c = comp) t.procs with
+  | Some (_, p) -> p
+  | None -> invalid_arg "Host.proc_of: unknown component"
+
+let local_addr _t i = Addr.Ipv4.v 10 0 i 1
+let sink_addr _t i = Addr.Ipv4.v 10 0 i 2
+
+let app t =
+  let core = t.app_cores.(t.next_app mod Array.length t.app_cores) in
+  t.next_app <- t.next_app + 1;
+  let pid = t.next_app_pid in
+  t.next_app_pid <- pid + 1;
+  { Syscall_srv.app_core = core; app_pid = pid }
+
+let run t ~until = Engine.run ~until t.engine
+
+let at t when_ f =
+  ignore (Engine.schedule_at t.engine when_ f)
+
+(* {2 Construction} *)
+
+let chan_ids = ref 0
+
+(* Queue slots are cheap shared memory; size them so a full multi-flow
+   congestion-window burst (5 links x ~256 KiB of 1460-byte segments)
+   never overflows a channel — a drop costs the flow an RTO. *)
+let chan () =
+  incr chan_ids;
+  Sim_chan.create ~capacity:8192 ~id:!chan_ids ()
+
+let create ?(config = default_config) () =
+  let engine = Engine.create ~seed:config.seed () in
+  let machine = Machine.create ~costs:config.costs engine in
+  let registry = Registry.create () in
+  let trace = Trace.create () in
+  let directory = Newt_channels.Pubsub.create () in
+  let storage = Storage.create () in
+  (* Cores: one dedicated per OS component (Figure 1). *)
+  let sc_core = Machine.add_dedicated_core machine in
+  let tcp_core = Machine.add_dedicated_core machine in
+  let udp_core = Machine.add_dedicated_core machine in
+  let ip_core = Machine.add_dedicated_core machine in
+  let pf_core = Machine.add_dedicated_core machine in
+  let drv_cores =
+    if config.coalesce_drivers then begin
+      let shared = Machine.add_dedicated_core machine in
+      Array.make config.nics shared
+    end
+    else Array.init config.nics (fun _ -> Machine.add_dedicated_core machine)
+  in
+  let app_cores = Array.init config.app_cores (fun _ -> Machine.add_timeshared_core machine) in
+  (* Processes. *)
+  let mkproc name core = Proc.create machine ~name ~core ~trace () in
+  let sc_proc = mkproc "sc" sc_core in
+  let tcp_proc = mkproc "tcp" tcp_core in
+  let udp_proc = mkproc "udp" udp_core in
+  let ip_proc = mkproc "ip" ip_core in
+  let pf_proc = mkproc "pf" pf_core in
+  let drv_procs = Array.init config.nics (fun i -> mkproc (Printf.sprintf "drv%d" i) drv_cores.(i)) in
+  (* Devices, links and remote peers. *)
+  let links =
+    Array.init config.nics (fun _ -> Link.create engine ())
+  in
+  let nics =
+    Array.init config.nics (fun i ->
+        E1000.create engine ~registry ~link:links.(i) ~side:Link.Left
+          ~mac:(Addr.Mac.of_index (100 + i))
+          ~reset_time:config.nic_reset_time ())
+  in
+  let sinks =
+    Array.init config.nics (fun i ->
+        Sink.create engine ~link:links.(i) ~side:Link.Right
+          ~addr:(Addr.Ipv4.v 10 0 i 2)
+          ~mac:(Addr.Mac.of_index (200 + i))
+          ())
+  in
+  (* Servers. *)
+  let view name = Storage.owner_view storage ~owner:name in
+  let save_ip, load_ip = view "ip" in
+  let save_pf, load_pf = view "pf" in
+  let save_tcp, load_tcp = view "tcp" in
+  let save_udp, load_udp = view "udp" in
+  let sc_srv = Syscall_srv.create machine ~proc:sc_proc () in
+  let tcp_srv =
+    Tcp_srv.create machine ~proc:tcp_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+      ?tcp_config:config.tcp_config ~save:save_tcp ~load:load_tcp ()
+  in
+  let udp_srv =
+    Udp_srv.create machine ~proc:udp_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+      ~save:save_udp ~load:load_udp ()
+  in
+  let ip_srv =
+    Ip_srv.create machine ~proc:ip_proc ~registry ~save:save_ip ~load:load_ip ()
+  in
+  let pf_srv = Pf_srv.create machine ~proc:pf_proc ~save:save_pf ~load:load_pf () in
+  let drvs =
+    Array.init config.nics (fun i ->
+        Drv_srv.create machine ~proc:drv_procs.(i) ~nic:nics.(i) ())
+  in
+  (* Channels, per Figure 3, published in the directory under
+     meaningful keys (Section IV-C). *)
+  let publish key c =
+    Newt_channels.Pubsub.publish directory ~key ~creator:0
+      ~chan_id:(Sim_chan.id c);
+    c
+  in
+  let ch_ip_to_pf = chan () and ch_pf_to_ip = chan () in
+  let ch_ip_to_pf = publish "ip.to_pf" ch_ip_to_pf in
+  let ch_pf_to_ip = publish "pf.to_ip" ch_pf_to_ip in
+  Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
+  Pf_srv.connect_ip pf_srv ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
+  let ch_tcp_to_ip = publish "tcp.to_ip" (chan ())
+  and ch_ip_to_tcp = publish "ip.to_tcp" (chan ()) in
+  Ip_srv.connect_transport ip_srv ~proto:`Tcp ~from_transport:ch_tcp_to_ip
+    ~to_transport:ch_ip_to_tcp;
+  Tcp_srv.connect_ip tcp_srv ~to_ip:ch_tcp_to_ip ~from_ip:ch_ip_to_tcp;
+  let ch_udp_to_ip = publish "udp.to_ip" (chan ())
+  and ch_ip_to_udp = publish "ip.to_udp" (chan ()) in
+  Ip_srv.connect_transport ip_srv ~proto:`Udp ~from_transport:ch_udp_to_ip
+    ~to_transport:ch_ip_to_udp;
+  Udp_srv.connect_ip udp_srv ~to_ip:ch_udp_to_ip ~from_ip:ch_ip_to_udp;
+  let ch_sc_to_tcp = publish "sc.to_tcp" (chan ())
+  and ch_tcp_to_sc = publish "tcp.to_sc" (chan ()) in
+  Syscall_srv.connect_transport sc_srv ~transport:`Tcp ~to_transport:ch_sc_to_tcp
+    ~from_transport:ch_tcp_to_sc;
+  Tcp_srv.connect_sc tcp_srv ~from_sc:ch_sc_to_tcp ~to_sc:ch_tcp_to_sc;
+  let ch_sc_to_udp = publish "sc.to_udp" (chan ())
+  and ch_udp_to_sc = publish "udp.to_sc" (chan ()) in
+  Syscall_srv.connect_transport sc_srv ~transport:`Udp ~to_transport:ch_sc_to_udp
+    ~from_transport:ch_udp_to_sc;
+  Udp_srv.connect_sc udp_srv ~from_sc:ch_sc_to_udp ~to_sc:ch_udp_to_sc;
+  (* Interfaces, addresses, routes, static neighbours. *)
+  let drv_chans = Array.make config.nics None in
+  Array.iteri
+    (fun i drv ->
+      let tx_chan = publish (Printf.sprintf "ip.to_drv%d" i) (chan ())
+      and rx_chan = publish (Printf.sprintf "drv%d.to_ip" i) (chan ()) in
+      drv_chans.(i) <- Some tx_chan;
+      let iface =
+        Ip_srv.add_iface ip_srv
+          {
+            Ip_srv.addr = Addr.Ipv4.v 10 0 i 1;
+            netmask_bits = 24;
+            mac = E1000.mac nics.(i);
+          }
+          ~drv ~tx_chan ~rx_chan
+      in
+      Ip_srv.add_route ip_srv ~prefix:(Addr.Ipv4.v 10 0 i 0) ~bits:24 ~iface
+        ~gateway:None;
+      Ip_srv.add_neighbor ip_srv ~iface (Addr.Ipv4.v 10 0 i 2)
+        (Addr.Mac.of_index (200 + i)))
+    drvs;
+  (* Multihoming: transports pick the source address of the interface
+     the route uses. *)
+  let src_select dst =
+    match Ip_srv.src_addr_for ip_srv dst with
+    | Some a -> a
+    | None -> Addr.Ipv4.v 10 0 0 1
+  in
+  Tcp_srv.set_src_select tcp_srv src_select;
+  Udp_srv.set_src_select udp_srv src_select;
+  (* The filter configuration. *)
+  Pf_srv.set_rules pf_srv config.pf_rules;
+  Pf_srv.set_conntrack_sources pf_srv
+    ~tcp:(fun () -> Tcp_srv.conntrack_flows tcp_srv)
+    ~udp:(fun () -> Udp_srv.conntrack_flows udp_srv);
+  (* Crash/restart procedures of each component. *)
+  Proc.set_on_crash tcp_proc (fun () -> Tcp_srv.crash_cleanup tcp_srv);
+  Proc.set_on_crash udp_proc (fun () -> Udp_srv.crash_cleanup udp_srv);
+  Proc.set_on_crash ip_proc (fun () -> Ip_srv.crash_cleanup ip_srv);
+  Proc.set_on_crash pf_proc (fun () -> Pf_srv.crash_cleanup pf_srv);
+  Array.iteri
+    (fun i drv -> Proc.set_on_crash drv_procs.(i) (fun () -> Drv_srv.crash_cleanup drv))
+    drvs;
+  let t =
+    {
+      config;
+      engine;
+      machine;
+      registry;
+      trace;
+      directory;
+      storage;
+      rs = Reincarnation.create machine ~heartbeat_period:config.heartbeat_period
+          ~restart_delay:config.restart_delay ();
+      sc = sc_srv;
+      tcp = tcp_srv;
+      udp = udp_srv;
+      ip = ip_srv;
+      pf = pf_srv;
+      drvs;
+      nics;
+      links;
+      sinks;
+      procs =
+        [ (C_tcp, tcp_proc); (C_udp, udp_proc); (C_ip, ip_proc); (C_pf, pf_proc) ]
+        @ Array.to_list (Array.mapi (fun i p -> (C_drv i, p)) drv_procs);
+      app_cores;
+      next_app = 0;
+      next_app_pid = 10_000;
+      frozen = false;
+      broken_next_restart = [];
+    }
+  in
+  let broken comp =
+    if List.mem comp t.broken_next_restart then begin
+      t.broken_next_restart <-
+        List.filter (fun c -> c <> comp) t.broken_next_restart;
+      true
+    end
+    else false
+  in
+  (* A restarted consumer re-exports its channels: the identification
+     does not change, so it republishes the same keys (Section IV-D). *)
+  let republish keys chans =
+    List.iter2
+      (fun key c ->
+        Newt_channels.Pubsub.publish directory ~key ~creator:0
+          ~chan_id:(Sim_chan.id c))
+      keys chans
+  in
+  (* Restart procedures, with the broken-recovery hook applied after the
+     normal recovery (the component comes up, but its restored state is
+     bad — Section VI-B's manual-restart cases). *)
+  Proc.set_on_restart tcp_proc (fun ~fresh:_ ->
+      Tcp_srv.restart tcp_srv;
+      republish [ "sc.to_tcp"; "ip.to_tcp" ] [ ch_sc_to_tcp; ch_ip_to_tcp ];
+      if broken C_tcp then begin
+        let eng = Tcp_srv.engine tcp_srv in
+        List.iter (fun port -> Tcp.unlisten eng ~port) (Tcp.listening_ports eng)
+      end);
+  Proc.set_on_restart udp_proc (fun ~fresh:_ ->
+      Udp_srv.restart udp_srv;
+      republish [ "sc.to_udp"; "ip.to_udp" ] [ ch_sc_to_udp; ch_ip_to_udp ]);
+  Proc.set_on_restart ip_proc (fun ~fresh:_ ->
+      Ip_srv.restart ip_srv;
+      republish [ "tcp.to_ip"; "udp.to_ip"; "pf.to_ip" ]
+        [ ch_tcp_to_ip; ch_udp_to_ip; ch_pf_to_ip ];
+      if broken C_ip then Ip_srv.clear_routes ip_srv);
+  Proc.set_on_restart pf_proc (fun ~fresh:_ ->
+      Pf_srv.restart pf_srv;
+      republish [ "ip.to_pf" ] [ ch_ip_to_pf ]);
+  Array.iteri
+    (fun i drv ->
+      Proc.set_on_restart drv_procs.(i) (fun ~fresh:_ ->
+          Drv_srv.restart drv;
+          (match drv_chans.(i) with
+          | Some c -> republish [ Printf.sprintf "ip.to_drv%d" i ] [ c ]
+          | None -> ());
+          if broken (C_drv i) then E1000.misconfigure nics.(i)))
+    drvs;
+  (* Supervision with neighbour notifications (Section IV-D). *)
+  Reincarnation.watch t.rs tcp_proc
+    ~notify_crash:[ (fun () -> Ip_srv.on_transport_crash ip_srv ~proto:`Tcp) ]
+    ~notify_restart:[ (fun () -> Syscall_srv.on_transport_restart sc_srv ~transport:`Tcp) ]
+    ();
+  Reincarnation.watch t.rs udp_proc
+    ~notify_crash:[ (fun () -> Ip_srv.on_transport_crash ip_srv ~proto:`Udp) ]
+    ~notify_restart:[ (fun () -> Syscall_srv.on_transport_restart sc_srv ~transport:`Udp) ]
+    ();
+  Reincarnation.watch t.rs ip_proc
+    ~notify_crash:
+      [ (fun () -> Tcp_srv.on_ip_crash tcp_srv); (fun () -> Udp_srv.on_ip_crash udp_srv) ]
+    ~notify_restart:
+      [
+        (fun () -> Tcp_srv.on_ip_restart tcp_srv);
+        (fun () -> Udp_srv.on_ip_restart udp_srv);
+      ]
+    ();
+  Reincarnation.watch t.rs pf_proc
+    ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ip_srv) ]
+    ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ip_srv) ]
+    ();
+  Array.iteri
+    (fun i p ->
+      Reincarnation.watch t.rs p
+        ~notify_crash:[ (fun () -> Ip_srv.on_drv_crash ip_srv ~iface:i) ]
+        ~notify_restart:[ (fun () -> Ip_srv.on_drv_restart ip_srv ~iface:i) ]
+        ())
+    drv_procs;
+  Reincarnation.start t.rs;
+  t
+
+(* {2 Faults} *)
+
+let kill_component t comp = Reincarnation.kill t.rs (proc_of t comp)
+let hang_component t comp = Proc.hang (proc_of t comp)
+
+let component_of_target = function
+  | Fault_inject.T_tcp -> C_tcp
+  | Fault_inject.T_udp -> C_udp
+  | Fault_inject.T_ip -> C_ip
+  | Fault_inject.T_pf -> C_pf
+  | Fault_inject.T_drv i -> C_drv i
+
+let component_of_injection (inj : Fault_inject.injection) =
+  component_of_target inj.Fault_inject.target
+
+let live_update t comp =
+  (* Graceful replacement (Section V): quiesce, swap, resume. The
+     component's continuously-persisted state carries over; channels
+     stay established; messages queue during the swap. *)
+  let p = proc_of t comp in
+  Proc.begin_update p;
+  ignore
+    (Engine.schedule t.engine (Time.of_seconds 0.05) (fun () ->
+         Proc.finish_update p))
+
+let crash_storage t =
+  Storage.crash t.storage;
+  (* The restarted storage server announces itself; every component
+     persists its state anew. *)
+  Ip_srv.repersist t.ip;
+  Pf_srv.repersist t.pf;
+  Tcp_srv.repersist t.tcp;
+  Udp_srv.repersist t.udp
+
+let manual_restart t comp =
+  (match comp with
+  | C_drv i ->
+      (* Restarting the driver resets the device, which also clears a
+         misconfiguration (Section VI-B). *)
+      ignore i
+  | C_tcp | C_udp | C_ip | C_pf -> ());
+  kill_component t comp
+
+let inject t (inj : Fault_inject.injection) =
+  let comp = component_of_target inj.Fault_inject.target in
+  match inj.Fault_inject.effect with
+  | Fault_inject.Crash -> kill_component t comp
+  | Fault_inject.Hang -> hang_component t comp
+  | Fault_inject.Misconfigure_device -> (
+      match comp with
+      | C_drv i -> E1000.misconfigure t.nics.(i)
+      | C_tcp | C_udp | C_ip | C_pf -> kill_component t comp)
+  | Fault_inject.Broken_recovery ->
+      t.broken_next_restart <- comp :: t.broken_next_restart;
+      kill_component t comp
+  | Fault_inject.Sync_hang ->
+      (* The fault propagated into the unconverted synchronous part of
+         the system (the select/file-descriptor merge): everything
+         stalls; only a reboot helps (3 runs in Section VI-B). *)
+      t.frozen <- true;
+      Proc.hang (Syscall_srv.proc t.sc)
+
+let restarts_of t comp = Reincarnation.restarts_of t.rs (proc_of t comp)
+
+(* {2 Probes} *)
+
+let probe_reachable t ?(via = 0) ~port ~timeout k =
+  let sink = t.sinks.(via) in
+  let pcb = Sink.connect sink ~dst:(local_addr t via) ~dst_port:port in
+  let answered = ref false in
+  Tcp.set_handler pcb (fun ev ->
+      match ev with
+      | Tcp.Connected ->
+          if not !answered then begin
+            answered := true;
+            Tcp.abort pcb;
+            k true
+          end
+      | Tcp.Reset ->
+          if not !answered then begin
+            answered := true;
+            k false
+          end
+      | Tcp.Accepted | Tcp.Readable | Tcp.Writable | Tcp.Closed_normally -> ());
+  ignore
+    (Engine.schedule t.engine timeout (fun () ->
+         if not !answered then begin
+           answered := true;
+           Tcp.abort pcb;
+           k false
+         end))

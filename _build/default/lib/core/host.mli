@@ -1,0 +1,138 @@
+(** A complete NewtOS host under test, wired to ideal remote peers.
+
+    This is the library's top-level entry point: it builds the machine
+    (one dedicated core per OS component, timeshared application cores),
+    the full split networking stack of Figure 3 (SYSCALL, TCP, UDP, IP,
+    PF, one driver per NIC), the e1000-style devices and gigabit links,
+    an ideal remote host on the far side of every link, the storage
+    server, and the reincarnation server supervising every stack
+    component with the right neighbour-notification hooks.
+
+    Fault injection enters through {!inject} (or the lower-level
+    {!kill_component}); recovery then unfolds through the reincarnation
+    machinery exactly as Section V-D describes, and its consequences are
+    observable through the application layer ({!app}, {!sc}) and the
+    remote peers ({!sink}). *)
+
+type component = C_tcp | C_udp | C_ip | C_pf | C_drv of int
+
+val component_name : component -> string
+
+type config = {
+  seed : int;
+  costs : Newt_hw.Costs.t;  (** The machine's cycle-cost model. *)
+  nics : int;  (** Gigabit ports, each with its own driver and peer. *)
+  pf_rules : Newt_pf.Rule.t list;
+  tcp_config : Newt_net.Tcp.config option;
+  nic_reset_time : Newt_sim.Time.cycles;
+      (** Link retraining time after a device reset (the Figure 4
+          gap). *)
+  heartbeat_period : Newt_sim.Time.cycles;
+  restart_delay : Newt_sim.Time.cycles;
+  app_cores : int;
+  coalesce_drivers : bool;
+      (** Run all drivers on one dedicated core (Section VI-A: "to
+          evaluate scalability ... we also used one driver for all
+          interfaces"); each NIC keeps its own driver server, but they
+          share the core "as the containers in which the drivers can
+          block". *)
+}
+
+val default_config : config
+(** Seed 42, 1 NIC, pass-all filter, 1.2 s NIC reset, 100 ms
+    heartbeats, 120 ms restarts, 2 app cores. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Access} *)
+
+val engine : t -> Newt_sim.Engine.t
+val machine : t -> Newt_hw.Machine.t
+val sc : t -> Newt_stack.Syscall_srv.t
+val tcp_srv : t -> Newt_stack.Tcp_srv.t
+val udp_srv : t -> Newt_stack.Udp_srv.t
+val ip_srv : t -> Newt_stack.Ip_srv.t
+val pf_srv : t -> Newt_stack.Pf_srv.t
+val rs : t -> Newt_reliability.Reincarnation.t
+val storage : t -> Newt_reliability.Storage.t
+val nic : t -> int -> Newt_nic.E1000.t
+val link : t -> int -> Newt_nic.Link.t
+val sink : t -> int -> Newt_stack.Sink.t
+val proc_of : t -> component -> Newt_stack.Proc.t
+
+val directory : t -> Newt_channels.Pubsub.t
+(** The publish/subscribe channel directory (Section IV-C): every
+    fast-path channel is published under a meaningful key
+    (["tcp.to_ip"], ["drv0.to_ip"], ...) at boot, and re-published by
+    the reincarnation machinery when its consumer restarts — late
+    subscribers see current publications. *)
+
+val trace : t -> Newt_sim.Trace.t
+(** The bounded event log: crash / hang / restart records from every
+    server. *)
+
+val local_addr : t -> int -> Newt_net.Addr.Ipv4.t
+(** The host's address on interface [i] (10.0.[i].1). *)
+
+val sink_addr : t -> int -> Newt_net.Addr.Ipv4.t
+(** The peer's address on link [i] (10.0.[i].2). *)
+
+val app : t -> Newt_stack.Syscall_srv.app
+(** An application context on a timeshared core (round-robins over the
+    configured app cores). *)
+
+val run : t -> until:Newt_sim.Time.cycles -> unit
+(** Advance the world. *)
+
+val at : t -> Newt_sim.Time.cycles -> (unit -> unit) -> unit
+(** Schedule an action at an absolute simulated time. *)
+
+(** {1 Faults} *)
+
+val kill_component : t -> component -> unit
+(** Crash it; the reincarnation server recovers it. *)
+
+val hang_component : t -> component -> unit
+(** Stop it from making progress; heartbeats catch and reset it. *)
+
+val component_of_injection : Newt_reliability.Fault_inject.injection -> component
+(** Which component a drawn fault lands in. *)
+
+val inject : t -> Newt_reliability.Fault_inject.injection -> unit
+(** Apply a drawn fault, including the degraded classes:
+    device misconfiguration, broken recovery, and the synchronous-path
+    hang that freezes the system (reboot necessary). *)
+
+val live_update : t -> component -> unit
+(** Replace the component by a new version on the fly: "since the
+    restarted component can easily be a newer or patched version of the
+    original code, the same mechanism allows us to update on the fly
+    many core OS components" (Section I). The component shuts down
+    (its continuously-persisted state is current), and the new
+    incarnation inherits the channels; other traffic is unaffected —
+    the UDP-update-under-TCP-traffic scenario of Section V. *)
+
+val crash_storage : t -> unit
+(** Crash the storage server: its contents vanish and "every other
+    server has to store its state again" (Section V-D) — which they do,
+    immediately, so later component crashes still recover. *)
+
+val manual_restart : t -> component -> unit
+(** The administrator's intervention for the broken-recovery and
+    misconfigured-device cases (Section VI-B). *)
+
+val frozen : t -> bool
+(** The synchronous select path hung: only a reboot helps. *)
+
+val restarts_of : t -> component -> int
+
+(** {1 Probes} *)
+
+val probe_reachable :
+  t -> ?via:int -> port:int -> timeout:Newt_sim.Time.cycles -> (bool -> unit) -> unit
+(** From the peer on link [via] (default 0), try to open a TCP
+    connection to the host — the paper's "reachable from outside"
+    criterion. The callback fires with the outcome after at most
+    [timeout]. *)

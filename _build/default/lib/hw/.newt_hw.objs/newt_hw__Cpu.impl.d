@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Costs Newt_sim Queue Time

@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Costs Newt_sim Time

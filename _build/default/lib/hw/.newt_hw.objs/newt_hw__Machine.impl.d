@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Costs Cpu List Newt_sim

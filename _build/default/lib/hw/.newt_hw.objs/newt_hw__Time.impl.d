@@ -1,0 +1,1 @@
+lib/hw/time.ml: Newt_sim

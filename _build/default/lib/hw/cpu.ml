@@ -1,0 +1,85 @@
+type kind = Dedicated | Timeshared
+
+type job = { proc : int; cost : Time.cycles; k : unit -> unit }
+
+type t = {
+  engine : Newt_sim.Engine.t;
+  costs : Costs.t;
+  id : int;
+  kind : kind;
+  jobs : job Queue.t;
+  mutable running : bool;
+  mutable last_proc : int option;
+  mutable idle_since : Time.cycles;
+      (* Time at which the core last became idle; used to decide whether
+         it has halted (idle longer than the poll window). *)
+  mutable busy_cycles : Time.cycles;
+  mutable polling_cycles : Time.cycles;
+}
+
+let create engine ~costs ~id ~kind =
+  {
+    engine;
+    costs;
+    id;
+    kind;
+    jobs = Queue.create ();
+    running = false;
+    last_proc = None;
+    idle_since = 0;
+    busy_cycles = 0;
+    polling_cycles = 0;
+  }
+
+let id t = t.id
+let kind t = t.kind
+let busy t = t.running || not (Queue.is_empty t.jobs)
+let busy_cycles t = t.busy_cycles
+let polling_cycles t = t.polling_cycles
+let last_proc t = t.last_proc
+
+let utilization t ~now =
+  if now <= 0 then 0.0 else float_of_int t.busy_cycles /. float_of_int now
+
+let switch_cost t proc =
+  match t.kind with
+  | Dedicated -> 0
+  | Timeshared -> (
+      match t.last_proc with
+      | Some p when p = proc -> 0
+      | Some _ -> t.costs.Costs.context_switch + t.costs.Costs.cache_refill
+      | None -> 0)
+
+let rec start_next t =
+  match Queue.take_opt t.jobs with
+  | None -> begin
+      t.running <- false;
+      t.idle_since <- Newt_sim.Engine.now t.engine
+    end
+  | Some job ->
+      t.running <- true;
+      let cost = job.cost + switch_cost t job.proc in
+      t.last_proc <- Some job.proc;
+      t.busy_cycles <- t.busy_cycles + cost;
+      ignore
+        (Newt_sim.Engine.schedule t.engine cost (fun () ->
+             job.k ();
+             start_next t))
+
+let wakeup_penalty t =
+  (* A core that has sat idle past the poll window has halted with MWAIT;
+     the next piece of work pays the wake-up latency. Either way the
+     core was awake and polling for up to the poll window — the energy
+     side of the trade-off. *)
+  if t.running then 0
+  else begin
+    let idle_for = Newt_sim.Engine.now t.engine - t.idle_since in
+    t.polling_cycles <- t.polling_cycles + min idle_for t.costs.Costs.poll_window;
+    if idle_for > t.costs.Costs.poll_window then t.costs.Costs.mwait_wakeup else 0
+  end
+
+let exec t ~proc ~cost k =
+  assert (cost >= 0);
+  let penalty = if busy t then 0 else wakeup_penalty t in
+  Queue.push { proc; cost = cost + penalty; k } t.jobs;
+  if not t.running then start_next t

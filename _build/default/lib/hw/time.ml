@@ -1,0 +1,3 @@
+(* Re-export the simulator's time module so that hardware interfaces can
+   say [Time.cycles] without a long path. *)
+include Newt_sim.Time

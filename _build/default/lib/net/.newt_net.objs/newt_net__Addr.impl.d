@@ -1,0 +1,1 @@
+lib/net/addr.ml: Array Char Format Hashtbl Int32 List Printf String

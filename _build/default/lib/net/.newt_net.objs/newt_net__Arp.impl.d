@@ -1,0 +1,1 @@
+lib/net/arp.ml: Addr Array Bytes Char Int32 List Map

@@ -1,0 +1,1 @@
+lib/net/dns.ml: Addr Buffer Bytes Char Fun Int32 List String

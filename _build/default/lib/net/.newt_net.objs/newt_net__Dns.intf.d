@@ -1,0 +1,1 @@
+lib/net/dns.mli: Addr Bytes

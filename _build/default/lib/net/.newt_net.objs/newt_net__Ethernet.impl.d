@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Addr Array Bytes Char

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Addr Bytes Checksum List Wire

@@ -1,0 +1,1 @@
+lib/net/seq32.mli:

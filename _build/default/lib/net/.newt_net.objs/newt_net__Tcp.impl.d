@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Addr Bytebuf Bytes Format Hashtbl List Newt_sim Printf Seq32 Tcp_wire

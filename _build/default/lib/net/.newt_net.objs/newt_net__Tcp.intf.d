@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Addr Bytes Format Tcp_wire

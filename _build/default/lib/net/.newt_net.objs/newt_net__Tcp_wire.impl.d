@@ -1,0 +1,1 @@
+lib/net/tcp_wire.ml: Bytes Checksum Format List String Udp Wire

@@ -1,0 +1,1 @@
+lib/net/wire.ml: Addr Bytes Char Int32

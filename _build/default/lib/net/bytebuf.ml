@@ -1,0 +1,50 @@
+type t = {
+  data : Bytes.t;
+  mutable head : int; (* read position *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { data = Bytes.create capacity; head = 0; len = 0 }
+
+let capacity t = Bytes.length t.data
+let length t = t.len
+let available t = capacity t - t.len
+let is_empty t = t.len = 0
+
+let push t src ~off ~len =
+  assert (off >= 0 && len >= 0 && off + len <= Bytes.length src);
+  let n = min len (available t) in
+  let cap = capacity t in
+  let tail = (t.head + t.len) mod cap in
+  let first = min n (cap - tail) in
+  Bytes.blit src off t.data tail first;
+  if n > first then Bytes.blit src (off + first) t.data 0 (n - first);
+  t.len <- t.len + n;
+  n
+
+let peek t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Bytebuf.peek";
+  let cap = capacity t in
+  let out = Bytes.create len in
+  let start = (t.head + off) mod cap in
+  let first = min len (cap - start) in
+  Bytes.blit t.data start out 0 first;
+  if len > first then Bytes.blit t.data 0 out first (len - first);
+  out
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Bytebuf.drop";
+  t.head <- (t.head + n) mod capacity t;
+  t.len <- t.len - n
+
+let pop t ~max =
+  let n = min max t.len in
+  let out = peek t ~off:0 ~len:n in
+  drop t n;
+  out
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,35 @@
+type partial = int
+
+let zero = 0
+
+let add_bytes acc b ~off ~len =
+  assert (off >= 0 && len >= 0 && off + len <= Bytes.length b);
+  let acc = ref acc in
+  let i = ref off in
+  let stop = off + len - 1 in
+  while !i < stop do
+    acc := !acc + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if len land 1 = 1 then acc := !acc + (Char.code (Bytes.get b (off + len - 1)) lsl 8);
+  !acc
+
+let add_int16 acc v = acc + (v land 0xffff)
+
+let fold acc =
+  let folded = ref acc in
+  while !folded lsr 16 <> 0 do
+    folded := (!folded land 0xffff) + (!folded lsr 16)
+  done;
+  !folded
+
+let finish acc =
+  let folded = ref acc in
+  while !folded lsr 16 <> 0 do
+    folded := (!folded land 0xffff) + (!folded lsr 16)
+  done;
+  lnot !folded land 0xffff
+
+let bytes b ~off ~len = finish (add_bytes zero b ~off ~len)
+
+let valid b ~off ~len = bytes b ~off ~len = 0

@@ -1,0 +1,165 @@
+type question = { qname : string; qtype : int }
+type answer = { name : string; ttl : int; addr : Addr.Ipv4.t }
+
+type message = {
+  id : int;
+  is_response : bool;
+  rcode : int;
+  questions : question list;
+  answers : answer list;
+}
+
+let query ~id qname =
+  {
+    id;
+    is_response = false;
+    rcode = 0;
+    questions = [ { qname; qtype = 1 } ];
+    answers = [];
+  }
+
+let response ~query:q addr =
+  let answers, rcode =
+    match (addr, q.questions) with
+    | Some a, { qname; _ } :: _ -> ([ { name = qname; ttl = 300; addr = a } ], 0)
+    | Some _, [] -> ([], 3)
+    | None, _ -> ([], 3)
+  in
+  { id = q.id; is_response = true; rcode; questions = q.questions; answers }
+
+let encode_name buf name =
+  (* "www.vu.nl" -> 3www2vu2nl0 *)
+  List.iter
+    (fun label ->
+      let n = String.length label in
+      if n > 0 && n < 64 then begin
+        Buffer.add_char buf (Char.chr n);
+        Buffer.add_string buf label
+      end)
+    (String.split_on_char '.' name);
+  Buffer.add_char buf '\000'
+
+let encode m =
+  let buf = Buffer.create 64 in
+  let u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  u16 m.id;
+  (* flags: QR, RD=1, RA (responses), rcode. *)
+  let flags =
+    (if m.is_response then 0x8000 else 0)
+    lor 0x0100
+    lor (if m.is_response then 0x0080 else 0)
+    lor (m.rcode land 0xf)
+  in
+  u16 flags;
+  u16 (List.length m.questions);
+  u16 (List.length m.answers);
+  u16 0 (* authority *);
+  u16 0 (* additional *);
+  List.iter
+    (fun q ->
+      encode_name buf q.qname;
+      u16 q.qtype;
+      u16 1 (* IN *))
+    m.questions;
+  List.iter
+    (fun a ->
+      encode_name buf a.name;
+      u16 1 (* A *);
+      u16 1 (* IN *);
+      u16 ((a.ttl lsr 16) land 0xffff);
+      u16 (a.ttl land 0xffff);
+      u16 4 (* rdlength *);
+      let v = Int32.to_int (Addr.Ipv4.to_int32 a.addr) land 0xffffffff in
+      u16 ((v lsr 16) land 0xffff);
+      u16 (v land 0xffff))
+    m.answers;
+  Buffer.to_bytes buf
+
+exception Malformed
+
+let decode b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  let u8 () =
+    if !pos >= len then raise Malformed;
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let hi = u8 () in
+    let lo = u8 () in
+    (hi lsl 8) lor lo
+  in
+  let name () =
+    let labels = ref [] in
+    let rec go () =
+      let n = u8 () in
+      if n = 0 then ()
+      else if n >= 64 then raise Malformed (* compression unsupported *)
+      else begin
+        if !pos + n > len then raise Malformed;
+        labels := Bytes.sub_string b !pos n :: !labels;
+        pos := !pos + n;
+        go ()
+      end
+    in
+    go ();
+    String.concat "." (List.rev !labels)
+  in
+  match
+    let id = u16 () in
+    let flags = u16 () in
+    let qd = u16 () in
+    let an = u16 () in
+    let _ns = u16 () in
+    let _ar = u16 () in
+    if qd > 8 || an > 8 then raise Malformed;
+    (* The parser is stateful: build each list left to right
+       explicitly. *)
+    let read_list n f =
+      let rec go i acc = if i = n then List.rev acc else go (i + 1) (f () :: acc) in
+      go 0 []
+    in
+    let questions =
+      read_list qd (fun () ->
+          let qname = name () in
+          let qtype = u16 () in
+          let _qclass = u16 () in
+          { qname; qtype })
+    in
+    let answers =
+      read_list an (fun () ->
+          let n = name () in
+          let rtype = u16 () in
+          let _rclass = u16 () in
+          (* Bind each half: argument evaluation order is unspecified. *)
+          let ttl_hi = u16 () in
+          let ttl_lo = u16 () in
+          let ttl = (ttl_hi lsl 16) lor ttl_lo in
+          let rdlen = u16 () in
+          if rtype = 1 && rdlen = 4 then begin
+            let a_hi = u16 () in
+            let a_lo = u16 () in
+            let v = (a_hi lsl 16) lor a_lo in
+            Some { name = n; ttl; addr = Addr.Ipv4.of_int32 (Int32.of_int v) }
+          end
+          else begin
+            if !pos + rdlen > len then raise Malformed;
+            pos := !pos + rdlen;
+            None
+          end)
+    in
+    {
+      id;
+      is_response = flags land 0x8000 <> 0;
+      rcode = flags land 0xf;
+      questions;
+      answers = List.filter_map Fun.id answers;
+    }
+  with
+  | m -> Some m
+  | exception Malformed -> None

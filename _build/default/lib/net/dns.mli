@@ -1,0 +1,34 @@
+(** A DNS message codec (queries and A-record responses).
+
+    The fault-injection campaign's workload includes "periodic DNS
+    queries" against a remote resolver (Section VI-B); this module
+    gives that traffic the real wire format (RFC 1035 header, QNAME
+    label encoding, IN/A question, A answers) so the resolver
+    application and the remote server exchange packets Wireshark would
+    parse. Compression pointers are not emitted and not accepted —
+    answers repeat the question name, as simple servers do. *)
+
+type question = { qname : string; qtype : int }
+(** [qtype] 1 = A. *)
+
+type answer = { name : string; ttl : int; addr : Addr.Ipv4.t }
+
+type message = {
+  id : int;
+  is_response : bool;
+  rcode : int;  (** 0 = NoError, 3 = NXDomain. *)
+  questions : question list;
+  answers : answer list;
+}
+
+val query : id:int -> string -> message
+(** A standard recursive A query. *)
+
+val response : query:message -> Addr.Ipv4.t option -> message
+(** Answer a query: an A record, or NXDomain when [None]. *)
+
+val encode : message -> Bytes.t
+
+val decode : Bytes.t -> message option
+(** [None] on truncated or malformed messages (bad label lengths,
+    counts pointing past the end, ...). *)

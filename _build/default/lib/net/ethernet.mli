@@ -1,0 +1,26 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Unknown of int
+
+type header = {
+  dst : Addr.Mac.t;
+  src : Addr.Mac.t;
+  ethertype : ethertype;
+}
+
+val header_size : int
+(** 14 bytes: two MACs and the ethertype. *)
+
+val ethertype_code : ethertype -> int
+
+val encode_header : header -> Bytes.t -> off:int -> unit
+(** Write the 14-byte header at [off]. *)
+
+val decode_header : Bytes.t -> off:int -> header option
+(** [None] when the buffer is too short. *)
+
+val frame : header -> payload:Bytes.t -> Bytes.t
+(** A complete frame: header followed by [payload]. *)
+
+val payload : Bytes.t -> Bytes.t option
+(** The bytes after the header, or [None] for a runt frame. *)

@@ -1,0 +1,40 @@
+type message =
+  | Echo_request of { ident : int; seq : int; data : Bytes.t }
+  | Echo_reply of { ident : int; seq : int; data : Bytes.t }
+  | Dest_unreachable of { code : int }
+
+let max_echo_payload = 65000
+
+let encode m =
+  let type_, code, rest_of_header, data =
+    match m with
+    | Echo_request { ident; seq; data } -> (8, 0, (ident lsl 16) lor seq, data)
+    | Echo_reply { ident; seq; data } -> (0, 0, (ident lsl 16) lor seq, data)
+    | Dest_unreachable { code } -> (3, code, 0, Bytes.empty)
+  in
+  let b = Bytes.create (8 + Bytes.length data) in
+  Wire.put_u8 b 0 type_;
+  Wire.put_u8 b 1 code;
+  Wire.put_u16 b 2 0 (* checksum placeholder *);
+  Wire.put_u32 b 4 rest_of_header;
+  Bytes.blit data 0 b 8 (Bytes.length data);
+  Wire.put_u16 b 2 (Checksum.bytes b ~off:0 ~len:(Bytes.length b));
+  b
+
+let decode b =
+  if Bytes.length b < 8 then None
+  else if not (Checksum.valid b ~off:0 ~len:(Bytes.length b)) then None
+  else
+    let data_len = Bytes.length b - 8 in
+    let ident = Wire.get_u16 b 4 and seq = Wire.get_u16 b 6 in
+    match Wire.get_u8 b 0 with
+    | 8 when data_len <= max_echo_payload ->
+        Some (Echo_request { ident; seq; data = Bytes.sub b 8 data_len })
+    | 0 when data_len <= max_echo_payload ->
+        Some (Echo_reply { ident; seq; data = Bytes.sub b 8 data_len })
+    | 3 -> Some (Dest_unreachable { code = Wire.get_u8 b 1 })
+    | _ -> None
+
+let reply_to = function
+  | Echo_request { ident; seq; data } -> Some (Echo_reply { ident; seq; data })
+  | Echo_reply _ | Dest_unreachable _ -> None

@@ -1,0 +1,25 @@
+(** ICMP echo (ping) and destination-unreachable messages.
+
+    The decoder enforces a maximum sane payload so that an oversized,
+    fragmented "ping of death" style datagram (Section V: the stack
+    "survives attacks similar to the famous ping of death") is rejected
+    at the protocol layer instead of overflowing a reassembly buffer. *)
+
+type message =
+  | Echo_request of { ident : int; seq : int; data : Bytes.t }
+  | Echo_reply of { ident : int; seq : int; data : Bytes.t }
+  | Dest_unreachable of { code : int }
+
+val max_echo_payload : int
+(** Largest echo payload [decode] accepts (the classic ping-of-death
+    datagram claims more than an IP packet can carry). *)
+
+val encode : message -> Bytes.t
+(** With a correct ICMP checksum. *)
+
+val decode : Bytes.t -> message option
+(** [None] on truncation, bad checksum, unknown type, or an oversized
+    echo payload. *)
+
+val reply_to : message -> message option
+(** The echo reply answering an echo request, if the message is one. *)

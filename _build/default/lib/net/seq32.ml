@@ -1,0 +1,16 @@
+type t = int
+
+let modulus = 1 lsl 32
+let norm s = s land (modulus - 1)
+let add s n = norm (s + n)
+
+let diff a b =
+  let d = norm (a - b) in
+  if d >= modulus / 2 then d - modulus else d
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+let gt a b = diff a b > 0
+let ge a b = diff a b >= 0
+let between s ~low ~high = le low s && lt s high
+let max a b = if ge a b then a else b

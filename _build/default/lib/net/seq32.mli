@@ -1,0 +1,25 @@
+(** Modulo-2{^32} sequence-number arithmetic (RFC 793 comparisons). *)
+
+type t = int
+(** A sequence number, always normalized into [0, 2{^32}). *)
+
+val norm : int -> t
+(** Reduce an int modulo 2{^32}. *)
+
+val add : t -> int -> t
+(** [add s n] is [s + n] mod 2{^32}; [n] may be negative. *)
+
+val diff : t -> t -> int
+(** [diff a b] is the signed distance [a - b] interpreted in the half
+    window: in [-2{^31}, 2{^31}). [diff a b > 0] iff [a] is after [b]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val between : t -> low:t -> high:t -> bool
+(** [between s ~low ~high]: [low <= s < high] in sequence space. *)
+
+val max : t -> t -> t
+(** The later of two sequence numbers. *)

@@ -1,0 +1,20 @@
+let put_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let put_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let put_u32 b off v =
+  put_u16 b off ((v lsr 16) land 0xffff);
+  put_u16 b (off + 2) (v land 0xffff)
+
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+let put_ip b off ip =
+  let v = Int32.to_int (Addr.Ipv4.to_int32 ip) land 0xffffffff in
+  put_u32 b off v
+
+let get_ip b off = Addr.Ipv4.of_int32 (Int32.of_int (get_u32 b off))

@@ -1,0 +1,14 @@
+(** Big-endian byte accessors shared by the header codecs. *)
+
+val put_u8 : Bytes.t -> int -> int -> unit
+val get_u8 : Bytes.t -> int -> int
+val put_u16 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val put_u32 : Bytes.t -> int -> int -> unit
+(** Writes the low 32 bits of the int. *)
+
+val get_u32 : Bytes.t -> int -> int
+(** Reads an unsigned 32-bit value into a non-negative int. *)
+
+val put_ip : Bytes.t -> int -> Addr.Ipv4.t -> unit
+val get_ip : Bytes.t -> int -> Addr.Ipv4.t

@@ -1,0 +1,1 @@
+lib/nic/e1000.ml: Bytes Link List Newt_channels Newt_net Newt_sim Offload Queue Ring

@@ -1,0 +1,1 @@
+lib/nic/e1000.mli: Bytes Link Newt_channels Newt_net Newt_sim

@@ -1,0 +1,1 @@
+lib/nic/link.ml: Bytes List Newt_sim

@@ -1,0 +1,1 @@
+lib/nic/link.mli: Bytes Newt_sim

@@ -1,0 +1,1 @@
+lib/nic/offload.ml: Bytes List Newt_net

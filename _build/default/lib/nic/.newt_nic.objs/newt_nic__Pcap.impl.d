@@ -1,0 +1,1 @@
+lib/nic/pcap.ml: Buffer Bytes Char Fun Link List Newt_sim

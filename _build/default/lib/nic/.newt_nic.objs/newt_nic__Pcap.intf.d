@@ -1,0 +1,1 @@
+lib/nic/pcap.mli: Bytes Link Newt_sim

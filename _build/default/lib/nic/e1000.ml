@@ -1,0 +1,209 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Registry = Newt_channels.Registry
+module Rich_ptr = Newt_channels.Rich_ptr
+module Addr = Newt_net.Addr
+
+type tx_desc = {
+  chain : Rich_ptr.chain;
+  csum_offload : bool;
+  tso : bool;
+  tso_mss : int;
+  tx_cookie : int;
+}
+
+type rx_desc = { buf : Rich_ptr.t; rx_cookie : int }
+type rx_completion = { rx_buf : Rich_ptr.t; len : int; cookie : int }
+type irq_reason = Rx_done | Tx_done | Link_change
+
+let dummy_tx =
+  { chain = []; csum_offload = false; tso = false; tso_mss = 0; tx_cookie = -1 }
+
+let dummy_rx =
+  { buf = { Rich_ptr.pool = -1; slot = -1; off = 0; len = 0; gen = -1 }; rx_cookie = -1 }
+
+type t = {
+  engine : Engine.t;
+  registry : Registry.t;
+  link : Link.t;
+  side : Link.side;
+  mac : Addr.Mac.t;
+  tx_ring : tx_desc Ring.t;
+  rx_ring : rx_desc Ring.t;
+  irq_delay : Time.cycles;
+  reset_time : Time.cycles;
+  mutable irq_handler : irq_reason -> unit;
+  mutable rx_writer : (Rich_ptr.t -> Bytes.t -> unit) option;
+  mutable irq_scheduled : bool;
+  mutable pending_irqs : irq_reason list;
+  mutable tx_active : bool;
+  mutable unsafe : bool;
+  mutable misconfigured : bool;
+  mutable link_admin_up : bool;
+  rx_lens : int Queue.t;  (* frame lengths, in completion order *)
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable rx_no_buffer : int;
+}
+
+let raise_irq t reason =
+  if not (List.mem reason t.pending_irqs) then
+    t.pending_irqs <- reason :: t.pending_irqs;
+  if not t.irq_scheduled then begin
+    t.irq_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine t.irq_delay (fun () ->
+           t.irq_scheduled <- false;
+           let irqs = List.rev t.pending_irqs in
+           t.pending_irqs <- [];
+           List.iter t.irq_handler irqs))
+  end
+
+let on_rx t frame =
+  if (not t.unsafe) && not t.misconfigured then begin
+    match Ring.device_take t.rx_ring with
+    | None -> t.rx_no_buffer <- t.rx_no_buffer + 1
+    | Some desc -> (
+        match t.rx_writer with
+        | None -> t.rx_no_buffer <- t.rx_no_buffer + 1
+        | Some write ->
+            write desc.buf frame;
+            Queue.push (Bytes.length frame) t.rx_lens;
+            t.rx_packets <- t.rx_packets + 1;
+            Ring.device_complete t.rx_ring;
+            raise_irq t Rx_done)
+  end
+
+let create engine ~registry ~link ~side ~mac ?(ring_size = 256) ?irq_delay
+    ?reset_time () =
+  let irq_delay =
+    match irq_delay with Some d -> d | None -> Time.of_micros 10.0
+  in
+  let reset_time =
+    match reset_time with Some r -> r | None -> Time.of_seconds 1.2
+  in
+  let t =
+    {
+      engine;
+      registry;
+      link;
+      side;
+      mac;
+      tx_ring = Ring.create ~size:ring_size ~dummy:dummy_tx;
+      rx_ring = Ring.create ~size:ring_size ~dummy:dummy_rx;
+      irq_delay;
+      reset_time;
+      irq_handler = (fun _ -> ());
+      rx_writer = None;
+      irq_scheduled = false;
+      pending_irqs = [];
+      tx_active = false;
+      unsafe = false;
+      misconfigured = false;
+      link_admin_up = true;
+      rx_lens = Queue.create ();
+      tx_packets = 0;
+      rx_packets = 0;
+      rx_no_buffer = 0;
+    }
+  in
+  Link.attach link side (fun frame -> on_rx t frame);
+  t
+
+let mac t = t.mac
+let set_irq_handler t f = t.irq_handler <- f
+let set_rx_writer t f = t.rx_writer <- Some f
+
+(* The TX engine: one descriptor at a time; a descriptor may expand to
+   several wire frames under TSO. Frames refused by the link (queue
+   full) are retried after roughly one frame time. *)
+let rec tx_pump t =
+  if t.unsafe || not t.link_admin_up then t.tx_active <- false
+  else
+    match Ring.device_take t.tx_ring with
+    | None -> t.tx_active <- false
+    | Some desc ->
+        let frames =
+          match Registry.gather t.registry desc.chain with
+          | frame ->
+              if desc.tso then Offload.tso_split frame ~mss:desc.tso_mss
+              else begin
+                if desc.csum_offload then ignore (Offload.finalize_l4_checksum frame);
+                [ frame ]
+              end
+          | exception (Registry.Unknown_pool _ | Newt_channels.Pool.Stale_pointer _)
+            ->
+              (* The buffers died under the device (owner crash mid
+                 flight): drop the frame, complete the descriptor. *)
+              []
+        in
+        send_frames t desc frames
+
+and send_frames t desc = function
+  | [] ->
+      Ring.device_complete t.tx_ring;
+      raise_irq t Tx_done;
+      tx_pump t
+  | frame :: rest ->
+      if Link.transmit t.link ~from:t.side frame then begin
+        t.tx_packets <- t.tx_packets + 1;
+        send_frames t desc rest
+      end
+      else begin
+        (* Link queue full or down. If down, drop; if full, retry. *)
+        if Link.is_up t.link then
+          ignore
+            (Engine.schedule t.engine (Time.of_micros 12.0) (fun () ->
+                 send_frames t desc (frame :: rest)))
+        else send_frames t desc rest
+      end
+
+let post_tx t desc = Ring.post t.tx_ring desc
+
+let doorbell_tx t =
+  if (not t.tx_active) && (not t.unsafe) && t.link_admin_up then begin
+    t.tx_active <- true;
+    tx_pump t
+  end
+
+let post_rx t desc = Ring.post t.rx_ring desc
+
+let reap_tx t = Ring.reap t.tx_ring
+
+let reap_rx t =
+  match Ring.reap t.rx_ring with
+  | None -> None
+  | Some desc ->
+      let len =
+        match Queue.take_opt t.rx_lens with
+        | Some l -> l
+        | None -> desc.buf.Rich_ptr.len
+      in
+      Some { rx_buf = desc.buf; len; cookie = desc.rx_cookie }
+
+let tx_ring_free t = Ring.free_slots t.tx_ring
+let rx_ring_free t = Ring.free_slots t.rx_ring
+
+let mark_unsafe t = t.unsafe <- true
+let is_unsafe t = t.unsafe
+let misconfigure t = t.misconfigured <- true
+
+let reset t =
+  ignore (Ring.clear t.tx_ring);
+  ignore (Ring.clear t.rx_ring);
+  Queue.clear t.rx_lens;
+  t.tx_active <- false;
+  t.unsafe <- false;
+  t.misconfigured <- false;
+  t.link_admin_up <- false;
+  Link.set_up t.link false;
+  ignore
+    (Engine.schedule t.engine t.reset_time (fun () ->
+         t.link_admin_up <- true;
+         Link.set_up t.link true;
+         raise_irq t Link_change))
+
+let link_up t = t.link_admin_up && Link.is_up t.link
+let tx_packets t = t.tx_packets
+let rx_packets t = t.rx_packets
+let rx_no_buffer t = t.rx_no_buffer

@@ -1,0 +1,108 @@
+(** An Intel PRO/1000-style gigabit Ethernet device model.
+
+    The device owns a TX and an RX descriptor ring, performs
+    scatter-gather DMA through the machine's pool {!Newt_channels.Registry},
+    applies checksum offload and TSO on transmit, serializes frames onto
+    a {!Link}, fills posted RX buffers on receive, and raises moderated
+    interrupts.
+
+    Recovery-relevant behaviour from the paper (Section V-D):
+    - the adapter keeps shadow copies of the ring descriptors, so after
+      the owner of the rings crashes the device {b must be reset} before
+      new rings can be armed ({!mark_unsafe} / {!reset}); resetting takes
+      the link down until auto-negotiation completes — the visible gap
+      in Figure 4;
+    - TX completions are reported per descriptor, and the driver reaps
+      them so the IP server can free pool buffers only after the
+      hardware is done with them. *)
+
+type tx_desc = {
+  chain : Newt_channels.Rich_ptr.chain;  (** The frame, as pool chunks. *)
+  csum_offload : bool;
+  tso : bool;
+  tso_mss : int;
+  tx_cookie : int;  (** Driver tag, returned on completion. *)
+}
+
+type rx_desc = {
+  buf : Newt_channels.Rich_ptr.t;  (** Empty buffer to fill. *)
+  rx_cookie : int;
+}
+
+type rx_completion = { rx_buf : Newt_channels.Rich_ptr.t; len : int; cookie : int }
+
+type irq_reason = Rx_done | Tx_done | Link_change
+
+type t
+
+val create :
+  Newt_sim.Engine.t ->
+  registry:Newt_channels.Registry.t ->
+  link:Link.t ->
+  side:Link.side ->
+  mac:Newt_net.Addr.Mac.t ->
+  ?ring_size:int ->
+  ?irq_delay:Newt_sim.Time.cycles ->
+  ?reset_time:Newt_sim.Time.cycles ->
+  unit ->
+  t
+(** Defaults: 256-descriptor rings, 10 us interrupt moderation, 1.2 s
+    reset (link retraining) time. The device attaches itself to [side]
+    of [link]. *)
+
+val mac : t -> Newt_net.Addr.Mac.t
+
+val set_irq_handler : t -> (irq_reason -> unit) -> unit
+(** The wire to the kernel, which converts interrupts into messages for
+    the driver (Section V-B). *)
+
+val set_rx_writer : t -> (Newt_channels.Rich_ptr.t -> Bytes.t -> unit) -> unit
+(** Install the DMA-write capability for RX buffers. The driver obtains
+    it from the owner of the receive pool (the IP server). *)
+
+(** {1 Driver-facing register interface} *)
+
+val post_tx : t -> tx_desc -> bool
+(** Write a TX descriptor; [false] when the ring is full. *)
+
+val doorbell_tx : t -> unit
+(** Advance the TX tail: the device starts (or continues) processing. *)
+
+val post_rx : t -> rx_desc -> bool
+(** Give the device an empty receive buffer. *)
+
+val reap_tx : t -> tx_desc option
+(** Collect one TX completion (the frame's buffers may now be freed). *)
+
+val reap_rx : t -> rx_completion option
+(** Collect one filled receive buffer. *)
+
+val tx_ring_free : t -> int
+val rx_ring_free : t -> int
+
+(** {1 Faults and reset} *)
+
+val mark_unsafe : t -> unit
+(** The ring owner crashed: the device's shadow descriptor state is
+    unreliable. Processing stops until {!reset}. *)
+
+val is_unsafe : t -> bool
+
+val misconfigure : t -> unit
+(** A buggy driver programmed the device wrongly: it silently stops
+    receiving (the fault-injection campaign's "significant slowdown but
+    no crash" failure mode, Section VI-B). Cleared by {!reset}. *)
+
+val reset : t -> unit
+(** Full device reset: drops ring contents, takes the link down, and
+    brings it back after the reset time. Raises a [Link_change]
+    interrupt when the link returns. *)
+
+val link_up : t -> bool
+
+(** {1 Counters} *)
+
+val tx_packets : t -> int
+val rx_packets : t -> int
+val rx_no_buffer : t -> int
+(** Frames dropped because no RX descriptor was posted. *)

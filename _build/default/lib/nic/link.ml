@@ -1,0 +1,111 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+
+type side = Left | Right
+
+let other = function Left -> Right | Right -> Left
+
+type direction = {
+  mutable busy_until : Time.cycles;
+  mutable queued : int;
+  mutable tx_frames : int;
+  mutable receiver : Bytes.t -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  cycles_per_byte : float;
+  propagation : Time.cycles;
+  queue_frames : int;
+  left_to_right : direction;
+  right_to_left : direction;
+  mutable up : bool;
+  mutable taps : (at:Time.cycles -> dir:side -> Bytes.t -> unit) list;
+  mutable dropped : int;
+  mutable bytes_carried : int;
+  mutable epoch : int;
+      (* Bumped when the link goes down: deliveries scheduled in an
+         older epoch are suppressed (flushed queues). *)
+}
+
+let create engine ?(bandwidth_bps = 1_000_000_000) ?propagation ?(queue_frames = 256) () =
+  let propagation =
+    match propagation with Some p -> p | None -> Time.of_micros 2.0
+  in
+  let mk () =
+    { busy_until = 0; queued = 0; tx_frames = 0; receiver = (fun _ -> ()) }
+  in
+  {
+    engine;
+    cycles_per_byte =
+      float_of_int Time.cycles_per_second *. 8.0 /. float_of_int bandwidth_bps;
+    propagation;
+    queue_frames;
+    left_to_right = mk ();
+    right_to_left = mk ();
+    up = true;
+    taps = [];
+    dropped = 0;
+    bytes_carried = 0;
+    epoch = 0;
+  }
+
+let dir t = function Left -> t.left_to_right | Right -> t.right_to_left
+
+let attach t side receiver = (dir t (other side)).receiver <- receiver
+(* [attach t Left f]: Left's receive callback serves the Right->Left
+   direction. *)
+
+let transmit t ~from frame =
+  if not t.up then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    let d = dir t from in
+    if d.queued >= t.queue_frames then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      let now = Engine.now t.engine in
+      let len = Bytes.length frame in
+      let serialization =
+        int_of_float (ceil (float_of_int len *. t.cycles_per_byte))
+      in
+      let start = max now d.busy_until in
+      let done_at = start + serialization in
+      d.busy_until <- done_at;
+      d.queued <- d.queued + 1;
+      let epoch = t.epoch in
+      ignore
+        (Engine.schedule_at t.engine (done_at + t.propagation) (fun () ->
+             d.queued <- d.queued - 1;
+             if t.up && epoch = t.epoch then begin
+               d.tx_frames <- d.tx_frames + 1;
+               t.bytes_carried <- t.bytes_carried + len;
+               List.iter
+                 (fun tap -> tap ~at:(Engine.now t.engine) ~dir:from frame)
+                 t.taps;
+               d.receiver frame
+             end
+             else t.dropped <- t.dropped + 1));
+      true
+    end
+  end
+
+let tap t f = t.taps <- t.taps @ [ f ]
+
+let set_up t up =
+  if t.up && not up then begin
+    t.epoch <- t.epoch + 1;
+    let now = Engine.now t.engine in
+    t.left_to_right.busy_until <- now;
+    t.right_to_left.busy_until <- now
+  end;
+  t.up <- up
+
+let is_up t = t.up
+let tx_frames t ~from = (dir t from).tx_frames
+let dropped t = t.dropped
+let bytes_carried t = t.bytes_carried

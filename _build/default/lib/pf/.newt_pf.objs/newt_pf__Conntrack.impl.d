@@ -1,0 +1,1 @@
+lib/pf/conntrack.ml: Hashtbl List Newt_net Rule

@@ -1,0 +1,1 @@
+lib/pf/conntrack.mli: Newt_net Rule

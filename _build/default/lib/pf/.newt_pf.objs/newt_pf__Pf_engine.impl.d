@@ -1,0 +1,1 @@
+lib/pf/pf_engine.ml: Bytes Conntrack List Newt_net Newt_sim Option Rule

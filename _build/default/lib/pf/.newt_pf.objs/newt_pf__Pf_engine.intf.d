@@ -1,0 +1,1 @@
+lib/pf/pf_engine.mli: Bytes Conntrack Newt_sim Rule

@@ -1,0 +1,1 @@
+lib/pf/rule.ml: Format Newt_net Printf

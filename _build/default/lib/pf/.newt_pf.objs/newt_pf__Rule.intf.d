@@ -1,0 +1,1 @@
+lib/pf/rule.mli: Format Newt_net

@@ -1,0 +1,58 @@
+module Addr = Newt_net.Addr
+
+type proto = Ct_tcp | Ct_udp
+
+type flow = {
+  proto : proto;
+  local_ip : Addr.Ipv4.t;
+  local_port : int;
+  remote_ip : Addr.Ipv4.t;
+  remote_port : int;
+}
+
+type t = { table : (flow, unit) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+let insert t flow = Hashtbl.replace t.table flow ()
+let mem t flow = Hashtbl.mem t.table flow
+let remove t flow = Hashtbl.remove t.table flow
+let size t = Hashtbl.length t.table
+
+let export t =
+  Hashtbl.fold (fun f () acc -> f :: acc) t.table [] |> List.sort compare
+
+let import t flows =
+  Hashtbl.reset t.table;
+  List.iter (insert t) flows
+
+let clear t = Hashtbl.reset t.table
+
+let flow_of_packet (p : Rule.packet) =
+  let proto =
+    match p.Rule.proto with
+    | `Tcp -> Some Ct_tcp
+    | `Udp -> Some Ct_udp
+    | `Icmp | `Other -> None
+  in
+  match proto with
+  | None -> None
+  | Some proto -> (
+      match p.Rule.dir with
+      | `Out ->
+          Some
+            {
+              proto;
+              local_ip = p.Rule.src_ip;
+              local_port = p.Rule.src_port;
+              remote_ip = p.Rule.dst_ip;
+              remote_port = p.Rule.dst_port;
+            }
+      | `In ->
+          Some
+            {
+              proto;
+              local_ip = p.Rule.dst_ip;
+              local_port = p.Rule.dst_port;
+              remote_ip = p.Rule.src_ip;
+              remote_port = p.Rule.src_port;
+            })

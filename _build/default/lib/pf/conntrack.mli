@@ -1,0 +1,46 @@
+(** Connection tracking: the packet filter's dynamic state.
+
+    The paper calls this out as the interesting recovery case
+    (Section V): the static ruleset is trivially restorable from the
+    storage server, but "when a firewall blocks incoming traffic it must
+    not stop data on established outgoing TCP connections after a
+    restart" — so after a crash the filter rebuilds this table by
+    querying the TCP and UDP servers ({!import}). *)
+
+type proto = Ct_tcp | Ct_udp
+
+type flow = {
+  proto : proto;
+  local_ip : Newt_net.Addr.Ipv4.t;
+  local_port : int;
+  remote_ip : Newt_net.Addr.Ipv4.t;
+  remote_port : int;
+}
+
+type t
+
+val create : unit -> t
+
+val insert : t -> flow -> unit
+
+val mem : t -> flow -> bool
+(** Looks the flow up in both orientations: a tracked outgoing flow also
+    admits its incoming replies. *)
+
+val remove : t -> flow -> unit
+
+val size : t -> int
+
+val export : t -> flow list
+(** All tracked flows (deterministic order). *)
+
+val import : t -> flow list -> unit
+(** Replace the table's contents — crash recovery from the transport
+    servers' live state. *)
+
+val clear : t -> unit
+
+val flow_of_packet : Rule.packet -> flow option
+(** The tracking key of a packet ([None] for untrackable protocols).
+    Outgoing packets are keyed (src=local); incoming ones are flipped so
+    both directions of a flow share one entry. *)

@@ -1,0 +1,93 @@
+module Addr = Newt_net.Addr
+module Wire = Newt_net.Wire
+
+type t = { mutable ruleset : Rule.t list; ct : Conntrack.t }
+
+type verdict = { action : Rule.action; rules_walked : int; state_hit : bool }
+
+let create ?(rules = [ Rule.pass_all ]) () = { ruleset = rules; ct = Conntrack.create () }
+
+let set_rules t rules = t.ruleset <- rules
+let rules t = t.ruleset
+let conntrack t = t.ct
+
+let filter t pkt =
+  let flow = Conntrack.flow_of_packet pkt in
+  let state_hit = match flow with Some f -> Conntrack.mem t.ct f | None -> false in
+  if state_hit then { action = Rule.Pass; rules_walked = 0; state_hit = true }
+  else begin
+    let rec walk rules walked last_match =
+      match rules with
+      | [] -> (last_match, walked)
+      | r :: rest ->
+          let walked = walked + 1 in
+          if Rule.matches r pkt then
+            if r.Rule.quick then (Some r, walked) else walk rest walked (Some r)
+          else walk rest walked last_match
+    in
+    let matched, rules_walked = walk t.ruleset 0 None in
+    match matched with
+    | None -> { action = Rule.Pass; rules_walked; state_hit = false }
+    | Some r ->
+        if r.Rule.action = Rule.Pass && r.Rule.keep_state then
+          Option.iter (Conntrack.insert t.ct) flow;
+        { action = r.Rule.action; rules_walked; state_hit = false }
+  end
+
+let classify ~dir b =
+  if Bytes.length b < 20 || Wire.get_u8 b 0 <> 0x45 then None
+  else begin
+    let proto_code = Wire.get_u8 b 9 in
+    let src_ip = Wire.get_ip b 12 and dst_ip = Wire.get_ip b 16 in
+    let l4 = 20 in
+    let proto, src_port, dst_port =
+      match proto_code with
+      | 6 when Bytes.length b >= l4 + 4 ->
+          (`Tcp, Wire.get_u16 b l4, Wire.get_u16 b (l4 + 2))
+      | 17 when Bytes.length b >= l4 + 4 ->
+          (`Udp, Wire.get_u16 b l4, Wire.get_u16 b (l4 + 2))
+      | 1 -> (`Icmp, 0, 0)
+      | _ -> (`Other, 0, 0)
+    in
+    Some { Rule.dir; proto; src_ip; dst_ip; src_port; dst_port }
+  end
+
+let export_rules t = t.ruleset
+let export_states t = Conntrack.export t.ct
+
+let restore t ~rules ~states =
+  t.ruleset <- rules;
+  Conntrack.import t.ct states
+
+let generate_ruleset rng ~n ~protect_port =
+  assert (n >= 2);
+  let noise =
+    List.init (n - 2) (fun _ ->
+        (* Block rules over the 198.18.0.0/15 benchmark space: real
+           filtering work that never matches the measured flow. *)
+        let octet () = Newt_sim.Rng.int rng 256 in
+        let prefix = Addr.Ipv4.v (198 + Newt_sim.Rng.int rng 2) (octet ()) (octet ()) 0 in
+        {
+          Rule.action = Rule.Block;
+          direction = Rule.Dir_both;
+          proto = (if Newt_sim.Rng.bool rng then Rule.Match_tcp else Rule.Match_udp);
+          src = Rule.Net { prefix; bits = 24 };
+          src_port = Rule.Any_port;
+          dst = Rule.Any_addr;
+          dst_port = Rule.Port (1 + Newt_sim.Rng.int rng 65535);
+          (* Quick, as firewall drop rules usually are — and necessary
+             under last-match-wins with a trailing pass. *)
+          quick = true;
+          keep_state = false;
+        })
+  in
+  let protect =
+    {
+      Rule.pass_all with
+      Rule.proto = Rule.Match_tcp;
+      dst_port = Rule.Port protect_port;
+      quick = true;
+      keep_state = true;
+    }
+  in
+  noise @ [ protect; { Rule.pass_all with Rule.quick = false } ]

@@ -1,0 +1,104 @@
+module Addr = Newt_net.Addr
+
+type action = Pass | Block
+type direction = Dir_in | Dir_out | Dir_both
+type proto_match = Any_proto | Match_tcp | Match_udp | Match_icmp
+
+type addr_match = Any_addr | Net of { prefix : Addr.Ipv4.t; bits : int }
+type port_match = Any_port | Port of int | Port_range of int * int
+
+type t = {
+  action : action;
+  direction : direction;
+  proto : proto_match;
+  src : addr_match;
+  src_port : port_match;
+  dst : addr_match;
+  dst_port : port_match;
+  quick : bool;
+  keep_state : bool;
+}
+
+let pass_all =
+  {
+    action = Pass;
+    direction = Dir_both;
+    proto = Any_proto;
+    src = Any_addr;
+    src_port = Any_port;
+    dst = Any_addr;
+    dst_port = Any_port;
+    quick = true;
+    keep_state = true;
+  }
+
+let block_all = { pass_all with action = Block; keep_state = false }
+
+type packet = {
+  dir : [ `In | `Out ];
+  proto : [ `Tcp | `Udp | `Icmp | `Other ];
+  src_ip : Addr.Ipv4.t;
+  dst_ip : Addr.Ipv4.t;
+  src_port : int;
+  dst_port : int;
+}
+
+let dir_matches rule_dir pkt_dir =
+  match (rule_dir, pkt_dir) with
+  | Dir_both, _ -> true
+  | Dir_in, `In -> true
+  | Dir_out, `Out -> true
+  | Dir_in, `Out | Dir_out, `In -> false
+
+let proto_matches rule_proto pkt_proto =
+  match (rule_proto, pkt_proto) with
+  | Any_proto, _ -> true
+  | Match_tcp, `Tcp -> true
+  | Match_udp, `Udp -> true
+  | Match_icmp, `Icmp -> true
+  | (Match_tcp | Match_udp | Match_icmp), _ -> false
+
+let addr_matches m a =
+  match m with
+  | Any_addr -> true
+  | Net { prefix; bits } -> Addr.Ipv4.in_prefix ~prefix ~bits a
+
+let port_matches m p =
+  match m with
+  | Any_port -> true
+  | Port q -> p = q
+  | Port_range (lo, hi) -> p >= lo && p <= hi
+
+let matches r pkt =
+  dir_matches r.direction pkt.dir
+  && proto_matches r.proto pkt.proto
+  && addr_matches r.src pkt.src_ip
+  && port_matches r.src_port pkt.src_port
+  && addr_matches r.dst pkt.dst_ip
+  && port_matches r.dst_port pkt.dst_port
+
+let pp ppf r =
+  let action = match r.action with Pass -> "pass" | Block -> "block" in
+  let dir =
+    match r.direction with Dir_in -> "in" | Dir_out -> "out" | Dir_both -> "any"
+  in
+  let proto =
+    match r.proto with
+    | Any_proto -> "any"
+    | Match_tcp -> "tcp"
+    | Match_udp -> "udp"
+    | Match_icmp -> "icmp"
+  in
+  let addr = function
+    | Any_addr -> "any"
+    | Net { prefix; bits } -> Printf.sprintf "%s/%d" (Addr.Ipv4.to_string prefix) bits
+  in
+  let port = function
+    | Any_port -> ""
+    | Port p -> Printf.sprintf " port %d" p
+    | Port_range (lo, hi) -> Printf.sprintf " port %d:%d" lo hi
+  in
+  Format.fprintf ppf "%s%s %s proto %s from %s%s to %s%s%s" action
+    (if r.quick then " quick" else "")
+    dir proto (addr r.src) (port r.src_port) (addr r.dst) (port r.dst_port)
+    (if r.keep_state then " keep state" else "")

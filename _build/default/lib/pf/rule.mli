@@ -1,0 +1,50 @@
+(** Packet-filter rules, in the style of NetBSD PF (the filter the
+    paper isolates into its own server, Section V).
+
+    Matching follows PF semantics: rules are evaluated in order and the
+    {e last} matching rule decides, unless a matching rule is [quick],
+    which ends evaluation immediately. A [keep_state] pass rule creates
+    a connection-tracking entry so later packets of the flow bypass the
+    ruleset. *)
+
+type action = Pass | Block
+
+type direction = Dir_in | Dir_out | Dir_both
+
+type proto_match = Any_proto | Match_tcp | Match_udp | Match_icmp
+
+type addr_match =
+  | Any_addr
+  | Net of { prefix : Newt_net.Addr.Ipv4.t; bits : int }
+
+type port_match = Any_port | Port of int | Port_range of int * int
+
+type t = {
+  action : action;
+  direction : direction;
+  proto : proto_match;
+  src : addr_match;
+  src_port : port_match;
+  dst : addr_match;
+  dst_port : port_match;
+  quick : bool;
+  keep_state : bool;
+}
+
+val pass_all : t
+(** [pass quick keep state from any to any]. *)
+
+val block_all : t
+
+type packet = {
+  dir : [ `In | `Out ];
+  proto : [ `Tcp | `Udp | `Icmp | `Other ];
+  src_ip : Newt_net.Addr.Ipv4.t;
+  dst_ip : Newt_net.Addr.Ipv4.t;
+  src_port : int;  (** 0 when the protocol has no ports. *)
+  dst_port : int;
+}
+
+val matches : t -> packet -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/reliability/fault_inject.ml: List Newt_sim

@@ -1,0 +1,1 @@
+lib/reliability/fault_inject.mli: Newt_sim

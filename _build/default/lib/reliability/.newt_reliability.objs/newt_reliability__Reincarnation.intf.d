@@ -1,0 +1,1 @@
+lib/reliability/reincarnation.mli: Newt_hw Newt_sim Newt_stack

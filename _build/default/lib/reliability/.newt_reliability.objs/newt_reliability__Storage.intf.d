@@ -1,0 +1,1 @@
+lib/reliability/storage.mli:

@@ -1,0 +1,92 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Machine = Newt_hw.Machine
+module Proc = Newt_stack.Proc
+
+type watched = {
+  proc : Proc.t;
+  notify_crash : (unit -> unit) list;
+  notify_restart : (unit -> unit) list;
+  mutable restarting : bool;
+  mutable restarts : int;
+}
+
+type t = {
+  machine : Machine.t;
+  heartbeat_period : Time.cycles;
+  restart_delay : Time.cycles;
+  mutable watched : watched list;
+  mutable total_restarts : int;
+}
+
+let create machine ?heartbeat_period ?restart_delay () =
+  let heartbeat_period =
+    match heartbeat_period with Some p -> p | None -> Time.of_seconds 0.1
+  in
+  let restart_delay =
+    match restart_delay with Some d -> d | None -> Time.of_seconds 0.12
+  in
+  { machine; heartbeat_period; restart_delay; watched = []; total_restarts = 0 }
+
+let watch t proc ?(notify_crash = []) ?(notify_restart = []) () =
+  t.watched <-
+    t.watched
+    @ [ { proc; notify_crash; notify_restart; restarting = false; restarts = 0 } ]
+
+let engine t = Machine.engine t.machine
+
+let recover t w =
+  if not w.restarting then begin
+    w.restarting <- true;
+    (* Neighbours learn about the death first: channels to the corpse
+       are invalid, outstanding requests must be aborted. *)
+    List.iter (fun f -> f ()) w.notify_crash;
+    ignore
+      (Engine.schedule (engine t) t.restart_delay (fun () ->
+           w.restarting <- false;
+           w.restarts <- w.restarts + 1;
+           t.total_restarts <- t.total_restarts + 1;
+           (* The new incarnation runs its own recovery procedure
+              (restore state from storage, revive channels)... *)
+           Proc.restart w.proc;
+           (* ... and then the neighbours re-export, reattach and
+              resubmit (Section IV-D). *)
+           List.iter (fun f -> f ()) w.notify_restart))
+  end
+
+let kill t proc =
+  match List.find_opt (fun w -> w.proc == proc) t.watched with
+  | None -> ()
+  | Some w ->
+      if Proc.alive proc then Proc.crash proc;
+      (* The parent receives the signal immediately. *)
+      recover t w
+
+let rec heartbeat_round t =
+  ignore
+    (Engine.schedule (engine t) t.heartbeat_period (fun () ->
+         List.iter
+           (fun w ->
+             if not w.restarting then
+               if not (Proc.alive w.proc) then
+                 (* Died without us noticing (shouldn't happen — the
+                    signal path handles it — but belt and braces). *)
+                 recover t w
+               else if not (Proc.responsive w.proc) then begin
+                 (* Hung: no heartbeat reply. Reset it. *)
+                 Proc.crash w.proc;
+                 recover t w
+               end)
+           t.watched;
+         heartbeat_round t))
+
+let start t = heartbeat_round t
+
+let restarts t = t.total_restarts
+
+let restarts_of t proc =
+  match List.find_opt (fun w -> w.proc == proc) t.watched with
+  | Some w -> w.restarts
+  | None -> 0
+
+let alive_check t = List.for_all (fun w -> Proc.responsive w.proc) t.watched

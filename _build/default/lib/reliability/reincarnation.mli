@@ -1,0 +1,53 @@
+(** The reincarnation server.
+
+    "All system servers are children of the same reincarnation server
+    which receives a signal when a server crashes, or resets it when it
+    stops responding to periodic heartbeats" (Section V-D). This module
+    watches a set of {!Newt_stack.Proc} servers:
+
+    - a crash is noticed immediately (the parent gets the signal) and a
+      restart is scheduled after the component reload time;
+    - a hang is noticed at the next heartbeat round (the probe goes
+      unanswered) and handled by a reset: crash-then-restart.
+
+    Restarting runs, in order: the component's crash-notification hooks
+    at its neighbours, the process restart ({!Newt_stack.Proc.restart},
+    which runs the component's own recovery procedure), and the
+    neighbours' restart hooks — the dependency dance of Section IV-D. *)
+
+type t
+
+val create :
+  Newt_hw.Machine.t ->
+  ?heartbeat_period:Newt_sim.Time.cycles ->
+  ?restart_delay:Newt_sim.Time.cycles ->
+  unit ->
+  t
+(** Defaults: 100 ms heartbeats, 120 ms restart (reload + reinit). *)
+
+val watch :
+  t ->
+  Newt_stack.Proc.t ->
+  ?notify_crash:(unit -> unit) list ->
+  ?notify_restart:(unit -> unit) list ->
+  unit ->
+  unit
+(** Supervise a server. [notify_crash] hooks run right after the crash
+    is detected (neighbours abort in-flight requests); [notify_restart]
+    hooks run right after the component's own recovery (neighbours
+    resubmit). *)
+
+val start : t -> unit
+(** Begin the heartbeat rounds. *)
+
+val kill : t -> Newt_stack.Proc.t -> unit
+(** Inject a crash (as the fault-injection tool does) and let the
+    supervision machinery recover it. *)
+
+val restarts : t -> int
+(** Total restarts performed. *)
+
+val restarts_of : t -> Newt_stack.Proc.t -> int
+
+val alive_check : t -> bool
+(** All supervised servers currently responsive. *)

@@ -1,0 +1,12 @@
+type t = { table : (string * string, string) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+let put t ~owner ~key v = Hashtbl.replace t.table (owner, key) v
+let get t ~owner ~key = Hashtbl.find_opt t.table (owner, key)
+let delete t ~owner ~key = Hashtbl.remove t.table (owner, key)
+
+let owner_view t ~owner =
+  ((fun key v -> put t ~owner ~key v), fun key -> get t ~owner ~key)
+
+let crash t = Hashtbl.reset t.table
+let entries t = Hashtbl.length t.table

@@ -1,0 +1,29 @@
+(** The storage server.
+
+    "A transparent restart is not possible unless we can preserve the
+    server's state and we therefore run a storage process dedicated to
+    storing interesting state of other components as key and value
+    pairs" (Section V-D). Each component saves under its own namespace;
+    restarted components ask for their old state back.
+
+    The storage process can itself crash: its contents vanish and
+    "every other server has to store its state again" — {!crash}
+    empties the store and the reincarnation layer then asks components
+    to re-persist. *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> owner:string -> key:string -> string -> unit
+val get : t -> owner:string -> key:string -> string option
+val delete : t -> owner:string -> key:string -> unit
+
+val owner_view :
+  t -> owner:string -> (string -> string -> unit) * (string -> string option)
+(** The (save, load) closure pair handed to a component at creation. *)
+
+val crash : t -> unit
+(** Lose everything. *)
+
+val entries : t -> int

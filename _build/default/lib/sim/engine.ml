@@ -1,0 +1,64 @@
+type handle = { mutable live : bool; thunk : unit -> unit; counter : int ref }
+
+type t = {
+  mutable clock : Time.cycles;
+  queue : handle Eventq.t;
+  root_rng : Rng.t;
+  live_events : int ref;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0; queue = Eventq.create (); root_rng = Rng.create seed; live_events = ref 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t at f =
+  assert (at >= t.clock);
+  let h = { live = true; thunk = f; counter = t.live_events } in
+  Eventq.push t.queue at h;
+  incr t.live_events;
+  h
+
+let schedule t delay f =
+  assert (delay >= 0);
+  schedule_at t (t.clock + delay) f
+
+let cancel h =
+  if h.live then begin
+    h.live <- false;
+    decr h.counter
+  end
+
+let pending t = !(t.live_events)
+
+let rec step t =
+  match Eventq.pop t.queue with
+  | None -> false
+  | Some (at, h) ->
+      if h.live then begin
+        h.live <- false;
+        decr h.counter;
+        t.clock <- at;
+        h.thunk ();
+        true
+      end
+      else step t
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue () = match max_events with Some m -> !fired < m | None -> true in
+  let rec loop () =
+    if continue () then
+      match Eventq.peek_time t.queue with
+      | None -> ()
+      | Some at -> (
+          match until with
+          | Some stop when at > stop -> t.clock <- max t.clock stop
+          | _ ->
+              if step t then begin
+                incr fired;
+                loop ()
+              end)
+  in
+  loop ()

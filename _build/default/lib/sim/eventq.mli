@@ -1,0 +1,24 @@
+(** Priority queue of timed events.
+
+    A classic binary min-heap keyed by (time, sequence number). The
+    sequence number makes the order of simultaneous events deterministic:
+    events scheduled first fire first. *)
+
+type 'a t
+(** Heap of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> Time.cycles -> 'a -> unit
+(** [push q at payload] schedules [payload] at absolute time [at]. *)
+
+val pop : 'a t -> (Time.cycles * 'a) option
+(** Remove and return the earliest event, if any. *)
+
+val peek_time : 'a t -> Time.cycles option
+(** Time of the earliest event without removing it. *)

@@ -1,0 +1,67 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; samples = Hashtbl.create 8 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_max t name v =
+  let r = counter_ref t name in
+  if v > !r then r := v
+
+let sample_ref t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.samples name r;
+      r
+
+let observe t name v =
+  let r = sample_ref t name in
+  r := v :: !r
+
+let count t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> List.length !r
+  | None -> 0
+
+let mean t name =
+  match Hashtbl.find_opt t.samples name with
+  | None -> None
+  | Some { contents = [] } -> None
+  | Some { contents = xs } ->
+      let total = List.fold_left ( +. ) 0.0 xs in
+      Some (total /. float_of_int (List.length xs))
+
+let percentile t name p =
+  match Hashtbl.find_opt t.samples name with
+  | None | Some { contents = [] } -> None
+  | Some { contents = xs } ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
+      Some arr.(max 0 (min (n - 1) idx))
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.samples

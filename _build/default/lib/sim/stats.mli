@@ -1,0 +1,38 @@
+(** Named counters and simple distributions.
+
+    A [t] is a registry of metrics a simulated component exposes; the
+    experiment drivers read them after a run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Add 1 to a counter, creating it at 0 first if needed. *)
+
+val add : t -> string -> int -> unit
+(** Add an arbitrary amount to a counter. *)
+
+val get : t -> string -> int
+(** Current counter value; 0 if never touched. *)
+
+val set_max : t -> string -> int -> unit
+(** Keep the running maximum of the observed values under this name. *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample into a named distribution. *)
+
+val mean : t -> string -> float option
+(** Mean of a distribution, if any samples were recorded. *)
+
+val count : t -> string -> int
+(** Number of samples recorded into a distribution. *)
+
+val percentile : t -> string -> float -> float option
+(** [percentile t name p] with [p] in [0,100]; sorts on demand. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val clear : t -> unit
+(** Forget everything. *)

@@ -1,0 +1,1 @@
+lib/sockets/apps.ml: Bytes Newt_hw Newt_net Newt_sim Newt_stack Printf Socket_api

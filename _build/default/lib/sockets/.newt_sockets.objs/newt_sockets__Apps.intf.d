@@ -1,0 +1,1 @@
+lib/sockets/apps.mli: Newt_hw Newt_net Newt_sim Newt_stack

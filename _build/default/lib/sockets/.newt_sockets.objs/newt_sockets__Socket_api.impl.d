@@ -1,0 +1,1 @@
+lib/sockets/socket_api.ml: List Newt_stack

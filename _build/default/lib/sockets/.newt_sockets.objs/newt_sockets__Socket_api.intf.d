@@ -1,0 +1,1 @@
+lib/sockets/socket_api.mli: Bytes Newt_net Newt_sim Newt_stack

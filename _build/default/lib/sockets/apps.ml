@@ -1,0 +1,280 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Machine = Newt_hw.Machine
+module Sc = Newt_stack.Syscall_srv
+module Addr = Newt_net.Addr
+
+module Iperf = struct
+  type t = {
+    machine : Machine.t;
+    sc : Sc.t;
+    app : Sc.app;
+    dst : Addr.Ipv4.t;
+    port : int;
+    write_size : int;
+    pace : Time.cycles;
+    until : Time.cycles;
+    mutable bytes_sent : int;
+    mutable connects : int;
+    mutable errors : int;
+    mutable running : bool;
+  }
+
+  let bytes_sent t = t.bytes_sent
+  let connects t = t.connects
+  let errors t = t.errors
+
+  let engine t = Machine.engine t.machine
+  let now t = Engine.now (engine t)
+
+  let rec session t =
+    if now t < t.until && t.running then
+      Socket_api.tcp_socket t.sc t.app (fun conn ->
+          Socket_api.connect conn ~dst:t.dst ~port:t.port (fun result ->
+              match result with
+              | `Ok ->
+                  t.connects <- t.connects + 1;
+                  pump t conn
+              | `Error _ ->
+                  t.errors <- t.errors + 1;
+                  retry_later t))
+
+  and pump t conn =
+    if now t >= t.until then Socket_api.close conn (fun () -> t.running <- false)
+    else begin
+      let data = Bytes.make t.write_size 'i' in
+      Socket_api.send conn data (fun result ->
+          match result with
+          | `Sent n ->
+              t.bytes_sent <- t.bytes_sent + n;
+              if t.pace = 0 then pump t conn
+              else ignore (Engine.schedule (engine t) t.pace (fun () -> pump t conn))
+          | `Error _ ->
+              t.errors <- t.errors + 1;
+              (* Connection died (e.g. a TCP server crash): iperf is
+                 restarted by the harness. *)
+              retry_later t)
+    end
+
+  and retry_later t =
+    ignore
+      (Engine.schedule (engine t) (Time.of_seconds 0.25) (fun () -> session t))
+
+  let start machine ~sc ~app ~dst ~port ?(write_size = 8192) ?(pace = 0) ~until () =
+    let t =
+      {
+        machine;
+        sc;
+        app;
+        dst;
+        port;
+        write_size;
+        pace;
+        until;
+        bytes_sent = 0;
+        connects = 0;
+        errors = 0;
+        running = true;
+      }
+    in
+    session t;
+    t
+end
+
+module Echo_listener = struct
+  let rec serve_conn conn =
+    Socket_api.recv conn ~max:65536 (fun result ->
+        match result with
+        | `Data data ->
+            if Bytes.length data > 0 then
+              Socket_api.send conn data (fun _ -> serve_conn conn)
+            else serve_conn conn
+        | `Timeout -> serve_conn conn
+        | `Eof -> Socket_api.close conn (fun () -> ())
+        | `Error _ -> ())
+
+  let start sc ~app ~port =
+    Socket_api.tcp_socket sc app (fun listener ->
+        Socket_api.bind listener ~port (fun _ ->
+            Socket_api.listen listener (fun _ ->
+                let rec accept_loop () =
+                  Socket_api.accept listener (fun result ->
+                      match result with
+                      | `Conn conn ->
+                          serve_conn conn;
+                          accept_loop ()
+                      | `Error _ ->
+                          (* Listener gone (TCP server crash). The
+                             restarted TCP server re-opens the listening
+                             socket itself; keep accepting. *)
+                          accept_loop ())
+                in
+                accept_loop ())))
+end
+
+module Ssh_session = struct
+  type t = {
+    machine : Machine.t;
+    sc : Sc.t;
+    app : Sc.app;
+    dst : Addr.Ipv4.t;
+    port : int;
+    period : Time.cycles;
+    io_timeout : Time.cycles;
+    mutable exchanges_ok : int;
+    mutable broken : bool;
+    mutable connected : bool;
+    mutable seq : int;
+  }
+
+  let exchanges_ok t = t.exchanges_ok
+  let broken t = t.broken
+  let connected t = t.connected
+  let engine t = Machine.engine t.machine
+
+  let rec exchange t conn =
+    if not t.broken then begin
+      t.seq <- t.seq + 1;
+      let payload = Bytes.of_string (Printf.sprintf "keystroke-%06d" t.seq) in
+      Socket_api.send conn payload (fun send_result ->
+          match send_result with
+          | `Error _ ->
+              t.broken <- true;
+              t.connected <- false
+          | `Sent _ ->
+              Socket_api.recv conn ~max:1024 ~timeout:t.io_timeout (fun recv_result ->
+                  match recv_result with
+                  | `Data _ ->
+                      t.exchanges_ok <- t.exchanges_ok + 1;
+                      ignore
+                        (Engine.schedule (engine t) t.period (fun () ->
+                             exchange t conn))
+                  | `Timeout | `Eof | `Error _ ->
+                      t.broken <- true;
+                      t.connected <- false))
+    end
+
+  let start machine ~sc ~app ~dst ~port ?period ?io_timeout () =
+    let period = match period with Some p -> p | None -> Time.of_seconds 0.2 in
+    let io_timeout =
+      (* Generous: IP and driver crashes take the link down for over a
+         second; TCP rides it out and the session survives. *)
+      match io_timeout with Some x -> x | None -> Time.of_seconds 4.0
+    in
+    let t =
+      {
+        machine;
+        sc;
+        app;
+        dst;
+        port;
+        period;
+        io_timeout;
+        exchanges_ok = 0;
+        broken = false;
+        connected = false;
+        seq = 0;
+      }
+    in
+    Socket_api.tcp_socket sc app (fun conn ->
+        Socket_api.connect conn ~dst ~port (fun result ->
+            match result with
+            | `Ok ->
+                t.connected <- true;
+                exchange t conn
+            | `Error _ -> t.broken <- true));
+    t
+end
+
+module Dns_client = struct
+  type t = {
+    machine : Machine.t;
+    period : Time.cycles;
+    timeout : Time.cycles;
+    mutable queries : int;
+    mutable answered : int;
+    mutable consecutive_failures : int;
+    mutable max_consecutive_failures : int;
+    mutable socket_reopens : int;
+  }
+
+  let queries t = t.queries
+  let answered t = t.answered
+  let consecutive_failures t = t.consecutive_failures
+  let max_consecutive_failures t = t.max_consecutive_failures
+  let socket_reopens t = t.socket_reopens
+  let engine t = Machine.engine t.machine
+
+  let rec query_loop t sc app dst port conn =
+    t.queries <- t.queries + 1;
+    let id = t.queries land 0xffff in
+    let payload = Newt_net.Dns.encode (Newt_net.Dns.query ~id "www.vu.nl") in
+    let fail () =
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures > t.max_consecutive_failures then
+        t.max_consecutive_failures <- t.consecutive_failures
+    in
+    Socket_api.send conn payload (fun send_result ->
+        match send_result with
+        | `Error _ ->
+            fail ();
+            schedule_next t sc app dst port conn
+        | `Sent _ ->
+            (* Receive until our answer arrives, draining stale answers
+               to earlier queries (they pile up behind an outage), like
+               any real resolver. [attempts] bounds the drain. *)
+            let rec await attempts =
+              Socket_api.recv conn ~max:1024 ~timeout:t.timeout (fun recv_result ->
+                  match recv_result with
+                  | `Data response -> (
+                      match Newt_net.Dns.decode response with
+                      | Some m
+                        when m.Newt_net.Dns.is_response
+                             && m.Newt_net.Dns.id = id
+                             && m.Newt_net.Dns.answers <> [] ->
+                          t.answered <- t.answered + 1;
+                          t.consecutive_failures <- 0;
+                          schedule_next t sc app dst port conn
+                      | Some m
+                        when m.Newt_net.Dns.is_response
+                             && m.Newt_net.Dns.id <> id
+                             && attempts > 0 ->
+                          (* A late answer to an earlier query: drop it
+                             and keep waiting for ours. *)
+                          await (attempts - 1)
+                      | Some _ | None ->
+                          fail ();
+                          schedule_next t sc app dst port conn)
+                  | `Timeout | `Eof | `Error _ ->
+                      fail ();
+                      schedule_next t sc app dst port conn)
+            in
+            await 8)
+
+  and schedule_next t sc app dst port conn =
+    ignore
+      (Engine.schedule (engine t) t.period (fun () ->
+           query_loop t sc app dst port conn))
+
+  let start machine ~sc ~app ~dst ?(port = 53) ?period ?timeout () =
+    let period = match period with Some p -> p | None -> Time.of_seconds 0.25 in
+    let timeout = match timeout with Some x -> x | None -> Time.of_seconds 1.0 in
+    let t =
+      {
+        machine;
+        period;
+        timeout;
+        queries = 0;
+        answered = 0;
+        consecutive_failures = 0;
+        max_consecutive_failures = 0;
+        socket_reopens = 0;
+      }
+    in
+    Socket_api.udp_socket sc app (fun conn ->
+        Socket_api.connect conn ~dst ~port (fun result ->
+            match result with
+            | `Ok -> query_loop t sc app dst port conn
+            | `Error _ -> t.socket_reopens <- t.socket_reopens + 1));
+    t
+end

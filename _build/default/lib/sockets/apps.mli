@@ -1,0 +1,85 @@
+(** The application programs of the evaluation.
+
+    - {!Iperf}: the bulk TCP sender behind Table II's peak rates and
+      the Figures 4/5 bitrate traces;
+    - {!Echo_listener}: the OpenSSH-stand-in server on the NewtOS host
+      ("We used OpenSSH as our test server", Section VI-B) — inbound
+      reachability probes connect to it;
+    - {!Ssh_session}: a long-lived interactive TCP session from the
+      NewtOS host, exchanging small messages — detects broken
+      connections across crashes;
+    - {!Dns_client}: the periodic UDP resolver — detects whether
+      crashes are transparent to UDP without reopening the socket. *)
+
+module Iperf : sig
+  type t
+
+  val start :
+    Newt_hw.Machine.t ->
+    sc:Newt_stack.Syscall_srv.t ->
+    app:Newt_stack.Syscall_srv.app ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    port:int ->
+    ?write_size:int ->
+    ?pace:Newt_sim.Time.cycles ->
+    until:Newt_sim.Time.cycles ->
+    unit ->
+    t
+  (** Connect and stream patterned writes until the given simulated
+      time, then close. Write errors trigger a reconnect (like iperf
+      restarted by a test harness). [?pace] inserts a think time
+      between writes (0 = saturate). *)
+
+  val bytes_sent : t -> int
+  val connects : t -> int
+  val errors : t -> int
+end
+
+module Echo_listener : sig
+  val start :
+    Newt_stack.Syscall_srv.t -> app:Newt_stack.Syscall_srv.app -> port:int -> unit
+  (** Accept loop; echoes every connection's bytes back. *)
+end
+
+module Ssh_session : sig
+  type t
+
+  val start :
+    Newt_hw.Machine.t ->
+    sc:Newt_stack.Syscall_srv.t ->
+    app:Newt_stack.Syscall_srv.app ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    port:int ->
+    ?period:Newt_sim.Time.cycles ->
+    ?io_timeout:Newt_sim.Time.cycles ->
+    unit ->
+    t
+
+  val exchanges_ok : t -> int
+  val broken : t -> bool
+  (** The session observed a reset/error and is dead. *)
+
+  val connected : t -> bool
+end
+
+module Dns_client : sig
+  type t
+
+  val start :
+    Newt_hw.Machine.t ->
+    sc:Newt_stack.Syscall_srv.t ->
+    app:Newt_stack.Syscall_srv.app ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    ?port:int ->
+    ?period:Newt_sim.Time.cycles ->
+    ?timeout:Newt_sim.Time.cycles ->
+    unit ->
+    t
+
+  val queries : t -> int
+  val answered : t -> int
+  val consecutive_failures : t -> int
+  val max_consecutive_failures : t -> int
+  val socket_reopens : t -> int
+  (** Stays 0 when UDP crashes are transparent (Section V-D). *)
+end

@@ -1,0 +1,102 @@
+module Sc = Newt_stack.Syscall_srv
+module Msg = Newt_stack.Msg
+
+type conn = { sc : Sc.t; app : Sc.app; sock : Msg.socket_id }
+
+let sock_id c = c.sock
+
+let tcp_socket sc app k =
+  Sc.socket sc app ~transport:`Tcp (fun sock -> k { sc; app; sock })
+
+let udp_socket sc app k =
+  Sc.socket sc app ~transport:`Udp (fun sock -> k { sc; app; sock })
+
+let unit_result k = function
+  | Msg.Ok_unit -> k `Ok
+  | Msg.Err e -> k (`Error e)
+  | Msg.Ok_socket _ | Msg.Ok_sent _ | Msg.Ok_data _ | Msg.Ok_data_from _
+  | Msg.Ok_eof | Msg.Ok_ready _ | Msg.Ok_accepted _ ->
+      k (`Error "unexpected reply")
+
+let connect c ~dst ~port k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_connect { dst; dst_port = port })
+    (unit_result k)
+
+let bind c ~port k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_bind { port }) (unit_result k)
+
+let listen c k = Sc.call c.sc c.app ~sock:c.sock Msg.Call_listen (unit_result k)
+
+let accept c k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_accept { new_sock = 0 }) (fun result ->
+      match result with
+      | Msg.Ok_accepted sock -> k (`Conn { c with sock })
+      | Msg.Err e -> k (`Error e)
+      | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_sent _ | Msg.Ok_data _
+      | Msg.Ok_data_from _ | Msg.Ok_eof | Msg.Ok_ready _ ->
+          k (`Error "unexpected reply"))
+
+let send c data k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_send { data }) (fun result ->
+      match result with
+      | Msg.Ok_sent n -> k (`Sent n)
+      | Msg.Err e -> k (`Error e)
+      | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_data _ | Msg.Ok_data_from _
+      | Msg.Ok_eof | Msg.Ok_ready _ | Msg.Ok_accepted _ ->
+          k (`Error "unexpected reply"))
+
+let recv c ~max ?(timeout = 0) k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_recv { max; timeout }) (fun result ->
+      match result with
+      | Msg.Ok_data d -> k (`Data d)
+      | Msg.Ok_eof -> k `Eof
+      | Msg.Err "timeout" -> k `Timeout
+      | Msg.Err e -> k (`Error e)
+      | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_sent _ | Msg.Ok_data_from _
+      | Msg.Ok_ready _ | Msg.Ok_accepted _ ->
+          k (`Error "unexpected reply"))
+
+let sendto c data ~dst ~port k =
+  Sc.call c.sc c.app ~sock:c.sock
+    (Msg.Call_sendto { data; dst; dst_port = port })
+    (fun result ->
+      match result with
+      | Msg.Ok_sent n -> k (`Sent n)
+      | Msg.Err e -> k (`Error e)
+      | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_data _ | Msg.Ok_data_from _
+      | Msg.Ok_eof | Msg.Ok_ready _ | Msg.Ok_accepted _ ->
+          k (`Error "unexpected reply"))
+
+let recvfrom c ~max ?(timeout = 0) k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_recvfrom { max; timeout })
+    (fun result ->
+      match result with
+      | Msg.Ok_data_from { data; src; src_port } -> k (`Data (data, src, src_port))
+      | Msg.Err "timeout" -> k `Timeout
+      | Msg.Err e -> k (`Error e)
+      | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_sent _ | Msg.Ok_data _
+      | Msg.Ok_eof | Msg.Ok_ready _ | Msg.Ok_accepted _ ->
+          k (`Error "unexpected reply"))
+
+let select conns ?(timeout = 0) k =
+  match conns with
+  | [] -> k (`Error "empty select set")
+  | first :: _ ->
+      let watch = List.map sock_id conns in
+      Sc.call first.sc first.app ~sock:first.sock
+        (Msg.Call_select { watch; timeout })
+        (fun result ->
+          match result with
+          | Msg.Ok_ready [] -> k `Timeout
+          | Msg.Ok_ready ready ->
+              k (`Ready (List.filter (fun c -> List.mem c.sock ready) conns))
+          | Msg.Err e -> k (`Error e)
+          | Msg.Ok_unit | Msg.Ok_socket _ | Msg.Ok_sent _ | Msg.Ok_data _
+          | Msg.Ok_data_from _ | Msg.Ok_eof | Msg.Ok_accepted _ ->
+              k (`Error "unexpected reply"))
+
+let shutdown_send c k =
+  Sc.call c.sc c.app ~sock:c.sock Msg.Call_shutdown (unit_result k)
+
+let close c k =
+  Sc.call c.sc c.app ~sock:c.sock Msg.Call_close (fun _ -> k ())

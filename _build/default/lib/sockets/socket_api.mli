@@ -1,0 +1,83 @@
+(** The POSIX-flavoured socket layer applications program against.
+
+    Calls behave like blocking POSIX system calls — the continuation
+    runs when the kernel IPC reply arrives from the SYSCALL server
+    (Section V-B). One outstanding call per socket, like a blocked
+    thread. *)
+
+type conn
+(** A socket held by an application. *)
+
+val tcp_socket :
+  Newt_stack.Syscall_srv.t ->
+  Newt_stack.Syscall_srv.app ->
+  (conn -> unit) ->
+  unit
+
+val udp_socket :
+  Newt_stack.Syscall_srv.t ->
+  Newt_stack.Syscall_srv.app ->
+  (conn -> unit) ->
+  unit
+
+val sock_id : conn -> Newt_stack.Msg.socket_id
+
+val connect :
+  conn -> dst:Newt_net.Addr.Ipv4.t -> port:int -> ([ `Ok | `Error of string ] -> unit) -> unit
+
+val bind : conn -> port:int -> ([ `Ok | `Error of string ] -> unit) -> unit
+
+val listen : conn -> ([ `Ok | `Error of string ] -> unit) -> unit
+
+val accept : conn -> ([ `Conn of conn | `Error of string ] -> unit) -> unit
+
+val send :
+  conn -> Bytes.t -> ([ `Sent of int | `Error of string ] -> unit) -> unit
+
+val recv :
+  conn ->
+  max:int ->
+  ?timeout:Newt_sim.Time.cycles ->
+  ([ `Data of Bytes.t | `Eof | `Timeout | `Error of string ] -> unit) ->
+  unit
+(** [?timeout] behaves like SO_RCVTIMEO: the call completes with
+    [`Timeout] if no data arrived in time. *)
+
+val sendto :
+  conn ->
+  Bytes.t ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  port:int ->
+  ([ `Sent of int | `Error of string ] -> unit) ->
+  unit
+(** Unconnected datagram send (UDP sockets only). *)
+
+val recvfrom :
+  conn ->
+  max:int ->
+  ?timeout:Newt_sim.Time.cycles ->
+  ([ `Data of Bytes.t * Newt_net.Addr.Ipv4.t * int | `Timeout | `Error of string ] ->
+  unit) ->
+  unit
+(** Datagram receive with the sender's address and port. *)
+
+val select :
+  conn list ->
+  ?timeout:Newt_sim.Time.cycles ->
+  ([ `Ready of conn list | `Timeout | `Error of string ] -> unit) ->
+  unit
+(** Block until any of the sockets is readable (data queued, an
+    accepted connection waiting, EOF, or a dead connection). All
+    sockets must belong to the same transport. This is the
+    {e asynchronous} select of the paper's future work — the
+    synchronous one it still carried caused its only reboot-class
+    failures (Section VI-B). Because it runs over the same
+    resubmittable request protocol as every other call, a transport
+    crash mid-select is survived. *)
+
+val shutdown_send : conn -> ([ `Ok | `Error of string ] -> unit) -> unit
+(** Half-close the sending direction (POSIX shutdown(SHUT_WR)): a FIN
+    goes out once queued data drains; the socket keeps receiving until
+    the peer closes too. *)
+
+val close : conn -> (unit -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/stack/capacity.ml: List Newt_hw Newt_sim Option

@@ -1,0 +1,1 @@
+lib/stack/capacity.mli: Newt_hw

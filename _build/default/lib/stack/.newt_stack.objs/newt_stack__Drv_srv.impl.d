@@ -1,0 +1,1 @@
+lib/stack/drv_srv.ml: Bytes List Msg Newt_channels Newt_hw Newt_nic Newt_sim Proc

@@ -1,0 +1,1 @@
+lib/stack/drv_srv.mli: Bytes Msg Newt_channels Newt_hw Newt_nic Proc

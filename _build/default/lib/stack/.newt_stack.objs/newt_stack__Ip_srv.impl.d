@@ -1,0 +1,1 @@
+lib/stack/ip_srv.ml: Bytes Drv_srv Hashtbl List Marshal Msg Newt_channels Newt_hw Newt_net Newt_sim Option Proc

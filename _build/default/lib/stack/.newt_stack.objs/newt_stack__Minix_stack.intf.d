@@ -1,0 +1,1 @@
+lib/stack/minix_stack.mli: Newt_hw Newt_net Newt_nic Newt_sim

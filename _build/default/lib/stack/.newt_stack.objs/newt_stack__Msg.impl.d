@@ -1,0 +1,1 @@
+lib/stack/msg.ml: Bytes Newt_channels Newt_net

@@ -1,0 +1,1 @@
+lib/stack/msg.mli: Bytes Newt_channels Newt_net

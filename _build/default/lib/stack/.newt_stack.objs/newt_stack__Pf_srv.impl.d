@@ -1,0 +1,1 @@
+lib/stack/pf_srv.ml: List Marshal Msg Newt_channels Newt_hw Newt_pf Newt_sim Option Proc

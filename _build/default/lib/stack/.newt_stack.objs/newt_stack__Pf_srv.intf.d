@@ -1,0 +1,1 @@
+lib/stack/pf_srv.mli: Msg Newt_channels Newt_hw Newt_pf Proc

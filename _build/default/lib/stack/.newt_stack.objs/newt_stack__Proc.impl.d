@@ -1,0 +1,1 @@
+lib/stack/proc.ml: List Msg Newt_channels Newt_hw Newt_sim

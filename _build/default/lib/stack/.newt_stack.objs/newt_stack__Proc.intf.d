@@ -1,0 +1,1 @@
+lib/stack/proc.mli: Msg Newt_channels Newt_hw Newt_sim

@@ -1,0 +1,1 @@
+lib/stack/single_srv.ml: Bytes Drv_srv Hashtbl List Msg Newt_channels Newt_hw Newt_net Newt_sim Proc

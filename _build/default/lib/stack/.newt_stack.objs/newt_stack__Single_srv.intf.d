@@ -1,0 +1,1 @@
+lib/stack/single_srv.mli: Drv_srv Msg Newt_channels Newt_hw Newt_net Proc

@@ -1,0 +1,1 @@
+lib/stack/sink.ml: Bytes Hashtbl Newt_net Newt_nic Newt_sim

@@ -1,0 +1,1 @@
+lib/stack/sink.mli: Bytes Newt_net Newt_nic Newt_sim

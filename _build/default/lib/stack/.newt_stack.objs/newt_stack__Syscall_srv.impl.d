@@ -1,0 +1,1 @@
+lib/stack/syscall_srv.ml: Hashtbl List Msg Newt_channels Newt_hw Newt_sim Proc

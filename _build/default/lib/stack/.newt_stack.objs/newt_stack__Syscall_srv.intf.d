@@ -1,0 +1,1 @@
+lib/stack/syscall_srv.mli: Msg Newt_channels Newt_hw Proc

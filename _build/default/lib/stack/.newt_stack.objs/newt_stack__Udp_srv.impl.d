@@ -1,0 +1,1 @@
+lib/stack/udp_srv.ml: Bytes Hashtbl List Marshal Msg Newt_channels Newt_hw Newt_net Newt_pf Newt_sim Option Proc Queue

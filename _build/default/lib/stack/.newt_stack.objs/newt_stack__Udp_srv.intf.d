@@ -1,0 +1,1 @@
+lib/stack/udp_srv.mli: Msg Newt_channels Newt_hw Newt_net Newt_pf Proc

@@ -1,0 +1,158 @@
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module E1000 = Newt_nic.E1000
+module Sim_chan = Newt_channels.Sim_chan
+module Rich_ptr = Newt_channels.Rich_ptr
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  nic : E1000.t;
+  mutable tx_to_ip : Msg.t Sim_chan.t option;
+  mutable rx_alloc : (unit -> Rich_ptr.t option) option;
+  mutable rx_write : (Rich_ptr.t -> Bytes.t -> unit) option;
+  mutable consumed : Msg.t Sim_chan.t list;
+  mutable tx_accepted : int;
+}
+
+let proc t = t.proc
+let nic t = t.nic
+let tx_accepted t = t.tx_accepted
+
+let costs t = Machine.costs t.machine
+
+(* Keep the RX ring full: hand every buffer we can allocate to the
+   device. *)
+let replenish_rx t =
+  match (t.rx_alloc, t.rx_write) with
+  | Some alloc, Some _ ->
+      let rec fill () =
+        if E1000.rx_ring_free t.nic > 0 then
+          match alloc () with
+          | Some buf ->
+              if E1000.post_rx t.nic { E1000.buf; rx_cookie = 0 } then fill ()
+          | None -> ()
+      in
+      fill ()
+  | _ -> ()
+
+let handle_irq t reason =
+  (* The kernel turned the interrupt into a message; handling it costs a
+     mode switch plus per-completion work charged below. *)
+  let c = costs t in
+  Proc.exec t.proc ~cost:c.Costs.trap_hot (fun () ->
+      match reason with
+      | E1000.Tx_done ->
+          let rec reap () =
+            match E1000.reap_tx t.nic with
+            | None -> ()
+            | Some desc ->
+                Proc.exec t.proc
+                  ~cost:(c.Costs.driver_packet_work / 2)
+                  (fun () ->
+                    match t.tx_to_ip with
+                    | Some chan ->
+                        ignore
+                          (Proc.send t.proc chan
+                             (Msg.Drv_tx_confirm { id = desc.E1000.tx_cookie; ok = true }))
+                    | None -> ());
+                reap ()
+          in
+          reap ()
+      | E1000.Rx_done ->
+          let rec reap () =
+            match E1000.reap_rx t.nic with
+            | None -> ()
+            | Some completion ->
+                Proc.exec t.proc ~cost:c.Costs.driver_packet_work (fun () ->
+                    match t.tx_to_ip with
+                    | Some chan ->
+                        let buf =
+                          { completion.E1000.rx_buf with Rich_ptr.len = completion.E1000.len }
+                        in
+                        ignore
+                          (Proc.send t.proc chan
+                             (Msg.Rx_frame { buf; len = completion.E1000.len }))
+                    | None -> ());
+                reap ()
+          in
+          reap ();
+          replenish_rx t
+      | E1000.Link_change ->
+          (* Link came back after a reset: re-arm and resume. *)
+          replenish_rx t;
+          E1000.doorbell_tx t.nic)
+
+let handle_msg t msg =
+  let c = costs t in
+  match msg with
+  | Msg.Drv_tx { id; chain; csum_offload; tso; tso_mss } ->
+      ( c.Costs.driver_packet_work,
+        fun () ->
+          t.tx_accepted <- t.tx_accepted + 1;
+          let desc =
+            { E1000.chain; csum_offload; tso; tso_mss; tx_cookie = id }
+          in
+          if E1000.post_tx t.nic desc then E1000.doorbell_tx t.nic
+          else begin
+            (* TX ring full: refuse, IP keeps the request pending and
+               will resubmit (never block, Section IV-A). *)
+            match t.tx_to_ip with
+            | Some chan ->
+                ignore (Proc.send t.proc chan (Msg.Drv_tx_confirm { id; ok = false }))
+            | None -> ()
+          end )
+  | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Filter_verdict _
+  | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_deliver _ | Msg.Rx_done _
+  | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
+      (* Not ours: a buggy or malicious peer. Ignore (Section IV-A:
+         "the receiving process must check whether a request makes
+         sense ... and ignore invalid ones"). *)
+      (0, fun () -> Newt_sim.Stats.incr (Proc.stats t.proc) "invalid_msg")
+
+let create machine ~proc ~nic () =
+  let t =
+    {
+      machine;
+      proc;
+      nic;
+      tx_to_ip = None;
+      rx_alloc = None;
+      rx_write = None;
+      consumed = [];
+      tx_accepted = 0;
+    }
+  in
+  E1000.set_irq_handler nic (fun reason -> handle_irq t reason);
+  t
+
+let connect_ip t ~rx_from_ip ~tx_to_ip =
+  t.tx_to_ip <- Some tx_to_ip;
+  if not (List.memq rx_from_ip t.consumed) then
+    t.consumed <- rx_from_ip :: t.consumed;
+  Proc.add_rx t.proc rx_from_ip (handle_msg t)
+
+let grant_rx_pool t ~alloc ~write =
+  t.rx_alloc <- Some alloc;
+  t.rx_write <- Some write;
+  E1000.set_rx_writer t.nic (fun buf frame -> write buf frame);
+  replenish_rx t
+
+let on_ip_crash t =
+  (* The device still holds shadow descriptors pointing into the dead
+     pool: unsafe until reset. *)
+  t.rx_alloc <- None;
+  t.rx_write <- None;
+  E1000.mark_unsafe t.nic
+
+let on_ip_restart t =
+  (* The Intel adapters have no knob to invalidate their shadow RX/TX
+     descriptor copies, so the device must be reset — this is what
+     causes the visible gap of Figure 4. *)
+  E1000.reset t.nic
+
+let crash_cleanup t = List.iter Sim_chan.tear_down t.consumed
+
+let restart t =
+  List.iter Sim_chan.revive t.consumed;
+  E1000.reset t.nic

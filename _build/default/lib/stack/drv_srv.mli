@@ -1,0 +1,66 @@
+(** The network driver server.
+
+    One per NIC (or one for several NICs — the driver-coalescing
+    configuration of Section VI-A). The driver's work is deliberately
+    tiny: "filling descriptors and updating tail pointers of the rings
+    on the device, polling the device". It is stateless from the
+    recovery point of view (Table I: "No state, simple restart").
+
+    Interrupts reach the driver as kernel messages (Section V-B); here
+    the device's irq handler schedules costed work on the driver's
+    core.
+
+    The receive pool belongs to the IP server; the driver gets an
+    allocation capability ({!grant_rx_pool}) when IP exports the pool,
+    and returns buffers to the device's RX ring. When IP crashes, the
+    pool dies with it: the driver must reset the device before going on
+    (Section V-D — "a crash of IP means de facto restart of the network
+    drivers too"). *)
+
+type t
+
+val create :
+  Newt_hw.Machine.t ->
+  proc:Proc.t ->
+  nic:Newt_nic.E1000.t ->
+  unit ->
+  t
+
+val proc : t -> Proc.t
+val nic : t -> Newt_nic.E1000.t
+
+val connect_ip :
+  t ->
+  rx_from_ip:Msg.t Newt_channels.Sim_chan.t ->
+  tx_to_ip:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+(** Wire the channel pair to the IP server and start consuming. *)
+
+val grant_rx_pool :
+  t ->
+  alloc:(unit -> Newt_channels.Rich_ptr.t option) ->
+  write:(Newt_channels.Rich_ptr.t -> Bytes.t -> unit) ->
+  unit
+(** IP exported its receive pool: [alloc] yields empty buffers (None
+    when exhausted), [write] is the DMA-write capability. The driver
+    fills the RX ring. *)
+
+val on_ip_crash : t -> unit
+(** Neighbour-crash procedure: abort in-flight work, mark the device
+    unsafe (its shadow descriptors reference a dead pool). *)
+
+val on_ip_restart : t -> unit
+(** IP is back: reset the device (link bounce) and re-arm RX once the
+    pool has been re-granted. *)
+
+val crash_cleanup : t -> unit
+(** The driver's own crash: its channels die. The device keeps running
+    (nobody services its interrupts) until the restart resets it. *)
+
+val restart : t -> unit
+(** Fresh start after a crash: revive the channels and reset the device
+    — "manually restarting the driver ... reset the device"
+    (Section VI-B). *)
+
+val tx_accepted : t -> int
+(** Frames accepted from IP over this driver's lifetime. *)

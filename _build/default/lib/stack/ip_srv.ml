@@ -1,0 +1,640 @@
+module Engine = Newt_sim.Engine
+module Stats = Newt_sim.Stats
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Rich_ptr = Newt_channels.Rich_ptr
+module Registry = Newt_channels.Registry
+module Request_db = Newt_channels.Request_db
+module Addr = Newt_net.Addr
+module Ipv4 = Newt_net.Ipv4
+module Icmp = Newt_net.Icmp
+module Arp = Newt_net.Arp
+module Ethernet = Newt_net.Ethernet
+module Wire = Newt_net.Wire
+
+type iface_config = {
+  addr : Addr.Ipv4.t;
+  netmask_bits : int;
+  mac : Addr.Mac.t;
+}
+
+type origin = From_tcp of int | From_udp of int | Local
+
+type pending =
+  | Pf_out of {
+      origin : origin;
+      chain : Rich_ptr.chain;
+      iface : int;
+      hdr : Rich_ptr.t;
+      tso : bool;
+      pkt : Bytes.t;
+    }
+  | Pf_in of { buf : Rich_ptr.t; pkt : Bytes.t }
+  | Drv of { origin : origin; hdr : Rich_ptr.t; chain : Rich_ptr.chain; iface : int; tso : bool }
+
+type iface = {
+  cfg : iface_config;
+  drv : Drv_srv.t;
+  tx : Msg.t Sim_chan.t;
+  arp : Arp.Cache.t;
+  mutable drv_up : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  registry : Registry.t;
+  save : string -> string -> unit;
+  load : string -> string option;
+  mutable ifaces : iface list;  (* index = position *)
+  rx_pool : Pool.t;
+  hdr_pool : Pool.t;
+  mutable db : pending Request_db.t;
+  route_table : Ipv4.Route.table;
+  mutable to_pf : Msg.t Sim_chan.t option;
+  mutable pf_up : bool;
+  mutable to_tcp : Msg.t Sim_chan.t option;
+  mutable to_udp : Msg.t Sim_chan.t option;
+  mutable consumed : Msg.t Sim_chan.t list;  (* channels this server receives on *)
+  held_bufs : (Rich_ptr.t, [ `Tcp | `Udp ]) Hashtbl.t;
+  mutable resubmit_pf : pending list;
+  mutable resubmit_drv : pending list;
+  mutable ident : int;
+  mutable packets_forwarded : int;
+  mutable icmp_echoes : int;
+}
+
+let pf_peer = 1
+let drv_peer iface = 10 + iface
+
+let proc t = t.proc
+let costs t = Machine.costs t.machine
+let routes t = Ipv4.Route.entries t.route_table
+let rx_pool_in_use t = Pool.in_use t.rx_pool
+let hdr_pool_in_use t = Pool.in_use t.hdr_pool
+let packets_forwarded t = t.packets_forwarded
+let icmp_echoes_answered t = t.icmp_echoes
+
+let iface t i = List.nth t.ifaces i
+let iface_count t = List.length t.ifaces
+
+let free_ptr pool ptr =
+  try Pool.free pool ptr with Pool.Stale_pointer _ -> ()
+
+let free_hdr t ptr = free_ptr t.hdr_pool ptr
+let free_rx t ptr = free_ptr t.rx_pool ptr
+
+let marshal_cost t = (costs t).Costs.channel_marshal + (costs t).Costs.channel_enqueue
+
+let confirm_origin t origin ok =
+  match origin with
+  | Local -> ()
+  | From_tcp id ->
+      Option.iter
+        (fun chan -> ignore (Proc.send t.proc chan (Msg.Tx_ip_confirm { id; ok })))
+        t.to_tcp
+  | From_udp id ->
+      Option.iter
+        (fun chan -> ignore (Proc.send t.proc chan (Msg.Tx_ip_confirm { id; ok })))
+        t.to_udp
+
+(* {2 Transmit path} *)
+
+(* Hand a complete frame to a driver; registers the in-flight request so
+   a driver crash can be recovered by resubmission. *)
+let transmit_frame t ~iface:i ~origin ~hdr ~chain ~tso =
+  let ifc = iface t i in
+  let p = Drv { origin; hdr; chain; iface = i; tso } in
+  if not ifc.drv_up then t.resubmit_drv <- p :: t.resubmit_drv
+  else begin
+    let id =
+      Request_db.submit t.db ~peer:(drv_peer i) ~payload:p
+        ~abort:(fun _ pending -> t.resubmit_drv <- pending :: t.resubmit_drv)
+    in
+    t.packets_forwarded <- t.packets_forwarded + 1;
+    let sent =
+      Proc.send t.proc ifc.tx
+        (Msg.Drv_tx
+           {
+             id;
+             chain;
+             csum_offload = true;
+             tso;
+             tso_mss = 1460;
+           })
+    in
+    if not sent then begin
+      (* Queue full: drop this packet (acceptable for a network stack,
+         Section IV-A) and tell the origin it failed. *)
+      ignore (Request_db.complete t.db id);
+      free_hdr t hdr;
+      confirm_origin t origin false
+    end
+  end
+
+(* Submit an outgoing packet to the packet filter (or pass it straight
+   through when no filter is configured). *)
+let to_filter_out t pending =
+  match (t.to_pf, pending) with
+  | Some chan, Pf_out { pkt; _ } when t.pf_up ->
+      let id =
+        Request_db.submit t.db ~peer:pf_peer ~payload:pending
+          ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
+      in
+      if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `Out; pkt })) then begin
+        ignore (Request_db.complete t.db id);
+        t.resubmit_pf <- pending :: t.resubmit_pf
+      end
+  | Some _, Pf_out _ ->
+      (* Filter restarting: hold the packet, no loss (Figure 5). *)
+      t.resubmit_pf <- pending :: t.resubmit_pf
+  | None, Pf_out { origin; chain; iface; hdr; tso; _ } ->
+      transmit_frame t ~iface ~origin ~hdr ~chain ~tso
+  | _, (Pf_in _ | Drv _) -> assert false
+
+let to_filter_in t pending =
+  match (t.to_pf, pending) with
+  | Some chan, Pf_in { pkt; _ } when t.pf_up ->
+      let id =
+        Request_db.submit t.db ~peer:pf_peer ~payload:pending
+          ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
+      in
+      if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `In; pkt })) then begin
+        ignore (Request_db.complete t.db id);
+        t.resubmit_pf <- pending :: t.resubmit_pf
+      end
+  | Some _, Pf_in _ -> t.resubmit_pf <- pending :: t.resubmit_pf
+  | None, Pf_in _ -> assert false (* handled by caller when no PF *)
+  | _, (Pf_out _ | Drv _) -> assert false
+
+(* Build the merged Ethernet+IP+L4-header chunk and queue the packet for
+   the outgoing filter pass. [l4chain]'s first chunk must be the L4
+   header (with a partial checksum for the NIC to finalize). *)
+let start_tx t ~origin ~src ~dst ~proto ~l4chain ~tso =
+  match Ipv4.Route.lookup t.route_table dst with
+  | None -> confirm_origin t origin false
+  | Some route -> (
+      let i = route.Ipv4.Route.iface in
+      if i >= iface_count t then confirm_origin t origin false
+      else
+        let ifc = iface t i in
+        let next_hop =
+          match route.Ipv4.Route.gateway with Some g -> g | None -> dst
+        in
+        let continue dst_mac =
+          match l4chain with
+        | [] -> confirm_origin t origin false
+        | l4hdr_ptr :: payload_chunks -> (
+            match Registry.read t.registry l4hdr_ptr with
+            | exception (Pool.Stale_pointer _ | Registry.Unknown_pool _) ->
+                (* The originator crashed (its pool died) while this
+                   request waited in our queue: an invalid request, to
+                   be ignored (Section IV-A). *)
+                Stats.incr (Proc.stats t.proc) "stale_request";
+                confirm_origin t origin false
+            | l4hdr ->
+            let l4hdr_len = Bytes.length l4hdr in
+            let total_len = 20 + Rich_ptr.chain_len l4chain in
+            if total_len > 0xffff then confirm_origin t origin false
+            else begin
+              t.ident <- (t.ident + 1) land 0xffff;
+              let hdr_len = 14 + 20 + l4hdr_len in
+              match Pool.alloc t.hdr_pool ~len:hdr_len with
+              | exception Pool.Pool_exhausted -> confirm_origin t origin false
+              | hdr_ptr ->
+                  let hdr = Bytes.create hdr_len in
+                  Ethernet.encode_header
+                    { Ethernet.dst = dst_mac; src = ifc.cfg.mac; ethertype = Ethernet.Ipv4 }
+                    hdr ~off:0;
+                  Ipv4.encode_header
+                    {
+                      Ipv4.src;
+                      dst;
+                      protocol = proto;
+                      ttl = 64;
+                      ident = t.ident;
+                      total_len;
+                    }
+                    hdr ~off:14;
+                  Bytes.blit l4hdr 0 hdr 34 l4hdr_len;
+                  Pool.write t.hdr_pool hdr_ptr ~src:hdr ~src_off:0;
+                  let chain = hdr_ptr :: payload_chunks in
+                  (* The filter classifies on the IP + L4 header bytes. *)
+                  let pkt = Bytes.sub hdr 14 (20 + l4hdr_len) in
+                  let pending =
+                    Pf_out { origin; chain; iface = i; hdr = hdr_ptr; tso; pkt }
+                  in
+                  if t.to_pf = None then
+                    transmit_frame t ~iface:i ~origin ~hdr:hdr_ptr ~chain ~tso
+                  else to_filter_out t pending
+            end)
+        in
+        match
+          Arp.Cache.resolve ifc.arp next_hop ~on_ready:(fun mac ->
+              Proc.exec t.proc ~cost:(costs t).Costs.ip_tx_work (fun () -> continue mac))
+        with
+        | `Hit mac -> continue mac
+        | `Wait ->
+            (* First waiter sends the ARP request. *)
+            let req = Arp.Cache.request_for ifc.arp next_hop in
+            let arp_bytes = Arp.encode req in
+            let frame = Bytes.create (14 + Arp.packet_size) in
+            Ethernet.encode_header
+              { Ethernet.dst = Addr.Mac.broadcast; src = ifc.cfg.mac; ethertype = Ethernet.Arp }
+              frame ~off:0;
+            Bytes.blit arp_bytes 0 frame 14 Arp.packet_size;
+            (match Pool.alloc t.hdr_pool ~len:(Bytes.length frame) with
+            | exception Pool.Pool_exhausted -> ()
+            | ptr ->
+                Pool.write t.hdr_pool ptr ~src:frame ~src_off:0;
+                transmit_frame t ~iface:i ~origin:Local ~hdr:ptr ~chain:[ ptr ] ~tso:false)
+        | `Dropped -> confirm_origin t origin false)
+
+(* {2 Receive path} *)
+
+let deliver t ~proto_chan ~tag ~buf ~l4_off ~l4_len ~src ~dst =
+  match proto_chan with
+  | None -> free_rx t buf
+  | Some chan -> (
+      match Pool.sub_ptr buf ~off:l4_off ~len:l4_len with
+      | sub ->
+          Hashtbl.replace t.held_bufs buf tag;
+          if not (Proc.send t.proc chan (Msg.Rx_deliver { buf = sub; src; dst })) then begin
+            Hashtbl.remove t.held_bufs buf;
+            free_rx t buf
+          end
+      | exception Invalid_argument _ -> free_rx t buf)
+
+let handle_icmp t ~buf ~l4_bytes ~src ~dst =
+  (match Icmp.decode l4_bytes with
+  | Some msg -> (
+      match Icmp.reply_to msg with
+      | Some reply ->
+          t.icmp_echoes <- t.icmp_echoes + 1;
+          let reply_bytes = Icmp.encode reply in
+          if Bytes.length reply_bytes <= Pool.slot_size t.hdr_pool then begin
+            match Pool.alloc t.hdr_pool ~len:(Bytes.length reply_bytes) with
+            | exception Pool.Pool_exhausted -> ()
+            | ptr ->
+                Pool.write t.hdr_pool ptr ~src:reply_bytes ~src_off:0;
+                start_tx t ~origin:Local ~src:dst ~dst:src ~proto:Ipv4.Icmp
+                  ~l4chain:[ ptr ] ~tso:false
+          end
+      | None -> ())
+  | None -> Stats.incr (Proc.stats t.proc) "icmp.malformed");
+  free_rx t buf
+
+let accept_in t ~buf pkt_bytes =
+  (* The inbound packet passed the filter: demultiplex by protocol. *)
+  match Ipv4.decode_header pkt_bytes ~off:0 with
+  | None -> free_rx t buf
+  | Some ih ->
+      let l4_off_in_pkt = 20 in
+      let l4_len = ih.Ipv4.total_len - 20 in
+      if ih.Ipv4.total_len > Bytes.length pkt_bytes then begin
+        (* The header claims more bytes than arrived: a truncated or
+           forged datagram (the ping-of-death shape). Drop it. *)
+        Stats.incr (Proc.stats t.proc) "ip.truncated";
+        free_rx t buf
+      end
+      else if l4_len <= 0 then free_rx t buf
+      else begin
+        let src = ih.Ipv4.src and dst = ih.Ipv4.dst in
+        match ih.Ipv4.protocol with
+        | Ipv4.Tcp ->
+            deliver t ~proto_chan:t.to_tcp ~tag:`Tcp ~buf ~l4_off:(14 + l4_off_in_pkt)
+              ~l4_len ~src ~dst
+        | Ipv4.Udp ->
+            deliver t ~proto_chan:t.to_udp ~tag:`Udp ~buf ~l4_off:(14 + l4_off_in_pkt)
+              ~l4_len ~src ~dst
+        | Ipv4.Icmp ->
+            handle_icmp t ~buf ~l4_bytes:(Bytes.sub pkt_bytes 20 l4_len) ~src ~dst
+        | Ipv4.Unknown _ -> free_rx t buf
+      end
+
+let handle_rx_frame t ~iface:arrival ~buf ~len =
+  match Pool.read t.rx_pool { buf with Rich_ptr.len } with
+  | exception Pool.Stale_pointer _ -> ()
+  | frame -> (
+      match Ethernet.decode_header frame ~off:0 with
+      | None -> free_rx t buf
+      | Some eh -> (
+          match eh.Ethernet.ethertype with
+          | Ethernet.Arp -> (
+              free_rx t buf;
+              match Arp.decode (Bytes.sub frame 14 (Bytes.length frame - 14)) with
+              | None -> ()
+              | Some arp_pkt ->
+                  (* Learn on the arrival interface; answer for any of
+                     our addresses, on the arrival interface with its
+                     MAC (weak host model — the multihomed host is one
+                     node, not a router). *)
+                  let ifc = iface t arrival in
+                  let owns_target =
+                    List.exists
+                      (fun other -> Addr.Ipv4.equal arp_pkt.Arp.target_ip other.cfg.addr)
+                      t.ifaces
+                  in
+                  let cache_view =
+                    (* Answer with the arrival interface's identity. *)
+                    if owns_target && arp_pkt.Arp.op = Arp.Request then
+                      Some
+                        {
+                          Arp.op = Arp.Reply;
+                          sender_mac = ifc.cfg.mac;
+                          sender_ip = arp_pkt.Arp.target_ip;
+                          target_mac = arp_pkt.Arp.sender_mac;
+                          target_ip = arp_pkt.Arp.sender_ip;
+                        }
+                    else None
+                  in
+                  ignore (Arp.Cache.input ifc.arp arp_pkt);
+                  (match cache_view with
+                  | Some reply ->
+                      let rb = Arp.encode reply in
+                      let f = Bytes.create (14 + Arp.packet_size) in
+                      Ethernet.encode_header
+                        {
+                          Ethernet.dst = arp_pkt.Arp.sender_mac;
+                          src = ifc.cfg.mac;
+                          ethertype = Ethernet.Arp;
+                        }
+                        f ~off:0;
+                      Bytes.blit rb 0 f 14 Arp.packet_size;
+                      (match Pool.alloc t.hdr_pool ~len:(Bytes.length f) with
+                      | exception Pool.Pool_exhausted -> ()
+                      | ptr ->
+                          Pool.write t.hdr_pool ptr ~src:f ~src_off:0;
+                          transmit_frame t ~iface:arrival ~origin:Local ~hdr:ptr
+                            ~chain:[ ptr ] ~tso:false)
+                  | None -> ()))
+          | Ethernet.Ipv4 ->
+              let pkt_bytes = Bytes.sub frame 14 (Bytes.length frame - 14) in
+              if t.to_pf = None then accept_in t ~buf pkt_bytes
+              else begin
+                let pkt =
+                  Bytes.sub pkt_bytes 0 (min (Bytes.length pkt_bytes) 40)
+                in
+                to_filter_in t (Pf_in { buf = { buf with Rich_ptr.len }; pkt })
+              end
+          | Ethernet.Unknown _ -> free_rx t buf))
+
+(* {2 Message handlers} *)
+
+(* [rx_iface] identifies which driver channel a message arrived on —
+   each interface has its own, so received frames know their port. *)
+let handle_msg t ~rx_iface msg =
+  let c = costs t in
+  match msg with
+  | Msg.Tx_ip { id; chain; src; dst; proto; tso } ->
+      ( c.Costs.ip_tx_work + c.Costs.header_adjust + marshal_cost t,
+        fun () ->
+          let origin =
+            match proto with
+            | Ipv4.Udp -> From_udp id
+            | Ipv4.Tcp | Ipv4.Icmp | Ipv4.Unknown _ -> From_tcp id
+          in
+          start_tx t ~origin ~src ~dst ~proto ~l4chain:chain ~tso )
+  | Msg.Filter_verdict { id; pass } -> (
+      ( marshal_cost t,
+        fun () ->
+          match Request_db.complete t.db id with
+          | Some (Pf_out { origin; chain; iface; hdr; tso; _ }) ->
+              if pass then transmit_frame t ~iface ~origin ~hdr ~chain ~tso
+              else begin
+                free_hdr t hdr;
+                confirm_origin t origin false
+              end
+          | Some (Pf_in { buf; _ }) ->
+              if pass then begin
+                match Pool.read t.rx_pool buf with
+                | exception Pool.Stale_pointer _ -> ()
+                | frame ->
+                    let pkt_bytes = Bytes.sub frame 14 (Bytes.length frame - 14) in
+                    accept_in t ~buf pkt_bytes
+              end
+              else free_rx t buf
+          | Some (Drv _) | None ->
+              (* Stale verdict from before a crash: ignore. *)
+              Stats.incr (Proc.stats t.proc) "stale_verdict" ))
+  | Msg.Drv_tx_confirm { id; ok } -> (
+      ( marshal_cost t,
+        fun () ->
+          match Request_db.complete t.db id with
+          | Some (Drv { origin; hdr; _ }) ->
+              free_hdr t hdr;
+              confirm_origin t origin ok
+          | Some (Pf_out _ | Pf_in _) | None ->
+              Stats.incr (Proc.stats t.proc) "stale_confirm" ))
+  | Msg.Rx_frame { buf; len } ->
+      ( c.Costs.ip_rx_work + marshal_cost t,
+        fun () -> handle_rx_frame t ~iface:rx_iface ~buf ~len )
+  | Msg.Rx_done { buf } ->
+      ( 0,
+        fun () ->
+          (* The transport is done with the whole frame buffer that
+             backs the sub-pointer it was given. *)
+          let frame_buf = { buf with Rich_ptr.off = 0; len = 0 } in
+          let found = ref None in
+          Hashtbl.iter
+            (fun (b : Rich_ptr.t) _ ->
+              if b.Rich_ptr.pool = frame_buf.Rich_ptr.pool
+                 && b.Rich_ptr.slot = buf.Rich_ptr.slot
+                 && b.Rich_ptr.gen = buf.Rich_ptr.gen
+              then found := Some b)
+            t.held_bufs;
+          (match !found with
+          | Some b ->
+              Hashtbl.remove t.held_bufs b;
+              free_rx t b
+          | None ->
+              (* Unknown buffer — a stale free from before our restart. *)
+              ()) )
+  | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Drv_tx _ | Msg.Rx_deliver _
+  | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
+      (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
+
+(* {2 Construction and wiring} *)
+
+let create machine ~proc ~registry ~save ~load () =
+  let rx_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:4096 ~slot_size:2048 in
+  let hdr_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:8192 ~slot_size:2048 in
+  Registry.register registry rx_pool;
+  Registry.register registry hdr_pool;
+  let t =
+    {
+      machine;
+      proc;
+      registry;
+      save;
+      load;
+      ifaces = [];
+      rx_pool;
+      hdr_pool;
+      db = Request_db.create ();
+      route_table = Ipv4.Route.create ();
+      to_pf = None;
+      pf_up = true;
+      to_tcp = None;
+      to_udp = None;
+      consumed = [];
+      held_bufs = Hashtbl.create 128;
+      resubmit_pf = [];
+      resubmit_drv = [];
+      ident = 0;
+      packets_forwarded = 0;
+      icmp_echoes = 0;
+    }
+  in
+  t
+
+let consume ?(rx_iface = 0) t chan =
+  t.consumed <- chan :: t.consumed;
+  Proc.add_rx t.proc chan (handle_msg t ~rx_iface)
+
+let add_iface t cfg ~drv ~tx_chan ~rx_chan =
+  let i = iface_count t in
+  let ifc =
+    {
+      cfg;
+      drv;
+      tx = tx_chan;
+      arp = Arp.Cache.create ~my_mac:cfg.mac ~my_ip:cfg.addr ();
+      drv_up = true;
+    }
+  in
+  t.ifaces <- t.ifaces @ [ ifc ];
+  consume ~rx_iface:i t rx_chan;
+  Drv_srv.connect_ip drv ~rx_from_ip:tx_chan ~tx_to_ip:rx_chan;
+  Drv_srv.grant_rx_pool drv
+    ~alloc:(fun () ->
+      match Pool.alloc t.rx_pool ~len:(Pool.slot_size t.rx_pool) with
+      | ptr -> Some ptr
+      | exception Pool.Pool_exhausted -> None)
+    ~write:(fun ptr frame ->
+      let narrowed = { ptr with Rich_ptr.len = Bytes.length frame } in
+      try Pool.write t.rx_pool narrowed ~src:frame ~src_off:0
+      with Pool.Stale_pointer _ -> ());
+  i
+
+let connect_pf t ~to_pf ~from_pf =
+  t.to_pf <- Some to_pf;
+  consume t from_pf
+
+let connect_transport t ~proto ~from_transport ~to_transport =
+  (match proto with
+  | `Tcp -> t.to_tcp <- Some to_transport
+  | `Udp -> t.to_udp <- Some to_transport);
+  consume t from_transport
+
+let persist_routes t =
+  t.save "routes" (Marshal.to_string (Ipv4.Route.entries t.route_table) [])
+
+let add_route t ~prefix ~bits ~iface ~gateway =
+  Ipv4.Route.add t.route_table { Ipv4.Route.prefix; bits; iface; gateway };
+  persist_routes t
+
+let add_neighbor t ~iface:i addr mac = Arp.Cache.insert (iface t i).arp addr mac
+
+let clear_routes t = Ipv4.Route.clear t.route_table
+
+let src_addr_for t dst =
+  match Ipv4.Route.lookup t.route_table dst with
+  | Some route when route.Ipv4.Route.iface < iface_count t ->
+      Some (iface t route.Ipv4.Route.iface).cfg.addr
+  | Some _ | None -> None
+
+(* {2 Recovery} *)
+
+let resubmit_pf_all t =
+  let pendings = List.rev t.resubmit_pf in
+  t.resubmit_pf <- [];
+  List.iter
+    (fun p ->
+      match p with
+      | Pf_out _ -> to_filter_out t p
+      | Pf_in _ -> to_filter_in t p
+      | Drv _ -> ())
+    pendings
+
+let repersist t = persist_routes t
+
+let on_pf_crash t =
+  t.pf_up <- false;
+  ignore (Request_db.abort_peer t.db ~peer:pf_peer)
+
+let on_pf_restart t =
+  t.pf_up <- true;
+  Proc.exec t.proc ~cost:(costs t).Costs.ip_tx_work (fun () -> resubmit_pf_all t)
+
+let on_drv_crash t ~iface:i =
+  (iface t i).drv_up <- false;
+  ignore (Request_db.abort_peer t.db ~peer:(drv_peer i))
+
+let on_drv_restart t ~iface:i =
+  (iface t i).drv_up <- true;
+  let pendings = List.rev t.resubmit_drv in
+  t.resubmit_drv <- [];
+  (* "In case of doubt, we prefer to send a few duplicates": every
+     unconfirmed packet is resubmitted (Section V-D). *)
+  Proc.exec t.proc ~cost:(costs t).Costs.ip_tx_work (fun () ->
+      List.iter
+        (fun p ->
+          match p with
+          | Drv { origin; hdr; chain; iface; tso } ->
+              if Registry.chain_live t.registry chain then
+                transmit_frame t ~iface ~origin ~hdr ~chain ~tso
+              else confirm_origin t origin false
+          | Pf_out _ | Pf_in _ -> ())
+        pendings)
+
+let on_transport_crash t ~proto =
+  let tag = match proto with `Tcp -> `Tcp | `Udp -> `Udp in
+  let doomed =
+    Hashtbl.fold (fun b owner acc -> if owner = tag then b :: acc else acc) t.held_bufs []
+  in
+  List.iter
+    (fun b ->
+      Hashtbl.remove t.held_bufs b;
+      free_rx t b)
+    doomed
+
+let crash_cleanup t =
+  (* Our pools die with us: every rich pointer anyone still holds goes
+     stale, and the devices must not DMA into them anymore. *)
+  Pool.free_all t.rx_pool;
+  Pool.free_all t.hdr_pool;
+  Hashtbl.reset t.held_bufs;
+  t.resubmit_pf <- [];
+  t.resubmit_drv <- [];
+  t.db <- Request_db.create ();
+  List.iter Sim_chan.tear_down t.consumed;
+  List.iter (fun ifc -> Drv_srv.on_ip_crash ifc.drv) t.ifaces
+
+let restart t =
+  (* Recover configuration from the storage server. *)
+  Ipv4.Route.clear t.route_table;
+  (match t.load "routes" with
+  | Some blob ->
+      let entries : Ipv4.Route.entry list = Marshal.from_string blob 0 in
+      List.iter (Ipv4.Route.add t.route_table) entries
+  | None -> ());
+  List.iter (fun ifc -> Arp.Cache.flush ifc.arp) t.ifaces;
+  List.iter Sim_chan.revive t.consumed;
+  (* The drivers reset their devices (Section V-D) and get the new
+     receive pool. *)
+  List.iter
+    (fun ifc ->
+      Drv_srv.on_ip_restart ifc.drv;
+      Drv_srv.grant_rx_pool ifc.drv
+        ~alloc:(fun () ->
+          match Pool.alloc t.rx_pool ~len:(Pool.slot_size t.rx_pool) with
+          | ptr -> Some ptr
+          | exception Pool.Pool_exhausted -> None)
+        ~write:(fun ptr frame ->
+          let narrowed = { ptr with Rich_ptr.len = Bytes.length frame } in
+          try Pool.write t.rx_pool narrowed ~src:frame ~src_off:0
+          with Pool.Stale_pointer _ -> ()))
+    t.ifaces

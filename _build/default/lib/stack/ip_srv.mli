@@ -1,0 +1,113 @@
+(** The IP server (with ICMP and ARP, as in the paper's Figure 2).
+
+    IP sits at the T junction of Figure 3: every packet goes IP → PF →
+    IP → driver, so IP "must hand off each packet to another component
+    three times". It owns two pools: the receive pool the drivers' DMA
+    writes into, and a header pool where it builds the combined
+    Ethernet+IP(+partial-checksum L4) header chunk for each outgoing
+    packet (pools are immutable, so the transport's header chunk is
+    copied, not patched — Section V-C).
+
+    Recovery (Table I, Section V-D): the routing configuration and
+    interface addresses are saved to the storage server and restored on
+    restart; ARP and ICMP are stateless. Requests pending at the packet
+    filter are resubmitted on a PF crash (no packet loss — Figure 5);
+    packets unconfirmed by a crashed driver are resubmitted when it
+    returns (duplicates preferred over losses). A crash of IP itself
+    frees the receive pool under the devices, forcing NIC resets. *)
+
+type t
+
+type iface_config = {
+  addr : Newt_net.Addr.Ipv4.t;
+  netmask_bits : int;
+  mac : Newt_net.Addr.Mac.t;
+}
+
+val create :
+  Newt_hw.Machine.t ->
+  proc:Proc.t ->
+  registry:Newt_channels.Registry.t ->
+  save:(string -> string -> unit) ->
+  load:(string -> string option) ->
+  unit ->
+  t
+
+val proc : t -> Proc.t
+
+(** {1 Wiring} *)
+
+val add_iface : t -> iface_config -> drv:Drv_srv.t -> tx_chan:Msg.t Newt_channels.Sim_chan.t -> rx_chan:Msg.t Newt_channels.Sim_chan.t -> int
+(** Register interface [i] served by [drv]; returns the interface
+    index. [tx_chan] carries IP→driver messages, [rx_chan]
+    driver→IP. Grants the driver the receive-pool capability. *)
+
+val connect_pf :
+  t ->
+  to_pf:Msg.t Newt_channels.Sim_chan.t ->
+  from_pf:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val connect_transport :
+  t ->
+  proto:[ `Tcp | `Udp ] ->
+  from_transport:Msg.t Newt_channels.Sim_chan.t ->
+  to_transport:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val add_route :
+  t ->
+  prefix:Newt_net.Addr.Ipv4.t ->
+  bits:int ->
+  iface:int ->
+  gateway:Newt_net.Addr.Ipv4.t option ->
+  unit
+(** Also persists the routing table to the storage server. *)
+
+val add_neighbor : t -> iface:int -> Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Mac.t -> unit
+(** Pre-seed an ARP entry (e.g. from a static configuration). *)
+
+(** {1 Recovery notifications (called by the reincarnation layer)} *)
+
+val on_pf_crash : t -> unit
+(** Abort all pending filter requests; they are resubmitted when the
+    filter returns. *)
+
+val on_pf_restart : t -> unit
+
+val on_drv_crash : t -> iface:int -> unit
+val on_drv_restart : t -> iface:int -> unit
+
+val on_transport_crash : t -> proto:[ `Tcp | `Udp ] -> unit
+(** Reclaim receive buffers the dead transport still held. *)
+
+val crash_cleanup : t -> unit
+(** IP's own crash: frees both pools (making every outstanding rich
+    pointer stale) and tears down the channels it consumes. *)
+
+val restart : t -> unit
+(** Recover configuration from storage, re-create pools, revive
+    channels. *)
+
+val repersist : t -> unit
+(** Save all recoverable state again — required after a crash of the
+    storage server itself (Section V-D). *)
+
+(** {1 Introspection} *)
+
+val routes : t -> Newt_net.Ipv4.Route.entry list
+
+val src_addr_for : t -> Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Ipv4.t option
+(** Source-address selection for a multihomed host: the address of the
+    interface the route to the destination uses. *)
+
+val clear_routes : t -> unit
+(** Drop the routing table without touching the persisted copy — used
+    by the fault injector to model a restart whose state recovery went
+    wrong (the "manually restarting ... solved the problem" cases of
+    Section VI-B). *)
+
+val rx_pool_in_use : t -> int
+val hdr_pool_in_use : t -> int
+val packets_forwarded : t -> int
+val icmp_echoes_answered : t -> int

@@ -1,0 +1,112 @@
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module Sim_chan = Newt_channels.Sim_chan
+module Pf_engine = Newt_pf.Pf_engine
+module Rule = Newt_pf.Rule
+module Conntrack = Newt_pf.Conntrack
+module Stats = Newt_sim.Stats
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  save : string -> string -> unit;
+  load : string -> string option;
+  engine : Pf_engine.t;
+  mutable to_ip : Msg.t Sim_chan.t option;
+  mutable consumed : Msg.t Sim_chan.t list;
+  mutable tcp_source : unit -> Conntrack.flow list;
+  mutable udp_source : unit -> Conntrack.flow list;
+  mutable verdicts : int;
+  mutable blocked : int;
+}
+
+let proc t = t.proc
+let engine_of t = t.engine
+let verdicts_issued t = t.verdicts
+let blocked t = t.blocked
+let rule_count t = List.length (Pf_engine.rules t.engine)
+
+let handle_msg t msg =
+  let c = Machine.costs t.machine in
+  match msg with
+  | Msg.Filter_req { id; dir; pkt } -> (
+      match Pf_engine.classify ~dir pkt with
+      | None ->
+          ( c.Costs.pf_base,
+            fun () ->
+              t.verdicts <- t.verdicts + 1;
+              t.blocked <- t.blocked + 1;
+              Option.iter
+                (fun chan ->
+                  ignore (Proc.send t.proc chan (Msg.Filter_verdict { id; pass = false })))
+                t.to_ip )
+      | Some key ->
+          let verdict = Pf_engine.filter t.engine key in
+          let cost =
+            c.Costs.pf_base
+            + (verdict.Pf_engine.rules_walked * c.Costs.pf_rule_cost)
+            + c.Costs.channel_marshal + c.Costs.channel_enqueue
+          in
+          ( cost,
+            fun () ->
+              t.verdicts <- t.verdicts + 1;
+              let pass = verdict.Pf_engine.action = Rule.Pass in
+              if not pass then t.blocked <- t.blocked + 1;
+              Option.iter
+                (fun chan ->
+                  ignore (Proc.send t.proc chan (Msg.Filter_verdict { id; pass })))
+                t.to_ip ))
+  | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_verdict _ | Msg.Drv_tx _
+  | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_deliver _ | Msg.Rx_done _
+  | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
+      (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
+
+let create machine ~proc ~save ~load () =
+  {
+    machine;
+    proc;
+    save;
+    load;
+    engine = Pf_engine.create ();
+    to_ip = None;
+    consumed = [];
+    tcp_source = (fun () -> []);
+    udp_source = (fun () -> []);
+    verdicts = 0;
+    blocked = 0;
+  }
+
+let connect_ip t ~from_ip ~to_ip =
+  t.to_ip <- Some to_ip;
+  t.consumed <- from_ip :: t.consumed;
+  Proc.add_rx t.proc from_ip (handle_msg t)
+
+let set_rules t rules =
+  Pf_engine.set_rules t.engine rules;
+  t.save "rules" (Marshal.to_string rules [])
+
+let set_conntrack_sources t ~tcp ~udp =
+  t.tcp_source <- tcp;
+  t.udp_source <- udp
+
+let repersist t =
+  t.save "rules" (Marshal.to_string (Pf_engine.rules t.engine) [])
+
+let crash_cleanup t =
+  (* The engine's state is what dies in the crash. *)
+  Pf_engine.set_rules t.engine [];
+  Conntrack.clear (Pf_engine.conntrack t.engine);
+  List.iter Sim_chan.tear_down t.consumed
+
+let restart t =
+  let rules =
+    match t.load "rules" with
+    | Some blob -> (Marshal.from_string blob 0 : Rule.t list)
+    | None -> [ Rule.pass_all ]
+  in
+  (* Rules from storage; live connections by querying the transport
+     servers (Section V-D: "the filter can recover this dynamic state,
+     for instance, by querying the TCP and UDP servers"). *)
+  let states = t.tcp_source () @ t.udp_source () in
+  Pf_engine.restore t.engine ~rules ~states;
+  List.iter Sim_chan.revive t.consumed

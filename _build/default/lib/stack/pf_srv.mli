@@ -1,0 +1,52 @@
+(** The packet-filter server.
+
+    Sits on the T junction of Figure 3: the IP server submits every
+    packet (both directions) and must receive a verdict before passing
+    it on — which is exactly why a PF crash loses no packets: IP knows
+    which requests went unanswered and resubmits them (Section V-D,
+    Figure 5).
+
+    State and recovery (Table I): the ruleset is static configuration,
+    saved to the storage server whenever set; the connection-tracking
+    table is dynamic but recoverable by querying the TCP and UDP
+    servers after a restart. *)
+
+type t
+
+val create :
+  Newt_hw.Machine.t ->
+  proc:Proc.t ->
+  save:(string -> string -> unit) ->
+  load:(string -> string option) ->
+  unit ->
+  t
+
+val proc : t -> Proc.t
+val engine_of : t -> Newt_pf.Pf_engine.t
+
+val connect_ip :
+  t ->
+  from_ip:Msg.t Newt_channels.Sim_chan.t ->
+  to_ip:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val set_rules : t -> Newt_pf.Rule.t list -> unit
+(** Install (and persist) a configuration. *)
+
+val rule_count : t -> int
+
+val set_conntrack_sources :
+  t ->
+  tcp:(unit -> Newt_pf.Conntrack.flow list) ->
+  udp:(unit -> Newt_pf.Conntrack.flow list) ->
+  unit
+(** Where a restarted filter recovers its dynamic state from. *)
+
+val crash_cleanup : t -> unit
+val restart : t -> unit
+
+val repersist : t -> unit
+(** Save the ruleset again (after a storage-server crash). *)
+
+val verdicts_issued : t -> int
+val blocked : t -> int

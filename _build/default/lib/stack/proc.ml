@@ -1,0 +1,180 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Stats = Newt_sim.Stats
+module Trace = Newt_sim.Trace
+module Cpu = Newt_hw.Cpu
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module Sim_chan = Newt_channels.Sim_chan
+
+type handler = Msg.t -> Time.cycles * (unit -> unit)
+
+type t = {
+  machine : Machine.t;
+  name : string;
+  pid : int;
+  core : Cpu.t;
+  stats : Stats.t;
+  trace : Trace.t option;
+  mutable rx : (Msg.t Sim_chan.t * handler ref) list;  (* oldest first *)
+  mutable alive : bool;
+  mutable hung : bool;
+  mutable updating : bool;
+  mutable draining : bool;
+  mutable incarnation : int;
+  mutable version : int;
+  mutable on_crash : unit -> unit;
+  mutable on_restart : fresh:bool -> unit;
+}
+
+let next_pid = ref 100
+
+let create machine ~name ~core ?trace () =
+  let pid = !next_pid in
+  incr next_pid;
+  {
+    machine;
+    name;
+    pid;
+    core;
+    stats = Stats.create ();
+    trace;
+    rx = [];
+    alive = true;
+    hung = false;
+    updating = false;
+    draining = false;
+    incarnation = 0;
+    version = 1;
+    on_crash = (fun () -> ());
+    on_restart = (fun ~fresh:_ -> ());
+  }
+
+let name t = t.name
+let pid t = t.pid
+let core t = t.core
+let stats t = t.stats
+let incarnation t = t.incarnation
+let alive t = t.alive
+let responsive t = t.alive && not t.hung
+
+let record t msg =
+  match t.trace with
+  | Some tr ->
+      Trace.record tr ~at:(Engine.now (Machine.engine t.machine)) ~subsystem:t.name msg
+  | None -> ()
+
+let guard t k =
+  let inc = t.incarnation in
+  fun () -> if t.alive && (not t.hung) && t.incarnation = inc then k ()
+
+let exec t ~cost k =
+  if t.alive && not t.hung then Cpu.exec t.core ~proc:t.pid ~cost (guard t k)
+
+let after t delay ~cost k =
+  let inc = t.incarnation in
+  ignore
+    (Engine.schedule (Machine.engine t.machine) delay (fun () ->
+         if t.alive && (not t.hung) && t.incarnation = inc then
+           Cpu.exec t.core ~proc:t.pid ~cost (guard t k)))
+
+(* Per-message receive overhead: dequeue, demultiplex/validate, and the
+   cross-core cache-line stall. *)
+let recv_cost c =
+  c.Costs.channel_dequeue + c.Costs.channel_demux + c.Costs.cacheline_transfer
+
+let rec drain t =
+  if t.alive && (not t.hung) && not t.updating then begin
+    (* Round-robin: find the first channel with a message, rotate it to
+       the back so no channel starves. *)
+    let rec find seen = function
+      | [] ->
+          t.rx <- List.rev seen;
+          None
+      | ((chan, handler) as entry) :: rest -> (
+          match Sim_chan.recv chan with
+          | Some msg ->
+              t.rx <- List.rev_append seen rest @ [ entry ];
+              Some (msg, !handler)
+          | None -> find (entry :: seen) rest)
+    in
+    match find [] t.rx with
+    | None -> t.draining <- false
+    | Some (msg, handler) ->
+        Stats.incr t.stats ("rx." ^ Msg.describe msg);
+        let costs = Machine.costs t.machine in
+        let work_cost, effect = handler msg in
+        Cpu.exec t.core ~proc:t.pid
+          ~cost:(recv_cost costs + work_cost)
+          (let inc = t.incarnation in
+           fun () ->
+             if t.alive && (not t.hung) && t.incarnation = inc then begin
+               effect ();
+               drain t
+             end)
+  end
+  else t.draining <- false
+
+let wake t =
+  if t.alive && (not t.hung) && (not t.updating) && not t.draining then begin
+    t.draining <- true;
+    drain t
+  end
+
+let add_rx t chan handler =
+  (match List.assq_opt chan t.rx with
+  | Some href -> href := handler
+  | None ->
+      t.rx <- t.rx @ [ (chan, ref handler) ];
+      Sim_chan.set_notify chan (fun () -> wake t));
+  if not (Sim_chan.is_empty chan) then wake t
+
+let send t chan msg =
+  Stats.incr t.stats ("tx." ^ Msg.describe msg);
+  let ok = Sim_chan.send chan msg in
+  if not ok then Stats.incr t.stats "tx.dropped";
+  ok
+
+let set_on_crash t f = t.on_crash <- f
+let set_on_restart t f = t.on_restart <- f
+
+let crash t =
+  if t.alive then begin
+    record t "CRASH";
+    t.alive <- false;
+    t.hung <- false;
+    t.updating <- false;
+    t.draining <- false;
+    t.on_crash ()
+  end
+
+let hang t =
+  if t.alive then begin
+    record t "HANG";
+    t.hung <- true;
+    t.draining <- false
+  end
+
+let restart t =
+  record t "RESTART";
+  t.incarnation <- t.incarnation + 1;
+  t.alive <- true;
+  t.hung <- false;
+  t.updating <- false;
+  t.draining <- false;
+  t.on_restart ~fresh:false;
+  wake t
+
+let start_fresh t =
+  t.on_restart ~fresh:true;
+  wake t
+
+let begin_update t = t.updating <- true
+
+let finish_update t =
+  t.updating <- false;
+  t.version <- t.version + 1;
+  wake t
+
+let version t = t.version
+let updating t = t.updating

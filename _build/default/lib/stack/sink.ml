@@ -1,0 +1,235 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Rng = Newt_sim.Rng
+module Link = Newt_nic.Link
+module Addr = Newt_net.Addr
+module Ethernet = Newt_net.Ethernet
+module Arp = Newt_net.Arp
+module Ipv4 = Newt_net.Ipv4
+module Icmp = Newt_net.Icmp
+module Udp = Newt_net.Udp
+module Tcp = Newt_net.Tcp
+module Tcp_wire = Newt_net.Tcp_wire
+
+type t = {
+  engine : Engine.t;
+  link : Link.t;
+  side : Link.side;
+  addr : Addr.Ipv4.t;
+  mac : Addr.Mac.t;
+  arp : Arp.Cache.t;
+  mutable tcp : Tcp.t;
+  udp_services :
+    (int, src:Addr.Ipv4.t -> src_port:int -> Bytes.t -> Bytes.t option) Hashtbl.t;
+  mutable ident : int;
+  mutable tcp_bytes : int;
+  mutable frames : int;
+  mutable csum_failures : int;
+  mutable next_ping : int;
+  pings : (int, int * (rtt:Time.cycles -> unit)) Hashtbl.t;
+      (* seq -> (sent-at, callback) *)
+  rng : Rng.t;
+}
+
+let addr t = t.addr
+let tcp t = t.tcp
+let tcp_bytes_received t = t.tcp_bytes
+let frames_received t = t.frames
+let checksum_failures t = t.csum_failures
+
+let send_frame t ~dst_mac ~payload ~ethertype =
+  let frame =
+    Ethernet.frame { Ethernet.dst = dst_mac; src = t.mac; ethertype } ~payload
+  in
+  ignore (Link.transmit t.link ~from:t.side frame)
+
+let send_ip t ~dst ~proto ~payload =
+  t.ident <- (t.ident + 1) land 0xffff;
+  let pkt =
+    Ipv4.packet
+      { Ipv4.src = t.addr; dst; protocol = proto; ttl = 64; ident = t.ident; total_len = 0 }
+      ~payload
+  in
+  match Arp.Cache.lookup t.arp dst with
+  | Some mac -> send_frame t ~dst_mac:mac ~payload:pkt ~ethertype:Ethernet.Ipv4
+  | None -> (
+      (* Resolve first; retry when the reply comes. *)
+      match
+        Arp.Cache.resolve t.arp dst ~on_ready:(fun mac ->
+            send_frame t ~dst_mac:mac ~payload:pkt ~ethertype:Ethernet.Ipv4)
+      with
+      | `Hit mac -> send_frame t ~dst_mac:mac ~payload:pkt ~ethertype:Ethernet.Ipv4
+      | `Wait ->
+          send_frame t ~dst_mac:Addr.Mac.broadcast
+            ~payload:(Arp.encode (Arp.Cache.request_for t.arp dst))
+            ~ethertype:Ethernet.Arp
+      | `Dropped -> ())
+
+let make_tcp t tcp_config =
+  Tcp.create ~config:tcp_config
+    {
+      Tcp.now = (fun () -> Engine.now t.engine);
+      set_timer =
+        (fun delay f ->
+          let h = Engine.schedule t.engine delay f in
+          fun () -> Engine.cancel h);
+      emit =
+        (fun ~src:_ ~dst hdr ~payload ->
+          let seg = Tcp_wire.encode ~src:t.addr ~dst hdr ~payload in
+          send_ip t ~dst ~proto:Ipv4.Tcp ~payload:seg);
+      random = (fun bound -> Rng.int t.rng bound);
+    }
+
+let handle_ipv4 t pkt =
+  match Ipv4.payload pkt with
+  | None -> t.csum_failures <- t.csum_failures + 1
+  | Some (ih, l4) -> (
+      if Addr.Ipv4.equal ih.Ipv4.dst t.addr then
+        match ih.Ipv4.protocol with
+        | Ipv4.Tcp -> (
+            match Tcp_wire.decode ~src:ih.Ipv4.src ~dst:ih.Ipv4.dst l4 with
+            | Some (hdr, payload) ->
+                Tcp.input t.tcp ~src:ih.Ipv4.src ~dst:ih.Ipv4.dst hdr ~payload
+            | None -> t.csum_failures <- t.csum_failures + 1)
+        | Ipv4.Udp -> (
+            match Udp.decode ~src:ih.Ipv4.src ~dst:ih.Ipv4.dst l4 with
+            | Some (uh, payload) -> (
+                match Hashtbl.find_opt t.udp_services uh.Udp.dst_port with
+                | Some service -> (
+                    match
+                      service ~src:ih.Ipv4.src ~src_port:uh.Udp.src_port payload
+                    with
+                    | Some response ->
+                        let dg =
+                          Udp.encode ~src:t.addr ~dst:ih.Ipv4.src
+                            { Udp.src_port = uh.Udp.dst_port; dst_port = uh.Udp.src_port }
+                            ~payload:response
+                        in
+                        send_ip t ~dst:ih.Ipv4.src ~proto:Ipv4.Udp ~payload:dg
+                    | None -> ())
+                | None -> ())
+            | None -> t.csum_failures <- t.csum_failures + 1)
+        | Ipv4.Icmp -> (
+            match Icmp.decode l4 with
+            | Some msg -> (
+                match msg with
+                | Icmp.Echo_reply { seq; _ } -> (
+                    match Hashtbl.find_opt t.pings seq with
+                    | Some (sent_at, k) ->
+                        Hashtbl.remove t.pings seq;
+                        k ~rtt:(Engine.now t.engine - sent_at)
+                    | None -> ())
+                | Icmp.Echo_request _ | Icmp.Dest_unreachable _ -> (
+                    match Icmp.reply_to msg with
+                    | Some reply ->
+                        send_ip t ~dst:ih.Ipv4.src ~proto:Ipv4.Icmp
+                          ~payload:(Icmp.encode reply)
+                    | None -> ()))
+            | None -> t.csum_failures <- t.csum_failures + 1)
+        | Ipv4.Unknown _ -> ())
+
+let handle_frame t frame =
+  t.frames <- t.frames + 1;
+  match Ethernet.decode_header frame ~off:0 with
+  | None -> ()
+  | Some eh -> (
+      match (eh.Ethernet.ethertype, Ethernet.payload frame) with
+      | Ethernet.Arp, Some payload -> (
+          match Arp.decode payload with
+          | Some arp_pkt -> (
+              match Arp.Cache.input t.arp arp_pkt with
+              | Some reply ->
+                  send_frame t ~dst_mac:arp_pkt.Arp.sender_mac
+                    ~payload:(Arp.encode reply) ~ethertype:Ethernet.Arp
+              | None -> ())
+          | None -> ())
+      | Ethernet.Ipv4, Some payload -> handle_ipv4 t payload
+      | (Ethernet.Unknown _ | Ethernet.Arp | Ethernet.Ipv4), _ -> ())
+
+let create engine ~link ~side ~addr ~mac ?tcp_config () =
+  let tcp_config =
+    match tcp_config with
+    | Some c -> c
+    | None -> { Tcp.default_config with Tcp.snd_buf = 512 * 1024; rcv_buf = 512 * 1024 }
+  in
+  let t =
+    {
+      engine;
+      link;
+      side;
+      addr;
+      mac;
+      arp = Arp.Cache.create ~my_mac:mac ~my_ip:addr ();
+      tcp = Tcp.create { Tcp.now = (fun () -> 0); set_timer = (fun _ _ () -> ()); emit = (fun ~src:_ ~dst:_ _ ~payload:_ -> ()); random = (fun _ -> 0) };
+      udp_services = Hashtbl.create 8;
+      next_ping = 0;
+      pings = Hashtbl.create 8;
+      ident = 0;
+      tcp_bytes = 0;
+      frames = 0;
+      csum_failures = 0;
+      rng = Rng.split (Engine.rng engine);
+    }
+  in
+  t.tcp <- make_tcp t tcp_config;
+  Link.attach link side (fun frame -> handle_frame t frame);
+  t
+
+let sink_tcp t ~port ~on_bytes =
+  Tcp.listen t.tcp ~port ~on_accept:(fun pcb ->
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              let data = Tcp.recv pcb ~max:10_000_000 in
+              let n = Bytes.length data in
+              if n > 0 then begin
+                t.tcp_bytes <- t.tcp_bytes + n;
+                on_bytes ~at:(Engine.now t.engine) n
+              end;
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | Tcp.Connected | Tcp.Accepted | Tcp.Writable | Tcp.Closed_normally
+          | Tcp.Reset ->
+              ()))
+
+let serve_udp_full t ~port service = Hashtbl.replace t.udp_services port service
+
+let serve_udp t ~port service =
+  serve_udp_full t ~port (fun ~src:_ ~src_port:_ payload -> service payload)
+
+let send_udp t ~dst ~dst_port ~src_port payload =
+  let dg = Udp.encode ~src:t.addr ~dst { Udp.src_port; dst_port } ~payload in
+  send_ip t ~dst ~proto:Ipv4.Udp ~payload:dg
+
+let serve_dns t ?(port = 53) ~zone () =
+  serve_udp t ~port (fun payload ->
+      match Newt_net.Dns.decode payload with
+      | Some q when not q.Newt_net.Dns.is_response ->
+          let addr =
+            match q.Newt_net.Dns.questions with
+            | { Newt_net.Dns.qname; _ } :: _ -> zone qname
+            | [] -> None
+          in
+          Some (Newt_net.Dns.encode (Newt_net.Dns.response ~query:q addr))
+      | Some _ | None -> None)
+
+let serve_tcp_echo t ~port =
+  Tcp.listen t.tcp ~port ~on_accept:(fun pcb ->
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              let data = Tcp.recv pcb ~max:1_000_000 in
+              if Bytes.length data > 0 then ignore (Tcp.send pcb data);
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | Tcp.Connected | Tcp.Accepted | Tcp.Writable | Tcp.Closed_normally
+          | Tcp.Reset ->
+              ()))
+
+let connect t ~dst ~dst_port = Tcp.connect t.tcp ~src:t.addr ~dst ~dst_port ()
+
+let ping t ~dst k =
+  t.next_ping <- t.next_ping + 1;
+  let seq = t.next_ping land 0xffff in
+  Hashtbl.replace t.pings seq (Engine.now t.engine, k);
+  send_ip t ~dst ~proto:Ipv4.Icmp
+    ~payload:
+      (Icmp.encode (Icmp.Echo_request { ident = 1; seq; data = Bytes.create 56 }))

@@ -1,0 +1,196 @@
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module Cpu = Newt_hw.Cpu
+module Stats = Newt_sim.Stats
+module Sim_chan = Newt_channels.Sim_chan
+
+type app = { app_core : Cpu.t; app_pid : int }
+
+type entry = {
+  transport : [ `Tcp | `Udp ];
+  mutable last_op : (int * Msg.sock_call) option;
+  mutable waiter : (Msg.sock_result -> unit) option;
+  mutable owner : app option;
+}
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  mutable to_tcp : Msg.t Sim_chan.t option;
+  mutable to_udp : Msg.t Sim_chan.t option;
+  mutable consumed : Msg.t Sim_chan.t list;
+  sockets : (Msg.socket_id, entry) Hashtbl.t;
+  reqs : (int, Msg.socket_id) Hashtbl.t;
+  mutable next_sock : int;
+  mutable next_req : int;
+}
+
+let proc t = t.proc
+let costs t = Machine.costs t.machine
+
+let outstanding_calls t = Hashtbl.length t.reqs
+
+let chan_for t transport =
+  match transport with `Tcp -> t.to_tcp | `Udp -> t.to_udp
+
+(* Deliver a result back to the blocked application: the kernel reply
+   plus the app's return from its trap. *)
+let deliver_to_app t entry result =
+  match (entry.waiter, entry.owner) with
+  | Some k, Some app ->
+      entry.waiter <- None;
+      Cpu.exec app.app_core ~proc:app.app_pid
+        ~cost:(costs t).Costs.trap_hot
+        (fun () -> k result)
+  | Some k, None ->
+      entry.waiter <- None;
+      k result
+  | None, _ -> ()
+
+let forward t sock_id entry req_id call =
+  match chan_for t entry.transport with
+  | Some chan ->
+      entry.last_op <- Some (req_id, call);
+      Hashtbl.replace t.reqs req_id sock_id;
+      if not (Proc.send t.proc chan (Msg.Sock_req { id = req_id; sock = sock_id; call }))
+      then begin
+        Hashtbl.remove t.reqs req_id;
+        (* The transport is down; the operation stays recorded as
+           unfinished and will be re-issued on restart. *)
+        ()
+      end
+  | None -> deliver_to_app t entry (Msg.Err "no transport")
+
+(* The SYSCALL server's own work per call is minimal: "it merely peeks
+   into the messages and passes them to the servers through the
+   channels" — but it pays the kernel IPC receive for the application's
+   trap. *)
+let dispatch_cost t =
+  let c = costs t in
+  Costs.kipc_sendrec_cost c ~cold:false + c.Costs.channel_marshal
+  + c.Costs.channel_enqueue
+
+let submit t app ~sock:sock_id call k =
+  (* The application traps; the kernel copies the message; the SYSCALL
+     server is woken (possibly cross-core). *)
+  let c = costs t in
+  Cpu.exec app.app_core ~proc:app.app_pid
+    ~cost:(Costs.kipc_sendrec_cost c ~cold:false)
+    (fun () ->
+      Proc.exec t.proc ~cost:(dispatch_cost t) (fun () ->
+          match Hashtbl.find_opt t.sockets sock_id with
+          | None -> k (Msg.Err "bad socket")
+          | Some entry ->
+              if entry.waiter <> None then k (Msg.Err "socket busy")
+              else begin
+                entry.waiter <- Some k;
+                entry.owner <- Some app;
+                let req_id = t.next_req in
+                t.next_req <- req_id + 1;
+                (* accept(): pre-allocate the new connection's socket id
+                   and register it with the same transport. *)
+                let call =
+                  match call with
+                  | Msg.Call_accept _ ->
+                      let new_sock = t.next_sock in
+                      t.next_sock <- new_sock + 1;
+                      Hashtbl.replace t.sockets new_sock
+                        {
+                          transport = entry.transport;
+                          last_op = None;
+                          waiter = None;
+                          owner = None;
+                        };
+                      Msg.Call_accept { new_sock }
+                  | other -> other
+                in
+                forward t sock_id entry req_id call
+              end))
+
+let socket t app ~transport k =
+  let c = costs t in
+  Cpu.exec app.app_core ~proc:app.app_pid
+    ~cost:(Costs.kipc_sendrec_cost c ~cold:false)
+    (fun () ->
+      Proc.exec t.proc ~cost:(dispatch_cost t) (fun () ->
+          let sock_id = t.next_sock in
+          t.next_sock <- sock_id + 1;
+          let entry = { transport; last_op = None; waiter = None; owner = Some app } in
+          Hashtbl.replace t.sockets sock_id entry;
+          entry.waiter <-
+            Some
+              (fun result ->
+                match result with
+                | Msg.Ok_socket id -> k id
+                | _ -> k sock_id);
+          let req_id = t.next_req in
+          t.next_req <- req_id + 1;
+          forward t sock_id entry req_id Msg.Call_socket))
+
+let call = submit
+
+let handle_msg t msg =
+  let c = costs t in
+  match msg with
+  | Msg.Sock_reply { id; result } -> (
+      ( c.Costs.channel_demux + (Costs.kipc_sendrec_cost c ~cold:false / 2),
+        fun () ->
+          match Hashtbl.find_opt t.reqs id with
+          | None ->
+              (* A stale reply from before a restart: ignore
+                 (Section V-B). *)
+              Stats.incr (Proc.stats t.proc) "stale_reply"
+          | Some sock_id -> (
+              Hashtbl.remove t.reqs id;
+              match Hashtbl.find_opt t.sockets sock_id with
+              | None -> ()
+              | Some entry ->
+                  entry.last_op <- None;
+                  deliver_to_app t entry result) ))
+  | Msg.Sock_event _ -> (100, fun () -> ())
+  | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Filter_verdict _
+  | Msg.Drv_tx _ | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_deliver _
+  | Msg.Rx_done _ | Msg.Sock_req _ ->
+      (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
+
+let create machine ~proc () =
+  {
+    machine;
+    proc;
+    to_tcp = None;
+    to_udp = None;
+    consumed = [];
+    sockets = Hashtbl.create 64;
+    reqs = Hashtbl.create 64;
+    next_sock = 3;
+    next_req = 1;
+  }
+
+let connect_transport t ~transport ~to_transport ~from_transport =
+  (match transport with
+  | `Tcp -> t.to_tcp <- Some to_transport
+  | `Udp -> t.to_udp <- Some to_transport);
+  t.consumed <- from_transport :: t.consumed;
+  Proc.add_rx t.proc from_transport (handle_msg t)
+
+let on_transport_restart t ~transport =
+  (* Re-issue every unfinished operation against the fresh instance
+     (Section V-D). The request keeps its id: the old instance never
+     answered it, and ids are unique per SYSCALL incarnation. *)
+  Proc.exec t.proc ~cost:(dispatch_cost t) (fun () ->
+      Hashtbl.iter
+        (fun sock_id entry ->
+          if entry.transport = transport then
+            match entry.last_op with
+            | Some (req_id, call) -> forward t sock_id entry req_id call
+            | None -> ())
+        t.sockets)
+
+let crash_cleanup t =
+  (* Outstanding calls get errors; the socket table is rebuilt lazily as
+     applications retry. *)
+  Hashtbl.iter (fun _ entry -> deliver_to_app t entry (Msg.Err "syscall server restarted")) t.sockets;
+  Hashtbl.reset t.reqs;
+  List.iter Sim_chan.tear_down t.consumed
+
+let restart t = List.iter Sim_chan.revive t.consumed

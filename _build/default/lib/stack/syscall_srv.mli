@@ -1,0 +1,59 @@
+(** The SYSCALL server.
+
+    "To detach the synchronous POSIX system calls from the asynchronous
+    internals of NewtOS, the applications' requests are dispatched by a
+    SYSCALL server. It is the only server which frequently uses the
+    kernel IPC. Phrased differently, it pays the trapping toll for the
+    rest of the system." (Section V-B)
+
+    Applications block in a kernel sendrec; the SYSCALL server peeks at
+    the message and forwards it over a fast-path channel to the TCP or
+    UDP server, remembering the {e last unfinished operation on each
+    socket}. That memory is the recovery mechanism of Section V-D: when
+    a transport server is restarted, the SYSCALL server re-issues every
+    unfinished operation against the new instance (preferring duplicate
+    sends over lost ones). *)
+
+type t
+
+type app = { app_core : Newt_hw.Cpu.t; app_pid : int }
+(** Identifies the calling application for cost accounting. *)
+
+val create : Newt_hw.Machine.t -> proc:Proc.t -> unit -> t
+
+val proc : t -> Proc.t
+
+val connect_transport :
+  t ->
+  transport:[ `Tcp | `Udp ] ->
+  to_transport:Msg.t Newt_channels.Sim_chan.t ->
+  from_transport:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+(** {1 The POSIX face} *)
+
+val socket :
+  t -> app -> transport:[ `Tcp | `Udp ] -> (Msg.socket_id -> unit) -> unit
+(** Create a socket; the continuation runs on the app's core when the
+    transport acknowledged it. *)
+
+val call :
+  t -> app -> sock:Msg.socket_id -> Msg.sock_call -> (Msg.sock_result -> unit) -> unit
+(** Issue a (blocking) socket call. [Call_accept]'s [new_sock] is
+    filled in by the server. The continuation receives the result on
+    the app's core. At most one outstanding call per socket. *)
+
+(** {1 Recovery} *)
+
+val on_transport_restart : t -> transport:[ `Tcp | `Udp ] -> unit
+(** Re-issue the last unfinished operation of every socket belonging to
+    the restarted transport. *)
+
+val crash_cleanup : t -> unit
+(** The SYSCALL server itself is stateless enough that restarting it is
+    trivial (Section V-B): outstanding calls are answered with errors
+    and stale replies will be ignored. *)
+
+val restart : t -> unit
+
+val outstanding_calls : t -> int

@@ -1,0 +1,553 @@
+module Engine = Newt_sim.Engine
+module Stats = Newt_sim.Stats
+module Rng = Newt_sim.Rng
+module Machine = Newt_hw.Machine
+module Costs = Newt_hw.Costs
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Rich_ptr = Newt_channels.Rich_ptr
+module Registry = Newt_channels.Registry
+module Request_db = Newt_channels.Request_db
+module Addr = Newt_net.Addr
+module Ipv4 = Newt_net.Ipv4
+module Tcp = Newt_net.Tcp
+module Tcp_wire = Newt_net.Tcp_wire
+module Conntrack = Newt_pf.Conntrack
+
+(* An in-flight packet: what we need to resubmit it after an IP crash. *)
+type inflight = {
+  chain : Rich_ptr.chain;
+  src : Addr.Ipv4.t;
+  dst : Addr.Ipv4.t;
+  tso : bool;
+}
+
+type pending_op =
+  | P_none
+  | P_connect of { req : int }
+  | P_accept of { req : int; new_sock : Msg.socket_id }
+  | P_recv of { req : int; max : int }
+  | P_send of { req : int; data : Bytes.t; mutable off : int }
+
+type socket = {
+  sock_id : Msg.socket_id;
+  mutable pcb : Tcp.pcb option;
+  mutable listen_port : int option;
+  mutable bound_port : int option;
+  accept_q : Tcp.pcb Queue.t;
+  mutable op : pending_op;
+  mutable dead : bool;  (* reset/closed *)
+}
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  registry : Registry.t;
+  local_addr : Addr.Ipv4.t;
+  tcp_config : Tcp.config;
+  save : string -> string -> unit;
+  load : string -> string option;
+  pool : Pool.t;
+  mutable engine : Tcp.t;
+  mutable db : inflight Request_db.t;
+  mutable to_ip : Msg.t Sim_chan.t option;
+  mutable to_sc : Msg.t Sim_chan.t option;
+  mutable consumed : Msg.t Sim_chan.t list;
+  sockets : (Msg.socket_id, socket) Hashtbl.t;
+  mutable select_pending : (int * Msg.socket_id list) option;
+  mutable resubmit : inflight list;
+  mutable ip_up : bool;
+  mutable resubmitted : int;
+  mutable src_select : Addr.Ipv4.t -> Addr.Ipv4.t;
+  rng : Rng.t;
+}
+
+let ip_peer = 1
+let proc t = t.proc
+let costs t = Machine.costs t.machine
+let engine t = t.engine
+let pool_in_use t = Pool.in_use t.pool
+let segments_resubmitted t = t.resubmitted
+
+let free_chain t chain = List.iter (fun p -> try Pool.free t.pool p with Pool.Stale_pointer _ -> ()) chain
+
+let sim_engine t = Machine.engine t.machine
+
+(* {2 Outgoing segments: the zero-copy handoff to IP} *)
+
+let submit_packet t (pkt : inflight) =
+  if not t.ip_up then t.resubmit <- pkt :: t.resubmit
+  else
+    match t.to_ip with
+    | None -> free_chain t pkt.chain
+    | Some chan ->
+        let id =
+          Request_db.submit t.db ~peer:ip_peer ~payload:pkt ~abort:(fun _ p ->
+              (* IP crashed: resubmit under a new id once it returns;
+                 the data stays allocated until the new id confirms. *)
+              t.resubmit <- p :: t.resubmit)
+        in
+        let sent =
+          Proc.send t.proc chan
+            (Msg.Tx_ip
+               { id; chain = pkt.chain; src = pkt.src; dst = pkt.dst; proto = Ipv4.Tcp; tso = pkt.tso })
+        in
+        if not sent then begin
+          (* Queue full: drop; TCP's retransmission recovers. *)
+          ignore (Request_db.complete t.db id);
+          free_chain t pkt.chain
+        end
+
+let emit_segment t ~src ~dst (hdr : Tcp_wire.header) ~payload =
+  let c = costs t in
+  let cost =
+    c.Costs.tcp_segment_work + c.Costs.channel_marshal + c.Costs.channel_enqueue
+  in
+  Proc.exec t.proc ~cost (fun () ->
+      (* Header chunk: encoded with a partial checksum for the NIC's
+         offload engine to finalize. Payload chunk(s): the segment
+         bytes, zero-copy from here on. *)
+      let hdr_bytes = Tcp_wire.encode ~src ~dst ~partial_csum:true hdr ~payload:Bytes.empty in
+      let alloc_write b =
+        let ptr = Pool.alloc t.pool ~len:(Bytes.length b) in
+        Pool.write t.pool ptr ~src:b ~src_off:0;
+        ptr
+      in
+      match alloc_write hdr_bytes with
+      | exception Pool.Pool_exhausted -> Stats.incr (Proc.stats t.proc) "pool_exhausted"
+      | hdr_ptr -> (
+          let payload_chunks =
+            if Bytes.length payload = 0 then Some []
+            else
+              (* Large TSO segments span several pool slots. *)
+              let slot = Pool.slot_size t.pool in
+              let rec chunks off acc =
+                if off >= Bytes.length payload then Some (List.rev acc)
+                else
+                  let len = min slot (Bytes.length payload - off) in
+                  match Pool.alloc t.pool ~len with
+                  | exception Pool.Pool_exhausted ->
+                      free_chain t acc;
+                      None
+                  | ptr ->
+                      Pool.write t.pool ptr ~src:(Bytes.sub payload off len) ~src_off:0;
+                      chunks (off + len) (ptr :: acc)
+              in
+              chunks 0 []
+          in
+          match payload_chunks with
+          | None ->
+              free_chain t [ hdr_ptr ];
+              Stats.incr (Proc.stats t.proc) "pool_exhausted"
+          | Some chunks ->
+              let tso = Bytes.length payload > 1460 in
+              submit_packet t { chain = hdr_ptr :: chunks; src; dst; tso }))
+
+let make_engine t =
+  let inc_at_create = Proc.incarnation t.proc in
+  Tcp.create ~config:t.tcp_config
+    {
+      Tcp.now = (fun () -> Engine.now (sim_engine t));
+      set_timer =
+        (fun delay f ->
+          let h =
+            Engine.schedule (sim_engine t) delay (fun () ->
+                if Proc.alive t.proc && Proc.incarnation t.proc = inc_at_create then
+                  Proc.exec t.proc ~cost:200 f)
+          in
+          fun () -> Engine.cancel h);
+      emit =
+        (fun ~src ~dst hdr ~payload ->
+          if Proc.incarnation t.proc = inc_at_create then
+            emit_segment t ~src ~dst hdr ~payload);
+      random = (fun bound -> Rng.int t.rng bound);
+    }
+
+(* {2 Socket bookkeeping} *)
+
+let sock t id =
+  match Hashtbl.find_opt t.sockets id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          sock_id = id;
+          pcb = None;
+          listen_port = None;
+          bound_port = None;
+          accept_q = Queue.create ();
+          op = P_none;
+          dead = false;
+        }
+      in
+      Hashtbl.add t.sockets id s;
+      s
+
+let reply t req result =
+  match t.to_sc with
+  | Some chan -> ignore (Proc.send t.proc chan (Msg.Sock_reply { id = req; result }))
+  | None -> ()
+
+let persist_listeners t =
+  let listeners =
+    Hashtbl.fold
+      (fun id s acc -> match s.listen_port with Some p -> (id, p) :: acc | None -> acc)
+      t.sockets []
+  in
+  t.save "listeners" (Marshal.to_string (List.sort compare listeners) [])
+
+let socket_readable s =
+  s.dead
+  || (not (Queue.is_empty s.accept_q))
+  ||
+  match s.pcb with
+  | Some pcb -> Tcp.recv_available pcb > 0 || Tcp.recv_eof pcb
+  | None -> false
+
+let check_select t =
+  match t.select_pending with
+  | None -> ()
+  | Some (req, watch) ->
+      let ready =
+        List.filter
+          (fun id ->
+            match Hashtbl.find_opt t.sockets id with
+            | Some s -> socket_readable s
+            | None -> true)
+          watch
+      in
+      if ready <> [] then begin
+        t.select_pending <- None;
+        reply t req (Msg.Ok_ready ready)
+      end
+
+(* Try to complete a blocked operation after a TCP event. *)
+let rec progress t s =
+  match s.op with
+  | P_none -> ()
+  | P_connect { req } -> (
+      match s.pcb with
+      | Some pcb when Tcp.state pcb = Tcp.Established ->
+          s.op <- P_none;
+          reply t req Msg.Ok_unit
+      | Some _ -> ()
+      | None ->
+          s.op <- P_none;
+          reply t req (Msg.Err "connection failed"))
+  | P_accept { req; new_sock } -> (
+      match Queue.take_opt s.accept_q with
+      | Some pcb ->
+          s.op <- P_none;
+          let child = sock t new_sock in
+          child.pcb <- Some pcb;
+          attach_handler t child pcb;
+          reply t req (Msg.Ok_accepted new_sock)
+      | None -> ())
+  | P_recv { req; max } -> (
+      match s.pcb with
+      | Some pcb ->
+          if Tcp.recv_available pcb > 0 then begin
+            s.op <- P_none;
+            reply t req (Msg.Ok_data (Tcp.recv pcb ~max))
+          end
+          else if Tcp.recv_eof pcb then begin
+            s.op <- P_none;
+            reply t req Msg.Ok_eof
+          end
+          else if s.dead then begin
+            s.op <- P_none;
+            reply t req (Msg.Err "connection reset")
+          end
+      | None ->
+          s.op <- P_none;
+          reply t req (Msg.Err "not connected"))
+  | P_send ({ req; data; _ } as ps) -> (
+      match s.pcb with
+      | Some pcb ->
+          let remaining = Bytes.length data - ps.off in
+          if remaining > 0 then begin
+            let accepted =
+              Tcp.send pcb (Bytes.sub data ps.off remaining)
+            in
+            ps.off <- ps.off + accepted
+          end;
+          if ps.off >= Bytes.length data then begin
+            s.op <- P_none;
+            reply t req (Msg.Ok_sent ps.off)
+          end
+          else if s.dead then begin
+            s.op <- P_none;
+            reply t req (Msg.Err "connection reset")
+          end
+      | None ->
+          s.op <- P_none;
+          reply t req (Msg.Err "not connected"))
+
+and attach_handler t s pcb =
+  Tcp.set_handler pcb (fun ev ->
+      (match ev with
+      | Tcp.Connected | Tcp.Readable | Tcp.Writable -> progress t s
+      | Tcp.Accepted -> ()
+      | Tcp.Closed_normally ->
+          s.dead <- true;
+          progress t s
+      | Tcp.Reset ->
+          s.dead <- true;
+          s.pcb <- None;
+          progress t s);
+      check_select t)
+
+let handle_call t s req (call : Msg.sock_call) =
+  match call with
+  | Msg.Call_socket -> reply t req (Msg.Ok_socket s.sock_id)
+  | Msg.Call_bind { port } ->
+      s.bound_port <- Some port;
+      reply t req Msg.Ok_unit
+  | Msg.Call_listen -> (
+      match s.bound_port with
+      | None -> reply t req (Msg.Err "not bound")
+      | Some port -> (
+          match
+            Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
+                Queue.push pcb s.accept_q;
+                (* Accepted connections produce events as soon as an
+                   accept claims them; meanwhile track and ack. *)
+                progress t s;
+                check_select t)
+          with
+          | () ->
+              s.listen_port <- Some port;
+              persist_listeners t;
+              reply t req Msg.Ok_unit
+          | exception Invalid_argument m -> reply t req (Msg.Err m)))
+  | Msg.Call_connect { dst; dst_port } ->
+      let pcb = Tcp.connect t.engine ~src:(t.src_select dst) ~dst ~dst_port () in
+      s.pcb <- Some pcb;
+      s.op <- P_connect { req };
+      attach_handler t s pcb;
+      progress t s
+  | Msg.Call_send { data } ->
+      (match s.op with
+      | P_none ->
+          s.op <- P_send { req; data; off = 0 };
+          progress t s
+      | P_connect _ | P_accept _ | P_recv _ | P_send _ ->
+          reply t req (Msg.Err "operation pending"))
+  | Msg.Call_recv { max; timeout } ->
+      (match s.op with
+      | P_none ->
+          s.op <- P_recv { req; max };
+          progress t s;
+          if timeout > 0 then
+            Proc.after t.proc timeout ~cost:100 (fun () ->
+                match s.op with
+                | P_recv { req = r; _ } when r = req ->
+                    s.op <- P_none;
+                    reply t req (Msg.Err "timeout")
+                | P_recv _ | P_none | P_connect _ | P_accept _ | P_send _ -> ())
+      | P_connect _ | P_accept _ | P_recv _ | P_send _ ->
+          reply t req (Msg.Err "operation pending"))
+  | Msg.Call_accept { new_sock } ->
+      (match s.op with
+      | P_none ->
+          s.op <- P_accept { req; new_sock };
+          progress t s
+      | P_connect _ | P_accept _ | P_recv _ | P_send _ ->
+          reply t req (Msg.Err "operation pending"))
+  | Msg.Call_shutdown ->
+      (match s.pcb with
+      | Some pcb ->
+          Tcp.close pcb;
+          (* Unlike close: the socket stays alive for receiving. *)
+          reply t req Msg.Ok_unit
+      | None -> reply t req (Msg.Err "not connected"))
+  | Msg.Call_select { watch; timeout } ->
+      (match t.select_pending with
+      | Some _ -> reply t req (Msg.Err "select already pending")
+      | None ->
+          t.select_pending <- Some (req, watch);
+          check_select t;
+          if t.select_pending <> None && timeout > 0 then
+            Proc.after t.proc timeout ~cost:100 (fun () ->
+                match t.select_pending with
+                | Some (r, _) when r = req ->
+                    t.select_pending <- None;
+                    reply t req (Msg.Ok_ready [])
+                | Some _ | None -> ()))
+  | Msg.Call_sendto _ -> reply t req (Msg.Err "not a datagram socket")
+  | Msg.Call_recvfrom _ -> reply t req (Msg.Err "not a datagram socket")
+  | Msg.Call_close ->
+      (match s.listen_port with
+      | Some port ->
+          Tcp.unlisten t.engine ~port;
+          s.listen_port <- None;
+          persist_listeners t
+      | None -> ());
+      (match s.pcb with Some pcb -> Tcp.close pcb | None -> ());
+      s.dead <- true;
+      reply t req Msg.Ok_unit
+
+(* {2 Message handlers} *)
+
+let handle_msg t msg =
+  let c = costs t in
+  match msg with
+  | Msg.Sock_req { id; sock = sock_id; call } ->
+      ( c.Costs.channel_demux,
+        fun () -> handle_call t (sock t sock_id) id call )
+  | Msg.Tx_ip_confirm { id; ok = _ } -> (
+      ( 100,
+        fun () ->
+          match Request_db.complete t.db id with
+          | Some pkt -> free_chain t pkt.chain
+          | None -> Stats.incr (Proc.stats t.proc) "stale_confirm" ))
+  | Msg.Rx_deliver { buf; src; dst } ->
+      (* Cost depends on the segment kind; peek at the length. *)
+      let seg_bytes =
+        match Registry.read t.registry buf with
+        | b -> Some b
+        | exception (Registry.Unknown_pool _ | Pool.Stale_pointer _) -> None
+      in
+      let cost =
+        match seg_bytes with
+        | Some b when Bytes.length b > 60 -> c.Costs.tcp_segment_work / 2
+        | _ -> c.Costs.tcp_ack_work
+      in
+      ( cost + c.Costs.channel_marshal + c.Costs.channel_enqueue,
+        fun () ->
+          (match seg_bytes with
+          | Some b -> (
+              match Tcp_wire.decode ~src ~dst b with
+              | Some (hdr, payload) -> Tcp.input t.engine ~src ~dst hdr ~payload
+              | None -> Stats.incr (Proc.stats t.proc) "bad_checksum")
+          | None -> ());
+          (* Return the buffer to IP. *)
+          Option.iter
+            (fun chan -> ignore (Proc.send t.proc chan (Msg.Rx_done { buf })))
+            t.to_ip )
+  | Msg.Tx_ip _ | Msg.Filter_req _ | Msg.Filter_verdict _ | Msg.Drv_tx _
+  | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_done _ | Msg.Sock_reply _
+  | Msg.Sock_event _ ->
+      (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
+
+(* {2 Construction} *)
+
+let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
+  let pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:8192 ~slot_size:2048 in
+  Registry.register registry pool;
+  let tcp_config = Option.value tcp_config ~default:Tcp.default_config in
+  (* A throwaway engine breaks the [t]/[engine] knot; it is replaced
+     before anything can touch it. *)
+  let placeholder_engine =
+    Tcp.create
+      {
+        Tcp.now = (fun () -> 0);
+        set_timer = (fun _ _ () -> ());
+        emit = (fun ~src:_ ~dst:_ _ ~payload:_ -> ());
+        random = (fun _ -> 0);
+      }
+  in
+  let t =
+    {
+      machine;
+      proc;
+      registry;
+      local_addr;
+      tcp_config;
+      save;
+      load;
+      pool;
+      engine = placeholder_engine;
+      db = Request_db.create ();
+      to_ip = None;
+      to_sc = None;
+      consumed = [];
+      sockets = Hashtbl.create 64;
+      select_pending = None;
+      resubmit = [];
+      ip_up = true;
+      resubmitted = 0;
+      src_select = (fun _ -> local_addr);
+      rng = Rng.split (Engine.rng (Machine.engine machine));
+    }
+  in
+  t.engine <- make_engine t;
+  t
+
+let set_src_select t f = t.src_select <- f
+
+let connect_ip t ~to_ip ~from_ip =
+  t.to_ip <- Some to_ip;
+  t.consumed <- from_ip :: t.consumed;
+  Proc.add_rx t.proc from_ip (handle_msg t)
+
+let connect_sc t ~from_sc ~to_sc =
+  t.to_sc <- Some to_sc;
+  t.consumed <- from_sc :: t.consumed;
+  Proc.add_rx t.proc from_sc (handle_msg t)
+
+let conntrack_flows t =
+  List.map
+    (fun (lip, lp, rip, rp) ->
+      {
+        Conntrack.proto = Conntrack.Ct_tcp;
+        local_ip = lip;
+        local_port = lp;
+        remote_ip = rip;
+        remote_port = rp;
+      })
+    (Tcp.established_tuples t.engine)
+
+(* {2 Recovery} *)
+
+let on_ip_crash t =
+  t.ip_up <- false;
+  ignore (Request_db.abort_peer t.db ~peer:ip_peer)
+
+let on_ip_restart t =
+  t.ip_up <- true;
+  let pkts = List.rev t.resubmit in
+  t.resubmit <- [];
+  (* "It is much more important that we quickly retransmit (possibly)
+     lost packets to avoid the error detection and congestion
+     avoidance" (Section V-D): resubmit everything with new ids. *)
+  Proc.exec t.proc ~cost:(costs t).Costs.tcp_segment_work (fun () ->
+      List.iter
+        (fun pkt ->
+          if Registry.chain_live t.registry pkt.chain then begin
+            t.resubmitted <- t.resubmitted + 1;
+            submit_packet t pkt
+          end)
+        pkts)
+
+let repersist t = persist_listeners t
+
+let crash_cleanup t =
+  t.select_pending <- None;
+  Tcp.shutdown_all t.engine;
+  Pool.free_all t.pool;
+  Hashtbl.reset t.sockets;
+  t.db <- Request_db.create ();
+  t.resubmit <- [];
+  List.iter Sim_chan.tear_down t.consumed
+
+let restart t =
+  t.engine <- make_engine t;
+  List.iter Sim_chan.revive t.consumed;
+  (* Listening sockets are the recoverable part of our state
+     (Table I): re-open them from the storage server. *)
+  match t.load "listeners" with
+  | None -> ()
+  | Some blob ->
+      let listeners : (Msg.socket_id * int) list = Marshal.from_string blob 0 in
+      List.iter
+        (fun (sock_id, port) ->
+          let s = sock t sock_id in
+          s.bound_port <- Some port;
+          s.listen_port <- Some port;
+          try
+            Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
+                Queue.push pcb s.accept_q;
+                progress t s)
+          with Invalid_argument _ -> ())
+        listeners

@@ -1,0 +1,67 @@
+(** The TCP server.
+
+    Runs the {!Newt_net.Tcp} engine as an isolated, single-threaded
+    component. Outgoing segments become zero-copy requests to the IP
+    server — a header chunk plus payload chunks in this server's pool,
+    tracked in the request database until IP confirms transmission
+    (only then may the chunks be freed, Section V-C). Incoming segments
+    arrive as rich pointers into IP's receive pool and are returned
+    with [Rx_done].
+
+    Recovery (Table I): TCP has "large, frequently changing state for
+    each connection, difficult to recover" — so a crash loses all
+    established connections. Listening sockets have no volatile state
+    and {e are} recovered: their ports are kept in the storage server
+    and re-opened on restart, which is what lets new SSH sessions
+    connect immediately after a crash (Section VI-B). On an IP crash,
+    all unconfirmed packets are resubmitted under fresh request ids;
+    replies to the old ids are ignored (Section V-D). *)
+
+type t
+
+val create :
+  Newt_hw.Machine.t ->
+  proc:Proc.t ->
+  registry:Newt_channels.Registry.t ->
+  local_addr:Newt_net.Addr.Ipv4.t ->
+  ?tcp_config:Newt_net.Tcp.config ->
+  save:(string -> string -> unit) ->
+  load:(string -> string option) ->
+  unit ->
+  t
+
+val proc : t -> Proc.t
+
+val set_src_select : t -> (Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Ipv4.t) -> unit
+(** Source-address selection for active opens on a multihomed host
+    (default: the constant [local_addr]). *)
+
+val connect_ip :
+  t ->
+  to_ip:Msg.t Newt_channels.Sim_chan.t ->
+  from_ip:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val connect_sc :
+  t ->
+  from_sc:Msg.t Newt_channels.Sim_chan.t ->
+  to_sc:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val engine : t -> Newt_net.Tcp.t
+(** The live protocol engine (replaced on restart). *)
+
+val conntrack_flows : t -> Newt_pf.Conntrack.flow list
+(** Live connections, for the packet filter's state recovery. *)
+
+val on_ip_crash : t -> unit
+val on_ip_restart : t -> unit
+
+val crash_cleanup : t -> unit
+val restart : t -> unit
+
+val repersist : t -> unit
+(** Save the listening sockets again (after a storage-server crash). *)
+
+val segments_resubmitted : t -> int
+val pool_in_use : t -> int

@@ -1,0 +1,1 @@
+test/test_channels.ml: Alcotest Bytes Char Domain Hashtbl List Newt_channels QCheck2 QCheck_alcotest

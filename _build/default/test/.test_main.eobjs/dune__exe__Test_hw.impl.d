@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List Newt_hw Newt_sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Buffer Bytes List Newt_channels Newt_core Newt_net Newt_pf Newt_reliability Newt_sim Newt_sockets Newt_stack Printf

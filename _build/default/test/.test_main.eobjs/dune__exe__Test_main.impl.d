@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_channels Test_hw Test_integration Test_net Test_nic Test_pf Test_reliability Test_sim Test_stack Test_tcp

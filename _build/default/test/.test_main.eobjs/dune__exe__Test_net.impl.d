@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Buffer Bytes Char List Newt_net Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Buffer Bytes Char List Newt_channels Newt_net Newt_nic Newt_sim Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pf.ml: Alcotest Bytes Format List Newt_net Newt_pf Newt_sim Printf String

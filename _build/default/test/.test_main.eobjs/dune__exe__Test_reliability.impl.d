@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Hashtbl List Newt_hw Newt_reliability Newt_sim Newt_stack Option Printf

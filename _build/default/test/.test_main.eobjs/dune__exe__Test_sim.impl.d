@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Hashtbl List Newt_sim Option

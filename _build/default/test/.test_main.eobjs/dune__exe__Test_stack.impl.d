@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest List Newt_channels Newt_hw Newt_sim Newt_stack Printf String

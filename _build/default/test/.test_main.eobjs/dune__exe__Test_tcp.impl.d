@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Bytes Char List Newt_net Newt_sim Option Printf QCheck2 QCheck_alcotest String

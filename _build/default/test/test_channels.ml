@@ -1,0 +1,338 @@
+(* Tests for the fast-path channel building blocks: SPSC queue, pools,
+   rich pointers, request database, pub/sub, simulated channels. *)
+
+module Spsc = Newt_channels.Spsc_queue
+module Pool = Newt_channels.Pool
+module Rich_ptr = Newt_channels.Rich_ptr
+module Request_db = Newt_channels.Request_db
+module Pubsub = Newt_channels.Pubsub
+module Sim_chan = Newt_channels.Sim_chan
+
+let test_spsc_basic () =
+  let q = Spsc.create ~capacity:4 in
+  Alcotest.(check bool) "empty" true (Spsc.is_empty q);
+  Alcotest.(check bool) "push 1" true (Spsc.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Spsc.try_push q 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (Spsc.peek q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "pop empty" None (Spsc.try_pop q)
+
+let test_spsc_full () =
+  let q = Spsc.create ~capacity:4 in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fills" true (Spsc.try_push q i)
+  done;
+  Alcotest.(check bool) "full refuses" false (Spsc.try_push q 5);
+  Alcotest.(check (option int)) "pop" (Some 1) (Spsc.try_pop q);
+  Alcotest.(check bool) "room again" true (Spsc.try_push q 5)
+
+let test_spsc_capacity_rounds_up () =
+  let q = Spsc.create ~capacity:5 in
+  Alcotest.(check int) "rounded to 8" 8 (Spsc.capacity q)
+
+let test_spsc_wraparound () =
+  let q = Spsc.create ~capacity:4 in
+  for round = 0 to 99 do
+    Alcotest.(check bool) "push" true (Spsc.try_push q round);
+    Alcotest.(check (option int)) "pop" (Some round) (Spsc.try_pop q)
+  done;
+  Alcotest.(check int) "length 0" 0 (Spsc.length q)
+
+let test_spsc_cross_domain () =
+  (* Producer domain pushes 100k ints; consumer (this domain) pops and
+     sums. Checks the ring is safe across real parallel domains. *)
+  let n = 100_000 in
+  let q = Spsc.create ~capacity:1024 in
+  let producer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while !i < n do
+          if Spsc.try_push q !i then incr i
+        done)
+  in
+  let sum = ref 0 and got = ref 0 in
+  while !got < n do
+    match Spsc.try_pop q with
+    | Some v ->
+        sum := !sum + v;
+        incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "all values received in order-sum" (n * (n - 1) / 2) !sum
+
+let test_spsc_ordering_cross_domain () =
+  let n = 50_000 in
+  let q = Spsc.create ~capacity:64 in
+  let producer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while !i < n do
+          if Spsc.try_push q !i then incr i
+        done)
+  in
+  let expected = ref 0 and ok = ref true in
+  while !expected < n do
+    match Spsc.try_pop q with
+    | Some v ->
+        if v <> !expected then ok := false;
+        incr expected
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "FIFO order preserved across domains" true !ok
+
+let test_pool_alloc_free () =
+  let p = Pool.create ~id:1 ~slots:4 ~slot_size:64 in
+  Alcotest.(check int) "all free" 4 (Pool.free_slots p);
+  let ptr = Pool.alloc p ~len:10 in
+  Alcotest.(check int) "one used" 1 (Pool.in_use p);
+  Pool.write p ptr ~src:(Bytes.of_string "0123456789") ~src_off:0;
+  Alcotest.(check string) "readback" "0123456789" (Bytes.to_string (Pool.read p ptr));
+  Pool.free p ptr;
+  Alcotest.(check int) "freed" 0 (Pool.in_use p)
+
+let test_pool_stale_detection () =
+  let p = Pool.create ~id:2 ~slots:2 ~slot_size:16 in
+  let ptr = Pool.alloc p ~len:8 in
+  Pool.free p ptr;
+  Alcotest.check_raises "read after free" (Pool.Stale_pointer ptr) (fun () ->
+      ignore (Pool.read p ptr));
+  Alcotest.check_raises "double free" (Pool.Stale_pointer ptr) (fun () ->
+      Pool.free p ptr)
+
+let test_pool_generation_reuse () =
+  let p = Pool.create ~id:3 ~slots:1 ~slot_size:16 in
+  let ptr1 = Pool.alloc p ~len:4 in
+  Pool.free p ptr1;
+  let ptr2 = Pool.alloc p ~len:4 in
+  (* Same slot, new generation: the old pointer must stay dead. *)
+  Alcotest.(check int) "same slot" ptr1.Rich_ptr.slot ptr2.Rich_ptr.slot;
+  Alcotest.(check bool) "old pointer dead" false (Pool.live p ptr1);
+  Alcotest.(check bool) "new pointer live" true (Pool.live p ptr2)
+
+let test_pool_exhaustion () =
+  let p = Pool.create ~id:4 ~slots:2 ~slot_size:8 in
+  let _ = Pool.alloc p ~len:1 in
+  let _ = Pool.alloc p ~len:1 in
+  Alcotest.check_raises "exhausted" Pool.Pool_exhausted (fun () ->
+      ignore (Pool.alloc p ~len:1))
+
+let test_pool_sub_ptr () =
+  let p = Pool.create ~id:5 ~slots:1 ~slot_size:32 in
+  let ptr = Pool.alloc p ~len:20 in
+  Pool.write p ptr ~src:(Bytes.of_string "abcdefghijklmnopqrst") ~src_off:0;
+  let sub = Pool.sub_ptr ptr ~off:5 ~len:3 in
+  Alcotest.(check string) "sub view" "fgh" (Bytes.to_string (Pool.read p sub));
+  Alcotest.check_raises "oob sub" (Invalid_argument "Pool.sub_ptr: out of chunk bounds")
+    (fun () -> ignore (Pool.sub_ptr ptr ~off:15 ~len:10))
+
+let test_pool_free_all () =
+  let p = Pool.create ~id:6 ~slots:3 ~slot_size:8 in
+  let a = Pool.alloc p ~len:1 in
+  let _b = Pool.alloc p ~len:1 in
+  Pool.free_all p;
+  Alcotest.(check int) "all free" 3 (Pool.free_slots p);
+  Alcotest.(check bool) "old pointer dead" false (Pool.live p a)
+
+let test_chain_len () =
+  let mk len = { Rich_ptr.pool = 0; slot = 0; off = 0; len; gen = 0 } in
+  Alcotest.(check int) "chain length" 60 (Rich_ptr.chain_len [ mk 14; mk 40; mk 6 ]);
+  Alcotest.(check int) "empty chain" 0 (Rich_ptr.chain_len [])
+
+let test_request_db_match () =
+  let db = Request_db.create () in
+  let id1 = Request_db.submit db ~peer:1 ~payload:"a" ~abort:(fun _ _ -> ()) in
+  let id2 = Request_db.submit db ~peer:2 ~payload:"b" ~abort:(fun _ _ -> ()) in
+  Alcotest.(check bool) "unique ids" true (id1 <> id2);
+  Alcotest.(check (option string)) "complete 2" (Some "b") (Request_db.complete db id2);
+  Alcotest.(check (option string)) "stale reply ignored" None (Request_db.complete db id2);
+  Alcotest.(check int) "one left" 1 (Request_db.outstanding db)
+
+let test_request_db_abort_actions () =
+  let db = Request_db.create () in
+  let aborted = ref [] in
+  let abort _id payload = aborted := payload :: !aborted in
+  ignore (Request_db.submit db ~peer:7 ~payload:"x" ~abort);
+  ignore (Request_db.submit db ~peer:7 ~payload:"y" ~abort);
+  ignore (Request_db.submit db ~peer:8 ~payload:"z" ~abort);
+  let n = Request_db.abort_peer db ~peer:7 in
+  Alcotest.(check int) "two aborted" 2 n;
+  Alcotest.(check (list string)) "abort order = submission order" [ "x"; "y" ]
+    (List.rev !aborted);
+  Alcotest.(check int) "one request survives" 1 (Request_db.outstanding db);
+  Alcotest.(check int) "survivor is to peer 8" 1 (Request_db.outstanding_to db ~peer:8)
+
+let test_request_db_ids_never_reused () =
+  let db = Request_db.create () in
+  let id1 = Request_db.submit db ~peer:1 ~payload:0 ~abort:(fun _ _ -> ()) in
+  ignore (Request_db.complete db id1);
+  let id2 = Request_db.submit db ~peer:1 ~payload:0 ~abort:(fun _ _ -> ()) in
+  Alcotest.(check bool) "fresh id after completion" true (id2 <> id1)
+
+let test_pubsub_basic () =
+  let ps = Pubsub.create () in
+  let seen = ref [] in
+  Pubsub.subscribe ps ~key:"ip.rx" (fun ev -> seen := ev :: !seen);
+  Alcotest.(check int) "nothing yet" 0 (List.length !seen);
+  Pubsub.publish ps ~key:"ip.rx" ~creator:3 ~chan_id:42;
+  (match !seen with
+  | [ `Published p ] ->
+      Alcotest.(check int) "creator" 3 p.Pubsub.creator;
+      Alcotest.(check int) "chan id" 42 p.Pubsub.chan_id
+  | _ -> Alcotest.fail "expected one publication event");
+  Pubsub.unpublish ps ~key:"ip.rx";
+  Alcotest.(check bool) "gone event" true
+    (match !seen with `Gone :: _ -> true | _ -> false)
+
+let test_pubsub_replay_to_late_subscriber () =
+  let ps = Pubsub.create () in
+  Pubsub.publish ps ~key:"tcp.rx" ~creator:1 ~chan_id:7;
+  let seen = ref None in
+  Pubsub.subscribe ps ~key:"tcp.rx" (fun ev -> seen := Some ev);
+  match !seen with
+  | Some (`Published p) -> Alcotest.(check int) "replayed chan id" 7 p.Pubsub.chan_id
+  | _ -> Alcotest.fail "late subscriber did not get replay"
+
+let test_pubsub_republish_keeps_id () =
+  let ps = Pubsub.create () in
+  let ids = ref [] in
+  Pubsub.subscribe ps ~key:"drv.0" (fun ev ->
+      match ev with `Published p -> ids := p.Pubsub.chan_id :: !ids | `Gone -> ());
+  Pubsub.publish ps ~key:"drv.0" ~creator:9 ~chan_id:5;
+  (* Restarted creator republished the same identification. *)
+  Pubsub.publish ps ~key:"drv.0" ~creator:9 ~chan_id:5;
+  Alcotest.(check (list int)) "both publications delivered" [ 5; 5 ] !ids
+
+let test_sim_chan_send_recv () =
+  let c = Sim_chan.create ~capacity:2 ~id:0 () in
+  Alcotest.(check bool) "send 1" true (Sim_chan.send c "m1");
+  Alcotest.(check bool) "send 2" true (Sim_chan.send c "m2");
+  Alcotest.(check bool) "full drops" false (Sim_chan.send c "m3");
+  Alcotest.(check (option string)) "recv" (Some "m1") (Sim_chan.recv c);
+  Alcotest.(check int) "dropped counted" 1 (Sim_chan.dropped_total c);
+  Alcotest.(check int) "sent counted" 2 (Sim_chan.sent_total c)
+
+let test_sim_chan_notify_on_empty_enqueue () =
+  let c = Sim_chan.create ~id:1 () in
+  let wakes = ref 0 in
+  Sim_chan.set_notify c (fun () -> incr wakes);
+  ignore (Sim_chan.send c 1);
+  ignore (Sim_chan.send c 2);
+  Alcotest.(check int) "one wake for burst" 1 !wakes;
+  ignore (Sim_chan.recv c);
+  ignore (Sim_chan.recv c);
+  ignore (Sim_chan.send c 3);
+  Alcotest.(check int) "wakes again after drain" 2 !wakes
+
+let test_sim_chan_teardown_revive () =
+  let c = Sim_chan.create ~id:2 () in
+  ignore (Sim_chan.send c 1);
+  Sim_chan.tear_down c;
+  Alcotest.(check bool) "down" true (Sim_chan.is_down c);
+  Alcotest.(check bool) "send fails" false (Sim_chan.send c 2);
+  Alcotest.(check (option int)) "recv fails" None (Sim_chan.recv c);
+  Sim_chan.revive c;
+  Alcotest.(check bool) "up again" false (Sim_chan.is_down c);
+  Alcotest.(check (option int)) "queue was flushed" None (Sim_chan.recv c);
+  Alcotest.(check bool) "send works" true (Sim_chan.send c 3)
+
+let qtest name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let test_pool_invariants =
+  qtest "pool alloc/free sequences preserve invariants"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 99))
+    (fun ops ->
+      let p = Pool.create ~id:12345 ~slots:8 ~slot_size:32 in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op mod 2 = 0 || !live = [] then begin
+            (* Allocate (may legitimately exhaust). *)
+            match Pool.alloc p ~len:16 with
+            | ptr ->
+                Pool.write p ptr ~src:(Bytes.make 16 (Char.chr (op land 0xff))) ~src_off:0;
+                live := ptr :: !live
+            | exception Pool.Pool_exhausted ->
+                if List.length !live <> 8 then ok := false
+          end
+          else begin
+            (* Free a random live pointer; it must die, others live. *)
+            let i = op mod List.length !live in
+            let victim = List.nth !live i in
+            live := List.filteri (fun j _ -> j <> i) !live;
+            Pool.free p victim;
+            if Pool.live p victim then ok := false
+          end;
+          (* Global invariants after every step. *)
+          if Pool.in_use p <> List.length !live then ok := false;
+          if Pool.free_slots p + Pool.in_use p <> 8 then ok := false;
+          List.iter (fun ptr -> if not (Pool.live p ptr) then ok := false) !live)
+        ops;
+      !ok)
+
+let test_request_db_invariants =
+  qtest "request db submit/complete/abort sequences"
+    QCheck2.Gen.(list_size (int_range 1 150) (tup2 (int_range 0 2) (int_range 0 4)))
+    (fun ops ->
+      let db = Request_db.create () in
+      let live = Hashtbl.create 16 in
+      let aborted = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, peer) ->
+          match kind with
+          | 0 ->
+              let id = Request_db.submit db ~peer ~payload:peer ~abort:(fun _ _ -> incr aborted) in
+              if Hashtbl.mem live id then ok := false (* ids must be fresh *);
+              Hashtbl.replace live id peer
+          | 1 -> (
+              (* Complete a random live id if any. *)
+              match Hashtbl.fold (fun id p acc -> (id, p) :: acc) live [] with
+              | [] -> ()
+              | (id, p) :: _ -> (
+                  Hashtbl.remove live id;
+                  match Request_db.complete db id with
+                  | Some payload -> if payload <> p then ok := false
+                  | None -> ok := false))
+          | _ ->
+              let expected =
+                Hashtbl.fold (fun _ p acc -> if p = peer then acc + 1 else acc) live 0
+              in
+              let before = !aborted in
+              let n = Request_db.abort_peer db ~peer in
+              if n <> expected then ok := false;
+              if !aborted - before <> expected then ok := false;
+              Hashtbl.iter (fun id p -> if p = peer then Hashtbl.remove live id) live)
+        ops;
+      !ok && Request_db.outstanding db = Hashtbl.length live)
+
+let suite =
+  [
+    ("spsc push/pop", `Quick, test_spsc_basic);
+    ("spsc refuses when full", `Quick, test_spsc_full);
+    ("spsc capacity rounds to power of two", `Quick, test_spsc_capacity_rounds_up);
+    ("spsc index wraparound", `Quick, test_spsc_wraparound);
+    ("spsc cross-domain transfer", `Quick, test_spsc_cross_domain);
+    ("spsc cross-domain FIFO order", `Quick, test_spsc_ordering_cross_domain);
+    ("pool alloc/write/read/free", `Quick, test_pool_alloc_free);
+    ("pool stale pointers detected", `Quick, test_pool_stale_detection);
+    ("pool generations on slot reuse", `Quick, test_pool_generation_reuse);
+    ("pool exhaustion raises", `Quick, test_pool_exhaustion);
+    ("pool sub pointers", `Quick, test_pool_sub_ptr);
+    ("pool free_all", `Quick, test_pool_free_all);
+    ("rich pointer chain length", `Quick, test_chain_len);
+    ("request db matches replies", `Quick, test_request_db_match);
+    ("request db abort actions on peer crash", `Quick, test_request_db_abort_actions);
+    ("request db never reuses ids", `Quick, test_request_db_ids_never_reused);
+    ("pubsub publish/subscribe", `Quick, test_pubsub_basic);
+    ("pubsub replays to late subscriber", `Quick, test_pubsub_replay_to_late_subscriber);
+    ("pubsub republish after restart", `Quick, test_pubsub_republish_keeps_id);
+    ("sim channel send/recv/drop", `Quick, test_sim_chan_send_recv);
+    ("sim channel notifies on empty enqueue", `Quick, test_sim_chan_notify_on_empty_enqueue);
+    ("sim channel teardown and revive", `Quick, test_sim_chan_teardown_revive);
+    test_pool_invariants;
+    test_request_db_invariants;
+  ]

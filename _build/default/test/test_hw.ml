@@ -1,0 +1,152 @@
+(* Tests for the hardware model: cost parameters, core execution
+   (dedicated vs timeshared), halt/wake-up, IPIs. *)
+
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Costs = Newt_hw.Costs
+module Cpu = Newt_hw.Cpu
+module Machine = Newt_hw.Machine
+
+let c = Costs.default
+
+let test_costs_anchors () =
+  (* The paper's measured anchor points. *)
+  Alcotest.(check int) "hot trap ~150 cycles" 150 c.Costs.trap_hot;
+  Alcotest.(check int) "cold trap ~3000 cycles" 3000 c.Costs.trap_cold;
+  Alcotest.(check int) "channel enqueue ~30 cycles" 30 c.Costs.channel_enqueue
+
+let test_copy_and_checksum_costs () =
+  Alcotest.(check int) "copy 4 bytes = 1 cycle" 1 (Costs.copy_cost c 4);
+  Alcotest.(check int) "copy rounds up" 2 (Costs.copy_cost c 5);
+  Alcotest.(check int) "copy 1460B" 365 (Costs.copy_cost c 1460);
+  Alcotest.(check int) "checksum 1460B" 365 (Costs.checksum_cost c 1460);
+  Alcotest.(check int) "sendrec hot" ((2 * 150) + 600) (Costs.kipc_sendrec_cost c ~cold:false);
+  Alcotest.(check int) "sendrec cold" ((2 * 3000) + 600) (Costs.kipc_sendrec_cost c ~cold:true)
+
+let test_dedicated_core_serializes () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  let order = ref [] in
+  Cpu.exec core ~proc:1 ~cost:100 (fun () -> order := ("a", Engine.now e) :: !order);
+  Cpu.exec core ~proc:1 ~cost:50 (fun () -> order := ("b", Engine.now e) :: !order);
+  Engine.run e;
+  match List.rev !order with
+  | [ ("a", ta); ("b", tb) ] ->
+      Alcotest.(check int) "first finishes after its cost" 100 ta;
+      Alcotest.(check int) "second is serialized" 150 tb
+  | _ -> Alcotest.fail "wrong execution order"
+
+let test_dedicated_core_no_switch_cost () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  let done_at = ref 0 in
+  Cpu.exec core ~proc:1 ~cost:100 (fun () -> ());
+  Cpu.exec core ~proc:2 ~cost:100 (fun () -> done_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "no context-switch penalty on dedicated core" 200 !done_at
+
+let test_timeshared_core_switch_cost () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_timeshared_core m in
+  let done_at = ref 0 in
+  Cpu.exec core ~proc:1 ~cost:100 (fun () -> ());
+  Cpu.exec core ~proc:2 ~cost:100 (fun () -> done_at := Engine.now e);
+  Engine.run e;
+  let expected = 100 + c.Costs.context_switch + c.Costs.cache_refill + 100 in
+  Alcotest.(check int) "switch pays context switch + cache refill" expected !done_at
+
+let test_timeshared_same_proc_no_switch () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_timeshared_core m in
+  let done_at = ref 0 in
+  Cpu.exec core ~proc:1 ~cost:100 (fun () -> ());
+  Cpu.exec core ~proc:1 ~cost:100 (fun () -> done_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "same process, no penalty" 200 !done_at
+
+let test_halted_core_pays_wakeup () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  (* Do something, then go idle long enough to halt (poll window). *)
+  Cpu.exec core ~proc:1 ~cost:10 (fun () -> ());
+  Engine.run e;
+  let resume_at = c.Costs.poll_window * 3 in
+  let done_at = ref 0 in
+  ignore
+    (Engine.schedule_at e resume_at (fun () ->
+         Cpu.exec core ~proc:1 ~cost:100 (fun () -> done_at := Engine.now e)));
+  Engine.run e;
+  Alcotest.(check int) "wake-up latency added"
+    (resume_at + c.Costs.mwait_wakeup + 100)
+    !done_at
+
+let test_busy_core_no_wakeup () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  Cpu.exec core ~proc:1 ~cost:10 (fun () -> ());
+  Engine.run e;
+  (* Work arriving within the poll window: no wake-up penalty. *)
+  let resume_at = c.Costs.poll_window / 2 in
+  let done_at = ref 0 in
+  ignore
+    (Engine.schedule_at e resume_at (fun () ->
+         Cpu.exec core ~proc:1 ~cost:100 (fun () -> done_at := Engine.now e)));
+  Engine.run e;
+  Alcotest.(check int) "polling absorbs short gaps" (resume_at + 100) !done_at
+
+let test_utilization () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  Cpu.exec core ~proc:1 ~cost:500 (fun () -> ());
+  ignore (Engine.schedule_at e 1000 (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (float 0.01)) "50% busy" 0.5 (Cpu.utilization core ~now:1000);
+  Alcotest.(check int) "busy cycles" 500 (Cpu.busy_cycles core)
+
+let test_ipi_delivery () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  let fired_at = ref 0 in
+  Machine.ipi m ~to_core:core (fun () -> fired_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "ipi latency + handler trap"
+    (c.Costs.ipi_latency + c.Costs.trap_hot)
+    !fired_at
+
+let test_machine_core_allocation () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let a = Machine.add_dedicated_core m in
+  let b = Machine.add_timeshared_core m in
+  Alcotest.(check int) "two cores" 2 (Machine.core_count m);
+  Alcotest.(check bool) "kinds" true
+    (Cpu.kind a = Cpu.Dedicated && Cpu.kind b = Cpu.Timeshared);
+  Alcotest.(check bool) "distinct ids" true (Cpu.id a <> Cpu.id b)
+
+let test_time_cycles_per_second () =
+  (* The paper's testbed clock: 1.9 GHz. *)
+  Alcotest.(check int) "1.9 GHz" 1_900_000_000 Time.cycles_per_second
+
+let suite =
+  [
+    ("cost anchors from the paper", `Quick, test_costs_anchors);
+    ("copy/checksum/kipc cost helpers", `Quick, test_copy_and_checksum_costs);
+    ("dedicated core serializes FIFO", `Quick, test_dedicated_core_serializes);
+    ("dedicated core has no switch cost", `Quick, test_dedicated_core_no_switch_cost);
+    ("timeshared core pays switch+refill", `Quick, test_timeshared_core_switch_cost);
+    ("timeshared same-proc is free", `Quick, test_timeshared_same_proc_no_switch);
+    ("halted core pays MWAIT wakeup", `Quick, test_halted_core_pays_wakeup);
+    ("polling absorbs short gaps", `Quick, test_busy_core_no_wakeup);
+    ("core utilization accounting", `Quick, test_utilization);
+    ("IPI delivery latency", `Quick, test_ipi_delivery);
+    ("machine core allocation", `Quick, test_machine_core_allocation);
+    ("reference clock is 1.9 GHz", `Quick, test_time_cycles_per_second);
+  ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "newtos"
+    [
+      ("sim", Test_sim.suite);
+      ("hw", Test_hw.suite);
+      ("channels", Test_channels.suite);
+      ("net", Test_net.suite);
+      ("tcp", Test_tcp.suite);
+      ("nic", Test_nic.suite);
+      ("pf", Test_pf.suite);
+      ("stack", Test_stack.suite);
+      ("reliability", Test_reliability.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,232 @@
+(* Tests for the packet filter: rule matching, PF evaluation semantics
+   (last match wins, quick, keep state), connection tracking, packet
+   classification, and the crash-recovery interfaces. *)
+
+module Rule = Newt_pf.Rule
+module Conntrack = Newt_pf.Conntrack
+module Pf_engine = Newt_pf.Pf_engine
+module Addr = Newt_net.Addr
+module Ipv4 = Newt_net.Ipv4
+module Tcp_wire = Newt_net.Tcp_wire
+module Rng = Newt_sim.Rng
+
+let ip = Addr.Ipv4.v
+
+let pkt ?(dir = `Out) ?(proto = `Tcp) ?(src = ip 10 0 0 1) ?(dst = ip 10 0 0 2)
+    ?(sport = 40000) ?(dport = 80) () =
+  { Rule.dir; proto; src_ip = src; dst_ip = dst; src_port = sport; dst_port = dport }
+
+let test_rule_matching () =
+  let r =
+    {
+      Rule.pass_all with
+      Rule.proto = Rule.Match_tcp;
+      direction = Rule.Dir_out;
+      dst = Rule.Net { prefix = ip 10 0 0 0; bits = 8 };
+      dst_port = Rule.Port_range (80, 90);
+    }
+  in
+  Alcotest.(check bool) "matches" true (Rule.matches r (pkt ()));
+  Alcotest.(check bool) "wrong proto" false (Rule.matches r (pkt ~proto:`Udp ()));
+  Alcotest.(check bool) "wrong direction" false (Rule.matches r (pkt ~dir:`In ()));
+  Alcotest.(check bool) "port out of range" false (Rule.matches r (pkt ~dport:91 ()));
+  Alcotest.(check bool) "port range edge" true (Rule.matches r (pkt ~dport:90 ()));
+  Alcotest.(check bool) "dst outside prefix" false
+    (Rule.matches r (pkt ~dst:(ip 11 0 0 1) ()))
+
+let test_last_match_wins () =
+  let e =
+    Pf_engine.create
+      ~rules:
+        [
+          { Rule.block_all with Rule.quick = false };
+          { Rule.pass_all with Rule.quick = false; keep_state = false };
+        ]
+      ()
+  in
+  let v = Pf_engine.filter e (pkt ()) in
+  Alcotest.(check bool) "later pass overrides earlier block" true
+    (v.Pf_engine.action = Rule.Pass);
+  Alcotest.(check int) "walked both rules" 2 v.Pf_engine.rules_walked
+
+let test_quick_short_circuits () =
+  let e =
+    Pf_engine.create
+      ~rules:
+        [
+          { Rule.block_all with Rule.quick = true };
+          { Rule.pass_all with Rule.quick = false; keep_state = false };
+        ]
+      ()
+  in
+  let v = Pf_engine.filter e (pkt ()) in
+  Alcotest.(check bool) "quick block sticks" true (v.Pf_engine.action = Rule.Block);
+  Alcotest.(check int) "stopped at rule 1" 1 v.Pf_engine.rules_walked
+
+let test_default_pass () =
+  let e = Pf_engine.create ~rules:[] () in
+  let v = Pf_engine.filter e (pkt ()) in
+  Alcotest.(check bool) "implicit pass" true (v.Pf_engine.action = Rule.Pass)
+
+let test_keep_state_bypasses_rules () =
+  let e = Pf_engine.create ~rules:[ Rule.pass_all ] () in
+  let v1 = Pf_engine.filter e (pkt ()) in
+  Alcotest.(check bool) "first packet walks rules" true (v1.Pf_engine.rules_walked > 0);
+  Alcotest.(check bool) "no state hit yet" false v1.Pf_engine.state_hit;
+  let v2 = Pf_engine.filter e (pkt ()) in
+  Alcotest.(check bool) "second packet hits state" true v2.Pf_engine.state_hit;
+  Alcotest.(check int) "no rules walked" 0 v2.Pf_engine.rules_walked
+
+let test_state_admits_reply_direction () =
+  (* The paper's firewall property: an established outgoing connection
+     must keep working even when incoming traffic is blocked. *)
+  let e =
+    Pf_engine.create
+      ~rules:
+        [
+          { Rule.block_all with Rule.direction = Rule.Dir_in; quick = false };
+          { Rule.pass_all with Rule.direction = Rule.Dir_out; quick = false };
+        ]
+      ()
+  in
+  let out = pkt ~dir:`Out () in
+  let v1 = Pf_engine.filter e out in
+  Alcotest.(check bool) "outgoing passes" true (v1.Pf_engine.action = Rule.Pass);
+  (* The reply: src/dst flipped, inbound. *)
+  let reply =
+    pkt ~dir:`In ~src:(ip 10 0 0 2) ~dst:(ip 10 0 0 1) ~sport:80 ~dport:40000 ()
+  in
+  let v2 = Pf_engine.filter e reply in
+  Alcotest.(check bool) "reply admitted by state" true v2.Pf_engine.state_hit;
+  (* An unrelated inbound packet is still blocked. *)
+  let stranger = pkt ~dir:`In ~src:(ip 99 9 9 9) ~dport:40000 () in
+  let v3 = Pf_engine.filter e stranger in
+  Alcotest.(check bool) "stranger blocked" true (v3.Pf_engine.action = Rule.Block)
+
+let test_conntrack_export_import () =
+  let ct = Conntrack.create () in
+  let flow =
+    {
+      Conntrack.proto = Conntrack.Ct_tcp;
+      local_ip = ip 10 0 0 1;
+      local_port = 12345;
+      remote_ip = ip 10 0 0 2;
+      remote_port = 22;
+    }
+  in
+  Conntrack.insert ct flow;
+  let saved = Conntrack.export ct in
+  Conntrack.clear ct;
+  Alcotest.(check bool) "gone after clear" false (Conntrack.mem ct flow);
+  Conntrack.import ct saved;
+  Alcotest.(check bool) "back after import" true (Conntrack.mem ct flow);
+  Alcotest.(check int) "size" 1 (Conntrack.size ct)
+
+let test_classify_tcp () =
+  let src = ip 10 0 0 1 and dst = ip 10 0 0 2 in
+  let seg =
+    Tcp_wire.encode ~src ~dst
+      {
+        Tcp_wire.src_port = 40000;
+        dst_port = 443;
+        seq = 0;
+        ack = 0;
+        flags = Tcp_wire.flag_syn;
+        window = 1000;
+        mss = Some 1460;
+        wscale = None;
+      }
+      ~payload:Bytes.empty
+  in
+  let packet =
+    Ipv4.packet
+      { Ipv4.src; dst; protocol = Ipv4.Tcp; ttl = 64; ident = 0; total_len = 0 }
+      ~payload:seg
+  in
+  match Pf_engine.classify ~dir:`Out packet with
+  | Some key ->
+      Alcotest.(check bool) "proto" true (key.Rule.proto = `Tcp);
+      Alcotest.(check int) "sport" 40000 key.Rule.src_port;
+      Alcotest.(check int) "dport" 443 key.Rule.dst_port;
+      Alcotest.(check bool) "src" true (Addr.Ipv4.equal key.Rule.src_ip src)
+  | None -> Alcotest.fail "classify failed"
+
+let test_classify_garbage () =
+  Alcotest.(check bool) "short buffer" true
+    (Pf_engine.classify ~dir:`In (Bytes.create 4) = None);
+  let junk = Bytes.make 40 '\xff' in
+  Alcotest.(check bool) "not ipv4" true (Pf_engine.classify ~dir:`In junk = None)
+
+let test_generated_ruleset_shape () =
+  let rules = Pf_engine.generate_ruleset (Rng.create 3) ~n:1024 ~protect_port:5001 in
+  Alcotest.(check int) "1024 rules" 1024 (List.length rules);
+  let e = Pf_engine.create ~rules () in
+  (* The protected flow passes... *)
+  let v = Pf_engine.filter e (pkt ~dport:5001 ()) in
+  Alcotest.(check bool) "protected port passes" true (v.Pf_engine.action = Rule.Pass);
+  (* ...and the noise rules really do block their targets. *)
+  let blocked =
+    List.exists
+      (fun r ->
+        match (r.Rule.action, r.Rule.src, r.Rule.dst_port) with
+        | Rule.Block, Rule.Net { prefix; _ }, Rule.Port p ->
+            let probe = pkt ~src:prefix ~dport:p () in
+            (Pf_engine.filter e probe).Pf_engine.action = Rule.Block
+        | _ -> false)
+      rules
+  in
+  Alcotest.(check bool) "noise rules block their targets" true blocked
+
+let test_restore () =
+  let e = Pf_engine.create () in
+  let rules = Pf_engine.generate_ruleset (Rng.create 5) ~n:16 ~protect_port:80 in
+  let states =
+    [
+      {
+        Conntrack.proto = Conntrack.Ct_tcp;
+        local_ip = ip 10 0 0 1;
+        local_port = 1;
+        remote_ip = ip 10 0 0 2;
+        remote_port = 2;
+      };
+    ]
+  in
+  Pf_engine.restore e ~rules ~states;
+  Alcotest.(check int) "rules restored" 16 (List.length (Pf_engine.export_rules e));
+  Alcotest.(check int) "states restored" 1 (List.length (Pf_engine.export_states e))
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_rule_pp_mentions_essentials () =
+  let r =
+    {
+      Rule.block_all with
+      Rule.proto = Rule.Match_udp;
+      dst_port = Rule.Port 53;
+      quick = true;
+    }
+  in
+  let s = Format.asprintf "%a" Rule.pp r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "mentions %s" needle) true (contains s needle))
+    [ "block"; "quick"; "udp"; "53" ]
+
+let suite =
+  [
+    ("rule matching dimensions", `Quick, test_rule_matching);
+    ("last matching rule wins", `Quick, test_last_match_wins);
+    ("quick short-circuits", `Quick, test_quick_short_circuits);
+    ("implicit default pass", `Quick, test_default_pass);
+    ("keep-state bypasses the ruleset", `Quick, test_keep_state_bypasses_rules);
+    ("state admits replies through a block", `Quick, test_state_admits_reply_direction);
+    ("conntrack export/import (recovery)", `Quick, test_conntrack_export_import);
+    ("classify parses tcp packets", `Quick, test_classify_tcp);
+    ("classify rejects garbage", `Quick, test_classify_garbage);
+    ("generated 1024-rule set behaves", `Quick, test_generated_ruleset_shape);
+    ("restore rules + states", `Quick, test_restore);
+    ("rule pretty-printer", `Quick, test_rule_pp_mentions_essentials);
+  ]

@@ -1,0 +1,174 @@
+(* Tests for the reliability substrate: the storage server, the
+   reincarnation server, and the fault injector's draw distribution. *)
+
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Machine = Newt_hw.Machine
+module Rng = Newt_sim.Rng
+module Proc = Newt_stack.Proc
+module Storage = Newt_reliability.Storage
+module Reincarnation = Newt_reliability.Reincarnation
+module Fault_inject = Newt_reliability.Fault_inject
+
+let test_storage_kv () =
+  let s = Storage.create () in
+  Storage.put s ~owner:"ip" ~key:"routes" "r1";
+  Storage.put s ~owner:"tcp" ~key:"routes" "different-namespace";
+  Alcotest.(check (option string)) "get" (Some "r1") (Storage.get s ~owner:"ip" ~key:"routes");
+  Alcotest.(check (option string)) "namespaced" (Some "different-namespace")
+    (Storage.get s ~owner:"tcp" ~key:"routes");
+  Storage.put s ~owner:"ip" ~key:"routes" "r2";
+  Alcotest.(check (option string)) "overwrite" (Some "r2") (Storage.get s ~owner:"ip" ~key:"routes");
+  Storage.delete s ~owner:"ip" ~key:"routes";
+  Alcotest.(check (option string)) "deleted" None (Storage.get s ~owner:"ip" ~key:"routes")
+
+let test_storage_owner_view () =
+  let s = Storage.create () in
+  let save, load = Storage.owner_view s ~owner:"udp" in
+  save "sockets" "blob";
+  Alcotest.(check (option string)) "through the view" (Some "blob") (load "sockets");
+  Alcotest.(check (option string)) "same as direct get" (Some "blob")
+    (Storage.get s ~owner:"udp" ~key:"sockets")
+
+let test_storage_crash_loses_everything () =
+  let s = Storage.create () in
+  Storage.put s ~owner:"a" ~key:"k" "v";
+  Storage.crash s;
+  Alcotest.(check int) "empty" 0 (Storage.entries s);
+  Alcotest.(check (option string)) "gone" None (Storage.get s ~owner:"a" ~key:"k")
+
+let make_world () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  (e, m)
+
+let test_rs_restarts_crashed_server () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"victim" ~core () in
+  let rs = Reincarnation.create m () in
+  let crash_seen = ref false and restart_seen = ref false in
+  Reincarnation.watch rs p
+    ~notify_crash:[ (fun () -> crash_seen := true) ]
+    ~notify_restart:[ (fun () -> restart_seen := true) ]
+    ();
+  Reincarnation.start rs;
+  ignore (Engine.schedule e (Time.of_seconds 0.5) (fun () -> Reincarnation.kill rs p));
+  Engine.run e ~until:(Time.of_seconds 2.0);
+  Alcotest.(check bool) "neighbours notified of crash" true !crash_seen;
+  Alcotest.(check bool) "neighbours notified of restart" true !restart_seen;
+  Alcotest.(check bool) "victim alive again" true (Proc.alive p);
+  Alcotest.(check int) "one restart" 1 (Reincarnation.restarts rs)
+
+let test_rs_heartbeat_catches_hang () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"hanger" ~core () in
+  let rs = Reincarnation.create m ~heartbeat_period:(Time.of_seconds 0.05) () in
+  Reincarnation.watch rs p ();
+  Reincarnation.start rs;
+  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Proc.hang p));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check bool) "reset and responsive again" true (Proc.responsive p);
+  Alcotest.(check bool) "restarted at least once" true (Reincarnation.restarts_of rs p >= 1)
+
+let test_rs_notification_order () =
+  (* Crash hooks must run before the component's restart; restart hooks
+     after it (Section IV-D's resubmission dance depends on this). *)
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"ordered" ~core () in
+  let log = ref [] in
+  Proc.set_on_restart p (fun ~fresh:_ -> log := "component-recovery" :: !log);
+  let rs = Reincarnation.create m () in
+  Reincarnation.watch rs p
+    ~notify_crash:[ (fun () -> log := "neighbour-abort" :: !log) ]
+    ~notify_restart:[ (fun () -> log := "neighbour-resubmit" :: !log) ]
+    ();
+  Reincarnation.start rs;
+  ignore (Engine.schedule e 100 (fun () -> Reincarnation.kill rs p));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check (list string)) "order"
+    [ "neighbour-abort"; "component-recovery"; "neighbour-resubmit" ]
+    (List.rev !log)
+
+let test_rs_double_kill_single_restart () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"victim" ~core () in
+  let rs = Reincarnation.create m () in
+  Reincarnation.watch rs p ();
+  Reincarnation.start rs;
+  ignore
+    (Engine.schedule e 100 (fun () ->
+         Reincarnation.kill rs p;
+         (* A second signal while the restart is pending. *)
+         Reincarnation.kill rs p));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check int) "only one restart" 1 (Reincarnation.restarts rs)
+
+let test_fault_distribution_matches_table3 () =
+  (* Over many draws, the component distribution approaches Table III's
+     25/10/24/25/16. *)
+  let rng = Rng.create 123 in
+  let n = 20000 in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (inj : Fault_inject.injection) ->
+      let k = Fault_inject.target_name inj.Fault_inject.target in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    (Fault_inject.draw_many rng ~ndrv:3 ~runs:n);
+  let frac k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float_of_int n in
+  let close k expected = abs_float (frac k -. expected) < 0.02 in
+  Alcotest.(check bool) "tcp ~25%" true (close "TCP" 0.25);
+  Alcotest.(check bool) "udp ~10%" true (close "UDP" 0.10);
+  Alcotest.(check bool) "ip ~24%" true (close "IP" 0.24);
+  Alcotest.(check bool) "pf ~25%" true (close "PF" 0.25);
+  Alcotest.(check bool) "driver ~16%" true (close "Driver" 0.16)
+
+let test_fault_effects_mostly_crashes () =
+  let rng = Rng.create 9 in
+  let injections = Fault_inject.draw_many rng ~ndrv:1 ~runs:5000 in
+  let crashes =
+    List.length
+      (List.filter (fun i -> i.Fault_inject.effect = Fault_inject.Crash) injections)
+  in
+  let frac = float_of_int crashes /. 5000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "~80%% plain crashes (got %.2f)" frac)
+    true
+    (frac > 0.70 && frac < 0.90);
+  (* Misconfiguration only ever hits drivers. *)
+  List.iter
+    (fun (i : Fault_inject.injection) ->
+      if i.Fault_inject.effect = Fault_inject.Misconfigure_device then
+        match i.Fault_inject.target with
+        | Fault_inject.T_drv _ -> ()
+        | _ -> Alcotest.fail "misconfiguration on a non-driver")
+    injections
+
+let test_fault_drv_index_spread () =
+  let rng = Rng.create 17 in
+  let injections = Fault_inject.draw_many rng ~ndrv:5 ~runs:5000 in
+  let seen = Hashtbl.create 5 in
+  List.iter
+    (fun (i : Fault_inject.injection) ->
+      match i.Fault_inject.target with
+      | Fault_inject.T_drv d -> Hashtbl.replace seen d ()
+      | _ -> ())
+    injections;
+  Alcotest.(check int) "all driver instances get faults" 5 (Hashtbl.length seen)
+
+let suite =
+  [
+    ("storage key-value semantics", `Quick, test_storage_kv);
+    ("storage owner views", `Quick, test_storage_owner_view);
+    ("storage crash loses everything", `Quick, test_storage_crash_loses_everything);
+    ("reincarnation restarts crashes", `Quick, test_rs_restarts_crashed_server);
+    ("heartbeats catch hangs", `Quick, test_rs_heartbeat_catches_hang);
+    ("crash/recover/resubmit ordering", `Quick, test_rs_notification_order);
+    ("double kill, single restart", `Quick, test_rs_double_kill_single_restart);
+    ("fault draws match Table III", `Quick, test_fault_distribution_matches_table3);
+    ("fault effects mostly crashes", `Quick, test_fault_effects_mostly_crashes);
+    ("driver faults spread over instances", `Quick, test_fault_drv_index_spread);
+  ]

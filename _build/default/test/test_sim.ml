@@ -1,0 +1,212 @@
+(* Tests for the discrete-event engine, RNG, stats and series. *)
+
+module Time = Newt_sim.Time
+module Eventq = Newt_sim.Eventq
+module Engine = Newt_sim.Engine
+module Rng = Newt_sim.Rng
+module Stats = Newt_sim.Stats
+module Series = Newt_sim.Series
+
+let test_eventq_order () =
+  let q = Eventq.create () in
+  Eventq.push q 30 "c";
+  Eventq.push q 10 "a";
+  Eventq.push q 20 "b";
+  let pop () = match Eventq.pop q with Some (_, x) -> x | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  for i = 0 to 99 do
+    Eventq.push q 5 i
+  done;
+  for i = 0 to 99 do
+    match Eventq.pop q with
+    | Some (at, v) ->
+        Alcotest.(check int) "time" 5 at;
+        Alcotest.(check int) "fifo order among ties" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_eventq_many () =
+  let q = Eventq.create () in
+  let rng = Rng.create 7 in
+  let n = 2000 in
+  for _ = 1 to n do
+    Eventq.push q (Rng.int rng 100000) ()
+  done;
+  let last = ref (-1) in
+  let count = ref 0 in
+  let rec drain () =
+    match Eventq.pop q with
+    | None -> ()
+    | Some (at, ()) ->
+        Alcotest.(check bool) "non-decreasing" true (at >= !last);
+        last := at;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" n !count
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e 100 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e 50 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e 150 (fun () -> log := "c" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 150 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e 10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  Alcotest.(check int) "no pending" 0 (Engine.pending e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e (i * 100) (fun () -> incr count))
+  done;
+  Engine.run ~until:450 e;
+  Alcotest.(check int) "only events up to 450" 4 !count;
+  Alcotest.(check int) "clock stopped at until" 450 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "remaining events fire" 10 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  ignore
+    (Engine.schedule e 10 (fun () ->
+         hits := Engine.now e :: !hits;
+         ignore (Engine.schedule e 5 (fun () -> hits := Engine.now e :: !hits))));
+  Engine.run e;
+  Alcotest.(check (list int)) "nested event times" [ 10; 15 ] (List.rev !hits)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_weighted () =
+  let rng = Rng.create 99 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10000 do
+    let v = Rng.weighted rng [ (25, "tcp"); (10, "udp"); (65, "rest") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "tcp ~ 25%" true (abs (get "tcp" - 2500) < 300);
+  Alcotest.(check bool) "udp ~ 10%" true (abs (get "udp" - 1000) < 250);
+  Alcotest.(check bool) "rest ~ 65%" true (abs (get "rest" - 6500) < 400)
+
+let test_rng_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_time_conversions () =
+  Alcotest.(check int) "1 second" Time.cycles_per_second (Time.of_seconds 1.0);
+  Alcotest.(check int) "1 us" 1900 (Time.of_micros 1.0);
+  let close a b = abs_float (a -. b) < 1e-9 in
+  Alcotest.(check bool) "roundtrip" true
+    (close (Time.to_seconds (Time.of_seconds 3.25)) 3.25)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  Stats.set_max s "m" 3;
+  Stats.set_max s "m" 9;
+  Stats.set_max s "m" 4;
+  Alcotest.(check int) "incr" 2 (Stats.get s "a");
+  Alcotest.(check int) "add" 5 (Stats.get s "b");
+  Alcotest.(check int) "max" 9 (Stats.get s "m");
+  Alcotest.(check int) "untouched" 0 (Stats.get s "zzz");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted" [ ("a", 2); ("b", 5); ("m", 9) ] (Stats.counters s)
+
+let test_stats_samples () =
+  let s = Stats.create () in
+  List.iter (Stats.observe s "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+  (match Stats.mean s "lat" with
+  | Some m -> Alcotest.(check (float 1e-9)) "mean" 2.5 m
+  | None -> Alcotest.fail "expected mean");
+  Alcotest.(check int) "count" 4 (Stats.count s "lat");
+  Alcotest.(check bool) "no samples" true (Stats.mean s "none" = None)
+
+let test_series_binning () =
+  let bin = Time.of_seconds 0.1 in
+  let s = Series.create ~bin_width:bin in
+  Series.add s 0 100;
+  Series.add s (bin - 1) 50;
+  Series.add s bin 10;
+  Series.add s (3 * bin) 7;
+  let bins = Series.bins s () in
+  Alcotest.(check int) "bin count" 4 (Array.length bins);
+  Alcotest.(check int) "bin 0 sum" 150 (snd bins.(0));
+  Alcotest.(check int) "bin 1 sum" 10 (snd bins.(1));
+  Alcotest.(check int) "bin 2 empty" 0 (snd bins.(2));
+  Alcotest.(check int) "bin 3 sum" 7 (snd bins.(3))
+
+let test_series_mbps () =
+  let bin = Time.of_seconds 0.1 in
+  let s = Series.create ~bin_width:bin in
+  (* 1 MB in one 100ms bin = 80 Mbps. *)
+  Series.add s 10 1_000_000;
+  let m = Series.mbps s () in
+  Alcotest.(check (float 0.5)) "mbps" 80.0 (snd m.(0))
+
+let test_trace_bounded () =
+  let t = Newt_sim.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Newt_sim.Trace.record t ~at:i ~subsystem:"x" (string_of_int i)
+  done;
+  let es = Newt_sim.Trace.entries t in
+  Alcotest.(check int) "bounded" 3 (List.length es);
+  Alcotest.(check string) "oldest kept is 3" "3"
+    (match es with e :: _ -> e.Newt_sim.Trace.message | [] -> "?")
+
+let suite =
+  [
+    ("eventq pops in time order", `Quick, test_eventq_order);
+    ("eventq breaks ties FIFO", `Quick, test_eventq_fifo_ties);
+    ("eventq random stress stays sorted", `Quick, test_eventq_many);
+    ("engine runs events in order", `Quick, test_engine_runs_in_order);
+    ("engine cancel suppresses events", `Quick, test_engine_cancel);
+    ("engine run ~until stops the clock", `Quick, test_engine_until);
+    ("engine nested scheduling", `Quick, test_engine_nested_schedule);
+    ("rng is deterministic per seed", `Quick, test_rng_deterministic);
+    ("rng split gives independent stream", `Quick, test_rng_split_independent);
+    ("rng weighted respects weights", `Quick, test_rng_weighted);
+    ("rng draws stay in bounds", `Quick, test_rng_bounds);
+    ("time unit conversions", `Quick, test_time_conversions);
+    ("stats counters", `Quick, test_stats_counters);
+    ("stats distributions", `Quick, test_stats_samples);
+    ("series bins by time", `Quick, test_series_binning);
+    ("series converts to Mbps", `Quick, test_series_mbps);
+    ("trace log is bounded", `Quick, test_trace_bounded);
+  ]

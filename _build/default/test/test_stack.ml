@@ -1,0 +1,205 @@
+(* Tests for the stack substrate: the event-driven server runtime
+   (Proc) and the Table II capacity model. *)
+
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Machine = Newt_hw.Machine
+module Sim_chan = Newt_channels.Sim_chan
+module Proc = Newt_stack.Proc
+module Msg = Newt_stack.Msg
+module Capacity = Newt_stack.Capacity
+module Costs = Newt_hw.Costs
+
+let make_world () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  (e, m)
+
+let dummy_msg = Msg.Sock_event { sock = 0; event = `Readable }
+
+let test_proc_drains_messages () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let chan = Sim_chan.create ~id:1 () in
+  let got = ref 0 in
+  Proc.add_rx p chan (fun _ -> (100, fun () -> incr got));
+  for _ = 1 to 5 do
+    ignore (Sim_chan.send chan dummy_msg)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all messages processed" 5 !got
+
+let test_proc_round_robin_fairness () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let a = Sim_chan.create ~id:1 () and b = Sim_chan.create ~id:2 () in
+  let order = ref [] in
+  Proc.add_rx p a (fun _ -> (10, fun () -> order := "a" :: !order));
+  Proc.add_rx p b (fun _ -> (10, fun () -> order := "b" :: !order));
+  (* Load both channels before the engine runs anything. *)
+  for _ = 1 to 3 do
+    ignore (Sim_chan.send a dummy_msg);
+    ignore (Sim_chan.send b dummy_msg)
+  done;
+  Engine.run e;
+  let s = String.concat "" (List.rev !order) in
+  let alternates =
+    String.length s = 6
+    &&
+    let ok = ref true in
+    for i = 0 to String.length s - 2 do
+      if s.[i] = s.[i + 1] then ok := false
+    done;
+    !ok
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "alternates rather than starving (%s)" s)
+    true alternates
+
+let test_proc_crash_drops_work () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let chan = Sim_chan.create ~id:1 () in
+  let got = ref 0 in
+  Proc.add_rx p chan (fun _ -> (1000, fun () -> incr got));
+  ignore (Sim_chan.send chan dummy_msg);
+  (* Crash before the work completes. *)
+  ignore (Engine.schedule e 10 (fun () -> Proc.crash p));
+  Engine.run e;
+  Alcotest.(check int) "in-flight work died with the incarnation" 0 !got;
+  Alcotest.(check bool) "not alive" false (Proc.alive p)
+
+let test_proc_restart_bumps_incarnation () =
+  let _, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let restarted_fresh = ref None in
+  Proc.set_on_restart p (fun ~fresh -> restarted_fresh := Some fresh);
+  let inc0 = Proc.incarnation p in
+  Proc.crash p;
+  Proc.restart p;
+  Alcotest.(check int) "incarnation bumped" (inc0 + 1) (Proc.incarnation p);
+  Alcotest.(check (option bool)) "restart hook ran with fresh=false" (Some false)
+    !restarted_fresh;
+  Alcotest.(check bool) "alive again" true (Proc.alive p)
+
+let test_proc_hang_stops_progress () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let chan = Sim_chan.create ~id:1 () in
+  let got = ref 0 in
+  Proc.add_rx p chan (fun _ -> (10, fun () -> incr got));
+  Proc.hang p;
+  ignore (Sim_chan.send chan dummy_msg);
+  Engine.run e;
+  Alcotest.(check int) "hung server processes nothing" 0 !got;
+  Alcotest.(check bool) "alive but unresponsive" true
+    (Proc.alive p && not (Proc.responsive p))
+
+let test_proc_timer_dies_with_incarnation () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let fired = ref false in
+  Proc.after p 1000 ~cost:10 (fun () -> fired := true);
+  Proc.crash p;
+  Proc.restart p;
+  Engine.run e;
+  Alcotest.(check bool) "old incarnation's timer suppressed" false !fired
+
+let test_proc_work_serializes_on_core () =
+  let e, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let p = Proc.create m ~name:"srv" ~core () in
+  let finish_times = ref [] in
+  Proc.exec p ~cost:100 (fun () -> finish_times := Engine.now e :: !finish_times);
+  Proc.exec p ~cost:100 (fun () -> finish_times := Engine.now e :: !finish_times);
+  Engine.run e;
+  Alcotest.(check (list int)) "sequential on one core" [ 100; 200 ]
+    (List.rev !finish_times)
+
+(* {2 Capacity model: the shape of Table II} *)
+
+let gbps config = (Capacity.evaluate config).Capacity.goodput_gbps
+
+let test_table2_ordering () =
+  (* The orderings the paper's Table II establishes. *)
+  Alcotest.(check bool) "minix << any NewtOS config" true
+    (gbps Capacity.Minix_sync *. 10.0 < gbps Capacity.Split_dedicated);
+  Alcotest.(check bool) "SYSCALL server helps (line 2 < 3)" true
+    (gbps Capacity.Split_dedicated < gbps Capacity.Split_dedicated_sc);
+  Alcotest.(check bool) "single server beats split (line 3 < 4)" true
+    (gbps Capacity.Split_dedicated_sc < gbps Capacity.Single_server_sc);
+  Alcotest.(check bool) "TSO saturates the wire (line 4 < 5)" true
+    (gbps Capacity.Single_server_sc < gbps Capacity.Single_server_sc_tso);
+  Alcotest.(check bool) "both TSO configs wire-limited" true
+    (abs_float (gbps Capacity.Single_server_sc_tso -. gbps Capacity.Split_dedicated_sc_tso)
+    < 0.01);
+  Alcotest.(check bool) "Linux 10GbE fastest" true
+    (gbps Capacity.Linux_10gbe > gbps Capacity.Split_dedicated_sc_tso)
+
+let test_table2_magnitudes () =
+  (* Within a reasonable band of the paper's numbers. *)
+  let close ?(tol = 0.35) paper ours =
+    abs_float (ours -. paper) /. paper < tol
+  in
+  Alcotest.(check bool) "minix ~0.12 Gbps" true (close 0.12 (gbps Capacity.Minix_sync));
+  Alcotest.(check bool) "split ~3.2" true (close 3.2 (gbps Capacity.Split_dedicated));
+  Alcotest.(check bool) "split+sc ~3.6" true (close 3.6 (gbps Capacity.Split_dedicated_sc));
+  Alcotest.(check bool) "single ~3.9" true (close 3.9 (gbps Capacity.Single_server_sc));
+  Alcotest.(check bool) "tso ~5" true (close 5.0 (gbps Capacity.Split_dedicated_sc_tso));
+  Alcotest.(check bool) "linux ~8.4" true (close 8.4 (gbps Capacity.Linux_10gbe))
+
+let test_table2_tso_wire_limited () =
+  let r = Capacity.evaluate Capacity.Split_dedicated_sc_tso in
+  Alcotest.(check string) "bottleneck is the wire" "wire" r.Capacity.bottleneck
+
+let test_table2_split_bottleneck_is_tcp () =
+  let r = Capacity.evaluate Capacity.Split_dedicated_sc in
+  Alcotest.(check string) "tcp server saturates first" "tcp server" r.Capacity.bottleneck;
+  (* And the paper's claim that IP is NOT the bottleneck even with its
+     triple handling. *)
+  let ip_stage =
+    List.find (fun s -> s.Capacity.label = "ip server") r.Capacity.stages
+  in
+  let tcp_stage =
+    List.find (fun s -> s.Capacity.label = "tcp server") r.Capacity.stages
+  in
+  Alcotest.(check bool) "ip has headroom over tcp" true
+    (ip_stage.Capacity.capacity_gbps > tcp_stage.Capacity.capacity_gbps *. 1.2)
+
+let test_wire_goodput () =
+  let g = Capacity.wire_goodput_gbps ~nics:1 ~gbps_per_nic:1.0 ~mss:1460 in
+  Alcotest.(check bool) "1 Gbps carries ~0.95 Gbps of TCP payload" true
+    (g > 0.92 && g < 0.97)
+
+let test_capacity_cost_sensitivity () =
+  (* Raising the per-message channel cost must hurt the split stack. *)
+  let base = Costs.default in
+  let expensive = { base with Costs.channel_marshal = 3000; channel_demux = 3000 } in
+  let fast = (Capacity.evaluate ~costs:base Capacity.Split_dedicated_sc).Capacity.goodput_gbps in
+  let slow =
+    (Capacity.evaluate ~costs:expensive Capacity.Split_dedicated_sc).Capacity.goodput_gbps
+  in
+  Alcotest.(check bool) "expensive IPC slows the split stack" true (slow < fast *. 0.7)
+
+let suite =
+  [
+    ("proc drains channel messages", `Quick, test_proc_drains_messages);
+    ("proc round-robins channels", `Quick, test_proc_round_robin_fairness);
+    ("proc crash drops in-flight work", `Quick, test_proc_crash_drops_work);
+    ("proc restart bumps incarnation", `Quick, test_proc_restart_bumps_incarnation);
+    ("proc hang stops progress", `Quick, test_proc_hang_stops_progress);
+    ("proc timers die with incarnation", `Quick, test_proc_timer_dies_with_incarnation);
+    ("proc work serializes on its core", `Quick, test_proc_work_serializes_on_core);
+    ("table II ordering matches the paper", `Quick, test_table2_ordering);
+    ("table II magnitudes within band", `Quick, test_table2_magnitudes);
+    ("table II TSO configs are wire-limited", `Quick, test_table2_tso_wire_limited);
+    ("table II split bottleneck is TCP, not IP", `Quick, test_table2_split_bottleneck_is_tcp);
+    ("wire goodput accounting", `Quick, test_wire_goodput);
+    ("capacity model reacts to IPC cost", `Quick, test_capacity_cost_sensitivity);
+  ]
