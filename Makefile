@@ -1,0 +1,16 @@
+# Tier-1 gate: what CI runs on every PR.
+.PHONY: check build test fmt clean
+
+check: build test fmt
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+clean:
+	dune clean

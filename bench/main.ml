@@ -16,7 +16,7 @@
       prints paper-vs-measured, plus an ablation of the design choices.
 
    Run everything: dune exec bench/main.exe
-   One piece:      dune exec bench/main.exe -- [micro|table2|campaign|fig4|fig5|coalesce|ablate] *)
+   One piece:      dune exec bench/main.exe -- [micro|table2|campaign|fig4|fig5|coalesce|ablate|scaling] *)
 
 module E = Newt_core.Experiments
 module C = Newt_stack.Capacity
@@ -423,6 +423,27 @@ let print_ablation () =
   print_endline "   polling absorbs them — the latency/energy trade-off of Section IV-B)";
   print_newline ()
 
+let print_scaling () =
+  print_endline "Scaling — N transport shards behind a multi-queue NIC";
+  print_endline "======================================================";
+  let r = E.scaling_curve () in
+  Printf.printf "single-instance Table II ceiling: %.2f Gbps\n"
+    r.E.single_instance_gbps;
+  List.iter
+    (fun (p : E.scaling_point) ->
+      Printf.printf
+        "  %d shard(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; \
+         affinity violations %d\n"
+        p.E.shards p.E.goodput_gbps
+        (p.E.goodput_gbps /. r.E.single_instance_gbps)
+        p.E.imbalance p.E.violations)
+    r.E.points;
+  print_endline
+    "(one Shard_map drives NIC RSS, IP fan-out and SYSCALL routing; every flow";
+  print_endline
+    " stays on one TCP shard, so the instances scale without sharing state)";
+  print_newline ()
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
@@ -434,6 +455,7 @@ let () =
   | "coalesce" -> print_coalesce ()
   | "crosscheck" -> print_crosscheck ()
   | "ablate" -> print_ablation ()
+  | "scaling" -> print_scaling ()
   | "all" ->
       print_table2 ();
       print_fig4 ();
@@ -442,9 +464,11 @@ let () =
       print_crosscheck ();
       print_coalesce ();
       print_ablation ();
+      print_scaling ();
       run_bechamel ()
   | other ->
       Printf.eprintf
-        "unknown benchmark %S (use micro|table2|campaign|fig4|fig5|coalesce|ablate|all)\n"
+        "unknown benchmark %S (use \
+         micro|table2|campaign|fig4|fig5|coalesce|ablate|scaling|all)\n"
         other;
       exit 1

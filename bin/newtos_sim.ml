@@ -104,6 +104,28 @@ let print_coalesce () =
     (E.driver_coalescing ());
   print_newline ()
 
+let print_scaling shard_counts flows duration =
+  print_endline "Scaling — N transport shards behind a multi-queue NIC";
+  print_endline "------------------------------------------------------";
+  let r = E.scaling_curve ~shard_counts ~flows ~duration () in
+  Printf.printf "single-instance Table II ceiling: %.2f Gbps\n" r.E.single_instance_gbps;
+  List.iter
+    (fun (p : E.scaling_point) ->
+      Printf.printf
+        "%d shard(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; violations %d\n"
+        p.E.shards p.E.goodput_gbps
+        (p.E.goodput_gbps /. r.E.single_instance_gbps)
+        p.E.imbalance p.E.violations;
+      Array.iter
+        (fun (s : Newt_scale.Sharded_stack.shard_stats) ->
+          Printf.printf
+            "    shard %d: %d flows, %d segs out, core %.0f%%, queue depth %d\n"
+            s.Newt_scale.Sharded_stack.shard s.flows s.segs_out
+            (100.0 *. s.core_util) s.queue_depth)
+        p.E.per_shard)
+    r.E.points;
+  print_newline ()
+
 open Cmdliner
 
 let seed =
@@ -150,6 +172,24 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"NIC reset time vs recovery outage (Section V-D)")
     Term.(const print_sweep $ const ())
 
+let scaling_cmd =
+  let shard_counts =
+    let doc = "Shard counts to sweep." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "shards" ] ~doc)
+  in
+  let flows =
+    let doc = "Parallel iperf flows." in
+    Arg.(value & opt int 8 & info [ "flows" ] ~doc)
+  in
+  let duration =
+    let doc = "Simulated seconds per point." in
+    Arg.(value & opt float 0.5 & info [ "duration" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Goodput vs number of TCP shards (multi-queue NIC + sharded stack)")
+    Term.(const print_scaling $ shard_counts $ flows $ duration)
+
 let all_cmd =
   let run () =
     print_table2 ();
@@ -158,7 +198,8 @@ let all_cmd =
     print_campaign 100 2;
     print_crosscheck ();
     print_coalesce ();
-    print_sweep ()
+    print_sweep ();
+    print_scaling [ 1; 2; 4; 8 ] 8 0.5
   in
   Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation") Term.(const run $ const ())
 
@@ -173,5 +214,6 @@ let () =
           crosscheck_cmd;
           coalesce_cmd;
           sweep_cmd;
+          scaling_cmd;
           all_cmd;
         ]))

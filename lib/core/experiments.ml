@@ -530,3 +530,50 @@ let driver_coalescing ?(costs = Costs.default) () =
         sustainable = load < 1.0;
       })
     [ 5; 1 ]
+
+(* {1 Scaling curve — N transport shards behind a multi-queue NIC} *)
+
+type scaling_point = {
+  shards : int;
+  goodput_gbps : float;
+  per_shard : Newt_scale.Sharded_stack.shard_stats array;
+  imbalance : float;
+  violations : int;
+}
+
+type scaling_result = {
+  points : scaling_point list;
+  single_instance_gbps : float;
+}
+
+let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(flows = 8)
+    ?(duration = 0.5) ?(link_gbps = 40.0) () =
+  let module S = Newt_scale.Sharded_stack in
+  let run_point n =
+    let config = { S.default_config with S.shards = n; link_gbps } in
+    let s = S.create ~config () in
+    let total = ref 0 in
+    for i = 0 to flows - 1 do
+      Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ b ->
+          total := !total + b)
+    done;
+    let _ =
+      List.init flows (fun i ->
+          Apps.Iperf.start (S.machine s) ~sc:(S.sc s) ~app:(S.app s)
+            ~dst:(S.sink_addr s) ~port:(5001 + i)
+            ~until:(Time.of_seconds duration) ())
+    in
+    S.run s ~until:(Time.of_seconds duration);
+    {
+      shards = n;
+      goodput_gbps = float_of_int !total *. 8.0 /. duration /. 1e9;
+      per_shard = S.shard_stats s;
+      imbalance = S.imbalance_ratio s;
+      violations = S.steering_violations s;
+    }
+  in
+  {
+    points = List.map run_point shard_counts;
+    single_instance_gbps =
+      (Capacity.evaluate Capacity.Split_dedicated_sc).Capacity.goodput_gbps;
+  }

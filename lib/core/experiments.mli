@@ -166,3 +166,33 @@ val driver_coalescing : ?costs:Newt_hw.Costs.t -> unit -> coalescing_result list
 (** Per-driver-count utilization: even one driver for all five NICs is
     nowhere near saturation ("the work done by the drivers is extremely
     small"). *)
+
+(** {1 Scaling — N transport shards behind a multi-queue NIC} *)
+
+type scaling_point = {
+  shards : int;
+  goodput_gbps : float;  (** Aggregate iperf goodput over all flows. *)
+  per_shard : Newt_scale.Sharded_stack.shard_stats array;
+  imbalance : float;  (** Max/mean of per-RX-queue frame counts. *)
+  violations : int;  (** Flow→shard affinity violations (must be 0). *)
+}
+
+type scaling_result = {
+  points : scaling_point list;
+  single_instance_gbps : float;
+      (** The Table II ceiling of one TCP server (Split_dedicated_sc) —
+          the line the sharded stack must climb past. *)
+}
+
+val scaling_curve :
+  ?shard_counts:int list ->
+  ?flows:int ->
+  ?duration:float ->
+  ?link_gbps:float ->
+  unit ->
+  scaling_result
+(** Run [flows] parallel iperf streams (default 8) against a
+    {!Newt_scale.Sharded_stack} at each shard count (default 1, 2, 4, 8)
+    over a fat link (default 40 Gbps): aggregate goodput scales with the
+    shard count until another stage (IP, the wire) saturates, while one
+    instance is pinned at the single-server ceiling. *)

@@ -1,0 +1,77 @@
+(** A multi-queue Ethernet device: the e1000 model extended with N
+    TX/RX descriptor-ring pairs and an {!Rss} engine.
+
+    Received frames are classified (Ethernet/IPv4/L4 ports), hashed
+    through the RSS indirection table and completed on the selected RX
+    queue; non-IP and non-TCP/UDP traffic lands on queue 0. Each queue
+    raises its own interrupt reason, so a driver can fan completions out
+    to per-shard protocol servers without touching the others' cache
+    lines. TX descriptors are posted per queue; all queues serialize
+    onto the same wire (the link models the shared PHY).
+
+    The device keeps a flow→queue journal and counts {e steering
+    violations} — a flow observed on two different queues — which is the
+    NIC half of the flow→shard affinity invariant the scale layer
+    asserts. *)
+
+type t
+
+type tx_desc = {
+  chain : Newt_channels.Rich_ptr.chain;
+  csum_offload : bool;
+  tso : bool;
+  tso_mss : int;
+  tx_cookie : int;
+}
+
+type rx_desc = { buf : Newt_channels.Rich_ptr.t; rx_cookie : int }
+type rx_completion = { rx_buf : Newt_channels.Rich_ptr.t; len : int; cookie : int }
+
+type irq_reason =
+  | Rx_done of int  (** Queue index. *)
+  | Tx_done of int  (** Queue index. *)
+  | Link_change
+
+val create :
+  Newt_sim.Engine.t ->
+  registry:Newt_channels.Registry.t ->
+  link:Link.t ->
+  side:Link.side ->
+  mac:Newt_net.Addr.Mac.t ->
+  rss:Rss.t ->
+  ?ring_size:int ->
+  ?irq_delay:Newt_sim.Time.cycles ->
+  ?reset_time:Newt_sim.Time.cycles ->
+  unit ->
+  t
+(** The queue count is [Rss.queues rss]. *)
+
+val mac : t -> Newt_net.Addr.Mac.t
+val queues : t -> int
+val rss : t -> Rss.t
+
+val set_irq_handler : t -> (irq_reason -> unit) -> unit
+val set_rx_writer : t -> (Newt_channels.Rich_ptr.t -> Bytes.t -> unit) -> unit
+
+val post_tx : t -> queue:int -> tx_desc -> bool
+val doorbell_tx : t -> queue:int -> unit
+val post_rx : t -> queue:int -> rx_desc -> bool
+val reap_tx : t -> queue:int -> tx_desc option
+val reap_rx : t -> queue:int -> rx_completion option
+val tx_ring_free : t -> queue:int -> int
+val rx_ring_free : t -> queue:int -> int
+
+val mark_unsafe : t -> unit
+val reset : t -> unit
+val link_up : t -> bool
+
+val tx_packets : t -> int
+val rx_packets : t -> int
+val rx_no_buffer : t -> int
+
+val rx_queue_packets : t -> int array
+(** Per-queue received-frame counters (the imbalance picture). *)
+
+val steering_violations : t -> int
+(** Flows seen on more than one RX queue since the last reset — 0 on a
+    correctly programmed device. *)

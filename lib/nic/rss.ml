@@ -1,0 +1,92 @@
+module Addr = Newt_net.Addr
+
+type t = {
+  key : int array;  (* secret key bytes; 96 input bits + 32 window bits *)
+  nqueues : int;
+  mutable table : int array;
+}
+
+(* A deterministic key stream: xorshift over the seed. Quality only has
+   to be "spreads real port numbers around", not cryptographic. *)
+let gen_key ~seed ~len =
+  let s = ref (0x9E3779B9 lxor ((seed + 1) * 0x01000193)) in
+  Array.init len (fun _ ->
+      let x = !s in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = x lxor (x lsl 17) in
+      s := x land 0x3FFFFFFFFFFFFFF;
+      !s land 0xff)
+
+let create ?(seed = 0x5ca1e) ~queues ?(buckets = 128) () =
+  if queues <= 0 then invalid_arg "Rss.create: queues must be positive";
+  if buckets <= 0 then invalid_arg "Rss.create: buckets must be positive";
+  {
+    key = gen_key ~seed ~len:16;
+    nqueues = queues;
+    table = Array.init buckets (fun i -> i mod queues);
+  }
+
+let queues t = t.nqueues
+let buckets t = Array.length t.table
+
+let ip_int a = Int32.to_int (Addr.Ipv4.to_int32 a) land 0xFFFFFFFF
+
+(* The Toeplitz construction: for every set bit of the input, XOR in the
+   32-bit window of the key starting at that bit position. *)
+let toeplitz key input_bytes =
+  let key_bit j = (key.(j / 8) lsr (7 - (j mod 8))) land 1 in
+  let window = ref 0 in
+  for j = 0 to 31 do
+    window := (!window lsl 1) lor key_bit j
+  done;
+  let result = ref 0 in
+  let nbits = 8 * Array.length input_bytes in
+  for i = 0 to nbits - 1 do
+    let bit = (input_bytes.(i / 8) lsr (7 - (i mod 8))) land 1 in
+    if bit = 1 then result := !result lxor !window;
+    window := ((!window lsl 1) land 0xFFFFFFFF) lor key_bit (i + 32)
+  done;
+  !result
+
+let hash t ~src ~sport ~dst ~dport =
+  (* Canonical endpoint order makes the hash direction-agnostic. *)
+  let a = (ip_int src, sport land 0xffff) and b = (ip_int dst, dport land 0xffff) in
+  let (ip1, p1), (ip2, p2) = if a <= b then (a, b) else (b, a) in
+  let input = Array.make 12 0 in
+  let put32 off v =
+    input.(off) <- (v lsr 24) land 0xff;
+    input.(off + 1) <- (v lsr 16) land 0xff;
+    input.(off + 2) <- (v lsr 8) land 0xff;
+    input.(off + 3) <- v land 0xff
+  in
+  let put16 off v =
+    input.(off) <- (v lsr 8) land 0xff;
+    input.(off + 1) <- v land 0xff
+  in
+  put32 0 ip1;
+  put32 4 ip2;
+  put16 8 p1;
+  put16 10 p2;
+  toeplitz t.key input
+
+let queue_of t ~src ~sport ~dst ~dport =
+  t.table.(hash t ~src ~sport ~dst ~dport mod Array.length t.table)
+
+let table t = Array.copy t.table
+
+let set_table t table =
+  if Array.length table <> Array.length t.table then
+    invalid_arg "Rss.set_table: wrong table length";
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= t.nqueues then invalid_arg "Rss.set_table: queue out of range")
+    table;
+  t.table <- Array.copy table
+
+let set_bucket t ~bucket ~queue =
+  if bucket < 0 || bucket >= Array.length t.table then
+    invalid_arg "Rss.set_bucket: bucket out of range";
+  if queue < 0 || queue >= t.nqueues then
+    invalid_arg "Rss.set_bucket: queue out of range";
+  t.table.(bucket) <- queue

@@ -1,0 +1,59 @@
+(** Receive-side scaling: the NIC's flow-steering engine.
+
+    A Toeplitz hash of the 4-tuple of every received TCP/UDP frame is
+    folded through a programmable {e indirection table} onto one of the
+    device's RX queues — the mechanism behind multi-queue NICs (and the
+    scaling story the paper's discussion points at: several protocol
+    server instances fed by several queues).
+
+    Two deliberate deviations from the Microsoft RSS spec, both in the
+    name of {e shard affinity}:
+
+    - the hash is {e symmetric}: the two (address, port) endpoints are
+      put in canonical order before hashing, so both directions of a
+      flow — and, crucially, the host's own outbound picture of the
+      flow — map to the same queue. A TCP shard that picked its source
+      port against this very function is guaranteed to receive the
+      flow's ACKs on its own queue;
+    - the key is derived from a small seed rather than supplied as 40
+      random bytes, keeping simulations deterministic. *)
+
+type t
+
+val create : ?seed:int -> queues:int -> ?buckets:int -> unit -> t
+(** An RSS engine steering onto [queues] queues through a [buckets]-entry
+    indirection table (default 128), initialized round-robin
+    ([bucket i -> i mod queues]). *)
+
+val queues : t -> int
+val buckets : t -> int
+
+val hash :
+  t ->
+  src:Newt_net.Addr.Ipv4.t ->
+  sport:int ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dport:int ->
+  int
+(** The 32-bit symmetric Toeplitz hash of the canonicalized 4-tuple.
+    [hash ~src ~sport ~dst ~dport = hash ~src:dst ~sport:dport
+    ~dst:src ~dport:sport]. *)
+
+val queue_of :
+  t ->
+  src:Newt_net.Addr.Ipv4.t ->
+  sport:int ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dport:int ->
+  int
+(** [table.(hash mod buckets)] — where the device puts the frame. *)
+
+val table : t -> int array
+(** A copy of the indirection table. *)
+
+val set_table : t -> int array -> unit
+(** Reprogram the indirection table (length must equal [buckets], every
+    entry in [0, queues)). Raises [Invalid_argument] otherwise. New
+    flows land per the new table; this is the rebalancing knob. *)
+
+val set_bucket : t -> bucket:int -> queue:int -> unit

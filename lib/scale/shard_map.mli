@@ -1,0 +1,59 @@
+(** The flow→shard steering function, shared by every layer.
+
+    The scaling design of the paper's discussion — several TCP instances
+    fed by a multi-queue NIC — only works if {e all} layers agree where
+    a flow lives: the NIC's RSS engine (upward, per frame), the IP
+    server's fan-out (upward, per segment), and the SYSCALL server's
+    routing (downward, per call). This module is that single source of
+    truth: a thin wrapper over the device's own {!Newt_nic.Rss} engine,
+    so software steering and hardware steering cannot disagree.
+
+    For {e outbound} connections the causality is reversed:
+    {!port_for_shard} searches the ephemeral range for a source port
+    whose hash maps back to the requesting shard, so the flow's ACKs
+    arrive on that shard's RX queue. *)
+
+type t
+
+val create : ?seed:int -> shards:int -> ?buckets:int -> unit -> t
+(** [shards] steering targets behind a [buckets]-entry indirection
+    table (default 128). *)
+
+val shards : t -> int
+
+val rss : t -> Newt_nic.Rss.t
+(** The underlying RSS engine — hand this same value to the NIC so the
+    two steer identically. *)
+
+val shard_of :
+  t ->
+  src:Newt_net.Addr.Ipv4.t ->
+  sport:int ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dport:int ->
+  int
+(** Where a flow lives. Symmetric in the two endpoints. *)
+
+val port_for_shard :
+  t ->
+  shard:int ->
+  src:Newt_net.Addr.Ipv4.t ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dst_port:int ->
+  int option
+(** An ephemeral source port (49152–65535) that {!shard_of} maps to
+    [shard] for this destination, or [None] if the scan fails (never in
+    practice: each probe hits the right shard with probability
+    [1/shards]). Successive calls rotate through the range so
+    concurrent connections get distinct ports. *)
+
+val rebalance : t -> loads:float array -> int
+(** Reprogram the indirection table so expected load (bucket count
+    weighted by the observed per-shard [loads]) evens out: buckets move
+    from overloaded to underloaded shards, greedily, until no move
+    helps. Returns the number of buckets reassigned. Only {e new} flows
+    follow the new table — exactly like reprogramming a real NIC. *)
+
+val imbalance : loads:float array -> float
+(** [max load / mean load]; 1.0 is perfect balance, and the guard
+    against division by zero is [0/0 = 1]. *)

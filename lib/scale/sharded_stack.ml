@@ -1,0 +1,480 @@
+module Engine = Newt_sim.Engine
+module Time = Newt_sim.Time
+module Trace = Newt_sim.Trace
+module Machine = Newt_hw.Machine
+module Cpu = Newt_hw.Cpu
+module Registry = Newt_channels.Registry
+module Sim_chan = Newt_channels.Sim_chan
+module Pubsub = Newt_channels.Pubsub
+module Addr = Newt_net.Addr
+module Tcp = Newt_net.Tcp
+module Link = Newt_nic.Link
+module Mq = Newt_nic.Mq_e1000
+module Rule = Newt_pf.Rule
+module Proc = Newt_stack.Proc
+module Msg = Newt_stack.Msg
+module Mq_drv_srv = Newt_stack.Mq_drv_srv
+module Ip_srv = Newt_stack.Ip_srv
+module Pf_srv = Newt_stack.Pf_srv
+module Tcp_srv = Newt_stack.Tcp_srv
+module Udp_srv = Newt_stack.Udp_srv
+module Syscall_srv = Newt_stack.Syscall_srv
+module Sink = Newt_stack.Sink
+module Storage = Newt_reliability.Storage
+module Reincarnation = Newt_reliability.Reincarnation
+
+type config = {
+  seed : int;
+  costs : Newt_hw.Costs.t;
+  shards : int;
+  udp_shards : int;
+  link_gbps : float;
+  pf_rules : Rule.t list option;
+  tcp_config : Tcp.config option;
+  nic_reset_time : Time.cycles;
+  heartbeat_period : Time.cycles;
+  restart_delay : Time.cycles;
+}
+
+let default_config =
+  {
+    seed = 42;
+    costs = Newt_hw.Costs.default;
+    shards = 4;
+    udp_shards = 1;
+    link_gbps = 40.0;
+    pf_rules = None;
+    tcp_config = None;
+    nic_reset_time = Time.of_seconds 1.2;
+    heartbeat_period = Time.of_seconds 0.1;
+    restart_delay = Time.of_seconds 0.12;
+  }
+
+(* The canonical flow key of the steering journal — the same
+   canonicalization the RSS hash applies, so both directions of a flow
+   share one entry. *)
+type flow_key = int * int * int * int
+
+let ip_int a = Int32.to_int (Addr.Ipv4.to_int32 a) land 0xFFFFFFFF
+
+let flow_key src sport dst dport : flow_key =
+  let a = (ip_int src, sport) and b = (ip_int dst, dport) in
+  let (i1, p1), (i2, p2) = if a <= b then (a, b) else (b, a) in
+  (i1, p1, i2, p2)
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  machine : Machine.t;
+  registry : Registry.t;
+  trace : Trace.t;
+  directory : Pubsub.t;
+  storage : Storage.t;
+  rs : Reincarnation.t;
+  sm : Shard_map.t;
+  sc : Syscall_srv.t;
+  tcps : Tcp_srv.t array;
+  udps : Udp_srv.t array;
+  ip : Ip_srv.t;
+  pf : Pf_srv.t option;
+  drv : Mq_drv_srv.t;
+  nic : Mq.t;
+  link : Link.t;
+  sink : Sink.t;
+  tcp_procs : Proc.t array;
+  udp_procs : Proc.t array;
+  ip_to_tcp : Msg.t Sim_chan.t array;
+  (* IP's half of the affinity journal (the NIC keeps its own). *)
+  steer_journal : (flow_key, int) Hashtbl.t;
+  ip_violations : int ref;
+  mutable next_app_pid : int;
+}
+
+let engine t = t.engine
+let machine t = t.machine
+let config t = t.config
+let sc t = t.sc
+let tcp_shard t i = t.tcps.(i)
+let udp_shard t i = t.udps.(i)
+let ip_srv t = t.ip
+let nic t = t.nic
+let link t = t.link
+let sink t = t.sink
+let shard_map t = t.sm
+
+let local_addr _t = Addr.Ipv4.v 10 0 0 1
+let sink_addr _t = Addr.Ipv4.v 10 0 0 2
+
+let run t ~until = Engine.run ~until t.engine
+let at t when_ f = ignore (Engine.schedule_at t.engine when_ f)
+
+(* Every saturating sender gets a core of its own: two senders
+   timesharing one core would pay a full context switch per write,
+   which is the workload's bottleneck, not the stack's. *)
+let app t =
+  let core = Machine.add_timeshared_core t.machine in
+  let pid = t.next_app_pid in
+  t.next_app_pid <- pid + 1;
+  { Syscall_srv.app_core = core; app_pid = pid }
+
+let kill_shard t i = Reincarnation.kill t.rs t.tcp_procs.(i)
+let shard_restarts t i = Reincarnation.restarts_of t.rs t.tcp_procs.(i)
+
+type shard_stats = {
+  shard : int;
+  flows : int;
+  segs_out : int;
+  bytes_out : int;
+  queue_depth : int;
+  core_util : float;
+  restarts : int;
+}
+
+let shard_stats t =
+  let now = Engine.now t.engine in
+  Array.mapi
+    (fun i srv ->
+      let eng = Tcp_srv.engine srv in
+      let st = Tcp.stats eng in
+      {
+        shard = i;
+        flows = Tcp.connection_count eng;
+        segs_out = st.Tcp.segs_out;
+        bytes_out = st.Tcp.bytes_out;
+        queue_depth = Sim_chan.length t.ip_to_tcp.(i);
+        core_util = Cpu.utilization (Proc.core t.tcp_procs.(i)) ~now;
+        restarts = shard_restarts t i;
+      })
+    t.tcps
+
+let imbalance_ratio t =
+  let loads = Array.map float_of_int (Mq.rx_queue_packets t.nic) in
+  Shard_map.imbalance ~loads
+
+let steering_violations t = Mq.steering_violations t.nic + !(t.ip_violations)
+
+let rebalance t =
+  let loads =
+    Array.map (fun srv -> float_of_int (Tcp.stats (Tcp_srv.engine srv)).Tcp.bytes_out) t.tcps
+  in
+  Shard_map.rebalance t.sm ~loads
+
+(* {2 Construction} *)
+
+let create ?(config = default_config) () =
+  if config.shards <= 0 then invalid_arg "Sharded_stack: shards must be positive";
+  if config.udp_shards <= 0 then
+    invalid_arg "Sharded_stack: udp_shards must be positive";
+  let engine = Engine.create ~seed:config.seed () in
+  let machine = Machine.create ~costs:config.costs engine in
+  let registry = Registry.create () in
+  let trace = Trace.create () in
+  let directory = Pubsub.create () in
+  let storage = Storage.create () in
+  let n = config.shards and nu = config.udp_shards in
+  let sm = Shard_map.create ~seed:config.seed ~shards:n () in
+  (* Cores: one dedicated per OS component, including one per shard. *)
+  let mkproc name = Proc.create machine ~name ~core:(Machine.add_dedicated_core machine) ~trace () in
+  let sc_proc = mkproc "sc" in
+  let ip_proc = mkproc "ip" in
+  let pf_proc = match config.pf_rules with Some _ -> Some (mkproc "pf") | None -> None in
+  let drv_proc = mkproc "mqdrv" in
+  let tcp_procs = Array.init n (fun i -> mkproc (Printf.sprintf "tcp%d" i)) in
+  let udp_procs = Array.init nu (fun i -> mkproc (Printf.sprintf "udp%d" i)) in
+  (* One fat wire, a multi-queue device on our side, an ideal peer on
+     the other. *)
+  let link =
+    Link.create engine
+      ~bandwidth_bps:(int_of_float (config.link_gbps *. 1e9))
+      ~queue_frames:1024 ()
+  in
+  let nic =
+    Mq.create engine ~registry ~link ~side:Link.Left
+      ~mac:(Addr.Mac.of_index 100) ~rss:(Shard_map.rss sm)
+      ~reset_time:config.nic_reset_time ()
+  in
+  let sink =
+    Sink.create engine ~link ~side:Link.Right ~addr:(Addr.Ipv4.v 10 0 0 2)
+      ~mac:(Addr.Mac.of_index 200) ()
+  in
+  (* Servers, each with its own storage view. *)
+  let view name = Storage.owner_view storage ~owner:name in
+  let save_ip, load_ip = view "ip" in
+  let sc_srv = Syscall_srv.create machine ~proc:sc_proc () in
+  let tcps =
+    Array.init n (fun i ->
+        let save, load = view (Printf.sprintf "tcp%d" i) in
+        Tcp_srv.create machine ~proc:tcp_procs.(i) ~registry
+          ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+          ?tcp_config:config.tcp_config ~save ~load ())
+  in
+  let udps =
+    Array.init nu (fun i ->
+        let save, load = view (Printf.sprintf "udp%d" i) in
+        Udp_srv.create machine ~proc:udp_procs.(i) ~registry
+          ~local_addr:(Addr.Ipv4.v 10 0 0 1) ~save ~load ())
+  in
+  let ip_srv =
+    Ip_srv.create machine ~proc:ip_proc ~registry ~save:save_ip ~load:load_ip ()
+  in
+  let pf_srv =
+    match pf_proc with
+    | Some proc ->
+        let save, load = view "pf" in
+        Some (Pf_srv.create machine ~proc ~save ~load ())
+    | None -> None
+  in
+  let drv = Mq_drv_srv.create machine ~proc:drv_proc ~nic () in
+  (* Channels (Figure 3, replicated per shard), published under
+     meaningful keys. *)
+  let chan_ids = ref 0 in
+  let chan () =
+    incr chan_ids;
+    Sim_chan.create ~capacity:8192 ~id:!chan_ids ()
+  in
+  let publish key c =
+    Pubsub.publish directory ~key ~creator:0 ~chan_id:(Sim_chan.id c);
+    c
+  in
+  let republish key c =
+    Pubsub.publish directory ~key ~creator:0 ~chan_id:(Sim_chan.id c)
+  in
+  (* The shared steering function, with IP's half of the affinity
+     journal wrapped around it. *)
+  let steer_journal = Hashtbl.create 64 in
+  let ip_violations = ref 0 in
+  let journal_steer shard_of ~src ~sport ~dst ~dport =
+    let s = shard_of ~src ~sport ~dst ~dport in
+    let key = flow_key src sport dst dport in
+    (match Hashtbl.find_opt steer_journal key with
+    | None -> Hashtbl.replace steer_journal key s
+    | Some s' when s' = s -> ()
+    | Some _ ->
+        incr ip_violations;
+        Hashtbl.replace steer_journal key s);
+    s
+  in
+  let tcp_steer =
+    journal_steer (fun ~src ~sport ~dst ~dport ->
+        Shard_map.shard_of sm ~src ~sport ~dst ~dport)
+  in
+  let udp_steer ~src ~sport ~dst ~dport =
+    Shard_map.shard_of sm ~src ~sport ~dst ~dport mod nu
+  in
+  (* IP <-> PF: one filter shared by all shards, fed by the union of
+     their connection tables. *)
+  let pf_wiring =
+    match (pf_srv, config.pf_rules) with
+    | Some pf, Some rules ->
+        let ch_ip_to_pf = publish "ip.to_pf" (chan ())
+        and ch_pf_to_ip = publish "pf.to_ip" (chan ()) in
+        Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
+        Pf_srv.connect_ip pf ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
+        Pf_srv.set_rules pf rules;
+        Pf_srv.set_conntrack_sources pf
+          ~tcp:(fun () ->
+            Array.to_list tcps |> List.concat_map Tcp_srv.conntrack_flows)
+          ~udp:(fun () ->
+            Array.to_list udps |> List.concat_map Udp_srv.conntrack_flows);
+        Some (pf, ch_ip_to_pf, ch_pf_to_ip)
+    | _ -> None
+  in
+  (* IP <-> transport shards. *)
+  let tcp_to_ip =
+    Array.init n (fun i -> publish (Printf.sprintf "tcp%d.to_ip" i) (chan ()))
+  in
+  let ip_to_tcp =
+    Array.init n (fun i -> publish (Printf.sprintf "ip.to_tcp%d" i) (chan ()))
+  in
+  Ip_srv.connect_transport_sharded ip_srv ~proto:`Tcp ~steer:tcp_steer
+    ~pairs:(Array.init n (fun i -> (tcp_to_ip.(i), ip_to_tcp.(i))));
+  Array.iteri
+    (fun i srv -> Tcp_srv.connect_ip srv ~to_ip:tcp_to_ip.(i) ~from_ip:ip_to_tcp.(i))
+    tcps;
+  let udp_to_ip =
+    Array.init nu (fun i -> publish (Printf.sprintf "udp%d.to_ip" i) (chan ()))
+  in
+  let ip_to_udp =
+    Array.init nu (fun i -> publish (Printf.sprintf "ip.to_udp%d" i) (chan ()))
+  in
+  Ip_srv.connect_transport_sharded ip_srv ~proto:`Udp ~steer:udp_steer
+    ~pairs:(Array.init nu (fun i -> (udp_to_ip.(i), ip_to_udp.(i))));
+  Array.iteri
+    (fun i srv -> Udp_srv.connect_ip srv ~to_ip:udp_to_ip.(i) ~from_ip:ip_to_udp.(i))
+    udps;
+  (* SYSCALL <-> transport shards. *)
+  let sc_to_tcp =
+    Array.init n (fun i -> publish (Printf.sprintf "sc.to_tcp%d" i) (chan ()))
+  in
+  let tcp_to_sc =
+    Array.init n (fun i -> publish (Printf.sprintf "tcp%d.to_sc" i) (chan ()))
+  in
+  Syscall_srv.connect_transport_sharded sc_srv ~transport:`Tcp
+    ~pairs:(Array.init n (fun i -> (sc_to_tcp.(i), tcp_to_sc.(i))));
+  Array.iteri
+    (fun i srv -> Tcp_srv.connect_sc srv ~from_sc:sc_to_tcp.(i) ~to_sc:tcp_to_sc.(i))
+    tcps;
+  let sc_to_udp =
+    Array.init nu (fun i -> publish (Printf.sprintf "sc.to_udp%d" i) (chan ()))
+  in
+  let udp_to_sc =
+    Array.init nu (fun i -> publish (Printf.sprintf "udp%d.to_sc" i) (chan ()))
+  in
+  Syscall_srv.connect_transport_sharded sc_srv ~transport:`Udp
+    ~pairs:(Array.init nu (fun i -> (sc_to_udp.(i), udp_to_sc.(i))));
+  Array.iteri
+    (fun i srv -> Udp_srv.connect_sc srv ~from_sc:sc_to_udp.(i) ~to_sc:udp_to_sc.(i))
+    udps;
+  (* New sockets round-robin over the shards; the chosen shard then
+     picks a source port that hashes back to itself, so any placement
+     preserves flow affinity. *)
+  let next_tcp_sock = ref 0 and next_udp_sock = ref 0 in
+  Syscall_srv.set_placement sc_srv (fun ~transport ->
+      match transport with
+      | `Tcp ->
+          let s = !next_tcp_sock mod n in
+          incr next_tcp_sock;
+          s
+      | `Udp ->
+          let s = !next_udp_sock mod nu in
+          incr next_udp_sock;
+          s);
+  (* Shard affinity for active opens: shard [i] only uses source ports
+     that the RSS table maps to queue [i]. *)
+  Array.iteri
+    (fun i srv ->
+      Tcp_srv.set_port_select srv (fun ~src ~dst ~dst_port ->
+          Shard_map.port_for_shard sm ~shard:i ~src ~dst ~dst_port))
+    tcps;
+  (* The interface: one MQ driver serving all queues. *)
+  let ch_ip_to_drv = publish "ip.to_mqdrv" (chan ())
+  and ch_drv_to_ip = publish "mqdrv.to_ip" (chan ()) in
+  let hooks =
+    {
+      Ip_srv.drv_connect =
+        (fun ~rx_from_ip ~tx_to_ip -> Mq_drv_srv.connect_ip drv ~rx_from_ip ~tx_to_ip);
+      drv_grant_rx_pool =
+        (fun ~alloc ~write -> Mq_drv_srv.grant_rx_pool drv ~alloc ~write);
+      drv_on_ip_crash = (fun () -> Mq_drv_srv.on_ip_crash drv);
+      drv_on_ip_restart = (fun () -> Mq_drv_srv.on_ip_restart drv);
+    }
+  in
+  let iface =
+    Ip_srv.add_iface_custom ip_srv
+      { Ip_srv.addr = Addr.Ipv4.v 10 0 0 1; netmask_bits = 24; mac = Mq.mac nic }
+      ~hooks ~tx_chan:ch_ip_to_drv ~rx_chan:ch_drv_to_ip
+  in
+  Ip_srv.add_route ip_srv ~prefix:(Addr.Ipv4.v 10 0 0 0) ~bits:24 ~iface
+    ~gateway:None;
+  Ip_srv.add_neighbor ip_srv ~iface (Addr.Ipv4.v 10 0 0 2) (Addr.Mac.of_index 200);
+  (* Crash and restart procedures. *)
+  Array.iteri
+    (fun i srv ->
+      Proc.set_on_crash tcp_procs.(i) (fun () -> Tcp_srv.crash_cleanup srv);
+      Proc.set_on_restart tcp_procs.(i) (fun ~fresh:_ ->
+          Tcp_srv.restart srv;
+          republish (Printf.sprintf "sc.to_tcp%d" i) sc_to_tcp.(i);
+          republish (Printf.sprintf "ip.to_tcp%d" i) ip_to_tcp.(i)))
+    tcps;
+  Array.iteri
+    (fun i srv ->
+      Proc.set_on_crash udp_procs.(i) (fun () -> Udp_srv.crash_cleanup srv);
+      Proc.set_on_restart udp_procs.(i) (fun ~fresh:_ ->
+          Udp_srv.restart srv;
+          republish (Printf.sprintf "sc.to_udp%d" i) sc_to_udp.(i);
+          republish (Printf.sprintf "ip.to_udp%d" i) ip_to_udp.(i)))
+    udps;
+  Proc.set_on_crash ip_proc (fun () -> Ip_srv.crash_cleanup ip_srv);
+  Proc.set_on_restart ip_proc (fun ~fresh:_ ->
+      Ip_srv.restart ip_srv;
+      Array.iteri
+        (fun i c -> republish (Printf.sprintf "tcp%d.to_ip" i) c)
+        tcp_to_ip;
+      Array.iteri
+        (fun i c -> republish (Printf.sprintf "udp%d.to_ip" i) c)
+        udp_to_ip;
+      match pf_wiring with
+      | Some (_, _, ch_pf_to_ip) -> republish "pf.to_ip" ch_pf_to_ip
+      | None -> ());
+  (match (pf_wiring, pf_proc) with
+  | Some (pf, ch_ip_to_pf, _), Some proc ->
+      Proc.set_on_crash proc (fun () -> Pf_srv.crash_cleanup pf);
+      Proc.set_on_restart proc (fun ~fresh:_ ->
+          Pf_srv.restart pf;
+          republish "ip.to_pf" ch_ip_to_pf)
+  | _ -> ());
+  Proc.set_on_crash drv_proc (fun () -> Mq_drv_srv.crash_cleanup drv);
+  Proc.set_on_restart drv_proc (fun ~fresh:_ ->
+      Mq_drv_srv.restart drv;
+      republish "ip.to_mqdrv" ch_ip_to_drv);
+  (* Supervision: each shard recovers independently; a crash reclaims
+     only that shard's receive buffers, and only that shard's pending
+     syscalls are re-issued. *)
+  let rs =
+    Reincarnation.create machine ~heartbeat_period:config.heartbeat_period
+      ~restart_delay:config.restart_delay ()
+  in
+  Array.iteri
+    (fun i proc ->
+      Reincarnation.watch rs proc
+        ~notify_crash:
+          [ (fun () -> Ip_srv.on_transport_shard_crash ip_srv ~proto:`Tcp ~shard:i) ]
+        ~notify_restart:
+          [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Tcp) ]
+        ())
+    tcp_procs;
+  Array.iteri
+    (fun i proc ->
+      Reincarnation.watch rs proc
+        ~notify_crash:
+          [ (fun () -> Ip_srv.on_transport_shard_crash ip_srv ~proto:`Udp ~shard:i) ]
+        ~notify_restart:
+          [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Udp) ]
+        ())
+    udp_procs;
+  Reincarnation.watch rs ip_proc
+    ~notify_crash:
+      (Array.to_list (Array.map (fun srv () -> Tcp_srv.on_ip_crash srv) tcps)
+      @ Array.to_list (Array.map (fun srv () -> Udp_srv.on_ip_crash srv) udps))
+    ~notify_restart:
+      (Array.to_list (Array.map (fun srv () -> Tcp_srv.on_ip_restart srv) tcps)
+      @ Array.to_list (Array.map (fun srv () -> Udp_srv.on_ip_restart srv) udps))
+    ();
+  (match (pf_srv, pf_proc) with
+  | Some _, Some proc ->
+      Reincarnation.watch rs proc
+        ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ip_srv) ]
+        ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ip_srv) ]
+        ()
+  | _ -> ());
+  Reincarnation.watch rs drv_proc
+    ~notify_crash:[ (fun () -> Ip_srv.on_drv_crash ip_srv ~iface) ]
+    ~notify_restart:[ (fun () -> Ip_srv.on_drv_restart ip_srv ~iface) ]
+    ();
+  Reincarnation.start rs;
+  {
+    config;
+    engine;
+    machine;
+    registry;
+    trace;
+    directory;
+    storage;
+    rs;
+    sm;
+    sc = sc_srv;
+    tcps;
+    udps;
+    ip = ip_srv;
+    pf = pf_srv;
+    drv;
+    nic;
+    link;
+    sink;
+    tcp_procs;
+    udp_procs;
+    ip_to_tcp;
+    steer_journal;
+    ip_violations;
+    next_app_pid = 10_000;
+  }

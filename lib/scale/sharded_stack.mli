@@ -1,0 +1,98 @@
+(** A NewtOS host whose transport layer is replicated N ways.
+
+    The single-instance {!Newt_core.Host} tops out at one TCP server's
+    worth of cycles per segment (Table II). This composition implements
+    the scaling design the paper's discussion points at: a multi-queue
+    NIC ({!Newt_nic.Mq_e1000}) steers each flow's frames onto one of N
+    RX queues; the IP server fans segments up to N [tcp_srv] replicas on
+    dedicated cores (each with its own channels, pools and request
+    database); the SYSCALL server routes each socket's calls down to its
+    shard. One {!Shard_map} drives all three layers, so {e every segment
+    of a flow traverses exactly one shard} — the affinity invariant
+    {!steering_violations} counts violations of.
+
+    Each shard is supervised by the reincarnation server independently:
+    killing one ({!kill_shard}) loses only that shard's connections;
+    the other shards' flows keep running without losing a segment,
+    because IP reclaims only the dead shard's receive buffers and the
+    device is never reset (only an IP crash forces that, Section V-D). *)
+
+type config = {
+  seed : int;
+  costs : Newt_hw.Costs.t;
+  shards : int;  (** TCP server replicas. *)
+  udp_shards : int;
+  link_gbps : float;
+      (** The wire must outrun N shards — default 40 (a 40GbE port). *)
+  pf_rules : Newt_pf.Rule.t list option;
+      (** [None] removes the filter from the path (the paper's
+          no-PF column); [Some rules] wires one PF server shared by all
+          shards. *)
+  tcp_config : Newt_net.Tcp.config option;
+  nic_reset_time : Newt_sim.Time.cycles;
+  heartbeat_period : Newt_sim.Time.cycles;
+  restart_delay : Newt_sim.Time.cycles;
+}
+
+val default_config : config
+(** 4 TCP shards, 1 UDP shard, 40 Gbps, no filter, seed 42. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val engine : t -> Newt_sim.Engine.t
+val machine : t -> Newt_hw.Machine.t
+val config : t -> config
+val sc : t -> Newt_stack.Syscall_srv.t
+val tcp_shard : t -> int -> Newt_stack.Tcp_srv.t
+val udp_shard : t -> int -> Newt_stack.Udp_srv.t
+val ip_srv : t -> Newt_stack.Ip_srv.t
+val nic : t -> Newt_nic.Mq_e1000.t
+val link : t -> Newt_nic.Link.t
+val sink : t -> Newt_stack.Sink.t
+val shard_map : t -> Shard_map.t
+
+val local_addr : t -> Newt_net.Addr.Ipv4.t
+val sink_addr : t -> Newt_net.Addr.Ipv4.t
+
+val app : t -> Newt_stack.Syscall_srv.app
+(** A fresh application on its {e own} timeshared core: saturating
+    senders must not pay context switches to each other. *)
+
+val run : t -> until:Newt_sim.Time.cycles -> unit
+val at : t -> Newt_sim.Time.cycles -> (unit -> unit) -> unit
+
+(** {1 Faults} *)
+
+val kill_shard : t -> int -> unit
+(** Crash TCP shard [i]; the reincarnation server recovers it. *)
+
+val shard_restarts : t -> int -> int
+
+(** {1 Instrumentation} *)
+
+type shard_stats = {
+  shard : int;
+  flows : int;  (** Live TCP connections on this shard. *)
+  segs_out : int;
+  bytes_out : int;
+  queue_depth : int;  (** IP→shard channel backlog, in messages. *)
+  core_util : float;  (** Busy fraction of the shard's dedicated core. *)
+  restarts : int;
+}
+
+val shard_stats : t -> shard_stats array
+
+val imbalance_ratio : t -> float
+(** Max/mean of per-queue received frames at the NIC (1.0 = perfectly
+    even). *)
+
+val steering_violations : t -> int
+(** Flows observed on two different shards, summed over the NIC's
+    journal and the IP fan-out's journal. 0 = the affinity invariant
+    held. *)
+
+val rebalance : t -> int
+(** Reprogram the indirection table from the shards' observed byte
+    counts; returns the number of buckets moved. *)

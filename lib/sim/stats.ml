@@ -53,8 +53,11 @@ let percentile t name p =
   | None | Some { contents = [] } -> None
   | Some { contents = xs } ->
       let arr = Array.of_list xs in
-      Array.sort compare arr;
+      (* Float.compare: a numeric, unboxed sort that also gives nan a
+         total order (polymorphic compare boxes every element). *)
+      Array.sort Float.compare arr;
       let n = Array.length arr in
+      let p = Float.max 0.0 (Float.min 100.0 p) in
       let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
       Some arr.(max 0 (min (n - 1) idx))
 

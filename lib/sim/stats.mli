@@ -29,7 +29,10 @@ val count : t -> string -> int
 (** Number of samples recorded into a distribution. *)
 
 val percentile : t -> string -> float -> float option
-(** [percentile t name p] with [p] in [0,100]; sorts on demand. *)
+(** [percentile t name p] with [p] clamped to [0,100]; sorts on demand
+    (numerically, via [Float.compare]). [p = 0.0] is the minimum sample,
+    [p = 100.0] the maximum; a single-sample distribution returns that
+    sample for every [p]. [None] iff no samples were recorded. *)
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)

@@ -20,7 +20,10 @@ type iface_config = {
   mac : Addr.Mac.t;
 }
 
-type origin = From_tcp of int | From_udp of int | Local
+type origin =
+  | From_tcp of { shard : int; id : int }
+  | From_udp of { shard : int; id : int }
+  | Local
 
 type pending =
   | Pf_out of {
@@ -34,13 +37,40 @@ type pending =
   | Pf_in of { buf : Rich_ptr.t; pkt : Bytes.t }
   | Drv of { origin : origin; hdr : Rich_ptr.t; chain : Rich_ptr.chain; iface : int; tso : bool }
 
+type driver_hooks = {
+  drv_connect :
+    rx_from_ip:Msg.t Sim_chan.t -> tx_to_ip:Msg.t Sim_chan.t -> unit;
+  drv_grant_rx_pool :
+    alloc:(unit -> Rich_ptr.t option) ->
+    write:(Rich_ptr.t -> Bytes.t -> unit) ->
+    unit;
+  drv_on_ip_crash : unit -> unit;
+  drv_on_ip_restart : unit -> unit;
+}
+
 type iface = {
   cfg : iface_config;
-  drv : Drv_srv.t;
+  drv : driver_hooks;
   tx : Msg.t Sim_chan.t;
   arp : Arp.Cache.t;
   mutable drv_up : bool;
 }
+
+(* Upward fan-out to a (possibly sharded) transport: [steer] maps a
+   flow's 4-tuple to the shard index — the same function the NIC's RSS
+   table implements, so a flow always lands on one shard. *)
+type fanout = {
+  chans : Msg.t Sim_chan.t array;
+  steer :
+    src:Addr.Ipv4.t -> sport:int -> dst:Addr.Ipv4.t -> dport:int -> int;
+}
+
+(* Which channel a message arrived on decides how we interpret it:
+   frames know their port, transport requests know their shard. *)
+type source =
+  | Src_iface of int
+  | Src_transport of [ `Tcp | `Udp ] * int
+  | Src_other
 
 type t = {
   machine : Machine.t;
@@ -55,10 +85,10 @@ type t = {
   route_table : Ipv4.Route.table;
   mutable to_pf : Msg.t Sim_chan.t option;
   mutable pf_up : bool;
-  mutable to_tcp : Msg.t Sim_chan.t option;
-  mutable to_udp : Msg.t Sim_chan.t option;
+  mutable to_tcp : fanout option;
+  mutable to_udp : fanout option;
   mutable consumed : Msg.t Sim_chan.t list;  (* channels this server receives on *)
-  held_bufs : (Rich_ptr.t, [ `Tcp | `Udp ]) Hashtbl.t;
+  held_bufs : (Rich_ptr.t, [ `Tcp | `Udp ] * int) Hashtbl.t;
   mutable resubmit_pf : pending list;
   mutable resubmit_drv : pending list;
   mutable ident : int;
@@ -88,17 +118,29 @@ let free_rx t ptr = free_ptr t.rx_pool ptr
 
 let marshal_cost t = (costs t).Costs.channel_marshal + (costs t).Costs.channel_enqueue
 
+let fanout_chan fan shard =
+  let n = Array.length fan.chans in
+  if n = 0 then None else Some fan.chans.(shard mod n)
+
 let confirm_origin t origin ok =
+  let send fan shard id =
+    match fan with
+    | None -> ()
+    | Some fan ->
+        Option.iter
+          (fun chan -> ignore (Proc.send t.proc chan (Msg.Tx_ip_confirm { id; ok })))
+          (fanout_chan fan shard)
+  in
   match origin with
   | Local -> ()
-  | From_tcp id ->
-      Option.iter
-        (fun chan -> ignore (Proc.send t.proc chan (Msg.Tx_ip_confirm { id; ok })))
-        t.to_tcp
-  | From_udp id ->
-      Option.iter
-        (fun chan -> ignore (Proc.send t.proc chan (Msg.Tx_ip_confirm { id; ok })))
-        t.to_udp
+  | From_tcp { shard; id } -> send t.to_tcp shard id
+  | From_udp { shard; id } -> send t.to_udp shard id
+
+(* The TX queue a packet should leave on: its origin shard, so the
+   device's TX completion stays on the queue the flow's RX side uses. *)
+let origin_queue = function
+  | Local -> 0
+  | From_tcp { shard; _ } | From_udp { shard; _ } -> shard
 
 (* {2 Transmit path} *)
 
@@ -123,6 +165,7 @@ let transmit_frame t ~iface:i ~origin ~hdr ~chain ~tso =
              csum_offload = true;
              tso;
              tso_mss = 1460;
+             queue = origin_queue origin;
            })
     in
     if not sent then begin
@@ -254,18 +297,26 @@ let start_tx t ~origin ~src ~dst ~proto ~l4chain ~tso =
 
 (* {2 Receive path} *)
 
-let deliver t ~proto_chan ~tag ~buf ~l4_off ~l4_len ~src ~dst =
-  match proto_chan with
+let deliver t ~fanout:fan ~tag ~buf ~l4_off ~l4_len ~src ~dst ~sport ~dport =
+  match fan with
   | None -> free_rx t buf
-  | Some chan -> (
-      match Pool.sub_ptr buf ~off:l4_off ~len:l4_len with
-      | sub ->
-          Hashtbl.replace t.held_bufs buf tag;
-          if not (Proc.send t.proc chan (Msg.Rx_deliver { buf = sub; src; dst })) then begin
-            Hashtbl.remove t.held_bufs buf;
-            free_rx t buf
-          end
-      | exception Invalid_argument _ -> free_rx t buf)
+  | Some fan -> (
+      let shard =
+        if Array.length fan.chans <= 1 then 0
+        else fan.steer ~src ~sport ~dst ~dport mod Array.length fan.chans
+      in
+      match fanout_chan fan shard with
+      | None -> free_rx t buf
+      | Some chan -> (
+          match Pool.sub_ptr buf ~off:l4_off ~len:l4_len with
+          | sub ->
+              Hashtbl.replace t.held_bufs buf (tag, shard);
+              if not (Proc.send t.proc chan (Msg.Rx_deliver { buf = sub; src; dst }))
+              then begin
+                Hashtbl.remove t.held_bufs buf;
+                free_rx t buf
+              end
+          | exception Invalid_argument _ -> free_rx t buf))
 
 let handle_icmp t ~buf ~l4_bytes ~src ~dst =
   (match Icmp.decode l4_bytes with
@@ -302,13 +353,21 @@ let accept_in t ~buf pkt_bytes =
       else if l4_len <= 0 then free_rx t buf
       else begin
         let src = ih.Ipv4.src and dst = ih.Ipv4.dst in
+        (* The L4 ports, for shard steering (both TCP and UDP put them
+           in the first four header bytes). *)
+        let sport, dport =
+          if Bytes.length pkt_bytes >= l4_off_in_pkt + 4 then
+            ( Bytes.get_uint16_be pkt_bytes l4_off_in_pkt,
+              Bytes.get_uint16_be pkt_bytes (l4_off_in_pkt + 2) )
+          else (0, 0)
+        in
         match ih.Ipv4.protocol with
         | Ipv4.Tcp ->
-            deliver t ~proto_chan:t.to_tcp ~tag:`Tcp ~buf ~l4_off:(14 + l4_off_in_pkt)
-              ~l4_len ~src ~dst
+            deliver t ~fanout:t.to_tcp ~tag:`Tcp ~buf ~l4_off:(14 + l4_off_in_pkt)
+              ~l4_len ~src ~dst ~sport ~dport
         | Ipv4.Udp ->
-            deliver t ~proto_chan:t.to_udp ~tag:`Udp ~buf ~l4_off:(14 + l4_off_in_pkt)
-              ~l4_len ~src ~dst
+            deliver t ~fanout:t.to_udp ~tag:`Udp ~buf ~l4_off:(14 + l4_off_in_pkt)
+              ~l4_len ~src ~dst ~sport ~dport
         | Ipv4.Icmp ->
             handle_icmp t ~buf ~l4_bytes:(Bytes.sub pkt_bytes 20 l4_len) ~src ~dst
         | Ipv4.Unknown _ -> free_rx t buf
@@ -383,18 +442,30 @@ let handle_rx_frame t ~iface:arrival ~buf ~len =
 
 (* {2 Message handlers} *)
 
-(* [rx_iface] identifies which driver channel a message arrived on —
-   each interface has its own, so received frames know their port. *)
-let handle_msg t ~rx_iface msg =
+let complete_drv_confirm t id ok =
+  match Request_db.complete t.db id with
+  | Some (Drv { origin; hdr; _ }) ->
+      free_hdr t hdr;
+      confirm_origin t origin ok
+  | Some (Pf_out _ | Pf_in _) | None ->
+      Stats.incr (Proc.stats t.proc) "stale_confirm"
+
+(* [source] identifies which channel a message arrived on — each
+   interface and each transport shard has its own, so received frames
+   know their port and transport requests know their shard. *)
+let handle_msg t ~source msg =
   let c = costs t in
   match msg with
   | Msg.Tx_ip { id; chain; src; dst; proto; tso } ->
       ( c.Costs.ip_tx_work + c.Costs.header_adjust + marshal_cost t,
         fun () ->
+          let shard =
+            match source with Src_transport (_, s) -> s | Src_iface _ | Src_other -> 0
+          in
           let origin =
             match proto with
-            | Ipv4.Udp -> From_udp id
-            | Ipv4.Tcp | Ipv4.Icmp | Ipv4.Unknown _ -> From_tcp id
+            | Ipv4.Udp -> From_udp { shard; id }
+            | Ipv4.Tcp | Ipv4.Icmp | Ipv4.Unknown _ -> From_tcp { shard; id }
           in
           start_tx t ~origin ~src ~dst ~proto ~l4chain:chain ~tso )
   | Msg.Filter_verdict { id; pass } -> (
@@ -419,18 +490,21 @@ let handle_msg t ~rx_iface msg =
           | Some (Drv _) | None ->
               (* Stale verdict from before a crash: ignore. *)
               Stats.incr (Proc.stats t.proc) "stale_verdict" ))
-  | Msg.Drv_tx_confirm { id; ok } -> (
+  | Msg.Drv_tx_confirm { id; ok } ->
+      (marshal_cost t, fun () -> complete_drv_confirm t id ok)
+  | Msg.Drv_tx_confirm_batch { ids; ok } ->
+      (* One message, many completions: the channel cost is paid once
+         per batch (the driver's amortization), the per-completion
+         bookkeeping still runs for each id. *)
       ( marshal_cost t,
-        fun () ->
-          match Request_db.complete t.db id with
-          | Some (Drv { origin; hdr; _ }) ->
-              free_hdr t hdr;
-              confirm_origin t origin ok
-          | Some (Pf_out _ | Pf_in _) | None ->
-              Stats.incr (Proc.stats t.proc) "stale_confirm" ))
+        fun () -> List.iter (fun id -> complete_drv_confirm t id ok) ids )
   | Msg.Rx_frame { buf; len } ->
       ( c.Costs.ip_rx_work + marshal_cost t,
-        fun () -> handle_rx_frame t ~iface:rx_iface ~buf ~len )
+        fun () ->
+          let rx_iface =
+            match source with Src_iface i -> i | Src_transport _ | Src_other -> 0
+          in
+          handle_rx_frame t ~iface:rx_iface ~buf ~len )
   | Msg.Rx_done { buf } ->
       ( 0,
         fun () ->
@@ -490,25 +564,12 @@ let create machine ~proc ~registry ~save ~load () =
   in
   t
 
-let consume ?(rx_iface = 0) t chan =
+let consume ?(source = Src_other) t chan =
   t.consumed <- chan :: t.consumed;
-  Proc.add_rx t.proc chan (handle_msg t ~rx_iface)
+  Proc.add_rx t.proc chan (handle_msg t ~source)
 
-let add_iface t cfg ~drv ~tx_chan ~rx_chan =
-  let i = iface_count t in
-  let ifc =
-    {
-      cfg;
-      drv;
-      tx = tx_chan;
-      arp = Arp.Cache.create ~my_mac:cfg.mac ~my_ip:cfg.addr ();
-      drv_up = true;
-    }
-  in
-  t.ifaces <- t.ifaces @ [ ifc ];
-  consume ~rx_iface:i t rx_chan;
-  Drv_srv.connect_ip drv ~rx_from_ip:tx_chan ~tx_to_ip:rx_chan;
-  Drv_srv.grant_rx_pool drv
+let grant_pool_to t hooks =
+  hooks.drv_grant_rx_pool
     ~alloc:(fun () ->
       match Pool.alloc t.rx_pool ~len:(Pool.slot_size t.rx_pool) with
       | ptr -> Some ptr
@@ -516,18 +577,56 @@ let add_iface t cfg ~drv ~tx_chan ~rx_chan =
     ~write:(fun ptr frame ->
       let narrowed = { ptr with Rich_ptr.len = Bytes.length frame } in
       try Pool.write t.rx_pool narrowed ~src:frame ~src_off:0
-      with Pool.Stale_pointer _ -> ());
+      with Pool.Stale_pointer _ -> ())
+
+let add_iface_custom t cfg ~hooks ~tx_chan ~rx_chan =
+  let i = iface_count t in
+  let ifc =
+    {
+      cfg;
+      drv = hooks;
+      tx = tx_chan;
+      arp = Arp.Cache.create ~my_mac:cfg.mac ~my_ip:cfg.addr ();
+      drv_up = true;
+    }
+  in
+  t.ifaces <- t.ifaces @ [ ifc ];
+  consume ~source:(Src_iface i) t rx_chan;
+  hooks.drv_connect ~rx_from_ip:tx_chan ~tx_to_ip:rx_chan;
+  grant_pool_to t hooks;
   i
+
+let hooks_of_drv drv =
+  {
+    drv_connect =
+      (fun ~rx_from_ip ~tx_to_ip -> Drv_srv.connect_ip drv ~rx_from_ip ~tx_to_ip);
+    drv_grant_rx_pool =
+      (fun ~alloc ~write -> Drv_srv.grant_rx_pool drv ~alloc ~write);
+    drv_on_ip_crash = (fun () -> Drv_srv.on_ip_crash drv);
+    drv_on_ip_restart = (fun () -> Drv_srv.on_ip_restart drv);
+  }
+
+let add_iface t cfg ~drv ~tx_chan ~rx_chan =
+  add_iface_custom t cfg ~hooks:(hooks_of_drv drv) ~tx_chan ~rx_chan
 
 let connect_pf t ~to_pf ~from_pf =
   t.to_pf <- Some to_pf;
   consume t from_pf
 
-let connect_transport t ~proto ~from_transport ~to_transport =
+let connect_transport_sharded t ~proto ~steer ~pairs =
+  let fan = { chans = Array.map snd pairs; steer } in
   (match proto with
-  | `Tcp -> t.to_tcp <- Some to_transport
-  | `Udp -> t.to_udp <- Some to_transport);
-  consume t from_transport
+  | `Tcp -> t.to_tcp <- Some fan
+  | `Udp -> t.to_udp <- Some fan);
+  Array.iteri
+    (fun i (from_transport, _) ->
+      consume ~source:(Src_transport (proto, i)) t from_transport)
+    pairs
+
+let connect_transport t ~proto ~from_transport ~to_transport =
+  connect_transport_sharded t ~proto
+    ~steer:(fun ~src:_ ~sport:_ ~dst:_ ~dport:_ -> 0)
+    ~pairs:[| (from_transport, to_transport) |]
 
 let persist_routes t =
   t.save "routes" (Marshal.to_string (Ipv4.Route.entries t.route_table) [])
@@ -590,16 +689,27 @@ let on_drv_restart t ~iface:i =
           | Pf_out _ | Pf_in _ -> ())
         pendings)
 
-let on_transport_crash t ~proto =
-  let tag = match proto with `Tcp -> `Tcp | `Udp -> `Udp in
+let free_held t ~keep =
   let doomed =
-    Hashtbl.fold (fun b owner acc -> if owner = tag then b :: acc else acc) t.held_bufs []
+    Hashtbl.fold
+      (fun b owner acc -> if not (keep owner) then b :: acc else acc)
+      t.held_bufs []
   in
   List.iter
     (fun b ->
       Hashtbl.remove t.held_bufs b;
       free_rx t b)
     doomed
+
+let on_transport_crash t ~proto =
+  let tag = match proto with `Tcp -> `Tcp | `Udp -> `Udp in
+  free_held t ~keep:(fun (owner, _) -> owner <> tag)
+
+let on_transport_shard_crash t ~proto ~shard =
+  (* Only the crashed shard's buffers die; the other shards' flows keep
+     their receive buffers — the isolation the scaling story needs. *)
+  let tag = match proto with `Tcp -> `Tcp | `Udp -> `Udp in
+  free_held t ~keep:(fun (owner, s) -> owner <> tag || s <> shard)
 
 let crash_cleanup t =
   (* Our pools die with us: every rich pointer anyone still holds goes
@@ -611,7 +721,7 @@ let crash_cleanup t =
   t.resubmit_drv <- [];
   t.db <- Request_db.create ();
   List.iter Sim_chan.tear_down t.consumed;
-  List.iter (fun ifc -> Drv_srv.on_ip_crash ifc.drv) t.ifaces
+  List.iter (fun ifc -> ifc.drv.drv_on_ip_crash ()) t.ifaces
 
 let restart t =
   (* Recover configuration from the storage server. *)
@@ -627,14 +737,6 @@ let restart t =
      receive pool. *)
   List.iter
     (fun ifc ->
-      Drv_srv.on_ip_restart ifc.drv;
-      Drv_srv.grant_rx_pool ifc.drv
-        ~alloc:(fun () ->
-          match Pool.alloc t.rx_pool ~len:(Pool.slot_size t.rx_pool) with
-          | ptr -> Some ptr
-          | exception Pool.Pool_exhausted -> None)
-        ~write:(fun ptr frame ->
-          let narrowed = { ptr with Rich_ptr.len = Bytes.length frame } in
-          try Pool.write t.rx_pool narrowed ~src:frame ~src_off:0
-          with Pool.Stale_pointer _ -> ()))
+      ifc.drv.drv_on_ip_restart ();
+      grant_pool_to t ifc.drv)
     t.ifaces

@@ -42,6 +42,29 @@ val add_iface : t -> iface_config -> drv:Drv_srv.t -> tx_chan:Msg.t Newt_channel
     index. [tx_chan] carries IP→driver messages, [rx_chan]
     driver→IP. Grants the driver the receive-pool capability. *)
 
+(** What IP needs from a driver, abstracted so a multi-queue driver
+    ({!Mq_drv_srv}) can serve an interface just like {!Drv_srv}. *)
+type driver_hooks = {
+  drv_connect :
+    rx_from_ip:Msg.t Newt_channels.Sim_chan.t ->
+    tx_to_ip:Msg.t Newt_channels.Sim_chan.t ->
+    unit;
+  drv_grant_rx_pool :
+    alloc:(unit -> Newt_channels.Rich_ptr.t option) ->
+    write:(Newt_channels.Rich_ptr.t -> Bytes.t -> unit) ->
+    unit;
+  drv_on_ip_crash : unit -> unit;
+  drv_on_ip_restart : unit -> unit;
+}
+
+val add_iface_custom :
+  t ->
+  iface_config ->
+  hooks:driver_hooks ->
+  tx_chan:Msg.t Newt_channels.Sim_chan.t ->
+  rx_chan:Msg.t Newt_channels.Sim_chan.t ->
+  int
+
 val connect_pf :
   t ->
   to_pf:Msg.t Newt_channels.Sim_chan.t ->
@@ -54,6 +77,24 @@ val connect_transport :
   from_transport:Msg.t Newt_channels.Sim_chan.t ->
   to_transport:Msg.t Newt_channels.Sim_chan.t ->
   unit
+
+val connect_transport_sharded :
+  t ->
+  proto:[ `Tcp | `Udp ] ->
+  steer:
+    (src:Newt_net.Addr.Ipv4.t ->
+    sport:int ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    dport:int ->
+    int) ->
+  pairs:(Msg.t Newt_channels.Sim_chan.t * Msg.t Newt_channels.Sim_chan.t) array ->
+  unit
+(** Wire [N] transport shards: [pairs.(i)] is shard [i]'s
+    (from_transport, to_transport) channel pair. Received segments are
+    fanned out to shard [steer ~src ~sport ~dst ~dport]; [steer] must
+    agree with the NIC's RSS steering for the flow→shard affinity
+    invariant to hold. Replaces any previous wiring for [proto]
+    ({!connect_transport} is the 1-shard special case). *)
 
 val add_route :
   t ->
@@ -80,6 +121,11 @@ val on_drv_restart : t -> iface:int -> unit
 
 val on_transport_crash : t -> proto:[ `Tcp | `Udp ] -> unit
 (** Reclaim receive buffers the dead transport still held. *)
+
+val on_transport_shard_crash : t -> proto:[ `Tcp | `Udp ] -> shard:int -> unit
+(** Like {!on_transport_crash} but for one shard of a sharded
+    transport: only that shard's held buffers are reclaimed, the other
+    shards' flows are untouched. *)
 
 val crash_cleanup : t -> unit
 (** IP's own crash: frees both pools (making every outstanding rich

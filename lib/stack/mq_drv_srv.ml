@@ -1,13 +1,13 @@
 module Machine = Newt_hw.Machine
 module Costs = Newt_hw.Costs
-module E1000 = Newt_nic.E1000
+module Mq = Newt_nic.Mq_e1000
 module Sim_chan = Newt_channels.Sim_chan
 module Rich_ptr = Newt_channels.Rich_ptr
 
 type t = {
   machine : Machine.t;
   proc : Proc.t;
-  nic : E1000.t;
+  nic : Mq.t;
   mutable tx_to_ip : Msg.t Sim_chan.t option;
   mutable rx_alloc : (unit -> Rich_ptr.t option) option;
   mutable rx_write : (Rich_ptr.t -> Bytes.t -> unit) option;
@@ -18,85 +18,98 @@ type t = {
 let proc t = t.proc
 let nic t = t.nic
 let tx_accepted t = t.tx_accepted
-
 let costs t = Machine.costs t.machine
 
-(* Keep the RX ring full: hand every buffer we can allocate to the
-   device. *)
+(* Keep every RX ring full from the one pool IP granted. *)
 let replenish_rx t =
   match (t.rx_alloc, t.rx_write) with
   | Some alloc, Some _ ->
-      let rec fill () =
-        if E1000.rx_ring_free t.nic > 0 then
-          match alloc () with
-          | Some buf ->
-              if E1000.post_rx t.nic { E1000.buf; rx_cookie = 0 } then fill ()
-          | None -> ()
-      in
-      fill ()
+      for queue = 0 to Mq.queues t.nic - 1 do
+        let rec fill () =
+          if Mq.rx_ring_free t.nic ~queue > 0 then
+            match alloc () with
+            | Some buf ->
+                if Mq.post_rx t.nic ~queue { Mq.buf; rx_cookie = 0 } then fill ()
+            | None -> ()
+        in
+        fill ()
+      done
   | _ -> ()
 
+(* Split [ids] into confirm-batch messages: per-descriptor work is still
+   charged, but the channel message is paid once per batch. *)
+let send_confirms t ids =
+  match t.tx_to_ip with
+  | None -> ()
+  | Some chan ->
+      let batch = (costs t).Costs.confirm_batch in
+      let rec go = function
+        | [] -> ()
+        | ids ->
+            let rec take n acc = function
+              | rest when n = 0 -> (List.rev acc, rest)
+              | [] -> (List.rev acc, [])
+              | id :: rest -> take (n - 1) (id :: acc) rest
+            in
+            let head, rest = take batch [] ids in
+            ignore
+              (Proc.send t.proc chan (Msg.Drv_tx_confirm_batch { ids = head; ok = true }));
+            go rest
+      in
+      go ids
+
 let handle_irq t reason =
-  (* The kernel turned the interrupt into a message; handling it costs a
-     mode switch plus per-completion work charged below. *)
   let c = costs t in
   Proc.exec t.proc ~cost:c.Costs.trap_hot (fun () ->
       match reason with
-      | E1000.Tx_done ->
-          let rec reap () =
-            match E1000.reap_tx t.nic with
-            | None -> ()
+      | Mq.Tx_done queue ->
+          let rec reap acc =
+            match Mq.reap_tx t.nic ~queue with
+            | None -> List.rev acc
             | Some desc ->
-                Proc.exec t.proc
-                  ~cost:(c.Costs.driver_packet_work / 2)
-                  (fun () ->
-                    match t.tx_to_ip with
-                    | Some chan ->
-                        ignore
-                          (Proc.send t.proc chan
-                             (Msg.Drv_tx_confirm { id = desc.E1000.tx_cookie; ok = true }))
-                    | None -> ());
-                reap ()
+                (* Same per-descriptor completion work as the
+                   single-queue driver; only the messaging is batched. *)
+                Proc.exec t.proc ~cost:(c.Costs.driver_packet_work / 2) (fun () -> ());
+                reap (desc.Mq.tx_cookie :: acc)
           in
-          reap ()
-      | E1000.Rx_done ->
+          let ids = reap [] in
+          Proc.exec t.proc ~cost:0 (fun () -> send_confirms t ids)
+      | Mq.Rx_done queue ->
           let rec reap () =
-            match E1000.reap_rx t.nic with
+            match Mq.reap_rx t.nic ~queue with
             | None -> ()
             | Some completion ->
                 Proc.exec t.proc ~cost:c.Costs.driver_packet_work (fun () ->
                     match t.tx_to_ip with
                     | Some chan ->
                         let buf =
-                          { completion.E1000.rx_buf with Rich_ptr.len = completion.E1000.len }
+                          { completion.Mq.rx_buf with Rich_ptr.len = completion.Mq.len }
                         in
                         ignore
                           (Proc.send t.proc chan
-                             (Msg.Rx_frame { buf; len = completion.E1000.len }))
+                             (Msg.Rx_frame { buf; len = completion.Mq.len }))
                     | None -> ());
                 reap ()
           in
           reap ();
           replenish_rx t
-      | E1000.Link_change ->
-          (* Link came back after a reset: re-arm and resume. *)
+      | Mq.Link_change ->
           replenish_rx t;
-          E1000.doorbell_tx t.nic)
+          for queue = 0 to Mq.queues t.nic - 1 do
+            Mq.doorbell_tx t.nic ~queue
+          done)
 
 let handle_msg t msg =
   let c = costs t in
   match msg with
-  | Msg.Drv_tx { id; chain; csum_offload; tso; tso_mss; queue = _ } ->
+  | Msg.Drv_tx { id; chain; csum_offload; tso; tso_mss; queue } ->
       ( c.Costs.driver_packet_work,
         fun () ->
           t.tx_accepted <- t.tx_accepted + 1;
-          let desc =
-            { E1000.chain; csum_offload; tso; tso_mss; tx_cookie = id }
-          in
-          if E1000.post_tx t.nic desc then E1000.doorbell_tx t.nic
+          let queue = queue mod Mq.queues t.nic in
+          let desc = { Mq.chain; csum_offload; tso; tso_mss; tx_cookie = id } in
+          if Mq.post_tx t.nic ~queue desc then Mq.doorbell_tx t.nic ~queue
           else begin
-            (* TX ring full: refuse, IP keeps the request pending and
-               will resubmit (never block, Section IV-A). *)
             match t.tx_to_ip with
             | Some chan ->
                 ignore (Proc.send t.proc chan (Msg.Drv_tx_confirm { id; ok = false }))
@@ -106,9 +119,6 @@ let handle_msg t msg =
   | Msg.Drv_tx_confirm _ | Msg.Drv_tx_confirm_batch _ | Msg.Rx_frame _
   | Msg.Rx_deliver _ | Msg.Rx_done _
   | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
-      (* Not ours: a buggy or malicious peer. Ignore (Section IV-A:
-         "the receiving process must check whether a request makes
-         sense ... and ignore invalid ones"). *)
       (0, fun () -> Newt_sim.Stats.incr (Proc.stats t.proc) "invalid_msg")
 
 let create machine ~proc ~nic () =
@@ -124,7 +134,7 @@ let create machine ~proc ~nic () =
       tx_accepted = 0;
     }
   in
-  E1000.set_irq_handler nic (fun reason -> handle_irq t reason);
+  Mq.set_irq_handler nic (fun reason -> handle_irq t reason);
   t
 
 let connect_ip t ~rx_from_ip ~tx_to_ip =
@@ -136,24 +146,17 @@ let connect_ip t ~rx_from_ip ~tx_to_ip =
 let grant_rx_pool t ~alloc ~write =
   t.rx_alloc <- Some alloc;
   t.rx_write <- Some write;
-  E1000.set_rx_writer t.nic (fun buf frame -> write buf frame);
+  Mq.set_rx_writer t.nic (fun buf frame -> write buf frame);
   replenish_rx t
 
 let on_ip_crash t =
-  (* The device still holds shadow descriptors pointing into the dead
-     pool: unsafe until reset. *)
   t.rx_alloc <- None;
   t.rx_write <- None;
-  E1000.mark_unsafe t.nic
+  Mq.mark_unsafe t.nic
 
-let on_ip_restart t =
-  (* The Intel adapters have no knob to invalidate their shadow RX/TX
-     descriptor copies, so the device must be reset — this is what
-     causes the visible gap of Figure 4. *)
-  E1000.reset t.nic
-
+let on_ip_restart t = Mq.reset t.nic
 let crash_cleanup t = List.iter Sim_chan.tear_down t.consumed
 
 let restart t =
   List.iter Sim_chan.revive t.consumed;
-  E1000.reset t.nic
+  Mq.reset t.nic

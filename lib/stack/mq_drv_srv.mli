@@ -1,0 +1,48 @@
+(** The multi-queue network driver server.
+
+    One process serving every queue of a {!Newt_nic.Mq_e1000} device —
+    the paper keeps a single driver even when the protocol servers are
+    replicated, because "filling descriptors and updating tail pointers"
+    is cheap enough that one core drives the wire.
+
+    Two differences from {!Drv_srv}:
+
+    - it honours the [queue] field of {!Msg.Drv_tx}, posting each frame
+      on the TX ring the sending shard's flows hash to, and replenishes
+      every RX ring from the one pool IP granted;
+    - it coalesces TX completions into {!Msg.Drv_tx_confirm_batch}
+      messages of up to {!Newt_hw.Costs.t.confirm_batch} ids, amortizing
+      the per-message channel cost IP pays — without this, IP's
+      completion handling alone would eat the headroom the shards are
+      supposed to fill. *)
+
+type t
+
+val create :
+  Newt_hw.Machine.t ->
+  proc:Proc.t ->
+  nic:Newt_nic.Mq_e1000.t ->
+  unit ->
+  t
+
+val proc : t -> Proc.t
+val nic : t -> Newt_nic.Mq_e1000.t
+
+val connect_ip :
+  t ->
+  rx_from_ip:Msg.t Newt_channels.Sim_chan.t ->
+  tx_to_ip:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val grant_rx_pool :
+  t ->
+  alloc:(unit -> Newt_channels.Rich_ptr.t option) ->
+  write:(Newt_channels.Rich_ptr.t -> Bytes.t -> unit) ->
+  unit
+
+val on_ip_crash : t -> unit
+val on_ip_restart : t -> unit
+val crash_cleanup : t -> unit
+val restart : t -> unit
+
+val tx_accepted : t -> int

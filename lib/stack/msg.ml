@@ -47,8 +47,10 @@ type t =
       csum_offload : bool;
       tso : bool;
       tso_mss : int;
+      queue : int;
     }
   | Drv_tx_confirm of { id : int; ok : bool }
+  | Drv_tx_confirm_batch of { ids : int list; ok : bool }
   | Rx_frame of { buf : Newt_channels.Rich_ptr.t; len : int }
   | Rx_deliver of {
       buf : Newt_channels.Rich_ptr.t;
@@ -67,6 +69,7 @@ let describe = function
   | Filter_verdict _ -> "filter_verdict"
   | Drv_tx _ -> "drv_tx"
   | Drv_tx_confirm _ -> "drv_tx_confirm"
+  | Drv_tx_confirm_batch _ -> "drv_tx_confirm_batch"
   | Rx_frame _ -> "rx_frame"
   | Rx_deliver _ -> "rx_deliver"
   | Rx_done _ -> "rx_done"

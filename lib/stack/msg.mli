@@ -81,8 +81,15 @@ type t =
       csum_offload : bool;
       tso : bool;
       tso_mss : int;
+      queue : int;
+          (** TX queue hint for multi-queue devices (shard affinity);
+              single-queue drivers ignore it. *)
     }
   | Drv_tx_confirm of { id : int; ok : bool }
+  | Drv_tx_confirm_batch of { ids : int list; ok : bool }
+      (** Several completions coalesced into one message — the driver
+          amortizes the per-message channel cost over
+          {!Newt_hw.Costs.t.confirm_batch} completions. *)
   (* Driver -> IP: a received frame, in the IP server's receive pool. *)
   | Rx_frame of { buf : Newt_channels.Rich_ptr.t; len : int }
   (* IP -> transport: a received L4 payload (still in the rx pool). *)

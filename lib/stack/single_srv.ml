@@ -74,7 +74,8 @@ let transmit_frame t ~iface:i frame_bytes ~tso =
       in
       let sent =
         Proc.send t.proc (iface t i).tx
-          (Msg.Drv_tx { id; chain = [ ptr ]; csum_offload = true; tso; tso_mss = 1460 })
+          (Msg.Drv_tx
+             { id; chain = [ ptr ]; csum_offload = true; tso; tso_mss = 1460; queue = 0 })
       in
       if not sent then begin
         ignore (Request_db.complete t.db id);
@@ -308,7 +309,8 @@ let handle_msg t ~rx_iface msg =
       ( c.Costs.ip_rx_work + c.Costs.tcp_ack_work,
         fun () -> handle_rx t ~iface:rx_iface ~buf ~len )
   | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Filter_verdict _
-  | Msg.Drv_tx _ | Msg.Rx_deliver _ | Msg.Rx_done _ | Msg.Sock_reply _
+  | Msg.Drv_tx _ | Msg.Drv_tx_confirm_batch _ | Msg.Rx_deliver _
+  | Msg.Rx_done _ | Msg.Sock_reply _
   | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 

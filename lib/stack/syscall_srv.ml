@@ -8,6 +8,7 @@ type app = { app_core : Cpu.t; app_pid : int }
 
 type entry = {
   transport : [ `Tcp | `Udp ];
+  shard : int;  (* which transport instance serves this socket *)
   mutable last_op : (int * Msg.sock_call) option;
   mutable waiter : (Msg.sock_result -> unit) option;
   mutable owner : app option;
@@ -16,13 +17,14 @@ type entry = {
 type t = {
   machine : Machine.t;
   proc : Proc.t;
-  mutable to_tcp : Msg.t Sim_chan.t option;
-  mutable to_udp : Msg.t Sim_chan.t option;
+  mutable to_tcp : Msg.t Sim_chan.t array;
+  mutable to_udp : Msg.t Sim_chan.t array;
   mutable consumed : Msg.t Sim_chan.t list;
   sockets : (Msg.socket_id, entry) Hashtbl.t;
   reqs : (int, Msg.socket_id) Hashtbl.t;
   mutable next_sock : int;
   mutable next_req : int;
+  mutable place : transport:[ `Tcp | `Udp ] -> int;
 }
 
 let proc t = t.proc
@@ -30,8 +32,13 @@ let costs t = Machine.costs t.machine
 
 let outstanding_calls t = Hashtbl.length t.reqs
 
-let chan_for t transport =
+let chans_for t transport =
   match transport with `Tcp -> t.to_tcp | `Udp -> t.to_udp
+
+let chan_for t entry =
+  let chans = chans_for t entry.transport in
+  let n = Array.length chans in
+  if n = 0 then None else Some chans.(entry.shard mod n)
 
 (* Deliver a result back to the blocked application: the kernel reply
    plus the app's return from its trap. *)
@@ -48,7 +55,7 @@ let deliver_to_app t entry result =
   | None, _ -> ()
 
 let forward t sock_id entry req_id call =
-  match chan_for t entry.transport with
+  match chan_for t entry with
   | Some chan ->
       entry.last_op <- Some (req_id, call);
       Hashtbl.replace t.reqs req_id sock_id;
@@ -94,9 +101,12 @@ let submit t app ~sock:sock_id call k =
                   | Msg.Call_accept _ ->
                       let new_sock = t.next_sock in
                       t.next_sock <- new_sock + 1;
+                      (* The accepted connection lives on the listener's
+                         shard — the only instance that has its PCB. *)
                       Hashtbl.replace t.sockets new_sock
                         {
                           transport = entry.transport;
+                          shard = entry.shard;
                           last_op = None;
                           waiter = None;
                           owner = None;
@@ -115,7 +125,15 @@ let socket t app ~transport k =
       Proc.exec t.proc ~cost:(dispatch_cost t) (fun () ->
           let sock_id = t.next_sock in
           t.next_sock <- sock_id + 1;
-          let entry = { transport; last_op = None; waiter = None; owner = Some app } in
+          let entry =
+            {
+              transport;
+              shard = t.place ~transport;
+              last_op = None;
+              waiter = None;
+              owner = Some app;
+            }
+          in
           Hashtbl.replace t.sockets sock_id entry;
           entry.waiter <-
             Some
@@ -149,7 +167,8 @@ let handle_msg t msg =
                   deliver_to_app t entry result) ))
   | Msg.Sock_event _ -> (100, fun () -> ())
   | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Filter_verdict _
-  | Msg.Drv_tx _ | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_deliver _
+  | Msg.Drv_tx _ | Msg.Drv_tx_confirm _ | Msg.Drv_tx_confirm_batch _
+  | Msg.Rx_frame _ | Msg.Rx_deliver _
   | Msg.Rx_done _ | Msg.Sock_req _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
@@ -157,30 +176,44 @@ let create machine ~proc () =
   {
     machine;
     proc;
-    to_tcp = None;
-    to_udp = None;
+    to_tcp = [||];
+    to_udp = [||];
     consumed = [];
     sockets = Hashtbl.create 64;
     reqs = Hashtbl.create 64;
     next_sock = 3;
     next_req = 1;
+    place = (fun ~transport:_ -> 0);
   }
 
-let connect_transport t ~transport ~to_transport ~from_transport =
+let connect_transport_sharded t ~transport ~pairs =
   (match transport with
-  | `Tcp -> t.to_tcp <- Some to_transport
-  | `Udp -> t.to_udp <- Some to_transport);
-  t.consumed <- from_transport :: t.consumed;
-  Proc.add_rx t.proc from_transport (handle_msg t)
+  | `Tcp -> t.to_tcp <- Array.map fst pairs
+  | `Udp -> t.to_udp <- Array.map fst pairs);
+  Array.iter
+    (fun (_, from_transport) ->
+      t.consumed <- from_transport :: t.consumed;
+      Proc.add_rx t.proc from_transport (handle_msg t))
+    pairs
 
-let on_transport_restart t ~transport =
+let connect_transport t ~transport ~to_transport ~from_transport =
+  connect_transport_sharded t ~transport ~pairs:[| (to_transport, from_transport) |]
+
+let set_placement t f = t.place <- f
+
+let on_transport_restart ?shard t ~transport =
   (* Re-issue every unfinished operation against the fresh instance
      (Section V-D). The request keeps its id: the old instance never
-     answered it, and ids are unique per SYSCALL incarnation. *)
+     answered it, and ids are unique per SYSCALL incarnation. When
+     [shard] is given, only that instance restarted — sockets on the
+     other shards never lost anything. *)
   Proc.exec t.proc ~cost:(dispatch_cost t) (fun () ->
       Hashtbl.iter
         (fun sock_id entry ->
-          if entry.transport = transport then
+          if
+            entry.transport = transport
+            && (match shard with None -> true | Some s -> entry.shard = s)
+          then
             match entry.last_op with
             | Some (req_id, call) -> forward t sock_id entry req_id call
             | None -> ())

@@ -30,6 +30,22 @@ val connect_transport :
   from_transport:Msg.t Newt_channels.Sim_chan.t ->
   unit
 
+val connect_transport_sharded :
+  t ->
+  transport:[ `Tcp | `Udp ] ->
+  pairs:(Msg.t Newt_channels.Sim_chan.t * Msg.t Newt_channels.Sim_chan.t) array ->
+  unit
+(** Wire [N] transport shards: [pairs.(i)] is shard [i]'s
+    (to_transport, from_transport) channel pair. Each socket is pinned
+    to one shard at creation time ({!set_placement}) and every call on
+    it is routed there — the downward half of the flow→shard
+    invariant. *)
+
+val set_placement : t -> (transport:[ `Tcp | `Udp ] -> int) -> unit
+(** Shard chosen for each new socket (default: always 0). The shard
+    itself then picks a source port that hashes back to it, so any
+    spreading policy preserves flow affinity. *)
+
 (** {1 The POSIX face} *)
 
 val socket :
@@ -45,9 +61,10 @@ val call :
 
 (** {1 Recovery} *)
 
-val on_transport_restart : t -> transport:[ `Tcp | `Udp ] -> unit
+val on_transport_restart : ?shard:int -> t -> transport:[ `Tcp | `Udp ] -> unit
 (** Re-issue the last unfinished operation of every socket belonging to
-    the restarted transport. *)
+    the restarted transport; with [?shard], only that instance's
+    sockets (the others never lost anything). *)
 
 val crash_cleanup : t -> unit
 (** The SYSCALL server itself is stateless enough that restarting it is

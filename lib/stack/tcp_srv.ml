@@ -59,6 +59,8 @@ type t = {
   mutable ip_up : bool;
   mutable resubmitted : int;
   mutable src_select : Addr.Ipv4.t -> Addr.Ipv4.t;
+  mutable port_select :
+    src:Addr.Ipv4.t -> dst:Addr.Ipv4.t -> dst_port:int -> int option;
   rng : Rng.t;
 }
 
@@ -321,7 +323,11 @@ let handle_call t s req (call : Msg.sock_call) =
               reply t req Msg.Ok_unit
           | exception Invalid_argument m -> reply t req (Msg.Err m)))
   | Msg.Call_connect { dst; dst_port } ->
-      let pcb = Tcp.connect t.engine ~src:(t.src_select dst) ~dst ~dst_port () in
+      let src = t.src_select dst in
+      let pcb =
+        Tcp.connect t.engine ~src ~dst ~dst_port
+          ?src_port:(t.port_select ~src ~dst ~dst_port) ()
+      in
       s.pcb <- Some pcb;
       s.op <- P_connect { req };
       attach_handler t s pcb;
@@ -426,7 +432,8 @@ let handle_msg t msg =
             (fun chan -> ignore (Proc.send t.proc chan (Msg.Rx_done { buf })))
             t.to_ip )
   | Msg.Tx_ip _ | Msg.Filter_req _ | Msg.Filter_verdict _ | Msg.Drv_tx _
-  | Msg.Drv_tx_confirm _ | Msg.Rx_frame _ | Msg.Rx_done _ | Msg.Sock_reply _
+  | Msg.Drv_tx_confirm _ | Msg.Drv_tx_confirm_batch _ | Msg.Rx_frame _
+  | Msg.Rx_done _ | Msg.Sock_reply _
   | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
@@ -468,6 +475,7 @@ let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
       ip_up = true;
       resubmitted = 0;
       src_select = (fun _ -> local_addr);
+      port_select = (fun ~src:_ ~dst:_ ~dst_port:_ -> None);
       rng = Rng.split (Engine.rng (Machine.engine machine));
     }
   in
@@ -475,6 +483,7 @@ let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
   t
 
 let set_src_select t f = t.src_select <- f
+let set_port_select t f = t.port_select <- f
 
 let connect_ip t ~to_ip ~from_ip =
   t.to_ip <- Some to_ip;

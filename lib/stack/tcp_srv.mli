@@ -36,6 +36,18 @@ val set_src_select : t -> (Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Ipv4.t) -> unit
 (** Source-address selection for active opens on a multihomed host
     (default: the constant [local_addr]). *)
 
+val set_port_select :
+  t ->
+  (src:Newt_net.Addr.Ipv4.t ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dst_port:int ->
+  int option) ->
+  unit
+(** Source-port selection for active opens. [None] falls back to the
+    engine's ephemeral allocator. A sharded stack installs a function
+    that picks a port whose RSS hash maps back to this very shard, so
+    the connection's return traffic arrives on its own queue. *)
+
 val connect_ip :
   t ->
   to_ip:Msg.t Newt_channels.Sim_chan.t ->

@@ -10,5 +10,6 @@ let () =
       ("pf", Test_pf.suite);
       ("stack", Test_stack.suite);
       ("reliability", Test_reliability.suite);
+      ("scale", Test_scale.suite);
       ("integration", Test_integration.suite);
     ]

@@ -64,6 +64,75 @@ let test_ring_wraparound () =
     Alcotest.(check (option int)) "reap" (Some i) (Ring.reap r)
   done
 
+let test_ring_reap_after_complete_across_wrap () =
+  (* Batched take/complete/reap rounds on a tiny ring: completions and
+     reaps repeatedly cross the index wrap, and reap order must stay
+     the post order throughout. *)
+  let r = Ring.create ~size:4 ~dummy:0 in
+  let next = ref 0 in
+  let posted = Queue.create () in
+  for _round = 1 to 10 do
+    while Ring.post r !next do
+      Queue.push !next posted;
+      incr next
+    done;
+    let rec take_all () =
+      match Ring.device_take r with
+      | Some _ ->
+          Ring.device_complete r;
+          take_all ()
+      | None -> ()
+    in
+    take_all ();
+    let rec reap_all () =
+      match Ring.reap r with
+      | Some v ->
+          Alcotest.(check int) "FIFO across the wrap" (Queue.pop posted) v;
+          reap_all ()
+      | None -> ()
+    in
+    reap_all ()
+  done;
+  Alcotest.(check int) "everything reaped" 0 (Queue.length posted);
+  Alcotest.(check int) "ring empty again" 4 (Ring.free_slots r)
+
+(* {2 RSS} *)
+
+let test_rss_deterministic_and_symmetric () =
+  let rss = Newt_nic.Rss.create ~queues:4 () in
+  let rss' = Newt_nic.Rss.create ~queues:4 () in
+  for sport = 49152 to 49152 + 127 do
+    let src = ip 10 0 0 1 and dst = ip 10 0 0 2 in
+    let q = Newt_nic.Rss.queue_of rss ~src ~sport ~dst ~dport:80 in
+    Alcotest.(check int) "deterministic per seed" q
+      (Newt_nic.Rss.queue_of rss' ~src ~sport ~dst ~dport:80);
+    Alcotest.(check int) "symmetric" q
+      (Newt_nic.Rss.queue_of rss ~src:dst ~sport:80 ~dst:src ~dport:sport);
+    Alcotest.(check bool) "in range" true (q >= 0 && q < 4)
+  done
+
+let test_rss_indirection_table () =
+  let rss = Newt_nic.Rss.create ~queues:4 ~buckets:8 () in
+  Alcotest.(check int) "bucket count" 8 (Array.length (Newt_nic.Rss.table rss));
+  (* Point every bucket at queue 2: all flows must follow. *)
+  Newt_nic.Rss.set_table rss (Array.make 8 2);
+  for sport = 49152 to 49152 + 31 do
+    Alcotest.(check int) "table redirects all flows" 2
+      (Newt_nic.Rss.queue_of rss ~src:(ip 10 0 0 1) ~sport ~dst:(ip 10 0 0 2)
+         ~dport:80)
+  done;
+  let rejects f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "wrong length rejected" true
+    (rejects (fun () -> Newt_nic.Rss.set_table rss [| 0; 1 |]));
+  Alcotest.(check bool) "out-of-range queue rejected" true
+    (rejects (fun () -> Newt_nic.Rss.set_table rss (Array.make 8 7)));
+  Alcotest.(check bool) "set_bucket validates too" true
+    (rejects (fun () -> Newt_nic.Rss.set_bucket rss ~bucket:0 ~queue:9))
+
 (* {2 Link} *)
 
 let test_link_delivers_in_order () =
@@ -485,6 +554,11 @@ let suite =
     ("ring full/reap interplay", `Quick, test_ring_full);
     ("ring clear returns leftovers (reset)", `Quick, test_ring_clear_returns_leftovers);
     ("ring index wraparound", `Quick, test_ring_wraparound);
+    ( "ring batched reap-after-complete across wrap",
+      `Quick,
+      test_ring_reap_after_complete_across_wrap );
+    ("rss deterministic and symmetric", `Quick, test_rss_deterministic_and_symmetric);
+    ("rss indirection table programming", `Quick, test_rss_indirection_table);
     ("link delivers frames in order", `Quick, test_link_delivers_in_order);
     ("link 1Gbps serialization time", `Quick, test_link_serialization_time);
     ("link down drops frames", `Quick, test_link_down_drops);

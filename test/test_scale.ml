@@ -1,0 +1,177 @@
+(* Tests for lib/scale: the shard map (determinism, symmetry, reverse
+   port selection, rebalancing), the sharded stack's throughput scaling,
+   the flow→shard affinity invariant, and per-shard crash recovery. *)
+
+module Time = Newt_sim.Time
+module Addr = Newt_net.Addr
+module Rss = Newt_nic.Rss
+module Mq = Newt_nic.Mq_e1000
+module Sink = Newt_stack.Sink
+module Apps = Newt_sockets.Apps
+module Shard_map = Newt_scale.Shard_map
+module S = Newt_scale.Sharded_stack
+module E = Newt_core.Experiments
+
+let ip = Addr.Ipv4.v
+
+(* {2 Shard_map} *)
+
+let test_shard_map_deterministic_symmetric () =
+  let sm = Shard_map.create ~shards:4 () in
+  let sm' = Shard_map.create ~shards:4 () in
+  for i = 0 to 199 do
+    let src = ip 10 0 0 (i mod 8) and dst = ip 10 0 1 2 in
+    let sport = 49152 + i and dport = 5001 in
+    let s = Shard_map.shard_of sm ~src ~sport ~dst ~dport in
+    Alcotest.(check int) "same seed, same steering" s
+      (Shard_map.shard_of sm' ~src ~sport ~dst ~dport);
+    Alcotest.(check int) "symmetric in the endpoints" s
+      (Shard_map.shard_of sm ~src:dst ~sport:dport ~dst:src ~dport:sport);
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4)
+  done
+
+let test_shard_map_spreads () =
+  let sm = Shard_map.create ~shards:4 () in
+  let seen = Array.make 4 0 in
+  for sport = 49152 to 49152 + 511 do
+    let s =
+      Shard_map.shard_of sm ~src:(ip 10 0 0 1) ~sport ~dst:(ip 10 0 0 2)
+        ~dport:5001
+    in
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every shard gets flows" true (c > 64))
+    seen
+
+let test_port_for_shard () =
+  let sm = Shard_map.create ~shards:4 () in
+  for shard = 0 to 3 do
+    for _ = 1 to 50 do
+      match
+        Shard_map.port_for_shard sm ~shard ~src:(ip 10 0 0 1)
+          ~dst:(ip 10 0 0 2) ~dst_port:5001
+      with
+      | None -> Alcotest.fail "port scan failed"
+      | Some sport ->
+          Alcotest.(check bool) "ephemeral range" true
+            (sport >= 49152 && sport < 65536);
+          Alcotest.(check int) "hashes back to the asking shard" shard
+            (Shard_map.shard_of sm ~src:(ip 10 0 0 1) ~sport
+               ~dst:(ip 10 0 0 2) ~dport:5001)
+    done
+  done
+
+let test_imbalance () =
+  Alcotest.(check (float 1e-9)) "balanced" 1.0
+    (Shard_map.imbalance ~loads:[| 5.; 5.; 5.; 5. |]);
+  Alcotest.(check (float 1e-9)) "empty is defined" 1.0
+    (Shard_map.imbalance ~loads:[||]);
+  Alcotest.(check (float 1e-9)) "all load on one shard" 4.0
+    (Shard_map.imbalance ~loads:[| 8.; 0.; 0.; 0. |])
+
+let test_rebalance_moves_buckets () =
+  let sm = Shard_map.create ~shards:4 () in
+  let moved = Shard_map.rebalance sm ~loads:[| 1000.; 10.; 10.; 10. |] in
+  Alcotest.(check bool) "buckets moved" true (moved > 0);
+  let table = Rss.table (Shard_map.rss sm) in
+  let count q =
+    Array.fold_left (fun acc x -> if x = q then acc + 1 else acc) 0 table
+  in
+  Alcotest.(check bool) "the hot shard donated buckets" true
+    (count 0 < Array.length table / 4);
+  Alcotest.(check bool) "every shard still owns buckets" true
+    (count 0 > 0 && count 1 > 0 && count 2 > 0 && count 3 > 0);
+  (* Balanced load: nothing to do. *)
+  let sm2 = Shard_map.create ~shards:4 () in
+  Alcotest.(check int) "balanced load moves nothing" 0
+    (Shard_map.rebalance sm2 ~loads:[| 7.; 7.; 7.; 7. |])
+
+(* {2 Throughput scaling (the tentpole's acceptance numbers)} *)
+
+let test_scaling_curve () =
+  let r = E.scaling_curve ~shard_counts:[ 1; 2; 4 ] ~flows:8 ~duration:0.2 () in
+  match r.E.points with
+  | [ p1; p2; p4 ] ->
+      Alcotest.(check bool) "2 shards beat 1" true
+        (p2.E.goodput_gbps > p1.E.goodput_gbps);
+      Alcotest.(check bool) "4 shards beat 2" true
+        (p4.E.goodput_gbps > p2.E.goodput_gbps);
+      Alcotest.(check bool) "at least 2.5x at 4 shards" true
+        (p4.E.goodput_gbps >= 2.5 *. p1.E.goodput_gbps);
+      Alcotest.(check bool) "1 shard near the Table II ceiling" true
+        (p1.E.goodput_gbps <= r.E.single_instance_gbps *. 1.05);
+      List.iter
+        (fun (p : E.scaling_point) ->
+          Alcotest.(check int)
+            (Printf.sprintf "affinity invariant at %d shards" p.E.shards)
+            0 p.E.violations)
+        [ p1; p2; p4 ];
+      (* All four shards pulled their weight. *)
+      Array.iter
+        (fun (s : S.shard_stats) ->
+          Alcotest.(check bool) "every shard sent segments" true
+            (s.S.segs_out > 1000))
+        p4.E.per_shard
+  | _ -> Alcotest.fail "expected three points"
+
+(* {2 Per-shard crash recovery} *)
+
+let test_shard_crash_recovery () =
+  let config = { S.default_config with S.shards = 2; link_gbps = 10.0 } in
+  let s = S.create ~config () in
+  let received = Array.make 2 0 in
+  for i = 0 to 1 do
+    Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ n ->
+        received.(i) <- received.(i) + n)
+  done;
+  (* Two paced (non-saturating) flows; placement is round-robin so they
+     land on distinct shards. *)
+  let iperfs =
+    Array.init 2 (fun i ->
+        Apps.Iperf.start (S.machine s) ~sc:(S.sc s) ~app:(S.app s)
+          ~dst:(S.sink_addr s) ~port:(5001 + i) ~write_size:1460
+          ~pace:(Time.of_micros 100.) ~until:(Time.of_seconds 1.0) ())
+  in
+  S.at s (Time.of_seconds 0.2) (fun () -> S.kill_shard s 0);
+  S.run s ~until:(Time.of_seconds 1.3);
+  Alcotest.(check int) "killed shard restarted once" 1 (S.shard_restarts s 0);
+  Alcotest.(check int) "other shard untouched" 0 (S.shard_restarts s 1);
+  (* Which flow rode the killed shard is visible in the error counts. *)
+  let crashed = if Apps.Iperf.errors iperfs.(0) > 0 then 0 else 1 in
+  let surviving = 1 - crashed in
+  Alcotest.(check bool) "exactly one flow saw the crash" true
+    (Apps.Iperf.errors iperfs.(crashed) > 0
+    && Apps.Iperf.errors iperfs.(surviving) = 0);
+  (* Zero lost segments on the surviving shard: every byte written by
+     its iperf arrived at the sink. *)
+  Alcotest.(check int) "surviving flow lost nothing"
+    (Apps.Iperf.bytes_sent iperfs.(surviving))
+    received.(surviving);
+  Alcotest.(check int) "no corruption on the wire" 0
+    (Sink.checksum_failures (S.sink s));
+  (* The crashed flow reconnected (onto the reincarnated shard) and
+     made progress again. *)
+  Alcotest.(check bool) "crashed flow reconnected" true
+    (Apps.Iperf.connects iperfs.(crashed) >= 2);
+  Alcotest.(check bool) "crashed flow resumed" true
+    (received.(crashed) > 0);
+  Alcotest.(check int) "affinity held across the crash" 0
+    (S.steering_violations s);
+  (* The device really did steer to both queues. *)
+  let per_queue = Mq.rx_queue_packets (S.nic s) in
+  Alcotest.(check bool) "both RX queues carried frames" true
+    (per_queue.(0) > 0 && per_queue.(1) > 0)
+
+let suite =
+  [
+    ( "shard map is deterministic and symmetric",
+      `Quick,
+      test_shard_map_deterministic_symmetric );
+    ("shard map spreads flows over shards", `Quick, test_shard_map_spreads);
+    ("port_for_shard hashes back to the shard", `Quick, test_port_for_shard);
+    ("imbalance ratio", `Quick, test_imbalance);
+    ("rebalance moves buckets toward idle shards", `Quick, test_rebalance_moves_buckets);
+    ("goodput scales with shard count", `Slow, test_scaling_curve);
+    ("one shard crashes, the rest keep serving", `Slow, test_shard_crash_recovery);
+  ]

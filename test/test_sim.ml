@@ -180,6 +180,33 @@ let test_series_mbps () =
   let m = Series.mbps s () in
   Alcotest.(check (float 0.5)) "mbps" 80.0 (snd m.(0))
 
+let test_stats_percentile () =
+  let st = Stats.create () in
+  (* Unsorted on purpose: percentile sorts on demand. *)
+  List.iter (Stats.observe st "lat") [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let p x =
+    match Stats.percentile st "lat" x with
+    | Some v -> v
+    | None -> Alcotest.fail "expected samples"
+  in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0 (p 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" 5.0 (p 100.0);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (p 50.0);
+  Alcotest.(check (float 1e-9)) "clamped above" 5.0 (p 150.0);
+  Alcotest.(check (float 1e-9)) "clamped below" 1.0 (p (-3.0));
+  Alcotest.(check (option (float 1e-9))) "no samples" None
+    (Stats.percentile st "other" 50.0)
+
+let test_stats_percentile_single_sample () =
+  let st = Stats.create () in
+  Stats.observe st "one" 7.5;
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 1e-9))) "single sample at any p"
+        (Some 7.5)
+        (Stats.percentile st "one" p))
+    [ 0.0; 33.3; 50.0; 99.9; 100.0 ]
+
 let test_trace_bounded () =
   let t = Newt_sim.Trace.create ~capacity:3 () in
   for i = 1 to 5 do
@@ -206,6 +233,8 @@ let suite =
     ("time unit conversions", `Quick, test_time_conversions);
     ("stats counters", `Quick, test_stats_counters);
     ("stats distributions", `Quick, test_stats_samples);
+    ("stats percentile bounds and clamping", `Quick, test_stats_percentile);
+    ("stats percentile single sample", `Quick, test_stats_percentile_single_sample);
     ("series bins by time", `Quick, test_series_binning);
     ("series converts to Mbps", `Quick, test_series_mbps);
     ("trace log is bounded", `Quick, test_trace_bounded);
