@@ -1,5 +1,5 @@
 # Tier-1 gate: what CI runs on every PR.
-.PHONY: check build test fmt clean
+.PHONY: check build test fmt bench-smoke clean
 
 check: build test fmt
 
@@ -11,6 +11,12 @@ test:
 
 fmt:
 	dune build @fmt
+
+# One fast scaling iteration (single point, short duration): catches a
+# wiring regression in the sharded/replicated stack without the cost of
+# the full curve.
+bench-smoke: build
+	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --flows 2 --duration 0.05
 
 clean:
 	dune clean

@@ -104,16 +104,16 @@ let print_coalesce () =
     (E.driver_coalescing ());
   print_newline ()
 
-let print_scaling shard_counts flows duration =
+let print_scaling shard_counts ip_replicas flows duration =
   print_endline "Scaling — N transport shards behind a multi-queue NIC";
   print_endline "------------------------------------------------------";
-  let r = E.scaling_curve ~shard_counts ~flows ~duration () in
+  let r = E.scaling_curve ~shard_counts ~ip_replicas ~flows ~duration () in
   Printf.printf "single-instance Table II ceiling: %.2f Gbps\n" r.E.single_instance_gbps;
   List.iter
     (fun (p : E.scaling_point) ->
       Printf.printf
-        "%d shard(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; violations %d\n"
-        p.E.shards p.E.goodput_gbps
+        "%d shard(s), %d IP replica(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; violations %d\n"
+        p.E.shards p.E.ip_replicas p.E.goodput_gbps
         (p.E.goodput_gbps /. r.E.single_instance_gbps)
         p.E.imbalance p.E.violations;
       Array.iter
@@ -181,6 +181,10 @@ let scaling_cmd =
     let doc = "Parallel iperf flows." in
     Arg.(value & opt int 8 & info [ "flows" ] ~doc)
   in
+  let ip_replicas =
+    let doc = "Replicated IP server instances (capped at the shard count)." in
+    Arg.(value & opt int 1 & info [ "ip-replicas" ] ~doc)
+  in
   let duration =
     let doc = "Simulated seconds per point." in
     Arg.(value & opt float 0.5 & info [ "duration" ] ~doc)
@@ -188,7 +192,7 @@ let scaling_cmd =
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Goodput vs number of TCP shards (multi-queue NIC + sharded stack)")
-    Term.(const print_scaling $ shard_counts $ flows $ duration)
+    Term.(const print_scaling $ shard_counts $ ip_replicas $ flows $ duration)
 
 let all_cmd =
   let run () =
@@ -199,7 +203,8 @@ let all_cmd =
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();
-    print_scaling [ 1; 2; 4; 8 ] 8 0.5
+    print_scaling [ 1; 2; 4; 8 ] 1 8 0.5;
+    print_scaling [ 8 ] 2 8 0.5
   in
   Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation") Term.(const run $ const ())
 

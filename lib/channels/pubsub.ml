@@ -5,24 +5,37 @@ type event = [ `Published of publication | `Gone ]
 type t = {
   published : (string, publication) Hashtbl.t;
   subscribers : (string, (event -> unit) list ref) Hashtbl.t;
+  mutable prefix_subscribers : (string * (event -> unit)) list;
 }
 
-let create () = { published = Hashtbl.create 32; subscribers = Hashtbl.create 32 }
+let create () =
+  {
+    published = Hashtbl.create 32;
+    subscribers = Hashtbl.create 32;
+    prefix_subscribers = [];
+  }
 
 let subs t key =
   match Hashtbl.find_opt t.subscribers key with
   | Some l -> !l
   | None -> []
 
+let prefix_subs t key =
+  List.filter_map
+    (fun (prefix, f) -> if String.starts_with ~prefix key then Some f else None)
+    t.prefix_subscribers
+
 let publish t ~key ~creator ~chan_id =
   let pub = { key; creator; chan_id } in
   Hashtbl.replace t.published key pub;
-  List.iter (fun f -> f (`Published pub)) (subs t key)
+  List.iter (fun f -> f (`Published pub)) (subs t key);
+  List.iter (fun f -> f (`Published pub)) (prefix_subs t key)
 
 let unpublish t ~key =
   if Hashtbl.mem t.published key then begin
     Hashtbl.remove t.published key;
-    List.iter (fun f -> f `Gone) (subs t key)
+    List.iter (fun f -> f `Gone) (subs t key);
+    List.iter (fun f -> f `Gone) (prefix_subs t key)
   end
 
 let lookup t ~key = Hashtbl.find_opt t.published key
@@ -40,5 +53,20 @@ let subscribe t ~key f =
   match Hashtbl.find_opt t.published key with
   | Some pub -> f (`Published pub)
   | None -> ()
+
+let replay_prefix t ~prefix f =
+  let matching =
+    Hashtbl.fold
+      (fun key pub acc ->
+        if String.starts_with ~prefix key then pub :: acc else acc)
+      t.published []
+  in
+  List.iter
+    (fun pub -> f (`Published pub))
+    (List.sort (fun a b -> compare a.key b.key) matching)
+
+let subscribe_prefix t ~prefix f =
+  t.prefix_subscribers <- t.prefix_subscribers @ [ (prefix, f) ];
+  replay_prefix t ~prefix f
 
 let unsubscribe_all t ~key = Hashtbl.remove t.subscribers key

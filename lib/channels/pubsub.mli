@@ -32,5 +32,19 @@ val subscribe :
 (** Register interest in a key. If the key is already published the
     callback fires immediately with the current publication. *)
 
+val subscribe_prefix :
+  t -> prefix:string -> ([ `Published of publication | `Gone ] -> unit) -> unit
+(** Register interest in every key starting with [prefix] — the
+    learn-broadcast primitive: replicated servers announce discoveries
+    (e.g. ARP bindings) under a shared prefix and every peer hears
+    them. Existing matching publications are replayed immediately, in
+    key order. *)
+
+val replay_prefix :
+  t -> prefix:string -> ([ `Published of publication | `Gone ] -> unit) -> unit
+(** Replay (in key order) the current publications whose key starts
+    with [prefix], without subscribing — how a restarted replica
+    re-warms caches it lost in the crash. *)
+
 val unsubscribe_all : t -> key:string -> unit
 (** Drop all subscriptions on a key (used in tests). *)

@@ -100,6 +100,7 @@ let single_server_event_sim ?(nics = 5) ?(duration = 1.0) () =
   let module E1000 = Newt_nic.E1000 in
   let module Addr = Newt_net.Addr in
   let module Proc = Newt_stack.Proc in
+  let module Component = Newt_stack.Component in
   let module Drv_srv = Newt_stack.Drv_srv in
   let module Single = Newt_stack.Single_srv in
   let module Sc = Newt_stack.Syscall_srv in
@@ -110,9 +111,9 @@ let single_server_event_sim ?(nics = 5) ?(duration = 1.0) () =
   let stk_core = Machine.add_dedicated_core machine in
   let drv_cores = Array.init nics (fun _ -> Machine.add_dedicated_core machine) in
   let app_cores = Array.init nics (fun _ -> Machine.add_timeshared_core machine) in
-  let sc_proc = Proc.create machine ~name:"sc" ~core:sc_core () in
+  let sc_comp = Component.create machine ~name:"sc" ~core:sc_core () in
   let stk_proc = Proc.create machine ~name:"stack" ~core:stk_core () in
-  let sc = Sc.create machine ~proc:sc_proc () in
+  let sc = Sc.create sc_comp () in
   let stk =
     Single.create machine ~proc:stk_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1) ()
   in
@@ -134,10 +135,11 @@ let single_server_event_sim ?(nics = 5) ?(duration = 1.0) () =
             ~mac:(Addr.Mac.of_index (100 + i))
             ()
         in
-        let drv_proc =
-          Proc.create machine ~name:(Printf.sprintf "drv%d" i) ~core:drv_cores.(i) ()
+        let drv_comp =
+          Component.create machine ~name:(Printf.sprintf "drv%d" i)
+            ~core:drv_cores.(i) ()
         in
-        let drv = Drv_srv.create machine ~proc:drv_proc ~nic () in
+        let drv = Drv_srv.create drv_comp ~nic () in
         let tx_chan = chan () and rx_chan = chan () in
         let iface =
           Single.add_iface stk ~addr:(Addr.Ipv4.v 10 0 i 1)
@@ -535,6 +537,7 @@ let driver_coalescing ?(costs = Costs.default) () =
 
 type scaling_point = {
   shards : int;
+  ip_replicas : int;
   goodput_gbps : float;
   per_shard : Newt_scale.Sharded_stack.shard_stats array;
   imbalance : float;
@@ -546,11 +549,13 @@ type scaling_result = {
   single_instance_gbps : float;
 }
 
-let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(flows = 8)
-    ?(duration = 0.5) ?(link_gbps = 40.0) () =
+let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
+    ?(flows = 8) ?(duration = 0.5) ?(link_gbps = 40.0) () =
   let module S = Newt_scale.Sharded_stack in
   let run_point n =
-    let config = { S.default_config with S.shards = n; link_gbps } in
+    (* A point can't use more IP replicas than it has shards. *)
+    let r = min ip_replicas n in
+    let config = { S.default_config with S.shards = n; ip_replicas = r; link_gbps } in
     let s = S.create ~config () in
     let total = ref 0 in
     for i = 0 to flows - 1 do
@@ -566,6 +571,7 @@ let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(flows = 8)
     S.run s ~until:(Time.of_seconds duration);
     {
       shards = n;
+      ip_replicas = r;
       goodput_gbps = float_of_int !total *. 8.0 /. duration /. 1e9;
       per_shard = S.shard_stats s;
       imbalance = S.imbalance_ratio s;

@@ -171,6 +171,7 @@ val driver_coalescing : ?costs:Newt_hw.Costs.t -> unit -> coalescing_result list
 
 type scaling_point = {
   shards : int;
+  ip_replicas : int;  (** IP instances this point ran with. *)
   goodput_gbps : float;  (** Aggregate iperf goodput over all flows. *)
   per_shard : Newt_scale.Sharded_stack.shard_stats array;
   imbalance : float;  (** Max/mean of per-RX-queue frame counts. *)
@@ -186,6 +187,7 @@ type scaling_result = {
 
 val scaling_curve :
   ?shard_counts:int list ->
+  ?ip_replicas:int ->
   ?flows:int ->
   ?duration:float ->
   ?link_gbps:float ->
@@ -195,4 +197,7 @@ val scaling_curve :
     {!Newt_scale.Sharded_stack} at each shard count (default 1, 2, 4, 8)
     over a fat link (default 40 Gbps): aggregate goodput scales with the
     shard count until another stage (IP, the wire) saturates, while one
-    instance is pinned at the single-server ceiling. *)
+    instance is pinned at the single-server ceiling. [ip_replicas]
+    (default 1) replicates the IP server as well — each point is capped
+    at [min ip_replicas shards] — lifting the plateau the single IP
+    instance imposes once the shards outrun it. *)

@@ -10,6 +10,7 @@ module Link = Newt_nic.Link
 module E1000 = Newt_nic.E1000
 module Rule = Newt_pf.Rule
 module Proc = Newt_stack.Proc
+module Component = Newt_stack.Component
 module Msg = Newt_stack.Msg
 module Drv_srv = Newt_stack.Drv_srv
 module Ip_srv = Newt_stack.Ip_srv
@@ -52,8 +53,8 @@ let default_config =
     pf_rules = [ Rule.pass_all ];
     tcp_config = None;
     nic_reset_time = Time.of_seconds 1.2;
-    heartbeat_period = Time.of_seconds 0.1;
-    restart_delay = Time.of_seconds 0.12;
+    heartbeat_period = Component.Defaults.heartbeat_period;
+    restart_delay = Component.Defaults.restart_delay;
     app_cores = 2;
     coalesce_drivers = false;
   }
@@ -76,7 +77,7 @@ type t = {
   nics : E1000.t array;
   links : Link.t array;
   sinks : Sink.t array;
-  procs : (component * Proc.t) list;
+  comps : (component * Component.t) list;
   app_cores : Newt_hw.Cpu.t array;
   mutable next_app : int;
   mutable next_app_pid : int;
@@ -103,10 +104,12 @@ let frozen t = t.frozen
 let directory t = t.directory
 let trace t = t.trace
 
-let proc_of t comp =
-  match List.find_opt (fun (c, _) -> c = comp) t.procs with
-  | Some (_, p) -> p
-  | None -> invalid_arg "Host.proc_of: unknown component"
+let comp_of t comp =
+  match List.find_opt (fun (c, _) -> c = comp) t.comps with
+  | Some (_, c) -> c
+  | None -> invalid_arg "Host.comp_of: unknown component"
+
+let proc_of t comp = Component.proc (comp_of t comp)
 
 let local_addr _t i = Addr.Ipv4.v 10 0 i 1
 let sink_addr _t i = Addr.Ipv4.v 10 0 i 2
@@ -155,14 +158,19 @@ let create ?(config = default_config) () =
     else Array.init config.nics (fun _ -> Machine.add_dedicated_core machine)
   in
   let app_cores = Array.init config.app_cores (fun _ -> Machine.add_timeshared_core machine) in
-  (* Processes. *)
-  let mkproc name core = Proc.create machine ~name ~core ~trace () in
-  let sc_proc = mkproc "sc" sc_core in
-  let tcp_proc = mkproc "tcp" tcp_core in
-  let udp_proc = mkproc "udp" udp_core in
-  let ip_proc = mkproc "ip" ip_core in
-  let pf_proc = mkproc "pf" pf_core in
-  let drv_procs = Array.init config.nics (fun i -> mkproc (Printf.sprintf "drv%d" i) drv_cores.(i)) in
+  (* Components: the generic server core, one per OS server. *)
+  let mkcomp name core =
+    Component.create machine ~name ~core ~directory ~trace ()
+  in
+  let sc_comp = mkcomp "sc" sc_core in
+  let tcp_comp = mkcomp "tcp" tcp_core in
+  let udp_comp = mkcomp "udp" udp_core in
+  let ip_comp = mkcomp "ip" ip_core in
+  let pf_comp = mkcomp "pf" pf_core in
+  let drv_comps =
+    Array.init config.nics (fun i ->
+        mkcomp (Printf.sprintf "drv%d" i) drv_cores.(i))
+  in
   (* Devices, links and remote peers. *)
   let links =
     Array.init config.nics (fun _ -> Link.create engine ())
@@ -180,68 +188,66 @@ let create ?(config = default_config) () =
           ~mac:(Addr.Mac.of_index (200 + i))
           ())
   in
-  (* Servers. *)
+  (* Servers: pure message handlers on top of their component. *)
   let view name = Storage.owner_view storage ~owner:name in
   let save_ip, load_ip = view "ip" in
   let save_pf, load_pf = view "pf" in
   let save_tcp, load_tcp = view "tcp" in
   let save_udp, load_udp = view "udp" in
-  let sc_srv = Syscall_srv.create machine ~proc:sc_proc () in
+  let sc_srv = Syscall_srv.create sc_comp () in
   let tcp_srv =
-    Tcp_srv.create machine ~proc:tcp_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+    Tcp_srv.create tcp_comp ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
       ?tcp_config:config.tcp_config ~save:save_tcp ~load:load_tcp ()
   in
   let udp_srv =
-    Udp_srv.create machine ~proc:udp_proc ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+    Udp_srv.create udp_comp ~registry ~local_addr:(Addr.Ipv4.v 10 0 0 1)
       ~save:save_udp ~load:load_udp ()
   in
   let ip_srv =
-    Ip_srv.create machine ~proc:ip_proc ~registry ~save:save_ip ~load:load_ip ()
+    Ip_srv.create ip_comp ~registry ~save:save_ip ~load:load_ip ()
   in
-  let pf_srv = Pf_srv.create machine ~proc:pf_proc ~save:save_pf ~load:load_pf () in
+  let pf_srv = Pf_srv.create pf_comp ~save:save_pf ~load:load_pf () in
   let drvs =
     Array.init config.nics (fun i ->
-        Drv_srv.create machine ~proc:drv_procs.(i) ~nic:nics.(i) ())
+        Drv_srv.create drv_comps.(i) ~nic:nics.(i) ())
   in
-  (* Channels, per Figure 3, published in the directory under
-     meaningful keys (Section IV-C). *)
-  let publish key c =
-    Newt_channels.Pubsub.publish directory ~key ~creator:0
-      ~chan_id:(Sim_chan.id c);
+  (* Channels, per Figure 3, exported through the consuming component
+     so they are published in the directory under meaningful keys
+     (Section IV-C) and republished after every restart of their
+     consumer (Section IV-D). *)
+  let export comp key c =
+    Component.export comp ~key c;
     c
   in
-  let ch_ip_to_pf = chan () and ch_pf_to_ip = chan () in
-  let ch_ip_to_pf = publish "ip.to_pf" ch_ip_to_pf in
-  let ch_pf_to_ip = publish "pf.to_ip" ch_pf_to_ip in
+  let ch_ip_to_pf = export pf_comp "ip.to_pf" (chan ())
+  and ch_pf_to_ip = export ip_comp "pf.to_ip" (chan ()) in
   Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
   Pf_srv.connect_ip pf_srv ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
-  let ch_tcp_to_ip = publish "tcp.to_ip" (chan ())
-  and ch_ip_to_tcp = publish "ip.to_tcp" (chan ()) in
+  let ch_tcp_to_ip = export ip_comp "tcp.to_ip" (chan ())
+  and ch_ip_to_tcp = export tcp_comp "ip.to_tcp" (chan ()) in
   Ip_srv.connect_transport ip_srv ~proto:`Tcp ~from_transport:ch_tcp_to_ip
     ~to_transport:ch_ip_to_tcp;
   Tcp_srv.connect_ip tcp_srv ~to_ip:ch_tcp_to_ip ~from_ip:ch_ip_to_tcp;
-  let ch_udp_to_ip = publish "udp.to_ip" (chan ())
-  and ch_ip_to_udp = publish "ip.to_udp" (chan ()) in
+  let ch_udp_to_ip = export ip_comp "udp.to_ip" (chan ())
+  and ch_ip_to_udp = export udp_comp "ip.to_udp" (chan ()) in
   Ip_srv.connect_transport ip_srv ~proto:`Udp ~from_transport:ch_udp_to_ip
     ~to_transport:ch_ip_to_udp;
   Udp_srv.connect_ip udp_srv ~to_ip:ch_udp_to_ip ~from_ip:ch_ip_to_udp;
-  let ch_sc_to_tcp = publish "sc.to_tcp" (chan ())
-  and ch_tcp_to_sc = publish "tcp.to_sc" (chan ()) in
+  let ch_sc_to_tcp = export tcp_comp "sc.to_tcp" (chan ())
+  and ch_tcp_to_sc = export sc_comp "tcp.to_sc" (chan ()) in
   Syscall_srv.connect_transport sc_srv ~transport:`Tcp ~to_transport:ch_sc_to_tcp
     ~from_transport:ch_tcp_to_sc;
   Tcp_srv.connect_sc tcp_srv ~from_sc:ch_sc_to_tcp ~to_sc:ch_tcp_to_sc;
-  let ch_sc_to_udp = publish "sc.to_udp" (chan ())
-  and ch_udp_to_sc = publish "udp.to_sc" (chan ()) in
+  let ch_sc_to_udp = export udp_comp "sc.to_udp" (chan ())
+  and ch_udp_to_sc = export sc_comp "udp.to_sc" (chan ()) in
   Syscall_srv.connect_transport sc_srv ~transport:`Udp ~to_transport:ch_sc_to_udp
     ~from_transport:ch_udp_to_sc;
   Udp_srv.connect_sc udp_srv ~from_sc:ch_sc_to_udp ~to_sc:ch_udp_to_sc;
   (* Interfaces, addresses, routes, static neighbours. *)
-  let drv_chans = Array.make config.nics None in
   Array.iteri
     (fun i drv ->
-      let tx_chan = publish (Printf.sprintf "ip.to_drv%d" i) (chan ())
-      and rx_chan = publish (Printf.sprintf "drv%d.to_ip" i) (chan ()) in
-      drv_chans.(i) <- Some tx_chan;
+      let tx_chan = export drv_comps.(i) (Printf.sprintf "ip.to_drv%d" i) (chan ())
+      and rx_chan = export ip_comp (Printf.sprintf "drv%d.to_ip" i) (chan ()) in
       let iface =
         Ip_srv.add_iface ip_srv
           {
@@ -270,14 +276,6 @@ let create ?(config = default_config) () =
   Pf_srv.set_conntrack_sources pf_srv
     ~tcp:(fun () -> Tcp_srv.conntrack_flows tcp_srv)
     ~udp:(fun () -> Udp_srv.conntrack_flows udp_srv);
-  (* Crash/restart procedures of each component. *)
-  Proc.set_on_crash tcp_proc (fun () -> Tcp_srv.crash_cleanup tcp_srv);
-  Proc.set_on_crash udp_proc (fun () -> Udp_srv.crash_cleanup udp_srv);
-  Proc.set_on_crash ip_proc (fun () -> Ip_srv.crash_cleanup ip_srv);
-  Proc.set_on_crash pf_proc (fun () -> Pf_srv.crash_cleanup pf_srv);
-  Array.iteri
-    (fun i drv -> Proc.set_on_crash drv_procs.(i) (fun () -> Drv_srv.crash_cleanup drv))
-    drvs;
   let t =
     {
       config;
@@ -298,9 +296,9 @@ let create ?(config = default_config) () =
       nics;
       links;
       sinks;
-      procs =
-        [ (C_tcp, tcp_proc); (C_udp, udp_proc); (C_ip, ip_proc); (C_pf, pf_proc) ]
-        @ Array.to_list (Array.mapi (fun i p -> (C_drv i, p)) drv_procs);
+      comps =
+        [ (C_tcp, tcp_comp); (C_udp, udp_comp); (C_ip, ip_comp); (C_pf, pf_comp) ]
+        @ Array.to_list (Array.mapi (fun i c -> (C_drv i, c)) drv_comps);
       app_cores;
       next_app = 0;
       next_app_pid = 10_000;
@@ -316,55 +314,32 @@ let create ?(config = default_config) () =
     end
     else false
   in
-  (* A restarted consumer re-exports its channels: the identification
-     does not change, so it republishes the same keys (Section IV-D). *)
-  let republish keys chans =
-    List.iter2
-      (fun key c ->
-        Newt_channels.Pubsub.publish directory ~key ~creator:0
-          ~chan_id:(Sim_chan.id c))
-      keys chans
-  in
-  (* Restart procedures, with the broken-recovery hook applied after the
-     normal recovery (the component comes up, but its restored state is
-     bad — Section VI-B's manual-restart cases). *)
-  Proc.set_on_restart tcp_proc (fun ~fresh:_ ->
-      Tcp_srv.restart tcp_srv;
-      republish [ "sc.to_tcp"; "ip.to_tcp" ] [ ch_sc_to_tcp; ch_ip_to_tcp ];
+  (* The broken-recovery hooks run after the server's own recovery (the
+     component comes up, but its restored state is bad — Section VI-B's
+     manual-restart cases). Hook registration order guarantees this:
+     the servers registered their recovery at [create]. *)
+  Component.on_restart tcp_comp (fun ~fresh:_ ->
       if broken C_tcp then begin
         let eng = Tcp_srv.engine tcp_srv in
         List.iter (fun port -> Tcp.unlisten eng ~port) (Tcp.listening_ports eng)
       end);
-  Proc.set_on_restart udp_proc (fun ~fresh:_ ->
-      Udp_srv.restart udp_srv;
-      republish [ "sc.to_udp"; "ip.to_udp" ] [ ch_sc_to_udp; ch_ip_to_udp ]);
-  Proc.set_on_restart ip_proc (fun ~fresh:_ ->
-      Ip_srv.restart ip_srv;
-      republish [ "tcp.to_ip"; "udp.to_ip"; "pf.to_ip" ]
-        [ ch_tcp_to_ip; ch_udp_to_ip; ch_pf_to_ip ];
+  Component.on_restart ip_comp (fun ~fresh:_ ->
       if broken C_ip then Ip_srv.clear_routes ip_srv);
-  Proc.set_on_restart pf_proc (fun ~fresh:_ ->
-      Pf_srv.restart pf_srv;
-      republish [ "ip.to_pf" ] [ ch_ip_to_pf ]);
   Array.iteri
-    (fun i drv ->
-      Proc.set_on_restart drv_procs.(i) (fun ~fresh:_ ->
-          Drv_srv.restart drv;
-          (match drv_chans.(i) with
-          | Some c -> republish [ Printf.sprintf "ip.to_drv%d" i ] [ c ]
-          | None -> ());
+    (fun i _drv ->
+      Component.on_restart drv_comps.(i) (fun ~fresh:_ ->
           if broken (C_drv i) then E1000.misconfigure nics.(i)))
     drvs;
   (* Supervision with neighbour notifications (Section IV-D). *)
-  Reincarnation.watch t.rs tcp_proc
+  Reincarnation.watch t.rs tcp_comp
     ~notify_crash:[ (fun () -> Ip_srv.on_transport_crash ip_srv ~proto:`Tcp) ]
     ~notify_restart:[ (fun () -> Syscall_srv.on_transport_restart sc_srv ~transport:`Tcp) ]
     ();
-  Reincarnation.watch t.rs udp_proc
+  Reincarnation.watch t.rs udp_comp
     ~notify_crash:[ (fun () -> Ip_srv.on_transport_crash ip_srv ~proto:`Udp) ]
     ~notify_restart:[ (fun () -> Syscall_srv.on_transport_restart sc_srv ~transport:`Udp) ]
     ();
-  Reincarnation.watch t.rs ip_proc
+  Reincarnation.watch t.rs ip_comp
     ~notify_crash:
       [ (fun () -> Tcp_srv.on_ip_crash tcp_srv); (fun () -> Udp_srv.on_ip_crash udp_srv) ]
     ~notify_restart:
@@ -373,24 +348,24 @@ let create ?(config = default_config) () =
         (fun () -> Udp_srv.on_ip_restart udp_srv);
       ]
     ();
-  Reincarnation.watch t.rs pf_proc
+  Reincarnation.watch t.rs pf_comp
     ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ip_srv) ]
     ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ip_srv) ]
     ();
   Array.iteri
-    (fun i p ->
-      Reincarnation.watch t.rs p
+    (fun i c ->
+      Reincarnation.watch t.rs c
         ~notify_crash:[ (fun () -> Ip_srv.on_drv_crash ip_srv ~iface:i) ]
         ~notify_restart:[ (fun () -> Ip_srv.on_drv_restart ip_srv ~iface:i) ]
         ())
-    drv_procs;
+    drv_comps;
   Reincarnation.start t.rs;
   t
 
 (* {2 Faults} *)
 
-let kill_component t comp = Reincarnation.kill t.rs (proc_of t comp)
-let hang_component t comp = Proc.hang (proc_of t comp)
+let kill_component t comp = Reincarnation.kill t.rs (comp_of t comp)
+let hang_component t comp = Component.hang (comp_of t comp)
 
 let component_of_target = function
   | Fault_inject.T_tcp -> C_tcp
@@ -449,7 +424,7 @@ let inject t (inj : Fault_inject.injection) =
       t.frozen <- true;
       Proc.hang (Syscall_srv.proc t.sc)
 
-let restarts_of t comp = Reincarnation.restarts_of t.rs (proc_of t comp)
+let restarts_of t comp = Reincarnation.restarts_of t.rs (comp_of t comp)
 
 (* {2 Probes} *)
 

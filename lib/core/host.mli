@@ -60,6 +60,10 @@ val storage : t -> Newt_reliability.Storage.t
 val nic : t -> int -> Newt_nic.E1000.t
 val link : t -> int -> Newt_nic.Link.t
 val sink : t -> int -> Newt_stack.Sink.t
+
+val comp_of : t -> component -> Newt_stack.Component.t
+(** The generic component-server core behind a stack component. *)
+
 val proc_of : t -> component -> Newt_stack.Proc.t
 
 val directory : t -> Newt_channels.Pubsub.t

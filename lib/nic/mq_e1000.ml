@@ -30,6 +30,7 @@ type queue = {
   rx_lens : int Queue.t;  (* frame lengths, in completion order *)
   mutable tx_active : bool;
   mutable q_rx_packets : int;
+  mutable q_unsafe : bool;  (* DMA fenced off for just this queue *)
 }
 
 type t = {
@@ -112,6 +113,8 @@ let on_rx t frame =
   if not t.unsafe then begin
     let qi = steer t frame in
     let q = t.qs.(qi) in
+    if q.q_unsafe then t.rx_no_buffer <- t.rx_no_buffer + 1
+    else
     match Ring.device_take q.rx_ring with
     | None -> t.rx_no_buffer <- t.rx_no_buffer + 1
     | Some desc -> (
@@ -141,6 +144,7 @@ let create engine ~registry ~link ~side ~mac ~rss ?(ring_size = 256) ?irq_delay
       rx_lens = Queue.create ();
       tx_active = false;
       q_rx_packets = 0;
+      q_unsafe = false;
     }
   in
   let t =
@@ -180,7 +184,7 @@ let set_rx_writer t f = t.rx_writer <- Some f
    serialization time of one full frame on the configured link rate. *)
 let rec tx_pump t qi =
   let q = t.qs.(qi) in
-  if t.unsafe || not t.link_admin_up then q.tx_active <- false
+  if t.unsafe || q.q_unsafe || not t.link_admin_up then q.tx_active <- false
   else
     match Ring.device_take q.tx_ring with
     | None -> q.tx_active <- false
@@ -222,7 +226,8 @@ let post_tx t ~queue desc = Ring.post t.qs.(queue).tx_ring desc
 
 let doorbell_tx t ~queue =
   let q = t.qs.(queue) in
-  if (not q.tx_active) && (not t.unsafe) && t.link_admin_up then begin
+  if (not q.tx_active) && (not t.unsafe) && (not q.q_unsafe) && t.link_admin_up
+  then begin
     q.tx_active <- true;
     tx_pump t queue
   end
@@ -245,6 +250,18 @@ let reap_rx t ~queue =
 let tx_ring_free t ~queue = Ring.free_slots t.qs.(queue).tx_ring
 let rx_ring_free t ~queue = Ring.free_slots t.qs.(queue).rx_ring
 let mark_unsafe t = t.unsafe <- true
+let mark_queue_unsafe t ~queue = t.qs.(queue).q_unsafe <- true
+
+(* Restart-aware per-queue recovery: reprogramming one queue's rings
+   needs no link renegotiation, so the other queues keep forwarding
+   while a crashed owner reclaims just its slice of the device. *)
+let reset_queue t ~queue =
+  let q = t.qs.(queue) in
+  ignore (Ring.clear q.tx_ring);
+  ignore (Ring.clear q.rx_ring);
+  Queue.clear q.rx_lens;
+  q.tx_active <- false;
+  q.q_unsafe <- false
 
 let reset t =
   Array.iter
@@ -252,7 +269,8 @@ let reset t =
       ignore (Ring.clear q.tx_ring);
       ignore (Ring.clear q.rx_ring);
       Queue.clear q.rx_lens;
-      q.tx_active <- false)
+      q.tx_active <- false;
+      q.q_unsafe <- false)
     t.qs;
   Hashtbl.reset t.flow_queues;
   t.unsafe <- false;

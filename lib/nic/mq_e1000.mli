@@ -63,6 +63,16 @@ val rx_ring_free : t -> queue:int -> int
 
 val mark_unsafe : t -> unit
 val reset : t -> unit
+
+val mark_queue_unsafe : t -> queue:int -> unit
+(** Fence DMA off for one queue only (the owner of that slice of the
+    device crashed); the other queues keep forwarding. *)
+
+val reset_queue : t -> queue:int -> unit
+(** Reprogram one queue's rings and lift its fence. Unlike [reset]
+    this keeps the link up: per-queue recovery needs no renegotiation,
+    which is what makes replica restart invisible to other shards. *)
+
 val link_up : t -> bool
 
 val tx_packets : t -> int

@@ -1,10 +1,10 @@
 module Engine = Newt_sim.Engine
 module Time = Newt_sim.Time
 module Machine = Newt_hw.Machine
-module Proc = Newt_stack.Proc
+module Component = Newt_stack.Component
 
 type watched = {
-  proc : Proc.t;
+  comp : Component.t;
   notify_crash : (unit -> unit) list;
   notify_restart : (unit -> unit) list;
   mutable restarting : bool;
@@ -20,18 +20,23 @@ type t = {
 }
 
 let create machine ?heartbeat_period ?restart_delay () =
+  (* The paper's figures live in one place: Component.Defaults. *)
   let heartbeat_period =
-    match heartbeat_period with Some p -> p | None -> Time.of_seconds 0.1
+    match heartbeat_period with
+    | Some p -> p
+    | None -> Component.Defaults.heartbeat_period
   in
   let restart_delay =
-    match restart_delay with Some d -> d | None -> Time.of_seconds 0.12
+    match restart_delay with
+    | Some d -> d
+    | None -> Component.Defaults.restart_delay
   in
   { machine; heartbeat_period; restart_delay; watched = []; total_restarts = 0 }
 
-let watch t proc ?(notify_crash = []) ?(notify_restart = []) () =
+let watch t comp ?(notify_crash = []) ?(notify_restart = []) () =
   t.watched <-
     t.watched
-    @ [ { proc; notify_crash; notify_restart; restarting = false; restarts = 0 } ]
+    @ [ { comp; notify_crash; notify_restart; restarting = false; restarts = 0 } ]
 
 let engine t = Machine.engine t.machine
 
@@ -48,17 +53,20 @@ let recover t w =
            t.total_restarts <- t.total_restarts + 1;
            (* The new incarnation runs its own recovery procedure
               (restore state from storage, revive channels)... *)
-           Proc.restart w.proc;
+           Component.restart w.comp;
            (* ... and then the neighbours re-export, reattach and
               resubmit (Section IV-D). *)
            List.iter (fun f -> f ()) w.notify_restart))
   end
 
-let kill t proc =
-  match List.find_opt (fun w -> w.proc == proc) t.watched with
+let find t comp =
+  List.find_opt (fun w -> Component.pid w.comp = Component.pid comp) t.watched
+
+let kill t comp =
+  match find t comp with
   | None -> ()
   | Some w ->
-      if Proc.alive proc then Proc.crash proc;
+      if Component.alive comp then Component.crash comp;
       (* The parent receives the signal immediately. *)
       recover t w
 
@@ -68,13 +76,13 @@ let rec heartbeat_round t =
          List.iter
            (fun w ->
              if not w.restarting then
-               if not (Proc.alive w.proc) then
+               if not (Component.alive w.comp) then
                  (* Died without us noticing (shouldn't happen — the
                     signal path handles it — but belt and braces). *)
                  recover t w
-               else if not (Proc.responsive w.proc) then begin
+               else if not (Component.responsive w.comp) then begin
                  (* Hung: no heartbeat reply. Reset it. *)
-                 Proc.crash w.proc;
+                 Component.crash w.comp;
                  recover t w
                end)
            t.watched;
@@ -84,9 +92,7 @@ let start t = heartbeat_round t
 
 let restarts t = t.total_restarts
 
-let restarts_of t proc =
-  match List.find_opt (fun w -> w.proc == proc) t.watched with
-  | Some w -> w.restarts
-  | None -> 0
+let restarts_of t comp =
+  match find t comp with Some w -> w.restarts | None -> 0
 
-let alive_check t = List.for_all (fun w -> Proc.responsive w.proc) t.watched
+let alive_check t = List.for_all (fun w -> Component.responsive w.comp) t.watched

@@ -3,7 +3,7 @@
     "All system servers are children of the same reincarnation server
     which receives a signal when a server crashes, or resets it when it
     stops responding to periodic heartbeats" (Section V-D). This module
-    watches a set of {!Newt_stack.Proc} servers:
+    watches a set of {!Newt_stack.Component} servers:
 
     - a crash is noticed immediately (the parent gets the signal) and a
       restart is scheduled after the component reload time;
@@ -11,9 +11,10 @@
       unanswered) and handled by a reset: crash-then-restart.
 
     Restarting runs, in order: the component's crash-notification hooks
-    at its neighbours, the process restart ({!Newt_stack.Proc.restart},
-    which runs the component's own recovery procedure), and the
-    neighbours' restart hooks — the dependency dance of Section IV-D. *)
+    at its neighbours, the component restart
+    ({!Newt_stack.Component.restart}, which runs the generic lifecycle
+    plus the component's own recovery hooks), and the neighbours'
+    restart hooks — the dependency dance of Section IV-D. *)
 
 type t
 
@@ -23,31 +24,32 @@ val create :
   ?restart_delay:Newt_sim.Time.cycles ->
   unit ->
   t
-(** Defaults: 100 ms heartbeats, 120 ms restart (reload + reinit). *)
+(** Defaults come from {!Newt_stack.Component.Defaults}: 100 ms
+    heartbeats, 120 ms restart (reload + reinit). *)
 
 val watch :
   t ->
-  Newt_stack.Proc.t ->
+  Newt_stack.Component.t ->
   ?notify_crash:(unit -> unit) list ->
   ?notify_restart:(unit -> unit) list ->
   unit ->
   unit
-(** Supervise a server. [notify_crash] hooks run right after the crash
-    is detected (neighbours abort in-flight requests); [notify_restart]
-    hooks run right after the component's own recovery (neighbours
-    resubmit). *)
+(** Supervise a component. [notify_crash] hooks run right after the
+    crash is detected (neighbours abort in-flight requests);
+    [notify_restart] hooks run right after the component's own recovery
+    (neighbours resubmit). *)
 
 val start : t -> unit
 (** Begin the heartbeat rounds. *)
 
-val kill : t -> Newt_stack.Proc.t -> unit
+val kill : t -> Newt_stack.Component.t -> unit
 (** Inject a crash (as the fault-injection tool does) and let the
     supervision machinery recover it. *)
 
 val restarts : t -> int
 (** Total restarts performed. *)
 
-val restarts_of : t -> Newt_stack.Proc.t -> int
+val restarts_of : t -> Newt_stack.Component.t -> int
 
 val alive_check : t -> bool
-(** All supervised servers currently responsive. *)
+(** All supervised components currently responsive. *)

@@ -6,12 +6,13 @@ module Cpu = Newt_hw.Cpu
 module Registry = Newt_channels.Registry
 module Sim_chan = Newt_channels.Sim_chan
 module Pubsub = Newt_channels.Pubsub
+module Rich_ptr = Newt_channels.Rich_ptr
 module Addr = Newt_net.Addr
 module Tcp = Newt_net.Tcp
 module Link = Newt_nic.Link
 module Mq = Newt_nic.Mq_e1000
 module Rule = Newt_pf.Rule
-module Proc = Newt_stack.Proc
+module Component = Newt_stack.Component
 module Msg = Newt_stack.Msg
 module Mq_drv_srv = Newt_stack.Mq_drv_srv
 module Ip_srv = Newt_stack.Ip_srv
@@ -28,6 +29,7 @@ type config = {
   costs : Newt_hw.Costs.t;
   shards : int;
   udp_shards : int;
+  ip_replicas : int;
   link_gbps : float;
   pf_rules : Rule.t list option;
   tcp_config : Tcp.config option;
@@ -42,12 +44,13 @@ let default_config =
     costs = Newt_hw.Costs.default;
     shards = 4;
     udp_shards = 1;
+    ip_replicas = 1;
     link_gbps = 40.0;
     pf_rules = None;
     tcp_config = None;
     nic_reset_time = Time.of_seconds 1.2;
-    heartbeat_period = Time.of_seconds 0.1;
-    restart_delay = Time.of_seconds 0.12;
+    heartbeat_period = Component.Defaults.heartbeat_period;
+    restart_delay = Component.Defaults.restart_delay;
   }
 
 (* The canonical flow key of the steering journal — the same
@@ -62,6 +65,17 @@ let flow_key src sport dst dport : flow_key =
   let (i1, p1), (i2, p2) = if a <= b then (a, b) else (b, a) in
   (i1, p1, i2, p2)
 
+(* ARP learn-broadcast encoding: the binding rides the channel
+   directory, the 48-bit MAC packed into the [chan_id] field and the
+   protocol address in the key. *)
+let mac_to_int m =
+  Array.fold_left (fun acc o -> (acc lsl 8) lor o) 0 (Addr.Mac.to_octets m)
+
+let mac_of_int v =
+  Addr.Mac.of_octets (Array.init 6 (fun i -> (v lsr ((5 - i) * 8)) land 0xFF))
+
+let arp_key ~iface addr = Printf.sprintf "arp.%d.%s" iface (Addr.Ipv4.to_string addr)
+
 type t = {
   config : config;
   engine : Engine.t;
@@ -75,16 +89,18 @@ type t = {
   sc : Syscall_srv.t;
   tcps : Tcp_srv.t array;
   udps : Udp_srv.t array;
-  ip : Ip_srv.t;
+  ips : Ip_srv.t array;
   pf : Pf_srv.t option;
   drv : Mq_drv_srv.t;
   nic : Mq.t;
   link : Link.t;
   sink : Sink.t;
-  tcp_procs : Proc.t array;
-  udp_procs : Proc.t array;
+  tcp_comps : Component.t array;
+  udp_comps : Component.t array;
+  ip_comps : Component.t array;
   ip_to_tcp : Msg.t Sim_chan.t array;
-  (* IP's half of the affinity journal (the NIC keeps its own). *)
+  (* IP's half of the affinity journal (the NIC keeps its own) —
+     shared by all replicas: shard affinity implies replica affinity. *)
   steer_journal : (flow_key, int) Hashtbl.t;
   ip_violations : int ref;
   mutable next_app_pid : int;
@@ -96,11 +112,14 @@ let config t = t.config
 let sc t = t.sc
 let tcp_shard t i = t.tcps.(i)
 let udp_shard t i = t.udps.(i)
-let ip_srv t = t.ip
+let ip_srv t = t.ips.(0)
+let ip_replica t k = t.ips.(k)
+let ip_replica_count t = Array.length t.ips
 let nic t = t.nic
 let link t = t.link
 let sink t = t.sink
 let shard_map t = t.sm
+let directory t = t.directory
 
 let local_addr _t = Addr.Ipv4.v 10 0 0 1
 let sink_addr _t = Addr.Ipv4.v 10 0 0 2
@@ -117,8 +136,10 @@ let app t =
   t.next_app_pid <- pid + 1;
   { Syscall_srv.app_core = core; app_pid = pid }
 
-let kill_shard t i = Reincarnation.kill t.rs t.tcp_procs.(i)
-let shard_restarts t i = Reincarnation.restarts_of t.rs t.tcp_procs.(i)
+let kill_shard t i = Reincarnation.kill t.rs t.tcp_comps.(i)
+let shard_restarts t i = Reincarnation.restarts_of t.rs t.tcp_comps.(i)
+let kill_ip_replica t k = Reincarnation.kill t.rs t.ip_comps.(k)
+let ip_replica_restarts t k = Reincarnation.restarts_of t.rs t.ip_comps.(k)
 
 type shard_stats = {
   shard : int;
@@ -134,15 +155,15 @@ let shard_stats t =
   let now = Engine.now t.engine in
   Array.mapi
     (fun i srv ->
-      let eng = Tcp_srv.engine srv in
-      let st = Tcp.stats eng in
       {
         shard = i;
-        flows = Tcp.connection_count eng;
-        segs_out = st.Tcp.segs_out;
-        bytes_out = st.Tcp.bytes_out;
+        flows = Tcp.connection_count (Tcp_srv.engine srv);
+        (* Lifetime counters: the banked totals survive shard restarts,
+           so a reincarnated shard neither double-counts nor resets. *)
+        segs_out = Tcp_srv.total_segs_out srv;
+        bytes_out = Tcp_srv.total_bytes_out srv;
         queue_depth = Sim_chan.length t.ip_to_tcp.(i);
-        core_util = Cpu.utilization (Proc.core t.tcp_procs.(i)) ~now;
+        core_util = Cpu.utilization (Component.core t.tcp_comps.(i)) ~now;
         restarts = shard_restarts t i;
       })
     t.tcps
@@ -155,7 +176,7 @@ let steering_violations t = Mq.steering_violations t.nic + !(t.ip_violations)
 
 let rebalance t =
   let loads =
-    Array.map (fun srv -> float_of_int (Tcp.stats (Tcp_srv.engine srv)).Tcp.bytes_out) t.tcps
+    Array.map (fun srv -> float_of_int (Tcp_srv.total_bytes_out srv)) t.tcps
   in
   Shard_map.rebalance t.sm ~loads
 
@@ -165,22 +186,30 @@ let create ?(config = default_config) () =
   if config.shards <= 0 then invalid_arg "Sharded_stack: shards must be positive";
   if config.udp_shards <= 0 then
     invalid_arg "Sharded_stack: udp_shards must be positive";
+  if config.ip_replicas <= 0 || config.ip_replicas > config.shards then
+    invalid_arg "Sharded_stack: need 1 <= ip_replicas <= shards";
   let engine = Engine.create ~seed:config.seed () in
   let machine = Machine.create ~costs:config.costs engine in
   let registry = Registry.create () in
   let trace = Trace.create () in
   let directory = Pubsub.create () in
   let storage = Storage.create () in
-  let n = config.shards and nu = config.udp_shards in
+  let n = config.shards and nu = config.udp_shards and r = config.ip_replicas in
   let sm = Shard_map.create ~seed:config.seed ~shards:n () in
-  (* Cores: one dedicated per OS component, including one per shard. *)
-  let mkproc name = Proc.create machine ~name ~core:(Machine.add_dedicated_core machine) ~trace () in
-  let sc_proc = mkproc "sc" in
-  let ip_proc = mkproc "ip" in
-  let pf_proc = match config.pf_rules with Some _ -> Some (mkproc "pf") | None -> None in
-  let drv_proc = mkproc "mqdrv" in
-  let tcp_procs = Array.init n (fun i -> mkproc (Printf.sprintf "tcp%d" i)) in
-  let udp_procs = Array.init nu (fun i -> mkproc (Printf.sprintf "udp%d" i)) in
+  (* Component servers: one dedicated core each, including one per
+     transport shard and one per IP replica. *)
+  let mkcomp name =
+    Component.create machine ~name
+      ~core:(Machine.add_dedicated_core machine)
+      ~directory ~trace ()
+  in
+  let ip_name k = if r = 1 then "ip" else Printf.sprintf "ip%d" k in
+  let sc_comp = mkcomp "sc" in
+  let ip_comps = Array.init r (fun k -> mkcomp (ip_name k)) in
+  let pf_comp = match config.pf_rules with Some _ -> Some (mkcomp "pf") | None -> None in
+  let drv_comp = mkcomp "mqdrv" in
+  let tcp_comps = Array.init n (fun i -> mkcomp (Printf.sprintf "tcp%d" i)) in
+  let udp_comps = Array.init nu (fun i -> mkcomp (Printf.sprintf "udp%d" i)) in
   (* One fat wire, a multi-queue device on our side, an ideal peer on
      the other. *)
   let link =
@@ -199,45 +228,45 @@ let create ?(config = default_config) () =
   in
   (* Servers, each with its own storage view. *)
   let view name = Storage.owner_view storage ~owner:name in
-  let save_ip, load_ip = view "ip" in
-  let sc_srv = Syscall_srv.create machine ~proc:sc_proc () in
+  let sc_srv = Syscall_srv.create sc_comp () in
   let tcps =
     Array.init n (fun i ->
         let save, load = view (Printf.sprintf "tcp%d" i) in
-        Tcp_srv.create machine ~proc:tcp_procs.(i) ~registry
+        Tcp_srv.create tcp_comps.(i) ~registry
           ~local_addr:(Addr.Ipv4.v 10 0 0 1)
           ?tcp_config:config.tcp_config ~save ~load ())
   in
   let udps =
     Array.init nu (fun i ->
         let save, load = view (Printf.sprintf "udp%d" i) in
-        Udp_srv.create machine ~proc:udp_procs.(i) ~registry
+        Udp_srv.create udp_comps.(i) ~registry
           ~local_addr:(Addr.Ipv4.v 10 0 0 1) ~save ~load ())
   in
-  let ip_srv =
-    Ip_srv.create machine ~proc:ip_proc ~registry ~save:save_ip ~load:load_ip ()
+  let ips =
+    Array.init r (fun k ->
+        let save, load = view (ip_name k) in
+        Ip_srv.create ip_comps.(k) ~registry ~save ~load ())
   in
   let pf_srv =
-    match pf_proc with
-    | Some proc ->
+    match pf_comp with
+    | Some comp ->
         let save, load = view "pf" in
-        Some (Pf_srv.create machine ~proc ~save ~load ())
+        Some (Pf_srv.create comp ~save ~load ())
     | None -> None
   in
-  let drv = Mq_drv_srv.create machine ~proc:drv_proc ~nic () in
-  (* Channels (Figure 3, replicated per shard), published under
-     meaningful keys. *)
+  let drv = Mq_drv_srv.create drv_comp ~nic () in
+  (* Channels (Figure 3, replicated per shard and per IP replica).
+     [Component.export] publishes each one under its key in the
+     directory and re-publishes it when the consuming component is
+     reincarnated — the export belongs to the consumer. *)
   let chan_ids = ref 0 in
   let chan () =
     incr chan_ids;
     Sim_chan.create ~capacity:8192 ~id:!chan_ids ()
   in
-  let publish key c =
-    Pubsub.publish directory ~key ~creator:0 ~chan_id:(Sim_chan.id c);
+  let export comp key c =
+    Component.export comp ~key c;
     c
-  in
-  let republish key c =
-    Pubsub.publish directory ~key ~creator:0 ~chan_id:(Sim_chan.id c)
   in
   (* The shared steering function, with IP's half of the affinity
      journal wrapped around it. *)
@@ -261,53 +290,75 @@ let create ?(config = default_config) () =
   let udp_steer ~src ~sport ~dst ~dport =
     Shard_map.shard_of sm ~src ~sport ~dst ~dport mod nu
   in
-  (* IP <-> PF: one filter shared by all shards, fed by the union of
-     their connection tables. *)
-  let pf_wiring =
-    match (pf_srv, config.pf_rules) with
-    | Some pf, Some rules ->
-        let ch_ip_to_pf = publish "ip.to_pf" (chan ())
-        and ch_pf_to_ip = publish "pf.to_ip" (chan ()) in
-        Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
-        Pf_srv.connect_ip pf ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
-        Pf_srv.set_rules pf rules;
-        Pf_srv.set_conntrack_sources pf
-          ~tcp:(fun () ->
-            Array.to_list tcps |> List.concat_map Tcp_srv.conntrack_flows)
-          ~udp:(fun () ->
-            Array.to_list udps |> List.concat_map Udp_srv.conntrack_flows);
-        Some (pf, ch_ip_to_pf, ch_pf_to_ip)
-    | _ -> None
-  in
-  (* IP <-> transport shards. *)
+  (* IP <-> PF: one filter shared by all replicas and shards; each
+     replica gets its own request channel so the filter replies to
+     whoever asked, and conntrack recovery reads the union of the
+     shards' connection tables. *)
+  (match (pf_srv, pf_comp, config.pf_rules) with
+  | Some pf, Some pfc, Some rules ->
+      Array.iteri
+        (fun k ip ->
+          let to_pf = export pfc (Printf.sprintf "%s.to_pf" (ip_name k)) (chan ())
+          and from_pf =
+            export ip_comps.(k) (Printf.sprintf "pf.to_%s" (ip_name k)) (chan ())
+          in
+          Ip_srv.connect_pf ip ~to_pf ~from_pf;
+          Pf_srv.connect_ip pf ~from_ip:to_pf ~to_ip:from_pf)
+        ips;
+      Pf_srv.set_rules pf rules;
+      Pf_srv.set_conntrack_sources pf
+        ~tcp:(fun () ->
+          Array.to_list tcps |> List.concat_map Tcp_srv.conntrack_flows)
+        ~udp:(fun () ->
+          Array.to_list udps |> List.concat_map Udp_srv.conntrack_flows)
+  | _ -> ());
+  (* IP <-> transport shards. TCP shard [i]'s requests are served by
+     replica [i mod r]; every replica keeps the complete fan-out array
+     so a received frame can steer to any shard. *)
   let tcp_to_ip =
-    Array.init n (fun i -> publish (Printf.sprintf "tcp%d.to_ip" i) (chan ()))
+    Array.init n (fun i ->
+        export ip_comps.(i mod r) (Printf.sprintf "tcp%d.to_ip" i) (chan ()))
   in
   let ip_to_tcp =
-    Array.init n (fun i -> publish (Printf.sprintf "ip.to_tcp%d" i) (chan ()))
+    Array.init n (fun i ->
+        export tcp_comps.(i) (Printf.sprintf "ip.to_tcp%d" i) (chan ()))
   in
-  Ip_srv.connect_transport_sharded ip_srv ~proto:`Tcp ~steer:tcp_steer
-    ~pairs:(Array.init n (fun i -> (tcp_to_ip.(i), ip_to_tcp.(i))));
+  Array.iteri
+    (fun k ip ->
+      Ip_srv.connect_transport_sharded
+        ~mine:(fun i -> i mod r = k)
+        ip ~proto:`Tcp ~steer:tcp_steer
+        ~pairs:(Array.init n (fun i -> (tcp_to_ip.(i), ip_to_tcp.(i)))))
+    ips;
   Array.iteri
     (fun i srv -> Tcp_srv.connect_ip srv ~to_ip:tcp_to_ip.(i) ~from_ip:ip_to_tcp.(i))
     tcps;
   let udp_to_ip =
-    Array.init nu (fun i -> publish (Printf.sprintf "udp%d.to_ip" i) (chan ()))
+    Array.init nu (fun i ->
+        export ip_comps.(i mod r) (Printf.sprintf "udp%d.to_ip" i) (chan ()))
   in
   let ip_to_udp =
-    Array.init nu (fun i -> publish (Printf.sprintf "ip.to_udp%d" i) (chan ()))
+    Array.init nu (fun i ->
+        export udp_comps.(i) (Printf.sprintf "ip.to_udp%d" i) (chan ()))
   in
-  Ip_srv.connect_transport_sharded ip_srv ~proto:`Udp ~steer:udp_steer
-    ~pairs:(Array.init nu (fun i -> (udp_to_ip.(i), ip_to_udp.(i))));
+  Array.iteri
+    (fun k ip ->
+      Ip_srv.connect_transport_sharded
+        ~mine:(fun i -> i mod r = k)
+        ip ~proto:`Udp ~steer:udp_steer
+        ~pairs:(Array.init nu (fun i -> (udp_to_ip.(i), ip_to_udp.(i)))))
+    ips;
   Array.iteri
     (fun i srv -> Udp_srv.connect_ip srv ~to_ip:udp_to_ip.(i) ~from_ip:ip_to_udp.(i))
     udps;
   (* SYSCALL <-> transport shards. *)
   let sc_to_tcp =
-    Array.init n (fun i -> publish (Printf.sprintf "sc.to_tcp%d" i) (chan ()))
+    Array.init n (fun i ->
+        export tcp_comps.(i) (Printf.sprintf "sc.to_tcp%d" i) (chan ()))
   in
   let tcp_to_sc =
-    Array.init n (fun i -> publish (Printf.sprintf "tcp%d.to_sc" i) (chan ()))
+    Array.init n (fun i ->
+        export sc_comp (Printf.sprintf "tcp%d.to_sc" i) (chan ()))
   in
   Syscall_srv.connect_transport_sharded sc_srv ~transport:`Tcp
     ~pairs:(Array.init n (fun i -> (sc_to_tcp.(i), tcp_to_sc.(i))));
@@ -315,10 +366,12 @@ let create ?(config = default_config) () =
     (fun i srv -> Tcp_srv.connect_sc srv ~from_sc:sc_to_tcp.(i) ~to_sc:tcp_to_sc.(i))
     tcps;
   let sc_to_udp =
-    Array.init nu (fun i -> publish (Printf.sprintf "sc.to_udp%d" i) (chan ()))
+    Array.init nu (fun i ->
+        export udp_comps.(i) (Printf.sprintf "sc.to_udp%d" i) (chan ()))
   in
   let udp_to_sc =
-    Array.init nu (fun i -> publish (Printf.sprintf "udp%d.to_sc" i) (chan ()))
+    Array.init nu (fun i ->
+        export sc_comp (Printf.sprintf "udp%d.to_sc" i) (chan ()))
   in
   Syscall_srv.connect_transport_sharded sc_srv ~transport:`Udp
     ~pairs:(Array.init nu (fun i -> (sc_to_udp.(i), udp_to_sc.(i))));
@@ -346,110 +399,169 @@ let create ?(config = default_config) () =
       Tcp_srv.set_port_select srv (fun ~src ~dst ~dst_port ->
           Shard_map.port_for_shard sm ~shard:i ~src ~dst ~dst_port))
     tcps;
-  (* The interface: one MQ driver serving all queues. *)
-  let ch_ip_to_drv = publish "ip.to_mqdrv" (chan ())
-  and ch_drv_to_ip = publish "mqdrv.to_ip" (chan ()) in
-  let hooks =
-    {
-      Ip_srv.drv_connect =
-        (fun ~rx_from_ip ~tx_to_ip -> Mq_drv_srv.connect_ip drv ~rx_from_ip ~tx_to_ip);
-      drv_grant_rx_pool =
-        (fun ~alloc ~write -> Mq_drv_srv.grant_rx_pool drv ~alloc ~write);
-      drv_on_ip_crash = (fun () -> Mq_drv_srv.on_ip_crash drv);
-      drv_on_ip_restart = (fun () -> Mq_drv_srv.on_ip_restart drv);
-    }
+  (* The interface: one MQ driver serving all queues, fanning RX
+     completions out to the replica that owns each queue (queue [q]
+     belongs to replica [q mod r]). With a single instance the whole
+     device belongs to it, and a crash resets the device as before;
+     with replicas a crash fences only the dead replica's queues. *)
+  let hooks_for k =
+    if r = 1 then
+      {
+        Ip_srv.drv_connect =
+          (fun ~rx_from_ip ~tx_to_ip ->
+            Mq_drv_srv.connect_ip drv ~rx_from_ip ~tx_to_ip);
+        drv_grant_rx_pool =
+          (fun ~alloc ~write -> Mq_drv_srv.grant_rx_pool drv ~alloc ~write);
+        drv_on_ip_crash = (fun () -> Mq_drv_srv.on_ip_crash drv);
+        drv_on_ip_restart = (fun () -> Mq_drv_srv.on_ip_restart drv);
+      }
+    else
+      {
+        Ip_srv.drv_connect =
+          (fun ~rx_from_ip ~tx_to_ip ->
+            Mq_drv_srv.connect_ip_replica drv ~replica:k ~rx_from_ip ~tx_to_ip);
+        drv_grant_rx_pool =
+          (fun ~alloc ~write ->
+            Mq_drv_srv.grant_rx_pool_replica drv ~replica:k ~alloc ~write);
+        drv_on_ip_crash = (fun () -> Mq_drv_srv.on_ip_replica_crash drv ~replica:k);
+        drv_on_ip_restart =
+          (fun () -> Mq_drv_srv.on_ip_replica_restart drv ~replica:k);
+      }
   in
-  let iface =
-    Ip_srv.add_iface_custom ip_srv
-      { Ip_srv.addr = Addr.Ipv4.v 10 0 0 1; netmask_bits = 24; mac = Mq.mac nic }
-      ~hooks ~tx_chan:ch_ip_to_drv ~rx_chan:ch_drv_to_ip
+  if r > 1 then Mq_drv_srv.set_replicas drv r;
+  let ifaces =
+    Array.init r (fun k ->
+        let tx_chan =
+          export drv_comp (Printf.sprintf "%s.to_mqdrv" (ip_name k)) (chan ())
+        and rx_chan =
+          export ip_comps.(k) (Printf.sprintf "mqdrv.to_%s" (ip_name k)) (chan ())
+        in
+        let iface =
+          Ip_srv.add_iface_custom ips.(k)
+            { Ip_srv.addr = Addr.Ipv4.v 10 0 0 1; netmask_bits = 24; mac = Mq.mac nic }
+            ~hooks:(hooks_for k) ~tx_chan ~rx_chan
+        in
+        (* Self-originated frames (ARP, ICMP) go out on one of this
+           replica's own queues, so the TX confirm returns here. *)
+        Ip_srv.set_local_queue ips.(k) k;
+        Ip_srv.add_route ips.(k) ~prefix:(Addr.Ipv4.v 10 0 0 0) ~bits:24 ~iface
+          ~gateway:None;
+        Ip_srv.add_neighbor ips.(k) ~iface (Addr.Ipv4.v 10 0 0 2)
+          (Addr.Mac.of_index 200);
+        iface)
   in
-  Ip_srv.add_route ip_srv ~prefix:(Addr.Ipv4.v 10 0 0 0) ~bits:24 ~iface
-    ~gateway:None;
-  Ip_srv.add_neighbor ip_srv ~iface (Addr.Ipv4.v 10 0 0 2) (Addr.Mac.of_index 200);
-  (* Crash and restart procedures. *)
-  Array.iteri
-    (fun i srv ->
-      Proc.set_on_crash tcp_procs.(i) (fun () -> Tcp_srv.crash_cleanup srv);
-      Proc.set_on_restart tcp_procs.(i) (fun ~fresh:_ ->
-          Tcp_srv.restart srv;
-          republish (Printf.sprintf "sc.to_tcp%d" i) sc_to_tcp.(i);
-          republish (Printf.sprintf "ip.to_tcp%d" i) ip_to_tcp.(i)))
-    tcps;
-  Array.iteri
-    (fun i srv ->
-      Proc.set_on_crash udp_procs.(i) (fun () -> Udp_srv.crash_cleanup srv);
-      Proc.set_on_restart udp_procs.(i) (fun ~fresh:_ ->
-          Udp_srv.restart srv;
-          republish (Printf.sprintf "sc.to_udp%d" i) sc_to_udp.(i);
-          republish (Printf.sprintf "ip.to_udp%d" i) ip_to_udp.(i)))
-    udps;
-  Proc.set_on_crash ip_proc (fun () -> Ip_srv.crash_cleanup ip_srv);
-  Proc.set_on_restart ip_proc (fun ~fresh:_ ->
-      Ip_srv.restart ip_srv;
-      Array.iteri
-        (fun i c -> republish (Printf.sprintf "tcp%d.to_ip" i) c)
-        tcp_to_ip;
-      Array.iteri
-        (fun i c -> republish (Printf.sprintf "udp%d.to_ip" i) c)
-        udp_to_ip;
-      match pf_wiring with
-      | Some (_, _, ch_pf_to_ip) -> republish "pf.to_ip" ch_pf_to_ip
-      | None -> ());
-  (match (pf_wiring, pf_proc) with
-  | Some (pf, ch_ip_to_pf, _), Some proc ->
-      Proc.set_on_crash proc (fun () -> Pf_srv.crash_cleanup pf);
-      Proc.set_on_restart proc (fun ~fresh:_ ->
-          Pf_srv.restart pf;
-          republish "ip.to_pf" ch_ip_to_pf)
-  | _ -> ());
-  Proc.set_on_crash drv_proc (fun () -> Mq_drv_srv.crash_cleanup drv);
-  Proc.set_on_restart drv_proc (fun ~fresh:_ ->
-      Mq_drv_srv.restart drv;
-      republish "ip.to_mqdrv" ch_ip_to_drv);
-  (* Supervision: each shard recovers independently; a crash reclaims
-     only that shard's receive buffers, and only that shard's pending
-     syscalls are re-issued. *)
+  (* ARP learn-broadcast (replicated IP only): whichever replica's
+     queue a reply or request lands on announces the binding in the
+     channel directory; every replica — including a later restarted
+     incarnation, via replay — folds it into its own cache. Inserting
+     a learned binding never re-announces, so there is no loop. *)
+  let learn k = function
+    | `Published { Pubsub.key; creator = _; chan_id } -> (
+        try
+          Scanf.sscanf key "arp.%d.%s" (fun ifc ip_s ->
+              match Addr.Ipv4.of_string ip_s with
+              | Some addr ->
+                  Ip_srv.add_neighbor ips.(k) ~iface:ifc addr (mac_of_int chan_id)
+              | None -> ())
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+    | `Gone -> ()
+  in
+  if r > 1 then begin
+    (* The statically configured peer is announced too, so replay after
+       a restart re-seeds it without waiting for a resolution. *)
+    Pubsub.publish directory
+      ~key:(arp_key ~iface:0 (Addr.Ipv4.v 10 0 0 2))
+      ~creator:(-1)
+      ~chan_id:(mac_to_int (Addr.Mac.of_index 200));
+    Array.iteri
+      (fun k ip ->
+        Ip_srv.set_arp_announce ip (fun ~iface addr mac ->
+            Pubsub.publish directory ~key:(arp_key ~iface addr) ~creator:k
+              ~chan_id:(mac_to_int mac));
+        Pubsub.subscribe_prefix directory ~prefix:"arp." (learn k);
+        (* A reincarnated replica comes up with a flushed cache; the
+           directory still holds everything the group has learned. *)
+        Component.on_restart ip_comps.(k) (fun ~fresh:_ ->
+            Pubsub.replay_prefix directory ~prefix:"arp." (learn k)))
+      ips
+  end;
+  (* A transport shard frees its receive buffers to the fixed replica
+     that serves its requests, but the frame arrived via whichever
+     replica owns the flow's queue — hand such buffers back to the
+     pool's owner. *)
+  let return_buf buf =
+    let pool = buf.Rich_ptr.pool in
+    Array.iter
+      (fun ip -> if Ip_srv.rx_pool_id ip = pool then Ip_srv.release_held ip buf)
+      ips
+  in
+  Array.iter (fun ip -> Ip_srv.set_buf_return ip return_buf) ips;
+  (* Supervision: each shard and each IP replica recovers
+     independently. A shard crash reclaims only that shard's receive
+     buffers (held by the replica that owns its queue for TCP, by any
+     replica for UDP); an IP replica crash aborts only the in-flight
+     requests of the shards it serves. *)
   let rs =
     Reincarnation.create machine ~heartbeat_period:config.heartbeat_period
       ~restart_delay:config.restart_delay ()
   in
   Array.iteri
-    (fun i proc ->
-      Reincarnation.watch rs proc
+    (fun i comp ->
+      Reincarnation.watch rs comp
         ~notify_crash:
-          [ (fun () -> Ip_srv.on_transport_shard_crash ip_srv ~proto:`Tcp ~shard:i) ]
+          [
+            (fun () ->
+              Ip_srv.on_transport_shard_crash ips.(i mod r) ~proto:`Tcp ~shard:i);
+          ]
         ~notify_restart:
           [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Tcp) ]
         ())
-    tcp_procs;
+    tcp_comps;
   Array.iteri
-    (fun i proc ->
-      Reincarnation.watch rs proc
+    (fun i comp ->
+      Reincarnation.watch rs comp
         ~notify_crash:
-          [ (fun () -> Ip_srv.on_transport_shard_crash ip_srv ~proto:`Udp ~shard:i) ]
+          (Array.to_list
+             (Array.map
+                (fun ip () -> Ip_srv.on_transport_shard_crash ip ~proto:`Udp ~shard:i)
+                ips))
         ~notify_restart:
           [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Udp) ]
         ())
-    udp_procs;
-  Reincarnation.watch rs ip_proc
-    ~notify_crash:
-      (Array.to_list (Array.map (fun srv () -> Tcp_srv.on_ip_crash srv) tcps)
-      @ Array.to_list (Array.map (fun srv () -> Udp_srv.on_ip_crash srv) udps))
-    ~notify_restart:
-      (Array.to_list (Array.map (fun srv () -> Tcp_srv.on_ip_restart srv) tcps)
-      @ Array.to_list (Array.map (fun srv () -> Udp_srv.on_ip_restart srv) udps))
-    ();
-  (match (pf_srv, pf_proc) with
-  | Some _, Some proc ->
-      Reincarnation.watch rs proc
-        ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ip_srv) ]
-        ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ip_srv) ]
+    udp_comps;
+  Array.iteri
+    (fun k comp ->
+      (* Only the shards this replica serves lose their channel. *)
+      let my_tcps =
+        List.filteri (fun i _ -> i mod r = k) (Array.to_list tcps)
+      and my_udps =
+        List.filteri (fun i _ -> i mod r = k) (Array.to_list udps)
+      in
+      Reincarnation.watch rs comp
+        ~notify_crash:
+          (List.map (fun srv () -> Tcp_srv.on_ip_crash srv) my_tcps
+          @ List.map (fun srv () -> Udp_srv.on_ip_crash srv) my_udps)
+        ~notify_restart:
+          (List.map (fun srv () -> Tcp_srv.on_ip_restart srv) my_tcps
+          @ List.map (fun srv () -> Udp_srv.on_ip_restart srv) my_udps)
+        ())
+    ip_comps;
+  (match (pf_srv, pf_comp) with
+  | Some _, Some comp ->
+      Reincarnation.watch rs comp
+        ~notify_crash:
+          (Array.to_list (Array.map (fun ip () -> Ip_srv.on_pf_crash ip) ips))
+        ~notify_restart:
+          (Array.to_list (Array.map (fun ip () -> Ip_srv.on_pf_restart ip) ips))
         ()
   | _ -> ());
-  Reincarnation.watch rs drv_proc
-    ~notify_crash:[ (fun () -> Ip_srv.on_drv_crash ip_srv ~iface) ]
-    ~notify_restart:[ (fun () -> Ip_srv.on_drv_restart ip_srv ~iface) ]
+  Reincarnation.watch rs drv_comp
+    ~notify_crash:
+      (Array.to_list
+         (Array.mapi (fun k ip () -> Ip_srv.on_drv_crash ip ~iface:ifaces.(k)) ips))
+    ~notify_restart:
+      (Array.to_list
+         (Array.mapi (fun k ip () -> Ip_srv.on_drv_restart ip ~iface:ifaces.(k)) ips))
     ();
   Reincarnation.start rs;
   {
@@ -465,14 +577,15 @@ let create ?(config = default_config) () =
     sc = sc_srv;
     tcps;
     udps;
-    ip = ip_srv;
+    ips;
     pf = pf_srv;
     drv;
     nic;
     link;
     sink;
-    tcp_procs;
-    udp_procs;
+    tcp_comps;
+    udp_comps;
+    ip_comps;
     ip_to_tcp;
     steer_journal;
     ip_violations;

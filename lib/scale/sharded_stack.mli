@@ -15,13 +15,27 @@
     killing one ({!kill_shard}) loses only that shard's connections;
     the other shards' flows keep running without losing a segment,
     because IP reclaims only the dead shard's receive buffers and the
-    device is never reset (only an IP crash forces that, Section V-D). *)
+    device is never reset (only an IP crash forces that, Section V-D).
+
+    The IP server itself can be replicated too ([ip_replicas]): each of
+    the [r] instances is an ordinary {!Newt_stack.Component} server on
+    its own core with its own receive pool and ARP cache, owning the
+    NIC queues [q] with [q mod r = k] and serving the transport shards
+    [i] with [i mod r = k]. ARP bindings learned from the wire are
+    broadcast through the channel directory so all caches converge, and
+    killing one replica ({!kill_ip_replica}) fences off and loses only
+    its own queues' in-flight datagrams — the driver never bounces the
+    link, and the other replicas' shards never notice. *)
 
 type config = {
   seed : int;
   costs : Newt_hw.Costs.t;
   shards : int;  (** TCP server replicas. *)
   udp_shards : int;
+  ip_replicas : int;
+      (** IP server instances; must satisfy
+          [1 <= ip_replicas <= shards]. 1 reproduces the single-IP
+          stack exactly (whole-device reset on crash). *)
   link_gbps : float;
       (** The wire must outrun N shards — default 40 (a 40GbE port). *)
   pf_rules : Newt_pf.Rule.t list option;
@@ -35,7 +49,8 @@ type config = {
 }
 
 val default_config : config
-(** 4 TCP shards, 1 UDP shard, 40 Gbps, no filter, seed 42. *)
+(** 4 TCP shards, 1 UDP shard, 1 IP instance, 40 Gbps, no filter,
+    seed 42. *)
 
 type t
 
@@ -48,6 +63,15 @@ val sc : t -> Newt_stack.Syscall_srv.t
 val tcp_shard : t -> int -> Newt_stack.Tcp_srv.t
 val udp_shard : t -> int -> Newt_stack.Udp_srv.t
 val ip_srv : t -> Newt_stack.Ip_srv.t
+(** Replica 0 (the only one when [ip_replicas = 1]). *)
+
+val ip_replica : t -> int -> Newt_stack.Ip_srv.t
+val ip_replica_count : t -> int
+
+val directory : t -> Newt_channels.Pubsub.t
+(** The channel directory, which also carries the ARP learn-broadcast
+    publications (keys under ["arp."]). *)
+
 val nic : t -> Newt_nic.Mq_e1000.t
 val link : t -> Newt_nic.Link.t
 val sink : t -> Newt_stack.Sink.t
@@ -69,6 +93,14 @@ val kill_shard : t -> int -> unit
 (** Crash TCP shard [i]; the reincarnation server recovers it. *)
 
 val shard_restarts : t -> int -> int
+
+val kill_ip_replica : t -> int -> unit
+(** Crash IP replica [k]. Its queues are fenced off (their in-flight
+    datagrams are the only losses), its shards' requests abort, and the
+    reincarnation server brings it back — reprogramming only its own
+    queues, without a link bounce. *)
+
+val ip_replica_restarts : t -> int -> int
 
 (** {1 Instrumentation} *)
 

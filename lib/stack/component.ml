@@ -1,0 +1,119 @@
+module Time = Newt_sim.Time
+module Stats = Newt_sim.Stats
+module Trace = Newt_sim.Trace
+module Cpu = Newt_hw.Cpu
+module Machine = Newt_hw.Machine
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Pubsub = Newt_channels.Pubsub
+module Request_db = Newt_channels.Request_db
+
+module Defaults = struct
+  let heartbeat_period = Time.of_seconds 0.1
+  let restart_delay = Time.of_seconds 0.12
+end
+
+type t = {
+  machine : Machine.t;
+  proc : Proc.t;
+  directory : Pubsub.t option;
+  mutable rx : Msg.t Sim_chan.t list; (* registration order *)
+  mutable exports : (string * Msg.t Sim_chan.t) list;
+  mutable pools : Pool.t list;
+  mutable db_resets : (unit -> unit) list;
+  mutable crash_hooks : (unit -> unit) list;
+  mutable restart_hooks : (fresh:bool -> unit) list;
+  archive : (string, int) Hashtbl.t;
+}
+
+let publish_export t (key, chan) =
+  match t.directory with
+  | Some dir ->
+      Pubsub.publish dir ~key ~creator:(Proc.pid t.proc)
+        ~chan_id:(Sim_chan.id chan)
+  | None -> ()
+
+(* The generic death: server-specific resets first (they may still bank
+   counters into the archive), then the recoverable-resource teardown. *)
+let generic_crash t () =
+  List.iter (fun f -> f ()) t.crash_hooks;
+  List.iter (fun reset -> reset ()) t.db_resets;
+  List.iter Pool.free_all t.pools;
+  List.iter Sim_chan.tear_down t.rx
+
+let generic_restart t ~fresh =
+  List.iter Sim_chan.revive t.rx;
+  List.iter (fun f -> f ~fresh) t.restart_hooks;
+  List.iter (publish_export t) t.exports
+
+let create machine ~name ~core ?directory ?trace () =
+  let proc = Proc.create machine ~name ~core ?trace () in
+  let t =
+    {
+      machine;
+      proc;
+      directory;
+      rx = [];
+      exports = [];
+      pools = [];
+      db_resets = [];
+      crash_hooks = [];
+      restart_hooks = [];
+      archive = Hashtbl.create 16;
+    }
+  in
+  Proc.set_on_crash proc (generic_crash t);
+  Proc.set_on_restart proc (generic_restart t);
+  t
+
+let machine t = t.machine
+let proc t = t.proc
+let name t = Proc.name t.proc
+let pid t = Proc.pid t.proc
+let core t = Proc.core t.proc
+let stats t = Proc.stats t.proc
+let directory t = t.directory
+let alive t = Proc.alive t.proc
+let responsive t = Proc.responsive t.proc
+let incarnation t = Proc.incarnation t.proc
+
+let consume t chan handler =
+  t.rx <- t.rx @ [ chan ];
+  Proc.add_rx t.proc chan handler
+
+let export t ~key chan =
+  t.exports <- t.exports @ [ (key, chan) ];
+  publish_export t (key, chan)
+
+let register_pool t pool = t.pools <- t.pools @ [ pool ]
+let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
+let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
+let crash t = Proc.crash t.proc
+let hang t = Proc.hang t.proc
+let restart t = Proc.restart t.proc
+
+module Db = struct
+  type 'a t = { mutable db : 'a Request_db.t }
+
+  let submit t ~peer ~payload ~abort = Request_db.submit t.db ~peer ~payload ~abort
+  let complete t id = Request_db.complete t.db id
+  let peek t id = Request_db.peek t.db id
+  let abort_peer t ~peer = Request_db.abort_peer t.db ~peer
+  let outstanding t = Request_db.outstanding t.db
+  let outstanding_to t ~peer = Request_db.outstanding_to t.db ~peer
+  let iter t f = Request_db.iter t.db f
+end
+
+let create_db t =
+  let db = { Db.db = Request_db.create () } in
+  t.db_resets <- t.db_resets @ [ (fun () -> db.Db.db <- Request_db.create ()) ];
+  db
+
+let archive_add t key n =
+  let prev = match Hashtbl.find_opt t.archive key with Some v -> v | None -> 0 in
+  Hashtbl.replace t.archive key (prev + n)
+
+let archived t key =
+  match Hashtbl.find_opt t.archive key with Some v -> v | None -> 0
+
+let lifetime t key = archived t key + Stats.get (Proc.stats t.proc) key

@@ -1,0 +1,151 @@
+(** The generic component-server core.
+
+    Every server in the split stack (driver, IP, packet filter, TCP,
+    UDP, SYSCALL) is the same machine wearing different clothes: a
+    single-threaded process pinned to a core, draining bounded
+    non-blocking channels, keeping a request database whose entries can
+    be aborted when a peer dies, and able to crash and come back with
+    only its recoverable state.  A [Component.t] owns all of that
+    machinery once; a server module reduces to a message handler plus a
+    (de)serializer for whatever state it wants to survive a restart.
+
+    Lifecycle, installed once at [create]:
+
+    - on crash: custom crash hooks (registration order, so the server's
+      own state reset runs before any supervisor-added notification),
+      then every registered request DB is emptied, every registered
+      buffer pool is freed wholesale, and every consumed channel is
+      torn down so senders see the death immediately.
+    - on restart: consumed channels are revived, custom restart hooks
+      run (server first, supervisor additions after), and every
+      exported channel key is republished to the directory so peers
+      re-resolve.
+
+    The component also keeps a per-incarnation counter archive: crash
+    hooks may bank counters from state that dies with the incarnation
+    (e.g. a TCP engine's segment counts) with [archive_add], and
+    readers use [archived]/[lifetime] to see totals that neither
+    double-count nor vanish across restarts. *)
+
+module Time = Newt_sim.Time
+module Stats = Newt_sim.Stats
+module Trace = Newt_sim.Trace
+module Cpu = Newt_hw.Cpu
+module Machine = Newt_hw.Machine
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Pubsub = Newt_channels.Pubsub
+
+module Defaults : sig
+  (** One source of truth for the paper's reincarnation figures
+      (Section IV-D): servers answer heartbeats every 100 ms and a
+      crashed server is restarted 120 ms after detection. *)
+
+  val heartbeat_period : Time.cycles
+  val restart_delay : Time.cycles
+end
+
+type t
+
+val create :
+  Machine.t ->
+  name:string ->
+  core:Cpu.t ->
+  ?directory:Pubsub.t ->
+  ?trace:Trace.t ->
+  unit ->
+  t
+(** Create the component's process on [core] and install the generic
+    crash/restart lifecycle. The component owns the process's
+    [on_crash]/[on_restart] slots; supervisors add behavior with
+    [on_crash]/[on_restart] below instead of touching the process. *)
+
+(** {1 Identity} *)
+
+val machine : t -> Machine.t
+val proc : t -> Proc.t
+val name : t -> string
+val pid : t -> int
+val core : t -> Cpu.t
+val stats : t -> Stats.t
+val directory : t -> Pubsub.t option
+
+(** {1 Heartbeat surface}
+
+    The reincarnation server's health probe: a component is [alive]
+    until it crashes and [responsive] while it would answer a heartbeat
+    within the round (alive and not hung). *)
+
+val alive : t -> bool
+val responsive : t -> bool
+val incarnation : t -> int
+
+(** {1 Channel registry} *)
+
+val consume : t -> Msg.t Sim_chan.t -> Proc.handler -> unit
+(** Register an inbound channel: the process drains it, and the
+    lifecycle tears it down on crash / revives it on restart. *)
+
+val export : t -> key:string -> Msg.t Sim_chan.t -> unit
+(** Register an outbound channel under a directory [key]: published
+    immediately (when a directory was given) and republished after
+    every restart so peers can re-resolve the channel. *)
+
+(** {1 Recoverable resources} *)
+
+val register_pool : t -> Pool.t -> unit
+(** Freed wholesale when the component crashes: zero-copy buffers are
+    part of the incarnation, never of the recoverable state. *)
+
+val on_crash : t -> (unit -> unit) -> unit
+(** Append a custom crash hook; hooks run in registration order before
+    the generic teardown (DBs, pools, channels). *)
+
+val on_restart : t -> (fresh:bool -> unit) -> unit
+(** Append a custom restart hook; hooks run after consumed channels
+    are revived and before exports are republished. *)
+
+(** {1 Fault injection / recovery} *)
+
+val crash : t -> unit
+val hang : t -> unit
+val restart : t -> unit
+
+(** {1 Request database}
+
+    A request DB owned by a component is recreated empty when the
+    component crashes — outstanding requests die with the incarnation;
+    recovery re-issues them from the peers' side. *)
+
+module Db : sig
+  type 'a t
+
+  val submit :
+    'a t -> peer:int -> payload:'a -> abort:'a Newt_channels.Request_db.abort -> int
+
+  val complete : 'a t -> int -> 'a option
+  val peek : 'a t -> int -> 'a option
+
+  val abort_peer : 'a t -> peer:int -> int
+  (** Run the abort action of (and drop) every request submitted
+      against [peer]; returns how many were aborted. *)
+
+  val outstanding : 'a t -> int
+  val outstanding_to : 'a t -> peer:int -> int
+  val iter : 'a t -> (int -> peer:int -> 'a -> unit) -> unit
+end
+
+val create_db : t -> 'a Db.t
+
+(** {1 Per-incarnation counter archive} *)
+
+val archive_add : t -> string -> int -> unit
+(** Bank [n] into the archive under [key]; meant for crash hooks that
+    save counters from state dying with the incarnation. *)
+
+val archived : t -> string -> int
+(** Total banked across all dead incarnations. *)
+
+val lifetime : t -> string -> int
+(** [archived t key] plus the live counter of the same name in
+    [stats t]: a total that survives restarts without double-counting. *)

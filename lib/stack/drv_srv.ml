@@ -5,21 +5,21 @@ module Sim_chan = Newt_channels.Sim_chan
 module Rich_ptr = Newt_channels.Rich_ptr
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   nic : E1000.t;
   mutable tx_to_ip : Msg.t Sim_chan.t option;
   mutable rx_alloc : (unit -> Rich_ptr.t option) option;
   mutable rx_write : (Rich_ptr.t -> Bytes.t -> unit) option;
-  mutable consumed : Msg.t Sim_chan.t list;
   mutable tx_accepted : int;
 }
 
+let comp t = t.comp
 let proc t = t.proc
 let nic t = t.nic
 let tx_accepted t = t.tx_accepted
 
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
 
 (* Keep the RX ring full: hand every buffer we can allocate to the
    device. *)
@@ -111,27 +111,27 @@ let handle_msg t msg =
          sense ... and ignore invalid ones"). *)
       (0, fun () -> Newt_sim.Stats.incr (Proc.stats t.proc) "invalid_msg")
 
-let create machine ~proc ~nic () =
+let create comp ~nic () =
   let t =
     {
-      machine;
-      proc;
+      comp;
+      proc = Component.proc comp;
       nic;
       tx_to_ip = None;
       rx_alloc = None;
       rx_write = None;
-      consumed = [];
       tx_accepted = 0;
     }
   in
   E1000.set_irq_handler nic (fun reason -> handle_irq t reason);
+  (* Fresh start after a crash: the device must be reset — "manually
+     restarting the driver ... reset the device" (Section VI-B). *)
+  Component.on_restart comp (fun ~fresh:_ -> E1000.reset t.nic);
   t
 
 let connect_ip t ~rx_from_ip ~tx_to_ip =
   t.tx_to_ip <- Some tx_to_ip;
-  if not (List.memq rx_from_ip t.consumed) then
-    t.consumed <- rx_from_ip :: t.consumed;
-  Proc.add_rx t.proc rx_from_ip (handle_msg t)
+  Component.consume t.comp rx_from_ip (handle_msg t)
 
 let grant_rx_pool t ~alloc ~write =
   t.rx_alloc <- Some alloc;
@@ -150,10 +150,4 @@ let on_ip_restart t =
   (* The Intel adapters have no knob to invalidate their shadow RX/TX
      descriptor copies, so the device must be reset — this is what
      causes the visible gap of Figure 4. *)
-  E1000.reset t.nic
-
-let crash_cleanup t = List.iter Sim_chan.tear_down t.consumed
-
-let restart t =
-  List.iter Sim_chan.revive t.consumed;
   E1000.reset t.nic

@@ -4,7 +4,9 @@
     configuration of Section VI-A). The driver's work is deliberately
     tiny: "filling descriptors and updating tail pointers of the rings
     on the device, polling the device". It is stateless from the
-    recovery point of view (Table I: "No state, simple restart").
+    recovery point of view (Table I: "No state, simple restart"): its
+    whole lifecycle is the generic {!Component} one, plus a device
+    reset on restart.
 
     Interrupts reach the driver as kernel messages (Section V-B); here
     the device's irq handler schedules costed work on the driver's
@@ -19,13 +21,9 @@
 
 type t
 
-val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
-  nic:Newt_nic.E1000.t ->
-  unit ->
-  t
+val create : Component.t -> nic:Newt_nic.E1000.t -> unit -> t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 val nic : t -> Newt_nic.E1000.t
 
@@ -52,15 +50,6 @@ val on_ip_crash : t -> unit
 val on_ip_restart : t -> unit
 (** IP is back: reset the device (link bounce) and re-arm RX once the
     pool has been re-granted. *)
-
-val crash_cleanup : t -> unit
-(** The driver's own crash: its channels die. The device keeps running
-    (nobody services its interrupts) until the restart resets it. *)
-
-val restart : t -> unit
-(** Fresh start after a crash: revive the channels and reset the device
-    — "manually restarting the driver ... reset the device"
-    (Section VI-B). *)
 
 val tx_accepted : t -> int
 (** Frames accepted from IP over this driver's lifetime. *)

@@ -1,4 +1,3 @@
-module Engine = Newt_sim.Engine
 module Stats = Newt_sim.Stats
 module Machine = Newt_hw.Machine
 module Costs = Newt_hw.Costs
@@ -6,13 +5,11 @@ module Sim_chan = Newt_channels.Sim_chan
 module Pool = Newt_channels.Pool
 module Rich_ptr = Newt_channels.Rich_ptr
 module Registry = Newt_channels.Registry
-module Request_db = Newt_channels.Request_db
 module Addr = Newt_net.Addr
 module Ipv4 = Newt_net.Ipv4
 module Icmp = Newt_net.Icmp
 module Arp = Newt_net.Arp
 module Ethernet = Newt_net.Ethernet
-module Wire = Newt_net.Wire
 
 type iface_config = {
   addr : Addr.Ipv4.t;
@@ -73,7 +70,7 @@ type source =
   | Src_other
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   registry : Registry.t;
   save : string -> string -> unit;
@@ -81,28 +78,37 @@ type t = {
   mutable ifaces : iface list;  (* index = position *)
   rx_pool : Pool.t;
   hdr_pool : Pool.t;
-  mutable db : pending Request_db.t;
+  db : pending Component.Db.t;
   route_table : Ipv4.Route.table;
   mutable to_pf : Msg.t Sim_chan.t option;
   mutable pf_up : bool;
   mutable to_tcp : fanout option;
   mutable to_udp : fanout option;
-  mutable consumed : Msg.t Sim_chan.t list;  (* channels this server receives on *)
   held_bufs : (Rich_ptr.t, [ `Tcp | `Udp ] * int) Hashtbl.t;
   mutable resubmit_pf : pending list;
   mutable resubmit_drv : pending list;
   mutable ident : int;
   mutable packets_forwarded : int;
   mutable icmp_echoes : int;
+  (* Replication support: which TX queue Local-origin frames (ARP,
+     ICMP) leave on, a hook fired when an ARP mapping is learned from
+     the network, and a hand-off for buffers freed to us that belong to
+     a sibling replica's receive pool. *)
+  mutable local_queue : int;
+  mutable arp_announce :
+    (iface:int -> Addr.Ipv4.t -> Addr.Mac.t -> unit) option;
+  mutable buf_return : (Rich_ptr.t -> unit) option;
 }
 
 let pf_peer = 1
 let drv_peer iface = 10 + iface
 
+let comp t = t.comp
 let proc t = t.proc
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
 let routes t = Ipv4.Route.entries t.route_table
 let rx_pool_in_use t = Pool.in_use t.rx_pool
+let rx_pool_id t = Pool.id t.rx_pool
 let hdr_pool_in_use t = Pool.in_use t.hdr_pool
 let packets_forwarded t = t.packets_forwarded
 let icmp_echoes_answered t = t.icmp_echoes
@@ -137,9 +143,12 @@ let confirm_origin t origin ok =
   | From_udp { shard; id } -> send t.to_udp shard id
 
 (* The TX queue a packet should leave on: its origin shard, so the
-   device's TX completion stays on the queue the flow's RX side uses. *)
-let origin_queue = function
-  | Local -> 0
+   device's TX completion stays on the queue the flow's RX side uses.
+   Local-origin frames (ARP, ICMP) use [local_queue], which a
+   replicated deployment points at one of this replica's own queues so
+   the confirm comes back to the right instance. *)
+let origin_queue t = function
+  | Local -> t.local_queue
   | From_tcp { shard; _ } | From_udp { shard; _ } -> shard
 
 (* {2 Transmit path} *)
@@ -152,7 +161,7 @@ let transmit_frame t ~iface:i ~origin ~hdr ~chain ~tso =
   if not ifc.drv_up then t.resubmit_drv <- p :: t.resubmit_drv
   else begin
     let id =
-      Request_db.submit t.db ~peer:(drv_peer i) ~payload:p
+      Component.Db.submit t.db ~peer:(drv_peer i) ~payload:p
         ~abort:(fun _ pending -> t.resubmit_drv <- pending :: t.resubmit_drv)
     in
     t.packets_forwarded <- t.packets_forwarded + 1;
@@ -165,13 +174,13 @@ let transmit_frame t ~iface:i ~origin ~hdr ~chain ~tso =
              csum_offload = true;
              tso;
              tso_mss = 1460;
-             queue = origin_queue origin;
+             queue = origin_queue t origin;
            })
     in
     if not sent then begin
       (* Queue full: drop this packet (acceptable for a network stack,
          Section IV-A) and tell the origin it failed. *)
-      ignore (Request_db.complete t.db id);
+      ignore (Component.Db.complete t.db id);
       free_hdr t hdr;
       confirm_origin t origin false
     end
@@ -183,11 +192,11 @@ let to_filter_out t pending =
   match (t.to_pf, pending) with
   | Some chan, Pf_out { pkt; _ } when t.pf_up ->
       let id =
-        Request_db.submit t.db ~peer:pf_peer ~payload:pending
+        Component.Db.submit t.db ~peer:pf_peer ~payload:pending
           ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
       in
       if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `Out; pkt })) then begin
-        ignore (Request_db.complete t.db id);
+        ignore (Component.Db.complete t.db id);
         t.resubmit_pf <- pending :: t.resubmit_pf
       end
   | Some _, Pf_out _ ->
@@ -201,11 +210,11 @@ let to_filter_in t pending =
   match (t.to_pf, pending) with
   | Some chan, Pf_in { pkt; _ } when t.pf_up ->
       let id =
-        Request_db.submit t.db ~peer:pf_peer ~payload:pending
+        Component.Db.submit t.db ~peer:pf_peer ~payload:pending
           ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
       in
       if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `In; pkt })) then begin
-        ignore (Request_db.complete t.db id);
+        ignore (Component.Db.complete t.db id);
         t.resubmit_pf <- pending :: t.resubmit_pf
       end
   | Some _, Pf_in _ -> t.resubmit_pf <- pending :: t.resubmit_pf
@@ -410,6 +419,13 @@ let handle_rx_frame t ~iface:arrival ~buf ~len =
                     else None
                   in
                   ignore (Arp.Cache.input ifc.arp arp_pkt);
+                  (* A mapping learned from the wire is worth sharing:
+                     replicated IP servers broadcast it so the sibling
+                     caches converge without extra ARP traffic. *)
+                  (match t.arp_announce with
+                  | Some f ->
+                      f ~iface:arrival arp_pkt.Arp.sender_ip arp_pkt.Arp.sender_mac
+                  | None -> ());
                   (match cache_view with
                   | Some reply ->
                       let rb = Arp.encode reply in
@@ -443,12 +459,31 @@ let handle_rx_frame t ~iface:arrival ~buf ~len =
 (* {2 Message handlers} *)
 
 let complete_drv_confirm t id ok =
-  match Request_db.complete t.db id with
+  match Component.Db.complete t.db id with
   | Some (Drv { origin; hdr; _ }) ->
       free_hdr t hdr;
       confirm_origin t origin ok
   | Some (Pf_out _ | Pf_in _) | None ->
       Stats.incr (Proc.stats t.proc) "stale_confirm"
+
+(* Release the whole receive-pool frame backing [buf] (a sub-pointer a
+   transport was handed and is now done with). *)
+let release_held t buf =
+  let found = ref None in
+  Hashtbl.iter
+    (fun (b : Rich_ptr.t) _ ->
+      if b.Rich_ptr.pool = buf.Rich_ptr.pool
+         && b.Rich_ptr.slot = buf.Rich_ptr.slot
+         && b.Rich_ptr.gen = buf.Rich_ptr.gen
+      then found := Some b)
+    t.held_bufs;
+  match !found with
+  | Some b ->
+      Hashtbl.remove t.held_bufs b;
+      free_rx t b
+  | None ->
+      (* Unknown buffer — a stale free from before our restart. *)
+      ()
 
 (* [source] identifies which channel a message arrived on — each
    interface and each transport shard has its own, so received frames
@@ -471,7 +506,7 @@ let handle_msg t ~source msg =
   | Msg.Filter_verdict { id; pass } -> (
       ( marshal_cost t,
         fun () ->
-          match Request_db.complete t.db id with
+          match Component.Db.complete t.db id with
           | Some (Pf_out { origin; chain; iface; hdr; tso; _ }) ->
               if pass then transmit_frame t ~iface ~origin ~hdr ~chain ~tso
               else begin
@@ -509,64 +544,19 @@ let handle_msg t ~source msg =
       ( 0,
         fun () ->
           (* The transport is done with the whole frame buffer that
-             backs the sub-pointer it was given. *)
-          let frame_buf = { buf with Rich_ptr.off = 0; len = 0 } in
-          let found = ref None in
-          Hashtbl.iter
-            (fun (b : Rich_ptr.t) _ ->
-              if b.Rich_ptr.pool = frame_buf.Rich_ptr.pool
-                 && b.Rich_ptr.slot = buf.Rich_ptr.slot
-                 && b.Rich_ptr.gen = buf.Rich_ptr.gen
-              then found := Some b)
-            t.held_bufs;
-          (match !found with
-          | Some b ->
-              Hashtbl.remove t.held_bufs b;
-              free_rx t b
-          | None ->
-              (* Unknown buffer — a stale free from before our restart. *)
-              ()) )
+             backs the sub-pointer it was given. In a replicated
+             deployment the frame may belong to a sibling replica's
+             pool (a transport shard talks to one fixed replica, but
+             its flows' frames arrive via whichever replica owns the
+             queue) — hand those across instead of leaking them. *)
+          if buf.Rich_ptr.pool <> Pool.id t.rx_pool then (
+            match t.buf_return with Some f -> f buf | None -> ())
+          else release_held t buf )
   | Msg.Tx_ip_confirm _ | Msg.Filter_req _ | Msg.Drv_tx _ | Msg.Rx_deliver _
   | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
 (* {2 Construction and wiring} *)
-
-let create machine ~proc ~registry ~save ~load () =
-  let rx_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:4096 ~slot_size:2048 in
-  let hdr_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:8192 ~slot_size:2048 in
-  Registry.register registry rx_pool;
-  Registry.register registry hdr_pool;
-  let t =
-    {
-      machine;
-      proc;
-      registry;
-      save;
-      load;
-      ifaces = [];
-      rx_pool;
-      hdr_pool;
-      db = Request_db.create ();
-      route_table = Ipv4.Route.create ();
-      to_pf = None;
-      pf_up = true;
-      to_tcp = None;
-      to_udp = None;
-      consumed = [];
-      held_bufs = Hashtbl.create 128;
-      resubmit_pf = [];
-      resubmit_drv = [];
-      ident = 0;
-      packets_forwarded = 0;
-      icmp_echoes = 0;
-    }
-  in
-  t
-
-let consume ?(source = Src_other) t chan =
-  t.consumed <- chan :: t.consumed;
-  Proc.add_rx t.proc chan (handle_msg t ~source)
 
 let grant_pool_to t hooks =
   hooks.drv_grant_rx_pool
@@ -578,6 +568,80 @@ let grant_pool_to t hooks =
       let narrowed = { ptr with Rich_ptr.len = Bytes.length frame } in
       try Pool.write t.rx_pool narrowed ~src:frame ~src_off:0
       with Pool.Stale_pointer _ -> ())
+
+let persist_routes t =
+  t.save "routes" (Marshal.to_string (Ipv4.Route.entries t.route_table) [])
+
+let load_routes t =
+  Ipv4.Route.clear t.route_table;
+  match t.load "routes" with
+  | Some blob ->
+      let entries : Ipv4.Route.entry list = Marshal.from_string blob 0 in
+      List.iter (Ipv4.Route.add t.route_table) entries
+  | None -> ()
+
+let create comp ~registry ~save ~load () =
+  let rx_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:4096 ~slot_size:2048 in
+  let hdr_pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:8192 ~slot_size:2048 in
+  Registry.register registry rx_pool;
+  Registry.register registry hdr_pool;
+  Component.register_pool comp rx_pool;
+  Component.register_pool comp hdr_pool;
+  let t =
+    {
+      comp;
+      proc = Component.proc comp;
+      registry;
+      save;
+      load;
+      ifaces = [];
+      rx_pool;
+      hdr_pool;
+      db = Component.create_db comp;
+      route_table = Ipv4.Route.create ();
+      to_pf = None;
+      pf_up = true;
+      to_tcp = None;
+      to_udp = None;
+      held_bufs = Hashtbl.create 128;
+      resubmit_pf = [];
+      resubmit_drv = [];
+      ident = 0;
+      packets_forwarded = 0;
+      icmp_echoes = 0;
+      local_queue = 0;
+      arp_announce = None;
+      buf_return = None;
+    }
+  in
+  Component.on_crash comp (fun () ->
+      (* Our pools die with us (the generic lifecycle frees them):
+         every rich pointer anyone still holds goes stale, and the
+         devices must not DMA into them anymore — warn the drivers. *)
+      Hashtbl.reset t.held_bufs;
+      t.resubmit_pf <- [];
+      t.resubmit_drv <- [];
+      List.iter (fun ifc -> ifc.drv.drv_on_ip_crash ()) t.ifaces);
+  Component.on_restart comp (fun ~fresh:_ ->
+      (* Recover configuration from the storage server; ARP and ICMP
+         are stateless, so the caches restart cold. *)
+      load_routes t;
+      List.iter (fun ifc -> Arp.Cache.flush ifc.arp) t.ifaces;
+      (* The drivers reset their devices (Section V-D) and get the new
+         receive pool. *)
+      List.iter
+        (fun ifc ->
+          ifc.drv.drv_on_ip_restart ();
+          grant_pool_to t ifc.drv)
+        t.ifaces);
+  t
+
+let consume ?(source = Src_other) t chan =
+  Component.consume t.comp chan (handle_msg t ~source)
+
+let set_local_queue t q = t.local_queue <- q
+let set_arp_announce t f = t.arp_announce <- Some f
+let set_buf_return t f = t.buf_return <- Some f
 
 let add_iface_custom t cfg ~hooks ~tx_chan ~rx_chan =
   let i = iface_count t in
@@ -613,14 +677,17 @@ let connect_pf t ~to_pf ~from_pf =
   t.to_pf <- Some to_pf;
   consume t from_pf
 
-let connect_transport_sharded t ~proto ~steer ~pairs =
+let connect_transport_sharded ?(mine = fun _ -> true) t ~proto ~steer ~pairs =
   let fan = { chans = Array.map snd pairs; steer } in
   (match proto with
   | `Tcp -> t.to_tcp <- Some fan
   | `Udp -> t.to_udp <- Some fan);
+  (* A replica consumes only its own shards' request channels ([mine])
+     but keeps the full fan-out array: received frames steer by flow
+     hash across ALL shards, exactly like the RSS table does. *)
   Array.iteri
     (fun i (from_transport, _) ->
-      consume ~source:(Src_transport (proto, i)) t from_transport)
+      if mine i then consume ~source:(Src_transport (proto, i)) t from_transport)
     pairs
 
 let connect_transport t ~proto ~from_transport ~to_transport =
@@ -628,14 +695,13 @@ let connect_transport t ~proto ~from_transport ~to_transport =
     ~steer:(fun ~src:_ ~sport:_ ~dst:_ ~dport:_ -> 0)
     ~pairs:[| (from_transport, to_transport) |]
 
-let persist_routes t =
-  t.save "routes" (Marshal.to_string (Ipv4.Route.entries t.route_table) [])
-
 let add_route t ~prefix ~bits ~iface ~gateway =
   Ipv4.Route.add t.route_table { Ipv4.Route.prefix; bits; iface; gateway };
   persist_routes t
 
 let add_neighbor t ~iface:i addr mac = Arp.Cache.insert (iface t i).arp addr mac
+
+let arp_lookup t ~iface:i addr = Arp.Cache.lookup (iface t i).arp addr
 
 let clear_routes t = Ipv4.Route.clear t.route_table
 
@@ -662,7 +728,7 @@ let repersist t = persist_routes t
 
 let on_pf_crash t =
   t.pf_up <- false;
-  ignore (Request_db.abort_peer t.db ~peer:pf_peer)
+  ignore (Component.Db.abort_peer t.db ~peer:pf_peer)
 
 let on_pf_restart t =
   t.pf_up <- true;
@@ -670,7 +736,7 @@ let on_pf_restart t =
 
 let on_drv_crash t ~iface:i =
   (iface t i).drv_up <- false;
-  ignore (Request_db.abort_peer t.db ~peer:(drv_peer i))
+  ignore (Component.Db.abort_peer t.db ~peer:(drv_peer i))
 
 let on_drv_restart t ~iface:i =
   (iface t i).drv_up <- true;
@@ -710,33 +776,3 @@ let on_transport_shard_crash t ~proto ~shard =
      their receive buffers — the isolation the scaling story needs. *)
   let tag = match proto with `Tcp -> `Tcp | `Udp -> `Udp in
   free_held t ~keep:(fun (owner, s) -> owner <> tag || s <> shard)
-
-let crash_cleanup t =
-  (* Our pools die with us: every rich pointer anyone still holds goes
-     stale, and the devices must not DMA into them anymore. *)
-  Pool.free_all t.rx_pool;
-  Pool.free_all t.hdr_pool;
-  Hashtbl.reset t.held_bufs;
-  t.resubmit_pf <- [];
-  t.resubmit_drv <- [];
-  t.db <- Request_db.create ();
-  List.iter Sim_chan.tear_down t.consumed;
-  List.iter (fun ifc -> ifc.drv.drv_on_ip_crash ()) t.ifaces
-
-let restart t =
-  (* Recover configuration from the storage server. *)
-  Ipv4.Route.clear t.route_table;
-  (match t.load "routes" with
-  | Some blob ->
-      let entries : Ipv4.Route.entry list = Marshal.from_string blob 0 in
-      List.iter (Ipv4.Route.add t.route_table) entries
-  | None -> ());
-  List.iter (fun ifc -> Arp.Cache.flush ifc.arp) t.ifaces;
-  List.iter Sim_chan.revive t.consumed;
-  (* The drivers reset their devices (Section V-D) and get the new
-     receive pool. *)
-  List.iter
-    (fun ifc ->
-      ifc.drv.drv_on_ip_restart ();
-      grant_pool_to t ifc.drv)
-    t.ifaces

@@ -14,7 +14,16 @@
     filter are resubmitted on a PF crash (no packet loss — Figure 5);
     packets unconfirmed by a crashed driver are resubmitted when it
     returns (duplicates preferred over losses). A crash of IP itself
-    frees the receive pool under the devices, forcing NIC resets. *)
+    frees the receive pool under the devices, forcing NIC resets.
+
+    Pools, the request database, channel teardown/revival and the
+    route-table reload are all expressed through the {!Component}
+    lifecycle, so several IP server instances (replicas) are just
+    several components running this module's handler. The replication
+    extras — {!set_local_queue}, {!set_arp_announce}, {!set_buf_return}
+    and the [?mine] filter of {!connect_transport_sharded} — let a
+    supervisor run N replicas behind one multi-queue NIC, each owning a
+    slice of the queues. *)
 
 type t
 
@@ -25,14 +34,14 @@ type iface_config = {
 }
 
 val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
+  Component.t ->
   registry:Newt_channels.Registry.t ->
   save:(string -> string -> unit) ->
   load:(string -> string option) ->
   unit ->
   t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 
 (** {1 Wiring} *)
@@ -79,6 +88,7 @@ val connect_transport :
   unit
 
 val connect_transport_sharded :
+  ?mine:(int -> bool) ->
   t ->
   proto:[ `Tcp | `Udp ] ->
   steer:
@@ -94,7 +104,12 @@ val connect_transport_sharded :
     fanned out to shard [steer ~src ~sport ~dst ~dport]; [steer] must
     agree with the NIC's RSS steering for the flow→shard affinity
     invariant to hold. Replaces any previous wiring for [proto]
-    ({!connect_transport} is the 1-shard special case). *)
+    ({!connect_transport} is the 1-shard special case).
+
+    [?mine] (default: everything) restricts which shards' request
+    channels this instance consumes — an IP replica serves only its own
+    shards' transmit requests, while the fan-out array stays complete
+    so received frames can steer to any shard. *)
 
 val add_route :
   t ->
@@ -106,7 +121,31 @@ val add_route :
 (** Also persists the routing table to the storage server. *)
 
 val add_neighbor : t -> iface:int -> Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Mac.t -> unit
-(** Pre-seed an ARP entry (e.g. from a static configuration). *)
+(** Pre-seed an ARP entry (static configuration, or a mapping learned
+    from a sibling replica's broadcast — this never re-announces). *)
+
+val arp_lookup : t -> iface:int -> Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Mac.t option
+(** Peek at the interface's ARP cache (tests, introspection). *)
+
+(** {1 Replication support} *)
+
+val set_local_queue : t -> int -> unit
+(** TX queue for frames this server originates itself (ARP, ICMP
+    echo). Default 0; a replica sets one of its own queues so the TX
+    confirm comes back to it and not to a sibling. *)
+
+val set_arp_announce :
+  t -> (iface:int -> Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Mac.t -> unit) -> unit
+(** Fired whenever an ARP mapping is learned from the network — the
+    learn-broadcast hook. The supervisor publishes it (e.g. via
+    {!Newt_channels.Pubsub}) so sibling replicas' caches converge
+    without extra ARP traffic. *)
+
+val set_buf_return : t -> (Newt_channels.Rich_ptr.t -> unit) -> unit
+(** Where to hand an [Rx_done] buffer that belongs to another replica's
+    receive pool (a transport shard frees to its fixed replica, but the
+    frame arrived via whichever replica owns the flow's queue). Without
+    it such buffers are dropped on the floor of a stale-pointer free. *)
 
 (** {1 Recovery notifications (called by the reincarnation layer)} *)
 
@@ -127,13 +166,9 @@ val on_transport_shard_crash : t -> proto:[ `Tcp | `Udp ] -> shard:int -> unit
     transport: only that shard's held buffers are reclaimed, the other
     shards' flows are untouched. *)
 
-val crash_cleanup : t -> unit
-(** IP's own crash: frees both pools (making every outstanding rich
-    pointer stale) and tears down the channels it consumes. *)
-
-val restart : t -> unit
-(** Recover configuration from storage, re-create pools, revive
-    channels. *)
+val release_held : t -> Newt_channels.Rich_ptr.t -> unit
+(** Free the receive-pool frame backing [buf] (the target of a
+    {!set_buf_return} hand-off on the owning replica). *)
 
 val repersist : t -> unit
 (** Save all recoverable state again — required after a crash of the
@@ -152,6 +187,10 @@ val clear_routes : t -> unit
     by the fault injector to model a restart whose state recovery went
     wrong (the "manually restarting ... solved the problem" cases of
     Section VI-B). *)
+
+val rx_pool_id : t -> int
+(** Identifier of this instance's receive pool — lets a multi-replica
+    supervisor dispatch a returned buffer to the replica that owns it. *)
 
 val rx_pool_in_use : t -> int
 val hdr_pool_in_use : t -> int

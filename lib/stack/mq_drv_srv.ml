@@ -4,59 +4,89 @@ module Mq = Newt_nic.Mq_e1000
 module Sim_chan = Newt_channels.Sim_chan
 module Rich_ptr = Newt_channels.Rich_ptr
 
+(* One IP replica's attachment: its channel, its RX-pool capability,
+   and (learned from the first allocation) its pool id, which is how RX
+   DMA writes are routed back to the owning replica's pool. *)
+type replica = {
+  mutable r_tx_to_ip : Msg.t Sim_chan.t option;
+  mutable r_alloc : (unit -> Rich_ptr.t option) option;
+  mutable r_write : (Rich_ptr.t -> Bytes.t -> unit) option;
+  mutable r_pool_id : int;
+}
+
+let fresh_replica () =
+  { r_tx_to_ip = None; r_alloc = None; r_write = None; r_pool_id = -1 }
+
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   nic : Mq.t;
-  mutable tx_to_ip : Msg.t Sim_chan.t option;
-  mutable rx_alloc : (unit -> Rich_ptr.t option) option;
-  mutable rx_write : (Rich_ptr.t -> Bytes.t -> unit) option;
-  mutable consumed : Msg.t Sim_chan.t list;
+  mutable replicas : replica array;  (* queue q belongs to replica q mod n *)
   mutable tx_accepted : int;
 }
 
+let comp t = t.comp
 let proc t = t.proc
 let nic t = t.nic
 let tx_accepted t = t.tx_accepted
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
+let replica_count t = Array.length t.replicas
+let replica_of_queue t queue = queue mod replica_count t
 
-(* Keep every RX ring full from the one pool IP granted. *)
+let ensure_replica t i =
+  let n = Array.length t.replicas in
+  if i >= n then
+    t.replicas <-
+      Array.init (i + 1) (fun j ->
+          if j < n then t.replicas.(j) else fresh_replica ());
+  t.replicas.(i)
+
+(* Keep every RX ring full, each from the pool of the replica owning
+   that queue. *)
 let replenish_rx t =
-  match (t.rx_alloc, t.rx_write) with
-  | Some alloc, Some _ ->
-      for queue = 0 to Mq.queues t.nic - 1 do
+  for queue = 0 to Mq.queues t.nic - 1 do
+    let r = t.replicas.(replica_of_queue t queue) in
+    match (r.r_alloc, r.r_write) with
+    | Some alloc, Some _ ->
         let rec fill () =
           if Mq.rx_ring_free t.nic ~queue > 0 then
             match alloc () with
             | Some buf ->
+                if r.r_pool_id < 0 then r.r_pool_id <- buf.Rich_ptr.pool;
                 if Mq.post_rx t.nic ~queue { Mq.buf; rx_cookie = 0 } then fill ()
             | None -> ()
         in
         fill ()
-      done
-  | _ -> ()
+    | _ -> ()
+  done
+
+(* RX DMA dispatch: a completed buffer is written through the write
+   capability of whichever replica's pool it came from. *)
+let rx_write_dispatch t buf frame =
+  Array.iter
+    (fun r ->
+      if r.r_pool_id = buf.Rich_ptr.pool then
+        match r.r_write with Some write -> write buf frame | None -> ())
+    t.replicas
 
 (* Split [ids] into confirm-batch messages: per-descriptor work is still
    charged, but the channel message is paid once per batch. *)
-let send_confirms t ids =
-  match t.tx_to_ip with
-  | None -> ()
-  | Some chan ->
-      let batch = (costs t).Costs.confirm_batch in
-      let rec go = function
-        | [] -> ()
-        | ids ->
-            let rec take n acc = function
-              | rest when n = 0 -> (List.rev acc, rest)
-              | [] -> (List.rev acc, [])
-              | id :: rest -> take (n - 1) (id :: acc) rest
-            in
-            let head, rest = take batch [] ids in
-            ignore
-              (Proc.send t.proc chan (Msg.Drv_tx_confirm_batch { ids = head; ok = true }));
-            go rest
-      in
-      go ids
+let send_confirms t chan ids =
+  let batch = (costs t).Costs.confirm_batch in
+  let rec go = function
+    | [] -> ()
+    | ids ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | id :: rest -> take (n - 1) (id :: acc) rest
+        in
+        let head, rest = take batch [] ids in
+        ignore
+          (Proc.send t.proc chan (Msg.Drv_tx_confirm_batch { ids = head; ok = true }));
+        go rest
+  in
+  go ids
 
 let handle_irq t reason =
   let c = costs t in
@@ -73,14 +103,17 @@ let handle_irq t reason =
                 reap (desc.Mq.tx_cookie :: acc)
           in
           let ids = reap [] in
-          Proc.exec t.proc ~cost:0 (fun () -> send_confirms t ids)
+          Proc.exec t.proc ~cost:0 (fun () ->
+              match t.replicas.(replica_of_queue t queue).r_tx_to_ip with
+              | Some chan -> send_confirms t chan ids
+              | None -> ())
       | Mq.Rx_done queue ->
           let rec reap () =
             match Mq.reap_rx t.nic ~queue with
             | None -> ()
             | Some completion ->
                 Proc.exec t.proc ~cost:c.Costs.driver_packet_work (fun () ->
-                    match t.tx_to_ip with
+                    match t.replicas.(replica_of_queue t queue).r_tx_to_ip with
                     | Some chan ->
                         let buf =
                           { completion.Mq.rx_buf with Rich_ptr.len = completion.Mq.len }
@@ -110,7 +143,7 @@ let handle_msg t msg =
           let desc = { Mq.chain; csum_offload; tso; tso_mss; tx_cookie = id } in
           if Mq.post_tx t.nic ~queue desc then Mq.doorbell_tx t.nic ~queue
           else begin
-            match t.tx_to_ip with
+            match t.replicas.(replica_of_queue t queue).r_tx_to_ip with
             | Some chan ->
                 ignore (Proc.send t.proc chan (Msg.Drv_tx_confirm { id; ok = false }))
             | None -> ()
@@ -121,42 +154,68 @@ let handle_msg t msg =
   | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
       (0, fun () -> Newt_sim.Stats.incr (Proc.stats t.proc) "invalid_msg")
 
-let create machine ~proc ~nic () =
+let create comp ~nic () =
   let t =
     {
-      machine;
-      proc;
+      comp;
+      proc = Component.proc comp;
       nic;
-      tx_to_ip = None;
-      rx_alloc = None;
-      rx_write = None;
-      consumed = [];
+      replicas = [| fresh_replica () |];
       tx_accepted = 0;
     }
   in
   Mq.set_irq_handler nic (fun reason -> handle_irq t reason);
+  Mq.set_rx_writer nic (fun buf frame -> rx_write_dispatch t buf frame);
+  Component.on_restart comp (fun ~fresh:_ -> Mq.reset t.nic);
   t
 
-let connect_ip t ~rx_from_ip ~tx_to_ip =
-  t.tx_to_ip <- Some tx_to_ip;
-  if not (List.memq rx_from_ip t.consumed) then
-    t.consumed <- rx_from_ip :: t.consumed;
-  Proc.add_rx t.proc rx_from_ip (handle_msg t)
+(* {2 Per-replica attachment} *)
 
-let grant_rx_pool t ~alloc ~write =
-  t.rx_alloc <- Some alloc;
-  t.rx_write <- Some write;
-  Mq.set_rx_writer t.nic (fun buf frame -> write buf frame);
+let set_replicas t n =
+  if n <= 0 then invalid_arg "Mq_drv_srv.set_replicas";
+  ignore (ensure_replica t (n - 1))
+
+let connect_ip_replica t ~replica ~rx_from_ip ~tx_to_ip =
+  let r = ensure_replica t replica in
+  r.r_tx_to_ip <- Some tx_to_ip;
+  Component.consume t.comp rx_from_ip (handle_msg t)
+
+let grant_rx_pool_replica t ~replica ~alloc ~write =
+  let r = ensure_replica t replica in
+  r.r_alloc <- Some alloc;
+  r.r_write <- Some write;
+  r.r_pool_id <- -1;
   replenish_rx t
 
+let on_ip_replica_crash t ~replica =
+  (* Fence off just this replica's slice of the device: its queues hold
+     descriptors into the dead pool, the other queues keep forwarding. *)
+  let r = t.replicas.(replica) in
+  r.r_alloc <- None;
+  r.r_write <- None;
+  r.r_pool_id <- -1;
+  for queue = 0 to Mq.queues t.nic - 1 do
+    if replica_of_queue t queue = replica then
+      Mq.mark_queue_unsafe t.nic ~queue
+  done
+
+let on_ip_replica_restart t ~replica =
+  for queue = 0 to Mq.queues t.nic - 1 do
+    if replica_of_queue t queue = replica then Mq.reset_queue t.nic ~queue
+  done
+
+(* {2 Singleton-IP attachment (one replica owning every queue)} *)
+
+let connect_ip t ~rx_from_ip ~tx_to_ip =
+  connect_ip_replica t ~replica:0 ~rx_from_ip ~tx_to_ip
+
+let grant_rx_pool t ~alloc ~write = grant_rx_pool_replica t ~replica:0 ~alloc ~write
+
 let on_ip_crash t =
-  t.rx_alloc <- None;
-  t.rx_write <- None;
+  let r = t.replicas.(0) in
+  r.r_alloc <- None;
+  r.r_write <- None;
+  r.r_pool_id <- -1;
   Mq.mark_unsafe t.nic
 
 let on_ip_restart t = Mq.reset t.nic
-let crash_cleanup t = List.iter Sim_chan.tear_down t.consumed
-
-let restart t =
-  List.iter Sim_chan.revive t.consumed;
-  Mq.reset t.nic

@@ -5,28 +5,70 @@
     replicated, because "filling descriptors and updating tail pointers"
     is cheap enough that one core drives the wire.
 
-    Two differences from {!Drv_srv}:
+    Differences from {!Drv_srv}:
 
     - it honours the [queue] field of {!Msg.Drv_tx}, posting each frame
       on the TX ring the sending shard's flows hash to, and replenishes
-      every RX ring from the one pool IP granted;
+      every RX ring;
     - it coalesces TX completions into {!Msg.Drv_tx_confirm_batch}
       messages of up to {!Newt_hw.Costs.t.confirm_batch} ids, amortizing
       the per-message channel cost IP pays — without this, IP's
       completion handling alone would eat the headroom the shards are
-      supposed to fill. *)
+      supposed to fill;
+    - it can fan RX completions out to N replicated IP servers: queue
+      [q] belongs to replica [q mod n], each replica grants its own RX
+      pool for its queues, and a replica crash fences off only that
+      replica's queues ({!Newt_nic.Mq_e1000.mark_queue_unsafe}) so the
+      other shards never notice. *)
 
 type t
 
-val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
-  nic:Newt_nic.Mq_e1000.t ->
-  unit ->
-  t
+val create : Component.t -> nic:Newt_nic.Mq_e1000.t -> unit -> t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 val nic : t -> Newt_nic.Mq_e1000.t
+
+(** {1 Replicated-IP attachment}
+
+    Queue [q] of the device is owned by IP replica [q mod n] where [n]
+    is the highest replica index attached plus one; connect replicas
+    densely from index 0. Call {!set_replicas} {e before} the first
+    pool grant: the queue→owner map depends on [n], and a grant made
+    while the map is smaller fills foreign queues' rings from the wrong
+    pool. *)
+
+val set_replicas : t -> int -> unit
+(** Declare how many IP replicas will attach. *)
+
+val connect_ip_replica :
+  t ->
+  replica:int ->
+  rx_from_ip:Msg.t Newt_channels.Sim_chan.t ->
+  tx_to_ip:Msg.t Newt_channels.Sim_chan.t ->
+  unit
+
+val grant_rx_pool_replica :
+  t ->
+  replica:int ->
+  alloc:(unit -> Newt_channels.Rich_ptr.t option) ->
+  write:(Newt_channels.Rich_ptr.t -> Bytes.t -> unit) ->
+  unit
+
+val on_ip_replica_crash : t -> replica:int -> unit
+(** Fence DMA off for the dead replica's queues only; other queues keep
+    forwarding (this is what makes a replica crash lose only its
+    shard's datagrams). *)
+
+val on_ip_replica_restart : t -> replica:int -> unit
+(** Reprogram the replica's queues without a link bounce; the replica
+    re-grants its pool right after, which re-arms RX. *)
+
+(** {1 Singleton-IP attachment}
+
+    The PR-1 wiring: one IP server owning every queue. [on_ip_crash]
+    marks the whole device unsafe and [on_ip_restart] performs the full
+    link-bouncing reset, as the real adapter would. *)
 
 val connect_ip :
   t ->
@@ -42,7 +84,5 @@ val grant_rx_pool :
 
 val on_ip_crash : t -> unit
 val on_ip_restart : t -> unit
-val crash_cleanup : t -> unit
-val restart : t -> unit
 
 val tx_accepted : t -> int

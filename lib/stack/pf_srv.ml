@@ -7,27 +7,28 @@ module Conntrack = Newt_pf.Conntrack
 module Stats = Newt_sim.Stats
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   save : string -> string -> unit;
   load : string -> string option;
   engine : Pf_engine.t;
-  mutable to_ip : Msg.t Sim_chan.t option;
-  mutable consumed : Msg.t Sim_chan.t list;
   mutable tcp_source : unit -> Conntrack.flow list;
   mutable udp_source : unit -> Conntrack.flow list;
   mutable verdicts : int;
   mutable blocked : int;
 }
 
+let comp t = t.comp
 let proc t = t.proc
 let engine_of t = t.engine
 let verdicts_issued t = t.verdicts
 let blocked t = t.blocked
 let rule_count t = List.length (Pf_engine.rules t.engine)
 
-let handle_msg t msg =
-  let c = Machine.costs t.machine in
+(* Verdicts go back on the channel paired with the one the request
+   arrived on, so several IP replicas can share one filter. *)
+let handle_msg t ~reply_to msg =
+  let c = Machine.costs (Component.machine t.comp) in
   match msg with
   | Msg.Filter_req { id; dir; pkt } -> (
       match Pf_engine.classify ~dir pkt with
@@ -36,10 +37,8 @@ let handle_msg t msg =
             fun () ->
               t.verdicts <- t.verdicts + 1;
               t.blocked <- t.blocked + 1;
-              Option.iter
-                (fun chan ->
-                  ignore (Proc.send t.proc chan (Msg.Filter_verdict { id; pass = false })))
-                t.to_ip )
+              ignore (Proc.send t.proc reply_to (Msg.Filter_verdict { id; pass = false }))
+          )
       | Some key ->
           let verdict = Pf_engine.filter t.engine key in
           let cost =
@@ -52,35 +51,46 @@ let handle_msg t msg =
               t.verdicts <- t.verdicts + 1;
               let pass = verdict.Pf_engine.action = Rule.Pass in
               if not pass then t.blocked <- t.blocked + 1;
-              Option.iter
-                (fun chan ->
-                  ignore (Proc.send t.proc chan (Msg.Filter_verdict { id; pass })))
-                t.to_ip ))
+              ignore (Proc.send t.proc reply_to (Msg.Filter_verdict { id; pass })) ))
   | Msg.Tx_ip _ | Msg.Tx_ip_confirm _ | Msg.Filter_verdict _ | Msg.Drv_tx _
   | Msg.Drv_tx_confirm _ | Msg.Drv_tx_confirm_batch _ | Msg.Rx_frame _
   | Msg.Rx_deliver _ | Msg.Rx_done _
   | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
-let create machine ~proc ~save ~load () =
-  {
-    machine;
-    proc;
-    save;
-    load;
-    engine = Pf_engine.create ();
-    to_ip = None;
-    consumed = [];
-    tcp_source = (fun () -> []);
-    udp_source = (fun () -> []);
-    verdicts = 0;
-    blocked = 0;
-  }
+let create comp ~save ~load () =
+  let t =
+    {
+      comp;
+      proc = Component.proc comp;
+      save;
+      load;
+      engine = Pf_engine.create ();
+      tcp_source = (fun () -> []);
+      udp_source = (fun () -> []);
+      verdicts = 0;
+      blocked = 0;
+    }
+  in
+  (* The engine's state is what dies in a crash; rules come back from
+     storage, live connections by querying the transport servers
+     (Section V-D: "the filter can recover this dynamic state, for
+     instance, by querying the TCP and UDP servers"). *)
+  Component.on_crash comp (fun () ->
+      Pf_engine.set_rules t.engine [];
+      Conntrack.clear (Pf_engine.conntrack t.engine));
+  Component.on_restart comp (fun ~fresh:_ ->
+      let rules =
+        match t.load "rules" with
+        | Some blob -> (Marshal.from_string blob 0 : Rule.t list)
+        | None -> [ Rule.pass_all ]
+      in
+      let states = t.tcp_source () @ t.udp_source () in
+      Pf_engine.restore t.engine ~rules ~states);
+  t
 
 let connect_ip t ~from_ip ~to_ip =
-  t.to_ip <- Some to_ip;
-  t.consumed <- from_ip :: t.consumed;
-  Proc.add_rx t.proc from_ip (handle_msg t)
+  Component.consume t.comp from_ip (handle_msg t ~reply_to:to_ip)
 
 let set_rules t rules =
   Pf_engine.set_rules t.engine rules;
@@ -92,22 +102,3 @@ let set_conntrack_sources t ~tcp ~udp =
 
 let repersist t =
   t.save "rules" (Marshal.to_string (Pf_engine.rules t.engine) [])
-
-let crash_cleanup t =
-  (* The engine's state is what dies in the crash. *)
-  Pf_engine.set_rules t.engine [];
-  Conntrack.clear (Pf_engine.conntrack t.engine);
-  List.iter Sim_chan.tear_down t.consumed
-
-let restart t =
-  let rules =
-    match t.load "rules" with
-    | Some blob -> (Marshal.from_string blob 0 : Rule.t list)
-    | None -> [ Rule.pass_all ]
-  in
-  (* Rules from storage; live connections by querying the transport
-     servers (Section V-D: "the filter can recover this dynamic state,
-     for instance, by querying the TCP and UDP servers"). *)
-  let states = t.tcp_source () @ t.udp_source () in
-  Pf_engine.restore t.engine ~rules ~states;
-  List.iter Sim_chan.revive t.consumed

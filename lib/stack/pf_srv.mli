@@ -9,18 +9,23 @@
     State and recovery (Table I): the ruleset is static configuration,
     saved to the storage server whenever set; the connection-tracking
     table is dynamic but recoverable by querying the TCP and UDP
-    servers after a restart. *)
+    servers after a restart. Both recoveries are installed as
+    {!Component} lifecycle hooks at [create].
+
+    Verdicts are sent back on the channel paired with the request's
+    arrival channel, so replicated IP servers can share one filter —
+    call {!connect_ip} once per replica. *)
 
 type t
 
 val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
+  Component.t ->
   save:(string -> string -> unit) ->
   load:(string -> string option) ->
   unit ->
   t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 val engine_of : t -> Newt_pf.Pf_engine.t
 
@@ -41,9 +46,6 @@ val set_conntrack_sources :
   udp:(unit -> Newt_pf.Conntrack.flow list) ->
   unit
 (** Where a restarted filter recovers its dynamic state from. *)
-
-val crash_cleanup : t -> unit
-val restart : t -> unit
 
 val repersist : t -> unit
 (** Save the ruleset again (after a storage-server crash). *)

@@ -15,11 +15,10 @@ type entry = {
 }
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   mutable to_tcp : Msg.t Sim_chan.t array;
   mutable to_udp : Msg.t Sim_chan.t array;
-  mutable consumed : Msg.t Sim_chan.t list;
   sockets : (Msg.socket_id, entry) Hashtbl.t;
   reqs : (int, Msg.socket_id) Hashtbl.t;
   mutable next_sock : int;
@@ -27,8 +26,9 @@ type t = {
   mutable place : transport:[ `Tcp | `Udp ] -> int;
 }
 
+let comp t = t.comp
 let proc t = t.proc
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
 
 let outstanding_calls t = Hashtbl.length t.reqs
 
@@ -172,28 +172,36 @@ let handle_msg t msg =
   | Msg.Rx_done _ | Msg.Sock_req _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
-let create machine ~proc () =
-  {
-    machine;
-    proc;
-    to_tcp = [||];
-    to_udp = [||];
-    consumed = [];
-    sockets = Hashtbl.create 64;
-    reqs = Hashtbl.create 64;
-    next_sock = 3;
-    next_req = 1;
-    place = (fun ~transport:_ -> 0);
-  }
+let create comp () =
+  let t =
+    {
+      comp;
+      proc = Component.proc comp;
+      to_tcp = [||];
+      to_udp = [||];
+      sockets = Hashtbl.create 64;
+      reqs = Hashtbl.create 64;
+      next_sock = 3;
+      next_req = 1;
+      place = (fun ~transport:_ -> 0);
+    }
+  in
+  (* Outstanding calls get errors; the socket table is rebuilt lazily
+     as applications retry (Section V-B: restarting the SYSCALL server
+     is trivial). *)
+  Component.on_crash comp (fun () ->
+      Hashtbl.iter
+        (fun _ entry -> deliver_to_app t entry (Msg.Err "syscall server restarted"))
+        t.sockets;
+      Hashtbl.reset t.reqs);
+  t
 
 let connect_transport_sharded t ~transport ~pairs =
   (match transport with
   | `Tcp -> t.to_tcp <- Array.map fst pairs
   | `Udp -> t.to_udp <- Array.map fst pairs);
   Array.iter
-    (fun (_, from_transport) ->
-      t.consumed <- from_transport :: t.consumed;
-      Proc.add_rx t.proc from_transport (handle_msg t))
+    (fun (_, from_transport) -> Component.consume t.comp from_transport (handle_msg t))
     pairs
 
 let connect_transport t ~transport ~to_transport ~from_transport =
@@ -218,12 +226,3 @@ let on_transport_restart ?shard t ~transport =
             | Some (req_id, call) -> forward t sock_id entry req_id call
             | None -> ())
         t.sockets)
-
-let crash_cleanup t =
-  (* Outstanding calls get errors; the socket table is rebuilt lazily as
-     applications retry. *)
-  Hashtbl.iter (fun _ entry -> deliver_to_app t entry (Msg.Err "syscall server restarted")) t.sockets;
-  Hashtbl.reset t.reqs;
-  List.iter Sim_chan.tear_down t.consumed
-
-let restart t = List.iter Sim_chan.revive t.consumed

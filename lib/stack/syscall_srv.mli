@@ -12,15 +12,20 @@
     socket}. That memory is the recovery mechanism of Section V-D: when
     a transport server is restarted, the SYSCALL server re-issues every
     unfinished operation against the new instance (preferring duplicate
-    sends over lost ones). *)
+    sends over lost ones).
+
+    Its own crash is the generic {!Component} lifecycle plus one hook:
+    outstanding calls are answered with errors and stale replies will
+    be ignored. *)
 
 type t
 
 type app = { app_core : Newt_hw.Cpu.t; app_pid : int }
 (** Identifies the calling application for cost accounting. *)
 
-val create : Newt_hw.Machine.t -> proc:Proc.t -> unit -> t
+val create : Component.t -> unit -> t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 
 val connect_transport :
@@ -65,12 +70,5 @@ val on_transport_restart : ?shard:int -> t -> transport:[ `Tcp | `Udp ] -> unit
 (** Re-issue the last unfinished operation of every socket belonging to
     the restarted transport; with [?shard], only that instance's
     sockets (the others never lost anything). *)
-
-val crash_cleanup : t -> unit
-(** The SYSCALL server itself is stateless enough that restarting it is
-    trivial (Section V-B): outstanding calls are answered with errors
-    and stale replies will be ignored. *)
-
-val restart : t -> unit
 
 val outstanding_calls : t -> int

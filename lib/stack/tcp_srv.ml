@@ -7,7 +7,6 @@ module Sim_chan = Newt_channels.Sim_chan
 module Pool = Newt_channels.Pool
 module Rich_ptr = Newt_channels.Rich_ptr
 module Registry = Newt_channels.Registry
-module Request_db = Newt_channels.Request_db
 module Addr = Newt_net.Addr
 module Ipv4 = Newt_net.Ipv4
 module Tcp = Newt_net.Tcp
@@ -40,7 +39,7 @@ type socket = {
 }
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   registry : Registry.t;
   local_addr : Addr.Ipv4.t;
@@ -49,10 +48,9 @@ type t = {
   load : string -> string option;
   pool : Pool.t;
   mutable engine : Tcp.t;
-  mutable db : inflight Request_db.t;
+  db : inflight Component.Db.t;
   mutable to_ip : Msg.t Sim_chan.t option;
   mutable to_sc : Msg.t Sim_chan.t option;
-  mutable consumed : Msg.t Sim_chan.t list;
   sockets : (Msg.socket_id, socket) Hashtbl.t;
   mutable select_pending : (int * Msg.socket_id list) option;
   mutable resubmit : inflight list;
@@ -65,15 +63,24 @@ type t = {
 }
 
 let ip_peer = 1
+let comp t = t.comp
 let proc t = t.proc
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
 let engine t = t.engine
 let pool_in_use t = Pool.in_use t.pool
 let segments_resubmitted t = t.resubmitted
 
+(* Totals that survive restarts: the live engine plus what crash hooks
+   banked from dead incarnations (the shard-stats fix). *)
+let total_segs_out t =
+  Component.archived t.comp "tcp.segs_out" + (Tcp.stats t.engine).Tcp.segs_out
+
+let total_bytes_out t =
+  Component.archived t.comp "tcp.bytes_out" + (Tcp.stats t.engine).Tcp.bytes_out
+
 let free_chain t chain = List.iter (fun p -> try Pool.free t.pool p with Pool.Stale_pointer _ -> ()) chain
 
-let sim_engine t = Machine.engine t.machine
+let sim_engine t = Machine.engine (Component.machine t.comp)
 
 (* {2 Outgoing segments: the zero-copy handoff to IP} *)
 
@@ -84,7 +91,7 @@ let submit_packet t (pkt : inflight) =
     | None -> free_chain t pkt.chain
     | Some chan ->
         let id =
-          Request_db.submit t.db ~peer:ip_peer ~payload:pkt ~abort:(fun _ p ->
+          Component.Db.submit t.db ~peer:ip_peer ~payload:pkt ~abort:(fun _ p ->
               (* IP crashed: resubmit under a new id once it returns;
                  the data stays allocated until the new id confirms. *)
               t.resubmit <- p :: t.resubmit)
@@ -96,7 +103,7 @@ let submit_packet t (pkt : inflight) =
         in
         if not sent then begin
           (* Queue full: drop; TCP's retransmission recovers. *)
-          ignore (Request_db.complete t.db id);
+          ignore (Component.Db.complete t.db id);
           free_chain t pkt.chain
         end
 
@@ -404,7 +411,7 @@ let handle_msg t msg =
   | Msg.Tx_ip_confirm { id; ok = _ } -> (
       ( 100,
         fun () ->
-          match Request_db.complete t.db id with
+          match Component.Db.complete t.db id with
           | Some pkt -> free_chain t pkt.chain
           | None -> Stats.incr (Proc.stats t.proc) "stale_confirm" ))
   | Msg.Rx_deliver { buf; src; dst } ->
@@ -439,7 +446,8 @@ let handle_msg t msg =
 
 (* {2 Construction} *)
 
-let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
+let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
+  let machine = Component.machine comp in
   let pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:8192 ~slot_size:2048 in
   Registry.register registry pool;
   let tcp_config = Option.value tcp_config ~default:Tcp.default_config in
@@ -456,8 +464,8 @@ let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
   in
   let t =
     {
-      machine;
-      proc;
+      comp;
+      proc = Component.proc comp;
       registry;
       local_addr;
       tcp_config;
@@ -465,10 +473,9 @@ let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
       load;
       pool;
       engine = placeholder_engine;
-      db = Request_db.create ();
+      db = Component.create_db comp;
       to_ip = None;
       to_sc = None;
-      consumed = [];
       sockets = Hashtbl.create 64;
       select_pending = None;
       resubmit = [];
@@ -480,6 +487,37 @@ let create machine ~proc ~registry ~local_addr ?tcp_config ~save ~load () =
     }
   in
   t.engine <- make_engine t;
+  Component.register_pool comp pool;
+  Component.on_crash comp (fun () ->
+      (* The engine dies with the incarnation: bank its counters so
+         per-shard stats neither double-count nor lose the pre-crash
+         series. *)
+      let st = Tcp.stats t.engine in
+      Component.archive_add comp "tcp.segs_out" st.Tcp.segs_out;
+      Component.archive_add comp "tcp.bytes_out" st.Tcp.bytes_out;
+      t.select_pending <- None;
+      Tcp.shutdown_all t.engine;
+      Hashtbl.reset t.sockets;
+      t.resubmit <- []);
+  Component.on_restart comp (fun ~fresh:_ ->
+      t.engine <- make_engine t;
+      (* Listening sockets are the recoverable part of our state
+         (Table I): re-open them from the storage server. *)
+      match t.load "listeners" with
+      | None -> ()
+      | Some blob ->
+          let listeners : (Msg.socket_id * int) list = Marshal.from_string blob 0 in
+          List.iter
+            (fun (sock_id, port) ->
+              let s = sock t sock_id in
+              s.bound_port <- Some port;
+              s.listen_port <- Some port;
+              try
+                Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
+                    Queue.push pcb s.accept_q;
+                    progress t s)
+              with Invalid_argument _ -> ())
+            listeners);
   t
 
 let set_src_select t f = t.src_select <- f
@@ -487,13 +525,11 @@ let set_port_select t f = t.port_select <- f
 
 let connect_ip t ~to_ip ~from_ip =
   t.to_ip <- Some to_ip;
-  t.consumed <- from_ip :: t.consumed;
-  Proc.add_rx t.proc from_ip (handle_msg t)
+  Component.consume t.comp from_ip (handle_msg t)
 
 let connect_sc t ~from_sc ~to_sc =
   t.to_sc <- Some to_sc;
-  t.consumed <- from_sc :: t.consumed;
-  Proc.add_rx t.proc from_sc (handle_msg t)
+  Component.consume t.comp from_sc (handle_msg t)
 
 let conntrack_flows t =
   List.map
@@ -511,7 +547,7 @@ let conntrack_flows t =
 
 let on_ip_crash t =
   t.ip_up <- false;
-  ignore (Request_db.abort_peer t.db ~peer:ip_peer)
+  ignore (Component.Db.abort_peer t.db ~peer:ip_peer)
 
 let on_ip_restart t =
   t.ip_up <- true;
@@ -530,33 +566,3 @@ let on_ip_restart t =
         pkts)
 
 let repersist t = persist_listeners t
-
-let crash_cleanup t =
-  t.select_pending <- None;
-  Tcp.shutdown_all t.engine;
-  Pool.free_all t.pool;
-  Hashtbl.reset t.sockets;
-  t.db <- Request_db.create ();
-  t.resubmit <- [];
-  List.iter Sim_chan.tear_down t.consumed
-
-let restart t =
-  t.engine <- make_engine t;
-  List.iter Sim_chan.revive t.consumed;
-  (* Listening sockets are the recoverable part of our state
-     (Table I): re-open them from the storage server. *)
-  match t.load "listeners" with
-  | None -> ()
-  | Some blob ->
-      let listeners : (Msg.socket_id * int) list = Marshal.from_string blob 0 in
-      List.iter
-        (fun (sock_id, port) ->
-          let s = sock t sock_id in
-          s.bound_port <- Some port;
-          s.listen_port <- Some port;
-          try
-            Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
-                Queue.push pcb s.accept_q;
-                progress t s)
-          with Invalid_argument _ -> ())
-        listeners

@@ -15,13 +15,17 @@
     and re-opened on restart, which is what lets new SSH sessions
     connect immediately after a crash (Section VI-B). On an IP crash,
     all unconfirmed packets are resubmitted under fresh request ids;
-    replies to the old ids are ignored (Section V-D). *)
+    replies to the old ids are ignored (Section V-D).
+
+    The listener reload and the engine swap are {!Component} lifecycle
+    hooks; the crash hook also banks the dying engine's counters into
+    the component archive so {!total_segs_out}/{!total_bytes_out} stay
+    exact across restarts. *)
 
 type t
 
 val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
+  Component.t ->
   registry:Newt_channels.Registry.t ->
   local_addr:Newt_net.Addr.Ipv4.t ->
   ?tcp_config:Newt_net.Tcp.config ->
@@ -30,6 +34,7 @@ val create :
   unit ->
   t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 
 val set_src_select : t -> (Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Ipv4.t) -> unit
@@ -69,11 +74,13 @@ val conntrack_flows : t -> Newt_pf.Conntrack.flow list
 val on_ip_crash : t -> unit
 val on_ip_restart : t -> unit
 
-val crash_cleanup : t -> unit
-val restart : t -> unit
-
 val repersist : t -> unit
 (** Save the listening sockets again (after a storage-server crash). *)
 
 val segments_resubmitted : t -> int
 val pool_in_use : t -> int
+
+val total_segs_out : t -> int
+val total_bytes_out : t -> int
+(** Lifetime totals: the live engine's counters plus those banked from
+    incarnations that died — what per-shard stats should report. *)

@@ -6,7 +6,6 @@ module Sim_chan = Newt_channels.Sim_chan
 module Pool = Newt_channels.Pool
 module Rich_ptr = Newt_channels.Rich_ptr
 module Registry = Newt_channels.Registry
-module Request_db = Newt_channels.Request_db
 module Addr = Newt_net.Addr
 module Ipv4 = Newt_net.Ipv4
 module Udp = Newt_net.Udp
@@ -28,17 +27,16 @@ type socket = {
 }
 
 type t = {
-  machine : Machine.t;
+  comp : Component.t;
   proc : Proc.t;
   registry : Registry.t;
   local_addr : Addr.Ipv4.t;
   save : string -> string -> unit;
   load : string -> string option;
   pool : Pool.t;
-  mutable db : inflight Request_db.t;
+  db : inflight Component.Db.t;
   mutable to_ip : Msg.t Sim_chan.t option;
   mutable to_sc : Msg.t Sim_chan.t option;
-  mutable consumed : Msg.t Sim_chan.t list;
   sockets : (Msg.socket_id, socket) Hashtbl.t;
   (* At most one select outstanding per calling process instance. *)
   mutable select_pending : (int * Msg.socket_id list) option;
@@ -53,8 +51,9 @@ type t = {
 let ip_peer = 1
 let max_rxq = 64
 
+let comp t = t.comp
 let proc t = t.proc
-let costs t = Machine.costs t.machine
+let costs t = Machine.costs (Component.machine t.comp)
 let open_socket_count t = Hashtbl.length t.sockets
 let datagrams_in t = t.datagrams_in
 let datagrams_out t = t.datagrams_out
@@ -135,7 +134,7 @@ let submit_packet t pkt =
     | None -> free_chain t pkt.chain
     | Some chan ->
         let id =
-          Request_db.submit t.db ~peer:ip_peer ~payload:pkt ~abort:(fun _ p ->
+          Component.Db.submit t.db ~peer:ip_peer ~payload:pkt ~abort:(fun _ p ->
               t.resubmit <- p :: t.resubmit)
         in
         if
@@ -144,7 +143,7 @@ let submit_packet t pkt =
                (Msg.Tx_ip
                   { id; chain = pkt.chain; src = pkt.src; dst = pkt.dst; proto = Ipv4.Udp; tso = false }))
         then begin
-          ignore (Request_db.complete t.db id);
+          ignore (Component.Db.complete t.db id);
           free_chain t pkt.chain
         end
 
@@ -298,7 +297,7 @@ let handle_msg t msg =
   | Msg.Tx_ip_confirm { id; ok = _ } -> (
       ( 100,
         fun () ->
-          match Request_db.complete t.db id with
+          match Component.Db.complete t.db id with
           | Some pkt -> free_chain t pkt.chain
           | None -> Stats.incr (Proc.stats t.proc) "stale_confirm" ))
   | Msg.Rx_deliver { buf; src; dst } ->
@@ -310,42 +309,67 @@ let handle_msg t msg =
   | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
-let create machine ~proc ~registry ~local_addr ~save ~load () =
+let create comp ~registry ~local_addr ~save ~load () =
   let pool = Pool.create ~id:(Pool.fresh_id ()) ~slots:2048 ~slot_size:2048 in
   Registry.register registry pool;
-  {
-    machine;
-    proc;
-    registry;
-    local_addr;
-    save;
-    load;
-    pool;
-    db = Request_db.create ();
-    to_ip = None;
-    to_sc = None;
-    consumed = [];
-    sockets = Hashtbl.create 32;
-    select_pending = None;
-    next_ephemeral = 49152;
-    resubmit = [];
-    ip_up = true;
-    src_select = (fun _ -> local_addr);
-    datagrams_in = 0;
-    datagrams_out = 0;
-  }
+  let t =
+    {
+      comp;
+      proc = Component.proc comp;
+      registry;
+      local_addr;
+      save;
+      load;
+      pool;
+      db = Component.create_db comp;
+      to_ip = None;
+      to_sc = None;
+      sockets = Hashtbl.create 32;
+      select_pending = None;
+      next_ephemeral = 49152;
+      resubmit = [];
+      ip_up = true;
+      src_select = (fun _ -> local_addr);
+      datagrams_in = 0;
+      datagrams_out = 0;
+    }
+  in
+  Component.register_pool comp pool;
+  Component.on_crash comp (fun () ->
+      t.select_pending <- None;
+      Hashtbl.reset t.sockets;
+      t.resubmit <- []);
+  Component.on_restart comp (fun ~fresh:_ ->
+      (* "It is easy to recreate the sockets after the crash"
+         (Section V-D): the 4-tuples come back from the storage
+         server. *)
+      (match t.load "sockets" with
+      | None -> ()
+      | Some blob ->
+          let socks : (Msg.socket_id * int * (Addr.Ipv4.t * int) option) list =
+            Marshal.from_string blob 0
+          in
+          List.iter
+            (fun (id, bound_port, peer) ->
+              (* Not via [sock]: its eager persist would overwrite the
+                 saved blob with a half-restored table — fatal at the
+                 next crash. *)
+              Hashtbl.replace t.sockets id
+                { sock_id = id; bound_port; peer; rxq = Queue.create (); op = P_none })
+            socks);
+      (* Re-persist the fully restored table. *)
+      persist t);
+  t
 
 let set_src_select t f = t.src_select <- f
 
 let connect_ip t ~to_ip ~from_ip =
   t.to_ip <- Some to_ip;
-  t.consumed <- from_ip :: t.consumed;
-  Proc.add_rx t.proc from_ip (handle_msg t)
+  Component.consume t.comp from_ip (handle_msg t)
 
 let connect_sc t ~from_sc ~to_sc =
   t.to_sc <- Some to_sc;
-  t.consumed <- from_sc :: t.consumed;
-  Proc.add_rx t.proc from_sc (handle_msg t)
+  Component.consume t.comp from_sc (handle_msg t)
 
 let conntrack_flows t =
   Hashtbl.fold
@@ -365,7 +389,7 @@ let conntrack_flows t =
 
 let on_ip_crash t =
   t.ip_up <- false;
-  ignore (Request_db.abort_peer t.db ~peer:ip_peer)
+  ignore (Component.Db.abort_peer t.db ~peer:ip_peer)
 
 let on_ip_restart t =
   t.ip_up <- true;
@@ -379,31 +403,3 @@ let on_ip_restart t =
         pkts)
 
 let repersist t = persist t
-
-let crash_cleanup t =
-  t.select_pending <- None;
-  Pool.free_all t.pool;
-  Hashtbl.reset t.sockets;
-  t.db <- Request_db.create ();
-  t.resubmit <- [];
-  List.iter Sim_chan.tear_down t.consumed
-
-let restart t =
-  List.iter Sim_chan.revive t.consumed;
-  (* "It is easy to recreate the sockets after the crash"
-     (Section V-D): the 4-tuples come back from the storage server. *)
-  (match t.load "sockets" with
-  | None -> ()
-  | Some blob ->
-      let socks : (Msg.socket_id * int * (Addr.Ipv4.t * int) option) list =
-        Marshal.from_string blob 0
-      in
-      List.iter
-        (fun (id, bound_port, peer) ->
-          (* Not via [sock]: its eager persist would overwrite the saved
-             blob with a half-restored table — fatal at the next crash. *)
-          Hashtbl.replace t.sockets id
-            { sock_id = id; bound_port; peer; rxq = Queue.create (); op = P_none })
-        socks);
-  (* Re-persist the fully restored table. *)
-  persist t

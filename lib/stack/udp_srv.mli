@@ -7,13 +7,16 @@
     the restarted server re-creates all sockets from storage, and the
     SYSCALL server re-issues the last unfinished operation on each
     socket (Section V-D). The paper's DNS-resolver test keeps working
-    across UDP crashes without reopening its socket. *)
+    across UDP crashes without reopening its socket.
+
+    The socket-table reload is a {!Component} restart hook; channel
+    teardown, buffer-pool reclamation and the in-flight request DB are
+    the generic component lifecycle. *)
 
 type t
 
 val create :
-  Newt_hw.Machine.t ->
-  proc:Proc.t ->
+  Component.t ->
   registry:Newt_channels.Registry.t ->
   local_addr:Newt_net.Addr.Ipv4.t ->
   save:(string -> string -> unit) ->
@@ -21,6 +24,7 @@ val create :
   unit ->
   t
 
+val comp : t -> Component.t
 val proc : t -> Proc.t
 
 val set_src_select : t -> (Newt_net.Addr.Ipv4.t -> Newt_net.Addr.Ipv4.t) -> unit
@@ -42,8 +46,6 @@ val conntrack_flows : t -> Newt_pf.Conntrack.flow list
 
 val on_ip_crash : t -> unit
 val on_ip_restart : t -> unit
-val crash_cleanup : t -> unit
-val restart : t -> unit
 
 val repersist : t -> unit
 (** Save the socket table again (after a storage-server crash). *)

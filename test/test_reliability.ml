@@ -1,11 +1,12 @@
 (* Tests for the reliability substrate: the storage server, the
-   reincarnation server, and the fault injector's draw distribution. *)
+   reincarnation server (supervising generic component servers), and
+   the fault injector's draw distribution. *)
 
 module Engine = Newt_sim.Engine
 module Time = Newt_sim.Time
 module Machine = Newt_hw.Machine
 module Rng = Newt_sim.Rng
-module Proc = Newt_stack.Proc
+module Component = Newt_stack.Component
 module Storage = Newt_reliability.Storage
 module Reincarnation = Newt_reliability.Reincarnation
 module Fault_inject = Newt_reliability.Fault_inject
@@ -42,51 +43,52 @@ let make_world () =
   let m = Machine.create e in
   (e, m)
 
+let make_comp m name =
+  let core = Machine.add_dedicated_core m in
+  Component.create m ~name ~core ()
+
 let test_rs_restarts_crashed_server () =
   let e, m = make_world () in
-  let core = Machine.add_dedicated_core m in
-  let p = Proc.create m ~name:"victim" ~core () in
+  let c = make_comp m "victim" in
   let rs = Reincarnation.create m () in
   let crash_seen = ref false and restart_seen = ref false in
-  Reincarnation.watch rs p
+  Reincarnation.watch rs c
     ~notify_crash:[ (fun () -> crash_seen := true) ]
     ~notify_restart:[ (fun () -> restart_seen := true) ]
     ();
   Reincarnation.start rs;
-  ignore (Engine.schedule e (Time.of_seconds 0.5) (fun () -> Reincarnation.kill rs p));
+  ignore (Engine.schedule e (Time.of_seconds 0.5) (fun () -> Reincarnation.kill rs c));
   Engine.run e ~until:(Time.of_seconds 2.0);
   Alcotest.(check bool) "neighbours notified of crash" true !crash_seen;
   Alcotest.(check bool) "neighbours notified of restart" true !restart_seen;
-  Alcotest.(check bool) "victim alive again" true (Proc.alive p);
+  Alcotest.(check bool) "victim alive again" true (Component.alive c);
   Alcotest.(check int) "one restart" 1 (Reincarnation.restarts rs)
 
 let test_rs_heartbeat_catches_hang () =
   let e, m = make_world () in
-  let core = Machine.add_dedicated_core m in
-  let p = Proc.create m ~name:"hanger" ~core () in
+  let c = make_comp m "hanger" in
   let rs = Reincarnation.create m ~heartbeat_period:(Time.of_seconds 0.05) () in
-  Reincarnation.watch rs p ();
+  Reincarnation.watch rs c ();
   Reincarnation.start rs;
-  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Proc.hang p));
+  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Component.hang c));
   Engine.run e ~until:(Time.of_seconds 1.0);
-  Alcotest.(check bool) "reset and responsive again" true (Proc.responsive p);
-  Alcotest.(check bool) "restarted at least once" true (Reincarnation.restarts_of rs p >= 1)
+  Alcotest.(check bool) "reset and responsive again" true (Component.responsive c);
+  Alcotest.(check bool) "restarted at least once" true (Reincarnation.restarts_of rs c >= 1)
 
 let test_rs_notification_order () =
   (* Crash hooks must run before the component's restart; restart hooks
      after it (Section IV-D's resubmission dance depends on this). *)
   let e, m = make_world () in
-  let core = Machine.add_dedicated_core m in
-  let p = Proc.create m ~name:"ordered" ~core () in
+  let c = make_comp m "ordered" in
   let log = ref [] in
-  Proc.set_on_restart p (fun ~fresh:_ -> log := "component-recovery" :: !log);
+  Component.on_restart c (fun ~fresh:_ -> log := "component-recovery" :: !log);
   let rs = Reincarnation.create m () in
-  Reincarnation.watch rs p
+  Reincarnation.watch rs c
     ~notify_crash:[ (fun () -> log := "neighbour-abort" :: !log) ]
     ~notify_restart:[ (fun () -> log := "neighbour-resubmit" :: !log) ]
     ();
   Reincarnation.start rs;
-  ignore (Engine.schedule e 100 (fun () -> Reincarnation.kill rs p));
+  ignore (Engine.schedule e 100 (fun () -> Reincarnation.kill rs c));
   Engine.run e ~until:(Time.of_seconds 1.0);
   Alcotest.(check (list string)) "order"
     [ "neighbour-abort"; "component-recovery"; "neighbour-resubmit" ]
@@ -94,18 +96,75 @@ let test_rs_notification_order () =
 
 let test_rs_double_kill_single_restart () =
   let e, m = make_world () in
-  let core = Machine.add_dedicated_core m in
-  let p = Proc.create m ~name:"victim" ~core () in
+  let c = make_comp m "victim" in
   let rs = Reincarnation.create m () in
-  Reincarnation.watch rs p ();
+  Reincarnation.watch rs c ();
   Reincarnation.start rs;
   ignore
     (Engine.schedule e 100 (fun () ->
-         Reincarnation.kill rs p;
+         Reincarnation.kill rs c;
          (* A second signal while the restart is pending. *)
-         Reincarnation.kill rs p));
+         Reincarnation.kill rs c));
   Engine.run e ~until:(Time.of_seconds 1.0);
   Alcotest.(check int) "only one restart" 1 (Reincarnation.restarts rs)
+
+let test_rs_hang_on_heartbeat_boundary () =
+  (* The pathological instant: the server stops responding at exactly
+     the moment a heartbeat round fires. Whichever of the two events
+     the engine orders first, the hang must be caught no later than the
+     following round, and exactly once. *)
+  let e, m = make_world () in
+  let c = make_comp m "boundary" in
+  let period = Time.of_seconds 0.05 in
+  let rs = Reincarnation.create m ~heartbeat_period:period () in
+  Reincarnation.watch rs c ();
+  Reincarnation.start rs;
+  (* Round k fires at k * period; hang precisely at round 4. *)
+  ignore (Engine.schedule_at e (4 * period) (fun () -> Component.hang c));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check bool) "responsive again" true (Component.responsive c);
+  Alcotest.(check int) "caught exactly once" 1 (Reincarnation.restarts_of rs c)
+
+let test_rs_crash_inside_restart_window () =
+  (* A second crash signal lands mid-window, after the neighbours were
+     told but before the restart timer fires: the pending restart must
+     absorb it — one recovery, and the server is up at the end. *)
+  let e, m = make_world () in
+  let c = make_comp m "victim" in
+  let delay = Time.of_seconds 0.12 in
+  let rs = Reincarnation.create m ~restart_delay:delay () in
+  let crash_notices = ref 0 in
+  Reincarnation.watch rs c ~notify_crash:[ (fun () -> incr crash_notices) ] ();
+  Reincarnation.start rs;
+  ignore (Engine.schedule e 100 (fun () -> Reincarnation.kill rs c));
+  ignore
+    (Engine.schedule e (100 + (delay / 2)) (fun () ->
+         Alcotest.(check bool) "still down mid-window" false (Component.alive c);
+         Reincarnation.kill rs c));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check bool) "alive at the end" true (Component.alive c);
+  Alcotest.(check int) "one restart" 1 (Reincarnation.restarts rs);
+  Alcotest.(check int) "neighbours aborted once" 1 !crash_notices
+
+let test_rs_two_components_same_round () =
+  (* Two servers hang together; one heartbeat round catches both and
+     each recovers independently. *)
+  let e, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" in
+  let rs = Reincarnation.create m ~heartbeat_period:(Time.of_seconds 0.05) () in
+  Reincarnation.watch rs a ();
+  Reincarnation.watch rs b ();
+  Reincarnation.start rs;
+  ignore
+    (Engine.schedule e (Time.of_seconds 0.12) (fun () ->
+         Component.hang a;
+         Component.hang b));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check bool) "a responsive" true (Component.responsive a);
+  Alcotest.(check bool) "b responsive" true (Component.responsive b);
+  Alcotest.(check int) "a restarted once" 1 (Reincarnation.restarts_of rs a);
+  Alcotest.(check int) "b restarted once" 1 (Reincarnation.restarts_of rs b);
+  Alcotest.(check int) "two restarts total" 2 (Reincarnation.restarts rs)
 
 let test_fault_distribution_matches_table3 () =
   (* Over many draws, the component distribution approaches Table III's
@@ -168,6 +227,9 @@ let suite =
     ("heartbeats catch hangs", `Quick, test_rs_heartbeat_catches_hang);
     ("crash/recover/resubmit ordering", `Quick, test_rs_notification_order);
     ("double kill, single restart", `Quick, test_rs_double_kill_single_restart);
+    ("hang exactly on a heartbeat boundary", `Quick, test_rs_hang_on_heartbeat_boundary);
+    ("crash inside the restart window", `Quick, test_rs_crash_inside_restart_window);
+    ("two components caught in one round", `Quick, test_rs_two_components_same_round);
     ("fault draws match Table III", `Quick, test_fault_distribution_matches_table3);
     ("fault effects mostly crashes", `Quick, test_fault_effects_mostly_crashes);
     ("driver faults spread over instances", `Quick, test_fault_drv_index_spread);

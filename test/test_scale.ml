@@ -4,8 +4,10 @@
 
 module Time = Newt_sim.Time
 module Addr = Newt_net.Addr
+module Pubsub = Newt_channels.Pubsub
 module Rss = Newt_nic.Rss
 module Mq = Newt_nic.Mq_e1000
+module Ip_srv = Newt_stack.Ip_srv
 module Sink = Newt_stack.Sink
 module Apps = Newt_sockets.Apps
 module Shard_map = Newt_scale.Shard_map
@@ -163,6 +165,120 @@ let test_shard_crash_recovery () =
   Alcotest.(check bool) "both RX queues carried frames" true
     (per_queue.(0) > 0 && per_queue.(1) > 0)
 
+(* {2 Replicated IP servers} *)
+
+(* The directory encoding of an ARP binding (see Sharded_stack): the
+   MAC rides the [chan_id] field as a 48-bit integer. *)
+let mac_to_int m =
+  Array.fold_left (fun acc o -> (acc lsl 8) lor o) 0 (Addr.Mac.to_octets m)
+
+let test_ip_replication_lifts_plateau () =
+  let r1 = E.scaling_curve ~shard_counts:[ 8 ] ~flows:8 ~duration:0.2 () in
+  let r2 =
+    E.scaling_curve ~shard_counts:[ 8 ] ~ip_replicas:2 ~flows:8 ~duration:0.2 ()
+  in
+  match (r1.E.points, r2.E.points) with
+  | [ p1 ], [ p2 ] ->
+      Alcotest.(check int) "two replicas ran" 2 p2.E.ip_replicas;
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "replicated IP beats the single-IP plateau (%.2f vs %.2f Gbps)"
+           p2.E.goodput_gbps p1.E.goodput_gbps)
+        true
+        (p2.E.goodput_gbps > p1.E.goodput_gbps *. 1.3);
+      Alcotest.(check int) "affinity invariant held (r=1)" 0 p1.E.violations;
+      Alcotest.(check int) "affinity invariant held (r=2)" 0 p2.E.violations;
+      Array.iter
+        (fun (st : S.shard_stats) ->
+          Alcotest.(check bool) "every shard pulled its weight" true
+            (st.S.segs_out > 1000))
+        p2.E.per_shard
+  | _ -> Alcotest.fail "expected one point each"
+
+let test_arp_learn_broadcast () =
+  let config = { S.default_config with S.shards = 2; S.ip_replicas = 2 } in
+  let s = S.create ~config () in
+  let mac = Addr.Mac.of_index 77 in
+  let addr = ip 10 0 0 99 in
+  (* A binding announced under the shared prefix reaches every
+     replica's cache through the live subscription. *)
+  Pubsub.publish (S.directory s)
+    ~key:(Printf.sprintf "arp.0.%s" (Addr.Ipv4.to_string addr))
+    ~creator:(-1) ~chan_id:(mac_to_int mac);
+  for k = 0 to 1 do
+    match Ip_srv.arp_lookup (S.ip_replica s k) ~iface:0 addr with
+    | Some m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "replica %d converged" k)
+          true (Addr.Mac.equal m mac)
+    | None -> Alcotest.fail "replica cache did not converge"
+  done;
+  (* A reincarnated replica comes back with a flushed cache and
+     re-warms it from the directory replay — no new ARP traffic. *)
+  S.at s (Time.of_seconds 0.1) (fun () -> S.kill_ip_replica s 1);
+  S.run s ~until:(Time.of_seconds 1.0);
+  Alcotest.(check int) "replica restarted" 1 (S.ip_replica_restarts s 1);
+  Alcotest.(check int) "sibling untouched" 0 (S.ip_replica_restarts s 0);
+  (match Ip_srv.arp_lookup (S.ip_replica s 1) ~iface:0 addr with
+  | Some m ->
+      Alcotest.(check bool) "re-warmed after restart" true (Addr.Mac.equal m mac)
+  | None -> Alcotest.fail "flushed cache was not re-warmed");
+  match Ip_srv.arp_lookup (S.ip_replica s 1) ~iface:0 (S.sink_addr s) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "static peer binding lost after restart"
+
+let test_ip_replica_crash_isolation () =
+  (* Four paced flows, one per shard; shards 0/2 are served by replica
+     0 and shards 1/3 by replica 1. Killing replica 1 must not cost the
+     other replica's flows a single byte. *)
+  let config =
+    { S.default_config with S.shards = 4; S.ip_replicas = 2; link_gbps = 10.0 }
+  in
+  let s = S.create ~config () in
+  let received = Array.make 4 0 in
+  for i = 0 to 3 do
+    Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ n ->
+        received.(i) <- received.(i) + n)
+  done;
+  let iperfs =
+    Array.init 4 (fun i ->
+        Apps.Iperf.start (S.machine s) ~sc:(S.sc s) ~app:(S.app s)
+          ~dst:(S.sink_addr s) ~port:(5001 + i) ~write_size:1460
+          ~pace:(Time.of_micros 100.) ~until:(Time.of_seconds 1.0) ())
+  in
+  let at_kill = Array.make 4 0 in
+  S.at s (Time.of_seconds 0.2) (fun () ->
+      Array.blit received 0 at_kill 0 4;
+      S.kill_ip_replica s 1);
+  S.run s ~until:(Time.of_seconds 1.3);
+  Alcotest.(check int) "killed replica restarted once" 1 (S.ip_replica_restarts s 1);
+  Alcotest.(check int) "other replica untouched" 0 (S.ip_replica_restarts s 0);
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "transport shard %d never crashed" i)
+      0 (S.shard_restarts s i)
+  done;
+  (* The surviving replica's flows (even shards) lost nothing at all. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "flow on shard %d lost nothing" i)
+        (Apps.Iperf.bytes_sent iperfs.(i))
+        received.(i))
+    [ 0; 2 ];
+  (* The dead replica's flows resumed once it reincarnated. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow on shard %d resumed" i)
+        true
+        (received.(i) > at_kill.(i)))
+    [ 1; 3 ];
+  Alcotest.(check int) "no corruption on the wire" 0
+    (Sink.checksum_failures (S.sink s));
+  Alcotest.(check int) "affinity held across the crash" 0
+    (S.steering_violations s)
+
 let suite =
   [
     ( "shard map is deterministic and symmetric",
@@ -174,4 +290,7 @@ let suite =
     ("rebalance moves buckets toward idle shards", `Quick, test_rebalance_moves_buckets);
     ("goodput scales with shard count", `Slow, test_scaling_curve);
     ("one shard crashes, the rest keep serving", `Slow, test_shard_crash_recovery);
+    ("replicated IP lifts the single-IP plateau", `Slow, test_ip_replication_lifts_plateau);
+    ("ARP learn-broadcast converges and survives restart", `Quick, test_arp_learn_broadcast);
+    ("one IP replica crashes, the other's shards keep serving", `Slow, test_ip_replica_crash_isolation);
   ]
