@@ -1,7 +1,7 @@
 # Tier-1 gate: what CI runs on every PR.
-.PHONY: check build test fmt bench-smoke clean
+.PHONY: check build test fmt verify sanitize-smoke bench-smoke clean
 
-check: build test fmt
+check: build test fmt verify
 
 build:
 	dune build
@@ -11,6 +11,17 @@ test:
 
 fmt:
 	dune build @fmt
+
+# Static channel-graph verification over every shipped configuration
+# (split stack plus all shard/replica combinations): SPSC discipline,
+# core affinity, blocking cycles, republish completeness, shard maps.
+verify: build
+	dune exec bin/newtos_sim.exe -- verify
+
+# One fault-injection run with the pool-ownership sanitizer armed: any
+# double-free, free-while-in-flight or non-owner write fails the build.
+sanitize-smoke: build
+	dune exec bin/newtos_sim.exe -- fig4 --sanitize
 
 # One fast scaling iteration (single point, short duration): catches a
 # wiring regression in the sharded/replicated stack without the cost of

@@ -4,6 +4,7 @@
 module E = Newt_core.Experiments
 module F = Newt_reliability.Fault_inject
 module C = Newt_stack.Capacity
+module V = Newt_verify
 
 let print_table2 costs =
   ignore costs;
@@ -31,18 +32,35 @@ let print_trace name (t : E.crash_trace) ~paper_note =
     t.E.duplicate_segments t.E.sender_retransmits t.E.lost_segments
     t.E.component_restarts
 
-let print_fig4 seed =
-  let t = E.figure_ip_crash ~seed () in
-  print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
-    ~paper_note:
-      "paper: gap of ~2s while the link resets, one retransmission, full recovery"
+(* Run [f] with the pool-ownership sanitizer watching, then print its
+   verdict.  Any violation fails the invocation so CI can gate on it. *)
+let with_sanitizer enabled f =
+  if not enabled then f ()
+  else begin
+    V.Sanitizer.install ();
+    Fun.protect ~finally:V.Sanitizer.uninstall f;
+    let report = V.Sanitizer.report ~title:"pool-ownership sanitizer" () in
+    print_string (V.Report.to_string report);
+    print_newline ();
+    if not (V.Report.ok report) then exit 1
+  end
 
-let print_fig5 seed =
-  let t = E.figure_pf_crash ~seed () in
-  print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
-    ~paper_note:"paper: crashes almost not noticeable, no packets lost, 1024 rules recovered"
+let print_fig4 seed sanitize =
+  with_sanitizer sanitize (fun () ->
+      let t = E.figure_ip_crash ~seed () in
+      print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
+        ~paper_note:
+          "paper: gap of ~2s while the link resets, one retransmission, full recovery")
 
-let print_campaign runs seed =
+let print_fig5 seed sanitize =
+  with_sanitizer sanitize (fun () ->
+      let t = E.figure_pf_crash ~seed () in
+      print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
+        ~paper_note:
+          "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered")
+
+let print_campaign runs seed sanitize =
+  with_sanitizer sanitize @@ fun () ->
   let c = E.fault_campaign ~runs ~seed () in
   print_endline "Table III — distribution of crashes in the stack";
   print_endline "-------------------------------------------------";
@@ -126,7 +144,25 @@ let print_scaling shard_counts ip_replicas flows duration =
     r.E.points;
   print_newline ()
 
+let print_verify json max_shards =
+  let reports = E.verify_configs ~max_shards () in
+  let combined = V.Report.merge ~title:"all stack configurations" reports in
+  if json then print_endline (V.Report.to_json combined)
+  else begin
+    print_endline "Stack verifier — static channel-graph checks";
+    print_endline "---------------------------------------------";
+    List.iter (fun r -> print_string (V.Report.to_string r)) reports;
+    Printf.printf "\n%s\n"
+      (if V.Report.ok combined then "VERDICT: OK (no violations)"
+       else "VERDICT: FAILED")
+  end;
+  if not (V.Report.ok combined) then exit 1
+
 open Cmdliner
+
+let sanitize =
+  let doc = "Run with the pool-ownership sanitizer installed and print its verdict." in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
 
 let seed =
   let doc = "Random seed for the simulation." in
@@ -146,16 +182,36 @@ let table2_cmd =
 
 let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (IP server crash bitrate trace)")
-    Term.(const print_fig4 $ seed)
+    Term.(const print_fig4 $ seed $ sanitize)
 
 let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
-    Term.(const print_fig5 $ seed)
+    Term.(const print_fig5 $ seed $ sanitize)
 
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Reproduce Tables III and IV (fault-injection campaign)")
-    Term.(const (fun runs seed -> print_campaign runs seed) $ runs $ campaign_seed)
+    Term.(
+      const (fun runs seed sanitize -> print_campaign runs seed sanitize)
+      $ runs $ campaign_seed $ sanitize)
+
+let verify_cmd =
+  let json =
+    let doc = "Emit the machine-readable JSON verdict instead of the report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_shards =
+    let doc = "Largest shard count to verify (configurations N=1..this)." in
+    Arg.(value & opt int 8 & info [ "max-shards" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Static stack verifier: wire every shipped configuration and check \
+          the channel graph (SPSC discipline, core affinity, export \
+          ownership, republish completeness, blocking cycles, pool \
+          ownership, shard affinity). Exits 1 on any violation.")
+    Term.(const print_verify $ json $ max_shards)
 
 let coalesce_cmd =
   Cmd.v (Cmd.info "coalesce" ~doc:"Driver coalescing analysis (Section VI-A)")
@@ -197,9 +253,9 @@ let scaling_cmd =
 let all_cmd =
   let run () =
     print_table2 ();
-    print_fig4 42;
-    print_fig5 42;
-    print_campaign 100 2;
+    print_fig4 42 false;
+    print_fig5 42 false;
+    print_campaign 100 2 false;
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();
@@ -220,5 +276,6 @@ let () =
           coalesce_cmd;
           sweep_cmd;
           scaling_cmd;
+          verify_cmd;
           all_cmd;
         ]))

@@ -1,0 +1,32 @@
+type op = [ `Read | `Write | `Free | `Check ]
+
+type event =
+  | Pool_own of { pool : int; owner : string }
+  | Pool_grant of { pool : int }
+  | Pool_alloc of { pool : int; slot : int; gen : int }
+  | Pool_write of { pool : int; slot : int; gen : int }
+  | Pool_read of { pool : int; slot : int; gen : int }
+  | Pool_free of { pool : int; slot : int; gen : int }
+  | Pool_free_all of { pool : int }
+  | Pool_double_free of { ptr : Rich_ptr.t }
+  | Pool_stale of { ptr : Rich_ptr.t; op : op }
+  | Chan_handoff of { chan : int; ptr : Rich_ptr.t }
+  | Chan_receive of { chan : int; ptr : Rich_ptr.t }
+  | Chan_dropped of { chan : int; ptr : Rich_ptr.t }
+
+let listener : (actor:string option -> event -> unit) option ref = ref None
+let current : string option ref = ref None
+
+let install f = listener := Some f
+let uninstall () = listener := None
+let enabled () = Option.is_some !listener
+
+let emit ev =
+  match !listener with Some f -> f ~actor:!current ev | None -> ()
+
+let actor () = !current
+
+let with_actor name f =
+  let prev = !current in
+  current := Some name;
+  Fun.protect ~finally:(fun () -> current := prev) f

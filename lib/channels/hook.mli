@@ -1,0 +1,72 @@
+(** Sanitizer event hook.
+
+    The dependability argument of the paper rests on an ownership
+    discipline the types alone cannot enforce: pool slots are
+    owner-written and consumer-read-only, hand-offs ride the channels,
+    and every slot is reclaimed exactly once — also across crashes,
+    where reincarnation reclaims wholesale (Sections V-C/V-D). This
+    module is the instrumentation point that makes the discipline
+    observable: {!Pool} (and the server runtime above) emit lifecycle
+    events through a single process-wide hook, and a checker such as
+    [Newt_verify.Sanitizer] installs a listener to replay the slot
+    state machine and flag violations with the culprit's identity.
+
+    When no listener is installed every emission is a cheap no-op, so
+    production runs pay (almost) nothing.
+
+    {b Actors.} Attribution needs to know {e who} performed an
+    operation. The server runtime brackets all work it runs on behalf
+    of a component with {!with_actor}; emissions made outside any
+    bracket (device DMA, test harness code) carry no actor. *)
+
+type op = [ `Read | `Write | `Free | `Check ]
+(** What a failed dereference was attempting. *)
+
+type event =
+  | Pool_own of { pool : int; owner : string }
+      (** A component declared itself the pool's owning server. *)
+  | Pool_grant of { pool : int }
+      (** The owner granted write access to a device path (the DMA
+          grant of the receive pool): writes to this pool are not
+          owner-only anymore. *)
+  | Pool_alloc of { pool : int; slot : int; gen : int }
+  | Pool_write of { pool : int; slot : int; gen : int }
+  | Pool_read of { pool : int; slot : int; gen : int }
+  | Pool_free of { pool : int; slot : int; gen : int }
+      (** A successful, single free. *)
+  | Pool_free_all of { pool : int }
+      (** Wholesale reclaim — the owner crashed or reinitialized; not a
+          per-slot free and never a violation by itself. *)
+  | Pool_double_free of { ptr : Rich_ptr.t }
+      (** Emitted just before {!Pool.Double_free} is raised. *)
+  | Pool_stale of { ptr : Rich_ptr.t; op : op }
+      (** Emitted just before {!Pool.Stale_pointer} is raised. *)
+  | Chan_handoff of { chan : int; ptr : Rich_ptr.t }
+      (** A rich pointer was enqueued on a channel: the slot is in
+          flight until the consumer dequeues it. *)
+  | Chan_receive of { chan : int; ptr : Rich_ptr.t }
+      (** The consumer dequeued a message carrying the pointer. *)
+  | Chan_dropped of { chan : int; ptr : Rich_ptr.t }
+      (** The message was discarded undelivered (channel teardown on a
+          crash): the hand-off will never complete. *)
+
+val install : (actor:string option -> event -> unit) -> unit
+(** Install the process-wide listener (replacing any previous one). *)
+
+val uninstall : unit -> unit
+
+val enabled : unit -> bool
+(** Whether a listener is installed — use to skip costly event
+    construction. *)
+
+val emit : event -> unit
+(** Deliver an event (with the current actor) to the listener, if
+    any. *)
+
+val actor : unit -> string option
+(** The identity currently being charged, if inside {!with_actor}. *)
+
+val with_actor : string -> (unit -> 'a) -> 'a
+(** [with_actor name f] runs [f] with emissions attributed to [name];
+    the previous attribution is restored afterwards, also on
+    exceptions. *)

@@ -1,3 +1,8 @@
+(* How a freed slot was last reclaimed: a single [free] (a second free
+   through the same pointer is then a double free) or a wholesale
+   [free_all] (the owner crashed; late frees are merely stale). *)
+type reclaim = Never | By_free | By_free_all
+
 type t = {
   id : int;
   slot_size : int;
@@ -5,9 +10,11 @@ type t = {
   gens : int array;
   free_list : int Stack.t;
   live : bool array;
+  freed_by : reclaim array;
 }
 
 exception Stale_pointer of Rich_ptr.t
+exception Double_free of Rich_ptr.t
 exception Pool_exhausted
 
 let id_counter = ref 0
@@ -29,6 +36,7 @@ let create ~id ~slots ~slot_size =
     gens = Array.make slots 0;
     free_list;
     live = Array.make slots false;
+    freed_by = Array.make slots Never;
   }
 
 let id t = t.id
@@ -45,16 +53,21 @@ let alloc t ~len =
   | None -> raise Pool_exhausted
   | Some slot ->
       t.live.(slot) <- true;
+      if Hook.enabled () then
+        Hook.emit (Hook.Pool_alloc { pool = t.id; slot; gen = t.gens.(slot) });
       { Rich_ptr.pool = t.id; slot; off = 0; len; gen = t.gens.(slot) }
 
-let check t (p : Rich_ptr.t) =
+let check ?(op = `Check) t (p : Rich_ptr.t) =
   if
     p.Rich_ptr.pool <> t.id
     || p.Rich_ptr.slot < 0
     || p.Rich_ptr.slot >= Array.length t.data
     || (not t.live.(p.Rich_ptr.slot))
     || t.gens.(p.Rich_ptr.slot) <> p.Rich_ptr.gen
-  then raise (Stale_pointer p)
+  then begin
+    Hook.emit (Hook.Pool_stale { ptr = p; op });
+    raise (Stale_pointer p)
+  end
 
 let live t (p : Rich_ptr.t) =
   p.Rich_ptr.pool = t.id
@@ -64,7 +77,11 @@ let live t (p : Rich_ptr.t) =
   && t.gens.(p.Rich_ptr.slot) = p.Rich_ptr.gen
 
 let write t p ~src ~src_off =
-  check t p;
+  check ~op:`Write t p;
+  if Hook.enabled () then
+    Hook.emit
+      (Hook.Pool_write
+         { pool = t.id; slot = p.Rich_ptr.slot; gen = p.Rich_ptr.gen });
   Bytes.blit src src_off t.data.(p.Rich_ptr.slot) p.Rich_ptr.off p.Rich_ptr.len
 
 let sub_ptr (p : Rich_ptr.t) ~off ~len =
@@ -72,19 +89,44 @@ let sub_ptr (p : Rich_ptr.t) ~off ~len =
     invalid_arg "Pool.sub_ptr: out of chunk bounds";
   { p with Rich_ptr.off = p.Rich_ptr.off + off; len }
 
+let emit_read t (p : Rich_ptr.t) =
+  if Hook.enabled () then
+    Hook.emit
+      (Hook.Pool_read { pool = t.id; slot = p.Rich_ptr.slot; gen = p.Rich_ptr.gen })
+
 let read t p =
-  check t p;
+  check ~op:`Read t p;
+  emit_read t p;
   Bytes.sub t.data.(p.Rich_ptr.slot) p.Rich_ptr.off p.Rich_ptr.len
 
 let blit t p ~dst ~dst_off =
-  check t p;
+  check ~op:`Read t p;
+  emit_read t p;
   Bytes.blit t.data.(p.Rich_ptr.slot) p.Rich_ptr.off dst dst_off p.Rich_ptr.len
 
 let free t p =
-  check t p;
   let slot = p.Rich_ptr.slot in
+  (* A pointer whose slot was reclaimed by a plain [free] and not since
+     reallocated: this very allocation was already freed once. Calling
+     it a stale pointer would hide the bug — and pushing the slot again
+     would corrupt the free list, handing the same slot to two owners. *)
+  if
+    p.Rich_ptr.pool = t.id
+    && slot >= 0
+    && slot < Array.length t.data
+    && (not t.live.(slot))
+    && t.gens.(slot) = p.Rich_ptr.gen + 1
+    && t.freed_by.(slot) = By_free
+  then begin
+    Hook.emit (Hook.Pool_double_free { ptr = p });
+    raise (Double_free p)
+  end;
+  check ~op:`Free t p;
   t.live.(slot) <- false;
   t.gens.(slot) <- t.gens.(slot) + 1;
+  t.freed_by.(slot) <- By_free;
+  if Hook.enabled () then
+    Hook.emit (Hook.Pool_free { pool = t.id; slot; gen = p.Rich_ptr.gen });
   Stack.push slot t.free_list
 
 let free_all t =
@@ -92,7 +134,9 @@ let free_all t =
   for i = Array.length t.data - 1 downto 0 do
     if t.live.(i) then begin
       t.live.(i) <- false;
-      t.gens.(i) <- t.gens.(i) + 1
+      t.gens.(i) <- t.gens.(i) + 1;
+      t.freed_by.(i) <- By_free_all
     end;
     Stack.push i t.free_list
-  done
+  done;
+  Hook.emit (Hook.Pool_free_all { pool = t.id })

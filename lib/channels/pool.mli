@@ -20,6 +20,14 @@ exception Stale_pointer of Rich_ptr.t
 (** Raised when dereferencing a pointer whose slot has been freed or
     reused since the pointer was made. *)
 
+exception Double_free of Rich_ptr.t
+(** Raised by {!free} when the slot behind the pointer was already
+    released by a previous {!free} and has not been reallocated since:
+    an unmistakable owner bug, distinguished from the merely-stale case
+    (slot reclaimed wholesale by {!free_all} or since handed to a new
+    allocation) so it cannot hide behind the crash-recovery paths that
+    tolerate {!Stale_pointer}. *)
+
 exception Pool_exhausted
 (** Raised by {!alloc} when no free slot is available. *)
 
@@ -61,9 +69,10 @@ val live : t -> Rich_ptr.t -> bool
 (** Whether a pointer is still valid (right pool, live generation). *)
 
 val free : t -> Rich_ptr.t -> unit
-(** Owner side: release the slot behind the pointer. Freeing through a
-    stale pointer raises {!Stale_pointer}; double frees are therefore
-    detected. *)
+(** Owner side: release the slot behind the pointer. Freeing the same
+    allocation twice raises {!Double_free}; freeing through an
+    otherwise stale pointer (reallocated slot, wholesale reclaim)
+    raises {!Stale_pointer}. *)
 
 val free_all : t -> unit
 (** Owner side: release every slot (used when the owner restarts and

@@ -38,13 +38,16 @@ val subscribe_prefix :
     learn-broadcast primitive: replicated servers announce discoveries
     (e.g. ARP bindings) under a shared prefix and every peer hears
     them. Existing matching publications are replayed immediately, in
-    key order. *)
+    publish order. *)
 
 val replay_prefix :
   t -> prefix:string -> ([ `Published of publication | `Gone ] -> unit) -> unit
-(** Replay (in key order) the current publications whose key starts
-    with [prefix], without subscribing — how a restarted replica
-    re-warms caches it lost in the crash. *)
+(** Replay the current publications whose key starts with [prefix],
+    without subscribing — how a restarted replica re-warms caches it
+    lost in the crash. Entries are re-delivered in publish order (a
+    republished key takes the position of its latest publication), so a
+    re-warming replica converges to the same state the live peers built
+    up incrementally. *)
 
 val unsubscribe_all : t -> key:string -> unit
 (** Drop all subscriptions on a key (used in tests). *)

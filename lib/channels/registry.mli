@@ -17,6 +17,10 @@ val register : t -> Pool.t -> unit
     restarted owner re-creates and re-exports it). *)
 
 val unregister : t -> id:int -> unit
+(** Withdraw a pool from the directory. Unregistering an id that is not
+    (or no longer) registered is a no-op: crash teardown and restart
+    paths may race to withdraw the same pool, and the second withdrawal
+    must be harmless. *)
 
 val find : t -> int -> Pool.t
 (** Raises {!Unknown_pool}. *)

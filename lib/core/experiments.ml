@@ -583,3 +583,74 @@ let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
     single_instance_gbps =
       (Capacity.evaluate Capacity.Split_dedicated_sc).Capacity.goodput_gbps;
   }
+
+(* {1 Stack verifier — static channel-graph checks over every shipped
+   configuration} *)
+
+let sharded_spec s =
+  let module S = Newt_scale.Sharded_stack in
+  let module Sim_chan = Newt_channels.Sim_chan in
+  let module Component = Newt_stack.Component in
+  let cfg = S.config s in
+  let chans = S.tcp_channels s in
+  {
+    Newt_verify.Static.shards = cfg.S.shards;
+    replicas = cfg.S.ip_replicas;
+    rss_table = Newt_nic.Rss.table (Newt_scale.Shard_map.rss (S.shard_map s));
+    shard_to_ip = Array.map (fun (c, _) -> Sim_chan.id c) chans;
+    ip_to_shard = Array.map (fun (_, c) -> Sim_chan.id c) chans;
+    replica_names = Array.map Component.name (S.ip_components s);
+    shard_names = Array.map Component.name (S.tcp_components s);
+  }
+
+let verify_configs ?(max_shards = 8) () =
+  let module S = Newt_scale.Sharded_stack in
+  let split =
+    let h = Host.create () in
+    Newt_verify.Static.check
+      ~directory:(Host.directory h)
+      ~title:"split stack" (Host.components h)
+  in
+  let sharded =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun r ->
+            if r > n then None
+            else
+              let config =
+                {
+                  S.default_config with
+                  S.shards = n;
+                  ip_replicas = r;
+                  pf_rules = Some [ Newt_pf.Rule.pass_all ];
+                }
+              in
+              let s = S.create ~config () in
+              Some
+                (Newt_verify.Static.check
+                   ~directory:(S.directory s)
+                   ~sharding:(sharded_spec s)
+                   ~title:(Printf.sprintf "sharded N=%d r=%d" n r)
+                   (S.components s)))
+          [ 1; 2 ])
+      (List.init max_shards (fun i -> i + 1))
+  in
+  split :: sharded
+
+let verify_all ?max_shards () =
+  Newt_verify.Report.merge ~title:"all stack configurations"
+    (verify_configs ?max_shards ())
+
+(* {1 Sanitized fault run — the ownership sanitizer across a crash} *)
+
+let sanitized_ip_crash ?seed ?crash_at ?duration () =
+  Newt_verify.Sanitizer.install ();
+  Fun.protect
+    ~finally:(fun () -> Newt_verify.Sanitizer.uninstall ())
+    (fun () ->
+      let trace = figure_ip_crash ?seed ?crash_at ?duration () in
+      let report =
+        Newt_verify.Sanitizer.report ~title:"sanitized IP-crash run" ()
+      in
+      (report, trace))

@@ -201,3 +201,30 @@ val scaling_curve :
     (default 1) replicates the IP server as well — each point is capped
     at [min ip_replicas shards] — lifting the plateau the single IP
     instance imposes once the shards outrun it. *)
+
+(** {1 Stack verifier} *)
+
+val sharded_spec : Newt_scale.Sharded_stack.t -> Newt_verify.Static.sharding
+(** The sharding-affinity description of a wired sharded host, for
+    {!Newt_verify.Static.check}. *)
+
+val verify_configs : ?max_shards:int -> unit -> Newt_verify.Report.t list
+(** Wire every shipped stack configuration — the split single-instance
+    stack plus every sharded variant (N = 1..[max_shards] shards, 1 and
+    2 IP replicas, filter enabled) — and run the static channel-graph
+    checker over each. *)
+
+val verify_all : ?max_shards:int -> unit -> Newt_verify.Report.t
+(** {!verify_configs} merged into one report; [Report.ok] of the result
+    is the CI gate. *)
+
+val sanitized_ip_crash :
+  ?seed:int ->
+  ?crash_at:float ->
+  ?duration:float ->
+  unit ->
+  Newt_verify.Report.t * crash_trace
+(** {!figure_ip_crash} with the pool-ownership sanitizer installed for
+    the whole run, crash and recovery included. Returns the sanitizer's
+    report (expected: zero violations, some stale-pointer observations)
+    alongside the usual trace. *)

@@ -77,6 +77,7 @@ type t = {
   nics : E1000.t array;
   links : Link.t array;
   sinks : Sink.t array;
+  sc_comp : Component.t;
   comps : (component * Component.t) list;
   app_cores : Newt_hw.Cpu.t array;
   mutable next_app : int;
@@ -110,6 +111,7 @@ let comp_of t comp =
   | None -> invalid_arg "Host.comp_of: unknown component"
 
 let proc_of t comp = Component.proc (comp_of t comp)
+let components t = t.sc_comp :: List.map snd t.comps
 
 let local_addr _t i = Addr.Ipv4.v 10 0 i 1
 let sink_addr _t i = Addr.Ipv4.v 10 0 i 2
@@ -296,6 +298,7 @@ let create ?(config = default_config) () =
       nics;
       links;
       sinks;
+      sc_comp;
       comps =
         [ (C_tcp, tcp_comp); (C_udp, udp_comp); (C_ip, ip_comp); (C_pf, pf_comp) ]
         @ Array.to_list (Array.mapi (fun i c -> (C_drv i, c)) drv_comps);

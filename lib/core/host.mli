@@ -66,6 +66,9 @@ val comp_of : t -> component -> Newt_stack.Component.t
 
 val proc_of : t -> component -> Newt_stack.Proc.t
 
+val components : t -> Newt_stack.Component.t list
+(** Every component server of the host, for the stack verifier. *)
+
 val directory : t -> Newt_channels.Pubsub.t
 (** The publish/subscribe channel directory (Section IV-C): every
     fast-path channel is published under a meaningful key

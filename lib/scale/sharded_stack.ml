@@ -95,9 +95,13 @@ type t = {
   nic : Mq.t;
   link : Link.t;
   sink : Sink.t;
+  sc_comp : Component.t;
+  pf_comp : Component.t option;
+  drv_comp : Component.t;
   tcp_comps : Component.t array;
   udp_comps : Component.t array;
   ip_comps : Component.t array;
+  tcp_to_ip : Msg.t Sim_chan.t array;
   ip_to_tcp : Msg.t Sim_chan.t array;
   (* IP's half of the affinity journal (the NIC keeps its own) —
      shared by all replicas: shard affinity implies replica affinity. *)
@@ -120,6 +124,19 @@ let link t = t.link
 let sink t = t.sink
 let shard_map t = t.sm
 let directory t = t.directory
+let tcp_components t = t.tcp_comps
+let ip_components t = t.ip_comps
+
+let components t =
+  (t.sc_comp :: Option.to_list t.pf_comp)
+  @ [ t.drv_comp ]
+  @ Array.to_list t.tcp_comps
+  @ Array.to_list t.udp_comps
+  @ Array.to_list t.ip_comps
+
+let tcp_channels t =
+  Array.init (Array.length t.tcp_to_ip) (fun i ->
+      (t.tcp_to_ip.(i), t.ip_to_tcp.(i)))
 
 let local_addr _t = Addr.Ipv4.v 10 0 0 1
 let sink_addr _t = Addr.Ipv4.v 10 0 0 2
@@ -583,9 +600,13 @@ let create ?(config = default_config) () =
     nic;
     link;
     sink;
+    sc_comp;
+    pf_comp;
+    drv_comp;
     tcp_comps;
     udp_comps;
     ip_comps;
+    tcp_to_ip;
     ip_to_tcp;
     steer_journal;
     ip_violations;

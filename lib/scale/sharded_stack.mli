@@ -77,6 +77,21 @@ val link : t -> Newt_nic.Link.t
 val sink : t -> Newt_stack.Sink.t
 val shard_map : t -> Shard_map.t
 
+(** {1 Topology introspection (for the stack verifier)} *)
+
+val components : t -> Newt_stack.Component.t list
+(** Every component server of the host: SYSCALL, filter (if any),
+    driver, transport shards, IP replicas. *)
+
+val tcp_components : t -> Newt_stack.Component.t array
+val ip_components : t -> Newt_stack.Component.t array
+
+val tcp_channels :
+  t -> (Newt_stack.Msg.t Newt_channels.Sim_chan.t * Newt_stack.Msg.t Newt_channels.Sim_chan.t) array
+(** Per TCP shard [i], its [(to_ip, from_ip)] channel pair — the
+    request channel its replica consumes and the delivery channel it
+    consumes. *)
+
 val local_addr : t -> Newt_net.Addr.Ipv4.t
 val sink_addr : t -> Newt_net.Addr.Ipv4.t
 

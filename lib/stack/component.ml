@@ -7,6 +7,13 @@ module Sim_chan = Newt_channels.Sim_chan
 module Pool = Newt_channels.Pool
 module Pubsub = Newt_channels.Pubsub
 module Request_db = Newt_channels.Request_db
+module Hook = Newt_channels.Hook
+
+type producer_end = {
+  chan : Msg.t Sim_chan.t;
+  policy : [ `Drop | `Block ];
+  shared : bool;
+}
 
 module Defaults = struct
   let heartbeat_period = Time.of_seconds 0.1
@@ -18,6 +25,7 @@ type t = {
   proc : Proc.t;
   directory : Pubsub.t option;
   mutable rx : Msg.t Sim_chan.t list; (* registration order *)
+  mutable tx : producer_end list; (* declared producer endpoints *)
   mutable exports : (string * Msg.t Sim_chan.t) list;
   mutable pools : Pool.t list;
   mutable db_resets : (unit -> unit) list;
@@ -33,13 +41,35 @@ let publish_export t (key, chan) =
         ~chan_id:(Sim_chan.id chan)
   | None -> ()
 
+(* Tearing a channel down discards whatever is queued: tell the
+   sanitizer those hand-offs will never complete, so the senders'
+   buffers are not considered in flight forever. *)
+let drop_queued chan =
+  if Hook.enabled () then begin
+    let rec go () =
+      match Sim_chan.recv chan with
+      | Some msg ->
+          List.iter
+            (fun ptr ->
+              Hook.emit (Hook.Chan_dropped { chan = Sim_chan.id chan; ptr }))
+            (Msg.ptrs msg);
+          go ()
+      | None -> ()
+    in
+    go ()
+  end
+
 (* The generic death: server-specific resets first (they may still bank
    counters into the archive), then the recoverable-resource teardown. *)
 let generic_crash t () =
   List.iter (fun f -> f ()) t.crash_hooks;
   List.iter (fun reset -> reset ()) t.db_resets;
   List.iter Pool.free_all t.pools;
-  List.iter Sim_chan.tear_down t.rx
+  List.iter
+    (fun chan ->
+      drop_queued chan;
+      Sim_chan.tear_down chan)
+    t.rx
 
 let generic_restart t ~fresh =
   List.iter Sim_chan.revive t.rx;
@@ -54,6 +84,7 @@ let create machine ~name ~core ?directory ?trace () =
       proc;
       directory;
       rx = [];
+      tx = [];
       exports = [];
       pools = [];
       db_resets = [];
@@ -81,11 +112,24 @@ let consume t chan handler =
   t.rx <- t.rx @ [ chan ];
   Proc.add_rx t.proc chan handler
 
+let produce t ?(policy = `Drop) ?(shared = false) chan =
+  let entry = { chan; policy; shared } in
+  if List.exists (fun e -> e.chan == chan) t.tx then
+    t.tx <- List.map (fun e -> if e.chan == chan then entry else e) t.tx
+  else t.tx <- t.tx @ [ entry ]
+
 let export t ~key chan =
   t.exports <- t.exports @ [ (key, chan) ];
   publish_export t (key, chan)
 
-let register_pool t pool = t.pools <- t.pools @ [ pool ]
+let register_pool t pool =
+  t.pools <- t.pools @ [ pool ];
+  Hook.emit (Hook.Pool_own { pool = Pool.id pool; owner = Proc.name t.proc })
+
+let produced t = List.map (fun e -> (e.chan, e.policy, e.shared)) t.tx
+let consumed t = t.rx
+let exports t = t.exports
+let pools t = t.pools
 let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
 let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
 let crash t = Proc.crash t.proc

@@ -86,16 +86,47 @@ val consume : t -> Msg.t Sim_chan.t -> Proc.handler -> unit
 (** Register an inbound channel: the process drains it, and the
     lifecycle tears it down on crash / revives it on restart. *)
 
+val produce :
+  t -> ?policy:[ `Drop | `Block ] -> ?shared:bool -> Msg.t Sim_chan.t -> unit
+(** Declare an outbound endpoint, for the static verifier's topology.
+    [policy] records what the server does on a full channel: [`Drop]
+    (the default — the paper's non-blocking discipline) or [`Block]
+    (the server spins until space frees, an edge in the blocking-wait
+    graph). [~shared:true] marks a fan-out endpoint that other
+    components also declare (e.g. every IP replica holds the full
+    transport channel array); shared declarations are exempt from the
+    single-producer check. Re-declaring the same channel replaces the
+    previous declaration. *)
+
 val export : t -> key:string -> Msg.t Sim_chan.t -> unit
 (** Register an outbound channel under a directory [key]: published
     immediately (when a directory was given) and republished after
     every restart so peers can re-resolve the channel. *)
 
+(** {1 Topology introspection}
+
+    Read-only views for the static stack verifier, reflecting the
+    declarations made during wiring. *)
+
+val produced : t -> (Msg.t Sim_chan.t * [ `Drop | `Block ] * bool) list
+(** Declared outbound endpoints, as [(chan, policy, shared)]. *)
+
+val consumed : t -> Msg.t Sim_chan.t list
+(** Inbound channels in registration order. *)
+
+val exports : t -> (string * Msg.t Sim_chan.t) list
+(** Directory keys this component (re)publishes, with their channels. *)
+
+val pools : t -> Pool.t list
+(** Buffer pools owned by (and freed with) this component. *)
+
 (** {1 Recoverable resources} *)
 
 val register_pool : t -> Pool.t -> unit
 (** Freed wholesale when the component crashes: zero-copy buffers are
-    part of the incarnation, never of the recoverable state. *)
+    part of the incarnation, never of the recoverable state. Announces
+    ownership to the sanitizer hook (install the sanitizer before
+    wiring the stack to capture it). *)
 
 val on_crash : t -> (unit -> unit) -> unit
 (** Append a custom crash hook; hooks run in registration order before

@@ -131,6 +131,7 @@ let create comp ~nic () =
 
 let connect_ip t ~rx_from_ip ~tx_to_ip =
   t.tx_to_ip <- Some tx_to_ip;
+  Component.produce t.comp tx_to_ip;
   Component.consume t.comp rx_from_ip (handle_msg t)
 
 let grant_rx_pool t ~alloc ~write =

@@ -5,6 +5,7 @@ module Sim_chan = Newt_channels.Sim_chan
 module Pool = Newt_channels.Pool
 module Rich_ptr = Newt_channels.Rich_ptr
 module Registry = Newt_channels.Registry
+module Hook = Newt_channels.Hook
 module Addr = Newt_net.Addr
 module Ipv4 = Newt_net.Ipv4
 module Icmp = Newt_net.Icmp
@@ -559,6 +560,10 @@ let handle_msg t ~source msg =
 (* {2 Construction and wiring} *)
 
 let grant_pool_to t hooks =
+  (* The driver (and through it the DMA engine) now writes into our
+     receive pool by design — tell the sanitizer this pool is granted,
+     so those foreign writes are not ownership violations. *)
+  Hook.emit (Hook.Pool_grant { pool = Pool.id t.rx_pool });
   hooks.drv_grant_rx_pool
     ~alloc:(fun () ->
       match Pool.alloc t.rx_pool ~len:(Pool.slot_size t.rx_pool) with
@@ -655,6 +660,7 @@ let add_iface_custom t cfg ~hooks ~tx_chan ~rx_chan =
     }
   in
   t.ifaces <- t.ifaces @ [ ifc ];
+  Component.produce t.comp tx_chan;
   consume ~source:(Src_iface i) t rx_chan;
   hooks.drv_connect ~rx_from_ip:tx_chan ~tx_to_ip:rx_chan;
   grant_pool_to t hooks;
@@ -675,6 +681,7 @@ let add_iface t cfg ~drv ~tx_chan ~rx_chan =
 
 let connect_pf t ~to_pf ~from_pf =
   t.to_pf <- Some to_pf;
+  Component.produce t.comp to_pf;
   consume t from_pf
 
 let connect_transport_sharded ?(mine = fun _ -> true) t ~proto ~steer ~pairs =
@@ -684,9 +691,12 @@ let connect_transport_sharded ?(mine = fun _ -> true) t ~proto ~steer ~pairs =
   | `Udp -> t.to_udp <- Some fan);
   (* A replica consumes only its own shards' request channels ([mine])
      but keeps the full fan-out array: received frames steer by flow
-     hash across ALL shards, exactly like the RSS table does. *)
+     hash across ALL shards, exactly like the RSS table does. The
+     non-[mine] reply channels are therefore shared producer endpoints
+     — every replica may deliver into any shard. *)
   Array.iteri
-    (fun i (from_transport, _) ->
+    (fun i (from_transport, to_transport) ->
+      Component.produce t.comp ~shared:(not (mine i)) to_transport;
       if mine i then consume ~source:(Src_transport (proto, i)) t from_transport)
     pairs
 

@@ -178,6 +178,7 @@ let set_replicas t n =
 let connect_ip_replica t ~replica ~rx_from_ip ~tx_to_ip =
   let r = ensure_replica t replica in
   r.r_tx_to_ip <- Some tx_to_ip;
+  Component.produce t.comp tx_to_ip;
   Component.consume t.comp rx_from_ip (handle_msg t)
 
 let grant_rx_pool_replica t ~replica ~alloc ~write =

@@ -62,6 +62,13 @@ type t =
   | Sock_reply of { id : int; result : sock_result }
   | Sock_event of { sock : socket_id; event : [ `Readable | `Writable | `Closed ] }
 
+let ptrs = function
+  | Tx_ip { chain; _ } | Drv_tx { chain; _ } -> chain
+  | Rx_frame { buf; _ } | Rx_deliver { buf; _ } | Rx_done { buf } -> [ buf ]
+  | Tx_ip_confirm _ | Filter_req _ | Filter_verdict _ | Drv_tx_confirm _
+  | Drv_tx_confirm_batch _ | Sock_req _ | Sock_reply _ | Sock_event _ ->
+      []
+
 let describe = function
   | Tx_ip _ -> "tx_ip"
   | Tx_ip_confirm _ -> "tx_ip_confirm"

@@ -108,3 +108,8 @@ type t =
 
 val describe : t -> string
 (** Short tag for traces. *)
+
+val ptrs : t -> Newt_channels.Rich_ptr.t list
+(** Every rich pointer the message hands across the channel (chain
+    chunks and single buffers) — what the ownership sanitizer tracks as
+    in-flight while the message is queued. *)

@@ -90,6 +90,7 @@ let create comp ~save ~load () =
   t
 
 let connect_ip t ~from_ip ~to_ip =
+  Component.produce t.comp to_ip;
   Component.consume t.comp from_ip (handle_msg t ~reply_to:to_ip)
 
 let set_rules t rules =

@@ -6,6 +6,7 @@ module Cpu = Newt_hw.Cpu
 module Machine = Newt_hw.Machine
 module Costs = Newt_hw.Costs
 module Sim_chan = Newt_channels.Sim_chan
+module Hook = Newt_channels.Hook
 
 type handler = Msg.t -> Time.cycles * (unit -> unit)
 
@@ -64,9 +65,14 @@ let record t msg =
       Trace.record tr ~at:(Engine.now (Machine.engine t.machine)) ~subsystem:t.name msg
   | None -> ()
 
+(* All work a server runs is bracketed with its identity, so pool and
+   channel operations it performs are attributed to it by the
+   sanitizer hook. *)
 let guard t k =
   let inc = t.incarnation in
-  fun () -> if t.alive && (not t.hung) && t.incarnation = inc then k ()
+  fun () ->
+    if t.alive && (not t.hung) && t.incarnation = inc then
+      Hook.with_actor t.name k
 
 let exec t ~cost k =
   if t.alive && not t.hung then Cpu.exec t.core ~proc:t.pid ~cost (guard t k)
@@ -77,6 +83,12 @@ let after t delay ~cost k =
     (Engine.schedule (Machine.engine t.machine) delay (fun () ->
          if t.alive && (not t.hung) && t.incarnation = inc then
            Cpu.exec t.core ~proc:t.pid ~cost (guard t k)))
+
+let emit_transfers chan msg mk =
+  if Hook.enabled () then
+    List.iter
+      (fun ptr -> Hook.emit (mk ~chan:(Sim_chan.id chan) ~ptr))
+      (Msg.ptrs msg)
 
 (* Per-message receive overhead: dequeue, demultiplex/validate, and the
    cross-core cache-line stall. *)
@@ -95,21 +107,25 @@ let rec drain t =
           match Sim_chan.recv chan with
           | Some msg ->
               t.rx <- List.rev_append seen rest @ [ entry ];
-              Some (msg, !handler)
+              Some (chan, msg, !handler)
           | None -> find (entry :: seen) rest)
     in
     match find [] t.rx with
     | None -> t.draining <- false
-    | Some (msg, handler) ->
+    | Some (chan, msg, handler) ->
         Stats.incr t.stats ("rx." ^ Msg.describe msg);
+        if Hook.enabled () then
+          Hook.with_actor t.name (fun () ->
+              emit_transfers chan msg (fun ~chan ~ptr ->
+                  Hook.Chan_receive { chan; ptr }));
         let costs = Machine.costs t.machine in
-        let work_cost, effect = handler msg in
+        let work_cost, effect = Hook.with_actor t.name (fun () -> handler msg) in
         Cpu.exec t.core ~proc:t.pid
           ~cost:(recv_cost costs + work_cost)
           (let inc = t.incarnation in
            fun () ->
              if t.alive && (not t.hung) && t.incarnation = inc then begin
-               effect ();
+               Hook.with_actor t.name effect;
                drain t
              end)
   end
@@ -129,10 +145,19 @@ let add_rx t chan handler =
       Sim_chan.set_notify chan (fun () -> wake t));
   if not (Sim_chan.is_empty chan) then wake t
 
+(* The handoff is announced before [Sim_chan.send]: enqueueing can wake
+   the consumer synchronously, so its [Chan_receive] events would
+   otherwise precede our [Chan_handoff] and confuse in-flight
+   accounting.  A refused send retracts the announcement with
+   [Chan_dropped]. *)
 let send t chan msg =
   Stats.incr t.stats ("tx." ^ Msg.describe msg);
+  emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_handoff { chan; ptr });
   let ok = Sim_chan.send chan msg in
-  if not ok then Stats.incr t.stats "tx.dropped";
+  if not ok then begin
+    Stats.incr t.stats "tx.dropped";
+    emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_dropped { chan; ptr })
+  end;
   ok
 
 let set_on_crash t f = t.on_crash <- f

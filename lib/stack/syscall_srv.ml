@@ -201,7 +201,9 @@ let connect_transport_sharded t ~transport ~pairs =
   | `Tcp -> t.to_tcp <- Array.map fst pairs
   | `Udp -> t.to_udp <- Array.map fst pairs);
   Array.iter
-    (fun (_, from_transport) -> Component.consume t.comp from_transport (handle_msg t))
+    (fun (to_transport, from_transport) ->
+      Component.produce t.comp to_transport;
+      Component.consume t.comp from_transport (handle_msg t))
     pairs
 
 let connect_transport t ~transport ~to_transport ~from_transport =

@@ -525,10 +525,12 @@ let set_port_select t f = t.port_select <- f
 
 let connect_ip t ~to_ip ~from_ip =
   t.to_ip <- Some to_ip;
+  Component.produce t.comp to_ip;
   Component.consume t.comp from_ip (handle_msg t)
 
 let connect_sc t ~from_sc ~to_sc =
   t.to_sc <- Some to_sc;
+  Component.produce t.comp to_sc;
   Component.consume t.comp from_sc (handle_msg t)
 
 let conntrack_flows t =

@@ -1,0 +1,311 @@
+module Component = Newt_stack.Component
+module Sim_chan = Newt_channels.Sim_chan
+module Pubsub = Newt_channels.Pubsub
+module Pool = Newt_channels.Pool
+module Cpu = Newt_hw.Cpu
+
+type sharding = {
+  shards : int;
+  replicas : int;
+  rss_table : int array;
+  shard_to_ip : int array;
+  ip_to_shard : int array;
+  replica_names : string array;
+  shard_names : string array;
+}
+
+(* One component's claim on one end of a channel. *)
+type endpoint = { comp : string; core : int }
+
+type chan_info = {
+  mutable consumers : endpoint list;
+  mutable exclusive : endpoint list;  (* sole-producer claims *)
+  mutable shared : endpoint list;  (* declared fan-out producers *)
+  mutable blockers : endpoint list;  (* producers with `Block policy *)
+  mutable keys : (string * string) list;  (* (exporter, directory key) *)
+}
+
+let fresh_info () =
+  { consumers = []; exclusive = []; shared = []; blockers = []; keys = [] }
+
+let check ?directory ?sharding ?(title = "static channel graph")
+    (components : Component.t list) =
+  let chans : (int, chan_info) Hashtbl.t = Hashtbl.create 64 in
+  let info id =
+    match Hashtbl.find_opt chans id with
+    | Some i -> i
+    | None ->
+        let i = fresh_info () in
+        Hashtbl.add chans id i;
+        i
+  in
+  let violations = ref [] in
+  let checks = ref [] in
+  let flag check ~subject ~culprit detail =
+    violations :=
+      { Report.check; subject; culprit; detail } :: !violations
+  in
+  let count name n = checks := (name, n) :: !checks in
+  (* Build the topology from the components' declarations. *)
+  List.iter
+    (fun c ->
+      let ep = { comp = Component.name c; core = Cpu.id (Component.core c) } in
+      List.iter
+        (fun ch ->
+          let i = info (Sim_chan.id ch) in
+          i.consumers <- i.consumers @ [ ep ])
+        (Component.consumed c);
+      List.iter
+        (fun (ch, policy, shared) ->
+          let i = info (Sim_chan.id ch) in
+          if shared then i.shared <- i.shared @ [ ep ]
+          else i.exclusive <- i.exclusive @ [ ep ];
+          if policy = `Block then i.blockers <- i.blockers @ [ ep ])
+        (Component.produced c);
+      List.iter
+        (fun (key, ch) ->
+          let i = info (Sim_chan.id ch) in
+          i.keys <- i.keys @ [ (ep.comp, key) ])
+        (Component.exports c))
+    components;
+  let chan_name id =
+    match Hashtbl.find_opt chans id with
+    | Some { keys = (_, key) :: _; _ } -> Printf.sprintf "chan %d (%s)" id key
+    | _ -> Printf.sprintf "chan %d" id
+  in
+  let names eps = String.concat ", " (List.map (fun e -> e.comp) eps) in
+  (* spsc: one consumer, at most one exclusive producer, and every
+     produced channel actually drained by someone. *)
+  Hashtbl.iter
+    (fun id i ->
+      let subject = chan_name id in
+      (match i.consumers with
+      | [ _ ] -> ()
+      | [] ->
+          if i.exclusive <> [] || i.shared <> [] then
+            flag "spsc" ~subject
+              ~culprit:(names (i.exclusive @ i.shared))
+              "produced but consumed by nobody"
+      | cs ->
+          flag "spsc" ~subject ~culprit:(names cs)
+            (Printf.sprintf "%d consumers on a single-consumer queue"
+               (List.length cs)));
+      (match i.exclusive with
+      | [] | [ _ ] -> ()
+      | ps ->
+          flag "spsc" ~subject ~culprit:(names ps)
+            (Printf.sprintf "%d exclusive producers on a single-producer queue"
+               (List.length ps)));
+      if i.consumers <> [] && i.exclusive = [] && i.shared = [] && i.keys <> []
+      then
+        (* A consumed, exported channel nobody ever declared producing:
+           the wiring forgot a [Component.produce] or the channel is
+           dead weight. *)
+        flag "spsc" ~subject ~culprit:(names i.consumers)
+          "consumed but produced by nobody")
+    chans;
+  count "spsc" (Hashtbl.length chans);
+  (* core-affinity: both ends of a channel on one core defeats the
+     dedicated-core design. *)
+  let pairs = ref 0 in
+  Hashtbl.iter
+    (fun id i ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun c ->
+              incr pairs;
+              if p.core = c.core && p.comp <> c.comp then
+                flag "core-affinity" ~subject:(chan_name id)
+                  ~culprit:(Printf.sprintf "%s, %s" p.comp c.comp)
+                  (Printf.sprintf "producer and consumer share core %d" p.core))
+            i.consumers)
+        (i.exclusive @ i.shared))
+    chans;
+  count "core-affinity" !pairs;
+  (* export-owner: the export must belong to the channel's consumer. *)
+  let exports = ref 0 in
+  Hashtbl.iter
+    (fun id i ->
+      List.iter
+        (fun (exporter, key) ->
+          incr exports;
+          match i.consumers with
+          | [] -> ()
+          | cs when List.exists (fun c -> c.comp = exporter) cs -> ()
+          | cs ->
+              flag "export-owner"
+                ~subject:(Printf.sprintf "chan %d (%s)" id key)
+                ~culprit:exporter
+                (Printf.sprintf
+                   "exported by %s but consumed by %s — only the consumer can \
+                    republish after its restart"
+                   exporter (names cs)))
+        i.keys)
+    chans;
+  count "export-owner" !exports;
+  (* republish: the directory must resolve every export to the wired
+     channel, and no key may be claimed twice. *)
+  (match directory with
+  | None -> ()
+  | Some dir ->
+      let seen : (string, string) Hashtbl.t = Hashtbl.create 64 in
+      let n = ref 0 in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun (key, ch) ->
+              incr n;
+              (match Hashtbl.find_opt seen key with
+              | Some other ->
+                  flag "republish" ~subject:key
+                    ~culprit:(Printf.sprintf "%s, %s" other (Component.name c))
+                    "directory key exported by two components"
+              | None -> Hashtbl.add seen key (Component.name c));
+              match Pubsub.lookup dir ~key with
+              | None ->
+                  flag "republish" ~subject:key ~culprit:(Component.name c)
+                    "export missing from the directory (lost across a restart?)"
+              | Some pub ->
+                  if pub.Pubsub.chan_id <> Sim_chan.id ch then
+                    flag "republish" ~subject:key ~culprit:(Component.name c)
+                      (Printf.sprintf
+                         "directory resolves to chan %d but the wired channel \
+                          is %d"
+                         pub.Pubsub.chan_id (Sim_chan.id ch)))
+            (Component.exports c))
+        components;
+      count "republish" !n);
+  (* blocking-cycle: an edge producer→consumer for every `Block
+     endpoint; any cycle can deadlock the whole stack. *)
+  let edges : (string, (string * int) list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun id i ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun c ->
+              let prev =
+                match Hashtbl.find_opt edges p.comp with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace edges p.comp (prev @ [ (c.comp, id) ]))
+            i.consumers)
+        i.blockers)
+    chans;
+  let color : (string, [ `Visiting | `Done ]) Hashtbl.t = Hashtbl.create 16 in
+  let cycle_found = ref false in
+  let rec dfs path comp =
+    match Hashtbl.find_opt color comp with
+    | Some `Done -> ()
+    | Some `Visiting ->
+        if not !cycle_found then begin
+          cycle_found := true;
+          let rec from_entry = function
+            | [] -> []
+            | c :: rest when c = comp -> c :: rest
+            | _ :: rest -> from_entry rest
+          in
+          let cycle =
+            match from_entry (List.rev path) with
+            | [] -> [ comp ]
+            | l -> l @ [ comp ]
+          in
+          flag "blocking-cycle"
+            ~subject:(String.concat " -> " cycle)
+            ~culprit:comp
+            "blocking-wait cycle: every server on it can deadlock waiting for \
+             a full queue to drain"
+        end
+    | None ->
+        Hashtbl.replace color comp `Visiting;
+        (match Hashtbl.find_opt edges comp with
+        | Some succs -> List.iter (fun (c, _) -> dfs (comp :: path) c) succs
+        | None -> ());
+        Hashtbl.replace color comp `Done
+  in
+  List.iter (fun c -> dfs [] (Component.name c)) components;
+  count "blocking-cycle" (List.length components);
+  (* pool-owner: a pool freed wholesale by two dying components would
+     double-free every slot. *)
+  let pool_owners : (int, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          let id = Pool.id p in
+          let prev =
+            match Hashtbl.find_opt pool_owners id with Some l -> l | None -> []
+          in
+          Hashtbl.replace pool_owners id (prev @ [ Component.name c ]))
+        (Component.pools c))
+    components;
+  Hashtbl.iter
+    (fun id owners ->
+      match owners with
+      | [] | [ _ ] -> ()
+      | os ->
+          flag "pool-owner"
+            ~subject:(Printf.sprintf "pool %d" id)
+            ~culprit:(String.concat ", " os)
+            "registered by several components; each crash would free it \
+             wholesale")
+    pool_owners;
+  count "pool-owner" (Hashtbl.length pool_owners);
+  (* sharding: RSS table sanity plus the per-shard replica partition. *)
+  (match sharding with
+  | None -> ()
+  | Some s ->
+      Array.iteri
+        (fun b q ->
+          if q < 0 || q >= s.shards then
+            flag "sharding"
+              ~subject:(Printf.sprintf "rss bucket %d" b)
+              ~culprit:"nic"
+              (Printf.sprintf "indirection entry %d outside [0, %d)" q s.shards))
+        s.rss_table;
+      for i = 0 to s.shards - 1 do
+        if not (Array.exists (fun q -> q = i) s.rss_table) then
+          flag "sharding"
+            ~subject:(Printf.sprintf "shard %d" i)
+            ~culprit:"nic"
+            "no RSS bucket steers to this shard: its flows can never arrive";
+        let expect_replica = s.replica_names.(i mod s.replicas) in
+        let endpoint_check chan_id ~role ~expect =
+          match Hashtbl.find_opt chans chan_id with
+          | None ->
+              flag "sharding"
+                ~subject:(Printf.sprintf "shard %d" i)
+                ~culprit:"wiring"
+                (Printf.sprintf "channel %d missing from the graph" chan_id)
+          | Some ci ->
+              let actual =
+                match role with
+                | `Consumer -> ci.consumers
+                | `Producer -> ci.exclusive
+              in
+              if not (List.exists (fun e -> e.comp = expect) actual) then
+                flag "sharding"
+                  ~subject:(chan_name chan_id)
+                  ~culprit:(names actual)
+                  (Printf.sprintf "shard %d expects %s as %s here" i expect
+                     (match role with
+                     | `Consumer -> "consumer"
+                     | `Producer -> "exclusive producer"))
+        in
+        (* Requests from shard i must reach exactly its replica; the
+           replica's deliveries must come back on shard i's channel. *)
+        endpoint_check s.shard_to_ip.(i) ~role:`Consumer ~expect:expect_replica;
+        endpoint_check s.shard_to_ip.(i) ~role:`Producer
+          ~expect:s.shard_names.(i);
+        endpoint_check s.ip_to_shard.(i) ~role:`Consumer
+          ~expect:s.shard_names.(i);
+        endpoint_check s.ip_to_shard.(i) ~role:`Producer ~expect:expect_replica
+      done;
+      count "sharding" s.shards);
+  {
+    Report.title;
+    checks = List.rev !checks;
+    violations = List.rev !violations;
+  }

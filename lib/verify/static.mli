@@ -1,0 +1,55 @@
+(** Static channel-graph checker.
+
+    Walks the wired stack's components — their declared producer
+    endpoints, consumed channels, directory exports and registered
+    pools — before (or after) simulation, and checks the structural
+    invariants the paper's design relies on:
+
+    - {b spsc}: every channel has exactly one consumer and at most one
+      {e exclusive} producer (Section IV-B: the queues are
+      single-producer single-consumer by construction; fan-out
+      endpoints replicated across IP replicas are declared [~shared]
+      and exempt from the single-producer count, but still may not
+      coexist with two exclusive claims);
+    - {b core-affinity}: producer and consumer of a channel live on
+      distinct cores — a channel between two processes on one core
+      would serialize on the context switch the design eliminates;
+    - {b export-owner}: every directory export is published by the
+      channel's consumer (the export belongs to the consumer, who must
+      republish it after its own restart, Section IV-D);
+    - {b republish}: every export key resolves in the directory to the
+      exported channel's id — i.e. after any sequence of crashes and
+      restarts, the directory again describes exactly the wired
+      topology — and no key is exported twice;
+    - {b blocking-cycle}: the blocking-wait graph (an edge from
+      producer to consumer for every endpoint declared with
+      [~policy:`Block]) is acyclic — a cycle is the deadlock the
+      paper's non-blocking rule exists to prevent (Section IV-A);
+    - {b pool-owner}: every buffer pool is registered by at most one
+      component (pools die with their owner; two owners would
+      double-free);
+    - {b sharding} (when a {!sharding} spec is given): the RSS
+      indirection table only names real queues, every shard is
+      reachable from the table, and each shard's request/delivery
+      channels connect it to exactly the IP replica that owns its
+      queues — for every [ip_replicas] partition. *)
+
+type sharding = {
+  shards : int;
+  replicas : int;
+  rss_table : int array;  (** Indirection table: bucket → queue/shard. *)
+  shard_to_ip : int array;
+      (** Shard [i] → channel id of its transport→IP request channel. *)
+  ip_to_shard : int array;
+      (** Shard [i] → channel id of the IP→transport delivery channel. *)
+  replica_names : string array;  (** Replica [k] → component name. *)
+  shard_names : string array;  (** Shard [i] → component name. *)
+}
+
+val check :
+  ?directory:Newt_channels.Pubsub.t ->
+  ?sharding:sharding ->
+  ?title:string ->
+  Newt_stack.Component.t list ->
+  Report.t
+(** Run every applicable check over the given components. *)

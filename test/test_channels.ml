@@ -99,8 +99,34 @@ let test_pool_stale_detection () =
   Pool.free p ptr;
   Alcotest.check_raises "read after free" (Pool.Stale_pointer ptr) (fun () ->
       ignore (Pool.read p ptr));
-  Alcotest.check_raises "double free" (Pool.Stale_pointer ptr) (fun () ->
+  Alcotest.check_raises "double free" (Pool.Double_free ptr) (fun () ->
       Pool.free p ptr)
+
+let test_pool_double_free_vs_stale () =
+  (* A second free of the same allocation is a distinct bug class from a
+     late free of a recycled slot: the former raises [Double_free], the
+     latter [Stale_pointer]. *)
+  let p = Pool.create ~id:20 ~slots:1 ~slot_size:16 in
+  let ptr1 = Pool.alloc p ~len:4 in
+  Pool.free p ptr1;
+  let ptr2 = Pool.alloc p ~len:4 in
+  Alcotest.(check int) "slot recycled" ptr1.Rich_ptr.slot ptr2.Rich_ptr.slot;
+  Alcotest.check_raises "free through old generation is stale"
+    (Pool.Stale_pointer ptr1) (fun () -> Pool.free p ptr1);
+  Alcotest.(check bool) "current allocation unharmed" true (Pool.live p ptr2);
+  Pool.free p ptr2;
+  Alcotest.check_raises "second free of same allocation is a double free"
+    (Pool.Double_free ptr2) (fun () -> Pool.free p ptr2);
+  Alcotest.(check int) "free list not corrupted" 1 (Pool.free_slots p)
+
+let test_pool_free_after_crash_reclaim_is_stale () =
+  (* [free_all] models the owner's crash: stragglers freeing afterwards
+     hold merely stale pointers, not double frees. *)
+  let p = Pool.create ~id:21 ~slots:2 ~slot_size:8 in
+  let ptr = Pool.alloc p ~len:4 in
+  Pool.free_all p;
+  Alcotest.check_raises "late free after crash reclaim"
+    (Pool.Stale_pointer ptr) (fun () -> Pool.free p ptr)
 
 let test_pool_generation_reuse () =
   let p = Pool.create ~id:3 ~slots:1 ~slot_size:16 in
@@ -204,6 +230,62 @@ let test_pubsub_republish_keeps_id () =
   (* Restarted creator republished the same identification. *)
   Pubsub.publish ps ~key:"drv.0" ~creator:9 ~chan_id:5;
   Alcotest.(check (list int)) "both publications delivered" [ 5; 5 ] !ids
+
+let test_registry_register_replace () =
+  let module Registry = Newt_channels.Registry in
+  let reg = Registry.create () in
+  let old_pool = Pool.create ~id:7 ~slots:2 ~slot_size:16 in
+  let new_pool = Pool.create ~id:7 ~slots:2 ~slot_size:64 in
+  Registry.register reg old_pool;
+  Alcotest.(check int) "resolves to first" 16 (Pool.slot_size (Registry.find reg 7));
+  (* A restarted owner re-creates the pool and re-registers the id. *)
+  Registry.register reg new_pool;
+  Alcotest.(check int) "replaced by re-registration" 64
+    (Pool.slot_size (Registry.find reg 7))
+
+let test_registry_unregister () =
+  let module Registry = Newt_channels.Registry in
+  let reg = Registry.create () in
+  let pool = Pool.create ~id:9 ~slots:2 ~slot_size:16 in
+  Registry.register reg pool;
+  (* Unknown ids are a documented no-op: teardown paths may race. *)
+  Registry.unregister reg ~id:424242;
+  Alcotest.(check int) "registered pool survives stray withdrawal" 16
+    (Pool.slot_size (Registry.find reg 9));
+  Registry.unregister reg ~id:9;
+  Alcotest.check_raises "withdrawn" (Registry.Unknown_pool 9) (fun () ->
+      ignore (Registry.find reg 9));
+  (* Second withdrawal of the same id is equally harmless. *)
+  Registry.unregister reg ~id:9
+
+let test_pubsub_replay_order_after_restart () =
+  (* A restarted replica re-warms via [replay_prefix]; a republished key
+     must land at the position of its *latest* publication so the
+     replica converges to the same state as peers that heard the
+     updates live. *)
+  let ps = Pubsub.create () in
+  Pubsub.publish ps ~key:"arp.1" ~creator:1 ~chan_id:11;
+  Pubsub.publish ps ~key:"arp.2" ~creator:1 ~chan_id:12;
+  Pubsub.publish ps ~key:"arp.3" ~creator:1 ~chan_id:13;
+  (* The binding for arp.1 is refreshed after arp.3 was learned. *)
+  Pubsub.publish ps ~key:"arp.1" ~creator:2 ~chan_id:21;
+  let order = ref [] in
+  Pubsub.replay_prefix ps ~prefix:"arp." (fun ev ->
+      match ev with
+      | `Published p -> order := (p.Pubsub.key, p.Pubsub.chan_id) :: !order
+      | `Gone -> ());
+  Alcotest.(check (list (pair string int)))
+    "replay in publish order, republished key moved to latest position"
+    [ ("arp.2", 12); ("arp.3", 13); ("arp.1", 21) ]
+    (List.rev !order);
+  (* A late prefix subscriber sees the same history. *)
+  let order2 = ref [] in
+  Pubsub.subscribe_prefix ps ~prefix:"arp." (fun ev ->
+      match ev with
+      | `Published p -> order2 := p.Pubsub.chan_id :: !order2
+      | `Gone -> ());
+  Alcotest.(check (list int)) "subscribe_prefix replays same order" [ 12; 13; 21 ]
+    (List.rev !order2)
 
 let test_sim_chan_send_recv () =
   let c = Sim_chan.create ~capacity:2 ~id:0 () in
@@ -319,6 +401,9 @@ let suite =
     ("spsc cross-domain FIFO order", `Quick, test_spsc_ordering_cross_domain);
     ("pool alloc/write/read/free", `Quick, test_pool_alloc_free);
     ("pool stale pointers detected", `Quick, test_pool_stale_detection);
+    ("pool double free vs stale free", `Quick, test_pool_double_free_vs_stale);
+    ("pool free after crash reclaim is stale", `Quick,
+      test_pool_free_after_crash_reclaim_is_stale);
     ("pool generations on slot reuse", `Quick, test_pool_generation_reuse);
     ("pool exhaustion raises", `Quick, test_pool_exhaustion);
     ("pool sub pointers", `Quick, test_pool_sub_ptr);
@@ -330,6 +415,10 @@ let suite =
     ("pubsub publish/subscribe", `Quick, test_pubsub_basic);
     ("pubsub replays to late subscriber", `Quick, test_pubsub_replay_to_late_subscriber);
     ("pubsub republish after restart", `Quick, test_pubsub_republish_keeps_id);
+    ("registry re-registration replaces", `Quick, test_registry_register_replace);
+    ("registry unregister unknown id is no-op", `Quick, test_registry_unregister);
+    ("pubsub replay order after restart", `Quick,
+      test_pubsub_replay_order_after_restart);
     ("sim channel send/recv/drop", `Quick, test_sim_chan_send_recv);
     ("sim channel notifies on empty enqueue", `Quick, test_sim_chan_notify_on_empty_enqueue);
     ("sim channel teardown and revive", `Quick, test_sim_chan_teardown_revive);

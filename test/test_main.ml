@@ -11,5 +11,6 @@ let () =
       ("stack", Test_stack.suite);
       ("reliability", Test_reliability.suite);
       ("scale", Test_scale.suite);
+      ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,398 @@
+(* Tests for the stack verifier: the static channel-graph checker over
+   synthetic (seeded-broken) topologies and all shipped configurations,
+   and the pool-ownership sanitizer over both real runs and staged
+   violations. *)
+
+module Engine = Newt_sim.Engine
+module Machine = Newt_hw.Machine
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Pubsub = Newt_channels.Pubsub
+module Hook = Newt_channels.Hook
+module Component = Newt_stack.Component
+module Proc = Newt_stack.Proc
+module Msg = Newt_stack.Msg
+module E = Newt_core.Experiments
+module Report = Newt_verify.Report
+module Static = Newt_verify.Static
+module Sanitizer = Newt_verify.Sanitizer
+
+(* A little world builder: components on dedicated cores, wired by
+   hand into whatever (broken) topology a test needs. *)
+let make_world () =
+  let e = Engine.create () in
+  (e, Machine.create e)
+
+let make_comp m name =
+  let core = Machine.add_dedicated_core m in
+  Component.create m ~name ~core ()
+
+let handler _ = (10, fun () -> ())
+
+let find_check (r : Report.t) check =
+  List.filter (fun (v : Report.violation) -> v.Report.check = check)
+    r.Report.violations
+
+(* --- static checker: positive ------------------------------------- *)
+
+let test_all_configs_verify_clean () =
+  let reports = E.verify_configs () in
+  Alcotest.(check bool) "several configurations" true (List.length reports > 10);
+  List.iter
+    (fun (r : Report.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s" r.Report.title (Report.to_string r))
+        true (Report.ok r);
+      Alcotest.(check bool)
+        (r.Report.title ^ " examined subjects")
+        true
+        (List.exists (fun (_, n) -> n > 0) r.Report.checks))
+    reports;
+  let merged = E.verify_all () in
+  Alcotest.(check bool) "merged verdict ok" true (Report.ok merged);
+  (* The machine-readable verdict agrees. *)
+  let json = Report.to_json merged in
+  Alcotest.(check bool) "json says ok" true
+    (String.length json > 0
+    &&
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    contains json "\"ok\": true" || contains json "\"ok\":true")
+
+(* --- static checker: seeded violations ---------------------------- *)
+
+let test_static_spsc_double_producer () =
+  let _, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" and c = make_comp m "c" in
+  let chan = Sim_chan.create ~id:101 () in
+  Component.consume c chan handler;
+  Component.produce a chan;
+  Component.produce b chan;
+  let r = Static.check [ a; b; c ] in
+  match find_check r "spsc" with
+  | [ v ] ->
+      Alcotest.(check string) "both producers named" "a, b" v.Report.culprit
+  | vs -> Alcotest.failf "expected 1 spsc violation, got %d" (List.length vs)
+
+let test_static_shared_fanout_is_exempt () =
+  (* The replicated-IP pattern: one exclusive producer plus any number
+     of ~shared fan-out declarations is legal. *)
+  let _, m = make_world () in
+  let a = make_comp m "ip0" and b = make_comp m "ip1" and c = make_comp m "tcp0" in
+  let chan = Sim_chan.create ~id:102 () in
+  Component.consume c chan handler;
+  Component.produce a chan;
+  Component.produce b chan ~shared:true;
+  let r = Static.check [ a; b; c ] in
+  Alcotest.(check bool) (Report.to_string r) true (Report.ok r)
+
+let test_static_two_consumers () =
+  let _, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" and c = make_comp m "c" in
+  let chan = Sim_chan.create ~id:103 () in
+  Component.produce a chan;
+  Component.consume b chan handler;
+  Component.consume c chan handler;
+  let r = Static.check [ a; b; c ] in
+  match find_check r "spsc" with
+  | [ v ] -> Alcotest.(check string) "both consumers named" "b, c" v.Report.culprit
+  | vs -> Alcotest.failf "expected 1 spsc violation, got %d" (List.length vs)
+
+let test_static_core_affinity () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  (* Two different servers time-sharing one core: the cross-core
+     pipeline the design wants is gone. *)
+  let a = Component.create m ~name:"a" ~core ()
+  and b = Component.create m ~name:"b" ~core () in
+  let chan = Sim_chan.create ~id:104 () in
+  Component.produce a chan;
+  Component.consume b chan handler;
+  let r = Static.check [ a; b ] in
+  match find_check r "core-affinity" with
+  | [ v ] -> Alcotest.(check string) "pair named" "a, b" v.Report.culprit
+  | vs ->
+      Alcotest.failf "expected 1 core-affinity violation, got %d" (List.length vs)
+
+let test_static_blocking_cycle () =
+  let _, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" in
+  let ab = Sim_chan.create ~id:105 () and ba = Sim_chan.create ~id:106 () in
+  Component.produce a ab ~policy:`Block;
+  Component.consume b ab handler;
+  Component.produce b ba ~policy:`Block;
+  Component.consume a ba handler;
+  let r = Static.check [ a; b ] in
+  (match find_check r "blocking-cycle" with
+  | [ v ] ->
+      Alcotest.(check bool) "culprit on the cycle" true
+        (v.Report.culprit = "a" || v.Report.culprit = "b")
+  | vs ->
+      Alcotest.failf "expected 1 blocking-cycle violation, got %d"
+        (List.length vs));
+  (* Same wiring with the non-blocking discipline is legal. *)
+  let _, m2 = make_world () in
+  let a2 = make_comp m2 "a" and b2 = make_comp m2 "b" in
+  let ab2 = Sim_chan.create ~id:107 () and ba2 = Sim_chan.create ~id:108 () in
+  Component.produce a2 ab2;
+  Component.consume b2 ab2 handler;
+  Component.produce b2 ba2;
+  Component.consume a2 ba2 handler;
+  Alcotest.(check bool) "drop policy breaks the cycle" true
+    (Report.ok (Static.check [ a2; b2 ]))
+
+let test_static_republish_lost_export () =
+  let _, m = make_world () in
+  let dir = Pubsub.create () in
+  let core_a = Machine.add_dedicated_core m
+  and core_b = Machine.add_dedicated_core m in
+  let a = Component.create m ~name:"a" ~core:core_a ~directory:dir () in
+  let b = Component.create m ~name:"b" ~core:core_b ~directory:dir () in
+  let chan = Sim_chan.create ~id:109 () in
+  Component.produce a chan;
+  Component.consume b chan handler;
+  Component.export b ~key:"b.rx" chan;
+  Alcotest.(check bool) "published graph verifies" true
+    (Report.ok (Static.check ~directory:dir [ a; b ]));
+  (* The export vanishes from the directory — as if the consumer died
+     and never republished. *)
+  Pubsub.unpublish dir ~key:"b.rx";
+  let r = Static.check ~directory:dir [ a; b ] in
+  match find_check r "republish" with
+  | [ v ] -> Alcotest.(check string) "exporter blamed" "b" v.Report.culprit
+  | vs -> Alcotest.failf "expected 1 republish violation, got %d" (List.length vs)
+
+let test_static_export_by_non_consumer () =
+  let _, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" in
+  let chan = Sim_chan.create ~id:110 () in
+  Component.produce a chan;
+  Component.consume b chan handler;
+  (* The producer claims the export: after b's restart nobody would
+     republish the key. *)
+  Component.export a ~key:"stolen" chan;
+  let r = Static.check [ a; b ] in
+  match find_check r "export-owner" with
+  | [ v ] -> Alcotest.(check string) "exporter blamed" "a" v.Report.culprit
+  | vs ->
+      Alcotest.failf "expected 1 export-owner violation, got %d" (List.length vs)
+
+let test_static_pool_double_owner () =
+  let _, m = make_world () in
+  let a = make_comp m "a" and b = make_comp m "b" in
+  let pool = Pool.create ~id:777 ~slots:4 ~slot_size:64 in
+  Component.register_pool a pool;
+  Component.register_pool b pool;
+  let r = Static.check [ a; b ] in
+  match find_check r "pool-owner" with
+  | [ v ] -> Alcotest.(check string) "both owners named" "a, b" v.Report.culprit
+  | vs -> Alcotest.failf "expected 1 pool-owner violation, got %d" (List.length vs)
+
+let minimal_shard_graph () =
+  let _, m = make_world () in
+  let tcp = make_comp m "tcp0" and ip = make_comp m "ip0" in
+  let req = Sim_chan.create ~id:120 () and del = Sim_chan.create ~id:121 () in
+  Component.produce tcp req;
+  Component.consume ip req handler;
+  Component.produce ip del;
+  Component.consume tcp del handler;
+  let sharding q =
+    {
+      Static.shards = 1;
+      replicas = 1;
+      rss_table = [| q |];
+      shard_to_ip = [| Sim_chan.id req |];
+      ip_to_shard = [| Sim_chan.id del |];
+      replica_names = [| "ip0" |];
+      shard_names = [| "tcp0" |];
+    }
+  in
+  ([ tcp; ip ], sharding)
+
+let test_static_sharding () =
+  let comps, sharding = minimal_shard_graph () in
+  Alcotest.(check bool) "healthy spec verifies" true
+    (Report.ok (Static.check ~sharding:(sharding 0) comps));
+  (* Indirection entry names a queue that does not exist: packets for
+     that bucket go nowhere and shard 0 never sees a flow. *)
+  let r = Static.check ~sharding:(sharding 5) comps in
+  let vs = find_check r "sharding" in
+  Alcotest.(check int) "bad entry + unreachable shard" 2 (List.length vs);
+  List.iter
+    (fun (v : Report.violation) ->
+      Alcotest.(check string) "the nic's table is at fault" "nic" v.Report.culprit)
+    vs
+
+let test_static_sharding_wrong_replica () =
+  let comps, sharding = minimal_shard_graph () in
+  let spec = { (sharding 0) with Static.replica_names = [| "ip1" |] } in
+  let r = Static.check ~sharding:spec comps in
+  let vs = find_check r "sharding" in
+  Alcotest.(check bool) "misrouted shard flagged" true (List.length vs > 0)
+
+(* --- sanitizer: staged violations --------------------------------- *)
+
+let with_sanitizer f =
+  Sanitizer.install ();
+  Fun.protect ~finally:Sanitizer.uninstall f
+
+let test_sanitizer_double_free () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:301 ~slots:2 ~slot_size:32 in
+  Hook.with_actor "tcp0" (fun () ->
+      let ptr = Pool.alloc p ~len:8 in
+      Pool.free p ptr;
+      try Pool.free p ptr with Pool.Double_free _ -> ());
+  match Sanitizer.violations () with
+  | [ Sanitizer.Double_free { actor; _ } ] ->
+      Alcotest.(check (option string)) "attributed" (Some "tcp0") actor;
+      let r = Sanitizer.report ~title:"t" () in
+      Alcotest.(check bool) "report not ok" false (Report.ok r);
+      let v = List.hd r.Report.violations in
+      Alcotest.(check string) "check name" "double-free" v.Report.check;
+      Alcotest.(check string) "culprit" "tcp0" v.Report.culprit
+  | vs -> Alcotest.failf "expected 1 double-free, got %d" (List.length vs)
+
+let test_sanitizer_non_owner_write () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:302 ~slots:2 ~slot_size:32 in
+  Hook.emit (Hook.Pool_own { pool = Pool.id p; owner = "ip0" });
+  let src = Bytes.make 8 'x' in
+  let ptr = Hook.with_actor "ip0" (fun () -> Pool.alloc p ~len:8) in
+  (* The owner writes: fine. *)
+  Hook.with_actor "ip0" (fun () -> Pool.write p ptr ~src ~src_off:0);
+  Alcotest.(check int) "owner write clean" 0
+    (List.length (Sanitizer.violations ()));
+  (* Another server scribbles into a pool it was never granted. *)
+  Hook.with_actor "pf" (fun () -> Pool.write p ptr ~src ~src_off:0);
+  (match Sanitizer.violations () with
+  | [ Sanitizer.Non_owner_write { actor; owner; _ } ] ->
+      Alcotest.(check string) "intruder" "pf" actor;
+      Alcotest.(check string) "owner" "ip0" owner
+  | vs -> Alcotest.failf "expected 1 non-owner-write, got %d" (List.length vs));
+  (* A DMA grant whitelists the pool: the device path may write. *)
+  Sanitizer.reset ();
+  Hook.emit (Hook.Pool_own { pool = Pool.id p; owner = "ip0" });
+  Hook.emit (Hook.Pool_grant { pool = Pool.id p });
+  Hook.with_actor "drv0" (fun () -> Pool.write p ptr ~src ~src_off:0);
+  Alcotest.(check int) "granted pool writable" 0
+    (List.length (Sanitizer.violations ()))
+
+let test_sanitizer_free_in_flight () =
+  with_sanitizer @@ fun () ->
+  let _, m = make_world () in
+  let core = Machine.add_dedicated_core m in
+  let sender = Proc.create m ~name:"ip0" ~core () in
+  let chan = Sim_chan.create ~id:303 () in
+  let p = Pool.create ~id:304 ~slots:2 ~slot_size:64 in
+  let ptr = Hook.with_actor "ip0" (fun () -> Pool.alloc p ~len:16) in
+  (* The message sits queued — nobody consumes — and the sender frees
+     the buffer anyway: the consumer would read freed memory. *)
+  Alcotest.(check bool) "queued" true
+    (Proc.send sender chan (Msg.Rx_done { buf = ptr }));
+  Hook.with_actor "ip0" (fun () -> Pool.free p ptr);
+  (match Sanitizer.violations () with
+  | [ Sanitizer.Free_in_flight { actor; in_flight; _ } ] ->
+      Alcotest.(check (option string)) "attributed" (Some "ip0") actor;
+      Alcotest.(check int) "one message outstanding" 1 in_flight
+  | vs -> Alcotest.failf "expected 1 free-in-flight, got %d" (List.length vs));
+  (* Dequeue-then-free is the legal order. *)
+  Sanitizer.reset ();
+  let ptr2 = Hook.with_actor "ip0" (fun () -> Pool.alloc p ~len:16) in
+  let receiver = Proc.create m ~name:"tcp0" ~core:(Machine.add_dedicated_core m) () in
+  let chan2 = Sim_chan.create ~id:305 () in
+  let freed = ref false in
+  Proc.add_rx receiver chan2 (fun _ ->
+      (10, fun () -> Pool.free p ptr2; freed := true));
+  ignore (Proc.send sender chan2 (Msg.Rx_done { buf = ptr2 }));
+  Engine.run (Machine.engine m);
+  Alcotest.(check bool) "consumer freed it" true !freed;
+  Alcotest.(check int) "no violation on the legal order" 0
+    (List.length (Sanitizer.violations ()))
+
+let test_sanitizer_leaks () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:306 ~slots:4 ~slot_size:32 in
+  Hook.emit (Hook.Pool_own { pool = Pool.id p; owner = "udp0" });
+  let ptr = Hook.with_actor "udp0" (fun () -> ignore (Pool.alloc p ~len:8);
+      Pool.alloc p ~len:8) in
+  Hook.with_actor "udp0" (fun () -> Pool.free p ptr);
+  (match Sanitizer.leaks () with
+  | [ l ] ->
+      Alcotest.(check int) "leak in the right pool" (Pool.id p) l.Sanitizer.pool;
+      Alcotest.(check (option string)) "allocator recorded" (Some "udp0")
+        l.Sanitizer.allocator
+  | ls -> Alcotest.failf "expected 1 leak, got %d" (List.length ls));
+  let r = Sanitizer.report ~check_leaks:true ~title:"t" () in
+  Alcotest.(check bool) "leak fails the leak-checked report" false (Report.ok r);
+  Alcotest.(check bool) "but is not a violation by itself" true
+    (Report.ok (Sanitizer.report ~title:"t" ()));
+  (* A DMA-granted pool keeps its ring populated by design. *)
+  let rx = Pool.create ~id:307 ~slots:2 ~slot_size:32 in
+  Hook.emit (Hook.Pool_grant { pool = Pool.id rx });
+  ignore (Pool.alloc rx ~len:8);
+  Alcotest.(check int) "granted pool exempt" 1 (List.length (Sanitizer.leaks ()))
+
+let test_sanitizer_stale_is_observation () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:308 ~slots:2 ~slot_size:32 in
+  let ptr = Pool.alloc p ~len:8 in
+  Pool.free p ptr;
+  (try ignore (Pool.read p ptr) with Pool.Stale_pointer _ -> ());
+  Alcotest.(check int) "recorded" 1 (Sanitizer.stale_count ());
+  Alcotest.(check int) "not a violation" 0 (List.length (Sanitizer.violations ()))
+
+let test_sanitizer_crash_reclaim_not_leaked () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:309 ~slots:2 ~slot_size:32 in
+  Hook.emit (Hook.Pool_own { pool = Pool.id p; owner = "ip0" });
+  ignore (Hook.with_actor "ip0" (fun () -> Pool.alloc p ~len:8));
+  (* The owner crashes; reincarnation reclaims wholesale. *)
+  Pool.free_all p;
+  Alcotest.(check int) "no leaks after crash reclaim" 0
+    (List.length (Sanitizer.leaks ()));
+  Alcotest.(check int) "no violations either" 0
+    (List.length (Sanitizer.violations ()))
+
+(* --- sanitizer: a real fault-injected run ------------------------- *)
+
+let test_sanitized_crash_run_clean () =
+  let report, trace = E.sanitized_ip_crash ~duration:3.0 ~crash_at:1.5 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "no violations in a crash-recovery run:\n%s"
+       (Report.to_string report))
+    true (Report.ok report);
+  Alcotest.(check bool) "the crash actually happened" true
+    (trace.E.component_restarts >= 1)
+
+let suite =
+  [
+    ("all shipped configurations verify", `Quick, test_all_configs_verify_clean);
+    ("spsc: double producer flagged", `Quick, test_static_spsc_double_producer);
+    ("spsc: shared fan-out exempt", `Quick, test_static_shared_fanout_is_exempt);
+    ("spsc: two consumers flagged", `Quick, test_static_two_consumers);
+    ("core-affinity: shared core flagged", `Quick, test_static_core_affinity);
+    ("blocking cycle flagged, drop policy legal", `Quick, test_static_blocking_cycle);
+    ("republish: lost export flagged", `Quick, test_static_republish_lost_export);
+    ("export-owner: non-consumer export flagged", `Quick,
+      test_static_export_by_non_consumer);
+    ("pool-owner: double registration flagged", `Quick,
+      test_static_pool_double_owner);
+    ("sharding: broken rss table flagged", `Quick, test_static_sharding);
+    ("sharding: wrong replica flagged", `Quick, test_static_sharding_wrong_replica);
+    ("sanitizer: double free attributed", `Quick, test_sanitizer_double_free);
+    ("sanitizer: non-owner write and dma grant", `Quick,
+      test_sanitizer_non_owner_write);
+    ("sanitizer: free while in flight", `Quick, test_sanitizer_free_in_flight);
+    ("sanitizer: leak detection", `Quick, test_sanitizer_leaks);
+    ("sanitizer: stale deref is an observation", `Quick,
+      test_sanitizer_stale_is_observation);
+    ("sanitizer: crash reclaim is not a leak", `Quick,
+      test_sanitizer_crash_reclaim_not_leaked);
+    ("sanitizer: fault-injected run is clean", `Quick,
+      test_sanitized_crash_run_clean);
+  ]
