@@ -1,5 +1,5 @@
 # Tier-1 gate: what CI runs on every PR.
-.PHONY: check build test fmt verify sanitize-smoke bench-smoke clean
+.PHONY: check build test fmt verify verify-continuous sanitize-smoke bench-smoke clean
 
 check: build test fmt verify
 
@@ -18,6 +18,12 @@ fmt:
 verify: build
 	dune exec bin/newtos_sim.exe -- verify
 
+# Continuous verification: a sanitized fault campaign that re-runs the
+# static checker against the live topology after every reincarnation
+# and leak-checks each quiesced run tail. Any violation or leak exits 1.
+verify-continuous: build
+	dune exec bin/newtos_sim.exe -- campaign --runs 5 --sanitize --verify-continuous
+
 # One fault-injection run with the pool-ownership sanitizer armed: any
 # double-free, free-while-in-flight or non-owner write fails the build.
 sanitize-smoke: build
@@ -25,9 +31,11 @@ sanitize-smoke: build
 
 # One fast scaling iteration (single point, short duration): catches a
 # wiring regression in the sharded/replicated stack without the cost of
-# the full curve.
+# the full curve. Also asserts the verifier counter block is present in
+# the machine-readable campaign output.
 bench-smoke: build
 	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --flows 2 --duration 0.05
+	dune exec bin/newtos_sim.exe -- campaign --runs 2 --sanitize --verify-continuous --json | grep -q '"counters"'
 
 clean:
 	dune clean

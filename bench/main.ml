@@ -19,6 +19,7 @@
    One piece:      dune exec bench/main.exe -- [micro|table2|campaign|fig4|fig5|coalesce|ablate|scaling] *)
 
 module E = Newt_core.Experiments
+module V = Newt_verify
 module C = Newt_stack.Capacity
 module Costs = Newt_hw.Costs
 module Spsc = Newt_channels.Spsc_queue
@@ -169,7 +170,7 @@ let test_pf_1024 =
   Bechamel.Test.make ~name:"pf verdict, 1024 rules (state miss)"
     (Bechamel.Staged.stage (fun () ->
          Newt_pf.Conntrack.clear (Newt_pf.Pf_engine.conntrack engine);
-         ignore (Newt_pf.Pf_engine.filter engine miss_packet)))
+         ignore (Newt_pf.Pf_engine.filter engine ~now:0 miss_packet)))
 
 let test_capacity_model =
   Bechamel.Test.make ~name:"table II capacity model (all 7 configs)"
@@ -274,10 +275,21 @@ let print_fig5 () =
     "receiver duplicates: %d; sender retransmits: %d; lost segments: %d; pf restarts: %d\n\n"
     t.E.duplicate_segments t.E.sender_retransmits t.E.lost_segments t.E.component_restarts
 
+(* Run [f] under the sanitizer with a continuous-verification
+   aggregator, then emit the counter block as one JSON line (what CI's
+   bench smoke greps for) and fail on any violation or leak. *)
+let with_verify f =
+  V.Sanitizer.install ();
+  let v = V.Continuous.create () in
+  Fun.protect ~finally:V.Sanitizer.uninstall (fun () -> f v);
+  Printf.printf "{%s}\n\n" (V.Continuous.json v);
+  if not (V.Continuous.ok v) then exit 1
+
 let print_campaign () =
   print_endline "Tables III and IV — fault-injection campaign (100 runs)";
   print_endline "=========================================================";
-  let c = E.fault_campaign () in
+  with_verify @@ fun verify ->
+  let c = E.fault_campaign ~verify () in
   Printf.printf "Table III %24s %6s %6s\n" "" "paper" "ours";
   List.iter
     (fun (name, paper, ours) -> Printf.printf "  %-30s %6d %6d\n" name paper ours)
@@ -426,7 +438,8 @@ let print_ablation () =
 let print_scaling () =
   print_endline "Scaling — N transport shards behind a multi-queue NIC";
   print_endline "======================================================";
-  let r = E.scaling_curve () in
+  with_verify @@ fun verify ->
+  let r = E.scaling_curve ~verify () in
   Printf.printf "single-instance Table II ceiling: %.2f Gbps\n"
     r.E.single_instance_gbps;
   List.iter

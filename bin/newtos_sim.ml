@@ -34,34 +34,82 @@ let print_trace name (t : E.crash_trace) ~paper_note =
 
 (* Run [f] with the pool-ownership sanitizer watching, then print its
    verdict.  Any violation fails the invocation so CI can gate on it. *)
-let with_sanitizer enabled f =
+let with_sanitizer ?(quiet = false) enabled f =
   if not enabled then f ()
   else begin
     V.Sanitizer.install ();
     Fun.protect ~finally:V.Sanitizer.uninstall f;
     let report = V.Sanitizer.report ~title:"pool-ownership sanitizer" () in
-    print_string (V.Report.to_string report);
-    print_newline ();
+    if not quiet then begin
+      print_string (V.Report.to_string report);
+      print_newline ()
+    end;
     if not (V.Report.ok report) then exit 1
   end
 
-let print_fig4 seed sanitize =
-  with_sanitizer sanitize (fun () ->
-      let t = E.figure_ip_crash ~seed () in
-      print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
-        ~paper_note:
-          "paper: gap of ~2s while the link resets, one retransmission, full recovery")
+(* Run [f] with a continuous-verification aggregator when requested:
+   the experiment re-runs the static checker after every reincarnation
+   and leak-checks each quiesced run tail.  Any violation or leak fails
+   the invocation. *)
+let with_continuous ?(quiet = false) enabled f =
+  if not enabled then f None
+  else begin
+    let v = V.Continuous.create () in
+    f (Some v);
+    if not quiet then begin
+      print_string
+        (V.Report.to_string (V.Continuous.report ~title:"continuous verification" v));
+      let c = V.Continuous.totals v in
+      Printf.printf
+        "re-checks: %d over %d run(s); static violations: %d; sanitizer violations: \
+         %d; leaks: %d; stale derefs: %d; hook events: %d (~%d model cycles \
+         overhead)\n\n"
+        c.V.Continuous.re_checks
+        (List.length (V.Continuous.runs v))
+        c.V.Continuous.static_violations c.V.Continuous.sanitizer_violations
+        c.V.Continuous.leaks c.V.Continuous.stale_derefs c.V.Continuous.hook_events
+        c.V.Continuous.hook_overhead_cycles
+    end;
+    if not (V.Continuous.ok v) then exit 1
+  end
 
-let print_fig5 seed sanitize =
+let print_fig4 seed sanitize verify_continuous =
   with_sanitizer sanitize (fun () ->
-      let t = E.figure_pf_crash ~seed () in
-      print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
-        ~paper_note:
-          "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered")
+      with_continuous verify_continuous (fun verify ->
+          let t = E.figure_ip_crash ~seed ?verify () in
+          print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
+            ~paper_note:
+              "paper: gap of ~2s while the link resets, one retransmission, full recovery"))
 
-let print_campaign runs seed sanitize =
-  with_sanitizer sanitize @@ fun () ->
-  let c = E.fault_campaign ~runs ~seed () in
+let print_fig5 seed sanitize verify_continuous =
+  with_sanitizer sanitize (fun () ->
+      with_continuous verify_continuous (fun verify ->
+          let t = E.figure_pf_crash ~seed ?verify () in
+          print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
+            ~paper_note:
+              "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered"))
+
+let campaign_json runs (c : E.campaign) verify =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"runs\":%d,\"crashes\":{\"tcp\":%d,\"udp\":%d,\"ip\":%d,\"pf\":%d,\"drv\":%d},"
+       runs c.E.crashes_tcp c.E.crashes_udp c.E.crashes_ip c.E.crashes_pf
+       c.E.crashes_drv);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"consequences\":{\"fully_transparent\":%d,\"reachable\":%d,\"manually_fixed\":%d,\"broke_tcp\":%d,\"transparent_udp\":%d,\"reboots\":%d}"
+       c.E.fully_transparent c.E.reachable c.E.manually_fixed c.E.broke_tcp
+       c.E.transparent_udp c.E.reboots);
+  (match verify with
+  | Some v ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (V.Continuous.json v)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let print_campaign_tables runs c =
   print_endline "Table III — distribution of crashes in the stack";
   print_endline "-------------------------------------------------";
   Printf.printf "%-8s %6s %6s\n" "" "paper" "ours";
@@ -82,6 +130,13 @@ let print_campaign runs seed sanitize =
   Printf.printf "%-42s %8d %6d\n" "Transparent to UDP" 95 c.E.transparent_udp;
   Printf.printf "%-42s %8d %6d\n" "Reboot necessary" 3 c.E.reboots;
   print_newline ()
+
+let print_campaign runs seed sanitize verify_continuous break_recovery json =
+  with_sanitizer ~quiet:json sanitize @@ fun () ->
+  with_continuous ~quiet:json verify_continuous @@ fun verify ->
+  let c = E.fault_campaign ~runs ~seed ?verify ?break_recovery () in
+  if json then print_endline (campaign_json runs c verify)
+  else print_campaign_tables runs c
 
 let print_crosscheck () =
   print_endline "Cross-validation — packet level vs capacity model";
@@ -122,10 +177,10 @@ let print_coalesce () =
     (E.driver_coalescing ());
   print_newline ()
 
-let print_scaling shard_counts ip_replicas flows duration =
+let print_scaling ?verify shard_counts ip_replicas flows duration =
   print_endline "Scaling — N transport shards behind a multi-queue NIC";
   print_endline "------------------------------------------------------";
-  let r = E.scaling_curve ~shard_counts ~ip_replicas ~flows ~duration () in
+  let r = E.scaling_curve ~shard_counts ~ip_replicas ~flows ~duration ?verify () in
   Printf.printf "single-instance Table II ceiling: %.2f Gbps\n" r.E.single_instance_gbps;
   List.iter
     (fun (p : E.scaling_point) ->
@@ -164,6 +219,63 @@ let sanitize =
   let doc = "Run with the pool-ownership sanitizer installed and print its verdict." in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let verify_continuous =
+  let doc =
+    "Re-run the static stack checker against the live topology after every \
+     reincarnation and leak-check each quiesced run tail. Exits 1 on any \
+     violation or leak."
+  in
+  Arg.(value & flag & info [ "verify-continuous" ] ~doc)
+
+let break_recovery =
+  let parse s =
+    let comp_of = function
+      | "tcp" -> Ok Newt_core.Host.C_tcp
+      | "udp" -> Ok Newt_core.Host.C_udp
+      | "ip" -> Ok Newt_core.Host.C_ip
+      | "pf" -> Ok Newt_core.Host.C_pf
+      | "drv" -> Ok (Newt_core.Host.C_drv 0)
+      | c -> Error (`Msg (Printf.sprintf "unknown component %S" c))
+    in
+    let kind_of = function
+      | "wrong-core" -> Ok Newt_core.Host.Wrong_core
+      | "skip-republish" -> Ok Newt_core.Host.Skip_republish
+      | k -> Error (`Msg (Printf.sprintf "unknown sabotage %S" k))
+    in
+    match String.split_on_char ':' s with
+    | [ c; k ] -> (
+        match (comp_of c, kind_of k) with
+        | Ok c, Ok k -> Ok (c, k)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+    | _ -> Error (`Msg "expected COMPONENT:KIND, e.g. ip:wrong-core")
+  in
+  let print ppf (c, k) =
+    Format.fprintf ppf "%s:%s"
+      (match c with
+      | Newt_core.Host.C_tcp -> "tcp"
+      | Newt_core.Host.C_udp -> "udp"
+      | Newt_core.Host.C_ip -> "ip"
+      | Newt_core.Host.C_pf -> "pf"
+      | Newt_core.Host.C_drv _ -> "drv")
+      (match k with
+      | Newt_core.Host.Wrong_core -> "wrong-core"
+      | Newt_core.Host.Skip_republish -> "skip-republish")
+  in
+  let doc =
+    "Sabotage the named component's recovery in every run \
+     (COMPONENT:KIND; components tcp, udp, ip, pf, drv; kinds wrong-core, \
+     skip-republish). The continuous checker, not the traffic, must catch \
+     it — use with $(b,--verify-continuous)."
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "break-recovery" ] ~docv:"COMPONENT:KIND" ~doc)
+
+let campaign_json_flag =
+  let doc = "Emit the campaign results (and verifier counters) as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let seed =
   let doc = "Random seed for the simulation." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
@@ -182,18 +294,19 @@ let table2_cmd =
 
 let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (IP server crash bitrate trace)")
-    Term.(const print_fig4 $ seed $ sanitize)
+    Term.(const print_fig4 $ seed $ sanitize $ verify_continuous)
 
 let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
-    Term.(const print_fig5 $ seed $ sanitize)
+    Term.(const print_fig5 $ seed $ sanitize $ verify_continuous)
 
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Reproduce Tables III and IV (fault-injection campaign)")
     Term.(
-      const (fun runs seed sanitize -> print_campaign runs seed sanitize)
-      $ runs $ campaign_seed $ sanitize)
+      const print_campaign
+      $ runs $ campaign_seed $ sanitize $ verify_continuous $ break_recovery
+      $ campaign_json_flag)
 
 let verify_cmd =
   let json =
@@ -248,14 +361,17 @@ let scaling_cmd =
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Goodput vs number of TCP shards (multi-queue NIC + sharded stack)")
-    Term.(const print_scaling $ shard_counts $ ip_replicas $ flows $ duration)
+    Term.(
+      const (fun vc sc ir f d ->
+          with_continuous vc (fun verify -> print_scaling ?verify sc ir f d))
+      $ verify_continuous $ shard_counts $ ip_replicas $ flows $ duration)
 
 let all_cmd =
   let run () =
     print_table2 ();
-    print_fig4 42 false;
-    print_fig5 42 false;
-    print_campaign 100 2 false;
+    print_fig4 42 false false;
+    print_fig5 42 false false;
+    print_campaign 100 2 false false None false;
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();

@@ -16,6 +16,7 @@ type event =
 
 let listener : (actor:string option -> event -> unit) option ref = ref None
 let current : string option ref = ref None
+let current_epoch : int ref = ref 0
 
 let install f = listener := Some f
 let uninstall () = listener := None
@@ -25,8 +26,14 @@ let emit ev =
   match !listener with Some f -> f ~actor:!current ev | None -> ()
 
 let actor () = !current
+let epoch () = !current_epoch
 
-let with_actor name f =
-  let prev = !current in
+let with_actor ?epoch name f =
+  let prev = !current and prev_epoch = !current_epoch in
   current := Some name;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  (match epoch with Some e -> current_epoch := e | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      current := prev;
+      current_epoch := prev_epoch)
+    f

@@ -66,7 +66,15 @@ val emit : event -> unit
 val actor : unit -> string option
 (** The identity currently being charged, if inside {!with_actor}. *)
 
-val with_actor : string -> (unit -> 'a) -> 'a
+val epoch : unit -> int
+(** The restart epoch (the actor's incarnation number) the current
+    bracket was opened with; 0 outside any bracket or when the bracket
+    did not stamp one. Listeners use it to tell incarnation [k] of a
+    server from incarnation [k+1] of the same name. *)
+
+val with_actor : ?epoch:int -> string -> (unit -> 'a) -> 'a
 (** [with_actor name f] runs [f] with emissions attributed to [name];
     the previous attribution is restored afterwards, also on
-    exceptions. *)
+    exceptions. [epoch] additionally stamps the actor's incarnation
+    number into the bracket (the server runtime passes its restart
+    counter), readable by listeners via {!epoch}. *)

@@ -6,9 +6,18 @@ type 'a t = {
   table : (id, 'a record) Hashtbl.t;
   mutable next_id : id;
   mutable next_seq : int;
+  mutable sweeping : bool;  (* an abort_peer sweep is on the stack *)
+  mutable deferred : int list;  (* peers whose sweep arrived re-entrantly *)
 }
 
-let create () = { table = Hashtbl.create 64; next_id = 0; next_seq = 0 }
+let create () =
+  {
+    table = Hashtbl.create 64;
+    next_id = 0;
+    next_seq = 0;
+    sweeping = false;
+    deferred = [];
+  }
 
 let submit t ~peer ~payload ~abort =
   let id = t.next_id in
@@ -34,11 +43,41 @@ let in_seq_order t =
   Hashtbl.fold (fun id r acc -> (id, r) :: acc) t.table []
   |> List.sort (fun (_, a) (_, b) -> compare a.seq b.seq)
 
-let abort_peer t ~peer =
+(* Run one peer's sweep: snapshot the doomed records, remove them all
+   before running any abort action (an abort never sees itself — or a
+   sibling — as still outstanding), then run the aborts in submission
+   order. *)
+let sweep_one t ~peer =
   let doomed = List.filter (fun (_, r) -> r.peer = peer) (in_seq_order t) in
   List.iter (fun (id, _) -> Hashtbl.remove t.table id) doomed;
   List.iter (fun (id, r) -> r.abort id r.payload) doomed;
   List.length doomed
+
+let abort_peer t ~peer =
+  if t.sweeping then begin
+    (* Re-entrant call from inside an abort action (a cascading crash
+       notification). Running it here would interleave two sweeps over
+       shared state; instead queue the peer and let the outermost
+       sweep drain it. The re-entrant caller gets 0 — its requests are
+       aborted, just not synchronously. *)
+    t.deferred <- t.deferred @ [ peer ];
+    0
+  end
+  else begin
+    t.sweeping <- true;
+    Fun.protect
+      ~finally:(fun () -> t.sweeping <- false)
+      (fun () ->
+        let n = sweep_one t ~peer in
+        let rec drain n =
+          match t.deferred with
+          | [] -> n
+          | p :: rest ->
+              t.deferred <- rest;
+              drain (n + sweep_one t ~peer:p)
+        in
+        drain n)
+  end
 
 let outstanding t = Hashtbl.length t.table
 

@@ -40,7 +40,17 @@ val peek : 'a t -> id -> 'a option
 val abort_peer : 'a t -> peer:int -> int
 (** Remove all requests addressed to [peer], running each abort action.
     Returns how many were aborted. Abort actions run in submission
-    order. *)
+    order, and every doomed record is removed {e before} the first
+    abort runs, so an abort action never observes itself (or a doomed
+    sibling) as still outstanding.
+
+    Re-entrancy contract: an abort action may itself call [abort_peer]
+    on the same database (a cascading crash notification). The nested
+    call does not run a second sweep on the stack — it queues its peer
+    and returns [0]; the outermost sweep drains queued peers, in
+    arrival order, before returning (and its count includes their
+    aborts). Submitting new requests from an abort action is allowed;
+    they survive unless addressed to a queued peer. *)
 
 val outstanding : 'a t -> int
 (** Number of in-flight requests. *)

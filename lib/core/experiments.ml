@@ -9,6 +9,8 @@ module Sink = Newt_stack.Sink
 module Capacity = Newt_stack.Capacity
 module Fault_inject = Newt_reliability.Fault_inject
 module Apps = Newt_sockets.Apps
+module Static = Newt_verify.Static
+module Continuous = Newt_verify.Continuous
 
 (* {1 Table II} *)
 
@@ -213,6 +215,26 @@ let minix_event_sim ?(duration = 2.0) () =
       Minix.bytes_sent mx = !received && Sink.checksum_failures sink = 0;
   }
 
+(* {1 Continuous verification}
+
+   When an experiment is handed a [Continuous.t], the static
+   channel-graph checker re-runs against the LIVE topology after every
+   reincarnation — re-derived from the Pubsub directory and each
+   component's republished exports, so a recovery that comes up on the
+   wrong core or loses a republish is caught the moment it happens, not
+   at wiring time. *)
+
+let attach_continuous v h ~title =
+  Host.on_reincarnated h (fun comp ->
+      Continuous.recheck v (fun () ->
+          Static.check
+            ~directory:(Host.directory h)
+            ~title:
+              (Printf.sprintf "%s: after %s restart %d" title
+                 (Newt_stack.Component.name comp)
+                 (Newt_stack.Component.incarnation comp))
+            (Host.components h)))
+
 (* {1 Figures 4 and 5} *)
 
 type crash_trace = {
@@ -223,7 +245,8 @@ type crash_trace = {
   component_restarts : int;
 }
 
-let crash_run ?nic_reset ~seed ~rules ~protect_port ~crashes ~component ~duration () =
+let crash_run ?nic_reset ?verify ~seed ~rules ~protect_port ~crashes ~component
+    ~duration () =
   let rule_list =
     if rules <= 2 then [ Newt_pf.Rule.pass_all ]
     else Pf_engine.generate_ruleset (Rng.create (seed + 1)) ~n:rules ~protect_port
@@ -235,6 +258,7 @@ let crash_run ?nic_reset ~seed ~rules ~protect_port ~crashes ~component ~duratio
     | None -> config
   in
   let h = Host.create ~config () in
+  Option.iter (fun v -> attach_continuous v h ~title:"crash run") verify;
   let sink = Host.sink h 0 in
   let series = Series.create ~bin_width:(Time.of_seconds 0.1) in
   Sink.sink_tcp sink ~port:protect_port ~on_bytes:(fun ~at n -> Series.add series at n);
@@ -247,8 +271,15 @@ let crash_run ?nic_reset ~seed ~rules ~protect_port ~crashes ~component ~duratio
   List.iter
     (fun at -> Host.at h (Time.of_seconds at) (fun () -> Host.kill_component h component))
     crashes;
-  (* Run past the end so in-flight data drains and losses would show. *)
+  (* Run past the end so in-flight data drains and losses would show;
+     with the verifier attached, half a second further still so the
+     leak check reads a quiesced stack. *)
   Host.run h ~until:(Time.of_seconds (duration +. 1.0));
+  Option.iter
+    (fun v ->
+      Host.run h ~until:(Time.of_seconds (duration +. 1.5));
+      Continuous.end_run ~check_leaks:true v)
+    verify;
   let received = Sink.tcp_bytes_received sink in
   let sent = Apps.Iperf.bytes_sent iperf in
   let sink_stats = Tcp.stats (Sink.tcp sink) in
@@ -261,9 +292,10 @@ let crash_run ?nic_reset ~seed ~rules ~protect_port ~crashes ~component ~duratio
     component_restarts = Host.restarts_of h component;
   }
 
-let figure_ip_crash ?(seed = 42) ?(crash_at = 4.0) ?(duration = 10.0) ?nic_reset () =
-  crash_run ?nic_reset ~seed ~rules:0 ~protect_port:5001 ~crashes:[ crash_at ]
-    ~component:Host.C_ip ~duration ()
+let figure_ip_crash ?(seed = 42) ?(crash_at = 4.0) ?(duration = 10.0) ?nic_reset
+    ?verify () =
+  crash_run ?nic_reset ?verify ~seed ~rules:0 ~protect_port:5001
+    ~crashes:[ crash_at ] ~component:Host.C_ip ~duration ()
 
 (* How long the Figure 4 outage lasts, from the crash until the bitrate
    is back above the threshold. *)
@@ -301,9 +333,9 @@ let nic_reset_sweep ?(seed = 42) () =
     [ 1.2; 0.3; 0.05 ]
 
 let figure_pf_crash ?(seed = 42) ?(rules = 1024) ?(crash_at = [ 6.0; 12.0 ])
-    ?(duration = 18.0) () =
-  crash_run ~seed ~rules ~protect_port:5001 ~crashes:crash_at ~component:Host.C_pf
-    ~duration ()
+    ?(duration = 18.0) ?verify () =
+  crash_run ?verify ~seed ~rules ~protect_port:5001 ~crashes:crash_at
+    ~component:Host.C_pf ~duration ()
 
 (* {1 The fault-injection campaign} *)
 
@@ -332,12 +364,14 @@ type campaign = {
   reboots : int;
 }
 
-let campaign_run ~seed (inj : Fault_inject.injection) =
+let campaign_run ?verify ?break_recovery ~seed (inj : Fault_inject.injection) =
   let rules =
     Pf_engine.generate_ruleset (Rng.create (seed + 1)) ~n:64 ~protect_port:22
   in
   let config = { Host.default_config with Host.seed; pf_rules = rules } in
   let h = Host.create ~config () in
+  Option.iter (fun v -> attach_continuous v h ~title:"campaign run") verify;
+  Option.iter (fun (comp, kind) -> Host.sabotage h comp kind) break_recovery;
   let sink = Host.sink h 0 in
   Sink.serve_tcp_echo sink ~port:22;
   Sink.serve_dns sink ~zone:(fun _ -> Some (Host.sink_addr h 0)) ();
@@ -379,6 +413,14 @@ let campaign_run ~seed (inj : Fault_inject.injection) =
   let ssh_ok_at_8s = ref 0 in
   Host.at h (Time.of_seconds 8.0) (fun () -> ssh_ok_at_8s := Apps.Ssh_session.exchanges_ok ssh);
   Host.run h ~until:(Time.of_seconds 10.0);
+  (* With the verifier attached, let the run's tail drain (iperf ends
+     at 9.5 s) so the end-of-run leak accounting reads a quiesced
+     stack; a frozen world never drains, so skip its leak check. *)
+  Option.iter
+    (fun v ->
+      Host.run h ~until:(Time.of_seconds 11.0);
+      Continuous.end_run ~check_leaks:(not (Host.frozen h)) v)
+    verify;
   let frozen = Host.frozen h in
   let ssh_survived =
     (not (Apps.Ssh_session.broken ssh))
@@ -407,11 +449,14 @@ let campaign_run ~seed (inj : Fault_inject.injection) =
 (* The default seed gives a representative sample (the campaign is
    stochastic, as the paper's was — "the tool injects faults randomly so
    the faults are unpredictable"); other seeds vary by a few counts. *)
-let fault_campaign ?(runs = 100) ?(seed = 2) () =
+let fault_campaign ?(runs = 100) ?(seed = 2) ?verify ?break_recovery () =
   let rng = Rng.create seed in
   let injections = Fault_inject.draw_many rng ~ndrv:1 ~runs in
   let outcomes =
-    List.mapi (fun i inj -> campaign_run ~seed:(seed + (1000 * (i + 1))) inj) injections
+    List.mapi
+      (fun i inj ->
+        campaign_run ?verify ?break_recovery ~seed:(seed + (1000 * (i + 1))) inj)
+      injections
   in
   let count p = List.length (List.filter p outcomes) in
   let target_is target o =
@@ -535,6 +580,22 @@ let driver_coalescing ?(costs = Costs.default) () =
 
 (* {1 Scaling curve — N transport shards behind a multi-queue NIC} *)
 
+let sharded_spec s =
+  let module S = Newt_scale.Sharded_stack in
+  let module Sim_chan = Newt_channels.Sim_chan in
+  let module Component = Newt_stack.Component in
+  let cfg = S.config s in
+  let chans = S.tcp_channels s in
+  {
+    Newt_verify.Static.shards = cfg.S.shards;
+    replicas = cfg.S.ip_replicas;
+    rss_table = Newt_nic.Rss.table (Newt_scale.Shard_map.rss (S.shard_map s));
+    shard_to_ip = Array.map (fun (c, _) -> Sim_chan.id c) chans;
+    ip_to_shard = Array.map (fun (_, c) -> Sim_chan.id c) chans;
+    replica_names = Array.map Component.name (S.ip_components s);
+    shard_names = Array.map Component.name (S.tcp_components s);
+  }
+
 type scaling_point = {
   shards : int;
   ip_replicas : int;
@@ -550,13 +611,25 @@ type scaling_result = {
 }
 
 let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
-    ?(flows = 8) ?(duration = 0.5) ?(link_gbps = 40.0) () =
+    ?(flows = 8) ?(duration = 0.5) ?(link_gbps = 40.0) ?verify () =
   let module S = Newt_scale.Sharded_stack in
   let run_point n =
     (* A point can't use more IP replicas than it has shards. *)
     let r = min ip_replicas n in
     let config = { S.default_config with S.shards = n; ip_replicas = r; link_gbps } in
     let s = S.create ~config () in
+    Option.iter
+      (fun v ->
+        S.on_reincarnated s (fun comp ->
+            Continuous.recheck v (fun () ->
+                Static.check
+                  ~directory:(S.directory s)
+                  ~sharding:(sharded_spec s)
+                  ~title:
+                    (Printf.sprintf "scaling N=%d r=%d: after %s restart" n r
+                       (Newt_stack.Component.name comp))
+                  (S.components s))))
+      verify;
     let total = ref 0 in
     for i = 0 to flows - 1 do
       Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ b ->
@@ -569,6 +642,11 @@ let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
             ~until:(Time.of_seconds duration) ())
     in
     S.run s ~until:(Time.of_seconds duration);
+    Option.iter
+      (fun v ->
+        S.run s ~until:(Time.of_seconds (duration +. 0.25));
+        Continuous.end_run ~check_leaks:false v)
+      verify;
     {
       shards = n;
       ip_replicas = r;
@@ -586,22 +664,6 @@ let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
 
 (* {1 Stack verifier — static channel-graph checks over every shipped
    configuration} *)
-
-let sharded_spec s =
-  let module S = Newt_scale.Sharded_stack in
-  let module Sim_chan = Newt_channels.Sim_chan in
-  let module Component = Newt_stack.Component in
-  let cfg = S.config s in
-  let chans = S.tcp_channels s in
-  {
-    Newt_verify.Static.shards = cfg.S.shards;
-    replicas = cfg.S.ip_replicas;
-    rss_table = Newt_nic.Rss.table (Newt_scale.Shard_map.rss (S.shard_map s));
-    shard_to_ip = Array.map (fun (c, _) -> Sim_chan.id c) chans;
-    ip_to_shard = Array.map (fun (_, c) -> Sim_chan.id c) chans;
-    replica_names = Array.map Component.name (S.ip_components s);
-    shard_names = Array.map Component.name (S.tcp_components s);
-  }
 
 let verify_configs ?(max_shards = 8) () =
   let module S = Newt_scale.Sharded_stack in

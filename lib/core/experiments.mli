@@ -71,11 +71,15 @@ val figure_ip_crash :
   ?crash_at:float ->
   ?duration:float ->
   ?nic_reset:Newt_sim.Time.cycles ->
+  ?verify:Newt_verify.Continuous.t ->
   unit ->
   crash_trace
 (** A single ~1 Gbps TCP connection; the IP server is killed at
     [crash_at] (default 4 s) over [duration] (default 10 s) — Figure 4.
-    The visible gap is the NIC reset the crash forces. *)
+    The visible gap is the NIC reset the crash forces. With [verify]
+    the static checker re-runs against the live topology after every
+    reincarnation, and the run tail is extended so the quiesced world
+    can be leak-checked ([Continuous.end_run ~check_leaks:true]). *)
 
 val recovery_gap : ?threshold_mbps:float -> crash_at:float -> crash_trace -> float
 (** Seconds from the crash until the bitrate is back above the
@@ -93,11 +97,17 @@ val nic_reset_sweep : ?seed:int -> unit -> reset_sweep_point list
     reset time, not the software restart. *)
 
 val figure_pf_crash :
-  ?seed:int -> ?rules:int -> ?crash_at:float list -> ?duration:float -> unit -> crash_trace
+  ?seed:int ->
+  ?rules:int ->
+  ?crash_at:float list ->
+  ?duration:float ->
+  ?verify:Newt_verify.Continuous.t ->
+  unit ->
+  crash_trace
 (** Packet-filter crashes (default at 6 s and 12 s over 18 s) while
     recovering a [rules]-entry configuration (default 1024) — Figure 5.
     No packets are lost because IP resubmits unanswered filter
-    requests. *)
+    requests. [verify] as in {!figure_ip_crash}. *)
 
 (** {1 Tables III and IV — the fault-injection campaign} *)
 
@@ -128,11 +138,24 @@ type campaign = {
   reboots : int;
 }
 
-val fault_campaign : ?runs:int -> ?seed:int -> unit -> campaign
+val fault_campaign :
+  ?runs:int ->
+  ?seed:int ->
+  ?verify:Newt_verify.Continuous.t ->
+  ?break_recovery:Host.component * Host.sabotage ->
+  unit ->
+  campaign
 (** Default 100 runs, as in the paper. Each run boots a fresh world
     with an SSH-like session, a DNS-like resolver, an iperf flow and an
     inbound listener, injects one observable fault, lets the
-    reincarnation machinery recover, and probes the consequences. *)
+    reincarnation machinery recover, and probes the consequences.
+
+    With [verify] every run re-runs the static checker against the live
+    post-restart topology after each reincarnation and closes with
+    [Continuous.end_run] (leak-checked unless the run ended frozen).
+    [break_recovery] installs a deliberate recovery defect
+    ({!Host.sabotage}) on the named component in every run — the
+    continuous checker, not the traffic, is what must catch it. *)
 
 (** {1 Section IV-B — MWAIT wake-up latency vs polling} *)
 
@@ -191,6 +214,7 @@ val scaling_curve :
   ?flows:int ->
   ?duration:float ->
   ?link_gbps:float ->
+  ?verify:Newt_verify.Continuous.t ->
   unit ->
   scaling_result
 (** Run [flows] parallel iperf streams (default 8) against a
@@ -200,7 +224,9 @@ val scaling_curve :
     instance is pinned at the single-server ceiling. [ip_replicas]
     (default 1) replicates the IP server as well — each point is capped
     at [min ip_replicas shards] — lifting the plateau the single IP
-    instance imposes once the shards outrun it. *)
+    instance imposes once the shards outrun it. With [verify] each
+    point re-checks the sharded topology (including RSS affinity) after
+    every shard reincarnation and closes with [Continuous.end_run]. *)
 
 (** {1 Stack verifier} *)
 

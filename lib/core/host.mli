@@ -96,6 +96,26 @@ val run : t -> until:Newt_sim.Time.cycles -> unit
 val at : t -> Newt_sim.Time.cycles -> (unit -> unit) -> unit
 (** Schedule an action at an absolute simulated time. *)
 
+(** {1 Continuous verification} *)
+
+val on_reincarnated : t -> (Newt_stack.Component.t -> unit) -> unit
+(** Install the post-recovery callback on the host's reincarnation
+    server ({!Newt_reliability.Reincarnation.set_on_reincarnated}):
+    fires after every supervised component finishes a full recovery,
+    with exports republished and neighbours notified — the point where
+    the continuous verifier re-checks the live topology. *)
+
+type sabotage = Wrong_core | Skip_republish
+
+val sabotage : t -> component -> sabotage -> unit
+(** Deliberately break the component's recovery procedure, for
+    verifier regression tests: [Wrong_core] makes every future restart
+    bring the server up on another component's core (trips the
+    core-affinity re-check); [Skip_republish] makes it lose the
+    directory republish of its first export (trips the republish
+    re-check). Both are metadata-level breaks the traffic-level
+    campaign outcomes cannot see — only the continuous checker can. *)
+
 (** {1 Faults} *)
 
 val kill_component : t -> component -> unit

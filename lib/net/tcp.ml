@@ -486,6 +486,9 @@ let alloc_ephemeral t ~local_ip ~remote_ip ~remote_port =
   in
   go 0
 
+let port_in_use t ~local_ip ~port ~remote_ip ~remote_port =
+  Hashtbl.mem t.conns (local_ip, port, remote_ip, remote_port)
+
 let connect t ~src ~dst ~dst_port ?src_port () =
   let local_port =
     match src_port with

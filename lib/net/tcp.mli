@@ -98,6 +98,18 @@ val connect :
 (** Active open; an ephemeral source port is chosen when none is
     given. *)
 
+val port_in_use :
+  t ->
+  local_ip:Addr.Ipv4.t ->
+  port:int ->
+  remote_ip:Addr.Ipv4.t ->
+  remote_port:int ->
+  bool
+(** Whether the four-tuple already names a connection — the membership
+    probe external port selectors (the sharded stack's
+    {!Newt_scale.Shard_map.port_for_shard}) use to avoid handing out a
+    port that is still bound. *)
+
 val close : pcb -> unit
 (** Orderly close: sends FIN once queued data drains. *)
 

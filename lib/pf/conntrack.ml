@@ -10,20 +10,69 @@ type flow = {
   remote_port : int;
 }
 
-type t = { table : (flow, unit) Hashtbl.t }
+type entry = { mutable last_seen : int }
+type t = { table : (flow, entry) Hashtbl.t; max_entries : int }
 
-let create () = { table = Hashtbl.create 64 }
-let insert t flow = Hashtbl.replace t.table flow ()
+let default_max_entries = 65536
+
+let create ?(max_entries = default_max_entries) () =
+  if max_entries <= 0 then
+    invalid_arg "Conntrack.create: max_entries must be positive";
+  { table = Hashtbl.create 64; max_entries }
+
+(* At capacity the least-recently-seen entry makes room: a firewall
+   must keep admitting fresh flows, and the coldest entry is the one
+   closest to its idle timeout anyway. *)
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun f e acc ->
+        match acc with
+        | Some (_, seen) when seen <= e.last_seen -> acc
+        | _ -> Some (f, e.last_seen))
+      t.table None
+  in
+  match victim with Some (f, _) -> Hashtbl.remove t.table f | None -> ()
+
+let insert t ~now flow =
+  match Hashtbl.find_opt t.table flow with
+  | Some e -> e.last_seen <- now
+  | None ->
+      if Hashtbl.length t.table >= t.max_entries then evict_oldest t;
+      Hashtbl.replace t.table flow { last_seen = now }
+
+let seen t ~now flow =
+  match Hashtbl.find_opt t.table flow with
+  | Some e ->
+      e.last_seen <- now;
+      true
+  | None -> false
+
 let mem t flow = Hashtbl.mem t.table flow
+
+let last_seen t flow =
+  Option.map (fun e -> e.last_seen) (Hashtbl.find_opt t.table flow)
+
 let remove t flow = Hashtbl.remove t.table flow
 let size t = Hashtbl.length t.table
+let capacity t = t.max_entries
+
+let expire t ~now ~ttl =
+  let doomed =
+    Hashtbl.fold
+      (fun f e acc -> if now - e.last_seen > ttl then f :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  List.length doomed
 
 let export t =
-  Hashtbl.fold (fun f () acc -> f :: acc) t.table [] |> List.sort compare
+  Hashtbl.fold (fun f e acc -> (f, e.last_seen) :: acc) t.table []
+  |> List.sort compare
 
-let import t flows =
+let import t entries =
   Hashtbl.reset t.table;
-  List.iter (insert t) flows
+  List.iter (fun (f, seen) -> insert t ~now:seen f) entries
 
 let clear t = Hashtbl.reset t.table
 

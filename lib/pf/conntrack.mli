@@ -5,7 +5,15 @@
     storage server, but "when a firewall blocks incoming traffic it must
     not stop data on established outgoing TCP connections after a
     restart" — so after a crash the filter rebuilds this table by
-    querying the TCP and UDP servers ({!import}). *)
+    querying the TCP and UDP servers ({!import}).
+
+    Every entry carries a last-seen timestamp (simulated cycles,
+    refreshed by {!seen}/{!insert}) so idle flows actually {e expire}:
+    {!expire} sweeps entries idle longer than a TTL, and a hard
+    capacity cap evicts the least-recently-seen entry rather than
+    growing without bound. {!export}/{!import} preserve the
+    timestamps, so a filter restart does not resurrect half-dead
+    entries as freshly-seen. *)
 
 type proto = Ct_tcp | Ct_udp
 
@@ -19,24 +27,43 @@ type flow = {
 
 type t
 
-val create : unit -> t
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] (default 65536) is a hard cap: inserting into a full
+    table evicts the least-recently-seen entry. *)
 
-val insert : t -> flow -> unit
+val insert : t -> now:int -> flow -> unit
+(** Track the flow (or refresh its last-seen time when already
+    tracked). *)
+
+val seen : t -> now:int -> flow -> bool
+(** Membership probe that refreshes the entry's last-seen time on a
+    hit — the per-packet path: traffic keeps its flow's entry alive. *)
 
 val mem : t -> flow -> bool
-(** Looks the flow up in both orientations: a tracked outgoing flow also
-    admits its incoming replies. *)
+(** Pure membership, no timestamp refresh. *)
+
+val last_seen : t -> flow -> int option
 
 val remove : t -> flow -> unit
 
 val size : t -> int
 
-val export : t -> flow list
-(** All tracked flows (deterministic order). *)
+val capacity : t -> int
+(** The [max_entries] cap. *)
 
-val import : t -> flow list -> unit
-(** Replace the table's contents — crash recovery from the transport
-    servers' live state. *)
+val expire : t -> now:int -> ttl:int -> int
+(** Drop every entry idle longer than [ttl] (i.e. [now - last_seen >
+    ttl]); returns how many were dropped. The filter server runs this
+    periodically from its event loop. *)
+
+val export : t -> (flow * int) list
+(** All tracked flows with their last-seen times (deterministic
+    order). *)
+
+val import : t -> (flow * int) list -> unit
+(** Replace the table's contents, preserving the given last-seen times
+    — so restored entries are as close to expiry as they were when
+    exported. Respects the capacity cap. *)
 
 val clear : t -> unit
 

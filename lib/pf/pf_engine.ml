@@ -1,19 +1,29 @@
 module Addr = Newt_net.Addr
 module Wire = Newt_net.Wire
 
-type t = { mutable ruleset : Rule.t list; ct : Conntrack.t }
+type t = { mutable ruleset : Rule.t list; ct : Conntrack.t; ttl : int }
 
 type verdict = { action : Rule.action; rules_walked : int; state_hit : bool }
 
-let create ?(rules = [ Rule.pass_all ]) () = { ruleset = rules; ct = Conntrack.create () }
+(* Long enough that a live-but-quiet flow survives the experiments'
+   time scales; short enough that a dead flow's entry does not pin
+   table space forever. *)
+let default_ttl = Newt_sim.Time.of_seconds 30.0
+
+let create ?(rules = [ Rule.pass_all ]) ?(ttl = default_ttl) ?max_entries () =
+  if ttl <= 0 then invalid_arg "Pf_engine.create: ttl must be positive";
+  { ruleset = rules; ct = Conntrack.create ?max_entries (); ttl }
 
 let set_rules t rules = t.ruleset <- rules
 let rules t = t.ruleset
 let conntrack t = t.ct
+let ttl t = t.ttl
 
-let filter t pkt =
+let filter t ~now pkt =
   let flow = Conntrack.flow_of_packet pkt in
-  let state_hit = match flow with Some f -> Conntrack.mem t.ct f | None -> false in
+  let state_hit =
+    match flow with Some f -> Conntrack.seen t.ct ~now f | None -> false
+  in
   if state_hit then { action = Rule.Pass; rules_walked = 0; state_hit = true }
   else begin
     let rec walk rules walked last_match =
@@ -30,9 +40,11 @@ let filter t pkt =
     | None -> { action = Rule.Pass; rules_walked; state_hit = false }
     | Some r ->
         if r.Rule.action = Rule.Pass && r.Rule.keep_state then
-          Option.iter (Conntrack.insert t.ct) flow;
+          Option.iter (Conntrack.insert t.ct ~now) flow;
         { action = r.Rule.action; rules_walked; state_hit = false }
   end
+
+let sweep t ~now = Conntrack.expire t.ct ~now ~ttl:t.ttl
 
 let classify ~dir b =
   if Bytes.length b < 20 || Wire.get_u8 b 0 <> 0x45 then None

@@ -9,17 +9,28 @@ type t
 
 type verdict = { action : Rule.action; rules_walked : int; state_hit : bool }
 
-val create : ?rules:Rule.t list -> unit -> t
-(** Default ruleset: a single [pass_all]. *)
+val create :
+  ?rules:Rule.t list -> ?ttl:Newt_sim.Time.cycles -> ?max_entries:int -> unit -> t
+(** Default ruleset: a single [pass_all]. [ttl] (default 30 s) is the
+    conntrack idle timeout enforced by {!sweep}; [max_entries] caps the
+    table (see {!Conntrack.create}). *)
 
 val set_rules : t -> Rule.t list -> unit
 val rules : t -> Rule.t list
 val conntrack : t -> Conntrack.t
 
-val filter : t -> Rule.packet -> verdict
+val ttl : t -> Newt_sim.Time.cycles
+
+val filter : t -> now:Newt_sim.Time.cycles -> Rule.packet -> verdict
 (** Decide a packet's fate. A conntrack hit passes without walking the
-    ruleset; a passing [keep_state] match inserts a tracking entry. With
-    no matching rule the packet passes (PF's implicit default). *)
+    ruleset (and refreshes the entry's last-seen time); a passing
+    [keep_state] match inserts a tracking entry stamped [now]. With no
+    matching rule the packet passes (PF's implicit default). *)
+
+val sweep : t -> now:Newt_sim.Time.cycles -> int
+(** Expire conntrack entries idle longer than the engine's TTL;
+    returns how many were dropped. The PF server schedules this
+    periodically from its event loop. *)
 
 val classify :
   dir:[ `In | `Out ] -> Bytes.t -> Rule.packet option
@@ -32,11 +43,19 @@ val classify :
 val export_rules : t -> Rule.t list
 (** The static configuration, as saved to the storage server. *)
 
-val export_states : t -> Conntrack.flow list
+val export_states : t -> (Conntrack.flow * Newt_sim.Time.cycles) list
+(** Tracked flows with their last-seen times — what the PF server
+    snapshots to storage, so a restart does not resurrect idle entries
+    as freshly-seen. *)
 
-val restore : t -> rules:Rule.t list -> states:Conntrack.flow list -> unit
-(** Rebuild after a crash: rules from storage, states from querying the
-    transport servers. *)
+val restore :
+  t ->
+  rules:Rule.t list ->
+  states:(Conntrack.flow * Newt_sim.Time.cycles) list ->
+  unit
+(** Rebuild after a crash: rules from storage, states (with their
+    preserved last-seen times) from the snapshot and/or from querying
+    the transport servers. *)
 
 (** {1 Ruleset generators (for experiments)} *)
 

@@ -17,6 +17,7 @@ type t = {
   restart_delay : Time.cycles;
   mutable watched : watched list;
   mutable total_restarts : int;
+  mutable on_reincarnated : Component.t -> unit;
 }
 
 let create machine ?heartbeat_period ?restart_delay () =
@@ -31,7 +32,16 @@ let create machine ?heartbeat_period ?restart_delay () =
     | Some d -> d
     | None -> Component.Defaults.restart_delay
   in
-  { machine; heartbeat_period; restart_delay; watched = []; total_restarts = 0 }
+  {
+    machine;
+    heartbeat_period;
+    restart_delay;
+    watched = [];
+    total_restarts = 0;
+    on_reincarnated = ignore;
+  }
+
+let set_on_reincarnated t f = t.on_reincarnated <- f
 
 let watch t comp ?(notify_crash = []) ?(notify_restart = []) () =
   t.watched <-
@@ -56,7 +66,10 @@ let recover t w =
            Component.restart w.comp;
            (* ... and then the neighbours re-export, reattach and
               resubmit (Section IV-D). *)
-           List.iter (fun f -> f ()) w.notify_restart))
+           List.iter (fun f -> f ()) w.notify_restart;
+           (* Recovery is complete and advertised: the continuous
+              verifier re-checks the live topology here. *)
+           t.on_reincarnated w.comp))
   end
 
 let find t comp =

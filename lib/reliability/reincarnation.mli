@@ -42,6 +42,13 @@ val watch :
 val start : t -> unit
 (** Begin the heartbeat rounds. *)
 
+val set_on_reincarnated : t -> (Newt_stack.Component.t -> unit) -> unit
+(** Install a callback fired after a supervised component finished a
+    full recovery — restart, republish, and the neighbours'
+    [notify_restart] hooks all done. This is the continuous verifier's
+    trigger: the live topology is re-checked at exactly this point,
+    after every reincarnation. Replaces any previous callback. *)
+
 val kill : t -> Newt_stack.Component.t -> unit
 (** Inject a crash (as the fault-injection tool does) and let the
     supervision machinery recover it. *)

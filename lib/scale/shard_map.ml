@@ -13,15 +13,21 @@ let shard_of t ~src ~sport ~dst ~dport = Rss.queue_of t.rss ~src ~sport ~dst ~dp
 let ephemeral_lo = 49152
 let ephemeral_range = 65536 - ephemeral_lo
 
-let port_for_shard t ~shard ~src ~dst ~dst_port =
+let port_for_shard t ?(in_use = fun _ -> false) ~shard ~src ~dst ~dst_port () =
   let start = t.port_cursor in
   let rec scan i =
-    if i >= 4096 then None
+    if i >= ephemeral_range then
+      (* Every ephemeral port hashing to [shard] for this destination
+         is already taken: a hard resource limit, not a retry case. *)
+      Error `Exhausted
     else
       let sport = ephemeral_lo + ((start + i) mod ephemeral_range) in
-      if shard_of t ~src ~sport ~dst ~dport:dst_port = shard then begin
+      if
+        shard_of t ~src ~sport ~dst ~dport:dst_port = shard
+        && not (in_use sport)
+      then begin
         t.port_cursor <- (start + i + 1) mod ephemeral_range;
-        Some sport
+        Ok sport
       end
       else scan (i + 1)
   in

@@ -36,16 +36,21 @@ val shard_of :
 
 val port_for_shard :
   t ->
+  ?in_use:(int -> bool) ->
   shard:int ->
   src:Newt_net.Addr.Ipv4.t ->
   dst:Newt_net.Addr.Ipv4.t ->
   dst_port:int ->
-  int option
+  unit ->
+  (int, [ `Exhausted ]) result
 (** An ephemeral source port (49152–65535) that {!shard_of} maps to
-    [shard] for this destination, or [None] if the scan fails (never in
-    practice: each probe hits the right shard with probability
-    [1/shards]). Successive calls rotate through the range so
-    concurrent connections get distinct ports. *)
+    [shard] for this destination and that [in_use] (default: nothing
+    is) does not reject — the caller passes its connection table so a
+    picked port is never silently reused. Scans the whole ephemeral
+    range from a rotating cursor, so concurrent connections get
+    distinct ports; [Error `Exhausted] means every candidate port
+    hashing to [shard] for this destination is in use — a genuine
+    resource limit the caller must surface, not retry. *)
 
 val rebalance : t -> loads:float array -> int
 (** Reprogram the indirection table so expected load (bucket count

@@ -153,6 +153,7 @@ let app t =
   t.next_app_pid <- pid + 1;
   { Syscall_srv.app_core = core; app_pid = pid }
 
+let on_reincarnated t f = Reincarnation.set_on_reincarnated t.rs f
 let kill_shard t i = Reincarnation.kill t.rs t.tcp_comps.(i)
 let shard_restarts t i = Reincarnation.restarts_of t.rs t.tcp_comps.(i)
 let kill_ip_replica t k = Reincarnation.kill t.rs t.ip_comps.(k)
@@ -410,11 +411,21 @@ let create ?(config = default_config) () =
           incr next_udp_sock;
           s);
   (* Shard affinity for active opens: shard [i] only uses source ports
-     that the RSS table maps to queue [i]. *)
+     that the RSS table maps to queue [i], skipping ports its engine
+     already has bound to the same destination; exhaustion of the whole
+     range is a hard connect error, not a silent wrong-queue open. *)
   Array.iteri
     (fun i srv ->
       Tcp_srv.set_port_select srv (fun ~src ~dst ~dst_port ->
-          Shard_map.port_for_shard sm ~shard:i ~src ~dst ~dst_port))
+          let in_use port =
+            Tcp.port_in_use (Tcp_srv.engine srv) ~local_ip:src ~port
+              ~remote_ip:dst ~remote_port:dst_port
+          in
+          match
+            Shard_map.port_for_shard sm ~in_use ~shard:i ~src ~dst ~dst_port ()
+          with
+          | Ok p -> `Port p
+          | Error `Exhausted -> `Exhausted))
     tcps;
   (* The interface: one MQ driver serving all queues, fanning RX
      completions out to the replica that owns each queue (queue [q]

@@ -104,6 +104,12 @@ val at : t -> Newt_sim.Time.cycles -> (unit -> unit) -> unit
 
 (** {1 Faults} *)
 
+val on_reincarnated : t -> (Newt_stack.Component.t -> unit) -> unit
+(** Post-recovery callback on the sharded stack's reincarnation server
+    — fires once a crashed shard or replica is fully back (restarted,
+    republished, neighbours notified), where the continuous verifier
+    re-checks the live sharded topology. *)
+
 val kill_shard : t -> int -> unit
 (** Crash TCP shard [i]; the reincarnation server recovers it. *)
 

@@ -31,6 +31,7 @@ type t = {
   mutable db_resets : (unit -> unit) list;
   mutable crash_hooks : (unit -> unit) list;
   mutable restart_hooks : (fresh:bool -> unit) list;
+  mutable restarted_hooks : (unit -> unit) list;
   archive : (string, int) Hashtbl.t;
 }
 
@@ -74,7 +75,10 @@ let generic_crash t () =
 let generic_restart t ~fresh =
   List.iter Sim_chan.revive t.rx;
   List.iter (fun f -> f ~fresh) t.restart_hooks;
-  List.iter (publish_export t) t.exports
+  List.iter (publish_export t) t.exports;
+  (* Post-publish hooks see the fully republished directory — the
+     continuous verifier's sabotage handles live here. *)
+  List.iter (fun f -> f ()) t.restarted_hooks
 
 let create machine ~name ~core ?directory ?trace () =
   let proc = Proc.create machine ~name ~core ?trace () in
@@ -90,6 +94,7 @@ let create machine ~name ~core ?directory ?trace () =
       db_resets = [];
       crash_hooks = [];
       restart_hooks = [];
+      restarted_hooks = [];
       archive = Hashtbl.create 16;
     }
   in
@@ -132,9 +137,11 @@ let exports t = t.exports
 let pools t = t.pools
 let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
 let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
+let on_restarted t f = t.restarted_hooks <- t.restarted_hooks @ [ f ]
 let crash t = Proc.crash t.proc
 let hang t = Proc.hang t.proc
 let restart t = Proc.restart t.proc
+let migrate t core = Proc.migrate t.proc core
 
 module Db = struct
   type 'a t = { mutable db : 'a Request_db.t }

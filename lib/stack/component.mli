@@ -136,11 +136,21 @@ val on_restart : t -> (fresh:bool -> unit) -> unit
 (** Append a custom restart hook; hooks run after consumed channels
     are revived and before exports are republished. *)
 
+val on_restarted : t -> (unit -> unit) -> unit
+(** Append a post-recovery hook: runs after the restart hooks {e and}
+    after the exports were republished, i.e. once the new incarnation
+    is fully advertised. This is where broken-recovery sabotage (and
+    anything else that must observe or undo the republish) lives. *)
+
 (** {1 Fault injection / recovery} *)
 
 val crash : t -> unit
 val hang : t -> unit
 val restart : t -> unit
+
+val migrate : t -> Cpu.t -> unit
+(** {!Proc.migrate} for the component's process: model a recovery that
+    brings the server up on the wrong core. *)
 
 (** {1 Request database}
 

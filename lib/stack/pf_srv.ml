@@ -5,6 +5,8 @@ module Pf_engine = Newt_pf.Pf_engine
 module Rule = Newt_pf.Rule
 module Conntrack = Newt_pf.Conntrack
 module Stats = Newt_sim.Stats
+module Time = Newt_sim.Time
+module Engine = Newt_sim.Engine
 
 type t = {
   comp : Component.t;
@@ -16,13 +18,17 @@ type t = {
   mutable udp_source : unit -> Conntrack.flow list;
   mutable verdicts : int;
   mutable blocked : int;
+  mutable expired : int;
 }
+
+let now t = Engine.now (Machine.engine (Component.machine t.comp))
 
 let comp t = t.comp
 let proc t = t.proc
 let engine_of t = t.engine
 let verdicts_issued t = t.verdicts
 let blocked t = t.blocked
+let conntrack_expired t = t.expired
 let rule_count t = List.length (Pf_engine.rules t.engine)
 
 (* Verdicts go back on the channel paired with the one the request
@@ -40,7 +46,7 @@ let handle_msg t ~reply_to msg =
               ignore (Proc.send t.proc reply_to (Msg.Filter_verdict { id; pass = false }))
           )
       | Some key ->
-          let verdict = Pf_engine.filter t.engine key in
+          let verdict = Pf_engine.filter t.engine ~now:(now t) key in
           let cost =
             c.Costs.pf_base
             + (verdict.Pf_engine.rules_walked * c.Costs.pf_rule_cost)
@@ -58,6 +64,25 @@ let handle_msg t ~reply_to msg =
   | Msg.Sock_req _ | Msg.Sock_reply _ | Msg.Sock_event _ ->
       (0, fun () -> Stats.incr (Proc.stats t.proc) "invalid_msg")
 
+let persist_conntrack t =
+  t.save "conntrack" (Marshal.to_string (Pf_engine.export_states t.engine) [])
+
+(* Sweep often enough that entries die within ~a quarter TTL of their
+   deadline, but never busier than 4 Hz. *)
+let sweep_period engine =
+  max (Time.of_seconds 0.25) (Pf_engine.ttl engine / 4)
+
+(* The periodic idle-timeout sweep, run from the server's own event
+   loop. [Proc.after] chains are incarnation-guarded, so the chain
+   dies with a crash; the restart hook re-arms it. Each sweep also
+   snapshots the table (with last-seen times) to the storage server,
+   so a restart does not resurrect idle entries as freshly-seen. *)
+let rec arm_sweep t =
+  Proc.after t.proc (sweep_period t.engine) ~cost:200 (fun () ->
+      t.expired <- t.expired + Pf_engine.sweep t.engine ~now:(now t);
+      persist_conntrack t;
+      arm_sweep t)
+
 let create comp ~save ~load () =
   let t =
     {
@@ -70,6 +95,7 @@ let create comp ~save ~load () =
       udp_source = (fun () -> []);
       verdicts = 0;
       blocked = 0;
+      expired = 0;
     }
   in
   (* The engine's state is what dies in a crash; rules come back from
@@ -85,8 +111,23 @@ let create comp ~save ~load () =
         | Some blob -> (Marshal.from_string blob 0 : Rule.t list)
         | None -> [ Rule.pass_all ]
       in
-      let states = t.tcp_source () @ t.udp_source () in
-      Pf_engine.restore t.engine ~rules ~states);
+      (* The snapshot carries last-seen times, so entries come back as
+         close to expiry as they were; flows the transports still hold
+         but the snapshot missed are (re)tracked as of now. *)
+      let snapshot =
+        match t.load "conntrack" with
+        | Some blob ->
+            (Marshal.from_string blob 0 : (Conntrack.flow * int) list)
+        | None -> []
+      in
+      Pf_engine.restore t.engine ~rules ~states:snapshot;
+      let ct = Pf_engine.conntrack t.engine in
+      List.iter
+        (fun f ->
+          if not (Conntrack.mem ct f) then Conntrack.insert ct ~now:(now t) f)
+        (t.tcp_source () @ t.udp_source ());
+      arm_sweep t);
+  arm_sweep t;
   t
 
 let connect_ip t ~from_ip ~to_ip =
@@ -102,4 +143,5 @@ let set_conntrack_sources t ~tcp ~udp =
   t.udp_source <- udp
 
 let repersist t =
-  t.save "rules" (Marshal.to_string (Pf_engine.rules t.engine) [])
+  t.save "rules" (Marshal.to_string (Pf_engine.rules t.engine) []);
+  persist_conntrack t

@@ -8,9 +8,13 @@
 
     State and recovery (Table I): the ruleset is static configuration,
     saved to the storage server whenever set; the connection-tracking
-    table is dynamic but recoverable by querying the TCP and UDP
-    servers after a restart. Both recoveries are installed as
-    {!Component} lifecycle hooks at [create].
+    table is dynamic but recoverable — from the periodic snapshot
+    (which preserves each entry's last-seen time, so a restart does
+    not resurrect idle entries as freshly-seen) plus a query of the
+    TCP and UDP servers for flows the snapshot missed. Both recoveries
+    are installed as {!Component} lifecycle hooks at [create], which
+    also arms the periodic conntrack idle-timeout sweep (re-armed
+    after every restart; the sweep chain dies with a crash).
 
     Verdicts are sent back on the channel paired with the request's
     arrival channel, so replicated IP servers can share one filter —
@@ -45,10 +49,15 @@ val set_conntrack_sources :
   tcp:(unit -> Newt_pf.Conntrack.flow list) ->
   udp:(unit -> Newt_pf.Conntrack.flow list) ->
   unit
-(** Where a restarted filter recovers its dynamic state from. *)
+(** Where a restarted filter recovers flows its snapshot missed. *)
 
 val repersist : t -> unit
-(** Save the ruleset again (after a storage-server crash). *)
+(** Save the ruleset and the conntrack snapshot again (after a
+    storage-server crash). *)
 
 val verdicts_issued : t -> int
 val blocked : t -> int
+
+val conntrack_expired : t -> int
+(** Conntrack entries dropped by the idle-timeout sweep so far (this
+    incarnation). *)

@@ -14,7 +14,7 @@ type t = {
   machine : Machine.t;
   name : string;
   pid : int;
-  core : Cpu.t;
+  mutable core : Cpu.t;
   stats : Stats.t;
   trace : Trace.t option;
   mutable rx : (Msg.t Sim_chan.t * handler ref) list;  (* oldest first *)
@@ -72,7 +72,7 @@ let guard t k =
   let inc = t.incarnation in
   fun () ->
     if t.alive && (not t.hung) && t.incarnation = inc then
-      Hook.with_actor t.name k
+      Hook.with_actor ~epoch:inc t.name k
 
 let exec t ~cost k =
   if t.alive && not t.hung then Cpu.exec t.core ~proc:t.pid ~cost (guard t k)
@@ -115,17 +115,19 @@ let rec drain t =
     | Some (chan, msg, handler) ->
         Stats.incr t.stats ("rx." ^ Msg.describe msg);
         if Hook.enabled () then
-          Hook.with_actor t.name (fun () ->
+          Hook.with_actor ~epoch:t.incarnation t.name (fun () ->
               emit_transfers chan msg (fun ~chan ~ptr ->
                   Hook.Chan_receive { chan; ptr }));
         let costs = Machine.costs t.machine in
-        let work_cost, effect = Hook.with_actor t.name (fun () -> handler msg) in
+        let work_cost, effect =
+          Hook.with_actor ~epoch:t.incarnation t.name (fun () -> handler msg)
+        in
         Cpu.exec t.core ~proc:t.pid
           ~cost:(recv_cost costs + work_cost)
           (let inc = t.incarnation in
            fun () ->
              if t.alive && (not t.hung) && t.incarnation = inc then begin
-               Hook.with_actor t.name effect;
+               Hook.with_actor ~epoch:inc t.name effect;
                drain t
              end)
   end
@@ -170,7 +172,7 @@ let crash t =
     t.hung <- false;
     t.updating <- false;
     t.draining <- false;
-    t.on_crash ()
+    Hook.with_actor ~epoch:t.incarnation t.name t.on_crash
   end
 
 let hang t =
@@ -187,12 +189,17 @@ let restart t =
   t.hung <- false;
   t.updating <- false;
   t.draining <- false;
-  t.on_restart ~fresh:false;
+  Hook.with_actor ~epoch:t.incarnation t.name (fun () -> t.on_restart ~fresh:false);
   wake t
 
 let start_fresh t =
-  t.on_restart ~fresh:true;
+  Hook.with_actor ~epoch:t.incarnation t.name (fun () -> t.on_restart ~fresh:true);
   wake t
+
+(* A restart procedure gone wrong can revive the server on another
+   component's core (Section VI-B territory); the continuous checker is
+   what should notice. *)
+let migrate t core = t.core <- core
 
 let begin_update t = t.updating <- true
 

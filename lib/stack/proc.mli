@@ -38,6 +38,12 @@ val core : t -> Newt_hw.Cpu.t
 val stats : t -> Newt_sim.Stats.t
 val incarnation : t -> int
 
+val migrate : t -> Newt_hw.Cpu.t -> unit
+(** Move the server onto another core. Legitimate restarts never do
+    this — it models a broken recovery procedure reviving a component
+    on the wrong core, which the continuous verifier's core-affinity
+    check must catch. *)
+
 val add_rx : t -> Msg.t Newt_channels.Sim_chan.t -> handler -> unit
 (** Start consuming a channel. The handler may be replaced by calling
     [add_rx] again for the same channel. *)

@@ -58,7 +58,10 @@ type t = {
   mutable resubmitted : int;
   mutable src_select : Addr.Ipv4.t -> Addr.Ipv4.t;
   mutable port_select :
-    src:Addr.Ipv4.t -> dst:Addr.Ipv4.t -> dst_port:int -> int option;
+    src:Addr.Ipv4.t ->
+    dst:Addr.Ipv4.t ->
+    dst_port:int ->
+    [ `Any | `Port of int | `Exhausted ];
   rng : Rng.t;
 }
 
@@ -329,16 +332,22 @@ let handle_call t s req (call : Msg.sock_call) =
               persist_listeners t;
               reply t req Msg.Ok_unit
           | exception Invalid_argument m -> reply t req (Msg.Err m)))
-  | Msg.Call_connect { dst; dst_port } ->
+  | Msg.Call_connect { dst; dst_port } -> (
       let src = t.src_select dst in
-      let pcb =
-        Tcp.connect t.engine ~src ~dst ~dst_port
-          ?src_port:(t.port_select ~src ~dst ~dst_port) ()
-      in
-      s.pcb <- Some pcb;
-      s.op <- P_connect { req };
-      attach_handler t s pcb;
-      progress t s
+      match t.port_select ~src ~dst ~dst_port with
+      | `Exhausted ->
+          (* The selector ran out of usable source ports (for a sharded
+             stack: every ephemeral port hashing to this shard is
+             bound). A hard error to the caller, never a silent
+             fallback to a port on the wrong queue. *)
+          reply t req (Msg.Err "ephemeral ports exhausted")
+      | (`Any | `Port _) as sel ->
+          let src_port = match sel with `Port p -> Some p | `Any -> None in
+          let pcb = Tcp.connect t.engine ~src ~dst ~dst_port ?src_port () in
+          s.pcb <- Some pcb;
+          s.op <- P_connect { req };
+          attach_handler t s pcb;
+          progress t s)
   | Msg.Call_send { data } ->
       (match s.op with
       | P_none ->
@@ -482,7 +491,7 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
       ip_up = true;
       resubmitted = 0;
       src_select = (fun _ -> local_addr);
-      port_select = (fun ~src:_ ~dst:_ ~dst_port:_ -> None);
+      port_select = (fun ~src:_ ~dst:_ ~dst_port:_ -> `Any);
       rng = Rng.split (Engine.rng (Machine.engine machine));
     }
   in

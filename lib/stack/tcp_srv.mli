@@ -46,12 +46,15 @@ val set_port_select :
   (src:Newt_net.Addr.Ipv4.t ->
   dst:Newt_net.Addr.Ipv4.t ->
   dst_port:int ->
-  int option) ->
+  [ `Any | `Port of int | `Exhausted ]) ->
   unit
-(** Source-port selection for active opens. [None] falls back to the
-    engine's ephemeral allocator. A sharded stack installs a function
-    that picks a port whose RSS hash maps back to this very shard, so
-    the connection's return traffic arrives on its own queue. *)
+(** Source-port selection for active opens. [`Any] falls back to the
+    engine's ephemeral allocator; [`Port p] binds [p]. A sharded stack
+    installs a function that picks a port whose RSS hash maps back to
+    this very shard, so the connection's return traffic arrives on its
+    own queue — and answers [`Exhausted] when every such port is in
+    use, which the server surfaces to the caller as a connect error
+    rather than silently opening on a port steered to another shard. *)
 
 val connect_ip :
   t ->

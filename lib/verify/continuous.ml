@@ -1,0 +1,142 @@
+(* Continuous verification: aggregate re-checks of the static channel
+   graph (one per reincarnation) with the sanitizer's dynamic verdict,
+   per experiment run and across a whole campaign. *)
+
+type counters = {
+  re_checks : int;
+  static_violations : int;
+  sanitizer_violations : int;
+  leaks : int;
+  stale_derefs : int;
+  allocs : int;
+  frees : int;
+  handoffs : int;
+  hook_events : int;
+  hook_overhead_cycles : int;
+}
+
+let zero =
+  {
+    re_checks = 0;
+    static_violations = 0;
+    sanitizer_violations = 0;
+    leaks = 0;
+    stale_derefs = 0;
+    allocs = 0;
+    frees = 0;
+    handoffs = 0;
+    hook_events = 0;
+    hook_overhead_cycles = 0;
+  }
+
+let add a b =
+  {
+    re_checks = a.re_checks + b.re_checks;
+    static_violations = a.static_violations + b.static_violations;
+    sanitizer_violations = a.sanitizer_violations + b.sanitizer_violations;
+    leaks = a.leaks + b.leaks;
+    stale_derefs = a.stale_derefs + b.stale_derefs;
+    allocs = a.allocs + b.allocs;
+    frees = a.frees + b.frees;
+    handoffs = a.handoffs + b.handoffs;
+    hook_events = a.hook_events + b.hook_events;
+    hook_overhead_cycles = a.hook_overhead_cycles + b.hook_overhead_cycles;
+  }
+
+type t = {
+  mutable runs : counters list;  (* completed runs, oldest first *)
+  mutable viols : Report.violation list;  (* everything collected, in order *)
+  (* accumulators for the run in progress *)
+  mutable cur_re_checks : int;
+  mutable cur_static_violations : int;
+}
+
+let create () =
+  { runs = []; viols = []; cur_re_checks = 0; cur_static_violations = 0 }
+
+let recheck t mk =
+  let r = mk () in
+  t.cur_re_checks <- t.cur_re_checks + 1;
+  if not (Report.ok r) then begin
+    t.cur_static_violations <-
+      t.cur_static_violations + List.length r.Report.violations;
+    t.viols <- t.viols @ r.Report.violations
+  end
+
+let end_run ?(check_leaks = false) t =
+  let c =
+    if Sanitizer.active () then begin
+      let vs = Sanitizer.violations () in
+      let leaks = if check_leaks then Sanitizer.leaks () else [] in
+      t.viols <-
+        t.viols
+        @ List.map Sanitizer.describe vs
+        @ List.map Sanitizer.describe_leak leaks;
+      {
+        re_checks = t.cur_re_checks;
+        static_violations = t.cur_static_violations;
+        sanitizer_violations = List.length vs;
+        leaks = List.length leaks;
+        stale_derefs = Sanitizer.stale_count ();
+        allocs = Sanitizer.alloc_count ();
+        frees = Sanitizer.free_count ();
+        handoffs = Sanitizer.handoff_count ();
+        hook_events = Sanitizer.event_count ();
+        hook_overhead_cycles = Sanitizer.overhead_cycles ();
+      }
+    end
+    else
+      {
+        zero with
+        re_checks = t.cur_re_checks;
+        static_violations = t.cur_static_violations;
+      }
+  in
+  t.runs <- t.runs @ [ c ];
+  t.cur_re_checks <- 0;
+  t.cur_static_violations <- 0;
+  (* The next run starts with fresh shadow state; the listener stays
+     installed so it captures the new world's pool announcements. *)
+  if Sanitizer.active () then Sanitizer.reset ()
+
+let runs t = t.runs
+
+let totals t =
+  List.fold_left add
+    {
+      zero with
+      re_checks = t.cur_re_checks;
+      static_violations = t.cur_static_violations;
+    }
+    t.runs
+
+let ok t = t.viols = []
+
+let report ~title t =
+  let c = totals t in
+  {
+    Report.title;
+    checks =
+      [
+        ("re-checks", c.re_checks);
+        ("runs", List.length t.runs);
+        ("allocations", c.allocs);
+        ("frees", c.frees);
+        ("hand-offs", c.handoffs);
+        ("stale-derefs", c.stale_derefs);
+        ("hook-events", c.hook_events);
+      ];
+    violations = t.viols;
+  }
+
+let counters_json c =
+  Printf.sprintf
+    "{\"re_checks\":%d,\"static_violations\":%d,\"sanitizer_violations\":%d,\"leaks\":%d,\"stale_derefs\":%d,\"allocs\":%d,\"frees\":%d,\"handoffs\":%d,\"hook_events\":%d,\"hook_overhead_cycles\":%d}"
+    c.re_checks c.static_violations c.sanitizer_violations c.leaks
+    c.stale_derefs c.allocs c.frees c.handoffs c.hook_events
+    c.hook_overhead_cycles
+
+let json t =
+  Printf.sprintf "\"counters\":%s,\"run_counters\":[%s]"
+    (counters_json (totals t))
+    (String.concat "," (List.map counters_json t.runs))

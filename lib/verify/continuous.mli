@@ -1,0 +1,72 @@
+(** Continuous verification across restarts.
+
+    PR 3's checkers ran once, at wiring time — a buggy recovery
+    procedure (Table I) that rewires a channel to the wrong core or
+    loses an export after a restart sailed through every fault campaign
+    undetected. This module is the aggregation point that closes the
+    gap: the experiment drivers call {!recheck} after {e every}
+    reincarnation (re-running {!Static.check} against the live
+    post-restart topology, re-derived from the Pubsub directory and
+    each component's republished exports) and {!end_run} once each
+    run's tail has drained (absorbing the {!Sanitizer}'s violations and
+    end-of-run leak accounting). The result is one verdict and one
+    counter block — re-checks, violations, leaks, stale derefs, hook
+    overhead in model cycles — per run and for the campaign as a
+    whole, surfaced in the CLI/bench JSON so hook-cost regressions are
+    visible. *)
+
+(** Per-run (and aggregate) verifier/sanitizer counters. *)
+type counters = {
+  re_checks : int;  (** Static re-checks performed (one per restart). *)
+  static_violations : int;
+  sanitizer_violations : int;
+  leaks : int;  (** Slots still allocated once the run quiesced. *)
+  stale_derefs : int;
+  allocs : int;
+  frees : int;
+  handoffs : int;
+  hook_events : int;
+  hook_overhead_cycles : int;
+      (** {!Sanitizer.overhead_cycles} — instrumentation cost in model
+          cycles (accounting only, never charged to simulated cores). *)
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+
+type t
+
+val create : unit -> t
+
+val recheck : t -> (unit -> Report.t) -> unit
+(** Run one static re-check (the thunk typically wraps
+    {!Static.check} over the live host) and absorb its verdict into
+    the run in progress. Experiment drivers call this from the
+    reincarnation server's post-restart notification. *)
+
+val end_run : ?check_leaks:bool -> t -> unit
+(** Close the run in progress: absorb the sanitizer's violations (and,
+    with [check_leaks], its outstanding slots as leaks — only
+    meaningful once the run drained its in-flight buffers), append the
+    run's counter block, and reset the sanitizer's shadow state for
+    the next run (the listener stays installed). With the sanitizer
+    inactive only the static-recheck counters are recorded. *)
+
+val runs : t -> counters list
+(** Counter blocks of completed runs, oldest first. *)
+
+val totals : t -> counters
+(** Sum over completed runs plus the run in progress. *)
+
+val ok : t -> bool
+(** No static violations, sanitizer violations, or leaks anywhere. *)
+
+val report : title:string -> t -> Report.t
+(** Everything collected, as a standard verifier report. *)
+
+val counters_json : counters -> string
+(** One counter block as a JSON object. *)
+
+val json : t -> string
+(** The fragment ["counters":{…},"run_counters":[…]] (no braces), for
+    embedding in a larger JSON object. *)

@@ -15,6 +15,13 @@ type violation =
       actor : string;
       owner : string;
     }
+  | Cross_incarnation_free of {
+      pool : int;
+      slot : int;
+      actor : string;
+      alloc_epoch : int;
+      free_epoch : int;
+    }
 
 type leak = {
   pool : int;
@@ -26,6 +33,7 @@ type leak = {
 (* Shadow state for one live slot. *)
 type slot_state = {
   mutable allocator : string option;
+  mutable alloc_epoch : int;  (* the allocator's incarnation *)
   mutable holder : string option;
   mutable in_flight : int;  (* queued channel messages referencing it *)
 }
@@ -38,7 +46,13 @@ let stales = ref 0
 let allocs = ref 0
 let frees = ref 0
 let handoffs = ref 0
+let events = ref 0
 let running = ref false
+
+(* What one shadow update costs in model cycles had the hook run
+   inline in the stack proper (a hash probe or two): the accounting
+   constant behind {!overhead_cycles}. *)
+let cycles_per_event = 40
 
 let clear () =
   Hashtbl.reset owners;
@@ -48,18 +62,25 @@ let clear () =
   stales := 0;
   allocs := 0;
   frees := 0;
-  handoffs := 0
+  handoffs := 0;
+  events := 0
 
 let record v = viols := v :: !viols
 
 let on_event ~actor ev =
+  incr events;
   match ev with
   | Hook.Pool_own { pool; owner } -> Hashtbl.replace owners pool owner
   | Hook.Pool_grant { pool } -> Hashtbl.replace granted pool ()
   | Hook.Pool_alloc { pool; slot; gen = _ } ->
       incr allocs;
       Hashtbl.replace slots (pool, slot)
-        { allocator = actor; holder = actor; in_flight = 0 }
+        {
+          allocator = actor;
+          alloc_epoch = Hook.epoch ();
+          holder = actor;
+          in_flight = 0;
+        }
   | Hook.Pool_write { pool; slot; gen = _ } -> (
       match (actor, Hashtbl.find_opt owners pool) with
       | Some a, Some owner when a <> owner && not (Hashtbl.mem granted pool) ->
@@ -73,6 +94,27 @@ let on_event ~actor ev =
           if st.in_flight > 0 then
             record
               (Free_in_flight { pool; slot; actor; in_flight = st.in_flight });
+          (* A slot allocated by incarnation [k] of a server and freed
+             by incarnation [k+1] of the same name survived a crash the
+             generic teardown should have reclaimed it in — suspect
+             even when pool generations line up. DMA-granted pools are
+             exempt: their ring slots are device-held and legitimately
+             straddle the driver's incarnations. *)
+          (match (actor, st.allocator) with
+          | Some a, Some alloc_name
+            when a = alloc_name
+                 && Hook.epoch () > st.alloc_epoch
+                 && not (Hashtbl.mem granted pool) ->
+              record
+                (Cross_incarnation_free
+                   {
+                     pool;
+                     slot;
+                     actor = a;
+                     alloc_epoch = st.alloc_epoch;
+                     free_epoch = Hook.epoch ();
+                   })
+          | _ -> ());
           Hashtbl.remove slots (pool, slot)
       | None -> ())
   | Hook.Pool_free_all { pool } ->
@@ -114,6 +156,11 @@ let active () = !running
 let reset () = clear ()
 let violations () = List.rev !viols
 let stale_count () = !stales
+let alloc_count () = !allocs
+let free_count () = !frees
+let handoff_count () = !handoffs
+let event_count () = !events
+let overhead_cycles () = !events * cycles_per_event
 
 let leaks () =
   Hashtbl.fold
@@ -153,6 +200,17 @@ let describe = function
         culprit = actor;
         detail =
           Printf.sprintf "write into %s's pool without a grant" owner;
+      }
+  | Cross_incarnation_free { pool; slot; actor; alloc_epoch; free_epoch } ->
+      {
+        Report.check = "cross-incarnation-free";
+        subject = Printf.sprintf "pool %d slot %d" pool slot;
+        culprit = actor;
+        detail =
+          Printf.sprintf
+            "allocated by incarnation %d but freed by incarnation %d of the \
+             same server — the slot leaked across a crash reclaim"
+            alloc_epoch free_epoch;
       }
 
 let describe_leak (l : leak) =

@@ -43,6 +43,19 @@ type violation =
       actor : string;
       owner : string;
     }
+  | Cross_incarnation_free of {
+      pool : int;
+      slot : int;
+      actor : string;  (** The server name (same for alloc and free). *)
+      alloc_epoch : int;  (** Incarnation that allocated the slot. *)
+      free_epoch : int;  (** Incarnation that freed it (> alloc_epoch). *)
+    }
+      (** A slot allocated by incarnation [k] of a server and freed by a
+          {e later} incarnation of the same server: the generic crash
+          teardown should have reclaimed it wholesale, so even when pool
+          generations line up the free is suspect. DMA-granted pools are
+          exempt (device-held ring slots legitimately straddle driver
+          incarnations). *)
 
 type leak = {
   pool : int;
@@ -67,6 +80,19 @@ val violations : unit -> violation list
 val stale_count : unit -> int
 (** Stale-pointer dereferences observed (expected during recovery). *)
 
+val alloc_count : unit -> int
+val free_count : unit -> int
+val handoff_count : unit -> int
+
+val event_count : unit -> int
+(** Total hook events replayed since install/reset. *)
+
+val overhead_cycles : unit -> int
+(** Model-cycle cost of the hook instrumentation: {!event_count} times a
+    fixed per-event constant (a shadow-table probe). Pure accounting —
+    the cycles are {e not} charged to any simulated core — surfaced in
+    the bench output so hook-cost regressions stay visible. *)
+
 val leaks : unit -> leak list
 (** Slots currently allocated in non-granted pools. Meaningful once the
     run has quiesced; buffers legitimately in flight count until their
@@ -76,6 +102,7 @@ val pool_owner : int -> string option
 (** The component that registered the pool, if the sanitizer saw it. *)
 
 val describe : violation -> Report.violation
+val describe_leak : leak -> Report.violation
 
 val report : ?check_leaks:bool -> title:string -> unit -> Report.t
 (** Assemble a {!Report.t} from the recorded violations; with

@@ -190,6 +190,52 @@ let test_request_db_abort_actions () =
   Alcotest.(check int) "one request survives" 1 (Request_db.outstanding db);
   Alcotest.(check int) "survivor is to peer 8" 1 (Request_db.outstanding_to db ~peer:8)
 
+let test_request_db_abort_reentrant () =
+  (* An abort action that itself calls [abort_peer] — what happens when
+     tearing down one peer reveals another doomed one. The nested call
+     must defer (returning 0), and the outermost call drains it after
+     its own sweep, counting both. *)
+  let db = Request_db.create () in
+  let aborted = ref [] in
+  let plain name _id _payload = aborted := name :: !aborted in
+  let nested_count = ref (-1) in
+  let reentrant name _id _payload =
+    aborted := name :: !aborted;
+    (* Re-entering from inside an abort action: must not run peer 9's
+       aborts here, just queue them. *)
+    nested_count := Request_db.abort_peer db ~peer:9
+  in
+  ignore (Request_db.submit db ~peer:7 ~payload:() ~abort:(plain "a7"));
+  ignore (Request_db.submit db ~peer:7 ~payload:() ~abort:(reentrant "b7"));
+  ignore (Request_db.submit db ~peer:9 ~payload:() ~abort:(plain "c9"));
+  ignore (Request_db.submit db ~peer:8 ~payload:() ~abort:(plain "d8"));
+  let n = Request_db.abort_peer db ~peer:7 in
+  Alcotest.(check int) "nested call defers and reports 0" 0 !nested_count;
+  Alcotest.(check int) "outermost count includes the deferred peer" 3 n;
+  Alcotest.(check (list string)) "peer 7 first, deferred peer 9 after"
+    [ "a7"; "b7"; "c9" ] (List.rev !aborted);
+  Alcotest.(check int) "peer 8 untouched" 1 (Request_db.outstanding db);
+  (* Records are removed before aborts run: a second sweep of either
+     peer finds nothing. *)
+  Alcotest.(check int) "peer 7 already gone" 0 (Request_db.abort_peer db ~peer:7);
+  Alcotest.(check int) "peer 9 already gone" 0 (Request_db.abort_peer db ~peer:9)
+
+let test_request_db_abort_resubmit_from_abort () =
+  (* The documented contract allows an abort action to submit a fresh
+     request (retarget to a restarted peer); the fresh record must
+     survive the sweep that triggered it. *)
+  let db = Request_db.create () in
+  let resubmitted = ref None in
+  let abort _id payload =
+    resubmitted := Some (Request_db.submit db ~peer:5 ~payload ~abort:(fun _ _ -> ()))
+  in
+  ignore (Request_db.submit db ~peer:5 ~payload:"retry-me" ~abort);
+  let n = Request_db.abort_peer db ~peer:5 in
+  Alcotest.(check int) "one aborted" 1 n;
+  Alcotest.(check bool) "abort resubmitted" true (!resubmitted <> None);
+  Alcotest.(check int) "fresh request survives the sweep" 1
+    (Request_db.outstanding_to db ~peer:5)
+
 let test_request_db_ids_never_reused () =
   let db = Request_db.create () in
   let id1 = Request_db.submit db ~peer:1 ~payload:0 ~abort:(fun _ _ -> ()) in
@@ -411,6 +457,10 @@ let suite =
     ("rich pointer chain length", `Quick, test_chain_len);
     ("request db matches replies", `Quick, test_request_db_match);
     ("request db abort actions on peer crash", `Quick, test_request_db_abort_actions);
+    ("request db re-entrant abort_peer defers", `Quick,
+      test_request_db_abort_reentrant);
+    ("request db abort may resubmit", `Quick,
+      test_request_db_abort_resubmit_from_abort);
     ("request db never reuses ids", `Quick, test_request_db_ids_never_reused);
     ("pubsub publish/subscribe", `Quick, test_pubsub_basic);
     ("pubsub replays to late subscriber", `Quick, test_pubsub_replay_to_late_subscriber);

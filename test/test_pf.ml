@@ -44,7 +44,7 @@ let test_last_match_wins () =
         ]
       ()
   in
-  let v = Pf_engine.filter e (pkt ()) in
+  let v = Pf_engine.filter e ~now:0 (pkt ()) in
   Alcotest.(check bool) "later pass overrides earlier block" true
     (v.Pf_engine.action = Rule.Pass);
   Alcotest.(check int) "walked both rules" 2 v.Pf_engine.rules_walked
@@ -59,21 +59,21 @@ let test_quick_short_circuits () =
         ]
       ()
   in
-  let v = Pf_engine.filter e (pkt ()) in
+  let v = Pf_engine.filter e ~now:0 (pkt ()) in
   Alcotest.(check bool) "quick block sticks" true (v.Pf_engine.action = Rule.Block);
   Alcotest.(check int) "stopped at rule 1" 1 v.Pf_engine.rules_walked
 
 let test_default_pass () =
   let e = Pf_engine.create ~rules:[] () in
-  let v = Pf_engine.filter e (pkt ()) in
+  let v = Pf_engine.filter e ~now:0 (pkt ()) in
   Alcotest.(check bool) "implicit pass" true (v.Pf_engine.action = Rule.Pass)
 
 let test_keep_state_bypasses_rules () =
   let e = Pf_engine.create ~rules:[ Rule.pass_all ] () in
-  let v1 = Pf_engine.filter e (pkt ()) in
+  let v1 = Pf_engine.filter e ~now:0 (pkt ()) in
   Alcotest.(check bool) "first packet walks rules" true (v1.Pf_engine.rules_walked > 0);
   Alcotest.(check bool) "no state hit yet" false v1.Pf_engine.state_hit;
-  let v2 = Pf_engine.filter e (pkt ()) in
+  let v2 = Pf_engine.filter e ~now:0 (pkt ()) in
   Alcotest.(check bool) "second packet hits state" true v2.Pf_engine.state_hit;
   Alcotest.(check int) "no rules walked" 0 v2.Pf_engine.rules_walked
 
@@ -90,37 +90,89 @@ let test_state_admits_reply_direction () =
       ()
   in
   let out = pkt ~dir:`Out () in
-  let v1 = Pf_engine.filter e out in
+  let v1 = Pf_engine.filter e ~now:0 out in
   Alcotest.(check bool) "outgoing passes" true (v1.Pf_engine.action = Rule.Pass);
   (* The reply: src/dst flipped, inbound. *)
   let reply =
     pkt ~dir:`In ~src:(ip 10 0 0 2) ~dst:(ip 10 0 0 1) ~sport:80 ~dport:40000 ()
   in
-  let v2 = Pf_engine.filter e reply in
+  let v2 = Pf_engine.filter e ~now:0 reply in
   Alcotest.(check bool) "reply admitted by state" true v2.Pf_engine.state_hit;
   (* An unrelated inbound packet is still blocked. *)
   let stranger = pkt ~dir:`In ~src:(ip 99 9 9 9) ~dport:40000 () in
-  let v3 = Pf_engine.filter e stranger in
+  let v3 = Pf_engine.filter e ~now:0 stranger in
   Alcotest.(check bool) "stranger blocked" true (v3.Pf_engine.action = Rule.Block)
+
+let ct_flow ?(proto = Conntrack.Ct_tcp) ?(lport = 12345) ?(rport = 22) () =
+  {
+    Conntrack.proto;
+    local_ip = ip 10 0 0 1;
+    local_port = lport;
+    remote_ip = ip 10 0 0 2;
+    remote_port = rport;
+  }
 
 let test_conntrack_export_import () =
   let ct = Conntrack.create () in
-  let flow =
-    {
-      Conntrack.proto = Conntrack.Ct_tcp;
-      local_ip = ip 10 0 0 1;
-      local_port = 12345;
-      remote_ip = ip 10 0 0 2;
-      remote_port = 22;
-    }
-  in
-  Conntrack.insert ct flow;
+  let flow = ct_flow () in
+  Conntrack.insert ct ~now:7 flow;
   let saved = Conntrack.export ct in
   Conntrack.clear ct;
   Alcotest.(check bool) "gone after clear" false (Conntrack.mem ct flow);
   Conntrack.import ct saved;
   Alcotest.(check bool) "back after import" true (Conntrack.mem ct flow);
-  Alcotest.(check int) "size" 1 (Conntrack.size ct)
+  Alcotest.(check int) "size" 1 (Conntrack.size ct);
+  Alcotest.(check (option int)) "last-seen time preserved" (Some 7)
+    (Conntrack.last_seen ct flow)
+
+let test_conntrack_expiry () =
+  let sec = Newt_sim.Time.of_seconds in
+  let e = Pf_engine.create ~rules:[ Rule.pass_all ] ~ttl:(sec 1.0) () in
+  ignore (Pf_engine.filter e ~now:0 (pkt ()));
+  Alcotest.(check int) "tracked" 1 (Conntrack.size (Pf_engine.conntrack e));
+  (* Traffic refreshes the entry: a state hit at 0.9 s resets the
+     idle clock, so the sweep at 1.5 s finds nothing to drop... *)
+  let v = Pf_engine.filter e ~now:(sec 0.9) (pkt ()) in
+  Alcotest.(check bool) "state hit refreshes" true v.Pf_engine.state_hit;
+  Alcotest.(check int) "refreshed entry survives" 0
+    (Pf_engine.sweep e ~now:(sec 1.5));
+  (* ...and the entry dies once idle past the TTL. *)
+  Alcotest.(check int) "idle entry expires" 1
+    (Pf_engine.sweep e ~now:(sec 2.0));
+  let v2 = Pf_engine.filter e ~now:(sec 2.0) (pkt ()) in
+  Alcotest.(check bool) "expired flow walks rules again" false
+    v2.Pf_engine.state_hit
+
+let test_conntrack_cap_evicts_oldest () =
+  let ct = Conntrack.create ~max_entries:4 () in
+  for i = 1 to 4 do
+    Conntrack.insert ct ~now:i (ct_flow ~lport:i ())
+  done;
+  Conntrack.insert ct ~now:5 (ct_flow ~lport:5 ());
+  Alcotest.(check int) "capped" 4 (Conntrack.size ct);
+  Alcotest.(check bool) "coldest entry evicted" false
+    (Conntrack.mem ct (ct_flow ~lport:1 ()));
+  Alcotest.(check bool) "newcomer admitted" true
+    (Conntrack.mem ct (ct_flow ~lport:5 ()));
+  (* Refreshing an entry is not an insertion: no eviction. *)
+  Conntrack.insert ct ~now:6 (ct_flow ~lport:2 ());
+  Alcotest.(check int) "refresh keeps size" 4 (Conntrack.size ct)
+
+let test_conntrack_import_keeps_expiry_clock () =
+  (* The restart scenario the timestamps exist for: entries restored
+     from a snapshot must be as close to expiry as when exported, not
+     born-again fresh. *)
+  let ct = Conntrack.create () in
+  let old_flow = ct_flow ~lport:1 () and fresh_flow = ct_flow ~lport:2 () in
+  Conntrack.insert ct ~now:10 old_flow;
+  Conntrack.insert ct ~now:500 fresh_flow;
+  let saved = Conntrack.export ct in
+  let ct2 = Conntrack.create () in
+  Conntrack.import ct2 saved;
+  Alcotest.(check int) "only the stale restored entry expires" 1
+    (Conntrack.expire ct2 ~now:600 ~ttl:200);
+  Alcotest.(check bool) "stale gone" false (Conntrack.mem ct2 old_flow);
+  Alcotest.(check bool) "fresh kept" true (Conntrack.mem ct2 fresh_flow)
 
 let test_classify_tcp () =
   let src = ip 10 0 0 1 and dst = ip 10 0 0 2 in
@@ -162,7 +214,7 @@ let test_generated_ruleset_shape () =
   Alcotest.(check int) "1024 rules" 1024 (List.length rules);
   let e = Pf_engine.create ~rules () in
   (* The protected flow passes... *)
-  let v = Pf_engine.filter e (pkt ~dport:5001 ()) in
+  let v = Pf_engine.filter e ~now:0 (pkt ~dport:5001 ()) in
   Alcotest.(check bool) "protected port passes" true (v.Pf_engine.action = Rule.Pass);
   (* ...and the noise rules really do block their targets. *)
   let blocked =
@@ -171,7 +223,7 @@ let test_generated_ruleset_shape () =
         match (r.Rule.action, r.Rule.src, r.Rule.dst_port) with
         | Rule.Block, Rule.Net { prefix; _ }, Rule.Port p ->
             let probe = pkt ~src:prefix ~dport:p () in
-            (Pf_engine.filter e probe).Pf_engine.action = Rule.Block
+            (Pf_engine.filter e ~now:0 probe).Pf_engine.action = Rule.Block
         | _ -> false)
       rules
   in
@@ -180,17 +232,7 @@ let test_generated_ruleset_shape () =
 let test_restore () =
   let e = Pf_engine.create () in
   let rules = Pf_engine.generate_ruleset (Rng.create 5) ~n:16 ~protect_port:80 in
-  let states =
-    [
-      {
-        Conntrack.proto = Conntrack.Ct_tcp;
-        local_ip = ip 10 0 0 1;
-        local_port = 1;
-        remote_ip = ip 10 0 0 2;
-        remote_port = 2;
-      };
-    ]
-  in
+  let states = [ (ct_flow ~lport:1 ~rport:2 (), 42) ] in
   Pf_engine.restore e ~rules ~states;
   Alcotest.(check int) "rules restored" 16 (List.length (Pf_engine.export_rules e));
   Alcotest.(check int) "states restored" 1 (List.length (Pf_engine.export_states e))
@@ -224,6 +266,11 @@ let suite =
     ("keep-state bypasses the ruleset", `Quick, test_keep_state_bypasses_rules);
     ("state admits replies through a block", `Quick, test_state_admits_reply_direction);
     ("conntrack export/import (recovery)", `Quick, test_conntrack_export_import);
+    ("conntrack idle entries expire", `Quick, test_conntrack_expiry);
+    ("conntrack cap evicts the coldest entry", `Quick, test_conntrack_cap_evicts_oldest);
+    ( "conntrack import keeps the expiry clock",
+      `Quick,
+      test_conntrack_import_keeps_expiry_clock );
     ("classify parses tcp packets", `Quick, test_classify_tcp);
     ("classify rejects garbage", `Quick, test_classify_garbage);
     ("generated 1024-rule set behaves", `Quick, test_generated_ruleset_shape);

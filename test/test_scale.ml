@@ -52,10 +52,10 @@ let test_port_for_shard () =
     for _ = 1 to 50 do
       match
         Shard_map.port_for_shard sm ~shard ~src:(ip 10 0 0 1)
-          ~dst:(ip 10 0 0 2) ~dst_port:5001
+          ~dst:(ip 10 0 0 2) ~dst_port:5001 ()
       with
-      | None -> Alcotest.fail "port scan failed"
-      | Some sport ->
+      | Error `Exhausted -> Alcotest.fail "port scan failed"
+      | Ok sport ->
           Alcotest.(check bool) "ephemeral range" true
             (sport >= 49152 && sport < 65536);
           Alcotest.(check int) "hashes back to the asking shard" shard
@@ -63,6 +63,49 @@ let test_port_for_shard () =
                ~dst:(ip 10 0 0 2) ~dport:5001)
     done
   done
+
+let test_port_for_shard_exhaustion () =
+  let sm = Shard_map.create ~shards:4 () in
+  let src = ip 10 0 0 1 and dst = ip 10 0 0 2 in
+  (* Claim every port the map could hand shard 0 for this destination;
+     the next request must fail loudly instead of reusing one. *)
+  let taken = Hashtbl.create 4096 in
+  let rec drain n =
+    match
+      Shard_map.port_for_shard sm ~in_use:(Hashtbl.mem taken) ~shard:0 ~src
+        ~dst ~dst_port:5001 ()
+    with
+    | Ok p ->
+        Alcotest.(check bool) "no port handed out twice" false
+          (Hashtbl.mem taken p);
+        Hashtbl.replace taken p ();
+        drain (n + 1)
+    | Error `Exhausted -> n
+  in
+  let handed = drain 0 in
+  Alcotest.(check bool) "a quarter-ish of the range served first" true
+    (handed > 2048);
+  (* Exhaustion is sticky while the ports stay bound... *)
+  (match
+     Shard_map.port_for_shard sm ~in_use:(Hashtbl.mem taken) ~shard:0 ~src
+       ~dst ~dst_port:5001 ()
+   with
+  | Error `Exhausted -> ()
+  | Ok _ -> Alcotest.fail "expected exhaustion");
+  (* ... and one free port is found again even in a full range. *)
+  let freed = 49152 + ((Hashtbl.hash dst * 7) mod 16384) in
+  let freed =
+    (* pick a port we actually handed to shard 0 *)
+    if Hashtbl.mem taken freed then freed
+    else Hashtbl.fold (fun p () _ -> p) taken freed
+  in
+  Hashtbl.remove taken freed;
+  match
+    Shard_map.port_for_shard sm ~in_use:(Hashtbl.mem taken) ~shard:0 ~src
+      ~dst ~dst_port:5001 ()
+  with
+  | Ok p -> Alcotest.(check int) "the freed port is rediscovered" freed p
+  | Error `Exhausted -> Alcotest.fail "freed port not found"
 
 let test_imbalance () =
   Alcotest.(check (float 1e-9)) "balanced" 1.0
@@ -286,6 +329,9 @@ let suite =
       test_shard_map_deterministic_symmetric );
     ("shard map spreads flows over shards", `Quick, test_shard_map_spreads);
     ("port_for_shard hashes back to the shard", `Quick, test_port_for_shard);
+    ( "port_for_shard exhaustion is an explicit error",
+      `Quick,
+      test_port_for_shard_exhaustion );
     ("imbalance ratio", `Quick, test_imbalance);
     ("rebalance moves buckets toward idle shards", `Quick, test_rebalance_moves_buckets);
     ("goodput scales with shard count", `Slow, test_scaling_curve);

@@ -358,6 +358,79 @@ let test_sanitizer_crash_reclaim_not_leaked () =
   Alcotest.(check int) "no violations either" 0
     (List.length (Sanitizer.violations ()))
 
+let test_sanitizer_cross_incarnation_free () =
+  with_sanitizer @@ fun () ->
+  let p = Pool.create ~id:310 ~slots:2 ~slot_size:32 in
+  Hook.emit (Hook.Pool_own { pool = Pool.id p; owner = "tcp0" });
+  let ptr = Hook.with_actor ~epoch:1 "tcp0" (fun () -> Pool.alloc p ~len:8) in
+  (* The server's next incarnation frees a slot its previous life
+     allocated: pool generations line up, only the epoch betrays that
+     the slot survived a teardown that should have reclaimed it. *)
+  Hook.with_actor ~epoch:2 "tcp0" (fun () -> Pool.free p ptr);
+  (match Sanitizer.violations () with
+  | [ Sanitizer.Cross_incarnation_free { actor; alloc_epoch; free_epoch; _ } ] ->
+      Alcotest.(check string) "actor" "tcp0" actor;
+      Alcotest.(check int) "alloc epoch" 1 alloc_epoch;
+      Alcotest.(check int) "free epoch" 2 free_epoch;
+      let r = Sanitizer.report ~title:"t" () in
+      Alcotest.(check bool) "fails the report" false (Report.ok r);
+      let v = List.hd r.Report.violations in
+      Alcotest.(check string) "check name" "cross-incarnation-free" v.Report.check
+  | vs ->
+      Alcotest.failf "expected 1 cross-incarnation free, got %d" (List.length vs));
+  (* Same-incarnation alloc/free is the normal case. *)
+  Sanitizer.reset ();
+  let ptr2 = Hook.with_actor ~epoch:2 "tcp0" (fun () -> Pool.alloc p ~len:8) in
+  Hook.with_actor ~epoch:2 "tcp0" (fun () -> Pool.free p ptr2);
+  Alcotest.(check int) "same incarnation clean" 0
+    (List.length (Sanitizer.violations ()));
+  (* DMA-granted pools are exempt: device-held ring slots legitimately
+     straddle the driver's incarnations. *)
+  let rx = Pool.create ~id:311 ~slots:2 ~slot_size:32 in
+  Hook.emit (Hook.Pool_grant { pool = Pool.id rx });
+  let ptr3 = Hook.with_actor ~epoch:1 "drv0" (fun () -> Pool.alloc rx ~len:8) in
+  Hook.with_actor ~epoch:2 "drv0" (fun () -> Pool.free rx ptr3);
+  Alcotest.(check int) "granted pool exempt" 0
+    (List.length (Sanitizer.violations ()))
+
+(* --- continuous verification across restarts ---------------------- *)
+
+let test_continuous_stock_campaign_clean () =
+  let v = Newt_verify.Continuous.create () in
+  ignore (E.fault_campaign ~runs:2 ~seed:2 ~verify:v ());
+  let t = Newt_verify.Continuous.totals v in
+  Alcotest.(check bool) "re-checked after restarts" true
+    (t.Newt_verify.Continuous.re_checks >= 2);
+  Alcotest.(check int) "one counter block per run" 2
+    (List.length (Newt_verify.Continuous.runs v));
+  Alcotest.(check bool)
+    (Report.to_string
+       (Newt_verify.Continuous.report ~title:"stock campaign" v))
+    true
+    (Newt_verify.Continuous.ok v)
+
+let test_continuous_catches_broken_recovery () =
+  (* Recovery that puts the restarted IP server on the wrong core: the
+     traffic still flows, so only the continuous re-check can fail the
+     campaign. *)
+  let v = Newt_verify.Continuous.create () in
+  ignore
+    (E.fault_campaign ~runs:3 ~seed:2 ~verify:v
+       ~break_recovery:(Newt_core.Host.C_ip, Newt_core.Host.Wrong_core) ());
+  Alcotest.(check bool) "wrong-core recovery fails the campaign" false
+    (Newt_verify.Continuous.ok v);
+  let t = Newt_verify.Continuous.totals v in
+  Alcotest.(check bool) "as static violations" true
+    (t.Newt_verify.Continuous.static_violations > 0);
+  (* Recovery that skips republishing an export: a pure metadata lie —
+     the wired channels are fine — caught by the republish check. *)
+  let v2 = Newt_verify.Continuous.create () in
+  ignore
+    (E.fault_campaign ~runs:3 ~seed:2 ~verify:v2
+       ~break_recovery:(Newt_core.Host.C_tcp, Newt_core.Host.Skip_republish) ());
+  Alcotest.(check bool) "skipped republish fails the campaign" false
+    (Newt_verify.Continuous.ok v2)
+
 (* --- sanitizer: a real fault-injected run ------------------------- *)
 
 let test_sanitized_crash_run_clean () =
@@ -393,6 +466,12 @@ let suite =
       test_sanitizer_stale_is_observation);
     ("sanitizer: crash reclaim is not a leak", `Quick,
       test_sanitizer_crash_reclaim_not_leaked);
+    ("sanitizer: cross-incarnation free flagged", `Quick,
+      test_sanitizer_cross_incarnation_free);
+    ("continuous: stock campaign re-checks clean", `Quick,
+      test_continuous_stock_campaign_clean);
+    ("continuous: broken recovery fails the campaign", `Quick,
+      test_continuous_catches_broken_recovery);
     ("sanitizer: fault-injected run is clean", `Quick,
       test_sanitized_crash_run_clean);
   ]
