@@ -1,5 +1,6 @@
 # Tier-1 gate: what CI runs on every PR.
-.PHONY: check build test fmt verify verify-continuous sanitize-smoke bench-smoke clean
+.PHONY: check build test fmt verify verify-protocol verify-continuous \
+	sanitize-smoke bench-smoke model-check model-check-negative clean
 
 check: build test fmt verify
 
@@ -17,6 +18,32 @@ fmt:
 # core affinity, blocking cycles, republish completeness, shard maps.
 verify: build
 	dune exec bin/newtos_sim.exe -- verify
+
+# Dynamic channel-protocol verification: replay the figure-4/5 crash
+# runs under the request/confirm contract checker — every request
+# confirmed or aborted, stale confirms absorbed, no confirm dropped
+# while its requester is pending. Any open obligation exits 1.
+verify-protocol: build
+	dune exec bin/newtos_sim.exe -- verify --protocol
+
+# Recovery model checking: exhaustively crash every component right
+# after every labeled recovery step (split stack and sharded N=2 r=2),
+# re-crashing during recovery, and require convergence plus clean
+# continuous/protocol checkers at every crash point. The wall-clock
+# budget (CPU seconds per configuration) keeps CI bounded; skipped
+# points are reported, never silently dropped.
+MCHECK_BUDGET ?= 240
+model-check: build
+	dune exec bin/newtos_sim.exe -- mcheck --json --budget $(MCHECK_BUDGET)
+
+# The negative control: a sabotaged recovery (restarted IP server on
+# the wrong core) must produce counterexamples — exit 1 and at least
+# one crash point carrying a non-empty protocol event trace.
+model-check-negative: build
+	! dune exec bin/newtos_sim.exe -- mcheck --config split \
+	    --break-recovery ip:wrong-core --json > _mcheck_negative.json
+	grep -q '"trace":\["' _mcheck_negative.json
+	rm -f _mcheck_negative.json
 
 # Continuous verification: a sanitized fault campaign that re-runs the
 # static checker against the live topology after every reincarnation

@@ -275,13 +275,20 @@ let print_fig5 () =
     "receiver duplicates: %d; sender retransmits: %d; lost segments: %d; pf restarts: %d\n\n"
     t.E.duplicate_segments t.E.sender_retransmits t.E.lost_segments t.E.component_restarts
 
-(* Run [f] under the sanitizer with a continuous-verification
-   aggregator, then emit the counter block as one JSON line (what CI's
-   bench smoke greps for) and fail on any violation or leak. *)
+(* Run [f] under the sanitizer and the channel-protocol checker with a
+   continuous-verification aggregator, then emit the counter block as
+   one JSON line (what CI's bench smoke greps for) and fail on any
+   violation or leak.  The aggregator's per-run accounting folds the
+   protocol counters into the same block. *)
 let with_verify f =
   V.Sanitizer.install ();
+  V.Protocol.install ();
   let v = V.Continuous.create () in
-  Fun.protect ~finally:V.Sanitizer.uninstall (fun () -> f v);
+  Fun.protect
+    ~finally:(fun () ->
+      V.Protocol.uninstall ();
+      V.Sanitizer.uninstall ())
+    (fun () -> f v);
   Printf.printf "{%s}\n\n" (V.Continuous.json v);
   if not (V.Continuous.ok v) then exit 1
 

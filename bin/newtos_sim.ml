@@ -47,6 +47,26 @@ let with_sanitizer ?(quiet = false) enabled f =
     if not (V.Report.ok report) then exit 1
   end
 
+(* Run [f] with the dynamic channel-protocol checker replaying the
+   request/confirm contract, then print its verdict.  [drained] closes
+   the trace strictly (a quiesced tail: open obligations are
+   violations).  Under --verify-continuous the per-run aggregation has
+   already absorbed and reset the checker's state, so this outer report
+   only carries whatever the aggregator did not claim. *)
+let with_protocol ?(quiet = false) ?(drained = false) enabled f =
+  if not enabled then f ()
+  else begin
+    V.Protocol.install ();
+    Fun.protect ~finally:V.Protocol.uninstall f;
+    V.Protocol.finish ~drained ();
+    let report = V.Protocol.report ~title:"channel-protocol checker" () in
+    if not quiet then begin
+      print_string (V.Report.to_string report);
+      print_newline ()
+    end;
+    if not (V.Report.ok report) then exit 1
+  end
+
 (* Run [f] with a continuous-verification aggregator when requested:
    the experiment re-runs the static checker after every reincarnation
    and leak-checks each quiesced run tail.  Any violation or leak fails
@@ -73,21 +93,23 @@ let with_continuous ?(quiet = false) enabled f =
     if not (V.Continuous.ok v) then exit 1
   end
 
-let print_fig4 seed sanitize verify_continuous =
+let print_fig4 seed sanitize protocol verify_continuous =
   with_sanitizer sanitize (fun () ->
-      with_continuous verify_continuous (fun verify ->
-          let t = E.figure_ip_crash ~seed ?verify () in
-          print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
-            ~paper_note:
-              "paper: gap of ~2s while the link resets, one retransmission, full recovery"))
+      with_protocol ~drained:true protocol (fun () ->
+          with_continuous verify_continuous (fun verify ->
+              let t = E.figure_ip_crash ~seed ?verify () in
+              print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
+                ~paper_note:
+                  "paper: gap of ~2s while the link resets, one retransmission, full recovery")))
 
-let print_fig5 seed sanitize verify_continuous =
+let print_fig5 seed sanitize protocol verify_continuous =
   with_sanitizer sanitize (fun () ->
-      with_continuous verify_continuous (fun verify ->
-          let t = E.figure_pf_crash ~seed ?verify () in
-          print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
-            ~paper_note:
-              "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered"))
+      with_protocol ~drained:true protocol (fun () ->
+          with_continuous verify_continuous (fun verify ->
+              let t = E.figure_pf_crash ~seed ?verify () in
+              print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
+                ~paper_note:
+                  "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered")))
 
 let campaign_json runs (c : E.campaign) verify =
   let b = Buffer.create 512 in
@@ -131,8 +153,12 @@ let print_campaign_tables runs c =
   Printf.printf "%-42s %8d %6d\n" "Reboot necessary" 3 c.E.reboots;
   print_newline ()
 
-let print_campaign runs seed sanitize verify_continuous break_recovery json =
+let print_campaign runs seed sanitize protocol verify_continuous break_recovery json =
   with_sanitizer ~quiet:json sanitize @@ fun () ->
+  (* Not [~drained]: a campaign world can end frozen (reboot cases), so
+     only hard violations gate here; the per-run obligation accounting
+     happens inside --verify-continuous, which skips frozen runs. *)
+  with_protocol ~quiet:json protocol @@ fun () ->
   with_continuous ~quiet:json verify_continuous @@ fun verify ->
   let c = E.fault_campaign ~runs ~seed ?verify ?break_recovery () in
   if json then print_endline (campaign_json runs c verify)
@@ -199,7 +225,32 @@ let print_scaling ?verify shard_counts ip_replicas flows duration =
     r.E.points;
   print_newline ()
 
-let print_verify json max_shards =
+(* verify --protocol: replay the request/confirm contract over the two
+   figure fault runs (an IP crash, a double PF crash) and demand a
+   clean close — every obligation confirmed or aborted, stale confirms
+   absorbed, nothing dropped on a stranded requester. *)
+let print_verify_protocol json =
+  let r_ip, _ = E.protocol_ip_crash () in
+  let r_pf, _ = E.protocol_pf_crash () in
+  let combined =
+    V.Report.merge ~title:"dynamic channel-protocol contract" [ r_ip; r_pf ]
+  in
+  if json then print_endline (V.Report.to_json combined)
+  else begin
+    print_endline "Stack verifier — dynamic channel-protocol contract";
+    print_endline "---------------------------------------------------";
+    print_endline "rules (first match wins):";
+    List.iter (fun l -> Printf.printf "  %s\n" l) (V.Protocol.describe_rules ());
+    print_newline ();
+    print_string (V.Report.to_string r_ip);
+    print_string (V.Report.to_string r_pf);
+    Printf.printf "\n%s\n"
+      (if V.Report.ok combined then "VERDICT: OK (no violations)"
+       else "VERDICT: FAILED")
+  end;
+  if not (V.Report.ok combined) then exit 1
+
+let print_verify_static json max_shards =
   let reports = E.verify_configs ~max_shards () in
   let combined = V.Report.merge ~title:"all stack configurations" reports in
   if json then print_endline (V.Report.to_json combined)
@@ -213,11 +264,52 @@ let print_verify json max_shards =
   end;
   if not (V.Report.ok combined) then exit 1
 
+let print_verify json protocol max_shards =
+  if protocol then print_verify_protocol json
+  else print_verify_static json max_shards
+
+(* The mcheck subcommand: exhaustive (component × labeled recovery
+   step) crash-point search over the chosen configurations. *)
+let print_mcheck json config budget seed break_recovery =
+  let outcomes =
+    (if config = `Sharded then []
+     else [ ("split stack", E.mcheck_split ?budget ~seed ?break_recovery ()) ])
+    @
+    if config = `Split then []
+    else [ ("sharded N=2 r=2", E.mcheck_sharded ?budget ()) ]
+  in
+  if json then
+    print_endline
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (List.map (fun (t, o) -> V.Mcheck.to_json ~title:t o) outcomes)))
+  else
+    List.iter
+      (fun (t, o) ->
+        print_string (V.Report.to_string (V.Mcheck.report ~title:t o));
+        Printf.printf
+          "crash points: %d; counterexamples: %d; skipped (budget): %d; %.1f s CPU\n\n"
+          (List.length o.V.Mcheck.verdicts)
+          (List.length (V.Mcheck.counterexamples o))
+          (List.length o.V.Mcheck.skipped)
+          o.V.Mcheck.elapsed)
+      outcomes;
+  if not (List.for_all (fun (_, o) -> V.Mcheck.ok o) outcomes) then exit 1
+
 open Cmdliner
 
 let sanitize =
   let doc = "Run with the pool-ownership sanitizer installed and print its verdict." in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let protocol_flag =
+  let doc =
+    "Replay the dynamic request/confirm contract (the channel-protocol \
+     checker) over the run and print its verdict. Exits 1 on any violation. \
+     Composes with $(b,--verify-continuous), which folds the protocol \
+     counters into its per-run JSON."
+  in
+  Arg.(value & flag & info [ "protocol" ] ~doc)
 
 let verify_continuous =
   let doc =
@@ -294,19 +386,19 @@ let table2_cmd =
 
 let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (IP server crash bitrate trace)")
-    Term.(const print_fig4 $ seed $ sanitize $ verify_continuous)
+    Term.(const print_fig4 $ seed $ sanitize $ protocol_flag $ verify_continuous)
 
 let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
-    Term.(const print_fig5 $ seed $ sanitize $ verify_continuous)
+    Term.(const print_fig5 $ seed $ sanitize $ protocol_flag $ verify_continuous)
 
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Reproduce Tables III and IV (fault-injection campaign)")
     Term.(
       const print_campaign
-      $ runs $ campaign_seed $ sanitize $ verify_continuous $ break_recovery
-      $ campaign_json_flag)
+      $ runs $ campaign_seed $ sanitize $ protocol_flag $ verify_continuous
+      $ break_recovery $ campaign_json_flag)
 
 let verify_cmd =
   let json =
@@ -317,14 +409,25 @@ let verify_cmd =
     let doc = "Largest shard count to verify (configurations N=1..this)." in
     Arg.(value & opt int 8 & info [ "max-shards" ] ~doc)
   in
+  let protocol =
+    let doc =
+      "Check the dynamic request/confirm contract instead: replay the \
+       channel-protocol rules over an IP-crash run and a double-PF-crash \
+       run and demand a clean close (every request confirmed or aborted, \
+       no stranded hand-offs)."
+    in
+    Arg.(value & flag & info [ "protocol" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Static stack verifier: wire every shipped configuration and check \
           the channel graph (SPSC discipline, core affinity, export \
           ownership, republish completeness, blocking cycles, pool \
-          ownership, shard affinity). Exits 1 on any violation.")
-    Term.(const print_verify $ json $ max_shards)
+          ownership, shard affinity). With $(b,--protocol), the dynamic \
+          channel-protocol contract over crash runs instead. Exits 1 on any \
+          violation.")
+    Term.(const print_verify $ json $ protocol $ max_shards)
 
 let coalesce_cmd =
   Cmd.v (Cmd.info "coalesce" ~doc:"Driver coalescing analysis (Section VI-A)")
@@ -366,12 +469,47 @@ let scaling_cmd =
           with_continuous vc (fun verify -> print_scaling ?verify sc ir f d))
       $ verify_continuous $ shard_counts $ ip_replicas $ flows $ duration)
 
+let mcheck_cmd =
+  let json =
+    let doc = "Emit the machine-readable JSON verdict instead of the report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let config =
+    let doc =
+      "Which configuration(s) to model-check: $(b,split), $(b,sharded) \
+       (N=2 shards × r=2 IP replicas), or $(b,all)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("split", `Split); ("sharded", `Sharded); ("all", `All) ]) `All
+      & info [ "config" ] ~docv:"CONFIG" ~doc)
+  in
+  let budget =
+    let doc =
+      "CPU-seconds budget for the search; crash points beyond it are \
+       reported as skipped (never silently dropped)."
+    in
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Recovery model checker: for every (component × labeled recovery \
+          step) crash point, crash the component again right after that \
+          step of its own recovery and verify the stack converges — \
+          reincarnation healthy, continuous verifier clean, protocol \
+          contract closed. Exits 1 with counterexample traces otherwise; \
+          $(b,--break-recovery) plants a recovery defect the search must \
+          find.")
+    Term.(
+      const print_mcheck $ json $ config $ budget $ seed $ break_recovery)
+
 let all_cmd =
   let run () =
     print_table2 ();
-    print_fig4 42 false false;
-    print_fig5 42 false false;
-    print_campaign 100 2 false false None false;
+    print_fig4 42 false false false;
+    print_fig5 42 false false false;
+    print_campaign 100 2 false false false None false;
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();
@@ -393,5 +531,6 @@ let () =
           sweep_cmd;
           scaling_cmd;
           verify_cmd;
+          mcheck_cmd;
           all_cmd;
         ]))

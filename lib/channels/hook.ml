@@ -1,4 +1,5 @@
 type op = [ `Read | `Write | `Free | `Check ]
+type way = [ `Sent | `Received | `Dropped ]
 
 type event =
   | Pool_own of { pool : int; owner : string }
@@ -13,17 +14,54 @@ type event =
   | Chan_handoff of { chan : int; ptr : Rich_ptr.t }
   | Chan_receive of { chan : int; ptr : Rich_ptr.t }
   | Chan_dropped of { chan : int; ptr : Rich_ptr.t }
+  | Req_submit of { db : int; id : int; peer : int }
+  | Req_confirm of { db : int; id : int; known : bool }
+  | Req_abort of { db : int; id : int; peer : int }
+  | Req_reset of { db : int }
+  | Msg_req of { chan : int; id : int; way : way }
+  | Msg_conf of { chan : int; id : int; way : way }
 
-let listener : (actor:string option -> event -> unit) option ref = ref None
+type listener = actor:string option -> event -> unit
+type token = int
+
+(* The chain is an assoc list keyed by token, newest first. Kept as an
+   immutable list so emission iterates a stable snapshot even if a
+   listener adds or removes mid-event. *)
+let chain : (token * listener) list ref = ref []
+let next_token = ref 0
 let current : string option ref = ref None
 let current_epoch : int ref = ref 0
 
-let install f = listener := Some f
-let uninstall () = listener := None
-let enabled () = Option.is_some !listener
+let add f =
+  incr next_token;
+  let tok = !next_token in
+  chain := (tok, f) :: !chain;
+  tok
+
+let remove tok = chain := List.filter (fun (t, _) -> t <> tok) !chain
+
+(* Deprecated one-slot facade: [install] manages a single legacy
+   registration so existing install/uninstall pairs keep working
+   without silently clobbering chain listeners. *)
+let legacy : token option ref = ref None
+
+let install f =
+  (match !legacy with Some tok -> remove tok | None -> ());
+  legacy := Some (add f)
+
+let uninstall () =
+  match !legacy with
+  | Some tok ->
+      remove tok;
+      legacy := None
+  | None -> ()
+
+let enabled () = !chain <> []
 
 let emit ev =
-  match !listener with Some f -> f ~actor:!current ev | None -> ()
+  match !chain with
+  | [] -> ()
+  | listeners -> List.iter (fun (_, f) -> f ~actor:!current ev) listeners
 
 let actor () = !current
 let epoch () = !current_epoch

@@ -1,4 +1,4 @@
-(** Sanitizer event hook.
+(** Verification event hook.
 
     The dependability argument of the paper rests on an ownership
     discipline the types alone cannot enforce: pool slots are
@@ -6,13 +6,22 @@
     and every slot is reclaimed exactly once — also across crashes,
     where reincarnation reclaims wholesale (Sections V-C/V-D). This
     module is the instrumentation point that makes the discipline
-    observable: {!Pool} (and the server runtime above) emit lifecycle
-    events through a single process-wide hook, and a checker such as
-    [Newt_verify.Sanitizer] installs a listener to replay the slot
-    state machine and flag violations with the culprit's identity.
+    observable: {!Pool}, {!Request_db} and the server runtime above
+    emit lifecycle events through a process-wide hook, and checkers
+    such as [Newt_verify.Sanitizer] (slot state machine) and
+    [Newt_verify.Protocol] (per-message-id request/confirm pairing)
+    register listeners to replay them and flag violations with the
+    culprit's identity.
 
-    When no listener is installed every emission is a cheap no-op, so
+    When no listener is registered every emission is a cheap no-op, so
     production runs pay (almost) nothing.
+
+    {b Listener chain.} Several checkers run simultaneously, so the
+    hook keeps a chain of listeners: {!add} registers one and returns a
+    token, {!remove} unregisters it. Every registered listener sees
+    every event, in unspecified relative order. The old one-slot
+    {!install}/{!uninstall} pair remains as a deprecated facade over a
+    single legacy chain entry.
 
     {b Actors.} Attribution needs to know {e who} performed an
     operation. The server runtime brackets all work it runs on behalf
@@ -21,6 +30,11 @@
 
 type op = [ `Read | `Write | `Free | `Check ]
 (** What a failed dereference was attempting. *)
+
+type way = [ `Sent | `Received | `Dropped ]
+(** The fate of a protocol message at the emission point: enqueued on
+    the channel, dequeued by the consumer, or discarded undelivered
+    (refused enqueue or channel teardown). *)
 
 type event =
   | Pool_own of { pool : int; owner : string }
@@ -49,19 +63,57 @@ type event =
   | Chan_dropped of { chan : int; ptr : Rich_ptr.t }
       (** The message was discarded undelivered (channel teardown on a
           crash): the hand-off will never complete. *)
+  | Req_submit of { db : int; id : int; peer : int }
+      (** A request record entered the database: the paper's contract
+          now owes this id a confirm or an abort. [db] is the database
+          instance (see {!Request_db.db_id}); [peer] the component the
+          request was sent to. *)
+  | Req_confirm of { db : int; id : int; known : bool }
+      (** [Request_db.complete] ran. [known] says whether the id had a
+          live record — [false] is the stale-confirm case (a reply from
+          a previous incarnation's request), which the databases absorb
+          by design. *)
+  | Req_abort of { db : int; id : int; peer : int }
+      (** The record was removed by an abort sweep ([abort_peer]): the
+          obligation is discharged by cancellation, not completion. *)
+  | Req_reset of { db : int }
+      (** The whole database was dropped (its owner crashed): every
+          live record's obligation dies with it. *)
+  | Msg_req of { chan : int; id : int; way : way }
+      (** A request-bearing message (one carrying a request-db id that
+          expects a confirm) was sent, received or dropped. *)
+  | Msg_conf of { chan : int; id : int; way : way }
+      (** A confirm-bearing message for request [id] was sent, received
+          or dropped. Batched confirms emit one event per id. *)
 
-val install : (actor:string option -> event -> unit) -> unit
-(** Install the process-wide listener (replacing any previous one). *)
+type listener = actor:string option -> event -> unit
+
+type token
+(** Handle identifying one registered listener. *)
+
+val add : listener -> token
+(** Register a listener on the chain; it sees every subsequent event
+    until {!remove}d. *)
+
+val remove : token -> unit
+(** Unregister; unknown or already-removed tokens are a no-op. *)
+
+val install : listener -> unit
+(** Deprecated one-slot facade: (re)binds a single legacy chain slot.
+    Kept so existing single-checker call sites work unchanged; new code
+    should use {!add}/{!remove}. *)
 
 val uninstall : unit -> unit
+(** Remove the legacy slot listener bound by {!install}, if any.
+    Listeners registered with {!add} are unaffected. *)
 
 val enabled : unit -> bool
-(** Whether a listener is installed — use to skip costly event
+(** Whether any listener is registered — use to skip costly event
     construction. *)
 
 val emit : event -> unit
-(** Deliver an event (with the current actor) to the listener, if
-    any. *)
+(** Deliver an event (with the current actor) to every registered
+    listener. *)
 
 val actor : unit -> string option
 (** The identity currently being charged, if inside {!with_actor}. *)

@@ -2,36 +2,59 @@ type id = int
 type 'a abort = id -> 'a -> unit
 type 'a record = { peer : int; payload : 'a; abort : 'a abort; seq : int }
 
+exception Abort_cycle of { db : int; peer : int; depth : int }
+
+(* Identifiers are globally unique, not per-database: after a crash
+   the owning server gets a fresh database, and a stale reply to a
+   pre-crash request must not alias a new request's id (Section V-D:
+   "we generate new identifiers"). One process-wide counter gives
+   every id exactly one submission, ever. *)
+let global_next_id = ref 0
+let global_next_db = ref 0
+
 type 'a t = {
+  db_id : int;
   table : (id, 'a record) Hashtbl.t;
-  mutable next_id : id;
   mutable next_seq : int;
   mutable sweeping : bool;  (* an abort_peer sweep is on the stack *)
   mutable deferred : int list;  (* peers whose sweep arrived re-entrantly *)
 }
 
+(* A sweep that keeps re-queueing peers past this many rounds is a
+   cycle of abort actions resubmitting to each other. *)
+let max_sweep_depth = 64
+
 let create () =
+  incr global_next_db;
   {
+    db_id = !global_next_db;
     table = Hashtbl.create 64;
-    next_id = 0;
     next_seq = 0;
     sweeping = false;
     deferred = [];
   }
 
+let db_id t = t.db_id
+
 let submit t ~peer ~payload ~abort =
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let id = !global_next_id in
+  global_next_id := id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Hashtbl.replace t.table id { peer; payload; abort; seq };
+  if Hook.enabled () then Hook.emit (Hook.Req_submit { db = t.db_id; id; peer });
   id
 
 let complete t id =
   match Hashtbl.find_opt t.table id with
-  | None -> None
+  | None ->
+      if Hook.enabled () then
+        Hook.emit (Hook.Req_confirm { db = t.db_id; id; known = false });
+      None
   | Some r ->
       Hashtbl.remove t.table id;
+      if Hook.enabled () then
+        Hook.emit (Hook.Req_confirm { db = t.db_id; id; known = true });
       Some r.payload
 
 let peek t id =
@@ -50,7 +73,12 @@ let in_seq_order t =
 let sweep_one t ~peer =
   let doomed = List.filter (fun (_, r) -> r.peer = peer) (in_seq_order t) in
   List.iter (fun (id, _) -> Hashtbl.remove t.table id) doomed;
-  List.iter (fun (id, r) -> r.abort id r.payload) doomed;
+  List.iter
+    (fun (id, r) ->
+      if Hook.enabled () then
+        Hook.emit (Hook.Req_abort { db = t.db_id; id; peer });
+      r.abort id r.payload)
+    doomed;
   List.length doomed
 
 let abort_peer t ~peer =
@@ -66,18 +94,25 @@ let abort_peer t ~peer =
   else begin
     t.sweeping <- true;
     Fun.protect
-      ~finally:(fun () -> t.sweeping <- false)
+      ~finally:(fun () ->
+        t.sweeping <- false;
+        t.deferred <- [])
       (fun () ->
         let n = sweep_one t ~peer in
-        let rec drain n =
+        let rec drain depth n =
           match t.deferred with
           | [] -> n
           | p :: rest ->
+              if depth >= max_sweep_depth then
+                raise (Abort_cycle { db = t.db_id; peer = p; depth });
               t.deferred <- rest;
-              drain (n + sweep_one t ~peer:p)
+              drain (depth + 1) (n + sweep_one t ~peer:p)
         in
-        drain n)
+        drain 1 n)
   end
+
+let reset_signal t =
+  if Hook.enabled () then Hook.emit (Hook.Req_reset { db = t.db_id })
 
 let outstanding t = Hashtbl.length t.table
 

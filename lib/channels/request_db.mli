@@ -9,22 +9,41 @@
     On a neighbour crash the owner calls {!abort_peer}, which removes
     every outstanding request addressed to that peer and runs its abort
     action — retransmit, drop, or propagate an error, at the server's
-    discretion. *)
+    discretion.
+
+    Every submit, confirm and abort is mirrored onto the {!Hook} event
+    stream ([Req_submit]/[Req_confirm]/[Req_abort]/[Req_reset]) so the
+    dynamic protocol checker can replay the request/confirm contract. *)
 
 type 'a t
 (** A database holding per-request payloads of type ['a]. *)
 
 type id = int
-(** Request identifiers. Unique within one database instance for its
-    whole lifetime — identifiers are never reused, so replies to
-    pre-crash requests can be recognized as stale and ignored
-    (Section V-D: "We generate new identifiers so that we can ignore
-    replies to the original requests"). *)
+(** Request identifiers. {e Globally} unique across every database
+    instance for the whole process lifetime — identifiers are never
+    reused, not even by the fresh database a reincarnated server
+    creates, so replies to pre-crash requests can be recognized as
+    stale and can never alias a live request (Section V-D: "We
+    generate new identifiers so that we can ignore replies to the
+    original requests"). *)
 
 type 'a abort = id -> 'a -> unit
 (** Abort action, given the request id and payload. *)
 
+exception Abort_cycle of { db : int; peer : int; depth : int }
+(** Raised by {!abort_peer} when deferred re-entrant sweeps keep
+    re-queueing peers past a fixed depth cap — abort actions are
+    resubmitting to (and re-aborting) the same peers cyclically, and
+    unbounded deferral would never terminate. [db] identifies the
+    database, [peer] the sweep that hit the cap, [depth] the number of
+    sweeps already drained. *)
+
 val create : unit -> 'a t
+
+val db_id : 'a t -> int
+(** Process-unique identity of this database instance, as carried by
+    the [Req_*] hook events. A server's reincarnation creates a new
+    database with a new id. *)
 
 val submit : 'a t -> peer:int -> payload:'a -> abort:'a abort -> id
 (** Record an in-flight request addressed to [peer]. *)
@@ -50,7 +69,15 @@ val abort_peer : 'a t -> peer:int -> int
     and returns [0]; the outermost sweep drains queued peers, in
     arrival order, before returning (and its count includes their
     aborts). Submitting new requests from an abort action is allowed;
-    they survive unless addressed to a queued peer. *)
+    they survive unless addressed to a queued peer. Deferral is
+    bounded: past a fixed number of drained sweeps the outermost call
+    raises {!Abort_cycle} instead of looping forever. *)
+
+val reset_signal : 'a t -> unit
+(** Announce on the hook stream that this database is being discarded
+    wholesale (its owner crashed): emits [Req_reset] so checkers close
+    every obligation the database still held. Does not modify the
+    database — the owner drops its reference right after. *)
 
 val outstanding : 'a t -> int
 (** Number of in-flight requests. *)

@@ -11,6 +11,11 @@ module Fault_inject = Newt_reliability.Fault_inject
 module Apps = Newt_sockets.Apps
 module Static = Newt_verify.Static
 module Continuous = Newt_verify.Continuous
+module Sanitizer = Newt_verify.Sanitizer
+module Protocol = Newt_verify.Protocol
+module Mcheck = Newt_verify.Mcheck
+module Component = Newt_stack.Component
+module Reincarnation = Newt_reliability.Reincarnation
 
 (* {1 Table II} *)
 
@@ -716,3 +721,218 @@ let sanitized_ip_crash ?seed ?crash_at ?duration () =
         Newt_verify.Sanitizer.report ~title:"sanitized IP-crash run" ()
       in
       (report, trace))
+
+(* {1 Protocol-checked fault runs — the dynamic request/confirm
+   contract across crashes} *)
+
+let protocol_crash_run ~title run =
+  Protocol.install ();
+  Fun.protect
+    ~finally:(fun () -> Protocol.uninstall ())
+    (fun () ->
+      let trace = run () in
+      (* Both figure runs stop their traffic a second before the end
+         and run past it, so the tail is drained: still-open
+         obligations are genuine violations, not in-flight work. *)
+      Protocol.finish ~drained:true ();
+      let report = Protocol.report ~title () in
+      (report, trace))
+
+let protocol_ip_crash ?seed ?crash_at ?duration () =
+  protocol_crash_run ~title:"protocol-checked IP-crash run" (fun () ->
+      figure_ip_crash ?seed ?crash_at ?duration ())
+
+let protocol_pf_crash ?seed ?rules ?crash_at ?duration () =
+  protocol_crash_run ~title:"protocol-checked PF-crash run" (fun () ->
+      figure_pf_crash ?seed ?rules ?crash_at ?duration ())
+
+(* {1 Recovery model checking — exhaustive crash-point search}
+
+   For every (component × labeled recovery step) of a configuration,
+   boot a fresh world under load, crash the component, and arm the
+   one-shot injector so it dies again right after that step of its own
+   recovery.  The verdict for each crash point folds together the
+   reincarnation server's liveness view, the continuous verifier
+   (static re-checks after every restart, sanitizer, leak accounting)
+   and the protocol checker; the protocol event ring is the
+   counterexample trace. *)
+
+let host_component_of_name = function
+  | "tcp" -> Some Host.C_tcp
+  | "udp" -> Some Host.C_udp
+  | "ip" -> Some Host.C_ip
+  | "pf" -> Some Host.C_pf
+  | name when String.length name > 3 && String.sub name 0 3 = "drv" ->
+      Option.map
+        (fun i -> Host.C_drv i)
+        (int_of_string_opt (String.sub name 3 (String.length name - 3)))
+  | _ -> None
+
+let split_crash_points () =
+  let h = Host.create () in
+  List.filter_map
+    (fun c ->
+      let name = Component.name c in
+      (* Only components the fault injector can kill (the SYSCALL
+         server is not part of the restart story, Section V-D). *)
+      if host_component_of_name name = None then None
+      else Some (name, Component.recovery_steps c))
+    (Host.components h)
+
+let violation ~check ~(case : Mcheck.case) detail =
+  {
+    Newt_verify.Report.check;
+    subject = Printf.sprintf "%s crashed after step %S" case.Mcheck.component case.Mcheck.step;
+    culprit = case.Mcheck.component;
+    detail;
+  }
+
+(* Shared verdict logic: read the world's health, close the verifier
+   run, and attach the protocol trace as the counterexample. *)
+let judge ~(case : Mcheck.case) ~alive ~armed_left ~check_leaks v =
+  let trace = Protocol.trace () in
+  Continuous.end_run ~check_leaks v;
+  let extra =
+    (if alive then []
+     else
+       [
+         violation ~check:"no-convergence" ~case
+           "component not back to responsive after the mid-recovery crash";
+       ])
+    @
+    match armed_left with
+    | None -> []
+    | Some step ->
+        [
+          violation ~check:"crash-point-not-reached" ~case
+            (Printf.sprintf
+               "armed injector for step %S never fired during recovery" step);
+        ]
+  in
+  let viols =
+    extra @ (Continuous.report ~title:"mcheck case" v).Newt_verify.Report.violations
+  in
+  let converged = viols = [] in
+  {
+    Mcheck.case;
+    converged;
+    violations = (if converged then [] else viols);
+    trace = (if converged then [] else trace);
+  }
+
+let with_checkers f =
+  Protocol.install ();
+  Sanitizer.install ();
+  Fun.protect
+    ~finally:(fun () ->
+      Sanitizer.uninstall ();
+      Protocol.uninstall ();
+      Sanitizer.reset ();
+      Protocol.reset ())
+    f
+
+let mcheck_split ?budget ?(seed = 42) ?break_recovery () =
+  let cases = Mcheck.enumerate (split_crash_points ()) in
+  with_checkers (fun () ->
+      let run (case : Mcheck.case) =
+        let target =
+          match host_component_of_name case.Mcheck.component with
+          | Some c -> c
+          | None -> invalid_arg "mcheck_split: unkillable component"
+        in
+        (* A short device reset keeps each of the ~16 cases cheap while
+           still exercising the driver-reset recovery step. *)
+        let config =
+          {
+            Host.default_config with
+            Host.seed;
+            nic_reset_time = Time.of_seconds 0.2;
+          }
+        in
+        let h = Host.create ~config () in
+        let v = Continuous.create () in
+        attach_continuous v h ~title:"mcheck";
+        Option.iter (fun (c, k) -> Host.sabotage h c k) break_recovery;
+        let sink = Host.sink h 0 in
+        Sink.sink_tcp sink ~port:5001 ~on_bytes:(fun ~at:_ _ -> ());
+        let _iperf =
+          Apps.Iperf.start (Host.machine h) ~sc:(Host.sc h) ~app:(Host.app h)
+            ~dst:(Host.sink_addr h 0) ~port:5001
+            ~until:(Time.of_seconds 2.2) ()
+        in
+        let comp = Host.comp_of h target in
+        Component.arm_crash_after comp ~step:case.Mcheck.step;
+        Host.at h (Time.of_seconds 0.6) (fun () -> Host.kill_component h target);
+        (* Past the traffic's end so the tail drains and the leak check
+           reads a quiesced stack. *)
+        Host.run h ~until:(Time.of_seconds 3.4);
+        let alive = Reincarnation.alive_check (Host.rs h) in
+        judge ~case ~alive ~armed_left:(Component.armed_crash comp)
+          ~check_leaks:alive v
+      in
+      Mcheck.search ?budget ~cases ~run ())
+
+let mcheck_sharded ?budget ?(shards = 2) ?(ip_replicas = 2) () =
+  let module S = Newt_scale.Sharded_stack in
+  let config = { S.default_config with S.shards; ip_replicas } in
+  let labelled comps =
+    Array.to_list
+      (Array.map
+         (fun c -> (Component.name c, Component.recovery_steps c))
+         comps)
+  in
+  let cases =
+    let probe = S.create ~config () in
+    Mcheck.enumerate
+      (labelled (S.tcp_components probe) @ labelled (S.ip_components probe))
+  in
+  with_checkers (fun () ->
+      let run (case : Mcheck.case) =
+        let s = S.create ~config () in
+        let v = Continuous.create () in
+        S.on_reincarnated s (fun comp ->
+            Continuous.recheck v (fun () ->
+                Static.check ~directory:(S.directory s)
+                  ~sharding:(sharded_spec s)
+                  ~title:
+                    (Printf.sprintf "mcheck N=%d r=%d: after %s restart" shards
+                       ip_replicas (Component.name comp))
+                  (S.components s)));
+        let find arr =
+          let found = ref None in
+          Array.iteri
+            (fun i c ->
+              if Component.name c = case.Mcheck.component then found := Some i)
+            arr;
+          !found
+        in
+        let comp, kill =
+          match find (S.tcp_components s) with
+          | Some i -> ((S.tcp_components s).(i), fun () -> S.kill_shard s i)
+          | None -> (
+              match find (S.ip_components s) with
+              | Some i ->
+                  ((S.ip_components s).(i), fun () -> S.kill_ip_replica s i)
+              | None -> invalid_arg "mcheck_sharded: unknown component")
+        in
+        let flows = 4 in
+        for i = 0 to flows - 1 do
+          Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ _ -> ())
+        done;
+        let _ =
+          List.init flows (fun i ->
+              Apps.Iperf.start (S.machine s) ~sc:(S.sc s) ~app:(S.app s)
+                ~dst:(S.sink_addr s) ~port:(5001 + i)
+                ~until:(Time.of_seconds 0.8) ())
+        in
+        Component.arm_crash_after comp ~step:case.Mcheck.step;
+        S.at s (Time.of_seconds 0.3) kill;
+        S.run s ~until:(Time.of_seconds 1.5);
+        let alive = List.for_all Component.alive (S.components s) in
+        (* The multi-flow tail is not guaranteed to drain in the short
+           window, so no leak/obligation accounting here — convergence,
+           re-checks and hard protocol violations still gate. *)
+        judge ~case ~alive ~armed_left:(Component.armed_crash comp)
+          ~check_leaks:false v
+      in
+      Mcheck.search ?budget ~cases ~run ())

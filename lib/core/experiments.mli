@@ -254,3 +254,67 @@ val sanitized_ip_crash :
     the whole run, crash and recovery included. Returns the sanitizer's
     report (expected: zero violations, some stale-pointer observations)
     alongside the usual trace. *)
+
+val protocol_ip_crash :
+  ?seed:int ->
+  ?crash_at:float ->
+  ?duration:float ->
+  unit ->
+  Newt_verify.Report.t * crash_trace
+(** {!figure_ip_crash} with the dynamic channel-protocol checker
+    ({!Newt_verify.Protocol}) replaying the whole run, crash and
+    recovery included, and the tail treated as drained (iperf stops a
+    second before the end). Expected: zero violations — every request
+    confirmed or aborted, stale confirms absorbed, no dropped confirm
+    while its requester was still pending. *)
+
+val protocol_pf_crash :
+  ?seed:int ->
+  ?rules:int ->
+  ?crash_at:float list ->
+  ?duration:float ->
+  unit ->
+  Newt_verify.Report.t * crash_trace
+(** {!figure_pf_crash} under the protocol checker, as in
+    {!protocol_ip_crash}: the double filter crash must leave no open
+    obligations. *)
+
+(** {1 Recovery model checking — exhaustive crash-point search} *)
+
+val split_crash_points : unit -> (string * string list) list
+(** The split stack's (component × labeled recovery steps) space:
+    every killable component of a {!Host} with its
+    {!Newt_stack.Component.recovery_steps}. *)
+
+val mcheck_split :
+  ?budget:float ->
+  ?seed:int ->
+  ?break_recovery:Host.component * Host.sabotage ->
+  unit ->
+  Newt_verify.Mcheck.outcome
+(** Model-check the split stack's recovery: for every crash point of
+    {!split_crash_points}, boot a fresh host under an iperf load, kill
+    the component at 0.6 s with the one-shot injector armed so it dies
+    again right after the named recovery step, and judge convergence —
+    reincarnation reports every component responsive, the continuous
+    verifier (static re-checks, sanitizer, leak accounting on the
+    drained tail) is clean, and the protocol checker holds no open
+    obligations. [break_recovery] sabotages a component's recovery
+    ({!Host.sabotage}) in every case; the affected crash points must
+    then surface as counterexamples carrying the protocol event trace.
+    [budget] caps the search in CPU seconds (remaining cases are
+    reported as skipped). *)
+
+val mcheck_sharded :
+  ?budget:float ->
+  ?shards:int ->
+  ?ip_replicas:int ->
+  unit ->
+  Newt_verify.Mcheck.outcome
+(** The same search over a sharded stack (default N=2 shards × r=2 IP
+    replicas): every TCP shard and IP replica crashed at every labeled
+    recovery step under a multi-flow load, with the sharded topology
+    (including RSS affinity) re-checked after each restart. The short
+    multi-flow tail is not guaranteed to drain, so leak/obligation
+    accounting is off; convergence, re-checks and hard protocol
+    violations still gate. *)

@@ -17,7 +17,9 @@ type t = {
   restart_delay : Time.cycles;
   mutable watched : watched list;
   mutable total_restarts : int;
-  mutable on_reincarnated : Component.t -> unit;
+  mutable mid_recovery_crashes : int;
+  mutable on_reincarnated : (Component.t -> unit) list;
+      (* registration order; composed, never replaced *)
 }
 
 let create machine ?heartbeat_period ?restart_delay () =
@@ -38,10 +40,14 @@ let create machine ?heartbeat_period ?restart_delay () =
     restart_delay;
     watched = [];
     total_restarts = 0;
-    on_reincarnated = ignore;
+    mid_recovery_crashes = 0;
+    on_reincarnated = [];
   }
 
-let set_on_reincarnated t f = t.on_reincarnated <- f
+(* Composes: earlier callbacks keep firing (registration order). The
+   old one-slot behavior silently dropped whatever a previous caller —
+   say, the continuous verifier — had installed. *)
+let set_on_reincarnated t f = t.on_reincarnated <- t.on_reincarnated @ [ f ]
 
 let watch t comp ?(notify_crash = []) ?(notify_restart = []) () =
   t.watched <-
@@ -50,7 +56,7 @@ let watch t comp ?(notify_crash = []) ?(notify_restart = []) () =
 
 let engine t = Machine.engine t.machine
 
-let recover t w =
+let rec recover t w =
   if not w.restarting then begin
     w.restarting <- true;
     (* Neighbours learn about the death first: channels to the corpse
@@ -64,12 +70,23 @@ let recover t w =
            (* The new incarnation runs its own recovery procedure
               (restore state from storage, revive channels)... *)
            Component.restart w.comp;
-           (* ... and then the neighbours re-export, reattach and
-              resubmit (Section IV-D). *)
-           List.iter (fun f -> f ()) w.notify_restart;
-           (* Recovery is complete and advertised: the continuous
-              verifier re-checks the live topology here. *)
-           t.on_reincarnated w.comp))
+           if not (Component.alive w.comp) then begin
+             (* The new incarnation died inside its own recovery
+                procedure (an injected crash point, or genuinely broken
+                recovery code). The parent gets the signal again;
+                neighbours must not resubmit against the corpse —
+                repeat the whole procedure instead. *)
+             t.mid_recovery_crashes <- t.mid_recovery_crashes + 1;
+             recover t w
+           end
+           else begin
+             (* ... and then the neighbours re-export, reattach and
+                resubmit (Section IV-D). *)
+             List.iter (fun f -> f ()) w.notify_restart;
+             (* Recovery is complete and advertised: the continuous
+                verifier re-checks the live topology here. *)
+             List.iter (fun f -> f w.comp) t.on_reincarnated
+           end))
   end
 
 let find t comp =
@@ -104,8 +121,12 @@ let rec heartbeat_round t =
 let start t = heartbeat_round t
 
 let restarts t = t.total_restarts
+let mid_recovery_crashes t = t.mid_recovery_crashes
 
 let restarts_of t comp =
   match find t comp with Some w -> w.restarts | None -> 0
+
+let restarting t comp =
+  match find t comp with Some w -> w.restarting | None -> false
 
 let alive_check t = List.for_all (fun w -> Component.responsive w.comp) t.watched

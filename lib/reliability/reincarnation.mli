@@ -43,11 +43,13 @@ val start : t -> unit
 (** Begin the heartbeat rounds. *)
 
 val set_on_reincarnated : t -> (Newt_stack.Component.t -> unit) -> unit
-(** Install a callback fired after a supervised component finished a
+(** Register a callback fired after a supervised component finished a
     full recovery — restart, republish, and the neighbours'
     [notify_restart] hooks all done. This is the continuous verifier's
     trigger: the live topology is re-checked at exactly this point,
-    after every reincarnation. Replaces any previous callback. *)
+    after every reincarnation. Callbacks {e compose}: every registered
+    callback fires, in registration order — a later caller does not
+    silently drop an earlier one's. *)
 
 val kill : t -> Newt_stack.Component.t -> unit
 (** Inject a crash (as the fault-injection tool does) and let the
@@ -56,7 +58,20 @@ val kill : t -> Newt_stack.Component.t -> unit
 val restarts : t -> int
 (** Total restarts performed. *)
 
+val mid_recovery_crashes : t -> int
+(** How many times a supervised component died {e inside} its own
+    recovery procedure (observed dead right after
+    {!Newt_stack.Component.restart} returned) — each such death
+    repeats the whole recovery rather than letting neighbours resubmit
+    against a corpse. The model checker's crash-at-step injector shows
+    up here. *)
+
 val restarts_of : t -> Newt_stack.Component.t -> int
+
+val restarting : t -> Newt_stack.Component.t -> bool
+(** Whether the component is currently between crash detection and its
+    scheduled restart. A fault injected in this window is absorbed: the
+    component is already dead and a recovery is already scheduled. *)
 
 val alive_check : t -> bool
 (** All supervised components currently responsive. *)

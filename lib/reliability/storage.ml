@@ -10,3 +10,17 @@ let owner_view t ~owner =
 
 let crash t = Hashtbl.reset t.table
 let entries t = Hashtbl.length t.table
+
+(* Export/import: snapshot one owner's namespace so a supervisor can
+   hand state written by incarnation [k] to incarnation [k+n] — even
+   across a crash of the storage process itself. The snapshot is
+   sorted so round-trips are deterministic. *)
+
+let export t ~owner =
+  Hashtbl.fold
+    (fun (o, key) v acc -> if o = owner then (key, v) :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let import t ~owner pairs =
+  List.iter (fun (key, v) -> put t ~owner ~key v) pairs

@@ -27,3 +27,13 @@ val crash : t -> unit
 (** Lose everything. *)
 
 val entries : t -> int
+
+val export : t -> owner:string -> (string * string) list
+(** Snapshot one owner's namespace, sorted by key: what a supervisor
+    grabs before risky surgery so state written by incarnation [k] can
+    be re-imported for incarnation [k+n], even across a {!crash} of
+    the storage process itself. *)
+
+val import : t -> owner:string -> (string * string) list -> unit
+(** Replay an {!export}ed snapshot into (possibly another) store;
+    existing keys are overwritten, unrelated owners untouched. *)

@@ -509,7 +509,7 @@ let create ?(config = default_config) () =
         Pubsub.subscribe_prefix directory ~prefix:"arp." (learn k);
         (* A reincarnated replica comes up with a flushed cache; the
            directory still holds everything the group has learned. *)
-        Component.on_restart ip_comps.(k) (fun ~fresh:_ ->
+        Component.on_restart ip_comps.(k) ~step:"replay-arp" (fun ~fresh:_ ->
             Pubsub.replay_prefix directory ~prefix:"arp." (learn k)))
       ips
   end;

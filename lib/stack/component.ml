@@ -30,10 +30,16 @@ type t = {
   mutable pools : Pool.t list;
   mutable db_resets : (unit -> unit) list;
   mutable crash_hooks : (unit -> unit) list;
-  mutable restart_hooks : (fresh:bool -> unit) list;
-  mutable restarted_hooks : (unit -> unit) list;
+  mutable restart_hooks : (string option * (fresh:bool -> unit)) list;
+  mutable restarted_hooks : (string option * (unit -> unit)) list;
+  mutable crash_after : string option;
+      (* armed crash-point injector: die right after this recovery step *)
   archive : (string, int) Hashtbl.t;
 }
+
+(* Internal control flow for the crash-point injector: unwinds the
+   rest of the recovery procedure once the armed step has run. *)
+exception Crashed_mid_recovery
 
 let publish_export t (key, chan) =
   match t.directory with
@@ -54,6 +60,17 @@ let drop_queued chan =
             (fun ptr ->
               Hook.emit (Hook.Chan_dropped { chan = Sim_chan.id chan; ptr }))
             (Msg.ptrs msg);
+          (match Msg.protocol msg with
+          | `Req id ->
+              Hook.emit
+                (Hook.Msg_req { chan = Sim_chan.id chan; id; way = `Dropped })
+          | `Conf ids ->
+              List.iter
+                (fun id ->
+                  Hook.emit
+                    (Hook.Msg_conf { chan = Sim_chan.id chan; id; way = `Dropped }))
+                ids
+          | `Other -> ());
           go ()
       | None -> ()
     in
@@ -72,13 +89,39 @@ let generic_crash t () =
       Sim_chan.tear_down chan)
     t.rx
 
+(* A recovery step just completed; if the injector is armed for this
+   step, consume the arming, crash the component (running the full
+   generic teardown) and unwind the rest of the recovery. *)
+let checkpoint t step =
+  match t.crash_after with
+  | Some armed when armed = step ->
+      t.crash_after <- None;
+      Proc.crash t.proc;
+      raise Crashed_mid_recovery
+  | _ -> ()
+
+let step_revive = "revive-channels"
+let step_republish = "republish-exports"
+
 let generic_restart t ~fresh =
-  List.iter Sim_chan.revive t.rx;
-  List.iter (fun f -> f ~fresh) t.restart_hooks;
-  List.iter (publish_export t) t.exports;
-  (* Post-publish hooks see the fully republished directory — the
-     continuous verifier's sabotage handles live here. *)
-  List.iter (fun f -> f ()) t.restarted_hooks
+  try
+    List.iter Sim_chan.revive t.rx;
+    checkpoint t step_revive;
+    List.iter
+      (fun (step, f) ->
+        f ~fresh;
+        Option.iter (checkpoint t) step)
+      t.restart_hooks;
+    List.iter (publish_export t) t.exports;
+    checkpoint t step_republish;
+    (* Post-publish hooks see the fully republished directory — the
+       continuous verifier's sabotage handles live here. *)
+    List.iter
+      (fun (step, f) ->
+        f ();
+        Option.iter (checkpoint t) step)
+      t.restarted_hooks
+  with Crashed_mid_recovery -> ()
 
 let create machine ~name ~core ?directory ?trace () =
   let proc = Proc.create machine ~name ~core ?trace () in
@@ -95,6 +138,7 @@ let create machine ~name ~core ?directory ?trace () =
       crash_hooks = [];
       restart_hooks = [];
       restarted_hooks = [];
+      crash_after = None;
       archive = Hashtbl.create 16;
     }
   in
@@ -136,8 +180,20 @@ let consumed t = t.rx
 let exports t = t.exports
 let pools t = t.pools
 let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
-let on_restart t f = t.restart_hooks <- t.restart_hooks @ [ f ]
-let on_restarted t f = t.restarted_hooks <- t.restarted_hooks @ [ f ]
+let on_restart t ?step f = t.restart_hooks <- t.restart_hooks @ [ (step, f) ]
+
+let on_restarted t ?step f =
+  t.restarted_hooks <- t.restarted_hooks @ [ (step, f) ]
+
+let recovery_steps t =
+  [ step_revive ]
+  @ List.filter_map fst t.restart_hooks
+  @ [ step_republish ]
+  @ List.filter_map fst t.restarted_hooks
+
+let arm_crash_after t ~step = t.crash_after <- Some step
+let disarm_crash t = t.crash_after <- None
+let armed_crash t = t.crash_after
 let crash t = Proc.crash t.proc
 let hang t = Proc.hang t.proc
 let restart t = Proc.restart t.proc
@@ -153,11 +209,21 @@ module Db = struct
   let outstanding t = Request_db.outstanding t.db
   let outstanding_to t ~peer = Request_db.outstanding_to t.db ~peer
   let iter t f = Request_db.iter t.db f
+  let id t = Request_db.db_id t.db
 end
 
 let create_db t =
   let db = { Db.db = Request_db.create () } in
-  t.db_resets <- t.db_resets @ [ (fun () -> db.Db.db <- Request_db.create ()) ];
+  t.db_resets <-
+    t.db_resets
+    @ [
+        (fun () ->
+          (* Announce the wholesale drop before the records vanish so
+             the protocol checker closes their obligations as
+             owner-died, not as unresolved. *)
+          Request_db.reset_signal db.Db.db;
+          db.Db.db <- Request_db.create ());
+      ];
   db
 
 let archive_add t key n =

@@ -132,15 +132,47 @@ val on_crash : t -> (unit -> unit) -> unit
 (** Append a custom crash hook; hooks run in registration order before
     the generic teardown (DBs, pools, channels). *)
 
-val on_restart : t -> (fresh:bool -> unit) -> unit
+val on_restart : t -> ?step:string -> (fresh:bool -> unit) -> unit
 (** Append a custom restart hook; hooks run after consumed channels
-    are revived and before exports are republished. *)
+    are revived and before exports are republished. [?step] gives the
+    hook a name in the component's labeled recovery procedure (see
+    {!recovery_steps}); unlabeled hooks run but are not individually
+    addressable as crash points. *)
 
-val on_restarted : t -> (unit -> unit) -> unit
+val on_restarted : t -> ?step:string -> (unit -> unit) -> unit
 (** Append a post-recovery hook: runs after the restart hooks {e and}
     after the exports were republished, i.e. once the new incarnation
     is fully advertised. This is where broken-recovery sabotage (and
-    anything else that must observe or undo the republish) lives. *)
+    anything else that must observe or undo the republish) lives.
+    [?step] labels it as a recovery step, like {!on_restart}'s. *)
+
+(** {1 Labeled recovery procedure}
+
+    Every component's recovery is a fixed sequence of steps: the
+    built-in ["revive-channels"] (consumed channels revived), the
+    labeled restart hooks in registration order, the built-in
+    ["republish-exports"] (directory keys republished), then the
+    labeled post-recovery hooks. The model checker enumerates these
+    names and, via {!arm_crash_after}, crashes the component right
+    {e after} each one — modelling a server that dies mid-recovery —
+    to check the stack converges from every crash point (Table I's
+    procedures restarted from anywhere). *)
+
+val recovery_steps : t -> string list
+(** The component's labeled recovery steps, in execution order. *)
+
+val arm_crash_after : t -> step:string -> unit
+(** One-shot injector: the next time recovery executes [step], crash
+    the component immediately after the step completes (full generic
+    teardown runs; the remaining recovery steps do not). The arming is
+    consumed when it fires. Arming a step this component never
+    executes simply never fires. *)
+
+val disarm_crash : t -> unit
+(** Drop any pending {!arm_crash_after} arming. *)
+
+val armed_crash : t -> string option
+(** The step a pending arming waits for, if any. *)
 
 (** {1 Fault injection / recovery} *)
 
@@ -174,6 +206,10 @@ module Db : sig
   val outstanding : 'a t -> int
   val outstanding_to : 'a t -> peer:int -> int
   val iter : 'a t -> (int -> peer:int -> 'a -> unit) -> unit
+
+  val id : 'a t -> int
+  (** {!Newt_channels.Request_db.db_id} of the current incarnation's
+      database. *)
 end
 
 val create_db : t -> 'a Db.t

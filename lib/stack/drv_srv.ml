@@ -126,7 +126,8 @@ let create comp ~nic () =
   E1000.set_irq_handler nic (fun reason -> handle_irq t reason);
   (* Fresh start after a crash: the device must be reset — "manually
      restarting the driver ... reset the device" (Section VI-B). *)
-  Component.on_restart comp (fun ~fresh:_ -> E1000.reset t.nic);
+  Component.on_restart comp ~step:"reset-device" (fun ~fresh:_ ->
+      E1000.reset t.nic);
   t
 
 let connect_ip t ~rx_from_ip ~tx_to_ip =

@@ -627,11 +627,12 @@ let create comp ~registry ~save ~load () =
       t.resubmit_pf <- [];
       t.resubmit_drv <- [];
       List.iter (fun ifc -> ifc.drv.drv_on_ip_crash ()) t.ifaces);
-  Component.on_restart comp (fun ~fresh:_ ->
+  Component.on_restart comp ~step:"load-routes" (fun ~fresh:_ ->
       (* Recover configuration from the storage server; ARP and ICMP
          are stateless, so the caches restart cold. *)
       load_routes t;
-      List.iter (fun ifc -> Arp.Cache.flush ifc.arp) t.ifaces;
+      List.iter (fun ifc -> Arp.Cache.flush ifc.arp) t.ifaces);
+  Component.on_restart comp ~step:"reset-drivers" (fun ~fresh:_ ->
       (* The drivers reset their devices (Section V-D) and get the new
          receive pool. *)
       List.iter

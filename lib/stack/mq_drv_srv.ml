@@ -166,7 +166,8 @@ let create comp ~nic () =
   in
   Mq.set_irq_handler nic (fun reason -> handle_irq t reason);
   Mq.set_rx_writer nic (fun buf frame -> rx_write_dispatch t buf frame);
-  Component.on_restart comp (fun ~fresh:_ -> Mq.reset t.nic);
+  Component.on_restart comp ~step:"reset-device" (fun ~fresh:_ ->
+      Mq.reset t.nic);
   t
 
 (* {2 Per-replica attachment} *)

@@ -69,6 +69,20 @@ let ptrs = function
   | Drv_tx_confirm_batch _ | Sock_req _ | Sock_reply _ | Sock_event _ ->
       []
 
+let protocol = function
+  | Tx_ip { id; _ } | Filter_req { id; _ } | Drv_tx { id; _ } -> `Req id
+  | Tx_ip_confirm { id; _ } | Filter_verdict { id; _ } | Drv_tx_confirm { id; _ }
+    ->
+      `Conf [ id ]
+  | Drv_tx_confirm_batch { ids; _ } -> `Conf ids
+  (* Sock_req/Sock_reply ids come from the SYSCALL server's own
+     counter, not the request database (a different namespace that
+     would alias), and a blocking call may stay pending indefinitely
+     by design — the request/confirm contract does not govern them. *)
+  | Rx_frame _ | Rx_deliver _ | Rx_done _
+  | Sock_req _ | Sock_reply _ | Sock_event _ ->
+      `Other
+
 let describe = function
   | Tx_ip _ -> "tx_ip"
   | Tx_ip_confirm _ -> "tx_ip_confirm"

@@ -109,6 +109,16 @@ type t =
 val describe : t -> string
 (** Short tag for traces. *)
 
+val protocol : t -> [ `Req of int | `Conf of int list | `Other ]
+(** Classify a message for the dynamic protocol checker: [`Req id] if
+    it carries a request-database id that expects a confirm, [`Conf
+    ids] if it confirms request(s) (batched confirms quote several),
+    [`Other] for traffic the request/confirm contract does not govern
+    — one-way messages (received frames, buffer returns, unsolicited
+    events) and the SYSCALL call/reply pair, whose ids come from the
+    SYSCALL server's own counter (a separate namespace) and whose
+    blocking calls may stay open indefinitely by design. *)
+
 val ptrs : t -> Newt_channels.Rich_ptr.t list
 (** Every rich pointer the message hands across the channel (chain
     chunks and single buffers) — what the ownership sanitizer tracks as

@@ -105,7 +105,7 @@ let create comp ~save ~load () =
   Component.on_crash comp (fun () ->
       Pf_engine.set_rules t.engine [];
       Conntrack.clear (Pf_engine.conntrack t.engine));
-  Component.on_restart comp (fun ~fresh:_ ->
+  Component.on_restart comp ~step:"restore-state" (fun ~fresh:_ ->
       let rules =
         match t.load "rules" with
         | Some blob -> (Marshal.from_string blob 0 : Rule.t list)

@@ -90,6 +90,20 @@ let emit_transfers chan msg mk =
       (fun ptr -> Hook.emit (mk ~chan:(Sim_chan.id chan) ~ptr))
       (Msg.ptrs msg)
 
+(* Mirror the request/confirm content of a message onto the hook
+   stream so the dynamic protocol checker can pair hand-offs with
+   deliveries per request id. *)
+let emit_protocol chan msg way =
+  if Hook.enabled () then
+    match Msg.protocol msg with
+    | `Req id -> Hook.emit (Hook.Msg_req { chan = Sim_chan.id chan; id; way })
+    | `Conf ids ->
+        List.iter
+          (fun id ->
+            Hook.emit (Hook.Msg_conf { chan = Sim_chan.id chan; id; way }))
+          ids
+    | `Other -> ()
+
 (* Per-message receive overhead: dequeue, demultiplex/validate, and the
    cross-core cache-line stall. *)
 let recv_cost c =
@@ -117,7 +131,8 @@ let rec drain t =
         if Hook.enabled () then
           Hook.with_actor ~epoch:t.incarnation t.name (fun () ->
               emit_transfers chan msg (fun ~chan ~ptr ->
-                  Hook.Chan_receive { chan; ptr }));
+                  Hook.Chan_receive { chan; ptr });
+              emit_protocol chan msg `Received);
         let costs = Machine.costs t.machine in
         let work_cost, effect =
           Hook.with_actor ~epoch:t.incarnation t.name (fun () -> handler msg)
@@ -155,10 +170,12 @@ let add_rx t chan handler =
 let send t chan msg =
   Stats.incr t.stats ("tx." ^ Msg.describe msg);
   emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_handoff { chan; ptr });
+  emit_protocol chan msg `Sent;
   let ok = Sim_chan.send chan msg in
   if not ok then begin
     Stats.incr t.stats "tx.dropped";
-    emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_dropped { chan; ptr })
+    emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_dropped { chan; ptr });
+    emit_protocol chan msg `Dropped
   end;
   ok
 

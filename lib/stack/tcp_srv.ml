@@ -508,7 +508,7 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
       Tcp.shutdown_all t.engine;
       Hashtbl.reset t.sockets;
       t.resubmit <- []);
-  Component.on_restart comp (fun ~fresh:_ ->
+  Component.on_restart comp ~step:"reload-listeners" (fun ~fresh:_ ->
       t.engine <- make_engine t;
       (* Listening sockets are the recoverable part of our state
          (Table I): re-open them from the storage server. *)

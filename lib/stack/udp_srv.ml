@@ -339,7 +339,7 @@ let create comp ~registry ~local_addr ~save ~load () =
       t.select_pending <- None;
       Hashtbl.reset t.sockets;
       t.resubmit <- []);
-  Component.on_restart comp (fun ~fresh:_ ->
+  Component.on_restart comp ~step:"reload-sockets" (fun ~fresh:_ ->
       (* "It is easy to recreate the sockets after the crash"
          (Section V-D): the 4-tuples come back from the storage
          server. *)

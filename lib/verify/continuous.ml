@@ -13,6 +13,12 @@ type counters = {
   handoffs : int;
   hook_events : int;
   hook_overhead_cycles : int;
+  protocol_violations : int;
+  protocol_requests : int;
+  protocol_confirms : int;
+  protocol_aborts : int;
+  protocol_stale_confirms : int;
+  protocol_events : int;
 }
 
 let zero =
@@ -27,6 +33,12 @@ let zero =
     handoffs = 0;
     hook_events = 0;
     hook_overhead_cycles = 0;
+    protocol_violations = 0;
+    protocol_requests = 0;
+    protocol_confirms = 0;
+    protocol_aborts = 0;
+    protocol_stale_confirms = 0;
+    protocol_events = 0;
   }
 
 let add a b =
@@ -41,6 +53,12 @@ let add a b =
     handoffs = a.handoffs + b.handoffs;
     hook_events = a.hook_events + b.hook_events;
     hook_overhead_cycles = a.hook_overhead_cycles + b.hook_overhead_cycles;
+    protocol_violations = a.protocol_violations + b.protocol_violations;
+    protocol_requests = a.protocol_requests + b.protocol_requests;
+    protocol_confirms = a.protocol_confirms + b.protocol_confirms;
+    protocol_aborts = a.protocol_aborts + b.protocol_aborts;
+    protocol_stale_confirms = a.protocol_stale_confirms + b.protocol_stale_confirms;
+    protocol_events = a.protocol_events + b.protocol_events;
   }
 
 type t = {
@@ -73,6 +91,7 @@ let end_run ?(check_leaks = false) t =
         @ List.map Sanitizer.describe vs
         @ List.map Sanitizer.describe_leak leaks;
       {
+        zero with
         re_checks = t.cur_re_checks;
         static_violations = t.cur_static_violations;
         sanitizer_violations = List.length vs;
@@ -92,12 +111,33 @@ let end_run ?(check_leaks = false) t =
         static_violations = t.cur_static_violations;
       }
   in
+  let c =
+    if Protocol.active () then begin
+      (* A leak-checked run is a drained run: the same quiescence that
+         makes outstanding slots leaks makes open request obligations
+         violations. *)
+      Protocol.finish ~drained:check_leaks ();
+      let pvs = Protocol.violations () in
+      t.viols <- t.viols @ pvs;
+      {
+        c with
+        protocol_violations = List.length pvs;
+        protocol_requests = Protocol.count "requests";
+        protocol_confirms = Protocol.count "confirms";
+        protocol_aborts = Protocol.count "aborts";
+        protocol_stale_confirms = Protocol.count "stale-confirms";
+        protocol_events = Protocol.event_count ();
+      }
+    end
+    else c
+  in
   t.runs <- t.runs @ [ c ];
   t.cur_re_checks <- 0;
   t.cur_static_violations <- 0;
-  (* The next run starts with fresh shadow state; the listener stays
-     installed so it captures the new world's pool announcements. *)
-  if Sanitizer.active () then Sanitizer.reset ()
+  (* The next run starts with fresh shadow state; the listeners stay
+     installed so they capture the new world's pool announcements. *)
+  if Sanitizer.active () then Sanitizer.reset ();
+  if Protocol.active () then Protocol.reset ()
 
 let runs t = t.runs
 
@@ -131,10 +171,12 @@ let report ~title t =
 
 let counters_json c =
   Printf.sprintf
-    "{\"re_checks\":%d,\"static_violations\":%d,\"sanitizer_violations\":%d,\"leaks\":%d,\"stale_derefs\":%d,\"allocs\":%d,\"frees\":%d,\"handoffs\":%d,\"hook_events\":%d,\"hook_overhead_cycles\":%d}"
+    "{\"re_checks\":%d,\"static_violations\":%d,\"sanitizer_violations\":%d,\"leaks\":%d,\"stale_derefs\":%d,\"allocs\":%d,\"frees\":%d,\"handoffs\":%d,\"hook_events\":%d,\"hook_overhead_cycles\":%d,\"protocol_violations\":%d,\"protocol_requests\":%d,\"protocol_confirms\":%d,\"protocol_aborts\":%d,\"protocol_stale_confirms\":%d,\"protocol_events\":%d}"
     c.re_checks c.static_violations c.sanitizer_violations c.leaks
     c.stale_derefs c.allocs c.frees c.handoffs c.hook_events
-    c.hook_overhead_cycles
+    c.hook_overhead_cycles c.protocol_violations c.protocol_requests
+    c.protocol_confirms c.protocol_aborts c.protocol_stale_confirms
+    c.protocol_events
 
 let json t =
   Printf.sprintf "\"counters\":%s,\"run_counters\":[%s]"

@@ -29,6 +29,14 @@ type counters = {
   hook_overhead_cycles : int;
       (** {!Sanitizer.overhead_cycles} — instrumentation cost in model
           cycles (accounting only, never charged to simulated cores). *)
+  protocol_violations : int;
+      (** Dynamic request/confirm contract breaches ({!Protocol}). *)
+  protocol_requests : int;  (** Request obligations opened. *)
+  protocol_confirms : int;  (** Obligations met by a confirm. *)
+  protocol_aborts : int;  (** Obligations discharged by an abort sweep. *)
+  protocol_stale_confirms : int;
+      (** Confirms for crash-closed conversations, absorbed by design. *)
+  protocol_events : int;  (** Protocol hook events replayed. *)
 }
 
 val zero : counters
@@ -47,10 +55,14 @@ val recheck : t -> (unit -> Report.t) -> unit
 val end_run : ?check_leaks:bool -> t -> unit
 (** Close the run in progress: absorb the sanitizer's violations (and,
     with [check_leaks], its outstanding slots as leaks — only
-    meaningful once the run drained its in-flight buffers), append the
-    run's counter block, and reset the sanitizer's shadow state for
-    the next run (the listener stays installed). With the sanitizer
-    inactive only the static-recheck counters are recorded. *)
+    meaningful once the run drained its in-flight buffers), absorb the
+    protocol checker's verdict when it is active ([check_leaks] also
+    closes its trace via {!Protocol.finish}[ ~drained:true]: the same
+    quiescence that makes outstanding slots leaks makes open request
+    obligations violations), append the run's counter block, and reset
+    both checkers' shadow state for the next run (the listeners stay
+    installed). With neither checker active only the static-recheck
+    counters are recorded. *)
 
 val runs : t -> counters list
 (** Counter blocks of completed runs, oldest first. *)

@@ -37,3 +37,7 @@ val to_string : t -> string
 val to_json : t -> string
 (** Machine-readable verdict:
     [{"title":…,"ok":…,"checks":{…},"violations":[…]}]. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in the hand-rolled JSON (also used
+    by the model checker's counterexample traces). *)

@@ -142,6 +142,10 @@ let on_event ~actor ev =
       match Hashtbl.find_opt slots (ptr.Rich_ptr.pool, ptr.Rich_ptr.slot) with
       | Some st -> if st.in_flight > 0 then st.in_flight <- st.in_flight - 1
       | None -> ())
+  | Hook.Req_submit _ | Hook.Req_confirm _ | Hook.Req_abort _ | Hook.Req_reset _
+  | Hook.Msg_req _ | Hook.Msg_conf _ ->
+      (* Protocol-level events belong to Verify.Protocol. *)
+      ()
 
 let install () =
   clear ();

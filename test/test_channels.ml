@@ -7,6 +7,7 @@ module Rich_ptr = Newt_channels.Rich_ptr
 module Request_db = Newt_channels.Request_db
 module Pubsub = Newt_channels.Pubsub
 module Sim_chan = Newt_channels.Sim_chan
+module Hook = Newt_channels.Hook
 
 let test_spsc_basic () =
   let q = Spsc.create ~capacity:4 in
@@ -236,6 +237,116 @@ let test_request_db_abort_resubmit_from_abort () =
   Alcotest.(check int) "fresh request survives the sweep" 1
     (Request_db.outstanding_to db ~peer:5)
 
+let test_request_db_ids_globally_unique () =
+  (* Identifiers are process-wide, not per-database: a stale reply to a
+     pre-crash request must never alias a request a *different* (fresh)
+     database just issued. *)
+  let a = Request_db.create () and b = Request_db.create () in
+  Alcotest.(check bool) "distinct database identities" true
+    (Request_db.db_id a <> Request_db.db_id b);
+  let noop _ _ = () in
+  let ids =
+    List.concat_map
+      (fun _ ->
+        [
+          Request_db.submit a ~peer:1 ~payload:() ~abort:noop;
+          Request_db.submit b ~peer:1 ~payload:() ~abort:noop;
+        ])
+      [ (); (); () ]
+  in
+  Alcotest.(check int) "no id aliases across database instances" 6
+    (List.length (List.sort_uniq compare ids))
+
+let test_request_db_abort_cycle_capped () =
+  (* Two abort actions that keep resubmitting to and re-aborting each
+     other: every drained sweep queues the next one, so the deferral
+     never empties and the outermost call must give up with
+     [Abort_cycle] instead of looping forever. *)
+  let db = Request_db.create () in
+  let rec ping _id () =
+    ignore (Request_db.submit db ~peer:2 ~payload:() ~abort:pong);
+    ignore (Request_db.abort_peer db ~peer:2)
+  and pong _id () =
+    ignore (Request_db.submit db ~peer:1 ~payload:() ~abort:ping);
+    ignore (Request_db.abort_peer db ~peer:1)
+  in
+  ignore (Request_db.submit db ~peer:1 ~payload:() ~abort:ping);
+  (match Request_db.abort_peer db ~peer:1 with
+  | (_ : int) -> Alcotest.fail "cyclic abort sweep terminated without a cap"
+  | exception Request_db.Abort_cycle { db = reported; peer; depth } ->
+      Alcotest.(check int) "names the database" (Request_db.db_id db) reported;
+      Alcotest.(check bool) "the queued peer is one of the cycle" true
+        (peer = 1 || peer = 2);
+      Alcotest.(check int) "stopped at the depth cap" 64 depth);
+  (* The failed sweep cleared its deferral state on the way out: a
+     plain abort on the same database runs synchronously again (a
+     still-set sweeping flag would defer it and return 0). *)
+  ignore (Request_db.submit db ~peer:3 ~payload:() ~abort:(fun _ _ -> ()));
+  Alcotest.(check int) "database usable after the cap" 1
+    (Request_db.abort_peer db ~peer:3)
+
+let test_hook_listener_chain () =
+  let before = Hook.enabled () in
+  let a = ref 0 and b = ref 0 in
+  let ta = Hook.add (fun ~actor:_ _ -> incr a) in
+  let tb = Hook.add (fun ~actor:_ _ -> incr b) in
+  Fun.protect
+    ~finally:(fun () ->
+      Hook.remove ta;
+      Hook.remove tb)
+    (fun () ->
+      Alcotest.(check bool) "enabled while registered" true (Hook.enabled ());
+      Hook.emit (Hook.Req_reset { db = 424242 });
+      Alcotest.(check int) "first listener fed" 1 !a;
+      Alcotest.(check int) "second listener fed" 1 !b;
+      Hook.remove ta;
+      Hook.emit (Hook.Req_reset { db = 424242 });
+      Alcotest.(check int) "removed listener silent" 1 !a;
+      Alcotest.(check int) "remaining listener still fed" 2 !b;
+      (* Removing an already-removed token is a documented no-op. *)
+      Hook.remove ta;
+      Hook.emit (Hook.Req_reset { db = 424242 });
+      Alcotest.(check int) "double remove harmless" 3 !b);
+  Alcotest.(check bool) "chain restored" before (Hook.enabled ())
+
+let test_hook_install_facade_coexists () =
+  (* The deprecated one-slot [install] must neither displace nor be
+     displaced by chain listeners: both checkers see every event. *)
+  let legacy = ref 0 and chained = ref 0 in
+  let tok = Hook.add (fun ~actor:_ _ -> incr chained) in
+  Fun.protect
+    ~finally:(fun () ->
+      Hook.remove tok;
+      Hook.uninstall ())
+    (fun () ->
+      Hook.install (fun ~actor:_ _ -> incr legacy);
+      Hook.emit (Hook.Req_reset { db = 7 });
+      Alcotest.(check int) "legacy slot fed" 1 !legacy;
+      Alcotest.(check int) "chain listener fed" 1 !chained;
+      (* A second install rebinds the single slot; it does not stack. *)
+      Hook.install (fun ~actor:_ _ -> legacy := !legacy + 100);
+      Hook.emit (Hook.Req_reset { db = 7 });
+      Alcotest.(check int) "install rebinds, not stacks" 101 !legacy;
+      Alcotest.(check int) "chain unaffected by rebinding" 2 !chained;
+      Hook.uninstall ();
+      Hook.emit (Hook.Req_reset { db = 7 });
+      Alcotest.(check int) "legacy slot gone" 101 !legacy;
+      Alcotest.(check int) "chain survives uninstall" 3 !chained)
+
+let test_hook_actor_epoch_bracket () =
+  let seen = ref [] in
+  let tok = Hook.add (fun ~actor _ -> seen := (actor, Hook.epoch ()) :: !seen) in
+  Fun.protect
+    ~finally:(fun () -> Hook.remove tok)
+    (fun () ->
+      Hook.emit (Hook.Req_reset { db = 1 });
+      Hook.with_actor ~epoch:3 "ip" (fun () ->
+          Hook.emit (Hook.Req_reset { db = 1 }));
+      Hook.emit (Hook.Req_reset { db = 1 });
+      match List.rev !seen with
+      | [ (None, 0); (Some "ip", 3); (None, 0) ] -> ()
+      | _ -> Alcotest.fail "actor/epoch bracket not scoped to with_actor")
+
 let test_request_db_ids_never_reused () =
   let db = Request_db.create () in
   let id1 = Request_db.submit db ~peer:1 ~payload:0 ~abort:(fun _ _ -> ()) in
@@ -462,6 +573,14 @@ let suite =
     ("request db abort may resubmit", `Quick,
       test_request_db_abort_resubmit_from_abort);
     ("request db never reuses ids", `Quick, test_request_db_ids_never_reused);
+    ("request db ids unique across instances", `Quick,
+      test_request_db_ids_globally_unique);
+    ("request db cyclic aborts hit the depth cap", `Quick,
+      test_request_db_abort_cycle_capped);
+    ("hook listener chain add/remove", `Quick, test_hook_listener_chain);
+    ("hook legacy install coexists with the chain", `Quick,
+      test_hook_install_facade_coexists);
+    ("hook actor/epoch bracket", `Quick, test_hook_actor_epoch_bracket);
     ("pubsub publish/subscribe", `Quick, test_pubsub_basic);
     ("pubsub replays to late subscriber", `Quick, test_pubsub_replay_to_late_subscriber);
     ("pubsub republish after restart", `Quick, test_pubsub_republish_keeps_id);

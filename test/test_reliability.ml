@@ -166,6 +166,125 @@ let test_rs_two_components_same_round () =
   Alcotest.(check int) "b restarted once" 1 (Reincarnation.restarts_of rs b);
   Alcotest.(check int) "two restarts total" 2 (Reincarnation.restarts rs)
 
+let test_rs_on_reincarnated_composes () =
+  (* Two supervisors (say, the continuous verifier and a logger) both
+     register the full-recovery callback: registration must compose,
+     not silently replace. *)
+  let e, m = make_world () in
+  let c = make_comp m "victim" in
+  let rs = Reincarnation.create m () in
+  Reincarnation.watch rs c ();
+  let log = ref [] in
+  Reincarnation.set_on_reincarnated rs (fun comp ->
+      log := ("first:" ^ Component.name comp) :: !log);
+  Reincarnation.set_on_reincarnated rs (fun comp ->
+      log := ("second:" ^ Component.name comp) :: !log);
+  Reincarnation.start rs;
+  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Reincarnation.kill rs c));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check (list string)) "both callbacks, registration order"
+    [ "first:victim"; "second:victim" ]
+    (List.rev !log)
+
+let test_component_recovery_steps_and_arming () =
+  let _, m = make_world () in
+  let c = make_comp m "ip" in
+  Component.on_restart c ~step:"load-routes" (fun ~fresh:_ -> ());
+  (* Unlabeled hooks run but are not addressable crash points. *)
+  Component.on_restart c (fun ~fresh:_ -> ());
+  Component.on_restarted c ~step:"warm-caches" (fun () -> ());
+  Alcotest.(check (list string)) "labeled procedure, execution order"
+    [ "revive-channels"; "load-routes"; "republish-exports"; "warm-caches" ]
+    (Component.recovery_steps c);
+  Alcotest.(check (option string)) "nothing armed" None (Component.armed_crash c);
+  Component.arm_crash_after c ~step:"load-routes";
+  Alcotest.(check (option string)) "armed" (Some "load-routes")
+    (Component.armed_crash c);
+  Component.disarm_crash c;
+  Alcotest.(check (option string)) "disarmed" None (Component.armed_crash c)
+
+let test_rs_mid_recovery_crash_repeats_recovery () =
+  (* The model checker's injector: the victim dies again right after a
+     recovery step. The reincarnation server must notice the corpse and
+     run the whole recovery again, converging on the second pass. *)
+  let e, m = make_world () in
+  let c = make_comp m "victim" in
+  let recoveries = ref 0 in
+  Component.on_restart c ~step:"reload-state" (fun ~fresh -> if not fresh then incr recoveries);
+  let rs = Reincarnation.create m () in
+  Reincarnation.watch rs c ();
+  Reincarnation.start rs;
+  Component.arm_crash_after c ~step:"reload-state";
+  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Reincarnation.kill rs c));
+  Engine.run e ~until:(Time.of_seconds 2.0);
+  Alcotest.(check bool) "converged despite dying mid-recovery" true
+    (Component.alive c);
+  Alcotest.(check int) "recovery ran twice" 2 !recoveries;
+  Alcotest.(check int) "the mid-recovery death was counted" 1
+    (Reincarnation.mid_recovery_crashes rs);
+  Alcotest.(check (option string)) "one-shot arming consumed" None
+    (Component.armed_crash c);
+  Alcotest.(check int) "incarnation k+2" 2 (Component.incarnation c)
+
+let test_storage_export_import_survives_surgery () =
+  (* State written by incarnation k is exported, survives a crash of
+     the storage process itself via import, and feeds incarnation k+2 —
+     the recovery dies once in the middle and repeats. *)
+  let e, m = make_world () in
+  let c = make_comp m "ip" in
+  let s = Storage.create () in
+  let save, load = Storage.owner_view s ~owner:"ip" in
+  save "routes" "default-via-gw0";
+  save "arp" "neigh-table";
+  Storage.put s ~owner:"tcp" ~key:"other" "dies-with-the-store";
+  let loaded = ref [] in
+  Component.on_restart c ~step:"load-routes" (fun ~fresh ->
+      if not fresh then loaded := load "routes" :: !loaded);
+  let rs = Reincarnation.create m () in
+  Reincarnation.watch rs c ();
+  Reincarnation.start rs;
+  (* Supervisor surgery: snapshot the namespace, lose the store, replay
+     the snapshot into the (now empty) store. *)
+  let snap = Storage.export s ~owner:"ip" in
+  Alcotest.(check (list (pair string string))) "snapshot sorted by key"
+    [ ("arp", "neigh-table"); ("routes", "default-via-gw0") ]
+    snap;
+  Storage.crash s;
+  Storage.import s ~owner:"ip" snap;
+  Alcotest.(check (option string)) "unrelated owners not resurrected" None
+    (Storage.get s ~owner:"tcp" ~key:"other");
+  Component.arm_crash_after c ~step:"load-routes";
+  ignore (Engine.schedule e (Time.of_seconds 0.2) (fun () -> Reincarnation.kill rs c));
+  Engine.run e ~until:(Time.of_seconds 2.0);
+  Alcotest.(check int) "incarnation k+2" 2 (Component.incarnation c);
+  Alcotest.(check (list (option string)))
+    "both recovery passes read incarnation k's state"
+    [ Some "default-via-gw0"; Some "default-via-gw0" ]
+    (List.rev !loaded)
+
+let test_rs_restarting_window_absorbs_faults () =
+  (* [restarting] exposes the crash-detected-but-not-yet-restarted
+     window; a fault injected inside it must be absorbed. *)
+  let e, m = make_world () in
+  let c = make_comp m "victim" in
+  let delay = Time.of_seconds 0.12 in
+  let rs = Reincarnation.create m ~restart_delay:delay () in
+  Reincarnation.watch rs c ();
+  Reincarnation.start rs;
+  Alcotest.(check bool) "not restarting while healthy" false
+    (Reincarnation.restarting rs c);
+  ignore (Engine.schedule e 100 (fun () -> Reincarnation.kill rs c));
+  ignore
+    (Engine.schedule e (100 + (delay / 2)) (fun () ->
+         Alcotest.(check bool) "inside the window" true
+           (Reincarnation.restarting rs c);
+         Reincarnation.kill rs c));
+  Engine.run e ~until:(Time.of_seconds 1.0);
+  Alcotest.(check bool) "window closed" false (Reincarnation.restarting rs c);
+  Alcotest.(check bool) "alive at the end" true (Component.alive c);
+  Alcotest.(check int) "second fault absorbed: one restart" 1
+    (Reincarnation.restarts rs)
+
 let test_fault_distribution_matches_table3 () =
   (* Over many draws, the component distribution approaches Table III's
      25/10/24/25/16. *)
@@ -230,6 +349,15 @@ let suite =
     ("hang exactly on a heartbeat boundary", `Quick, test_rs_hang_on_heartbeat_boundary);
     ("crash inside the restart window", `Quick, test_rs_crash_inside_restart_window);
     ("two components caught in one round", `Quick, test_rs_two_components_same_round);
+    ("reincarnated callbacks compose", `Quick, test_rs_on_reincarnated_composes);
+    ("labeled recovery steps and arming", `Quick,
+      test_component_recovery_steps_and_arming);
+    ("mid-recovery crash repeats recovery", `Quick,
+      test_rs_mid_recovery_crash_repeats_recovery);
+    ("storage export/import across incarnations", `Quick,
+      test_storage_export_import_survives_surgery);
+    ("restart window absorbs injected faults", `Quick,
+      test_rs_restarting_window_absorbs_faults);
     ("fault draws match Table III", `Quick, test_fault_distribution_matches_table3);
     ("fault effects mostly crashes", `Quick, test_fault_effects_mostly_crashes);
     ("driver faults spread over instances", `Quick, test_fault_drv_index_spread);

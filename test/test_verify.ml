@@ -16,6 +16,8 @@ module E = Newt_core.Experiments
 module Report = Newt_verify.Report
 module Static = Newt_verify.Static
 module Sanitizer = Newt_verify.Sanitizer
+module Protocol = Newt_verify.Protocol
+module Mcheck = Newt_verify.Mcheck
 
 (* A little world builder: components on dedicated cores, wired by
    hand into whatever (broken) topology a test needs. *)
@@ -431,6 +433,208 @@ let test_continuous_catches_broken_recovery () =
   Alcotest.(check bool) "skipped republish fails the campaign" false
     (Newt_verify.Continuous.ok v2)
 
+(* --- protocol checker: staged event streams ----------------------- *)
+
+let with_protocol f =
+  Protocol.install ();
+  Fun.protect
+    ~finally:(fun () ->
+      Protocol.uninstall ();
+      Protocol.reset ())
+    f
+
+let test_protocol_clean_conversation () =
+  with_protocol (fun () ->
+      let id = 900_001 in
+      Hook.emit (Hook.Req_submit { db = 1; id; peer = 2 });
+      Hook.emit (Hook.Msg_req { chan = 10; id; way = `Sent });
+      Hook.emit (Hook.Msg_req { chan = 10; id; way = `Received });
+      Hook.emit (Hook.Msg_conf { chan = 11; id; way = `Sent });
+      Hook.emit (Hook.Msg_conf { chan = 11; id; way = `Received });
+      Hook.emit (Hook.Req_confirm { db = 1; id; known = true });
+      Protocol.finish ~drained:true ();
+      let r = Protocol.report () in
+      Alcotest.(check bool) (Report.to_string r) true (Report.ok r);
+      Alcotest.(check int) "one request" 1 (Protocol.count "requests");
+      Alcotest.(check int) "one confirm" 1 (Protocol.count "confirms");
+      Alcotest.(check int) "one conversation" 1 (Protocol.conversations ());
+      Alcotest.(check int) "six protocol events replayed" 6
+        (Protocol.event_count ());
+      Alcotest.(check int) "trace remembers them all" 6
+        (List.length (Protocol.trace ()));
+      Alcotest.(check bool) "overhead accounted" true
+        (Protocol.overhead_cycles () > 0))
+
+let test_protocol_confirm_without_request () =
+  (* A reply for an id nobody ever submitted: not the benign stale case
+     (those require the conversation to have been closed by a crash). *)
+  with_protocol (fun () ->
+      Hook.emit (Hook.Req_confirm { db = 1; id = 910_001; known = false });
+      (match find_check (Protocol.report ()) "confirm-without-request" with
+      | [ v ] ->
+          Alcotest.(check string) "subject names the id" "request id 910001"
+            v.Report.subject
+      | vs ->
+          Alcotest.failf "expected 1 confirm-without-request, got %d"
+            (List.length vs));
+      (* A *live-record* confirm the checker never saw submitted is the
+         other flavour: the database resolved a record out of thin air. *)
+      Hook.emit (Hook.Req_confirm { db = 1; id = 910_002; known = true });
+      Alcotest.(check int) "unpaired live confirm flagged" 1
+        (List.length (find_check (Protocol.report ()) "confirm-unpaired")))
+
+let test_protocol_dropped_confirm () =
+  with_protocol (fun () ->
+      let id = 920_001 in
+      Hook.emit (Hook.Req_submit { db = 3; id; peer = 9 });
+      Hook.emit (Hook.Msg_conf { chan = 12; id; way = `Dropped });
+      (match find_check (Protocol.report ()) "dropped-confirm" with
+      | [ _ ] -> ()
+      | vs ->
+          Alcotest.failf "expected 1 dropped-confirm, got %d" (List.length vs));
+      (* Once a crash closed the conversation (database reset), a
+         discarded confirm is the normal teardown path: counted, not
+         flagged. *)
+      Hook.emit (Hook.Req_reset { db = 3 });
+      Hook.emit (Hook.Msg_conf { chan = 12; id; way = `Dropped });
+      Alcotest.(check int) "post-reset drop only counted" 1
+        (List.length (find_check (Protocol.report ()) "dropped-confirm"));
+      Alcotest.(check int) "conf-drops counter bumped" 1
+        (Protocol.count "conf-drops");
+      Alcotest.(check int) "owner death recorded" 1
+        (Protocol.count "owner-deaths"))
+
+let test_protocol_stale_and_duplicate_confirms () =
+  with_protocol (fun () ->
+      (* The by-design stale reply: request aborted by the sweep, then
+         the old peer's answer trickles in. *)
+      let id = 930_001 in
+      Hook.emit (Hook.Req_submit { db = 5; id; peer = 2 });
+      Hook.emit (Hook.Req_abort { db = 5; id; peer = 2 });
+      Hook.emit (Hook.Req_confirm { db = 5; id; known = false });
+      Alcotest.(check int) "abort discharged the obligation" 1
+        (Protocol.count "aborts");
+      Alcotest.(check int) "stale confirm absorbed" 1
+        (Protocol.count "stale-confirms");
+      let r = Protocol.report () in
+      Alcotest.(check bool) (Report.to_string r) true (Report.ok r);
+      (* A second confirm for an already-confirmed request is not. *)
+      let id2 = 930_002 in
+      Hook.emit (Hook.Req_submit { db = 5; id = id2; peer = 2 });
+      Hook.emit (Hook.Req_confirm { db = 5; id = id2; known = true });
+      Hook.emit (Hook.Req_confirm { db = 5; id = id2; known = false });
+      Alcotest.(check int) "duplicate confirm flagged" 1
+        (List.length (find_check (Protocol.report ()) "duplicate-confirm")))
+
+let test_protocol_finish_closes_obligations () =
+  with_protocol (fun () ->
+      let id = 940_001 in
+      Hook.emit (Hook.Req_submit { db = 4; id; peer = 1 });
+      Hook.emit (Hook.Msg_req { chan = 13; id; way = `Sent });
+      (* Mid-run, in-flight work is legitimate; so is an undrained
+         finish (a frozen world never quiesces). *)
+      Alcotest.(check int) "mid-run silent" 0
+        (List.length (Protocol.violations ()));
+      Protocol.finish ();
+      Alcotest.(check int) "undrained finish silent" 0
+        (List.length (Protocol.violations ()));
+      (* A drained run may not leave the obligation open, nor the
+         hand-off undelivered. *)
+      Protocol.finish ~drained:true ();
+      Alcotest.(check int) "unresolved request flagged" 1
+        (List.length (find_check (Protocol.report ()) "unresolved-request"));
+      Alcotest.(check int) "undelivered hand-off flagged" 1
+        (List.length (find_check (Protocol.report ()) "undelivered-handoff")))
+
+let test_protocol_rule_listing () =
+  let lines = Protocol.describe_rules () in
+  Alcotest.(check int) "one line per contract rule"
+    (List.length Protocol.contract) (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("rule line rendered: " ^ l) true
+        (String.length l > 0))
+    lines
+
+(* --- model checker: search driver over synthetic runners ----------- *)
+
+let test_mcheck_search_and_counterexamples () =
+  let cases = Mcheck.enumerate [ ("a", [ "s1"; "s2" ]); ("b", [ "s1" ]) ] in
+  Alcotest.(check int) "flattened crash points" 3 (List.length cases);
+  let run (c : Mcheck.case) =
+    let converged = c.Mcheck.component <> "b" in
+    {
+      Mcheck.case = c;
+      converged;
+      violations = [];
+      trace = (if converged then [] else [ "b: submit id 1 (db 1, to peer 2)" ]);
+    }
+  in
+  let o = Mcheck.search ~cases ~run () in
+  Alcotest.(check int) "every case ran" 3 (List.length o.Mcheck.verdicts);
+  Alcotest.(check int) "nothing skipped" 0 (List.length o.Mcheck.skipped);
+  Alcotest.(check bool) "a counterexample fails the search" false (Mcheck.ok o);
+  (match Mcheck.counterexamples o with
+  | [ v ] ->
+      Alcotest.(check string) "the b crash point" "b"
+        v.Mcheck.case.Mcheck.component;
+      Alcotest.(check bool) "event trace attached" true (v.Mcheck.trace <> [])
+  | ces -> Alcotest.failf "expected 1 counterexample, got %d" (List.length ces));
+  (* A bare convergence failure renders as a no-convergence violation
+     naming the crash point. *)
+  let r = Mcheck.report ~title:"synthetic" o in
+  (match find_check r "no-convergence" with
+  | [ v ] ->
+      Alcotest.(check string) "crash point in the subject"
+        "b crashed after step s1" v.Report.subject
+  | vs -> Alcotest.failf "expected 1 no-convergence, got %d" (List.length vs));
+  let json = Mcheck.to_json ~title:"synthetic" o in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "json verdict is not ok" true
+    (contains json "\"ok\":false");
+  Alcotest.(check bool) "json carries the trace" true
+    (contains json "submit id 1")
+
+let test_mcheck_budget_skips_never_drops () =
+  let cases = Mcheck.enumerate [ ("a", [ "s1"; "s2"; "s3" ]) ] in
+  let ran = ref 0 in
+  let run (c : Mcheck.case) =
+    incr ran;
+    { Mcheck.case = c; converged = true; violations = []; trace = [] }
+  in
+  (* An already-exhausted budget: every case must be reported skipped,
+     none silently dropped, and skipping alone is not a failure. *)
+  let o = Mcheck.search ~budget:(-1.0) ~cases ~run () in
+  Alcotest.(check int) "nothing ran" 0 !ran;
+  Alcotest.(check int) "every case reported skipped" 3
+    (List.length o.Mcheck.skipped);
+  Alcotest.(check bool) "skipped cases do not fail the search" true
+    (Mcheck.ok o)
+
+let test_mcheck_split_crash_point_space () =
+  (* The split stack's search space: every killable component of a
+     probe host (the supervisor itself is not a crash point), each with
+     the built-in steps bracketing its labeled recovery procedure. *)
+  let specs = E.split_crash_points () in
+  Alcotest.(check (list string)) "killable components"
+    [ "drv0"; "ip"; "pf"; "tcp"; "udp" ]
+    (List.sort compare (List.map fst specs));
+  List.iter
+    (fun (name, steps) ->
+      Alcotest.(check bool) (name ^ " revives channels first") true
+        (List.mem "revive-channels" steps);
+      Alcotest.(check bool) (name ^ " republishes exports") true
+        (List.mem "republish-exports" steps))
+    specs;
+  Alcotest.(check int) "sixteen crash points" 16
+    (List.length (Mcheck.enumerate specs))
+
 (* --- sanitizer: a real fault-injected run ------------------------- *)
 
 let test_sanitized_crash_run_clean () =
@@ -474,4 +678,21 @@ let suite =
       test_continuous_catches_broken_recovery);
     ("sanitizer: fault-injected run is clean", `Quick,
       test_sanitized_crash_run_clean);
+    ("protocol: clean conversation", `Quick, test_protocol_clean_conversation);
+    ("protocol: confirm without request flagged", `Quick,
+      test_protocol_confirm_without_request);
+    ("protocol: dropped confirm strands the requester", `Quick,
+      test_protocol_dropped_confirm);
+    ("protocol: stale absorbed, duplicate flagged", `Quick,
+      test_protocol_stale_and_duplicate_confirms);
+    ("protocol: drained finish closes obligations", `Quick,
+      test_protocol_finish_closes_obligations);
+    ("protocol: rule listing matches the contract", `Quick,
+      test_protocol_rule_listing);
+    ("mcheck: search, counterexamples, report", `Quick,
+      test_mcheck_search_and_counterexamples);
+    ("mcheck: budget skips, never drops", `Quick,
+      test_mcheck_budget_skips_never_drops);
+    ("mcheck: split-stack crash-point space", `Quick,
+      test_mcheck_split_crash_point_space);
   ]
