@@ -1,6 +1,7 @@
 # Tier-1 gate: what CI runs on every PR.
 .PHONY: check build test fmt verify verify-protocol verify-continuous \
-	sanitize-smoke bench-smoke model-check model-check-negative clean
+	sanitize-smoke bench-smoke native-smoke model-check \
+	model-check-negative clean
 
 check: build test fmt verify
 
@@ -63,6 +64,16 @@ sanitize-smoke: build
 bench-smoke: build
 	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --flows 2 --duration 0.05
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --sanitize --verify-continuous --json | grep -q '"counters"'
+	dune exec bench/main.exe -- micro-spsc | grep -q '"spsc_cross_domain"'
+
+# A bounded run of the native runtime: the component servers on two
+# real OCaml domains over real SPSC rings, iperf bulk + split-stack
+# ping, exercised for one second. --skip-unsupported makes the target
+# exit 0 with a visible SKIP line on machines with fewer than two
+# cores; it never silently falls back to the simulator.
+native-smoke: build
+	dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 1 \
+	    --skip-unsupported --json
 
 clean:
 	dune clean

@@ -268,6 +268,86 @@ let print_verify json protocol max_shards =
   if protocol then print_verify_protocol json
   else print_verify_static json max_shards
 
+(* The native runtime: the same servers on real OCaml 5 domains.
+   Unsupported configurations must error (or, with --skip-unsupported,
+   exit 0 visibly) — never fall back to the simulator. *)
+module R = Newt_runtime
+
+let print_native_result (r : R.Native.result) =
+  Printf.printf
+    "native run: %d domain(s), %.1f s wall clock\n\
+     goodput: %.1f Mbps (%d bytes received of %d sent)\n\
+     frames: %d to peer, %d from peer (%d dropped: no RX buffer)\n\
+     ping: %d echoes, RTT mean %.1f us, p99 %.1f us (%d answered by IP)\n\
+     checksum failures at peer: %d\n"
+    r.R.Native.domains_used r.R.Native.seconds_run r.R.Native.goodput_mbps
+    r.R.Native.tcp_bytes r.R.Native.iperf_bytes_sent r.R.Native.frames_to_peer
+    r.R.Native.frames_from_peer r.R.Native.rx_no_buffer r.R.Native.ping_count
+    r.R.Native.ping_rtt_us_mean r.R.Native.ping_rtt_us_p99
+    r.R.Native.icmp_echoes r.R.Native.checksum_failures;
+  print_endline "rings (sent/dropped/max-occupancy/capacity):";
+  List.iter
+    (fun (s : R.Native.ring_stat) ->
+      Printf.printf "  %-14s %9d %6d %6d %6d\n" s.R.Native.ring s.R.Native.sent
+        s.R.Native.dropped s.R.Native.max_occupancy s.R.Native.ring_capacity)
+    r.R.Native.rings;
+  print_endline "domains (parks/wakes/posts-remote/posts-self/timers/executed):";
+  List.iter
+    (fun (s : R.Loop.stats) ->
+      Printf.printf "  %d [%s] %8d %8d %9d %10d %8d %10d\n" s.R.Loop.index
+        (String.concat "," s.R.Loop.pinned)
+        s.R.Loop.parks s.R.Loop.wakes s.R.Loop.posts_remote s.R.Loop.posts_self
+        s.R.Loop.timer_fires s.R.Loop.executed)
+    r.R.Native.loops
+
+let run_native domains seconds seed json skip_unsupported allow_oversub
+    write_size spin_budget never_park confirm_batch overhead =
+  let recommended = Domain.recommended_domain_count () in
+  match
+    R.Native.validate ~recommended ~allow_oversubscribe:allow_oversub ~domains
+      ()
+  with
+  | Error msg when skip_unsupported ->
+      Printf.printf "SKIP: %s\n" msg;
+      exit 0
+  | Error msg ->
+      prerr_endline ("newtos_sim native: " ^ msg);
+      exit 2
+  | Ok () ->
+      let cfg =
+        {
+          R.Native.default_config with
+          domains;
+          seconds;
+          seed;
+          write_size;
+          spin_budget;
+          never_park;
+          confirm_batch;
+          overhead;
+        }
+      in
+      let r = R.Native.run cfg in
+      if json then print_endline (R.Native.json_of_result r)
+      else print_native_result r
+
+let print_crossval domains seconds json skip_unsupported allow_oversub =
+  let recommended = Domain.recommended_domain_count () in
+  match
+    R.Native.validate ~recommended ~allow_oversubscribe:allow_oversub ~domains
+      ()
+  with
+  | Error msg when skip_unsupported ->
+      Printf.printf "SKIP: %s\n" msg;
+      exit 0
+  | Error msg ->
+      prerr_endline ("newtos_sim crossval: " ^ msg);
+      exit 2
+  | Ok () ->
+      let r = R.Crossval.run ~domains ~seconds () in
+      if json then print_endline (R.Crossval.to_json r)
+      else print_string (R.Crossval.to_string r)
+
 (* The mcheck subcommand: exhaustive (component × labeled recovery
    step) crash-point search over the chosen configurations. *)
 let print_mcheck json config budget seed break_recovery =
@@ -504,6 +584,94 @@ let mcheck_cmd =
     Term.(
       const print_mcheck $ json $ config $ budget $ seed $ break_recovery)
 
+let native_domains =
+  let doc = "Number of OCaml domains (event-loop threads) to run on." in
+  Arg.(value & opt int 2 & info [ "domains" ] ~doc)
+
+let native_seconds =
+  let doc = "Wall-clock seconds to drive the workload." in
+  Arg.(value & opt float 2.0 & info [ "seconds" ] ~doc)
+
+let native_json =
+  let doc = "Emit the run's counters as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let skip_unsupported =
+  let doc =
+    "Exit 0 with a visible SKIP line when the machine cannot run the \
+     requested domain count (for smoke tests on small machines). The \
+     default is a hard error — there is never a silent fallback to the \
+     simulator."
+  in
+  Arg.(value & flag & info [ "skip-unsupported" ] ~doc)
+
+let allow_oversubscribe =
+  let doc =
+    "Allow more domains than Domain.recommended_domain_count: the OS \
+     time-slices them, so absolute numbers measure scheduler noise too."
+  in
+  Arg.(value & flag & info [ "allow-oversubscribe" ] ~doc)
+
+let native_cmd =
+  let write_size =
+    let doc = "Bytes per iperf write." in
+    Arg.(value & opt int 8192 & info [ "write-size" ] ~doc)
+  in
+  let spin_budget =
+    let doc = "Idle poll iterations before a domain parks." in
+    Arg.(value & opt int 2_000 & info [ "spin-budget" ] ~doc)
+  in
+  let never_park =
+    let doc = "Poll forever instead of parking (the MWAIT-off ablation)." in
+    Arg.(value & flag & info [ "never-park" ] ~doc)
+  in
+  let confirm_batch =
+    let doc = "Driver TX confirms coalesced per message (1 = no batching)." in
+    Arg.(value & opt int 8 & info [ "confirm-batch" ] ~doc)
+  in
+  let overhead =
+    let doc =
+      "Per-send overhead ablation: $(b,none), $(b,kipc) (a kernel-lock \
+       round trip per channel send), or $(b,copy) (two MSS-sized copies \
+       per send)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", R.Native.No_overhead);
+               ("kipc", R.Native.Kipc_trap);
+               ("copy", R.Native.Copy_per_hop);
+             ])
+          R.Native.No_overhead
+      & info [ "overhead" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:
+         "Run the split stack natively: the same servers as the simulator, \
+          as event loops pinned to real OCaml 5 domains over real SPSC \
+          rings, driving an iperf-style bulk flow plus the split-stack \
+          ping path. Errors out (exit 2) when the machine cannot honour \
+          $(b,--domains) — it never silently simulates instead.")
+    Term.(
+      const run_native $ native_domains $ native_seconds $ seed $ native_json
+      $ skip_unsupported $ allow_oversubscribe $ write_size $ spin_budget
+      $ never_park $ confirm_batch $ overhead)
+
+let crossval_cmd =
+  Cmd.v
+    (Cmd.info "crossval"
+       ~doc:
+         "Cross-validate simulator against native execution: re-run the \
+          Section IV ordering comparisons (channel-cost ablations of \
+          Table II, park-vs-poll latency) in both modes and check sign \
+          and rank order.")
+    Term.(
+      const print_crossval $ native_domains $ native_seconds $ native_json
+      $ skip_unsupported $ allow_oversubscribe)
+
 let all_cmd =
   let run () =
     print_table2 ();
@@ -532,5 +700,7 @@ let () =
           scaling_cmd;
           verify_cmd;
           mcheck_cmd;
+          native_cmd;
+          crossval_cmd;
           all_cmd;
         ]))

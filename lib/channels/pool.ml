@@ -11,11 +11,30 @@ type t = {
   free_list : int Stack.t;
   live : bool array;
   freed_by : reclaim array;
+  lock : Mutex.t option;
+      (* Native runs only: serializes free-list mutation when a granted
+         pool is allocated from one domain and freed from another (the
+         driver fills the IP server's RX pool). Slot payload access
+         stays lock-free — slots are owner-disjoint and the hand-off is
+         ordered by the ring's release/acquire publication. *)
 }
 
 exception Stale_pointer of Rich_ptr.t
 exception Double_free of Rich_ptr.t
 exception Pool_exhausted
+
+(* Set by the native runtime before any pool is created; simulated runs
+   stay lock-free (single-threaded, and the mutex would show up in the
+   model's hot path for nothing). *)
+let threadsafe_default = ref false
+let set_default_threadsafe b = threadsafe_default := b
+
+let with_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let id_counter = ref 0
 
@@ -37,6 +56,7 @@ let create ~id ~slots ~slot_size =
     free_list;
     live = Array.make slots false;
     freed_by = Array.make slots Never;
+    lock = (if !threadsafe_default then Some (Mutex.create ()) else None);
   }
 
 let id t = t.id
@@ -49,6 +69,7 @@ let alloc t ~len =
   if len > t.slot_size then
     invalid_arg
       (Printf.sprintf "Pool.alloc: len %d exceeds slot size %d" len t.slot_size);
+  with_lock t @@ fun () ->
   match Stack.pop_opt t.free_list with
   | None -> raise Pool_exhausted
   | Some slot ->
@@ -105,6 +126,7 @@ let blit t p ~dst ~dst_off =
   Bytes.blit t.data.(p.Rich_ptr.slot) p.Rich_ptr.off dst dst_off p.Rich_ptr.len
 
 let free t p =
+  with_lock t @@ fun () ->
   let slot = p.Rich_ptr.slot in
   (* A pointer whose slot was reclaimed by a plain [free] and not since
      reallocated: this very allocation was already freed once. Calling
@@ -130,6 +152,7 @@ let free t p =
   Stack.push slot t.free_list
 
 let free_all t =
+  with_lock t @@ fun () ->
   Stack.clear t.free_list;
   for i = Array.length t.data - 1 downto 0 do
     if t.live.(i) then begin

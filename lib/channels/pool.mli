@@ -31,6 +31,14 @@ exception Double_free of Rich_ptr.t
 exception Pool_exhausted
 (** Raised by {!alloc} when no free slot is available. *)
 
+val set_default_threadsafe : bool -> unit
+(** When [true], pools created afterwards guard their free-list with a
+    mutex so allocation and free may come from different domains (the
+    native runtime's driver fills a pool the IP server frees). Slot
+    payloads stay lock-free: slots are owner-disjoint and hand-off is
+    ordered by the SPSC ring publication. Default [false] — simulated
+    runs are single-threaded. *)
+
 val create : id:int -> slots:int -> slot_size:int -> t
 (** [create ~id ~slots ~slot_size] makes a pool of [slots] buffers of
     [slot_size] bytes each. Ids must be unique per pool universe

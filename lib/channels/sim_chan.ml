@@ -1,11 +1,38 @@
+(* Two backings behind one channel type:
+
+   - [Sim]: the historical single-threaded FIFO, used by every
+     discrete-event run. Plain mutable fields, notify only on
+     empty-to-nonempty (the MONITOR/MWAIT model).
+   - [Ring]: a real {!Spsc_queue} between two OCaml domains, used by the
+     native runtime. Counters are atomics, and notify fires on *every*
+     successful push — the was-empty optimization is racy across
+     domains (consumer pops the last element between our [is_empty] and
+     [push] and parks; nobody rings). The consumer-side doorbell
+     dedupes, so the extra notifications cost one atomic exchange. *)
+
+type 'a backing =
+  | Sim of {
+      q : 'a Queue.t;
+      mutable down : bool;
+      mutable sent : int;
+      mutable dropped : int;
+      mutable max_occ : int;
+    }
+  | Ring of {
+      ring : 'a Spsc_queue.t;
+      down : bool Atomic.t;
+      sent : int Atomic.t;
+      dropped : int Atomic.t;
+      max_occ : int Atomic.t;
+    }
+
 type 'a t = {
   id : int;
   capacity : int;
-  q : 'a Queue.t;
+  backing : 'a backing;
   mutable notify : (unit -> unit) option;
-  mutable down : bool;
-  mutable sent : int;
-  mutable dropped : int;
+      (* Installed once at wiring time, before any domain is spawned;
+         published to other domains by [Domain.spawn]. *)
 }
 
 let create ?(capacity = 512) ~id () =
@@ -13,43 +40,115 @@ let create ?(capacity = 512) ~id () =
   {
     id;
     capacity;
-    q = Queue.create ();
+    backing = Sim { q = Queue.create (); down = false; sent = 0; dropped = 0; max_occ = 0 };
     notify = None;
-    down = false;
-    sent = 0;
-    dropped = 0;
+  }
+
+let create_native ?(capacity = 512) ~id () =
+  let ring = Spsc_queue.create ~capacity in
+  {
+    id;
+    capacity = Spsc_queue.capacity ring;
+    backing =
+      Ring
+        {
+          ring;
+          down = Atomic.make false;
+          sent = Atomic.make 0;
+          dropped = Atomic.make 0;
+          max_occ = Atomic.make 0;
+        };
+    notify = None;
   }
 
 let id t = t.id
 let capacity t = t.capacity
+let is_native t = match t.backing with Sim _ -> false | Ring _ -> true
 
 let send t x =
-  if t.down || Queue.length t.q >= t.capacity then begin
-    t.dropped <- t.dropped + 1;
-    false
-  end
-  else begin
-    let was_empty = Queue.is_empty t.q in
-    Queue.push x t.q;
-    t.sent <- t.sent + 1;
-    if was_empty then Option.iter (fun f -> f ()) t.notify;
-    true
-  end
+  match t.backing with
+  | Sim s ->
+      if s.down || Queue.length s.q >= t.capacity then begin
+        s.dropped <- s.dropped + 1;
+        false
+      end
+      else begin
+        let was_empty = Queue.is_empty s.q in
+        Queue.push x s.q;
+        s.sent <- s.sent + 1;
+        let occ = Queue.length s.q in
+        if occ > s.max_occ then s.max_occ <- occ;
+        if was_empty then Option.iter (fun f -> f ()) t.notify;
+        true
+      end
+  | Ring r ->
+      if Atomic.get r.down then begin
+        Atomic.incr r.dropped;
+        false
+      end
+      else if Spsc_queue.try_push r.ring x then begin
+        Atomic.incr r.sent;
+        let occ = Spsc_queue.length r.ring in
+        (* Producer-only write: a plain max race-free on this side. *)
+        if occ > Atomic.get r.max_occ then Atomic.set r.max_occ occ;
+        Option.iter (fun f -> f ()) t.notify;
+        true
+      end
+      else begin
+        Atomic.incr r.dropped;
+        false
+      end
 
-let recv t = if t.down then None else Queue.take_opt t.q
-let peek t = if t.down then None else Queue.peek_opt t.q
-let length t = Queue.length t.q
-let is_empty t = Queue.is_empty t.q
+let recv t =
+  match t.backing with
+  | Sim s -> if s.down then None else Queue.take_opt s.q
+  | Ring r -> if Atomic.get r.down then None else Spsc_queue.try_pop r.ring
+
+let peek t =
+  match t.backing with
+  | Sim s -> if s.down then None else Queue.peek_opt s.q
+  | Ring r -> if Atomic.get r.down then None else Spsc_queue.peek r.ring
+
+let length t =
+  match t.backing with
+  | Sim s -> Queue.length s.q
+  | Ring r -> Spsc_queue.length r.ring
+
+let is_empty t =
+  match t.backing with
+  | Sim s -> Queue.is_empty s.q
+  | Ring r -> Spsc_queue.is_empty r.ring
+
 let set_notify t f = t.notify <- Some f
 
 let tear_down t =
-  t.down <- true;
-  Queue.clear t.q
+  match t.backing with
+  | Sim s ->
+      s.down <- true;
+      Queue.clear s.q
+  | Ring r ->
+      (* Queued elements are abandoned in place: draining a live SPSC
+         ring from a third party would violate single-consumer. Native
+         runs do not inject crashes, so this only stops traffic. *)
+      Atomic.set r.down true
 
 let revive t =
-  t.down <- false;
-  Queue.clear t.q
+  match t.backing with
+  | Sim s ->
+      s.down <- false;
+      Queue.clear s.q
+  | Ring r -> Atomic.set r.down false
 
-let is_down t = t.down
-let sent_total t = t.sent
-let dropped_total t = t.dropped
+let is_down t =
+  match t.backing with
+  | Sim s -> s.down
+  | Ring r -> Atomic.get r.down
+
+let sent_total t =
+  match t.backing with Sim s -> s.sent | Ring r -> Atomic.get r.sent
+
+let dropped_total t =
+  match t.backing with Sim s -> s.dropped | Ring r -> Atomic.get r.dropped
+
+let max_occupancy t =
+  match t.backing with Sim s -> s.max_occ | Ring r -> Atomic.get r.max_occ

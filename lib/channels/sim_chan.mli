@@ -18,6 +18,15 @@ type 'a t
 val create : ?capacity:int -> id:int -> unit -> 'a t
 (** Default capacity: 512 slots, a typical ring size. *)
 
+val create_native : ?capacity:int -> id:int -> unit -> 'a t
+(** A channel backed by a real {!Spsc_queue} between two OCaml domains
+    (one producer, one consumer). Counters become atomics, capacity is
+    rounded up to a power of two, and the notify hook fires on every
+    successful send — cross-domain, the was-empty test is racy, so the
+    consumer-side doorbell dedupes instead. *)
+
+val is_native : 'a t -> bool
+
 val id : 'a t -> int
 val capacity : 'a t -> int
 
@@ -54,3 +63,7 @@ val sent_total : 'a t -> int
 
 val dropped_total : 'a t -> int
 (** Sends refused because the queue was full or down. *)
+
+val max_occupancy : 'a t -> int
+(** High-water mark of queued messages — the per-ring occupancy figure
+    reported by the native runtime's [--json] output. *)

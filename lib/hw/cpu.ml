@@ -4,6 +4,7 @@ type job = { proc : int; cost : Time.cycles; k : unit -> unit }
 
 type t = {
   engine : Newt_sim.Engine.t;
+  exec_backend : Newt_sim.Exec.t;
   costs : Costs.t;
   id : int;
   kind : kind;
@@ -17,9 +18,10 @@ type t = {
   mutable polling_cycles : Time.cycles;
 }
 
-let create engine ~costs ~id ~kind =
+let create engine ~exec ~costs ~id ~kind =
   {
     engine;
+    exec_backend = exec;
     costs;
     id;
     kind;
@@ -80,6 +82,16 @@ let wakeup_penalty t =
 
 let exec t ~proc ~cost k =
   assert (cost >= 0);
-  let penalty = if busy t then 0 else wakeup_penalty t in
-  Queue.push { proc; cost = cost + penalty; k } t.jobs;
-  if not t.running then start_next t
+  if Newt_sim.Exec.is_native t.exec_backend then begin
+    (* Native mode: no cycle accounting — real cores charge real time.
+       The continuation lands on the FIFO run queue of the domain that
+       owns this core, which also flattens the drain recursion that the
+       simulated path threads through the event queue. *)
+    ignore proc;
+    Newt_sim.Exec.post t.exec_backend ~core:t.id k
+  end
+  else begin
+    let penalty = if busy t then 0 else wakeup_penalty t in
+    Queue.push { proc; cost = cost + penalty; k } t.jobs;
+    if not t.running then start_next t
+  end

@@ -22,7 +22,12 @@ type kind =
   | Timeshared  (** Shared by applications and (in Minix mode) servers. *)
 
 val create :
-  Newt_sim.Engine.t -> costs:Costs.t -> id:int -> kind:kind -> t
+  Newt_sim.Engine.t ->
+  exec:Newt_sim.Exec.t ->
+  costs:Costs.t ->
+  id:int ->
+  kind:kind ->
+  t
 
 val id : t -> int
 val kind : t -> kind

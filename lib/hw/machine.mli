@@ -7,10 +7,16 @@
 
 type t
 
-val create : ?costs:Costs.t -> Newt_sim.Engine.t -> t
-(** A machine with no cores yet; add them with the allocators below. *)
+val create : ?costs:Costs.t -> ?exec:Newt_sim.Exec.t -> Newt_sim.Engine.t -> t
+(** A machine with no cores yet; add them with the allocators below.
+    [exec] selects the execution backend (default: the discrete-event
+    engine). *)
 
 val engine : t -> Newt_sim.Engine.t
+
+val exec : t -> Newt_sim.Exec.t
+(** The execution backend every core and server of this machine uses. *)
+
 val costs : t -> Costs.t
 
 val add_dedicated_core : t -> Cpu.t

@@ -1,0 +1,535 @@
+module Engine = Newt_sim.Engine
+module Exec = Newt_sim.Exec
+module Time = Newt_sim.Time
+module Rng = Newt_sim.Rng
+module Machine = Newt_hw.Machine
+module Cpu = Newt_hw.Cpu
+module Registry = Newt_channels.Registry
+module Sim_chan = Newt_channels.Sim_chan
+module Pool = Newt_channels.Pool
+module Addr = Newt_net.Addr
+module Offload = Newt_nic.Offload
+module Rule = Newt_pf.Rule
+module Proc = Newt_stack.Proc
+module Component = Newt_stack.Component
+module Msg = Newt_stack.Msg
+module Ip_srv = Newt_stack.Ip_srv
+module Pf_srv = Newt_stack.Pf_srv
+module Tcp_srv = Newt_stack.Tcp_srv
+module Udp_srv = Newt_stack.Udp_srv
+module Syscall_srv = Newt_stack.Syscall_srv
+module Sink = Newt_stack.Sink
+module Storage = Newt_reliability.Storage
+module Apps = Newt_sockets.Apps
+
+type overhead = No_overhead | Kipc_trap | Copy_per_hop
+
+type config = {
+  domains : int;
+  seconds : float;
+  seed : int;
+  chan_capacity : int;
+  write_size : int;
+  spin_budget : int;
+  never_park : bool;
+  confirm_batch : int;  (** Driver TX confirms coalesced per message. *)
+  overhead : overhead;  (** Channel-cost ablation (cross-validation). *)
+  ping_period : float;  (** Seconds between ICMP echo probes. *)
+  port : int;
+}
+
+let default_config =
+  {
+    domains = 2;
+    seconds = 2.0;
+    seed = 42;
+    chan_capacity = 8192;
+    write_size = 8192;
+    spin_budget = 2_000;
+    never_park = false;
+    confirm_batch = 8;
+    overhead = No_overhead;
+    ping_period = 0.002;
+    port = 5001;
+  }
+
+(* {2 Argument validation (no silent fallback)} *)
+
+let validate ~recommended ?(allow_oversubscribe = false) ~domains () =
+  if domains < 2 then
+    Error
+      (Printf.sprintf
+         "native mode needs at least 2 domains (one per side of a channel); \
+          got --domains %d"
+         domains)
+  else if recommended < 2 && not allow_oversubscribe then
+    Error
+      (Printf.sprintf
+         "native execution is unsupported here: \
+          Domain.recommended_domain_count = %d (< 2). Refusing to fall back \
+          to simulation; pass --allow-oversubscribe to time-slice domains on \
+          too few cores, or use the simulator commands."
+         recommended)
+  else if domains > recommended && not allow_oversubscribe then
+    Error
+      (Printf.sprintf
+         "--domains %d exceeds Domain.recommended_domain_count (%d); \
+          oversubscribed domains would measure scheduler noise, not the \
+          stack. Pass --allow-oversubscribe to force."
+         domains recommended)
+  else if domains > 16 then
+    Error (Printf.sprintf "--domains %d: the stack has at most 8 pinnable \
+                           servers plus the peer; more than 16 domains is \
+                           surely a mistake" domains)
+  else Ok ()
+
+(* {2 Results} *)
+
+type ring_stat = {
+  ring : string;
+  sent : int;
+  dropped : int;
+  max_occupancy : int;
+  ring_capacity : int;
+}
+
+type result = {
+  domains_used : int;
+  seconds_run : float;
+  goodput_mbps : float;
+  tcp_bytes : int;
+  iperf_bytes_sent : int;
+  frames_to_peer : int;
+  frames_from_peer : int;
+  rx_no_buffer : int;
+  icmp_echoes : int;
+  ping_count : int;
+  ping_rtt_us_mean : float;
+  ping_rtt_us_p99 : float;
+  checksum_failures : int;
+  rings : ring_stat list;
+  loops : Loop.stats list;
+}
+
+let json_of_result (r : result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"mode\":\"native\",\"domains\":%d,\"seconds\":%.3f,\
+        \"goodput_mbps\":%.3f,\"tcp_bytes\":%d,\"iperf_bytes_sent\":%d,\
+        \"frames_to_peer\":%d,\"frames_from_peer\":%d,\"rx_no_buffer\":%d,\
+        \"icmp_echoes\":%d,\"ping_count\":%d,\"ping_rtt_us_mean\":%.2f,\
+        \"ping_rtt_us_p99\":%.2f,\"checksum_failures\":%d"
+       r.domains_used r.seconds_run r.goodput_mbps r.tcp_bytes
+       r.iperf_bytes_sent r.frames_to_peer r.frames_from_peer r.rx_no_buffer
+       r.icmp_echoes r.ping_count r.ping_rtt_us_mean r.ping_rtt_us_p99
+       r.checksum_failures);
+  Buffer.add_string b ",\"rings\":[";
+  List.iteri
+    (fun i (s : ring_stat) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ring\":\"%s\",\"sent\":%d,\"dropped\":%d,\
+            \"max_occupancy\":%d,\"capacity\":%d}"
+           s.ring s.sent s.dropped s.max_occupancy s.ring_capacity))
+    r.rings;
+  Buffer.add_string b "],\"loops\":[";
+  List.iteri
+    (fun i (s : Loop.stats) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"domain\":%d,\"pinned\":[%s],\"parks\":%d,\"wakes\":%d,\
+            \"posts_remote\":%d,\"posts_self\":%d,\"timer_fires\":%d,\
+            \"executed\":%d}"
+           s.Loop.index
+           (String.concat ","
+              (List.map (fun n -> "\"" ^ n ^ "\"") s.Loop.pinned))
+           s.Loop.parks s.Loop.wakes s.Loop.posts_remote s.Loop.posts_self
+           s.Loop.timer_fires s.Loop.executed))
+    r.loops;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* {2 Doorbells}
+
+   A cross-domain kick with at-most-one outstanding post: ring after
+   every push, pay one atomic exchange, run the drain once. *)
+
+let doorbell loop f =
+  let posted = Atomic.make false in
+  fun () ->
+    if not (Atomic.exchange posted true) then
+      Loop.post loop (fun () ->
+          Atomic.set posted false;
+          f ())
+
+(* {2 The run} *)
+
+let run (cfg : config) : result =
+  let n_domains = cfg.domains in
+  (* Wall clock in model cycles (the paper's 1.9 GHz testbed scale). *)
+  let epoch = Unix.gettimeofday () in
+  let now () =
+    int_of_float
+      ((Unix.gettimeofday () -. epoch) *. float_of_int Time.cycles_per_second)
+  in
+  let loops =
+    Array.init n_domains (fun index ->
+        Loop.create ~index ~now ~spin_budget:cfg.spin_budget
+          ~never_park:cfg.never_park ())
+  in
+  (* Placement: pipeline-depth order, round-robin over the domains, so
+     the hot TX path (tcp -> ip -> pf -> drv) spreads across domains
+     first. Core ids are assigned below in slot order. *)
+  let slots = [| "tcp"; "ip"; "pf"; "drv0"; "sc"; "app"; "udp"; "peer" |] in
+  let loop_of_slot = Array.mapi (fun i _ -> loops.(i mod n_domains)) slots in
+  Array.iteri (fun i name -> Loop.add_name loop_of_slot.(i) name) slots;
+  let slot_index name =
+    let rec find i = if slots.(i) = name then i else find (i + 1) in
+    find 0
+  in
+  let peer_loop = loop_of_slot.(slot_index "peer") in
+  (* Model-core id -> loop. Cores are created in slot order (minus the
+     peer, which is not a machine core), so core id = slot index. *)
+  let core_loop core = loop_of_slot.(core) in
+  let exec =
+    Exec.native ~now
+      ~schedule:(fun ~core delay k -> Loop.schedule (core_loop core) delay k)
+      ~post:(fun ~core k -> Loop.post (core_loop core) k)
+  in
+  (* The engine exists only as the deterministic RNG root; all time and
+     scheduling go through [exec]. *)
+  let engine = Engine.create ~seed:cfg.seed () in
+  let machine = Machine.create ~exec engine in
+  Pool.set_default_threadsafe true;
+  Fun.protect ~finally:(fun () ->
+      Pool.set_default_threadsafe false;
+      Proc.set_send_overhead None)
+  @@ fun () ->
+  (match cfg.overhead with
+  | No_overhead -> Proc.set_send_overhead None
+  | Kipc_trap ->
+      (* Every channel enqueue becomes a kernel trap: a serializing
+         round trip through one global "kernel" lock. *)
+      let kernel = Mutex.create () in
+      Proc.set_send_overhead
+        (Some
+           (fun () ->
+             Mutex.lock kernel;
+             ignore (Sys.opaque_identity (ref 0));
+             Mutex.unlock kernel))
+  | Copy_per_hop ->
+      (* Zero copy disabled: two extra MSS-sized copies per message
+         (transport->IP and IP->driver), as in the cost-model ablation. *)
+      let src = Bytes.create 1460 and dst = Bytes.create 1460 in
+      Proc.set_send_overhead
+        (Some
+           (fun () ->
+             Bytes.blit src 0 dst 0 1460;
+             Bytes.blit dst 0 src 0 1460)));
+  let tcp_core = Machine.add_dedicated_core machine in
+  let ip_core = Machine.add_dedicated_core machine in
+  let pf_core = Machine.add_dedicated_core machine in
+  let drv_core = Machine.add_dedicated_core machine in
+  let sc_core = Machine.add_dedicated_core machine in
+  let app_core = Machine.add_timeshared_core machine in
+  let udp_core = Machine.add_dedicated_core machine in
+  assert (Cpu.id tcp_core = slot_index "tcp");
+  assert (Cpu.id app_core = slot_index "app");
+  let registry = Registry.create () in
+  (* Each server gets its own storage instance: state saves happen on
+     the server's domain, and nothing may share a hashtable across
+     domains. *)
+  let view name =
+    Storage.owner_view (Storage.create ()) ~owner:name
+  in
+  let mkcomp name core = Component.create machine ~name ~core () in
+  let sc_comp = mkcomp "sc" sc_core in
+  let tcp_comp = mkcomp "tcp" tcp_core in
+  let udp_comp = mkcomp "udp" udp_core in
+  let ip_comp = mkcomp "ip" ip_core in
+  let pf_comp = mkcomp "pf" pf_core in
+  let drv_comp = mkcomp "drv0" drv_core in
+  let save_ip, load_ip = view "ip" in
+  let save_pf, load_pf = view "pf" in
+  let save_tcp, load_tcp = view "tcp" in
+  let save_udp, load_udp = view "udp" in
+  let host_addr = Addr.Ipv4.v 10 0 0 1 in
+  let peer_addr = Addr.Ipv4.v 10 0 0 2 in
+  let sc_srv = Syscall_srv.create sc_comp () in
+  let tcp_srv =
+    Tcp_srv.create tcp_comp ~registry ~local_addr:host_addr ~save:save_tcp
+      ~load:load_tcp ()
+  in
+  let udp_srv =
+    Udp_srv.create udp_comp ~registry ~local_addr:host_addr ~save:save_udp
+      ~load:load_udp ()
+  in
+  let ip_srv = Ip_srv.create ip_comp ~registry ~save:save_ip ~load:load_ip () in
+  let pf_srv = Pf_srv.create pf_comp ~save:save_pf ~load:load_pf () in
+  (* Channels: real SPSC rings. *)
+  let chan_ids = ref 0 in
+  (* Stat readers, not the channels themselves: message rings and the
+     Bytes wire rings have different element types. *)
+  let ring_stats : (unit -> ring_stat) list ref = ref [] in
+  let chan ?capacity name =
+    incr chan_ids;
+    let capacity = Option.value capacity ~default:cfg.chan_capacity in
+    let c = Sim_chan.create_native ~capacity ~id:!chan_ids () in
+    ring_stats :=
+      !ring_stats
+      @ [
+          (fun () ->
+            {
+              ring = name;
+              sent = Sim_chan.sent_total c;
+              dropped = Sim_chan.dropped_total c;
+              max_occupancy = Sim_chan.max_occupancy c;
+              ring_capacity = Sim_chan.capacity c;
+            });
+        ];
+    c
+  in
+  let ch_ip_to_pf = chan "ip.to_pf" and ch_pf_to_ip = chan "pf.to_ip" in
+  Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
+  Pf_srv.connect_ip pf_srv ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
+  let ch_tcp_to_ip = chan "tcp.to_ip" and ch_ip_to_tcp = chan "ip.to_tcp" in
+  Ip_srv.connect_transport ip_srv ~proto:`Tcp ~from_transport:ch_tcp_to_ip
+    ~to_transport:ch_ip_to_tcp;
+  Tcp_srv.connect_ip tcp_srv ~to_ip:ch_tcp_to_ip ~from_ip:ch_ip_to_tcp;
+  let ch_udp_to_ip = chan "udp.to_ip" and ch_ip_to_udp = chan "ip.to_udp" in
+  Ip_srv.connect_transport ip_srv ~proto:`Udp ~from_transport:ch_udp_to_ip
+    ~to_transport:ch_ip_to_udp;
+  Udp_srv.connect_ip udp_srv ~to_ip:ch_udp_to_ip ~from_ip:ch_ip_to_udp;
+  let ch_sc_to_tcp = chan "sc.to_tcp" and ch_tcp_to_sc = chan "tcp.to_sc" in
+  Syscall_srv.connect_transport sc_srv ~transport:`Tcp
+    ~to_transport:ch_sc_to_tcp ~from_transport:ch_tcp_to_sc;
+  Tcp_srv.connect_sc tcp_srv ~from_sc:ch_sc_to_tcp ~to_sc:ch_tcp_to_sc;
+  let ch_sc_to_udp = chan "sc.to_udp" and ch_udp_to_sc = chan "udp.to_sc" in
+  Syscall_srv.connect_transport sc_srv ~transport:`Udp
+    ~to_transport:ch_sc_to_udp ~from_transport:ch_udp_to_sc;
+  Udp_srv.connect_sc udp_srv ~from_sc:ch_sc_to_udp ~to_sc:ch_udp_to_sc;
+  (* The wire: raw Ethernet frames on two more SPSC rings, driver on
+     one side, the ideal peer host on the other. *)
+  let wire_to_peer = chan ~capacity:4096 "drv0.wire_tx" in
+  let wire_to_host = chan ~capacity:4096 "drv0.wire_rx" in
+  (* {3 The native driver}
+
+     Plays E1000 + Drv_srv in one component: consumes [Drv_tx],
+     materializes frames (scatter-gather + TSO split + checksum fill,
+     the same offload engines the simulated NIC uses) and pushes them
+     onto the wire; drains the inbound wire into granted RX-pool
+     buffers and hands them up as [Rx_frame]. *)
+  let drv_proc = Component.proc drv_comp in
+  let frames_to_peer = ref 0 in
+  let frames_from_peer = ref 0 in
+  let rx_no_buffer = ref 0 in
+  let rx_alloc = ref (fun () -> None) in
+  let rx_write = ref (fun _ _ -> ()) in
+  let drv_tx_to_ip = ref None in
+  let pending_confirms = ref [] in
+  let flush_confirms () =
+    match (!pending_confirms, !drv_tx_to_ip) with
+    | [], _ | _, None -> ()
+    | [ id ], Some chan ->
+        pending_confirms := [];
+        ignore (Proc.send drv_proc chan (Msg.Drv_tx_confirm { id; ok = true }))
+    | ids, Some chan ->
+        pending_confirms := [];
+        ignore
+          (Proc.send drv_proc chan
+             (Msg.Drv_tx_confirm_batch { ids = List.rev ids; ok = true }))
+  in
+  let handle_drv_msg msg =
+    match msg with
+    | Msg.Drv_tx { id; chain; csum_offload; tso; tso_mss; queue = _ } ->
+        ( 0,
+          fun () ->
+            let frames =
+              match Registry.gather registry chain with
+              | frame ->
+                  if tso then Offload.tso_split frame ~mss:tso_mss
+                  else begin
+                    if csum_offload then
+                      ignore (Offload.finalize_l4_checksum frame);
+                    [ frame ]
+                  end
+              | exception
+                  ( Registry.Unknown_pool _
+                  | Newt_channels.Pool.Stale_pointer _ ) ->
+                  []
+            in
+            List.iter
+              (fun frame ->
+                if Sim_chan.send wire_to_peer frame then incr frames_to_peer)
+              frames;
+            pending_confirms := id :: !pending_confirms;
+            if List.length !pending_confirms >= cfg.confirm_batch then
+              flush_confirms () )
+    | _ -> (0, fun () -> ())
+  in
+  let rec arm_confirm_flush () =
+    Proc.after drv_proc (Time.of_micros 500.) ~cost:0 (fun () ->
+        flush_confirms ();
+        arm_confirm_flush ())
+  in
+  let hooks =
+    {
+      Ip_srv.drv_connect =
+        (fun ~rx_from_ip ~tx_to_ip ->
+          drv_tx_to_ip := Some tx_to_ip;
+          Component.produce drv_comp tx_to_ip;
+          Component.consume drv_comp rx_from_ip handle_drv_msg);
+      drv_grant_rx_pool =
+        (fun ~alloc ~write ->
+          rx_alloc := alloc;
+          rx_write := write);
+      drv_on_ip_crash = (fun () -> ());
+      drv_on_ip_restart = (fun () -> ());
+    }
+  in
+  let iface =
+    Ip_srv.add_iface_custom ip_srv
+      {
+        Ip_srv.addr = host_addr;
+        netmask_bits = 24;
+        mac = Addr.Mac.of_index 100;
+      }
+      ~hooks ~tx_chan:(chan "ip.to_drv0") ~rx_chan:(chan "drv0.to_ip")
+  in
+  Ip_srv.add_route ip_srv ~prefix:(Addr.Ipv4.v 10 0 0 0) ~bits:24 ~iface
+    ~gateway:None;
+  Ip_srv.add_neighbor ip_srv ~iface peer_addr (Addr.Mac.of_index 200);
+  let src_select dst =
+    match Ip_srv.src_addr_for ip_srv dst with
+    | Some a -> a
+    | None -> host_addr
+  in
+  Tcp_srv.set_src_select tcp_srv src_select;
+  Udp_srv.set_src_select udp_srv src_select;
+  Pf_srv.set_rules pf_srv [ Rule.pass_all ];
+  (* Conntrack snapshots would read the transports' tables from the
+     PF domain; natively the sweep runs with no sources instead. *)
+  Pf_srv.set_conntrack_sources pf_srv ~tcp:(fun () -> []) ~udp:(fun () -> []);
+  (* Inbound wire -> driver. *)
+  let drv_loop = loop_of_slot.(slot_index "drv0") in
+  let drain_wire_rx () =
+    let rec go () =
+      match Sim_chan.recv wire_to_host with
+      | None -> ()
+      | Some frame -> (
+          incr frames_from_peer;
+          match !rx_alloc () with
+          | None -> incr rx_no_buffer
+          | Some buf ->
+              !rx_write buf frame;
+              (match !drv_tx_to_ip with
+              | Some chan ->
+                  ignore
+                    (Proc.send drv_proc chan
+                       (Msg.Rx_frame { buf; len = Bytes.length frame }))
+              | None -> ());
+              go ())
+    in
+    go ()
+  in
+  Sim_chan.set_notify wire_to_host (doorbell drv_loop drain_wire_rx);
+  (* {3 The peer host} *)
+  let peer_rng = Rng.split (Engine.rng engine) in
+  let peer_io =
+    {
+      Sink.io_now = now;
+      io_timer = (fun delay k -> Loop.schedule peer_loop delay k);
+      io_emit = (fun frame -> ignore (Sim_chan.send wire_to_host frame));
+      io_random = (fun bound -> Rng.int peer_rng bound);
+    }
+  in
+  let peer =
+    Sink.create_io peer_io ~addr:peer_addr ~mac:(Addr.Mac.of_index 200) ()
+  in
+  let drain_wire_tx () =
+    let rec go () =
+      match Sim_chan.recv wire_to_peer with
+      | None -> ()
+      | Some frame ->
+          Sink.handle_frame peer frame;
+          go ()
+    in
+    go ()
+  in
+  Sim_chan.set_notify wire_to_peer (doorbell peer_loop drain_wire_tx);
+  (* {3 Workload: iperf-style bulk + the split-stack ping path} *)
+  let tcp_bytes = ref 0 in
+  Sink.sink_tcp peer ~port:cfg.port ~on_bytes:(fun ~at:_ n ->
+      tcp_bytes := !tcp_bytes + n);
+  let app = { Syscall_srv.app_core; app_pid = 10_000 } in
+  let iperf =
+    Apps.Iperf.start machine ~sc:sc_srv ~app ~dst:peer_addr ~port:cfg.port
+      ~write_size:cfg.write_size
+      ~until:(Time.of_seconds cfg.seconds)
+      ()
+  in
+  let ping_rtts = ref [] in
+  let ping_deadline = Time.of_seconds cfg.seconds in
+  let rec ping_loop () =
+    if now () < ping_deadline then begin
+      Sink.ping peer ~dst:host_addr (fun ~rtt ->
+          ping_rtts := rtt :: !ping_rtts);
+      let (_cancel : unit -> unit) =
+        Loop.schedule peer_loop (Time.of_seconds cfg.ping_period) ping_loop
+      in
+      ()
+    end
+  in
+  Loop.post peer_loop ping_loop;
+  Loop.post drv_loop arm_confirm_flush;
+  (* {3 Spawn, run, stop, join} *)
+  let domains_h = Array.map (fun l -> Domain.spawn (fun () -> Loop.run l)) loops in
+  Unix.sleepf cfg.seconds;
+  (* Grace: let retransmissions and final confirms drain. *)
+  Unix.sleepf 0.25;
+  Array.iter Loop.request_stop loops;
+  Array.iter Domain.join domains_h;
+  Array.iter
+    (fun l ->
+      match Loop.failure l with
+      | Some e ->
+          failwith
+            (Printf.sprintf "native domain %d died: %s" (Loop.index l)
+               (Printexc.to_string e))
+      | None -> ())
+    loops;
+  let elapsed = cfg.seconds in
+  let rtts = List.rev_map Time.to_seconds !ping_rtts in
+  let n_pings = List.length rtts in
+  let rtt_mean_us =
+    if n_pings = 0 then 0.
+    else List.fold_left ( +. ) 0. rtts /. float_of_int n_pings *. 1e6
+  in
+  let rtt_p99_us =
+    if n_pings = 0 then 0.
+    else begin
+      let sorted = List.sort compare rtts in
+      let idx = min (n_pings - 1) (n_pings * 99 / 100) in
+      List.nth sorted idx *. 1e6
+    end
+  in
+  {
+    domains_used = n_domains;
+    seconds_run = elapsed;
+    goodput_mbps = float_of_int !tcp_bytes *. 8. /. elapsed /. 1e6;
+    tcp_bytes = !tcp_bytes;
+    iperf_bytes_sent = Apps.Iperf.bytes_sent iperf;
+    frames_to_peer = !frames_to_peer;
+    frames_from_peer = !frames_from_peer;
+    rx_no_buffer = !rx_no_buffer;
+    icmp_echoes = Ip_srv.icmp_echoes_answered ip_srv;
+    ping_count = n_pings;
+    ping_rtt_us_mean = rtt_mean_us;
+    ping_rtt_us_p99 = rtt_p99_us;
+    checksum_failures = Sink.checksum_failures peer;
+    rings = List.map (fun f -> f ()) !ring_stats;
+    loops = Array.to_list (Array.map Loop.stats loops);
+  }

@@ -1,0 +1,77 @@
+(** The native runtime: the split stack on real OCaml 5 domains.
+
+    Runs the same server modules the simulator runs — SYSCALL, TCP,
+    UDP, IP, PF and a driver — as event loops pinned to domains,
+    communicating over real {!Newt_channels.Spsc_queue} rings, with
+    the spin-then-park doorbell of {!Loop} standing in for the paper's
+    MONITOR/MWAIT. The servers are byte-identical to the simulated
+    ones: only the {!Newt_sim.Exec} backend changes. *)
+
+type overhead =
+  | No_overhead
+  | Kipc_trap  (** A kernel-lock round trip per channel send. *)
+  | Copy_per_hop  (** Two MSS-sized copies per channel send. *)
+
+type config = {
+  domains : int;
+  seconds : float;
+  seed : int;
+  chan_capacity : int;
+  write_size : int;
+  spin_budget : int;
+  never_park : bool;
+  confirm_batch : int;  (** Driver TX confirms coalesced per message. *)
+  overhead : overhead;  (** Channel-cost ablation (cross-validation). *)
+  ping_period : float;  (** Seconds between ICMP echo probes. *)
+  port : int;
+}
+
+val default_config : config
+
+val validate :
+  recommended:int ->
+  ?allow_oversubscribe:bool ->
+  domains:int ->
+  unit ->
+  (unit, string) Stdlib.result
+(** Refuse configurations that would silently measure the wrong thing:
+    fewer than 2 domains, or more domains than
+    [Domain.recommended_domain_count] (pass [allow_oversubscribe] to
+    force time-slicing, e.g. for smoke tests on small machines). This
+    is the no-silent-fallback guard: the caller must error out, never
+    quietly run the simulator instead. *)
+
+type ring_stat = {
+  ring : string;
+  sent : int;
+  dropped : int;
+  max_occupancy : int;
+  ring_capacity : int;
+}
+
+type result = {
+  domains_used : int;
+  seconds_run : float;
+  goodput_mbps : float;  (** Receiver-side TCP payload rate. *)
+  tcp_bytes : int;
+  iperf_bytes_sent : int;
+  frames_to_peer : int;
+  frames_from_peer : int;
+  rx_no_buffer : int;  (** Inbound frames dropped: RX pool empty. *)
+  icmp_echoes : int;
+  ping_count : int;
+  ping_rtt_us_mean : float;
+  ping_rtt_us_p99 : float;
+  checksum_failures : int;  (** Peer-observed; must be 0. *)
+  rings : ring_stat list;
+  loops : Loop.stats list;
+}
+
+val json_of_result : result -> string
+
+val run : config -> result
+(** Wire the stack, spawn [config.domains] domains, drive an
+    iperf-style bulk TCP flow plus a periodic ICMP echo from the peer
+    for [config.seconds] of wall-clock time, then stop the domains and
+    gather counters. Raises [Failure] if any domain died. Call
+    {!validate} first. *)

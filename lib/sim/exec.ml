@@ -1,0 +1,32 @@
+type native = {
+  n_now : unit -> Time.cycles;
+  n_schedule : core:int -> Time.cycles -> (unit -> unit) -> unit -> unit;
+  n_post : core:int -> (unit -> unit) -> unit;
+}
+
+type t = Sim of Engine.t | Native of native
+
+let sim engine = Sim engine
+
+let native ~now ~schedule ~post =
+  Native { n_now = now; n_schedule = schedule; n_post = post }
+
+let is_native = function Sim _ -> false | Native _ -> true
+let now = function Sim e -> Engine.now e | Native n -> n.n_now ()
+
+let schedule t ~core delay k =
+  match t with
+  | Sim e ->
+      let h = Engine.schedule e delay k in
+      fun () -> Engine.cancel h
+  | Native n -> n.n_schedule ~core delay k
+
+let post t ~core k =
+  match t with
+  | Sim _ ->
+      (* Simulated execution is single-threaded: posting to a core is a
+         plain call, preserving the exact event ordering the
+         discrete-event tests depend on. *)
+      ignore core;
+      k ()
+  | Native n -> n.n_post ~core k

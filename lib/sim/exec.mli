@@ -1,0 +1,40 @@
+(** Execution backend: simulated or native.
+
+    Servers and the hardware model never touch {!Engine} directly for
+    time and deferred work; they go through an [Exec.t], which is either
+    the discrete-event engine (the default — bit-identical to the
+    historical behaviour) or a native backend built from real OCaml 5
+    domains by [Runtime.Native]. The native backend supplies three
+    closures; [core] is the model core id, which the native runtime maps
+    to the event loop of the domain that owns that core. *)
+
+type t
+
+val sim : Engine.t -> t
+(** The discrete-event backend. *)
+
+val native :
+  now:(unit -> Time.cycles) ->
+  schedule:(core:int -> Time.cycles -> (unit -> unit) -> unit -> unit) ->
+  post:(core:int -> (unit -> unit) -> unit) ->
+  t
+(** A native backend. [schedule ~core delay k] arms a timer on the
+    domain owning [core] and returns a cancel thunk; [post ~core k]
+    enqueues [k] on that domain's run queue (callable from any
+    domain). *)
+
+val is_native : t -> bool
+
+val now : t -> Time.cycles
+(** Simulated clock, or wall-clock cycles since the native runtime
+    started (scaled by {!Time.cycles_per_second}). *)
+
+val schedule : t -> core:int -> Time.cycles -> (unit -> unit) -> unit -> unit
+(** [schedule t ~core delay k] runs [k] after [delay] cycles on [core]'s
+    domain; returns a cancel thunk. Under {!sim}, [core] is ignored (the
+    engine is global) and cancellation maps to {!Engine.cancel}. *)
+
+val post : t -> core:int -> (unit -> unit) -> unit
+(** Run [k] on [core]'s domain as soon as possible. Under {!sim} this
+    calls [k] inline — simulated "cores" are an accounting fiction and
+    the caller already runs in the right context. *)

@@ -1,6 +1,19 @@
 module Engine = Newt_sim.Engine
+module Exec = Newt_sim.Exec
 module Time = Newt_sim.Time
 module Machine = Newt_hw.Machine
+module Cpu = Newt_hw.Cpu
+
+(* Deferred work goes through the machine's [Exec] backend, pinned to
+   the application's core, so these workloads run identically under the
+   simulator and the native runtime. *)
+let sched machine app delay k =
+  let (_cancel : unit -> unit) =
+    Exec.schedule (Machine.exec machine)
+      ~core:(Cpu.id app.Newt_stack.Syscall_srv.app_core)
+      delay k
+  in
+  ()
 module Sc = Newt_stack.Syscall_srv
 module Addr = Newt_net.Addr
 
@@ -24,8 +37,7 @@ module Iperf = struct
   let connects t = t.connects
   let errors t = t.errors
 
-  let engine t = Machine.engine t.machine
-  let now t = Engine.now (engine t)
+  let now t = Exec.now (Machine.exec t.machine)
 
   let rec session t =
     if now t < t.until && t.running then
@@ -48,7 +60,7 @@ module Iperf = struct
           | `Sent n ->
               t.bytes_sent <- t.bytes_sent + n;
               if t.pace = 0 then pump t conn
-              else ignore (Engine.schedule (engine t) t.pace (fun () -> pump t conn))
+              else sched t.machine t.app t.pace (fun () -> pump t conn)
           | `Error _ ->
               t.errors <- t.errors + 1;
               (* Connection died (e.g. a TCP server crash): iperf is
@@ -57,8 +69,7 @@ module Iperf = struct
     end
 
   and retry_later t =
-    ignore
-      (Engine.schedule (engine t) (Time.of_seconds 0.25) (fun () -> session t))
+    sched t.machine t.app (Time.of_seconds 0.25) (fun () -> session t)
 
   let start machine ~sc ~app ~dst ~port ?(write_size = 8192) ?(pace = 0) ~until () =
     let t =
@@ -130,7 +141,6 @@ module Ssh_session = struct
   let exchanges_ok t = t.exchanges_ok
   let broken t = t.broken
   let connected t = t.connected
-  let engine t = Machine.engine t.machine
 
   let rec exchange t conn =
     if not t.broken then begin
@@ -146,9 +156,8 @@ module Ssh_session = struct
                   match recv_result with
                   | `Data _ ->
                       t.exchanges_ok <- t.exchanges_ok + 1;
-                      ignore
-                        (Engine.schedule (engine t) t.period (fun () ->
-                             exchange t conn))
+                      sched t.machine t.app t.period (fun () ->
+                          exchange t conn)
                   | `Timeout | `Eof | `Error _ ->
                       t.broken <- true;
                       t.connected <- false))
@@ -203,7 +212,6 @@ module Dns_client = struct
   let consecutive_failures t = t.consecutive_failures
   let max_consecutive_failures t = t.max_consecutive_failures
   let socket_reopens t = t.socket_reopens
-  let engine t = Machine.engine t.machine
 
   let rec query_loop t sc app dst port conn =
     t.queries <- t.queries + 1;
@@ -252,9 +260,8 @@ module Dns_client = struct
             await 8)
 
   and schedule_next t sc app dst port conn =
-    ignore
-      (Engine.schedule (engine t) t.period (fun () ->
-           query_loop t sc app dst port conn))
+    sched t.machine app t.period (fun () ->
+        query_loop t sc app dst port conn)
 
   let start machine ~sc ~app ~dst ?(port = 53) ?period ?timeout () =
     let period = match period with Some p -> p | None -> Time.of_seconds 0.25 in

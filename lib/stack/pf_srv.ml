@@ -21,7 +21,7 @@ type t = {
   mutable expired : int;
 }
 
-let now t = Engine.now (Machine.engine (Component.machine t.comp))
+let now t = Newt_sim.Exec.now (Machine.exec (Component.machine t.comp))
 
 let comp t = t.comp
 let proc t = t.proc

@@ -1,4 +1,5 @@
 module Engine = Newt_sim.Engine
+module Exec = Newt_sim.Exec
 module Time = Newt_sim.Time
 module Stats = Newt_sim.Stats
 module Trace = Newt_sim.Trace
@@ -26,6 +27,9 @@ type t = {
   mutable version : int;
   mutable on_crash : unit -> unit;
   mutable on_restart : fresh:bool -> unit;
+  wake_posted : bool Atomic.t;
+      (* Native mode: a wake has been posted to the owning domain and
+         not yet consumed — dedupes producer-side doorbells. *)
 }
 
 let next_pid = ref 100
@@ -49,6 +53,7 @@ let create machine ~name ~core ?trace () =
     version = 1;
     on_crash = (fun () -> ());
     on_restart = (fun ~fresh:_ -> ());
+    wake_posted = Atomic.make false;
   }
 
 let name t = t.name
@@ -62,8 +67,17 @@ let responsive t = t.alive && not t.hung
 let record t msg =
   match t.trace with
   | Some tr ->
-      Trace.record tr ~at:(Engine.now (Machine.engine t.machine)) ~subsystem:t.name msg
+      Trace.record tr
+        ~at:(Exec.now (Machine.exec t.machine))
+        ~subsystem:t.name msg
   | None -> ()
+
+(* The verification hooks mutate listener-chain globals and are only
+   installed by the single-threaded simulator harnesses; skip the
+   bracketing entirely when no listener is registered so native domains
+   never touch the shared state. *)
+let with_actor ~epoch name k =
+  if Hook.enabled () then Hook.with_actor ~epoch name k else k ()
 
 (* All work a server runs is bracketed with its identity, so pool and
    channel operations it performs are attributed to it by the
@@ -72,17 +86,20 @@ let guard t k =
   let inc = t.incarnation in
   fun () ->
     if t.alive && (not t.hung) && t.incarnation = inc then
-      Hook.with_actor ~epoch:inc t.name k
+      with_actor ~epoch:inc t.name k
 
 let exec t ~cost k =
   if t.alive && not t.hung then Cpu.exec t.core ~proc:t.pid ~cost (guard t k)
 
 let after t delay ~cost k =
   let inc = t.incarnation in
-  ignore
-    (Engine.schedule (Machine.engine t.machine) delay (fun () ->
-         if t.alive && (not t.hung) && t.incarnation = inc then
-           Cpu.exec t.core ~proc:t.pid ~cost (guard t k)))
+  let (_cancel : unit -> unit) =
+    Exec.schedule (Machine.exec t.machine) ~core:(Cpu.id t.core) delay
+      (fun () ->
+        if t.alive && (not t.hung) && t.incarnation = inc then
+          Cpu.exec t.core ~proc:t.pid ~cost (guard t k))
+  in
+  ()
 
 let emit_transfers chan msg mk =
   if Hook.enabled () then
@@ -135,14 +152,14 @@ let rec drain t =
               emit_protocol chan msg `Received);
         let costs = Machine.costs t.machine in
         let work_cost, effect =
-          Hook.with_actor ~epoch:t.incarnation t.name (fun () -> handler msg)
+          with_actor ~epoch:t.incarnation t.name (fun () -> handler msg)
         in
         Cpu.exec t.core ~proc:t.pid
           ~cost:(recv_cost costs + work_cost)
           (let inc = t.incarnation in
            fun () ->
              if t.alive && (not t.hung) && t.incarnation = inc then begin
-               Hook.with_actor ~epoch:inc t.name effect;
+               with_actor ~epoch:inc t.name effect;
                drain t
              end)
   end
@@ -154,20 +171,44 @@ let wake t =
     drain t
   end
 
+(* Producer-side doorbell: under native execution the channel's notify
+   hook fires on the *sender's* domain, so instead of draining there we
+   post a deduplicated wake to the domain that owns this server's core.
+   Clearing [wake_posted] before draining keeps the classic
+   check-then-sleep race closed: a push that lands mid-drain posts a
+   fresh wake. *)
+let notify t =
+  let exec = Machine.exec t.machine in
+  if Exec.is_native exec then begin
+    if not (Atomic.exchange t.wake_posted true) then
+      Exec.post exec ~core:(Cpu.id t.core) (fun () ->
+          Atomic.set t.wake_posted false;
+          wake t)
+  end
+  else wake t
+
 let add_rx t chan handler =
   (match List.assq_opt chan t.rx with
   | Some href -> href := handler
   | None ->
       t.rx <- t.rx @ [ (chan, ref handler) ];
-      Sim_chan.set_notify chan (fun () -> wake t));
-  if not (Sim_chan.is_empty chan) then wake t
+      Sim_chan.set_notify chan (fun () -> notify t));
+  if not (Sim_chan.is_empty chan) then notify t
 
 (* The handoff is announced before [Sim_chan.send]: enqueueing can wake
    the consumer synchronously, so its [Chan_receive] events would
    otherwise precede our [Chan_handoff] and confuse in-flight
    accounting.  A refused send retracts the announcement with
    [Chan_dropped]. *)
+(* Native-ablation hook: extra per-send work modelling a design the
+   cost model also ablates (a kernel trap per message, a payload copy
+   per hop). Set once before the domains spawn; None in every simulated
+   run. *)
+let send_overhead : (unit -> unit) option ref = ref None
+let set_send_overhead f = send_overhead := f
+
 let send t chan msg =
+  (match !send_overhead with Some f -> f () | None -> ());
   Stats.incr t.stats ("tx." ^ Msg.describe msg);
   emit_transfers chan msg (fun ~chan ~ptr -> Hook.Chan_handoff { chan; ptr });
   emit_protocol chan msg `Sent;
@@ -189,7 +230,7 @@ let crash t =
     t.hung <- false;
     t.updating <- false;
     t.draining <- false;
-    Hook.with_actor ~epoch:t.incarnation t.name t.on_crash
+    with_actor ~epoch:t.incarnation t.name t.on_crash
   end
 
 let hang t =
@@ -206,11 +247,12 @@ let restart t =
   t.hung <- false;
   t.updating <- false;
   t.draining <- false;
-  Hook.with_actor ~epoch:t.incarnation t.name (fun () -> t.on_restart ~fresh:false);
+  with_actor ~epoch:t.incarnation t.name (fun () ->
+      t.on_restart ~fresh:false);
   wake t
 
 let start_fresh t =
-  Hook.with_actor ~epoch:t.incarnation t.name (fun () -> t.on_restart ~fresh:true);
+  with_actor ~epoch:t.incarnation t.name (fun () -> t.on_restart ~fresh:true);
   wake t
 
 (* A restart procedure gone wrong can revive the server on another

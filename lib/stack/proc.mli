@@ -63,6 +63,13 @@ val after : t -> Newt_sim.Time.cycles -> cost:Newt_sim.Time.cycles -> (unit -> u
 val wake : t -> unit
 (** Force a drain pass (used after restarts). *)
 
+val set_send_overhead : (unit -> unit) option -> unit
+(** Process-wide extra work charged on every {!send} — the native
+    cross-validation harness uses it to re-create the cost model's
+    channel ablations (kernel trap per message, copy per hop) on real
+    domains. Set before spawning domains; [None] (the default) in all
+    simulated runs. *)
+
 (** {1 Failure injection and recovery} *)
 
 val alive : t -> bool

@@ -11,10 +11,19 @@ module Udp = Newt_net.Udp
 module Tcp = Newt_net.Tcp
 module Tcp_wire = Newt_net.Tcp_wire
 
+(* The sink's only contact with the outside world: a clock, a timer, a
+   frame transmitter and a random stream. The simulator builds one from
+   its engine and a {!Link}; the native runtime builds one from
+   wall-clock time and an SPSC wire ring. *)
+type io = {
+  io_now : unit -> Time.cycles;
+  io_timer : Time.cycles -> (unit -> unit) -> unit -> unit;
+  io_emit : Bytes.t -> unit;
+  io_random : int -> int;
+}
+
 type t = {
-  engine : Engine.t;
-  link : Link.t;
-  side : Link.side;
+  io : io;
   addr : Addr.Ipv4.t;
   mac : Addr.Mac.t;
   arp : Arp.Cache.t;
@@ -28,7 +37,6 @@ type t = {
   mutable next_ping : int;
   pings : (int, int * (rtt:Time.cycles -> unit)) Hashtbl.t;
       (* seq -> (sent-at, callback) *)
-  rng : Rng.t;
 }
 
 let addr t = t.addr
@@ -41,7 +49,7 @@ let send_frame t ~dst_mac ~payload ~ethertype =
   let frame =
     Ethernet.frame { Ethernet.dst = dst_mac; src = t.mac; ethertype } ~payload
   in
-  ignore (Link.transmit t.link ~from:t.side frame)
+  t.io.io_emit frame
 
 let send_ip t ~dst ~proto ~payload =
   t.ident <- (t.ident + 1) land 0xffff;
@@ -68,16 +76,13 @@ let send_ip t ~dst ~proto ~payload =
 let make_tcp t tcp_config =
   Tcp.create ~config:tcp_config
     {
-      Tcp.now = (fun () -> Engine.now t.engine);
-      set_timer =
-        (fun delay f ->
-          let h = Engine.schedule t.engine delay f in
-          fun () -> Engine.cancel h);
+      Tcp.now = t.io.io_now;
+      set_timer = (fun delay f -> t.io.io_timer delay f);
       emit =
         (fun ~src:_ ~dst hdr ~payload ->
           let seg = Tcp_wire.encode ~src:t.addr ~dst hdr ~payload in
           send_ip t ~dst ~proto:Ipv4.Tcp ~payload:seg);
-      random = (fun bound -> Rng.int t.rng bound);
+      random = t.io.io_random;
     }
 
 let handle_ipv4 t pkt =
@@ -117,7 +122,7 @@ let handle_ipv4 t pkt =
                     match Hashtbl.find_opt t.pings seq with
                     | Some (sent_at, k) ->
                         Hashtbl.remove t.pings seq;
-                        k ~rtt:(Engine.now t.engine - sent_at)
+                        k ~rtt:(t.io.io_now () - sent_at)
                     | None -> ())
                 | Icmp.Echo_request _ | Icmp.Dest_unreachable _ -> (
                     match Icmp.reply_to msg with
@@ -146,7 +151,7 @@ let handle_frame t frame =
       | Ethernet.Ipv4, Some payload -> handle_ipv4 t payload
       | (Ethernet.Unknown _ | Ethernet.Arp | Ethernet.Ipv4), _ -> ())
 
-let create engine ~link ~side ~addr ~mac ?tcp_config () =
+let create_io io ~addr ~mac ?tcp_config () =
   let tcp_config =
     match tcp_config with
     | Some c -> c
@@ -154,9 +159,7 @@ let create engine ~link ~side ~addr ~mac ?tcp_config () =
   in
   let t =
     {
-      engine;
-      link;
-      side;
+      io;
       addr;
       mac;
       arp = Arp.Cache.create ~my_mac:mac ~my_ip:addr ();
@@ -168,10 +171,25 @@ let create engine ~link ~side ~addr ~mac ?tcp_config () =
       tcp_bytes = 0;
       frames = 0;
       csum_failures = 0;
-      rng = Rng.split (Engine.rng engine);
     }
   in
   t.tcp <- make_tcp t tcp_config;
+  t
+
+let create engine ~link ~side ~addr ~mac ?tcp_config () =
+  let rng = Rng.split (Engine.rng engine) in
+  let io =
+    {
+      io_now = (fun () -> Engine.now engine);
+      io_timer =
+        (fun delay f ->
+          let h = Engine.schedule engine delay f in
+          fun () -> Engine.cancel h);
+      io_emit = (fun frame -> ignore (Link.transmit link ~from:side frame));
+      io_random = (fun bound -> Rng.int rng bound);
+    }
+  in
+  let t = create_io io ~addr ~mac ?tcp_config () in
   Link.attach link side (fun frame -> handle_frame t frame);
   t
 
@@ -184,7 +202,7 @@ let sink_tcp t ~port ~on_bytes =
               let n = Bytes.length data in
               if n > 0 then begin
                 t.tcp_bytes <- t.tcp_bytes + n;
-                on_bytes ~at:(Engine.now t.engine) n
+                on_bytes ~at:(t.io.io_now ()) n
               end;
               if Tcp.recv_eof pcb then Tcp.close pcb
           | Tcp.Connected | Tcp.Accepted | Tcp.Writable | Tcp.Closed_normally
@@ -229,7 +247,7 @@ let connect t ~dst ~dst_port = Tcp.connect t.tcp ~src:t.addr ~dst ~dst_port ()
 let ping t ~dst k =
   t.next_ping <- t.next_ping + 1;
   let seq = t.next_ping land 0xffff in
-  Hashtbl.replace t.pings seq (Engine.now t.engine, k);
+  Hashtbl.replace t.pings seq (t.io.io_now (), k);
   send_ip t ~dst ~proto:Ipv4.Icmp
     ~payload:
       (Icmp.encode (Icmp.Echo_request { ident = 1; seq; data = Bytes.create 56 }))

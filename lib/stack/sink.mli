@@ -10,6 +10,29 @@
 
 type t
 
+type io = {
+  io_now : unit -> Newt_sim.Time.cycles;
+  io_timer : Newt_sim.Time.cycles -> (unit -> unit) -> unit -> unit;
+  io_emit : Bytes.t -> unit;
+  io_random : int -> int;
+}
+(** The sink's contact with the world: clock, cancellable timer, frame
+    transmitter, random stream. *)
+
+val create_io :
+  io ->
+  addr:Newt_net.Addr.Ipv4.t ->
+  mac:Newt_net.Addr.Mac.t ->
+  ?tcp_config:Newt_net.Tcp.config ->
+  unit ->
+  t
+(** A sink over an arbitrary [io] backend — the native runtime's peer
+    host, fed by {!handle_frame}. *)
+
+val handle_frame : t -> Bytes.t -> unit
+(** Process one raw Ethernet frame (the RX path of {!create_io};
+    {!create} wires this to the link automatically). *)
+
 val create :
   Newt_sim.Engine.t ->
   link:Newt_nic.Link.t ->

@@ -1,4 +1,5 @@
 module Engine = Newt_sim.Engine
+module Exec = Newt_sim.Exec
 module Stats = Newt_sim.Stats
 module Rng = Newt_sim.Rng
 module Machine = Newt_hw.Machine
@@ -83,7 +84,6 @@ let total_bytes_out t =
 
 let free_chain t chain = List.iter (fun p -> try Pool.free t.pool p with Pool.Stale_pointer _ -> ()) chain
 
-let sim_engine t = Machine.engine (Component.machine t.comp)
 
 (* {2 Outgoing segments: the zero-copy handoff to IP} *)
 
@@ -159,15 +159,17 @@ let make_engine t =
   let inc_at_create = Proc.incarnation t.proc in
   Tcp.create ~config:t.tcp_config
     {
-      Tcp.now = (fun () -> Engine.now (sim_engine t));
+      Tcp.now =
+        (fun () -> Exec.now (Machine.exec (Component.machine t.comp)));
       set_timer =
         (fun delay f ->
-          let h =
-            Engine.schedule (sim_engine t) delay (fun () ->
-                if Proc.alive t.proc && Proc.incarnation t.proc = inc_at_create then
-                  Proc.exec t.proc ~cost:200 f)
-          in
-          fun () -> Engine.cancel h);
+          Exec.schedule
+            (Machine.exec (Component.machine t.comp))
+            ~core:(Newt_hw.Cpu.id (Proc.core t.proc))
+            delay
+            (fun () ->
+              if Proc.alive t.proc && Proc.incarnation t.proc = inc_at_create
+              then Proc.exec t.proc ~cost:200 f));
       emit =
         (fun ~src ~dst hdr ~payload ->
           if Proc.incarnation t.proc = inc_at_create then

@@ -200,10 +200,11 @@ type conv = {
   mutable db : int;
   mutable req_flight : int;
   mutable conf_flight : int;
+  mutable queued : bool;  (* sitting in the retirement queue *)
 }
 
 let convs : (int, conv) Hashtbl.t = Hashtbl.create 4096
-let by_db : (int, int list ref) Hashtbl.t = Hashtbl.create 64
+let by_db : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64
 let counters : (string, int) Hashtbl.t = Hashtbl.create 32
 let viols : Report.violation list ref = ref []
 let events = ref 0
@@ -262,12 +263,63 @@ let trace () =
       | None -> "")
   |> List.filter (fun s -> s <> "")
 
+(* {2 Conversation retirement}
+
+   Request ids are unique for the process lifetime, so without pruning
+   the conversation table grows with every request ever made — a
+   checker meant to run continuously would leak. A conversation that
+   reached a terminal state (confirmed, aborted, dead) with no message
+   in flight can no longer transition: the only events that may still
+   mention its id are stale confirms, which the grace window absorbs.
+   After [retire_grace] further events it is dropped wholesale. A
+   straggler arriving later recreates the id as "fresh", so the grace
+   must cover the longest legitimate confirm latency (in events); the
+   default is generous and settable for tests. *)
+
+let retire_grace = ref 4096
+let set_retire_grace n = retire_grace := max 1 n
+let retire_q : (int * int) Queue.t = Queue.create ()
+
+let terminal = function
+  | "confirmed" | "aborted" | "dead" -> true
+  | _ -> false
+
+let retire_due () =
+  let horizon = !events - !retire_grace in
+  let rec go () =
+    match Queue.peek_opt retire_q with
+    | Some (id, at) when at <= horizon -> (
+        ignore (Queue.pop retire_q);
+        match Hashtbl.find_opt convs id with
+        | Some c when terminal c.state && c.req_flight + c.conf_flight = 0 ->
+            Hashtbl.remove convs id;
+            Hashtbl.replace counters "retired"
+              (1
+              + match Hashtbl.find_opt counters "retired" with
+                | Some n -> n
+                | None -> 0);
+            (match Hashtbl.find_opt by_db c.db with
+            | Some ids ->
+                Hashtbl.remove ids id;
+                if Hashtbl.length ids = 0 then Hashtbl.remove by_db c.db
+            | None -> ());
+            go ()
+        | Some c ->
+            (* Not retirable after all — let a later event re-queue it. *)
+            c.queued <- false;
+            go ()
+        | None -> go ())
+    | _ -> ()
+  in
+  go ()
+
 let clear () =
   Hashtbl.reset convs;
   Hashtbl.reset by_db;
   Hashtbl.reset counters;
   viols := [];
   events := 0;
+  Queue.clear retire_q;
   Array.fill ring 0 ring_size None;
   ring_next := 0
 
@@ -285,7 +337,15 @@ let conv_of id =
   match Hashtbl.find_opt convs id with
   | Some c -> c
   | None ->
-      let c = { state = "fresh"; db = -1; req_flight = 0; conf_flight = 0 } in
+      let c =
+        {
+          state = "fresh";
+          db = -1;
+          req_flight = 0;
+          conf_flight = 0;
+          queued = false;
+        }
+      in
       Hashtbl.add convs id c;
       c
 
@@ -319,14 +379,23 @@ let apply ~actor ~id atom =
           | Flight_up `Conf -> c.conf_flight <- c.conf_flight + 1
           | Flight_down `Req -> c.req_flight <- max 0 (c.req_flight - 1)
           | Flight_down `Conf -> c.conf_flight <- max 0 (c.conf_flight - 1))
-        r.act
+        r.act;
+      if terminal c.state && c.req_flight + c.conf_flight = 0 && not c.queued
+      then begin
+        c.queued <- true;
+        Queue.push (id, !events) retire_q
+      end
 
 let index_db ~db id =
   match Hashtbl.find_opt by_db db with
-  | Some ids -> ids := id :: !ids
-  | None -> Hashtbl.add by_db db (ref [ id ])
+  | Some ids -> Hashtbl.replace ids id ()
+  | None ->
+      let ids = Hashtbl.create 64 in
+      Hashtbl.replace ids id ();
+      Hashtbl.add by_db db ids
 
 let on_event ~actor ev =
+  retire_due ();
   match ev with
   | Hook.Req_submit { db; id; _ } ->
       incr events;
@@ -346,7 +415,8 @@ let on_event ~actor ev =
       incr events;
       remember ~actor ev;
       (match Hashtbl.find_opt by_db db with
-      | Some ids -> List.iter (fun id -> apply ~actor ~id Owner_died) !ids
+      | Some ids ->
+          Hashtbl.iter (fun id () -> apply ~actor ~id Owner_died) ids
       | None -> ())
   | Hook.Msg_req { id; way; _ } ->
       incr events;
@@ -424,6 +494,7 @@ let report ?(title = "dynamic channel protocol") () =
         ("conf-msgs", count "conf-msgs");
         ("req-drops", count "req-drops");
         ("conf-drops", count "conf-drops");
+        ("retired", count "retired");
       ];
     violations = violations ();
   }

@@ -103,10 +103,19 @@ val counts : unit -> (string * int) list
 val count : string -> int
 (** One counter (0 if never bumped): ["requests"], ["confirms"],
     ["aborts"], ["owner-deaths"], ["stale-confirms"], ["req-msgs"],
-    ["conf-msgs"], ["req-drops"], ["conf-drops"]. *)
+    ["conf-msgs"], ["req-drops"], ["conf-drops"], ["retired"]. *)
 
 val conversations : unit -> int
-(** Distinct request ids observed since the last {!reset}. *)
+(** Conversations currently tracked. Terminal conversations (confirmed,
+    aborted, dead) with no message in flight are retired after a grace
+    window, so this stays bounded by the number of {e open} obligations
+    plus the window — a continuously-running checker does not leak. *)
+
+val set_retire_grace : int -> unit
+(** Events a terminal conversation lingers before retirement (default
+    4096). The window must cover the longest legitimate stale-confirm
+    latency: a straggler for a retired id is re-seen as a fresh
+    conversation and would be flagged. *)
 
 val event_count : unit -> int
 (** Protocol hook events replayed. *)

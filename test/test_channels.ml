@@ -9,6 +9,62 @@ module Pubsub = Newt_channels.Pubsub
 module Sim_chan = Newt_channels.Sim_chan
 module Hook = Newt_channels.Hook
 
+(* The SPSC queue's whole reason to exist is lock-free use from two
+   real domains. Push a long numbered sequence from one domain, pop it
+   from another with randomized pacing on both sides, and require exact
+   in-order delivery: any lost, duplicated or reordered message shows
+   up as a sequence break. Capacity is small so the ring wraps
+   thousands of times; backoff falls through to a real sleep so the
+   test also passes on a single-core machine where both domains
+   time-share. *)
+let test_spsc_cross_domain_stress () =
+  let n = 1_000_000 in
+  let q = Spsc.create ~capacity:1024 in
+  let backoff tries = if tries < 200 then Domain.cpu_relax () else Unix.sleepf 5e-5 in
+  let producer () =
+    let rng = Random.State.make [| 7 |] in
+    let i = ref 0 in
+    let tries = ref 0 in
+    while !i < n do
+      if Spsc.try_push q !i then begin
+        incr i;
+        tries := 0;
+        (* Random pauses vary the producer/consumer phase alignment. *)
+        if Random.State.int rng 4096 = 0 then Unix.sleepf 5e-5
+      end
+      else begin
+        incr tries;
+        backoff !tries
+      end
+    done
+  in
+  let consumer () =
+    let rng = Random.State.make [| 11 |] in
+    let expected = ref 0 in
+    let bad = ref None in
+    let tries = ref 0 in
+    while !expected < n && !bad = None do
+      match Spsc.try_pop q with
+      | Some v ->
+          if v <> !expected then bad := Some (v, !expected) else incr expected;
+          tries := 0;
+          if Random.State.int rng 4096 = 0 then Unix.sleepf 5e-5
+      | None ->
+          incr tries;
+          backoff !tries
+    done;
+    (!expected, !bad)
+  in
+  let cons = Domain.spawn consumer in
+  producer ();
+  let got, bad = Domain.join cons in
+  (match bad with
+  | Some (v, e) ->
+      Alcotest.failf "sequence broken: got %d where %d was expected" v e
+  | None -> ());
+  Alcotest.(check int) "every message delivered exactly once, in order" n got;
+  Alcotest.(check bool) "queue drained" true (Spsc.is_empty q)
+
 let test_spsc_basic () =
   let q = Spsc.create ~capacity:4 in
   Alcotest.(check bool) "empty" true (Spsc.is_empty q);
@@ -556,6 +612,8 @@ let suite =
     ("spsc index wraparound", `Quick, test_spsc_wraparound);
     ("spsc cross-domain transfer", `Quick, test_spsc_cross_domain);
     ("spsc cross-domain FIFO order", `Quick, test_spsc_ordering_cross_domain);
+    ("spsc cross-domain randomized stress (1M msgs)", `Slow,
+      test_spsc_cross_domain_stress);
     ("pool alloc/write/read/free", `Quick, test_pool_alloc_free);
     ("pool stale pointers detected", `Quick, test_pool_stale_detection);
     ("pool double free vs stale free", `Quick, test_pool_double_free_vs_stale);

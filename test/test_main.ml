@@ -12,5 +12,6 @@ let () =
       ("reliability", Test_reliability.suite);
       ("scale", Test_scale.suite);
       ("verify", Test_verify.suite);
+      ("runtime", Test_runtime.suite);
       ("integration", Test_integration.suite);
     ]

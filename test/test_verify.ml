@@ -546,6 +546,63 @@ let test_protocol_finish_closes_obligations () =
       Alcotest.(check int) "undelivered hand-off flagged" 1
         (List.length (find_check (Protocol.report ()) "undelivered-handoff")))
 
+let test_protocol_retirement_keeps_table_flat () =
+  (* A continuously-running checker must not leak: 100k complete
+     request/confirm cycles, table size stays bounded by the grace
+     window instead of growing to 100k conversations. *)
+  with_protocol (fun () ->
+      Protocol.set_retire_grace 256;
+      Fun.protect ~finally:(fun () -> Protocol.set_retire_grace 4096)
+      @@ fun () ->
+      let high_water = ref 0 in
+      for id = 1 to 100_000 do
+        Hook.emit (Hook.Req_submit { db = 1; id; peer = 2 });
+        Hook.emit (Hook.Msg_req { chan = 10; id; way = `Sent });
+        Hook.emit (Hook.Msg_req { chan = 10; id; way = `Received });
+        Hook.emit (Hook.Msg_conf { chan = 11; id; way = `Sent });
+        Hook.emit (Hook.Msg_conf { chan = 11; id; way = `Received });
+        Hook.emit (Hook.Req_confirm { db = 1; id; known = true });
+        high_water := max !high_water (Protocol.conversations ())
+      done;
+      (* Six events per cycle: a confirmed conversation lives at most
+         ~grace/6 further cycles before retirement. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "table stays flat (high water %d)" !high_water)
+        true
+        (!high_water <= 256 + 8);
+      Alcotest.(check int) "every request opened" 100_000
+        (Protocol.count "requests");
+      Alcotest.(check int) "every request confirmed" 100_000
+        (Protocol.count "confirms");
+      Alcotest.(check bool) "almost all conversations retired" true
+        (Protocol.count "retired" > 99_000);
+      Protocol.finish ~drained:true ();
+      let r = Protocol.report () in
+      Alcotest.(check bool) (Report.to_string r) true (Report.ok r))
+
+let test_protocol_retirement_spares_open_obligations () =
+  (* Only terminal conversations retire: an obligation still open after
+     any amount of churn must survive, and its late confirm must pair
+     up cleanly instead of being flagged as unpaired. *)
+  with_protocol (fun () ->
+      Protocol.set_retire_grace 16;
+      Fun.protect ~finally:(fun () -> Protocol.set_retire_grace 4096)
+      @@ fun () ->
+      let slow = 950_000 in
+      Hook.emit (Hook.Req_submit { db = 7; id = slow; peer = 2 });
+      for id = 950_001 to 950_200 do
+        Hook.emit (Hook.Req_submit { db = 7; id; peer = 2 });
+        Hook.emit (Hook.Req_confirm { db = 7; id; known = true })
+      done;
+      Alcotest.(check bool) "churned conversations retired" true
+        (Protocol.conversations () < 50);
+      Hook.emit (Hook.Req_confirm { db = 7; id = slow; known = true });
+      Protocol.finish ~drained:true ();
+      let r = Protocol.report () in
+      Alcotest.(check bool) (Report.to_string r) true (Report.ok r);
+      Alcotest.(check int) "all confirms paired" 201
+        (Protocol.count "confirms"))
+
 let test_protocol_rule_listing () =
   let lines = Protocol.describe_rules () in
   Alcotest.(check int) "one line per contract rule"
@@ -689,6 +746,10 @@ let suite =
       test_protocol_finish_closes_obligations);
     ("protocol: rule listing matches the contract", `Quick,
       test_protocol_rule_listing);
+    ("protocol: retirement keeps the table flat over 100k cycles", `Quick,
+      test_protocol_retirement_keeps_table_flat);
+    ("protocol: retirement spares open obligations", `Quick,
+      test_protocol_retirement_spares_open_obligations);
     ("mcheck: search, counterexamples, report", `Quick,
       test_mcheck_search_and_counterexamples);
     ("mcheck: budget skips, never drops", `Quick,
