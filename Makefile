@@ -28,7 +28,8 @@ verify-protocol: build
 	dune exec bin/newtos_sim.exe -- verify --protocol
 
 # Recovery model checking: exhaustively crash every component right
-# after every labeled recovery step (split stack and sharded N=2 r=2),
+# after every labeled recovery step (split stack and sharded N=2 r=2
+# pf=2, PF shards included),
 # re-crashing during recovery, and require convergence plus clean
 # continuous/protocol checkers at every crash point. The wall-clock
 # budget (CPU seconds per configuration) keeps CI bounded; skipped
@@ -37,14 +38,20 @@ MCHECK_BUDGET ?= 240
 model-check: build
 	dune exec bin/newtos_sim.exe -- mcheck --json --budget $(MCHECK_BUDGET)
 
-# The negative control: a sabotaged recovery (restarted IP server on
-# the wrong core) must produce counterexamples — exit 1 and at least
-# one crash point carrying a non-empty protocol event trace.
+# The negative controls: a sabotaged recovery must produce
+# counterexamples — exit 1 and at least one crash point carrying a
+# non-empty protocol event trace. Split stack (restarted IP server on
+# the wrong core) and sharded stack (restarted PF shard on the wrong
+# core).
 model-check-negative: build
 	! dune exec bin/newtos_sim.exe -- mcheck --config split \
 	    --break-recovery ip:wrong-core --json > _mcheck_negative.json
 	grep -q '"trace":\["' _mcheck_negative.json
 	rm -f _mcheck_negative.json
+	! dune exec bin/newtos_sim.exe -- mcheck --config sharded \
+	    --break-recovery pf:wrong-core --json > _mcheck_negative_pf.json
+	grep -q '"converged":false' _mcheck_negative_pf.json
+	rm -f _mcheck_negative_pf.json
 
 # Continuous verification: a sanitized fault campaign that re-runs the
 # static checker against the live topology after every reincarnation
@@ -59,11 +66,15 @@ sanitize-smoke: build
 
 # One fast scaling iteration (single point, short duration): catches a
 # wiring regression in the sharded/replicated stack without the cost of
-# the full curve. Also asserts the verifier counter block is present in
-# the machine-readable campaign output.
+# the full curve — one point with the sharded packet filter on the path
+# (pf_shards=2). Also asserts the verifier counter block and the
+# per-PF-shard counter block are present in the machine-readable
+# campaign output.
 bench-smoke: build
 	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --flows 2 --duration 0.05
+	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --pf-shards 2 --flows 2 --duration 0.05
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --sanitize --verify-continuous --json | grep -q '"counters"'
+	dune exec bin/newtos_sim.exe -- campaign --runs 2 --pf-shards 2 --json | grep -q '"pf_shards":\[{"shard":0,'
 	dune exec bench/main.exe -- micro-spsc | grep -q '"spsc_cross_domain"'
 
 # A bounded run of the native runtime: the component servers on two

@@ -484,19 +484,30 @@ let print_scaling () =
   let r = E.scaling_curve ~verify () in
   Printf.printf "single-instance Table II ceiling: %.2f Gbps\n"
     r.E.single_instance_gbps;
-  List.iter
-    (fun (p : E.scaling_point) ->
-      Printf.printf
-        "  %d shard(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; \
-         affinity violations %d\n"
-        p.E.shards p.E.goodput_gbps
-        (p.E.goodput_gbps /. r.E.single_instance_gbps)
-        p.E.imbalance p.E.violations)
-    r.E.points;
+  let print_point (p : E.scaling_point) =
+    Printf.printf
+      "  %d shard(s), %d IP, %d PF: %6.2f Gbps aggregate (%.2fx ceiling); \
+       imbalance %.2f; affinity violations %d\n"
+      p.E.shards p.E.ip_replicas p.E.pf_shards p.E.goodput_gbps
+      (p.E.goodput_gbps /. r.E.single_instance_gbps)
+      p.E.imbalance p.E.violations;
+    Array.iter
+      (fun (s : Newt_scale.Sharded_stack.pf_shard_stats) ->
+        Printf.printf "      pf shard %d: %d verdicts, %d tracked, %d expired\n"
+          s.Newt_scale.Sharded_stack.pf_shard s.verdicts s.entries s.expired)
+      p.E.per_pf_shard
+  in
+  List.iter print_point r.E.points;
+  (* The PF-sharded extension: the filter on the path, conntrack
+     partitioned two ways by the same flow hash. *)
+  let rpf =
+    E.scaling_curve ~shard_counts:[ 8 ] ~ip_replicas:2 ~pf_shards:2 ~verify ()
+  in
+  List.iter print_point rpf.E.points;
   print_endline
     "(one Shard_map drives NIC RSS, IP fan-out and SYSCALL routing; every flow";
   print_endline
-    " stays on one TCP shard, so the instances scale without sharing state)";
+    " stays on one TCP shard — and meets one PF conntrack partition)";
   print_newline ()
 
 let () =

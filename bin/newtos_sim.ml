@@ -123,6 +123,17 @@ let campaign_json runs (c : E.campaign) verify =
        "\"consequences\":{\"fully_transparent\":%d,\"reachable\":%d,\"manually_fixed\":%d,\"broke_tcp\":%d,\"transparent_udp\":%d,\"reboots\":%d}"
        c.E.fully_transparent c.E.reachable c.E.manually_fixed c.E.broke_tcp
        c.E.transparent_udp c.E.reboots);
+  Buffer.add_string b
+    (Printf.sprintf ",\"pf_shards\":[%s]"
+       (String.concat ","
+          (Array.to_list
+             (Array.map
+                (fun (p : E.pf_shard_totals) ->
+                  Printf.sprintf
+                    "{\"shard\":%d,\"verdicts\":%d,\"blocked\":%d,\"expired\":%d}"
+                    p.E.pf_shard p.E.verdicts p.E.blocked_packets
+                    p.E.conntrack_expired)
+                c.E.pf_counters))));
   (match verify with
   | Some v ->
       Buffer.add_char b ',';
@@ -151,16 +162,26 @@ let print_campaign_tables runs c =
   Printf.printf "%-42s %8d %6d\n" "Crash broke TCP connections" 30 c.E.broke_tcp;
   Printf.printf "%-42s %8d %6d\n" "Transparent to UDP" 95 c.E.transparent_udp;
   Printf.printf "%-42s %8d %6d\n" "Reboot necessary" 3 c.E.reboots;
+  if Array.length c.E.pf_counters > 1 then begin
+    print_newline ();
+    print_endline "Per-PF-shard verdicts over the campaign";
+    Array.iter
+      (fun (p : E.pf_shard_totals) ->
+        Printf.printf "  pf shard %d: %d verdicts, %d blocked, %d expired\n"
+          p.E.pf_shard p.E.verdicts p.E.blocked_packets p.E.conntrack_expired)
+      c.E.pf_counters
+  end;
   print_newline ()
 
-let print_campaign runs seed sanitize protocol verify_continuous break_recovery json =
+let print_campaign runs seed sanitize protocol verify_continuous break_recovery
+    pf_shards json =
   with_sanitizer ~quiet:json sanitize @@ fun () ->
   (* Not [~drained]: a campaign world can end frozen (reboot cases), so
      only hard violations gate here; the per-run obligation accounting
      happens inside --verify-continuous, which skips frozen runs. *)
   with_protocol ~quiet:json protocol @@ fun () ->
   with_continuous ~quiet:json verify_continuous @@ fun verify ->
-  let c = E.fault_campaign ~runs ~seed ?verify ?break_recovery () in
+  let c = E.fault_campaign ~runs ~seed ?verify ?break_recovery ~pf_shards () in
   if json then print_endline (campaign_json runs c verify)
   else print_campaign_tables runs c
 
@@ -203,16 +224,22 @@ let print_coalesce () =
     (E.driver_coalescing ());
   print_newline ()
 
-let print_scaling ?verify shard_counts ip_replicas flows duration =
+let print_scaling ?verify shard_counts ip_replicas pf_shards flows duration =
   print_endline "Scaling — N transport shards behind a multi-queue NIC";
   print_endline "------------------------------------------------------";
-  let r = E.scaling_curve ~shard_counts ~ip_replicas ~flows ~duration ?verify () in
+  let r =
+    E.scaling_curve ~shard_counts ~ip_replicas ~pf_shards ~flows ~duration
+      ?verify ()
+  in
   Printf.printf "single-instance Table II ceiling: %.2f Gbps\n" r.E.single_instance_gbps;
   List.iter
     (fun (p : E.scaling_point) ->
       Printf.printf
-        "%d shard(s), %d IP replica(s): %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; violations %d\n"
-        p.E.shards p.E.ip_replicas p.E.goodput_gbps
+        "%d shard(s), %d IP replica(s)%s: %6.2f Gbps aggregate (%.2fx ceiling); imbalance %.2f; violations %d\n"
+        p.E.shards p.E.ip_replicas
+        (if p.E.pf_shards = 0 then ""
+         else Printf.sprintf ", %d PF shard(s)" p.E.pf_shards)
+        p.E.goodput_gbps
         (p.E.goodput_gbps /. r.E.single_instance_gbps)
         p.E.imbalance p.E.violations;
       Array.iter
@@ -221,7 +248,14 @@ let print_scaling ?verify shard_counts ip_replicas flows duration =
             "    shard %d: %d flows, %d segs out, core %.0f%%, queue depth %d\n"
             s.Newt_scale.Sharded_stack.shard s.flows s.segs_out
             (100.0 *. s.core_util) s.queue_depth)
-        p.E.per_shard)
+        p.E.per_shard;
+      Array.iter
+        (fun (s : Newt_scale.Sharded_stack.pf_shard_stats) ->
+          Printf.printf
+            "    pf shard %d: %d verdicts, %d blocked, %d tracked, %d expired\n"
+            s.Newt_scale.Sharded_stack.pf_shard s.verdicts s.pf_blocked
+            s.entries s.expired)
+        p.E.per_pf_shard)
     r.E.points;
   print_newline ()
 
@@ -356,7 +390,8 @@ let print_mcheck json config budget seed break_recovery =
      else [ ("split stack", E.mcheck_split ?budget ~seed ?break_recovery ()) ])
     @
     if config = `Split then []
-    else [ ("sharded N=2 r=2", E.mcheck_sharded ?budget ()) ]
+    else
+      [ ("sharded N=2 r=2 pf=2", E.mcheck_sharded ?budget ?break_recovery ()) ]
   in
   if json then
     print_endline
@@ -472,13 +507,20 @@ let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
     Term.(const print_fig5 $ seed $ sanitize $ protocol_flag $ verify_continuous)
 
+let campaign_pf_shards =
+  let doc =
+    "Packet-filter shards in every campaign host (>= 1); the JSON output \
+     carries one counter block per shard."
+  in
+  Arg.(value & opt int 1 & info [ "pf-shards" ] ~doc)
+
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Reproduce Tables III and IV (fault-injection campaign)")
     Term.(
       const print_campaign
       $ runs $ campaign_seed $ sanitize $ protocol_flag $ verify_continuous
-      $ break_recovery $ campaign_json_flag)
+      $ break_recovery $ campaign_pf_shards $ campaign_json_flag)
 
 let verify_cmd =
   let json =
@@ -537,6 +579,13 @@ let scaling_cmd =
     let doc = "Replicated IP server instances (capped at the shard count)." in
     Arg.(value & opt int 1 & info [ "ip-replicas" ] ~doc)
   in
+  let pf_shards =
+    let doc =
+      "Packet-filter shards on the path (capped at the shard count); 0 — \
+       the default — runs without a filter, the historical curve."
+    in
+    Arg.(value & opt int 0 & info [ "pf-shards" ] ~doc)
+  in
   let duration =
     let doc = "Simulated seconds per point." in
     Arg.(value & opt float 0.5 & info [ "duration" ] ~doc)
@@ -545,9 +594,10 @@ let scaling_cmd =
     (Cmd.info "scaling"
        ~doc:"Goodput vs number of TCP shards (multi-queue NIC + sharded stack)")
     Term.(
-      const (fun vc sc ir f d ->
-          with_continuous vc (fun verify -> print_scaling ?verify sc ir f d))
-      $ verify_continuous $ shard_counts $ ip_replicas $ flows $ duration)
+      const (fun vc sc ir pf f d ->
+          with_continuous vc (fun verify -> print_scaling ?verify sc ir pf f d))
+      $ verify_continuous $ shard_counts $ ip_replicas $ pf_shards $ flows
+      $ duration)
 
 let mcheck_cmd =
   let json =
@@ -557,7 +607,7 @@ let mcheck_cmd =
   let config =
     let doc =
       "Which configuration(s) to model-check: $(b,split), $(b,sharded) \
-       (N=2 shards × r=2 IP replicas), or $(b,all)."
+       (N=2 shards × r=2 IP replicas × pf=2 PF shards), or $(b,all)."
     in
     Arg.(
       value
@@ -677,12 +727,13 @@ let all_cmd =
     print_table2 ();
     print_fig4 42 false false false;
     print_fig5 42 false false false;
-    print_campaign 100 2 false false false None false;
+    print_campaign 100 2 false false false None 1 false;
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();
-    print_scaling [ 1; 2; 4; 8 ] 1 8 0.5;
-    print_scaling [ 8 ] 2 8 0.5
+    print_scaling [ 1; 2; 4; 8 ] 1 0 8 0.5;
+    print_scaling [ 8 ] 2 0 8 0.5;
+    print_scaling [ 8 ] 2 2 8 0.5
   in
   Cmd.v (Cmd.info "all" ~doc:"Run the complete evaluation") Term.(const run $ const ())
 

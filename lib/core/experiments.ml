@@ -354,8 +354,16 @@ type run_outcome = {
   fully_transparent : bool;
 }
 
+type pf_shard_totals = {
+  pf_shard : int;
+  verdicts : int;
+  blocked_packets : int;
+  conntrack_expired : int;
+}
+
 type campaign = {
   runs : run_outcome list;
+  pf_counters : pf_shard_totals array;
   crashes_tcp : int;
   crashes_udp : int;
   crashes_ip : int;
@@ -369,11 +377,14 @@ type campaign = {
   reboots : int;
 }
 
-let campaign_run ?verify ?break_recovery ~seed (inj : Fault_inject.injection) =
+let campaign_run ?verify ?break_recovery ?(pf_shards = 1) ~seed
+    (inj : Fault_inject.injection) =
   let rules =
     Pf_engine.generate_ruleset (Rng.create (seed + 1)) ~n:64 ~protect_port:22
   in
-  let config = { Host.default_config with Host.seed; pf_rules = rules } in
+  let config =
+    { Host.default_config with Host.seed; pf_rules = rules; pf_shards }
+  in
   let h = Host.create ~config () in
   Option.iter (fun v -> attach_continuous v h ~title:"campaign run") verify;
   Option.iter (fun (comp, kind) -> Host.sabotage h comp kind) break_recovery;
@@ -441,27 +452,67 @@ let campaign_run ?verify ?break_recovery ~seed (inj : Fault_inject.injection) =
     && Apps.Dns_client.answered dns > 0
   in
   let reachable_auto = !reachable_auto && not frozen in
-  {
-    injected = inj;
-    ssh_survived;
-    reachable_auto;
-    reachable_after_manual = !reachable_manual;
-    udp_transparent;
-    needed_reboot = frozen;
-    fully_transparent = ssh_survived && reachable_auto && udp_transparent && not frozen;
-  }
+  let counters =
+    Array.init (Host.pf_shard_count h) (fun j ->
+        let pf = Host.pf_shard_srv h j in
+        {
+          pf_shard = j;
+          verdicts = Newt_stack.Pf_srv.verdicts_issued pf;
+          blocked_packets = Newt_stack.Pf_srv.blocked pf;
+          conntrack_expired = Newt_stack.Pf_srv.conntrack_expired pf;
+        })
+  in
+  ( {
+      injected = inj;
+      ssh_survived;
+      reachable_auto;
+      reachable_after_manual = !reachable_manual;
+      udp_transparent;
+      needed_reboot = frozen;
+      fully_transparent =
+        ssh_survived && reachable_auto && udp_transparent && not frozen;
+    },
+    counters )
 
 (* The default seed gives a representative sample (the campaign is
    stochastic, as the paper's was — "the tool injects faults randomly so
    the faults are unpredictable"); other seeds vary by a few counts. *)
-let fault_campaign ?(runs = 100) ?(seed = 2) ?verify ?break_recovery () =
+let fault_campaign ?(runs = 100) ?(seed = 2) ?verify ?break_recovery
+    ?pf_shards () =
   let rng = Rng.create seed in
   let injections = Fault_inject.draw_many rng ~ndrv:1 ~runs in
-  let outcomes =
+  let results =
     List.mapi
       (fun i inj ->
-        campaign_run ?verify ?break_recovery ~seed:(seed + (1000 * (i + 1))) inj)
+        campaign_run ?verify ?break_recovery ?pf_shards
+          ~seed:(seed + (1000 * (i + 1))) inj)
       injections
+  in
+  let outcomes = List.map fst results in
+  (* Per-PF-shard counters, summed over the campaign's runs: under the
+     random kill load every shard must keep issuing verdicts — a silent
+     shard is a partition that never saw traffic. *)
+  let np =
+    match results with (_, c) :: _ -> Array.length c | [] -> 0
+  in
+  let pf_counters =
+    Array.init np (fun j ->
+        List.fold_left
+          (fun acc (_, cs) ->
+            {
+              acc with
+              verdicts = acc.verdicts + cs.(j).verdicts;
+              blocked_packets = acc.blocked_packets + cs.(j).blocked_packets;
+              conntrack_expired =
+                acc.conntrack_expired + cs.(j).conntrack_expired;
+            })
+          {
+            pf_shard = j;
+            verdicts = 0;
+            blocked_packets = 0;
+            conntrack_expired = 0;
+          }
+          results)
   in
   let count p = List.length (List.filter p outcomes) in
   let target_is target o =
@@ -476,6 +527,7 @@ let fault_campaign ?(runs = 100) ?(seed = 2) ?verify ?break_recovery () =
   in
   {
     runs = outcomes;
+    pf_counters;
     crashes_tcp = count (target_is `Tcp);
     crashes_udp = count (target_is `Udp);
     crashes_ip = count (target_is `Ip);
@@ -599,13 +651,21 @@ let sharded_spec s =
     ip_to_shard = Array.map (fun (_, c) -> Sim_chan.id c) chans;
     replica_names = Array.map Component.name (S.ip_components s);
     shard_names = Array.map Component.name (S.tcp_components s);
+    pf_shards = S.pf_shard_count s;
+    pf_names = Array.map Component.name (S.pf_components s);
+    ip_to_pf =
+      Array.map (Array.map (fun (c, _) -> Sim_chan.id c)) (S.pf_channels s);
+    pf_to_ip =
+      Array.map (Array.map (fun (_, c) -> Sim_chan.id c)) (S.pf_channels s);
   }
 
 type scaling_point = {
   shards : int;
   ip_replicas : int;
+  pf_shards : int;  (* 0 = no filter in the path *)
   goodput_gbps : float;
   per_shard : Newt_scale.Sharded_stack.shard_stats array;
+  per_pf_shard : Newt_scale.Sharded_stack.pf_shard_stats array;
   imbalance : float;
   violations : int;
 }
@@ -616,12 +676,25 @@ type scaling_result = {
 }
 
 let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
-    ?(flows = 8) ?(duration = 0.5) ?(link_gbps = 40.0) ?verify () =
+    ?(pf_shards = 0) ?(flows = 8) ?(duration = 0.5) ?(link_gbps = 40.0) ?verify
+    () =
   let module S = Newt_scale.Sharded_stack in
   let run_point n =
-    (* A point can't use more IP replicas than it has shards. *)
+    (* A point can't use more IP replicas (or PF shards) than it has
+       transport shards. [pf_shards = 0] keeps the filter out of the
+       path (the historical no-PF curve). *)
     let r = min ip_replicas n in
-    let config = { S.default_config with S.shards = n; ip_replicas = r; link_gbps } in
+    let np = min pf_shards n in
+    let config =
+      {
+        S.default_config with
+        S.shards = n;
+        ip_replicas = r;
+        link_gbps;
+        pf_shards = max 1 np;
+        pf_rules = (if np = 0 then None else Some [ Newt_pf.Rule.pass_all ]);
+      }
+    in
     let s = S.create ~config () in
     Option.iter
       (fun v ->
@@ -655,8 +728,10 @@ let scaling_curve ?(shard_counts = [ 1; 2; 4; 8 ]) ?(ip_replicas = 1)
     {
       shards = n;
       ip_replicas = r;
+      pf_shards = np;
       goodput_gbps = float_of_int !total *. 8.0 /. duration /. 1e9;
       per_shard = S.shard_stats s;
+      per_pf_shard = S.pf_shard_stats s;
       imbalance = S.imbalance_ratio s;
       violations = S.steering_violations s;
     }
@@ -682,14 +757,15 @@ let verify_configs ?(max_shards = 8) () =
     List.concat_map
       (fun n ->
         List.filter_map
-          (fun r ->
-            if r > n then None
+          (fun (r, pf) ->
+            if r > n || pf > n then None
             else
               let config =
                 {
                   S.default_config with
                   S.shards = n;
                   ip_replicas = r;
+                  pf_shards = pf;
                   pf_rules = Some [ Newt_pf.Rule.pass_all ];
                 }
               in
@@ -698,9 +774,9 @@ let verify_configs ?(max_shards = 8) () =
                 (Newt_verify.Static.check
                    ~directory:(S.directory s)
                    ~sharding:(sharded_spec s)
-                   ~title:(Printf.sprintf "sharded N=%d r=%d" n r)
+                   ~title:(Printf.sprintf "sharded N=%d r=%d pf=%d" n r pf)
                    (S.components s)))
-          [ 1; 2 ])
+          [ (1, 1); (2, 1); (1, 2); (2, 2) ])
       (List.init max_shards (fun i -> i + 1))
   in
   split :: sharded
@@ -872,9 +948,53 @@ let mcheck_split ?budget ?(seed = 42) ?break_recovery () =
       in
       Mcheck.search ?budget ~cases ~run ())
 
-let mcheck_sharded ?budget ?(shards = 2) ?(ip_replicas = 2) () =
+(* The {!Host.sabotage} defects, transplanted onto the sharded stack:
+   the same two recovery lies, installed on member 0 of the victim's
+   replica set (the negative control for the sharded re-checks). *)
+let sabotage_sharded s (comp : Host.component) (kind : Host.sabotage) =
   let module S = Newt_scale.Sharded_stack in
-  let config = { S.default_config with S.shards; ip_replicas } in
+  let victim =
+    match comp with
+    | Host.C_tcp -> (S.tcp_components s).(0)
+    | Host.C_ip -> (S.ip_components s).(0)
+    | Host.C_pf ->
+        if S.pf_shard_count s = 0 then
+          invalid_arg "sabotage_sharded: this stack runs without a filter"
+        else (S.pf_components s).(0)
+    | _ -> invalid_arg "sabotage_sharded: only tcp, ip and pf supported"
+  in
+  match kind with
+  | Host.Wrong_core ->
+      (* Land the reincarnated server on a core that already runs a
+         component it shares a channel with, so the core-affinity
+         re-check must flag it. *)
+      let occupied =
+        Component.core
+          (if comp = Host.C_ip then (S.tcp_components s).(0)
+           else (S.ip_components s).(0))
+      in
+      Component.on_restarted victim (fun () -> Component.migrate victim occupied)
+  | Host.Skip_republish ->
+      Component.on_restarted victim (fun () ->
+          match Component.exports victim with
+          | (key, _) :: _ ->
+              Newt_channels.Pubsub.publish (S.directory s) ~key
+                ~creator:(Component.pid victim) ~chan_id:(-1)
+          | [] -> ())
+
+let mcheck_sharded ?budget ?(shards = 2) ?(ip_replicas = 2) ?(pf_shards = 2)
+    ?break_recovery () =
+  let module S = Newt_scale.Sharded_stack in
+  let pf_shards = min pf_shards shards in
+  let config =
+    {
+      S.default_config with
+      S.shards;
+      ip_replicas;
+      pf_shards;
+      pf_rules = Some [ Newt_pf.Rule.pass_all ];
+    }
+  in
   let labelled comps =
     Array.to_list
       (Array.map
@@ -884,19 +1004,22 @@ let mcheck_sharded ?budget ?(shards = 2) ?(ip_replicas = 2) () =
   let cases =
     let probe = S.create ~config () in
     Mcheck.enumerate
-      (labelled (S.tcp_components probe) @ labelled (S.ip_components probe))
+      (labelled (S.tcp_components probe)
+      @ labelled (S.ip_components probe)
+      @ labelled (S.pf_components probe))
   in
   with_checkers (fun () ->
       let run (case : Mcheck.case) =
         let s = S.create ~config () in
+        Option.iter (fun (c, k) -> sabotage_sharded s c k) break_recovery;
         let v = Continuous.create () in
         S.on_reincarnated s (fun comp ->
             Continuous.recheck v (fun () ->
                 Static.check ~directory:(S.directory s)
                   ~sharding:(sharded_spec s)
                   ~title:
-                    (Printf.sprintf "mcheck N=%d r=%d: after %s restart" shards
-                       ip_replicas (Component.name comp))
+                    (Printf.sprintf "mcheck N=%d r=%d pf=%d: after %s restart"
+                       shards ip_replicas pf_shards (Component.name comp))
                   (S.components s)));
         let find arr =
           let found = ref None in
@@ -913,7 +1036,11 @@ let mcheck_sharded ?budget ?(shards = 2) ?(ip_replicas = 2) () =
               match find (S.ip_components s) with
               | Some i ->
                   ((S.ip_components s).(i), fun () -> S.kill_ip_replica s i)
-              | None -> invalid_arg "mcheck_sharded: unknown component")
+              | None -> (
+                  match find (S.pf_components s) with
+                  | Some i ->
+                      ((S.pf_components s).(i), fun () -> S.kill_pf_shard s i)
+                  | None -> invalid_arg "mcheck_sharded: unknown component"))
         in
         let flows = 4 in
         for i = 0 to flows - 1 do

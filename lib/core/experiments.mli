@@ -121,8 +121,18 @@ type run_outcome = {
   fully_transparent : bool;
 }
 
+type pf_shard_totals = {
+  pf_shard : int;
+  verdicts : int;
+  blocked_packets : int;
+  conntrack_expired : int;
+}
+
 type campaign = {
   runs : run_outcome list;
+  pf_counters : pf_shard_totals array;
+      (** Per-PF-shard verdict totals summed over all runs (one entry
+          when the campaign ran the singleton filter). *)
   (* Table III *)
   crashes_tcp : int;
   crashes_udp : int;
@@ -143,6 +153,7 @@ val fault_campaign :
   ?seed:int ->
   ?verify:Newt_verify.Continuous.t ->
   ?break_recovery:Host.component * Host.sabotage ->
+  ?pf_shards:int ->
   unit ->
   campaign
 (** Default 100 runs, as in the paper. Each run boots a fresh world
@@ -155,7 +166,9 @@ val fault_campaign :
     [Continuous.end_run] (leak-checked unless the run ended frozen).
     [break_recovery] installs a deliberate recovery defect
     ({!Host.sabotage}) on the named component in every run — the
-    continuous checker, not the traffic, is what must catch it. *)
+    continuous checker, not the traffic, is what must catch it.
+    [pf_shards] (default 1) runs every host with a sharded packet
+    filter; the per-shard verdict totals land in [pf_counters]. *)
 
 (** {1 Section IV-B — MWAIT wake-up latency vs polling} *)
 
@@ -195,8 +208,12 @@ val driver_coalescing : ?costs:Newt_hw.Costs.t -> unit -> coalescing_result list
 type scaling_point = {
   shards : int;
   ip_replicas : int;  (** IP instances this point ran with. *)
+  pf_shards : int;  (** PF shards in the path (0 = no filter). *)
   goodput_gbps : float;  (** Aggregate iperf goodput over all flows. *)
   per_shard : Newt_scale.Sharded_stack.shard_stats array;
+  per_pf_shard : Newt_scale.Sharded_stack.pf_shard_stats array;
+      (** Per-PF-shard verdict/conntrack counters (empty without a
+          filter). *)
   imbalance : float;  (** Max/mean of per-RX-queue frame counts. *)
   violations : int;  (** Flow→shard affinity violations (must be 0). *)
 }
@@ -211,6 +228,7 @@ type scaling_result = {
 val scaling_curve :
   ?shard_counts:int list ->
   ?ip_replicas:int ->
+  ?pf_shards:int ->
   ?flows:int ->
   ?duration:float ->
   ?link_gbps:float ->
@@ -224,9 +242,12 @@ val scaling_curve :
     instance is pinned at the single-server ceiling. [ip_replicas]
     (default 1) replicates the IP server as well — each point is capped
     at [min ip_replicas shards] — lifting the plateau the single IP
-    instance imposes once the shards outrun it. With [verify] each
-    point re-checks the sharded topology (including RSS affinity) after
-    every shard reincarnation and closes with [Continuous.end_run]. *)
+    instance imposes once the shards outrun it. [pf_shards] (default 0
+    = no filter, the historical curve) puts a pass-all packet filter on
+    the path, sharded [min pf_shards shards] ways with a partitioned
+    conntrack table. With [verify] each point re-checks the sharded
+    topology (including RSS affinity) after every shard reincarnation
+    and closes with [Continuous.end_run]. *)
 
 (** {1 Stack verifier} *)
 
@@ -236,9 +257,10 @@ val sharded_spec : Newt_scale.Sharded_stack.t -> Newt_verify.Static.sharding
 
 val verify_configs : ?max_shards:int -> unit -> Newt_verify.Report.t list
 (** Wire every shipped stack configuration — the split single-instance
-    stack plus every sharded variant (N = 1..[max_shards] shards, 1 and
-    2 IP replicas, filter enabled) — and run the static channel-graph
-    checker over each. *)
+    stack plus every sharded variant (N = 1..[max_shards] shards × 1
+    and 2 IP replicas × 1 and 2 PF shards, filter enabled) — and run
+    the static channel-graph checker (including the PF partition
+    checks) over each. *)
 
 val verify_all : ?max_shards:int -> unit -> Newt_verify.Report.t
 (** {!verify_configs} merged into one report; [Report.ok] of the result
@@ -309,12 +331,19 @@ val mcheck_sharded :
   ?budget:float ->
   ?shards:int ->
   ?ip_replicas:int ->
+  ?pf_shards:int ->
+  ?break_recovery:Host.component * Host.sabotage ->
   unit ->
   Newt_verify.Mcheck.outcome
 (** The same search over a sharded stack (default N=2 shards × r=2 IP
-    replicas): every TCP shard and IP replica crashed at every labeled
-    recovery step under a multi-flow load, with the sharded topology
-    (including RSS affinity) re-checked after each restart. The short
-    multi-flow tail is not guaranteed to drain, so leak/obligation
-    accounting is off; convergence, re-checks and hard protocol
-    violations still gate. *)
+    replicas × pf=2 PF shards, capped at [min pf_shards shards]): every
+    TCP shard, IP replica and PF shard crashed at every labeled
+    recovery step — for a PF shard that includes its rules replay and
+    conntrack re-track steps — under a multi-flow load, with the
+    sharded topology (including RSS affinity and the PF partition)
+    re-checked after each restart. [break_recovery] transplants the
+    {!Host.sabotage} defect onto member 0 of the named component's
+    replica set (tcp, ip or pf) — the sabotaged crash points must
+    surface as counterexamples. The short multi-flow tail is not
+    guaranteed to drain, so leak/obligation accounting is off;
+    convergence, re-checks and hard protocol violations still gate. *)

@@ -37,6 +37,7 @@ type config = {
   costs : Newt_hw.Costs.t;
   nics : int;
   pf_rules : Rule.t list;
+  pf_shards : int;
   tcp_config : Tcp.config option;
   nic_reset_time : Time.cycles;
   heartbeat_period : Time.cycles;
@@ -51,6 +52,7 @@ let default_config =
     costs = Newt_hw.Costs.default;
     nics = 1;
     pf_rules = [ Rule.pass_all ];
+    pf_shards = 1;
     tcp_config = None;
     nic_reset_time = Time.of_seconds 1.2;
     heartbeat_period = Component.Defaults.heartbeat_period;
@@ -72,7 +74,8 @@ type t = {
   tcp : Tcp_srv.t;
   udp : Udp_srv.t;
   ip : Ip_srv.t;
-  pf : Pf_srv.t;
+  pfs : Pf_srv.t array;
+  pf_comps : Component.t array;
   drvs : Drv_srv.t array;
   nics : E1000.t array;
   links : Link.t array;
@@ -94,7 +97,9 @@ let sc t = t.sc
 let tcp_srv t = t.tcp
 let udp_srv t = t.udp
 let ip_srv t = t.ip
-let pf_srv t = t.pf
+let pf_srv t = t.pfs.(0)
+let pf_shard_srv t j = t.pfs.(j)
+let pf_shard_count t = Array.length t.pfs
 let rs t = t.rs
 let storage t = t.storage
 let nic t i = t.nics.(i)
@@ -111,7 +116,15 @@ let comp_of t comp =
   | None -> invalid_arg "Host.comp_of: unknown component"
 
 let proc_of t comp = Component.proc (comp_of t comp)
-let components t = t.sc_comp :: List.map snd t.comps
+
+let components t =
+  (* [comps] names one killable component per variant, so extra PF
+     shards (index >= 1) ride along separately for the verifier. *)
+  let extra_pfs =
+    Array.to_list
+      (Array.sub t.pf_comps 1 (max 0 (Array.length t.pf_comps - 1)))
+  in
+  (t.sc_comp :: List.map snd t.comps) @ extra_pfs
 
 let local_addr _t i = Addr.Ipv4.v 10 0 i 1
 let sink_addr _t i = Addr.Ipv4.v 10 0 i 2
@@ -140,6 +153,9 @@ let chan () =
   Sim_chan.create ~capacity:8192 ~id:!chan_ids ()
 
 let create ?(config = default_config) () =
+  if config.pf_shards < 1 then invalid_arg "Host.create: pf_shards < 1";
+  let np = config.pf_shards in
+  let pf_name j = if np = 1 then "pf" else Printf.sprintf "pf%d" j in
   let engine = Engine.create ~seed:config.seed () in
   let machine = Machine.create ~costs:config.costs engine in
   let registry = Registry.create () in
@@ -151,7 +167,7 @@ let create ?(config = default_config) () =
   let tcp_core = Machine.add_dedicated_core machine in
   let udp_core = Machine.add_dedicated_core machine in
   let ip_core = Machine.add_dedicated_core machine in
-  let pf_core = Machine.add_dedicated_core machine in
+  let pf_cores = Array.init np (fun _ -> Machine.add_dedicated_core machine) in
   let drv_cores =
     if config.coalesce_drivers then begin
       let shared = Machine.add_dedicated_core machine in
@@ -168,7 +184,7 @@ let create ?(config = default_config) () =
   let tcp_comp = mkcomp "tcp" tcp_core in
   let udp_comp = mkcomp "udp" udp_core in
   let ip_comp = mkcomp "ip" ip_core in
-  let pf_comp = mkcomp "pf" pf_core in
+  let pf_comps = Array.init np (fun j -> mkcomp (pf_name j) pf_cores.(j)) in
   let drv_comps =
     Array.init config.nics (fun i ->
         mkcomp (Printf.sprintf "drv%d" i) drv_cores.(i))
@@ -193,7 +209,6 @@ let create ?(config = default_config) () =
   (* Servers: pure message handlers on top of their component. *)
   let view name = Storage.owner_view storage ~owner:name in
   let save_ip, load_ip = view "ip" in
-  let save_pf, load_pf = view "pf" in
   let save_tcp, load_tcp = view "tcp" in
   let save_udp, load_udp = view "udp" in
   let sc_srv = Syscall_srv.create sc_comp () in
@@ -208,7 +223,28 @@ let create ?(config = default_config) () =
   let ip_srv =
     Ip_srv.create ip_comp ~registry ~save:save_ip ~load:load_ip ()
   in
-  let pf_srv = Pf_srv.create pf_comp ~save:save_pf ~load:load_pf () in
+  (* PF shards partition the conntrack table by the same symmetric flow
+     hash that steers packets to them; one shard keeps the seed stack's
+     exact behaviour (name "pf", default table size, owns everything). *)
+  let pf_map = Newt_scale.Shard_map.create ~seed:config.seed ~shards:np () in
+  let pf_steer ~src ~sport ~dst ~dport =
+    Newt_scale.Shard_map.shard_of pf_map ~src ~sport ~dst ~dport
+  in
+  let pf_srvs =
+    Array.init np (fun j ->
+        let save_pf, load_pf = view (pf_name j) in
+        let owns (f : Newt_pf.Conntrack.flow) =
+          np <= 1
+          || pf_steer ~src:f.Newt_pf.Conntrack.local_ip
+               ~sport:f.Newt_pf.Conntrack.local_port
+               ~dst:f.Newt_pf.Conntrack.remote_ip
+               ~dport:f.Newt_pf.Conntrack.remote_port
+             = j
+        in
+        Pf_srv.create pf_comps.(j) ~save:save_pf ~load:load_pf
+          ~max_entries:(max 1 (65536 / np))
+          ~owns ())
+  in
   let drvs =
     Array.init config.nics (fun i ->
         Drv_srv.create drv_comps.(i) ~nic:nics.(i) ())
@@ -221,10 +257,18 @@ let create ?(config = default_config) () =
     Component.export comp ~key c;
     c
   in
-  let ch_ip_to_pf = export pf_comp "ip.to_pf" (chan ())
-  and ch_pf_to_ip = export ip_comp "pf.to_ip" (chan ()) in
-  Ip_srv.connect_pf ip_srv ~to_pf:ch_ip_to_pf ~from_pf:ch_pf_to_ip;
-  Pf_srv.connect_ip pf_srv ~from_ip:ch_ip_to_pf ~to_ip:ch_pf_to_ip;
+  (* With one shard the keys stay exactly "ip.to_pf"/"pf.to_ip". *)
+  let pf_pairs =
+    Array.init np (fun j ->
+        let to_pf =
+          export pf_comps.(j) (Printf.sprintf "ip.to_%s" (pf_name j)) (chan ())
+        and from_pf =
+          export ip_comp (Printf.sprintf "%s.to_ip" (pf_name j)) (chan ())
+        in
+        Pf_srv.connect_ip pf_srvs.(j) ~from_ip:to_pf ~to_ip:from_pf;
+        (to_pf, from_pf))
+  in
+  Ip_srv.connect_pf_sharded ip_srv ~steer:pf_steer ~pairs:pf_pairs;
   let ch_tcp_to_ip = export ip_comp "tcp.to_ip" (chan ())
   and ch_ip_to_tcp = export tcp_comp "ip.to_tcp" (chan ()) in
   Ip_srv.connect_transport ip_srv ~proto:`Tcp ~from_transport:ch_tcp_to_ip
@@ -273,11 +317,14 @@ let create ?(config = default_config) () =
   in
   Tcp_srv.set_src_select tcp_srv src_select;
   Udp_srv.set_src_select udp_srv src_select;
-  (* The filter configuration. *)
-  Pf_srv.set_rules pf_srv config.pf_rules;
-  Pf_srv.set_conntrack_sources pf_srv
-    ~tcp:(fun () -> Tcp_srv.conntrack_flows tcp_srv)
-    ~udp:(fun () -> Udp_srv.conntrack_flows udp_srv);
+  (* The filter configuration — one ruleset on every shard. *)
+  Array.iter
+    (fun pf ->
+      Pf_srv.set_rules pf config.pf_rules;
+      Pf_srv.set_conntrack_sources pf
+        ~tcp:(fun () -> Tcp_srv.conntrack_flows tcp_srv)
+        ~udp:(fun () -> Udp_srv.conntrack_flows udp_srv))
+    pf_srvs;
   let t =
     {
       config;
@@ -293,14 +340,20 @@ let create ?(config = default_config) () =
       tcp = tcp_srv;
       udp = udp_srv;
       ip = ip_srv;
-      pf = pf_srv;
+      pfs = pf_srvs;
+      pf_comps;
       drvs;
       nics;
       links;
       sinks;
       sc_comp;
       comps =
-        [ (C_tcp, tcp_comp); (C_udp, udp_comp); (C_ip, ip_comp); (C_pf, pf_comp) ]
+        [
+          (C_tcp, tcp_comp);
+          (C_udp, udp_comp);
+          (C_ip, ip_comp);
+          (C_pf, pf_comps.(0));
+        ]
         @ Array.to_list (Array.mapi (fun i c -> (C_drv i, c)) drv_comps);
       app_cores;
       next_app = 0;
@@ -351,10 +404,13 @@ let create ?(config = default_config) () =
         (fun () -> Udp_srv.on_ip_restart udp_srv);
       ]
     ();
-  Reincarnation.watch t.rs pf_comp
-    ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ip_srv) ]
-    ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ip_srv) ]
-    ();
+  Array.iteri
+    (fun j c ->
+      Reincarnation.watch t.rs c
+        ~notify_crash:[ (fun () -> Ip_srv.on_pf_crash ~shard:j ip_srv) ]
+        ~notify_restart:[ (fun () -> Ip_srv.on_pf_restart ~shard:j ip_srv) ]
+        ())
+    pf_comps;
   Array.iteri
     (fun i c ->
       Reincarnation.watch t.rs c
@@ -425,7 +481,7 @@ let crash_storage t =
   (* The restarted storage server announces itself; every component
      persists its state anew. *)
   Ip_srv.repersist t.ip;
-  Pf_srv.repersist t.pf;
+  Array.iter Pf_srv.repersist t.pfs;
   Tcp_srv.repersist t.tcp;
   Udp_srv.repersist t.udp
 

@@ -23,6 +23,14 @@ type config = {
   costs : Newt_hw.Costs.t;  (** The machine's cycle-cost model. *)
   nics : int;  (** Gigabit ports, each with its own driver and peer. *)
   pf_rules : Newt_pf.Rule.t list;
+  pf_shards : int;
+      (** Packet-filter instances (>= 1, default 1): they share the one
+          ruleset and partition the conntrack table by a symmetric flow
+          hash (each with an LRU cap of [65536/pf_shards] and its own
+          TTL sweep); the IP server steers each packet — both
+          directions — to the owning shard from its IP header. 1
+          reproduces the singleton filter exactly (name ["pf"], keys
+          ["ip.to_pf"]/["pf.to_ip"]). *)
   tcp_config : Newt_net.Tcp.config option;
   nic_reset_time : Newt_sim.Time.cycles;
       (** Link retraining time after a device reset (the Figure 4
@@ -55,6 +63,11 @@ val tcp_srv : t -> Newt_stack.Tcp_srv.t
 val udp_srv : t -> Newt_stack.Udp_srv.t
 val ip_srv : t -> Newt_stack.Ip_srv.t
 val pf_srv : t -> Newt_stack.Pf_srv.t
+(** PF shard 0 (the only one by default). *)
+
+val pf_shard_srv : t -> int -> Newt_stack.Pf_srv.t
+val pf_shard_count : t -> int
+
 val rs : t -> Newt_reliability.Reincarnation.t
 val storage : t -> Newt_reliability.Storage.t
 val nic : t -> int -> Newt_nic.E1000.t

@@ -12,6 +12,8 @@ module Tcp = Newt_net.Tcp
 module Link = Newt_nic.Link
 module Mq = Newt_nic.Mq_e1000
 module Rule = Newt_pf.Rule
+module Pf_engine = Newt_pf.Pf_engine
+module Conntrack = Newt_pf.Conntrack
 module Component = Newt_stack.Component
 module Msg = Newt_stack.Msg
 module Mq_drv_srv = Newt_stack.Mq_drv_srv
@@ -30,6 +32,7 @@ type config = {
   shards : int;
   udp_shards : int;
   ip_replicas : int;
+  pf_shards : int;
   link_gbps : float;
   pf_rules : Rule.t list option;
   tcp_config : Tcp.config option;
@@ -45,6 +48,7 @@ let default_config =
     shards = 4;
     udp_shards = 1;
     ip_replicas = 1;
+    pf_shards = 1;
     link_gbps = 40.0;
     pf_rules = None;
     tcp_config = None;
@@ -52,6 +56,11 @@ let default_config =
     heartbeat_period = Component.Defaults.heartbeat_period;
     restart_delay = Component.Defaults.restart_delay;
   }
+
+(* The conntrack capacity of the unsharded filter ({!Newt_pf.Conntrack}'s
+   default); a sharded filter divides it so N shards hold the same
+   total state as one. *)
+let conntrack_total_entries = 65536
 
 (* The canonical flow key of the steering journal — the same
    canonicalization the RSS hash applies, so both directions of a flow
@@ -76,6 +85,13 @@ let mac_of_int v =
 
 let arp_key ~iface addr = Printf.sprintf "arp.%d.%s" iface (Addr.Ipv4.to_string addr)
 
+(* The PF ruleset rides the directory the same way: a publication under
+   this key is the "new configuration" broadcast — the blob itself
+   lives in the shared storage namespace, the [chan_id] carries a
+   version counter. Every PF shard applies it on publish and replays it
+   on restart. *)
+let pf_rules_key = "pf.rules"
+
 type t = {
   config : config;
   engine : Engine.t;
@@ -86,23 +102,21 @@ type t = {
   storage : Storage.t;
   rs : Reincarnation.t;
   sm : Shard_map.t;
-  sc : Syscall_srv.t;
-  tcps : Tcp_srv.t array;
-  udps : Udp_srv.t array;
-  ips : Ip_srv.t array;
-  pf : Pf_srv.t option;
-  drv : Mq_drv_srv.t;
+  sc_set : Syscall_srv.t Replica_set.t;
+  tcp_set : Tcp_srv.t Replica_set.t;
+  udp_set : Udp_srv.t Replica_set.t;
+  ip_set : Ip_srv.t Replica_set.t;
+  pf_set : Pf_srv.t Replica_set.t option;
+  drv_set : Mq_drv_srv.t Replica_set.t;
   nic : Mq.t;
   link : Link.t;
   sink : Sink.t;
-  sc_comp : Component.t;
-  pf_comp : Component.t option;
-  drv_comp : Component.t;
-  tcp_comps : Component.t array;
-  udp_comps : Component.t array;
-  ip_comps : Component.t array;
   tcp_to_ip : Msg.t Sim_chan.t array;
   ip_to_tcp : Msg.t Sim_chan.t array;
+  (* [pf_chans.(k).(j)] is IP replica [k]'s (to_pf, from_pf) pair with
+     PF shard [j]. *)
+  pf_chans : (Msg.t Sim_chan.t * Msg.t Sim_chan.t) array array;
+  publish_pf_rules : Rule.t list -> unit;
   (* IP's half of the affinity journal (the NIC keeps its own) —
      shared by all replicas: shard affinity implies replica affinity. *)
   steer_journal : (flow_key, int) Hashtbl.t;
@@ -113,26 +127,40 @@ type t = {
 let engine t = t.engine
 let machine t = t.machine
 let config t = t.config
-let sc t = t.sc
-let tcp_shard t i = t.tcps.(i)
-let udp_shard t i = t.udps.(i)
-let ip_srv t = t.ips.(0)
-let ip_replica t k = t.ips.(k)
-let ip_replica_count t = Array.length t.ips
+let sc t = Replica_set.srv t.sc_set 0
+let tcp_shard t i = Replica_set.srv t.tcp_set i
+let udp_shard t i = Replica_set.srv t.udp_set i
+let ip_srv t = Replica_set.srv t.ip_set 0
+let ip_replica t k = Replica_set.srv t.ip_set k
+let ip_replica_count t = Replica_set.size t.ip_set
 let nic t = t.nic
 let link t = t.link
 let sink t = t.sink
 let shard_map t = t.sm
 let directory t = t.directory
-let tcp_components t = t.tcp_comps
-let ip_components t = t.ip_comps
+let tcp_components t = Replica_set.comps t.tcp_set
+let ip_components t = Replica_set.comps t.ip_set
+let pf_components t =
+  match t.pf_set with Some s -> Replica_set.comps s | None -> [||]
+
+let pf_shard_count t =
+  match t.pf_set with Some s -> Replica_set.size s | None -> 0
+
+let pf_of t =
+  match t.pf_set with
+  | Some s -> s
+  | None -> invalid_arg "Sharded_stack: no packet filter configured"
+
+let pf_shard t j = Replica_set.srv (pf_of t) j
+let pf_channels t = t.pf_chans
+let set_pf_rules t rules = t.publish_pf_rules rules
 
 let components t =
-  (t.sc_comp :: Option.to_list t.pf_comp)
-  @ [ t.drv_comp ]
-  @ Array.to_list t.tcp_comps
-  @ Array.to_list t.udp_comps
-  @ Array.to_list t.ip_comps
+  (Replica_set.comp t.sc_set 0 :: Array.to_list (pf_components t))
+  @ [ Replica_set.comp t.drv_set 0 ]
+  @ Array.to_list (Replica_set.comps t.tcp_set)
+  @ Array.to_list (Replica_set.comps t.udp_set)
+  @ Array.to_list (Replica_set.comps t.ip_set)
 
 let tcp_channels t =
   Array.init (Array.length t.tcp_to_ip) (fun i ->
@@ -154,10 +182,12 @@ let app t =
   { Syscall_srv.app_core = core; app_pid = pid }
 
 let on_reincarnated t f = Reincarnation.set_on_reincarnated t.rs f
-let kill_shard t i = Reincarnation.kill t.rs t.tcp_comps.(i)
-let shard_restarts t i = Reincarnation.restarts_of t.rs t.tcp_comps.(i)
-let kill_ip_replica t k = Reincarnation.kill t.rs t.ip_comps.(k)
-let ip_replica_restarts t k = Reincarnation.restarts_of t.rs t.ip_comps.(k)
+let kill_shard t i = Replica_set.kill t.tcp_set i
+let shard_restarts t i = Replica_set.restarts t.tcp_set i
+let kill_ip_replica t k = Replica_set.kill t.ip_set k
+let ip_replica_restarts t k = Replica_set.restarts t.ip_set k
+let kill_pf_shard t j = Replica_set.kill (pf_of t) j
+let pf_shard_restarts t j = Replica_set.restarts (pf_of t) j
 
 type shard_stats = {
   shard : int;
@@ -181,21 +211,59 @@ let shard_stats t =
         segs_out = Tcp_srv.total_segs_out srv;
         bytes_out = Tcp_srv.total_bytes_out srv;
         queue_depth = Sim_chan.length t.ip_to_tcp.(i);
-        core_util = Cpu.utilization (Component.core t.tcp_comps.(i)) ~now;
+        core_util = Cpu.utilization (Component.core (Replica_set.comp t.tcp_set i)) ~now;
         restarts = shard_restarts t i;
       })
-    t.tcps
+    (Replica_set.servers t.tcp_set)
+
+type pf_shard_stats = {
+  pf_shard : int;
+  verdicts : int;
+  pf_blocked : int;
+  expired : int;
+  entries : int;
+  pf_restarts : int;
+}
+
+let pf_shard_stats t =
+  match t.pf_set with
+  | None -> [||]
+  | Some pfs ->
+      Array.mapi
+        (fun j srv ->
+          {
+            pf_shard = j;
+            verdicts = Pf_srv.verdicts_issued srv;
+            pf_blocked = Pf_srv.blocked srv;
+            expired = Pf_srv.conntrack_expired srv;
+            entries = Conntrack.size (Pf_engine.conntrack (Pf_srv.engine_of srv));
+            pf_restarts = Replica_set.restarts pfs j;
+          })
+        (Replica_set.servers pfs)
+
+(* Every replication plane of the stack, with its load metric — the
+   whole-stack view the imbalance/rebalance accounting folds over. *)
+let planes t =
+  [
+    Replica_set.plane t.tcp_set;
+    Replica_set.plane t.udp_set;
+    Replica_set.plane t.ip_set;
+  ]
+  @ (match t.pf_set with Some s -> [ Replica_set.plane s ] | None -> [])
 
 let imbalance_ratio t =
-  let loads = Array.map float_of_int (Mq.rx_queue_packets t.nic) in
-  Shard_map.imbalance ~loads
+  let nic = Shard_map.imbalance ~loads:(Array.map float_of_int (Mq.rx_queue_packets t.nic)) in
+  List.fold_left
+    (fun acc p -> Float.max acc (Replica_set.plane_imbalance p))
+    nic (planes t)
 
 let steering_violations t = Mq.steering_violations t.nic + !(t.ip_violations)
 
 let rebalance t =
-  let loads =
-    Array.map (fun srv -> float_of_int (Tcp_srv.total_bytes_out srv)) t.tcps
-  in
+  (* Project every plane's observed load — not just the TCP shards' —
+     onto the RSS buckets, so a hot PF shard or IP replica also pulls
+     the indirection table toward balance. *)
+  let loads = Replica_set.projected_loads ~shards:t.config.shards (planes t) in
   Shard_map.rebalance t.sm ~loads
 
 (* {2 Construction} *)
@@ -206,34 +274,69 @@ let create ?(config = default_config) () =
     invalid_arg "Sharded_stack: udp_shards must be positive";
   if config.ip_replicas <= 0 || config.ip_replicas > config.shards then
     invalid_arg "Sharded_stack: need 1 <= ip_replicas <= shards";
+  if config.pf_shards <= 0 || config.pf_shards > config.shards then
+    invalid_arg "Sharded_stack: need 1 <= pf_shards <= shards";
   let engine = Engine.create ~seed:config.seed () in
   let machine = Machine.create ~costs:config.costs engine in
   let registry = Registry.create () in
   let trace = Trace.create () in
   let directory = Pubsub.create () in
   let storage = Storage.create () in
-  let n = config.shards and nu = config.udp_shards and r = config.ip_replicas in
+  let n = config.shards
+  and nu = config.udp_shards
+  and r = config.ip_replicas
+  and np = config.pf_shards in
   let sm = Shard_map.create ~seed:config.seed ~shards:n () in
-  (* Component servers: one dedicated core each, including one per
-     transport shard and one per IP replica. *)
-  let mkcomp name =
-    Component.create machine ~name
-      ~core:(Machine.add_dedicated_core machine)
-      ~directory ~trace ()
-  in
-  let ip_name k = if r = 1 then "ip" else Printf.sprintf "ip%d" k in
-  let sc_comp = mkcomp "sc" in
-  let ip_comps = Array.init r (fun k -> mkcomp (ip_name k)) in
-  let pf_comp = match config.pf_rules with Some _ -> Some (mkcomp "pf") | None -> None in
-  let drv_comp = mkcomp "mqdrv" in
-  let tcp_comps = Array.init n (fun i -> mkcomp (Printf.sprintf "tcp%d" i)) in
-  let udp_comps = Array.init nu (fun i -> mkcomp (Printf.sprintf "udp%d" i)) in
   (* One fat wire, a multi-queue device on our side, an ideal peer on
      the other. *)
   let link =
     Link.create engine
       ~bandwidth_bps:(int_of_float (config.link_gbps *. 1e9))
       ~queue_frames:1024 ()
+  in
+  (* Every component server of the stack is a replica set — most of
+     them 1-member sets ("sc", "mqdrv"), which is exactly the point:
+     one replication mechanism, configured per plane. Each set gives
+     its members a dedicated core and a storage namespace. *)
+  let mkset name ?names members make =
+    Replica_set.create machine ~name ?names ~members ~directory ~trace ~storage
+      ~make ()
+  in
+  let sc_set =
+    mkset "sc" 1 (fun _ comp ~save:_ ~load:_ -> Syscall_srv.create comp ())
+  in
+  let ip_set =
+    mkset "ip" r (fun _ comp ~save ~load ->
+        Ip_srv.create comp ~registry ~save ~load ())
+  in
+  (* The shared flow hash, reduced to each plane's member count: the
+     partition functions of the transport, IP and PF planes all divide
+     the same [Shard_map] value, so every layer agrees where a flow
+     lives. *)
+  let pf_steer ~src ~sport ~dst ~dport =
+    Shard_map.shard_of sm ~src ~sport ~dst ~dport mod np
+  in
+  let pf_shared_save, pf_shared_load = Storage.owner_view storage ~owner:"pf" in
+  let pf_set =
+    match config.pf_rules with
+    | None -> None
+    | Some _ ->
+        Some
+          (mkset "pf" np (fun j comp ~save ~load ->
+               (* The ruleset is one shared configuration blob; the
+                  conntrack snapshot is per shard. *)
+               let save k v = if k = "rules" then pf_shared_save k v else save k v
+               and load k = if k = "rules" then pf_shared_load k else load k in
+               let owns f =
+                 np <= 1
+                 || pf_steer ~src:f.Conntrack.local_ip
+                      ~sport:f.Conntrack.local_port ~dst:f.Conntrack.remote_ip
+                      ~dport:f.Conntrack.remote_port
+                    = j
+               in
+               Pf_srv.create comp ~save ~load
+                 ~max_entries:(max 1 (conntrack_total_entries / np))
+                 ~owns ()))
   in
   let nic =
     Mq.create engine ~registry ~link ~side:Link.Left
@@ -244,35 +347,50 @@ let create ?(config = default_config) () =
     Sink.create engine ~link ~side:Link.Right ~addr:(Addr.Ipv4.v 10 0 0 2)
       ~mac:(Addr.Mac.of_index 200) ()
   in
-  (* Servers, each with its own storage view. *)
-  let view name = Storage.owner_view storage ~owner:name in
-  let sc_srv = Syscall_srv.create sc_comp () in
-  let tcps =
-    Array.init n (fun i ->
-        let save, load = view (Printf.sprintf "tcp%d" i) in
-        Tcp_srv.create tcp_comps.(i) ~registry
+  let drv_set =
+    mkset "mqdrv" 1 (fun _ comp ~save:_ ~load:_ -> Mq_drv_srv.create comp ~nic ())
+  in
+  let tcp_set =
+    mkset "tcp"
+      ~names:(Printf.sprintf "tcp%d")
+      n
+      (fun _ comp ~save ~load ->
+        Tcp_srv.create comp ~registry
           ~local_addr:(Addr.Ipv4.v 10 0 0 1)
           ?tcp_config:config.tcp_config ~save ~load ())
   in
-  let udps =
-    Array.init nu (fun i ->
-        let save, load = view (Printf.sprintf "udp%d" i) in
-        Udp_srv.create udp_comps.(i) ~registry
-          ~local_addr:(Addr.Ipv4.v 10 0 0 1) ~save ~load ())
+  let udp_set =
+    mkset "udp"
+      ~names:(Printf.sprintf "udp%d")
+      nu
+      (fun _ comp ~save ~load ->
+        Udp_srv.create comp ~registry
+          ~local_addr:(Addr.Ipv4.v 10 0 0 1)
+          ~save ~load ())
   in
-  let ips =
-    Array.init r (fun k ->
-        let save, load = view (ip_name k) in
-        Ip_srv.create ip_comps.(k) ~registry ~save ~load ())
-  in
-  let pf_srv =
-    match pf_comp with
-    | Some comp ->
-        let save, load = view "pf" in
-        Some (Pf_srv.create comp ~save ~load ())
-    | None -> None
-  in
-  let drv = Mq_drv_srv.create drv_comp ~nic () in
+  let sc_srv = Replica_set.srv sc_set 0 in
+  let sc_comp = Replica_set.comp sc_set 0 in
+  let drv = Replica_set.srv drv_set 0 in
+  let drv_comp = Replica_set.comp drv_set 0 in
+  let tcps = Replica_set.servers tcp_set in
+  let udps = Replica_set.servers udp_set in
+  let ips = Replica_set.servers ip_set in
+  let tcp_comps = Replica_set.comps tcp_set in
+  let udp_comps = Replica_set.comps udp_set in
+  let ip_comps = Replica_set.comps ip_set in
+  let ip_name = Replica_set.name ip_set in
+  (* Per-plane load metrics, for whole-stack imbalance accounting. *)
+  Replica_set.set_load tcp_set (fun srv ->
+      float_of_int (Tcp_srv.total_bytes_out srv));
+  Replica_set.set_load udp_set (fun srv ->
+      float_of_int (Udp_srv.datagrams_out srv));
+  Replica_set.set_load ip_set (fun srv ->
+      float_of_int (Ip_srv.packets_forwarded srv));
+  Option.iter
+    (fun pfs ->
+      Replica_set.set_load pfs (fun srv ->
+          float_of_int (Pf_srv.verdicts_issued srv)))
+    pf_set;
   (* Channels (Figure 3, replicated per shard and per IP replica).
      [Component.export] publishes each one under its key in the
      directory and re-publishes it when the consuming component is
@@ -308,34 +426,86 @@ let create ?(config = default_config) () =
   let udp_steer ~src ~sport ~dst ~dport =
     Shard_map.shard_of sm ~src ~sport ~dst ~dport mod nu
   in
-  (* IP <-> PF: one filter shared by all replicas and shards; each
-     replica gets its own request channel so the filter replies to
-     whoever asked, and conntrack recovery reads the union of the
-     shards' connection tables. *)
-  (match (pf_srv, pf_comp, config.pf_rules) with
-  | Some pf, Some pfc, Some rules ->
+  (* IP <-> PF: the filter plane is [np] shards, each owning the flows
+     the shared hash maps to it. Every IP replica keeps a channel pair
+     to every shard (the reply comes back to whoever asked), and every
+     shard serves every replica. Conntrack recovery reads the union of
+     the transports' connection tables, filtered by each shard's
+     ownership predicate. *)
+  let pf_chans =
+    match pf_set with
+    | None -> [||]
+    | Some pfs ->
+        Array.init r (fun k ->
+            Array.init np (fun j ->
+                let pf_name = Replica_set.name pfs j in
+                let to_pf =
+                  export (Replica_set.comp pfs j)
+                    (Printf.sprintf "%s.to_%s" (ip_name k) pf_name)
+                    (chan ())
+                and from_pf =
+                  export ip_comps.(k)
+                    (Printf.sprintf "%s.to_%s" pf_name (ip_name k))
+                    (chan ())
+                in
+                (to_pf, from_pf)))
+  in
+  (* PF rules ride the channel directory as a versioned broadcast: the
+     blob is saved once in the shared namespace, every shard applies it
+     on publish, and a reincarnated shard replays the publication (its
+     own restore-state hook reads the same shared blob, so the replay
+     is the belt to that suspender). *)
+  let pf_rule_version = ref 0 in
+  let publish_pf_rules rules =
+    pf_shared_save "rules" (Marshal.to_string (rules : Rule.t list) []);
+    incr pf_rule_version;
+    Pubsub.publish directory ~key:pf_rules_key ~creator:(-1)
+      ~chan_id:!pf_rule_version
+  in
+  (match (pf_set, config.pf_rules) with
+  | Some pfs, Some rules ->
       Array.iteri
         (fun k ip ->
-          let to_pf = export pfc (Printf.sprintf "%s.to_pf" (ip_name k)) (chan ())
-          and from_pf =
-            export ip_comps.(k) (Printf.sprintf "pf.to_%s" (ip_name k)) (chan ())
-          in
-          Ip_srv.connect_pf ip ~to_pf ~from_pf;
-          Pf_srv.connect_ip pf ~from_ip:to_pf ~to_ip:from_pf)
+          Ip_srv.connect_pf_sharded ip
+            ~steer:(fun ~src ~sport ~dst ~dport ->
+              Shard_map.shard_of sm ~src ~sport ~dst ~dport)
+            ~pairs:pf_chans.(k))
         ips;
-      Pf_srv.set_rules pf rules;
-      Pf_srv.set_conntrack_sources pf
-        ~tcp:(fun () ->
-          Array.to_list tcps |> List.concat_map Tcp_srv.conntrack_flows)
-        ~udp:(fun () ->
-          Array.to_list udps |> List.concat_map Udp_srv.conntrack_flows)
+      Array.iteri
+        (fun j pf ->
+          Array.iter
+            (fun row ->
+              let to_pf, from_pf = row.(j) in
+              Pf_srv.connect_ip pf ~from_ip:to_pf ~to_ip:from_pf)
+            pf_chans;
+          Pf_srv.set_conntrack_sources pf
+            ~tcp:(fun () ->
+              Array.to_list tcps |> List.concat_map Tcp_srv.conntrack_flows)
+            ~udp:(fun () ->
+              Array.to_list udps |> List.concat_map Udp_srv.conntrack_flows);
+          let apply = function
+            | `Published _ -> (
+                match pf_shared_load "rules" with
+                | Some blob ->
+                    Pf_engine.set_rules (Pf_srv.engine_of pf)
+                      (Marshal.from_string blob 0 : Rule.t list)
+                | None -> ())
+            | `Gone -> ()
+          in
+          Pubsub.subscribe_prefix directory ~prefix:pf_rules_key apply;
+          Component.on_restart (Replica_set.comp pfs j) ~step:"replay-rules"
+            (fun ~fresh:_ ->
+              Pubsub.replay_prefix directory ~prefix:pf_rules_key apply))
+        (Replica_set.servers pfs);
+      publish_pf_rules rules
   | _ -> ());
   (* IP <-> transport shards. TCP shard [i]'s requests are served by
      replica [i mod r]; every replica keeps the complete fan-out array
      so a received frame can steer to any shard. *)
   let tcp_to_ip =
     Array.init n (fun i ->
-        export ip_comps.(i mod r) (Printf.sprintf "tcp%d.to_ip" i) (chan ()))
+        export ip_comps.(Replica_set.owner ip_set i)
+          (Printf.sprintf "tcp%d.to_ip" i) (chan ()))
   in
   let ip_to_tcp =
     Array.init n (fun i ->
@@ -344,7 +514,7 @@ let create ?(config = default_config) () =
   Array.iteri
     (fun k ip ->
       Ip_srv.connect_transport_sharded
-        ~mine:(fun i -> i mod r = k)
+        ~mine:(fun i -> Replica_set.owner ip_set i = k)
         ip ~proto:`Tcp ~steer:tcp_steer
         ~pairs:(Array.init n (fun i -> (tcp_to_ip.(i), ip_to_tcp.(i)))))
     ips;
@@ -353,7 +523,8 @@ let create ?(config = default_config) () =
     tcps;
   let udp_to_ip =
     Array.init nu (fun i ->
-        export ip_comps.(i mod r) (Printf.sprintf "udp%d.to_ip" i) (chan ()))
+        export ip_comps.(Replica_set.owner ip_set i)
+          (Printf.sprintf "udp%d.to_ip" i) (chan ()))
   in
   let ip_to_udp =
     Array.init nu (fun i ->
@@ -362,7 +533,7 @@ let create ?(config = default_config) () =
   Array.iteri
     (fun k ip ->
       Ip_srv.connect_transport_sharded
-        ~mine:(fun i -> i mod r = k)
+        ~mine:(fun i -> Replica_set.owner ip_set i = k)
         ip ~proto:`Udp ~steer:udp_steer
         ~pairs:(Array.init nu (fun i -> (udp_to_ip.(i), ip_to_udp.(i)))))
     ips;
@@ -524,73 +695,69 @@ let create ?(config = default_config) () =
       ips
   in
   Array.iter (fun ip -> Ip_srv.set_buf_return ip return_buf) ips;
-  (* Supervision: each shard and each IP replica recovers
-     independently. A shard crash reclaims only that shard's receive
-     buffers (held by the replica that owns its queue for TCP, by any
-     replica for UDP); an IP replica crash aborts only the in-flight
-     requests of the shards it serves. *)
+  (* Supervision: every plane's members recover independently. A
+     transport shard crash reclaims only that shard's receive buffers
+     (held by the replica that owns its queue for TCP, by any replica
+     for UDP); an IP replica crash aborts only the in-flight requests
+     of the shards it serves; a PF shard crash holds only its own
+     flows' packets — the other shards' traffic never stops. *)
   let rs =
     Reincarnation.create machine ~heartbeat_period:config.heartbeat_period
       ~restart_delay:config.restart_delay ()
   in
-  Array.iteri
-    (fun i comp ->
-      Reincarnation.watch rs comp
-        ~notify_crash:
-          [
-            (fun () ->
-              Ip_srv.on_transport_shard_crash ips.(i mod r) ~proto:`Tcp ~shard:i);
-          ]
-        ~notify_restart:
-          [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Tcp) ]
-        ())
-    tcp_comps;
-  Array.iteri
-    (fun i comp ->
-      Reincarnation.watch rs comp
-        ~notify_crash:
-          (Array.to_list
-             (Array.map
-                (fun ip () -> Ip_srv.on_transport_shard_crash ip ~proto:`Udp ~shard:i)
-                ips))
-        ~notify_restart:
-          [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Udp) ]
-        ())
-    udp_comps;
-  Array.iteri
-    (fun k comp ->
+  Replica_set.supervise tcp_set rs
+    ~notify_crash:(fun i ->
+      [
+        (fun () ->
+          Ip_srv.on_transport_shard_crash
+            ips.(Replica_set.owner ip_set i)
+            ~proto:`Tcp ~shard:i);
+      ])
+    ~notify_restart:(fun i ->
+      [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Tcp) ]);
+  Replica_set.supervise udp_set rs
+    ~notify_crash:(fun i ->
+      Array.to_list
+        (Array.map
+           (fun ip () -> Ip_srv.on_transport_shard_crash ip ~proto:`Udp ~shard:i)
+           ips))
+    ~notify_restart:(fun i ->
+      [ (fun () -> Syscall_srv.on_transport_restart ~shard:i sc_srv ~transport:`Udp) ]);
+  Replica_set.supervise ip_set rs
+    ~notify_crash:(fun k ->
       (* Only the shards this replica serves lose their channel. *)
       let my_tcps =
-        List.filteri (fun i _ -> i mod r = k) (Array.to_list tcps)
+        List.filteri (fun i _ -> Replica_set.owner ip_set i = k) (Array.to_list tcps)
       and my_udps =
-        List.filteri (fun i _ -> i mod r = k) (Array.to_list udps)
+        List.filteri (fun i _ -> Replica_set.owner ip_set i = k) (Array.to_list udps)
       in
-      Reincarnation.watch rs comp
-        ~notify_crash:
-          (List.map (fun srv () -> Tcp_srv.on_ip_crash srv) my_tcps
-          @ List.map (fun srv () -> Udp_srv.on_ip_crash srv) my_udps)
-        ~notify_restart:
-          (List.map (fun srv () -> Tcp_srv.on_ip_restart srv) my_tcps
-          @ List.map (fun srv () -> Udp_srv.on_ip_restart srv) my_udps)
-        ())
-    ip_comps;
-  (match (pf_srv, pf_comp) with
-  | Some _, Some comp ->
-      Reincarnation.watch rs comp
-        ~notify_crash:
-          (Array.to_list (Array.map (fun ip () -> Ip_srv.on_pf_crash ip) ips))
-        ~notify_restart:
-          (Array.to_list (Array.map (fun ip () -> Ip_srv.on_pf_restart ip) ips))
-        ()
-  | _ -> ());
-  Reincarnation.watch rs drv_comp
-    ~notify_crash:
-      (Array.to_list
-         (Array.mapi (fun k ip () -> Ip_srv.on_drv_crash ip ~iface:ifaces.(k)) ips))
-    ~notify_restart:
-      (Array.to_list
-         (Array.mapi (fun k ip () -> Ip_srv.on_drv_restart ip ~iface:ifaces.(k)) ips))
-    ();
+      List.map (fun srv () -> Tcp_srv.on_ip_crash srv) my_tcps
+      @ List.map (fun srv () -> Udp_srv.on_ip_crash srv) my_udps)
+    ~notify_restart:(fun k ->
+      let my_tcps =
+        List.filteri (fun i _ -> Replica_set.owner ip_set i = k) (Array.to_list tcps)
+      and my_udps =
+        List.filteri (fun i _ -> Replica_set.owner ip_set i = k) (Array.to_list udps)
+      in
+      List.map (fun srv () -> Tcp_srv.on_ip_restart srv) my_tcps
+      @ List.map (fun srv () -> Udp_srv.on_ip_restart srv) my_udps);
+  Option.iter
+    (fun pfs ->
+      Replica_set.supervise pfs rs
+        ~notify_crash:(fun j ->
+          Array.to_list
+            (Array.map (fun ip () -> Ip_srv.on_pf_crash ~shard:j ip) ips))
+        ~notify_restart:(fun j ->
+          Array.to_list
+            (Array.map (fun ip () -> Ip_srv.on_pf_restart ~shard:j ip) ips)))
+    pf_set;
+  Replica_set.supervise drv_set rs
+    ~notify_crash:(fun _ ->
+      Array.to_list
+        (Array.mapi (fun k ip () -> Ip_srv.on_drv_crash ip ~iface:ifaces.(k)) ips))
+    ~notify_restart:(fun _ ->
+      Array.to_list
+        (Array.mapi (fun k ip () -> Ip_srv.on_drv_restart ip ~iface:ifaces.(k)) ips));
   Reincarnation.start rs;
   {
     config;
@@ -602,23 +769,19 @@ let create ?(config = default_config) () =
     storage;
     rs;
     sm;
-    sc = sc_srv;
-    tcps;
-    udps;
-    ips;
-    pf = pf_srv;
-    drv;
+    sc_set;
+    tcp_set;
+    udp_set;
+    ip_set;
+    pf_set;
+    drv_set;
     nic;
     link;
     sink;
-    sc_comp;
-    pf_comp;
-    drv_comp;
-    tcp_comps;
-    udp_comps;
-    ip_comps;
     tcp_to_ip;
     ip_to_tcp;
+    pf_chans;
+    publish_pf_rules;
     steer_journal;
     ip_violations;
     next_app_pid = 10_000;

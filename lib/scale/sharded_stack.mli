@@ -1,4 +1,4 @@
-(** A NewtOS host whose transport layer is replicated N ways.
+(** A NewtOS host whose every layer is a {!Replica_set}.
 
     The single-instance {!Newt_core.Host} tops out at one TCP server's
     worth of cycles per segment (Table II). This composition implements
@@ -7,25 +7,38 @@
     RX queues; the IP server fans segments up to N [tcp_srv] replicas on
     dedicated cores (each with its own channels, pools and request
     database); the SYSCALL server routes each socket's calls down to its
-    shard. One {!Shard_map} drives all three layers, so {e every segment
-    of a flow traverses exactly one shard} — the affinity invariant
+    shard. One {!Shard_map} drives all layers, so {e every segment of a
+    flow traverses exactly one shard} — the affinity invariant
     {!steering_violations} counts violations of.
 
-    Each shard is supervised by the reincarnation server independently:
-    killing one ({!kill_shard}) loses only that shard's connections;
-    the other shards' flows keep running without losing a segment,
-    because IP reclaims only the dead shard's receive buffers and the
-    device is never reset (only an IP crash forces that, Section V-D).
+    Every component server is a member of a {!Replica_set} — most of
+    them 1-member sets — so transport shards, IP replicas and PF shards
+    are three configurations of one replication mechanism, not three
+    mechanisms. Each member is supervised by the reincarnation server
+    independently: killing one TCP shard ({!kill_shard}) loses only that
+    shard's connections; the other shards' flows keep running without
+    losing a segment.
 
-    The IP server itself can be replicated too ([ip_replicas]): each of
-    the [r] instances is an ordinary {!Newt_stack.Component} server on
-    its own core with its own receive pool and ARP cache, owning the
-    NIC queues [q] with [q mod r = k] and serving the transport shards
-    [i] with [i mod r = k]. ARP bindings learned from the wire are
-    broadcast through the channel directory so all caches converge, and
-    killing one replica ({!kill_ip_replica}) fences off and loses only
-    its own queues' in-flight datagrams — the driver never bounces the
-    link, and the other replicas' shards never notice. *)
+    The IP server can be replicated ([ip_replicas]): each of the [r]
+    instances owns the NIC queues [q] with [q mod r = k] and serves the
+    transport shards [i] with [i mod r = k]. ARP bindings learned from
+    the wire are broadcast through the channel directory so all caches
+    converge; killing one replica ({!kill_ip_replica}) fences off only
+    its own queues.
+
+    The packet filter can be sharded too ([pf_shards]): [np] PF
+    instances partition the conntrack table by the same flow hash
+    (shard [j] owns the flows with [shard_of mod np = j], with an LRU
+    cap of [total/np] each and its own TTL sweep). Every IP replica
+    holds a channel pair to every PF shard and steers each packet —
+    both directions — from its IP header, so a flow's packets always
+    meet the same conntrack partition. Rules are one shared
+    configuration, broadcast to all shards through the channel
+    directory and replayed on restart. Killing one shard
+    ({!kill_pf_shard}) holds only its own flows' packets while the
+    reincarnation server brings it back; recovery re-tracks {e only}
+    that shard's slice of the transports' connection tables — the
+    sibling shards lose zero entries. *)
 
 type config = {
   seed : int;
@@ -36,12 +49,17 @@ type config = {
       (** IP server instances; must satisfy
           [1 <= ip_replicas <= shards]. 1 reproduces the single-IP
           stack exactly (whole-device reset on crash). *)
+  pf_shards : int;
+      (** Packet-filter instances; must satisfy
+          [1 <= pf_shards <= shards]. 1 reproduces the single-PF stack
+          exactly (same channel keys, same storage namespace). Ignored
+          when [pf_rules = None]. *)
   link_gbps : float;
       (** The wire must outrun N shards — default 40 (a 40GbE port). *)
   pf_rules : Newt_pf.Rule.t list option;
       (** [None] removes the filter from the path (the paper's
-          no-PF column); [Some rules] wires one PF server shared by all
-          shards. *)
+          no-PF column); [Some rules] wires [pf_shards] PF servers
+          sharing this one ruleset. *)
   tcp_config : Newt_net.Tcp.config option;
   nic_reset_time : Newt_sim.Time.cycles;
   heartbeat_period : Newt_sim.Time.cycles;
@@ -49,8 +67,8 @@ type config = {
 }
 
 val default_config : config
-(** 4 TCP shards, 1 UDP shard, 1 IP instance, 40 Gbps, no filter,
-    seed 42. *)
+(** 4 TCP shards, 1 UDP shard, 1 IP instance, 1 PF shard, 40 Gbps, no
+    filter, seed 42. *)
 
 type t
 
@@ -68,9 +86,22 @@ val ip_srv : t -> Newt_stack.Ip_srv.t
 val ip_replica : t -> int -> Newt_stack.Ip_srv.t
 val ip_replica_count : t -> int
 
+val pf_shard : t -> int -> Newt_stack.Pf_srv.t
+(** PF shard [j]. Raises when the stack runs without a filter. *)
+
+val pf_shard_count : t -> int
+(** 0 when the stack runs without a filter. *)
+
 val directory : t -> Newt_channels.Pubsub.t
 (** The channel directory, which also carries the ARP learn-broadcast
-    publications (keys under ["arp."]). *)
+    publications (keys under ["arp."]) and the PF ruleset broadcast
+    (key ["pf.rules"]). *)
+
+val set_pf_rules : t -> Newt_pf.Rule.t list -> unit
+(** Install a new ruleset on {e every} PF shard: persisted once in the
+    shared namespace, announced through the directory, applied by each
+    shard's subscription (and replayed by restarted shards). No-op
+    without a filter. *)
 
 val nic : t -> Newt_nic.Mq_e1000.t
 val link : t -> Newt_nic.Link.t
@@ -80,17 +111,28 @@ val shard_map : t -> Shard_map.t
 (** {1 Topology introspection (for the stack verifier)} *)
 
 val components : t -> Newt_stack.Component.t list
-(** Every component server of the host: SYSCALL, filter (if any),
-    driver, transport shards, IP replicas. *)
+(** Every component server of the host: SYSCALL, filter shards (if
+    any), driver, transport shards, IP replicas. *)
 
 val tcp_components : t -> Newt_stack.Component.t array
 val ip_components : t -> Newt_stack.Component.t array
+
+val pf_components : t -> Newt_stack.Component.t array
+(** Empty when the stack runs without a filter. *)
 
 val tcp_channels :
   t -> (Newt_stack.Msg.t Newt_channels.Sim_chan.t * Newt_stack.Msg.t Newt_channels.Sim_chan.t) array
 (** Per TCP shard [i], its [(to_ip, from_ip)] channel pair — the
     request channel its replica consumes and the delivery channel it
     consumes. *)
+
+val pf_channels :
+  t ->
+  (Newt_stack.Msg.t Newt_channels.Sim_chan.t * Newt_stack.Msg.t Newt_channels.Sim_chan.t)
+  array
+  array
+(** [pf_channels t .(k).(j)] is IP replica [k]'s [(to_pf, from_pf)]
+    channel pair with PF shard [j] (empty without a filter). *)
 
 val local_addr : t -> Newt_net.Addr.Ipv4.t
 val sink_addr : t -> Newt_net.Addr.Ipv4.t
@@ -123,6 +165,13 @@ val kill_ip_replica : t -> int -> unit
 
 val ip_replica_restarts : t -> int -> int
 
+val kill_pf_shard : t -> int -> unit
+(** Crash PF shard [j]. Only its own flows' packets are held (and
+    resubmitted when it returns — no loss); its recovery re-tracks only
+    the conntrack slice it owns. *)
+
+val pf_shard_restarts : t -> int -> int
+
 (** {1 Instrumentation} *)
 
 type shard_stats = {
@@ -137,9 +186,26 @@ type shard_stats = {
 
 val shard_stats : t -> shard_stats array
 
+type pf_shard_stats = {
+  pf_shard : int;
+  verdicts : int;
+  pf_blocked : int;
+  expired : int;  (** Conntrack entries swept by this shard's TTL sweep. *)
+  entries : int;  (** Live conntrack entries in this shard's partition. *)
+  pf_restarts : int;
+}
+
+val pf_shard_stats : t -> pf_shard_stats array
+(** Empty when the stack runs without a filter. *)
+
+val planes : t -> Replica_set.plane list
+(** Every replication plane (TCP, UDP, IP, PF when present) with its
+    load metric. *)
+
 val imbalance_ratio : t -> float
-(** Max/mean of per-queue received frames at the NIC (1.0 = perfectly
-    even). *)
+(** The worst imbalance anywhere in the stack: max over the NIC's
+    per-queue received frames and every replication plane's member
+    loads (1.0 = perfectly even). *)
 
 val steering_violations : t -> int
 (** Flows observed on two different shards, summed over the NIC's
@@ -147,5 +213,6 @@ val steering_violations : t -> int
     held. *)
 
 val rebalance : t -> int
-(** Reprogram the indirection table from the shards' observed byte
-    counts; returns the number of buckets moved. *)
+(** Reprogram the indirection table from {e every} plane's observed
+    load (projected onto the RSS buckets), not just the TCP shards';
+    returns the number of buckets moved. *)

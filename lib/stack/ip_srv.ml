@@ -63,6 +63,17 @@ type fanout = {
     src:Addr.Ipv4.t -> sport:int -> dst:Addr.Ipv4.t -> dport:int -> int;
 }
 
+(* Downward fan-out to a (possibly sharded) packet filter: [pf_steer]
+   maps a flow's 4-tuple to the PF shard, with the same symmetric flow
+   hash the transport fan-out uses, so a flow's packets — both
+   directions — always meet the same conntrack partition. *)
+type pf_set = {
+  pf_chans : Msg.t Sim_chan.t array;
+  pf_steer :
+    src:Addr.Ipv4.t -> sport:int -> dst:Addr.Ipv4.t -> dport:int -> int;
+  pf_up : bool array;
+}
+
 (* Which channel a message arrived on decides how we interpret it:
    frames know their port, transport requests know their shard. *)
 type source =
@@ -81,8 +92,7 @@ type t = {
   hdr_pool : Pool.t;
   db : pending Component.Db.t;
   route_table : Ipv4.Route.table;
-  mutable to_pf : Msg.t Sim_chan.t option;
-  mutable pf_up : bool;
+  mutable pf : pf_set option;
   mutable to_tcp : fanout option;
   mutable to_udp : fanout option;
   held_bufs : (Rich_ptr.t, [ `Tcp | `Udp ] * int) Hashtbl.t;
@@ -101,7 +111,7 @@ type t = {
   mutable buf_return : (Rich_ptr.t -> unit) option;
 }
 
-let pf_peer = 1
+let pf_peer shard = 100 + shard
 let drv_peer iface = 10 + iface
 
 let comp t = t.comp
@@ -187,40 +197,52 @@ let transmit_frame t ~iface:i ~origin ~hdr ~chain ~tso =
     end
   end
 
-(* Submit an outgoing packet to the packet filter (or pass it straight
-   through when no filter is configured). *)
-let to_filter_out t pending =
-  match (t.to_pf, pending) with
-  | Some chan, Pf_out { pkt; _ } when t.pf_up ->
-      let id =
-        Component.Db.submit t.db ~peer:pf_peer ~payload:pending
-          ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
-      in
-      if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `Out; pkt })) then begin
-        ignore (Component.Db.complete t.db id);
-        t.resubmit_pf <- pending :: t.resubmit_pf
-      end
-  | Some _, Pf_out _ ->
-      (* Filter restarting: hold the packet, no loss (Figure 5). *)
-      t.resubmit_pf <- pending :: t.resubmit_pf
+(* The PF shard a packet belongs to: parsed from the IP header the
+   filter will classify ([pkt] starts at the IP header for both
+   directions). The steer function is symmetric in the two endpoints,
+   so no direction normalization is needed. Unparseable packets go to
+   shard 0 — the filter will block them anyway. *)
+let pf_shard_of pf pkt =
+  let n = Array.length pf.pf_chans in
+  if n <= 1 || Bytes.length pkt < 20 then 0
+  else begin
+    let ip_at off = Addr.Ipv4.of_int32 (Bytes.get_int32_be pkt off) in
+    let src = ip_at 12 and dst = ip_at 16 in
+    let proto = Char.code (Bytes.get pkt 9) in
+    let sport, dport =
+      if (proto = 6 || proto = 17) && Bytes.length pkt >= 24 then
+        (Bytes.get_uint16_be pkt 20, Bytes.get_uint16_be pkt 22)
+      else (0, 0)
+    in
+    pf.pf_steer ~src ~sport ~dst ~dport mod n
+  end
+
+(* Submit a packet (either direction) to its packet filter shard, or
+   pass it straight through when no filter is configured. *)
+let to_filter t pending =
+  match (t.pf, pending) with
   | None, Pf_out { origin; chain; iface; hdr; tso; _ } ->
       transmit_frame t ~iface ~origin ~hdr ~chain ~tso
-  | _, (Pf_in _ | Drv _) -> assert false
-
-let to_filter_in t pending =
-  match (t.to_pf, pending) with
-  | Some chan, Pf_in { pkt; _ } when t.pf_up ->
-      let id =
-        Component.Db.submit t.db ~peer:pf_peer ~payload:pending
-          ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
-      in
-      if not (Proc.send t.proc chan (Msg.Filter_req { id; dir = `In; pkt })) then begin
-        ignore (Component.Db.complete t.db id);
-        t.resubmit_pf <- pending :: t.resubmit_pf
-      end
-  | Some _, Pf_in _ -> t.resubmit_pf <- pending :: t.resubmit_pf
   | None, Pf_in _ -> assert false (* handled by caller when no PF *)
-  | _, (Pf_out _ | Drv _) -> assert false
+  | Some pf, (Pf_out { pkt; _ } | Pf_in { pkt; _ }) ->
+      let dir = match pending with Pf_in _ -> `In | Pf_out _ | Drv _ -> `Out in
+      let shard = pf_shard_of pf pkt in
+      if not pf.pf_up.(shard) then
+        (* That filter shard is restarting: hold the packet, no loss
+           (Figure 5) — the other shards' traffic keeps flowing. *)
+        t.resubmit_pf <- pending :: t.resubmit_pf
+      else begin
+        let id =
+          Component.Db.submit t.db ~peer:(pf_peer shard) ~payload:pending
+            ~abort:(fun _ p -> t.resubmit_pf <- p :: t.resubmit_pf)
+        in
+        if not (Proc.send t.proc pf.pf_chans.(shard) (Msg.Filter_req { id; dir; pkt }))
+        then begin
+          ignore (Component.Db.complete t.db id);
+          t.resubmit_pf <- pending :: t.resubmit_pf
+        end
+      end
+  | _, Drv _ -> assert false
 
 (* Build the merged Ethernet+IP+L4-header chunk and queue the packet for
    the outgoing filter pass. [l4chain]'s first chunk must be the L4
@@ -279,9 +301,9 @@ let start_tx t ~origin ~src ~dst ~proto ~l4chain ~tso =
                   let pending =
                     Pf_out { origin; chain; iface = i; hdr = hdr_ptr; tso; pkt }
                   in
-                  if t.to_pf = None then
+                  if t.pf = None then
                     transmit_frame t ~iface:i ~origin ~hdr:hdr_ptr ~chain ~tso
-                  else to_filter_out t pending
+                  else to_filter t pending
             end)
         in
         match
@@ -448,12 +470,12 @@ let handle_rx_frame t ~iface:arrival ~buf ~len =
                   | None -> ()))
           | Ethernet.Ipv4 ->
               let pkt_bytes = Bytes.sub frame 14 (Bytes.length frame - 14) in
-              if t.to_pf = None then accept_in t ~buf pkt_bytes
+              if t.pf = None then accept_in t ~buf pkt_bytes
               else begin
                 let pkt =
                   Bytes.sub pkt_bytes 0 (min (Bytes.length pkt_bytes) 40)
                 in
-                to_filter_in t (Pf_in { buf = { buf with Rich_ptr.len }; pkt })
+                to_filter t (Pf_in { buf = { buf with Rich_ptr.len }; pkt })
               end
           | Ethernet.Unknown _ -> free_rx t buf))
 
@@ -604,8 +626,7 @@ let create comp ~registry ~save ~load () =
       hdr_pool;
       db = Component.create_db comp;
       route_table = Ipv4.Route.create ();
-      to_pf = None;
-      pf_up = true;
+      pf = None;
       to_tcp = None;
       to_udp = None;
       held_bufs = Hashtbl.create 128;
@@ -680,10 +701,24 @@ let hooks_of_drv drv =
 let add_iface t cfg ~drv ~tx_chan ~rx_chan =
   add_iface_custom t cfg ~hooks:(hooks_of_drv drv) ~tx_chan ~rx_chan
 
+let connect_pf_sharded t ~steer ~pairs =
+  t.pf <-
+    Some
+      {
+        pf_chans = Array.map fst pairs;
+        pf_steer = steer;
+        pf_up = Array.make (Array.length pairs) true;
+      };
+  Array.iter
+    (fun (to_pf, from_pf) ->
+      Component.produce t.comp to_pf;
+      consume t from_pf)
+    pairs
+
 let connect_pf t ~to_pf ~from_pf =
-  t.to_pf <- Some to_pf;
-  Component.produce t.comp to_pf;
-  consume t from_pf
+  connect_pf_sharded t
+    ~steer:(fun ~src:_ ~sport:_ ~dst:_ ~dport:_ -> 0)
+    ~pairs:[| (to_pf, from_pf) |]
 
 let connect_transport_sharded ?(mine = fun _ -> true) t ~proto ~steer ~pairs =
   let fan = { chans = Array.map snd pairs; steer } in
@@ -727,23 +762,34 @@ let src_addr_for t dst =
 let resubmit_pf_all t =
   let pendings = List.rev t.resubmit_pf in
   t.resubmit_pf <- [];
+  (* Re-steered through [to_filter]: packets whose shard is still down
+     simply land back on the hold list. *)
   List.iter
-    (fun p ->
-      match p with
-      | Pf_out _ -> to_filter_out t p
-      | Pf_in _ -> to_filter_in t p
-      | Drv _ -> ())
+    (fun p -> match p with Pf_out _ | Pf_in _ -> to_filter t p | Drv _ -> ())
     pendings
 
 let repersist t = persist_routes t
 
-let on_pf_crash t =
-  t.pf_up <- false;
-  ignore (Component.Db.abort_peer t.db ~peer:pf_peer)
+let on_pf_crash ?shard t =
+  match t.pf with
+  | None -> ()
+  | Some pf ->
+      let fence j =
+        pf.pf_up.(j) <- false;
+        ignore (Component.Db.abort_peer t.db ~peer:(pf_peer j))
+      in
+      (match shard with
+      | Some j -> fence j
+      | None -> Array.iteri (fun j _ -> fence j) pf.pf_up)
 
-let on_pf_restart t =
-  t.pf_up <- true;
-  Proc.exec t.proc ~cost:(costs t).Costs.ip_tx_work (fun () -> resubmit_pf_all t)
+let on_pf_restart ?shard t =
+  match t.pf with
+  | None -> ()
+  | Some pf ->
+      (match shard with
+      | Some j -> pf.pf_up.(j) <- true
+      | None -> Array.iteri (fun j _ -> pf.pf_up.(j) <- true) pf.pf_up);
+      Proc.exec t.proc ~cost:(costs t).Costs.ip_tx_work (fun () -> resubmit_pf_all t)
 
 let on_drv_crash t ~iface:i =
   (iface t i).drv_up <- false;

@@ -79,6 +79,26 @@ val connect_pf :
   to_pf:Msg.t Newt_channels.Sim_chan.t ->
   from_pf:Msg.t Newt_channels.Sim_chan.t ->
   unit
+(** One filter instance (the 1-shard special case of
+    {!connect_pf_sharded}). *)
+
+val connect_pf_sharded :
+  t ->
+  steer:
+    (src:Newt_net.Addr.Ipv4.t ->
+    sport:int ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    dport:int ->
+    int) ->
+  pairs:(Msg.t Newt_channels.Sim_chan.t * Msg.t Newt_channels.Sim_chan.t) array ->
+  unit
+(** Wire [N] packet-filter shards: [pairs.(j)] is shard [j]'s
+    [(to_pf, from_pf)] channel pair. Every packet — both directions —
+    is submitted to the shard [steer] picks from the packet's own IP
+    header, so the two directions of a flow always meet the same
+    conntrack partition; [steer] must be symmetric in the two
+    endpoints and must agree with the PF shards' own ownership
+    predicate. Replaces any previous filter wiring. *)
 
 val connect_transport :
   t ->
@@ -149,11 +169,13 @@ val set_buf_return : t -> (Newt_channels.Rich_ptr.t -> unit) -> unit
 
 (** {1 Recovery notifications (called by the reincarnation layer)} *)
 
-val on_pf_crash : t -> unit
-(** Abort all pending filter requests; they are resubmitted when the
-    filter returns. *)
+val on_pf_crash : ?shard:int -> t -> unit
+(** Abort the pending filter requests of PF shard [shard] (default:
+    every shard); they are resubmitted when the filter returns. With a
+    sharded filter the other shards' traffic keeps flowing — only the
+    dead shard's packets are held. *)
 
-val on_pf_restart : t -> unit
+val on_pf_restart : ?shard:int -> t -> unit
 
 val on_drv_crash : t -> iface:int -> unit
 val on_drv_restart : t -> iface:int -> unit

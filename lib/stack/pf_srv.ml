@@ -14,6 +14,7 @@ type t = {
   save : string -> string -> unit;
   load : string -> string option;
   engine : Pf_engine.t;
+  owns : Conntrack.flow -> bool;
   mutable tcp_source : unit -> Conntrack.flow list;
   mutable udp_source : unit -> Conntrack.flow list;
   mutable verdicts : int;
@@ -83,14 +84,15 @@ let rec arm_sweep t =
       persist_conntrack t;
       arm_sweep t)
 
-let create comp ~save ~load () =
+let create comp ~save ~load ?max_entries ?(owns = fun _ -> true) () =
   let t =
     {
       comp;
       proc = Component.proc comp;
       save;
       load;
-      engine = Pf_engine.create ();
+      engine = Pf_engine.create ?max_entries ();
+      owns;
       tcp_source = (fun () -> []);
       udp_source = (fun () -> []);
       verdicts = 0;
@@ -120,11 +122,16 @@ let create comp ~save ~load () =
             (Marshal.from_string blob 0 : (Conntrack.flow * int) list)
         | None -> []
       in
-      Pf_engine.restore t.engine ~rules ~states:snapshot;
+      (* A sharded filter restores only the partition it owns — both
+         from the snapshot and from the transport servers' live tables
+         — so a foreign shard's flows are never re-tracked here. *)
+      Pf_engine.restore t.engine ~rules
+        ~states:(List.filter (fun (f, _) -> t.owns f) snapshot);
       let ct = Pf_engine.conntrack t.engine in
       List.iter
         (fun f ->
-          if not (Conntrack.mem ct f) then Conntrack.insert ct ~now:(now t) f)
+          if t.owns f && not (Conntrack.mem ct f) then
+            Conntrack.insert ct ~now:(now t) f)
         (t.tcp_source () @ t.udp_source ());
       arm_sweep t);
   arm_sweep t;

@@ -26,8 +26,16 @@ val create :
   Component.t ->
   save:(string -> string -> unit) ->
   load:(string -> string option) ->
+  ?max_entries:int ->
+  ?owns:(Newt_pf.Conntrack.flow -> bool) ->
   unit ->
   t
+(** [max_entries] caps this instance's conntrack table (a sharded
+    deployment gives each of N shards [total/N]). [owns] (default:
+    everything) is the shard's partition predicate: recovery restores
+    only owned flows — from the snapshot and from the transport
+    servers alike — so a PF-shard crash re-tracks exactly its own
+    slice and never resurrects a sibling's entries. *)
 
 val comp : t -> Component.t
 val proc : t -> Proc.t

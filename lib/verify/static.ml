@@ -12,6 +12,12 @@ type sharding = {
   ip_to_shard : int array;
   replica_names : string array;
   shard_names : string array;
+  (* The packet-filter partition: [pf_shards = 0] means the stack runs
+     without a filter and the PF checks are skipped. *)
+  pf_shards : int;
+  pf_names : string array;
+  ip_to_pf : int array array;
+  pf_to_ip : int array array;
 }
 
 (* One component's claim on one end of a channel. *)
@@ -265,45 +271,86 @@ let check ?directory ?sharding ?(title = "static channel graph")
               ~culprit:"nic"
               (Printf.sprintf "indirection entry %d outside [0, %d)" q s.shards))
         s.rss_table;
+      let endpoint_check ~subject chan_id ~role ~expect =
+        match Hashtbl.find_opt chans chan_id with
+        | None ->
+            flag "sharding" ~subject ~culprit:"wiring"
+              (Printf.sprintf "channel %d missing from the graph" chan_id)
+        | Some ci ->
+            let actual =
+              match role with
+              | `Consumer -> ci.consumers
+              | `Producer -> ci.exclusive
+            in
+            if not (List.exists (fun e -> e.comp = expect) actual) then
+              flag "sharding"
+                ~subject:(chan_name chan_id)
+                ~culprit:(names actual)
+                (Printf.sprintf "%s expects %s as %s here" subject expect
+                   (match role with
+                   | `Consumer -> "consumer"
+                   | `Producer -> "exclusive producer"))
+      in
       for i = 0 to s.shards - 1 do
         if not (Array.exists (fun q -> q = i) s.rss_table) then
           flag "sharding"
             ~subject:(Printf.sprintf "shard %d" i)
             ~culprit:"nic"
             "no RSS bucket steers to this shard: its flows can never arrive";
+        let subject = Printf.sprintf "shard %d" i in
         let expect_replica = s.replica_names.(i mod s.replicas) in
-        let endpoint_check chan_id ~role ~expect =
-          match Hashtbl.find_opt chans chan_id with
-          | None ->
-              flag "sharding"
-                ~subject:(Printf.sprintf "shard %d" i)
-                ~culprit:"wiring"
-                (Printf.sprintf "channel %d missing from the graph" chan_id)
-          | Some ci ->
-              let actual =
-                match role with
-                | `Consumer -> ci.consumers
-                | `Producer -> ci.exclusive
-              in
-              if not (List.exists (fun e -> e.comp = expect) actual) then
-                flag "sharding"
-                  ~subject:(chan_name chan_id)
-                  ~culprit:(names actual)
-                  (Printf.sprintf "shard %d expects %s as %s here" i expect
-                     (match role with
-                     | `Consumer -> "consumer"
-                     | `Producer -> "exclusive producer"))
-        in
         (* Requests from shard i must reach exactly its replica; the
            replica's deliveries must come back on shard i's channel. *)
-        endpoint_check s.shard_to_ip.(i) ~role:`Consumer ~expect:expect_replica;
-        endpoint_check s.shard_to_ip.(i) ~role:`Producer
+        endpoint_check ~subject s.shard_to_ip.(i) ~role:`Consumer
+          ~expect:expect_replica;
+        endpoint_check ~subject s.shard_to_ip.(i) ~role:`Producer
           ~expect:s.shard_names.(i);
-        endpoint_check s.ip_to_shard.(i) ~role:`Consumer
+        endpoint_check ~subject s.ip_to_shard.(i) ~role:`Consumer
           ~expect:s.shard_names.(i);
-        endpoint_check s.ip_to_shard.(i) ~role:`Producer ~expect:expect_replica
+        endpoint_check ~subject s.ip_to_shard.(i) ~role:`Producer
+          ~expect:expect_replica
       done;
-      count "sharding" s.shards);
+      count "sharding" s.shards;
+      (* The PF partition, checked the same way: every IP replica must
+         hold a private request channel to every PF shard (consumed by
+         exactly that shard), and the shard's verdicts must come back
+         on the replica's own reply channel — the structural half of
+         "a flow's packets always meet the same conntrack partition". *)
+      if s.pf_shards > 0 then begin
+        if Array.length s.ip_to_pf <> s.replicas then
+          flag "sharding" ~subject:"pf partition" ~culprit:"wiring"
+            (Printf.sprintf "%d ip→pf channel rows for %d replicas"
+               (Array.length s.ip_to_pf) s.replicas);
+        Array.iteri
+          (fun k row ->
+            if Array.length row <> s.pf_shards then
+              flag "sharding"
+                ~subject:(Printf.sprintf "replica %d pf fan-out" k)
+                ~culprit:"wiring"
+                (Printf.sprintf "%d pf channels for %d pf shards"
+                   (Array.length row) s.pf_shards);
+            Array.iteri
+              (fun j chan_id ->
+                let subject = Printf.sprintf "pf shard %d (replica %d)" j k in
+                endpoint_check ~subject chan_id ~role:`Consumer
+                  ~expect:s.pf_names.(j);
+                endpoint_check ~subject chan_id ~role:`Producer
+                  ~expect:s.replica_names.(k))
+              row)
+          s.ip_to_pf;
+        Array.iteri
+          (fun k row ->
+            Array.iteri
+              (fun j chan_id ->
+                let subject = Printf.sprintf "pf shard %d (replica %d)" j k in
+                endpoint_check ~subject chan_id ~role:`Consumer
+                  ~expect:s.replica_names.(k);
+                endpoint_check ~subject chan_id ~role:`Producer
+                  ~expect:s.pf_names.(j))
+              row)
+          s.pf_to_ip;
+        count "sharding-pf" (s.pf_shards * s.replicas)
+      end);
   {
     Report.title;
     checks = List.rev !checks;

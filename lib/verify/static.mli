@@ -44,6 +44,16 @@ type sharding = {
       (** Shard [i] → channel id of the IP→transport delivery channel. *)
   replica_names : string array;  (** Replica [k] → component name. *)
   shard_names : string array;  (** Shard [i] → component name. *)
+  pf_shards : int;
+      (** Packet-filter instances; 0 = no filter, PF checks skipped. *)
+  pf_names : string array;  (** PF shard [j] → component name. *)
+  ip_to_pf : int array array;
+      (** [.(k).(j)] → channel id of replica [k]'s request channel to
+          PF shard [j]: consumed by exactly that shard, produced by
+          exactly that replica. *)
+  pf_to_ip : int array array;
+      (** [.(k).(j)] → channel id of the verdict channel back: consumed
+          by replica [k], produced by PF shard [j]. *)
 }
 
 val check :

@@ -237,6 +237,77 @@ let test_restore () =
   Alcotest.(check int) "rules restored" 16 (List.length (Pf_engine.export_rules e));
   Alcotest.(check int) "states restored" 1 (List.length (Pf_engine.export_states e))
 
+(* {2 The sharded filter's partitioned recovery (Pf_srv + [owns])} *)
+
+module Engine = Newt_sim.Engine
+module Machine = Newt_hw.Machine
+module Component = Newt_stack.Component
+module Pf_srv = Newt_stack.Pf_srv
+
+let make_pf_srv ?max_entries ?owns () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let core = Machine.add_dedicated_core m in
+  let comp = Component.create m ~name:"pf" ~core () in
+  let store = Hashtbl.create 8 in
+  let srv =
+    Pf_srv.create comp ~save:(Hashtbl.replace store)
+      ~load:(Hashtbl.find_opt store) ?max_entries ?owns ()
+  in
+  (e, comp, srv)
+
+let test_pf_srv_partitioned_recovery () =
+  (* A shard owning only even local ports: its restart must re-track
+     exactly its own slice — from the snapshot (last-seen preserved, so
+     idle entries are not resurrected as fresh) and from the transport
+     query — and never a foreign shard's flows. *)
+  let owns (f : Conntrack.flow) = f.Conntrack.local_port mod 2 = 0 in
+  let e, comp, srv = make_pf_srv ~owns () in
+  let ct = Pf_engine.conntrack (Pf_srv.engine_of srv) in
+  Conntrack.insert ct ~now:5 (ct_flow ~lport:2 ());
+  Conntrack.insert ct ~now:7 (ct_flow ~lport:4 ());
+  (* A foreign flow that somehow reached this shard's table: it may die
+     with the crash but must never come back here. *)
+  Conntrack.insert ct ~now:9 (ct_flow ~lport:3 ());
+  Pf_srv.repersist srv;
+  Pf_srv.set_conntrack_sources srv
+    ~tcp:(fun () -> [ ct_flow ~lport:6 (); ct_flow ~lport:5 () ])
+    ~udp:(fun () -> []);
+  ignore (Engine.schedule e 1000 (fun () -> Component.crash comp));
+  ignore (Engine.schedule e 2000 (fun () -> Component.restart comp));
+  Engine.run ~until:2500 e;
+  Alcotest.(check int) "exactly the owned slice re-tracked" 3 (Conntrack.size ct);
+  Alcotest.(check (option int)) "snapshot entry keeps its last-seen time"
+    (Some 5)
+    (Conntrack.last_seen ct (ct_flow ~lport:2 ()));
+  Alcotest.(check (option int)) "second snapshot entry too" (Some 7)
+    (Conntrack.last_seen ct (ct_flow ~lport:4 ()));
+  Alcotest.(check bool) "foreign snapshot flow not re-tracked" false
+    (Conntrack.mem ct (ct_flow ~lport:3 ()));
+  Alcotest.(check (option int)) "transport flow (re)tracked as of now"
+    (Some 2000)
+    (Conntrack.last_seen ct (ct_flow ~lport:6 ()));
+  Alcotest.(check bool) "foreign transport flow not re-tracked" false
+    (Conntrack.mem ct (ct_flow ~lport:5 ()));
+  (* The preserved clocks are what keeps restored-but-idle entries on
+     schedule: both snapshot entries expire, the live one survives. *)
+  Alcotest.(check int) "idle restored entries expire on schedule" 2
+    (Conntrack.expire ct ~now:2400 ~ttl:1000)
+
+let test_pf_srv_per_shard_cap () =
+  (* The sharded deployment hands each of N shards [total/N] entries;
+     the cap must bind per instance. *)
+  let _, _, srv = make_pf_srv ~max_entries:4 () in
+  let ct = Pf_engine.conntrack (Pf_srv.engine_of srv) in
+  for i = 1 to 6 do
+    Conntrack.insert ct ~now:i (ct_flow ~lport:(40000 + i) ())
+  done;
+  Alcotest.(check int) "per-shard cap honored" 4 (Conntrack.size ct);
+  Alcotest.(check bool) "coldest entry evicted" false
+    (Conntrack.mem ct (ct_flow ~lport:40001 ()));
+  Alcotest.(check bool) "hottest entry kept" true
+    (Conntrack.mem ct (ct_flow ~lport:40006 ()))
+
 let contains s needle =
   let n = String.length needle and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
@@ -271,6 +342,10 @@ let suite =
     ( "conntrack import keeps the expiry clock",
       `Quick,
       test_conntrack_import_keeps_expiry_clock );
+    ( "pf shard recovery re-tracks only its own slice",
+      `Quick,
+      test_pf_srv_partitioned_recovery );
+    ("pf shard conntrack cap binds per instance", `Quick, test_pf_srv_per_shard_cap);
     ("classify parses tcp packets", `Quick, test_classify_tcp);
     ("classify rejects garbage", `Quick, test_classify_garbage);
     ("generated 1024-rule set behaves", `Quick, test_generated_ruleset_shape);

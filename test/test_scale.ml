@@ -322,6 +322,170 @@ let test_ip_replica_crash_isolation () =
   Alcotest.(check int) "affinity held across the crash" 0
     (S.steering_violations s)
 
+(* {2 Sharded packet filter} *)
+
+module Rule = Newt_pf.Rule
+module Conntrack = Newt_pf.Conntrack
+module Pf_engine = Newt_pf.Pf_engine
+module Pf_srv = Newt_stack.Pf_srv
+module Replica_set = Newt_scale.Replica_set
+
+(* The PF plane's partition function: the shared flow hash reduced to
+   the PF member count (must agree with the stack's own steering). *)
+let pf_owner s (f : Conntrack.flow) =
+  Shard_map.shard_of (S.shard_map s) ~src:f.Conntrack.local_ip
+    ~sport:f.Conntrack.local_port ~dst:f.Conntrack.remote_ip
+    ~dport:f.Conntrack.remote_port
+  mod S.pf_shard_count s
+
+let pf_conntrack s j = Pf_engine.conntrack (Pf_srv.engine_of (S.pf_shard s j))
+
+let test_planes_cover_every_replica_set () =
+  let config =
+    {
+      S.default_config with
+      S.shards = 2;
+      ip_replicas = 2;
+      pf_shards = 2;
+      pf_rules = Some [ Rule.pass_all ];
+    }
+  in
+  let s = S.create ~config () in
+  let planes = S.planes s in
+  List.iter
+    (fun (name, members) ->
+      match
+        List.find_opt
+          (fun (p : Replica_set.plane) -> p.Replica_set.plane_name = name)
+          planes
+      with
+      | Some p ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s plane size" name)
+            members p.Replica_set.members
+      | None -> Alcotest.failf "plane %s missing" name)
+    [ ("tcp", 2); ("ip", 2); ("pf", 2) ];
+  (* The whole-stack imbalance/rebalance accounting is defined (and a
+     no-op) before any load exists on any plane. *)
+  Alcotest.(check (float 1e-9)) "idle stack is balanced" 1.0
+    (S.imbalance_ratio s);
+  Alcotest.(check int) "idle stack moves no buckets" 0 (S.rebalance s)
+
+let test_pf_sharding_lifts_plateau () =
+  let r1 =
+    E.scaling_curve ~shard_counts:[ 8 ] ~ip_replicas:4 ~pf_shards:1 ~flows:8
+      ~duration:0.2 ()
+  in
+  let r2 =
+    E.scaling_curve ~shard_counts:[ 8 ] ~ip_replicas:4 ~pf_shards:2 ~flows:8
+      ~duration:0.2 ()
+  in
+  match (r1.E.points, r2.E.points) with
+  | [ p1 ], [ p2 ] ->
+      Alcotest.(check int) "two pf shards ran" 2 p2.E.pf_shards;
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "sharded PF beats the single-PF plateau (%.2f vs %.2f Gbps)"
+           p2.E.goodput_gbps p1.E.goodput_gbps)
+        true
+        (p2.E.goodput_gbps > p1.E.goodput_gbps *. 1.15);
+      Alcotest.(check int) "affinity invariant held (pf=1)" 0 p1.E.violations;
+      Alcotest.(check int) "affinity invariant held (pf=2)" 0 p2.E.violations;
+      Alcotest.(check int) "one counter block per pf shard" 2
+        (Array.length p2.E.per_pf_shard);
+      Array.iter
+        (fun (st : S.pf_shard_stats) ->
+          Alcotest.(check bool) "every pf shard issued verdicts" true
+            (st.S.verdicts > 1000);
+          Alcotest.(check bool) "every pf shard tracked flows" true
+            (st.S.entries > 0))
+        p2.E.per_pf_shard
+  | _ -> Alcotest.fail "expected one point each"
+
+let test_pf_shard_crash_isolation () =
+  (* Four paced flows over 2 transport shards and 2 PF shards (flow →
+     PF shard is the same hash, so shards 0/1 each filter two flows).
+     Killing PF shard 0 must hold only its own flows' packets — losing
+     none — and its recovery must re-track exactly its own conntrack
+     slice while the sibling's entries survive untouched. *)
+  let config =
+    {
+      S.default_config with
+      S.shards = 2;
+      pf_shards = 2;
+      pf_rules = Some [ Rule.pass_all ];
+      link_gbps = 10.0;
+    }
+  in
+  let s = S.create ~config () in
+  let received = Array.make 4 0 in
+  for i = 0 to 3 do
+    Sink.sink_tcp (S.sink s) ~port:(5001 + i) ~on_bytes:(fun ~at:_ n ->
+        received.(i) <- received.(i) + n)
+  done;
+  let iperfs =
+    Array.init 4 (fun i ->
+        Apps.Iperf.start (S.machine s) ~sc:(S.sc s) ~app:(S.app s)
+          ~dst:(S.sink_addr s) ~port:(5001 + i) ~write_size:1460
+          ~pace:(Time.of_micros 100.) ~until:(Time.of_seconds 1.0) ())
+  in
+  let sibling_at_kill = ref [] in
+  S.at s (Time.of_seconds 0.3) (fun () ->
+      sibling_at_kill := List.map fst (Conntrack.export (pf_conntrack s 1));
+      S.kill_pf_shard s 0);
+  S.run s ~until:(Time.of_seconds 1.3);
+  Alcotest.(check int) "killed pf shard restarted once" 1
+    (S.pf_shard_restarts s 0);
+  Alcotest.(check int) "sibling pf shard untouched" 0 (S.pf_shard_restarts s 1);
+  for i = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "transport shard %d never crashed" i)
+      0 (S.shard_restarts s i)
+  done;
+  (* A PF crash loses no packets anywhere: IP holds the unanswered
+     verdicts and resubmits them, so every flow — including the two
+     filtered by the dead shard — delivers every byte, and no
+     connection is reset. *)
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "flow %d lost nothing" i)
+      (Apps.Iperf.bytes_sent iperfs.(i))
+      received.(i);
+    Alcotest.(check int)
+      (Printf.sprintf "flow %d saw no error" i)
+      0
+      (Apps.Iperf.errors iperfs.(i))
+  done;
+  Alcotest.(check int) "no corruption on the wire" 0
+    (Sink.checksum_failures (S.sink s));
+  Alcotest.(check int) "affinity held across the crash" 0
+    (S.steering_violations s);
+  (* The sibling's partition survived the crash entry for entry... *)
+  Alcotest.(check bool) "sibling tracked flows before the kill" true
+    (!sibling_at_kill <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "sibling entry survived" true
+        (Conntrack.mem (pf_conntrack s 1) f))
+    !sibling_at_kill;
+  (* ...and each shard's table holds exactly its own slice of the flow
+     space: recovery re-tracked the dead shard's flows (from its
+     snapshot and the transports) and nothing foreign. *)
+  let check_partition j =
+    let entries = List.map fst (Conntrack.export (pf_conntrack s j)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "pf shard %d re-tracked its flows" j)
+      true (entries <> []);
+    List.iter
+      (fun f ->
+        Alcotest.(check int)
+          (Printf.sprintf "pf shard %d holds only owned flows" j)
+          j (pf_owner s f))
+      entries
+  in
+  check_partition 0;
+  check_partition 1
+
 let suite =
   [
     ( "shard map is deterministic and symmetric",
@@ -339,4 +503,7 @@ let suite =
     ("replicated IP lifts the single-IP plateau", `Slow, test_ip_replication_lifts_plateau);
     ("ARP learn-broadcast converges and survives restart", `Quick, test_arp_learn_broadcast);
     ("one IP replica crashes, the other's shards keep serving", `Slow, test_ip_replica_crash_isolation);
+    ("every replica set reports as a plane", `Quick, test_planes_cover_every_replica_set);
+    ("sharded PF lifts the single-PF plateau", `Slow, test_pf_sharding_lifts_plateau);
+    ("one PF shard crashes, conntrack partitions survive", `Slow, test_pf_shard_crash_isolation);
   ]

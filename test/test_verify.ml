@@ -40,6 +40,13 @@ let find_check (r : Report.t) check =
 let test_all_configs_verify_clean () =
   let reports = E.verify_configs () in
   Alcotest.(check bool) "several configurations" true (List.length reports > 10);
+  let title_has sub (r : Report.t) =
+    let t = r.Report.title and n = String.length sub in
+    let rec go i = i + n <= String.length t && (String.sub t i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pf-sharded configurations covered" true
+    (List.exists (title_has " pf=2") reports);
   List.iter
     (fun (r : Report.t) ->
       Alcotest.(check bool)
@@ -211,6 +218,10 @@ let minimal_shard_graph () =
       ip_to_shard = [| Sim_chan.id del |];
       replica_names = [| "ip0" |];
       shard_names = [| "tcp0" |];
+      pf_shards = 0;
+      pf_names = [||];
+      ip_to_pf = [||];
+      pf_to_ip = [||];
     }
   in
   ([ tcp; ip ], sharding)
@@ -235,6 +246,80 @@ let test_static_sharding_wrong_replica () =
   let r = Static.check ~sharding:spec comps in
   let vs = find_check r "sharding" in
   Alcotest.(check bool) "misrouted shard flagged" true (List.length vs > 0)
+
+let minimal_pf_shard_graph () =
+  let _, m = make_world () in
+  let tcp = make_comp m "tcp0" and ip = make_comp m "ip0" in
+  let pf0 = make_comp m "pf0" and pf1 = make_comp m "pf1" in
+  let req = Sim_chan.create ~id:130 () and del = Sim_chan.create ~id:131 () in
+  Component.produce tcp req;
+  Component.consume ip req handler;
+  Component.produce ip del;
+  Component.consume tcp del handler;
+  let next_id = ref 132 in
+  let pf_pair pf =
+    let fresh () =
+      let c = Sim_chan.create ~id:!next_id () in
+      incr next_id;
+      c
+    in
+    let to_pf = fresh () and from_pf = fresh () in
+    Component.produce ip to_pf;
+    Component.consume pf to_pf handler;
+    Component.produce pf from_pf;
+    Component.consume ip from_pf handler;
+    (to_pf, from_pf)
+  in
+  let a = pf_pair pf0 and b = pf_pair pf1 in
+  let spec =
+    {
+      Static.shards = 1;
+      replicas = 1;
+      rss_table = [| 0 |];
+      shard_to_ip = [| Sim_chan.id req |];
+      ip_to_shard = [| Sim_chan.id del |];
+      replica_names = [| "ip0" |];
+      shard_names = [| "tcp0" |];
+      pf_shards = 2;
+      pf_names = [| "pf0"; "pf1" |];
+      ip_to_pf = [| [| Sim_chan.id (fst a); Sim_chan.id (fst b) |] |];
+      pf_to_ip = [| [| Sim_chan.id (snd a); Sim_chan.id (snd b) |] |];
+    }
+  in
+  ([ tcp; ip; pf0; pf1 ], spec)
+
+let test_static_sharding_pf () =
+  let comps, spec = minimal_pf_shard_graph () in
+  let r = Static.check ~sharding:spec comps in
+  Alcotest.(check bool) "healthy pf partition verifies" true (Report.ok r);
+  Alcotest.(check bool) "pf subjects examined" true
+    (List.exists (fun (c, n) -> c = "sharding-pf" && n = 2) r.Report.checks)
+
+let test_static_sharding_pf_swapped_shards () =
+  (* The spec claims shard 0's request channel is consumed by pf1 (and
+     vice versa): a flow's packets would meet the wrong conntrack
+     partition. The checker must refuse. *)
+  let comps, spec = minimal_pf_shard_graph () in
+  let bad = { spec with Static.pf_names = [| "pf1"; "pf0" |] } in
+  let r = Static.check ~sharding:bad comps in
+  let vs = find_check r "sharding" in
+  Alcotest.(check bool) "swapped pf partition flagged" true
+    (List.length vs >= 2)
+
+let test_static_sharding_pf_missing_fanout () =
+  (* An IP replica wired to only one of two PF shards: half the flow
+     space has no filter on its path. *)
+  let comps, spec = minimal_pf_shard_graph () in
+  let bad =
+    {
+      spec with
+      Static.ip_to_pf = [| [| spec.Static.ip_to_pf.(0).(0) |] |];
+    }
+  in
+  let r = Static.check ~sharding:bad comps in
+  let vs = find_check r "sharding" in
+  Alcotest.(check bool) "incomplete pf fan-out flagged" true
+    (List.length vs > 0)
 
 (* --- sanitizer: staged violations --------------------------------- *)
 
@@ -718,6 +803,13 @@ let suite =
       test_static_pool_double_owner);
     ("sharding: broken rss table flagged", `Quick, test_static_sharding);
     ("sharding: wrong replica flagged", `Quick, test_static_sharding_wrong_replica);
+    ("sharding-pf: healthy partition verifies", `Quick, test_static_sharding_pf);
+    ( "sharding-pf: swapped pf shards flagged",
+      `Quick,
+      test_static_sharding_pf_swapped_shards );
+    ( "sharding-pf: incomplete fan-out flagged",
+      `Quick,
+      test_static_sharding_pf_missing_fanout );
     ("sanitizer: double free attributed", `Quick, test_sanitizer_double_free);
     ("sanitizer: non-owner write and dma grant", `Quick,
       test_sanitizer_non_owner_write);
