@@ -1,7 +1,7 @@
 # Tier-1 gate: what CI runs on every PR.
 .PHONY: check build test fmt verify verify-protocol verify-continuous \
 	sanitize-smoke bench-smoke native-smoke model-check \
-	model-check-negative clean
+	model-check-negative race-check clean
 
 check: build test fmt verify
 
@@ -52,6 +52,40 @@ model-check-negative: build
 	    --break-recovery pf:wrong-core --json > _mcheck_negative_pf.json
 	grep -q '"converged":false' _mcheck_negative_pf.json
 	rm -f _mcheck_negative_pf.json
+
+# Race checking, static + dynamic. Static: the native pinning plan
+# must lint clean (every cross-domain edge on a sanctioned primitive)
+# and each planted sabotage must be flagged. Dynamic: a short native
+# run with the vector-clock detector armed must report zero races, and
+# each --break-race mode must exit 1 through the detector with a
+# trace-carrying counterexample. --allow-oversubscribe keeps the gate
+# meaningful on 1-core CI boxes: the detector checks ordering, not
+# parallelism, so time-sliced domains are fine.
+race-check: build
+	dune exec bin/newtos_sim.exe -- verify --native-ownership --json \
+	    | grep -q '"ok":true'
+	! dune exec bin/newtos_sim.exe -- verify --native-ownership \
+	    --break-race spsc:two-producers --json > _race_lint.json
+	grep -q '"ok":false' _race_lint.json
+	grep -q '"ring-spsc"' _race_lint.json
+	! dune exec bin/newtos_sim.exe -- verify --native-ownership \
+	    --break-race loop:unfenced-counter --json > _race_lint.json
+	grep -q '"cross-domain"' _race_lint.json
+	rm -f _race_lint.json
+	dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 0.6 \
+	    --allow-oversubscribe --race --json > _race_run.json
+	grep -q '"races":0' _race_run.json
+	! dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 0.6 \
+	    --allow-oversubscribe --break-race spsc:two-producers --json \
+	    > _race_run.json
+	grep -q '"ok":false' _race_run.json
+	grep -q '"trace":\["' _race_run.json
+	! dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 0.6 \
+	    --allow-oversubscribe --break-race loop:unfenced-counter --json \
+	    > _race_run.json
+	grep -q '"ok":false' _race_run.json
+	rm -f _race_run.json
+	dune exec bench/main.exe -- micro-hook | grep -q '"hook_native"'
 
 # Continuous verification: a sanitized fault campaign that re-runs the
 # static checker against the live topology after every reincarnation

@@ -35,14 +35,14 @@ module Eventq = Newt_sim.Eventq
 let test_spsc_ping_pong =
   (* Uncontended push+pop pair on the ring — the mechanism whose
      enqueue the paper measures at ~30 cycles. *)
-  let q = Spsc.create ~capacity:1024 in
+  let q = Spsc.create ~capacity:1024 () in
   Bechamel.Test.make ~name:"spsc push+pop (same domain)"
     (Bechamel.Staged.stage (fun () ->
          ignore (Spsc.try_push q 1);
          ignore (Spsc.try_pop q)))
 
 let test_spsc_batch =
-  let q = Spsc.create ~capacity:1024 in
+  let q = Spsc.create ~capacity:1024 () in
   Bechamel.Test.make ~name:"spsc 512-batch enqueue/drain"
     (Bechamel.Staged.stage (fun () ->
          for i = 0 to 511 do
@@ -186,7 +186,7 @@ let test_capacity_model =
 let spsc_capacity = 4096
 
 let measure_spsc_cross_domain ~n () =
-  let q = Spsc.create ~capacity:spsc_capacity in
+  let q = Spsc.create ~capacity:spsc_capacity () in
   let backoff tries =
     if tries < 200 then Domain.cpu_relax () else Unix.sleepf 5e-5
   in
@@ -510,10 +510,62 @@ let print_scaling () =
     " stays on one TCP shard — and meets one PF conntrack partition)";
   print_newline ()
 
+(* {1 micro-hook: the native race hook's per-access cost}
+
+   The sampled-instrumentation budget of the race detector: what one
+   [Hook.native_access] costs disarmed (the production no-op), armed
+   at sample 1 (every access delivered) and armed at sample 256 (one
+   atomic add + mask test on the skip path), plus one delivered sync
+   event. The JSON line feeds the bench-smoke gate and the overhead
+   table in EXPERIMENTS.md. *)
+let print_micro_hook () =
+  let module Hook = Newt_channels.Hook in
+  let n = 2_000_000 in
+  let time_ns f =
+    let t0 = Unix.gettimeofday () in
+    f n;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let accesses n =
+    for _ = 1 to n do
+      Hook.native_access Hook.N_counter ~id:1 ~sub:0 ~write:true
+    done
+  in
+  let sink = ref 0 in
+  let disarmed = time_ns accesses in
+  Hook.set_native ~sample:1 (fun _ -> incr sink);
+  let every = time_ns accesses in
+  Hook.clear_native ();
+  Hook.set_native ~sample:256 (fun _ -> incr sink);
+  let sampled = time_ns accesses in
+  let seen, kept = Hook.native_access_counts () in
+  Hook.clear_native ();
+  Hook.set_native ~sample:1 (fun _ -> incr sink);
+  let sync =
+    time_ns (fun n ->
+        for _ = 1 to n do
+          Hook.native_emit (Hook.N_post { loop = 0 })
+        done)
+  in
+  Hook.clear_native ();
+  print_endline "micro-hook — native race hook, cost per operation";
+  print_endline "=================================================";
+  Printf.printf "  access, disarmed:       %6.1f ns\n" disarmed;
+  Printf.printf "  access, sample 1:       %6.1f ns (every one delivered)\n"
+    every;
+  Printf.printf "  access, sample 256:     %6.1f ns (%d of %d delivered)\n"
+    sampled kept seen;
+  Printf.printf "  sync event, delivered:  %6.1f ns\n" sync;
+  Printf.printf
+    "{\"hook_native\":{\"ns_per_access_disarmed\":%.1f,\"ns_per_access_sample1\":%.1f,\"ns_per_access_sample256\":%.1f,\"ns_per_sync_event\":%.1f,\"accesses_seen\":%d,\"accesses_kept\":%d}}\n"
+    disarmed every sampled sync seen kept;
+  print_newline ()
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
   | "micro" -> run_bechamel ()
+  | "micro-hook" -> print_micro_hook ()
   | "micro-spsc" ->
       (* The cross-domain SPSC measurement alone, sized for CI smoke. *)
       print_spsc_cross_domain ~n:500_000 ()
@@ -538,6 +590,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown benchmark %S (use \
-         micro|micro-spsc|table2|campaign|fig4|fig5|coalesce|ablate|scaling|all)\n"
+         micro|micro-spsc|micro-hook|table2|campaign|fig4|fig5|coalesce|ablate|scaling|all)\n"
         other;
       exit 1

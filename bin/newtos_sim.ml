@@ -298,14 +298,47 @@ let print_verify_static json max_shards =
   end;
   if not (V.Report.ok combined) then exit 1
 
-let print_verify json protocol max_shards =
-  if protocol then print_verify_protocol json
-  else print_verify_static json max_shards
-
 (* The native runtime: the same servers on real OCaml 5 domains.
    Unsupported configurations must error (or, with --skip-unsupported,
    exit 0 visibly) — never fall back to the simulator. *)
 module R = Newt_runtime
+
+(* verify --native-ownership: lint the native runtime's pinning plan —
+   every mutable structure gets an owning domain and every cross-domain
+   edge must ride a sanctioned primitive (SPSC ring, Atomic, park
+   mutex, pool lock). Checked at several domain counts because the
+   round-robin placement changes which components share a domain. *)
+let print_verify_native_ownership json break_race domains_opt =
+  let domain_counts =
+    match domains_opt with Some d -> [ d ] | None -> [ 2; 4; 8 ]
+  in
+  let reports =
+    List.map
+      (fun d ->
+        V.Static.check_native_plan
+          ~title:(Printf.sprintf "native ownership, %d domains" d)
+          (R.Native.ownership_plan ?break_race ~domains:d ()))
+      domain_counts
+  in
+  let combined = V.Report.merge ~title:"native domain-ownership lint" reports in
+  if json then print_endline (V.Report.to_json combined)
+  else begin
+    print_endline "Stack verifier — native domain-ownership lint";
+    print_endline "----------------------------------------------";
+    List.iter (fun r -> print_string (V.Report.to_string r)) reports;
+    Printf.printf "\n%s\n"
+      (if V.Report.ok combined then "VERDICT: OK (no violations)"
+       else "VERDICT: FAILED")
+  end;
+  let code = V.Report.exit_code combined in
+  if code <> 0 then exit code
+
+let print_verify json protocol native_ownership break_race domains_opt
+    max_shards =
+  if native_ownership then print_verify_native_ownership json break_race
+      domains_opt
+  else if protocol then print_verify_protocol json
+  else print_verify_static json max_shards
 
 let print_native_result (r : R.Native.result) =
   Printf.printf
@@ -335,7 +368,8 @@ let print_native_result (r : R.Native.result) =
     r.R.Native.loops
 
 let run_native domains seconds seed json skip_unsupported allow_oversub
-    write_size spin_budget never_park confirm_batch overhead =
+    write_size spin_budget never_park confirm_batch overhead race race_sample
+    break_race =
   let recommended = Domain.recommended_domain_count () in
   match
     R.Native.validate ~recommended ~allow_oversubscribe:allow_oversub ~domains
@@ -359,11 +393,23 @@ let run_native domains seconds seed json skip_unsupported allow_oversub
           never_park;
           confirm_batch;
           overhead;
+          race;
+          race_sample;
+          break_race;
         }
       in
       let r = R.Native.run cfg in
       if json then print_endline (R.Native.json_of_result r)
-      else print_native_result r
+      else print_native_result r;
+      (* The race verdict decides the exit code (JSON already carries
+         the full "race" block inside json_of_result). *)
+      match r.R.Native.race with
+      | None -> ()
+      | Some o ->
+          let report = V.Race.Dynamic.report ~title:"native race detector" o in
+          if not json then print_string (V.Report.to_string report);
+          let code = V.Report.exit_code report in
+          if code <> 0 then exit code
 
 let print_crossval domains seconds json skip_unsupported allow_oversub =
   let recommended = Domain.recommended_domain_count () in
@@ -522,6 +568,35 @@ let campaign_cmd =
       $ runs $ campaign_seed $ sanitize $ protocol_flag $ verify_continuous
       $ break_recovery $ campaign_pf_shards $ campaign_json_flag)
 
+(* --break-race: the --break-recovery pattern applied to memory
+   ordering. The same argument serves both the static lint (the
+   sabotage is lowered into the plan) and the native run (the sabotage
+   is actually executed and the dynamic detector must catch it). *)
+let break_race_arg =
+  let parse s =
+    match R.Native.break_race_of_string s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown race sabotage %S (expected %s)" s
+               (String.concat " or " R.Native.break_race_modes)))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf (R.Native.break_race_to_string b)
+  in
+  let doc =
+    "Plant a deliberate data race the detector must catch (exit 1): \
+     $(b,spsc:two-producers) pushes onto the peer's wire ring from a second \
+     domain; $(b,loop:unfenced-counter) shares a plain int ref between two \
+     loops and the main thread. Under $(b,verify --native-ownership) the \
+     sabotage is lowered into the plan so the static lint flags it too."
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "break-race" ] ~docv:"MODE" ~doc)
+
 let verify_cmd =
   let json =
     let doc = "Emit the machine-readable JSON verdict instead of the report." in
@@ -540,6 +615,24 @@ let verify_cmd =
     in
     Arg.(value & flag & info [ "protocol" ] ~doc)
   in
+  let native_ownership =
+    let doc =
+      "Lint the native runtime's domain-ownership plan instead: every \
+       mutable structure (ring, pool, inbox, timer wheel, counter) must \
+       have an owning domain under the pinning plan, and every cross-domain \
+       edge must ride a sanctioned primitive (SPSC ring with one producer \
+       and one consumer domain, Atomic, park mutex, pool lock)."
+    in
+    Arg.(value & flag & info [ "native-ownership" ] ~doc)
+  in
+  let lint_domains =
+    let doc =
+      "With $(b,--native-ownership), lint the plan at this domain count \
+       only (the default lints 2, 4 and 8, since placement changes with \
+       the count)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -547,9 +640,12 @@ let verify_cmd =
           the channel graph (SPSC discipline, core affinity, export \
           ownership, republish completeness, blocking cycles, pool \
           ownership, shard affinity). With $(b,--protocol), the dynamic \
-          channel-protocol contract over crash runs instead. Exits 1 on any \
-          violation.")
-    Term.(const print_verify $ json $ protocol $ max_shards)
+          channel-protocol contract over crash runs instead; with \
+          $(b,--native-ownership), the native runtime's domain-ownership \
+          lint. Exits 1 on any violation.")
+    Term.(
+      const print_verify $ json $ protocol $ native_ownership $ break_race_arg
+      $ lint_domains $ max_shards)
 
 let coalesce_cmd =
   Cmd.v (Cmd.info "coalesce" ~doc:"Driver coalescing analysis (Section VI-A)")
@@ -697,6 +793,24 @@ let native_cmd =
           R.Native.No_overhead
       & info [ "overhead" ] ~doc)
   in
+  let race =
+    let doc =
+      "Arm the vector-clock happens-before race detector around the run: \
+       every SPSC push/pop, doorbell post/drain/park/wake and pool slot \
+       hand-off feeds a per-domain vector clock, and any unordered access \
+       pair is reported with both stacks and a replayable event trace. \
+       Exits 1 on any race."
+    in
+    Arg.(value & flag & info [ "race" ] ~doc)
+  in
+  let race_sample =
+    let doc =
+      "Detector sampling period (rounded up to a power of two; 1 checks \
+       every access). Only the access checks are sampled — clock joins \
+       never are, so sampling can hide a race but never invent one."
+    in
+    Arg.(value & opt int 1 & info [ "race-sample" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "native"
        ~doc:
@@ -704,11 +818,14 @@ let native_cmd =
           as event loops pinned to real OCaml 5 domains over real SPSC \
           rings, driving an iperf-style bulk flow plus the split-stack \
           ping path. Errors out (exit 2) when the machine cannot honour \
-          $(b,--domains) — it never silently simulates instead.")
+          $(b,--domains) — it never silently simulates instead. \
+          $(b,--race) arms the vector-clock race detector; \
+          $(b,--break-race) plants a deliberate race it must catch.")
     Term.(
       const run_native $ native_domains $ native_seconds $ seed $ native_json
       $ skip_unsupported $ allow_oversubscribe $ write_size $ spin_budget
-      $ never_park $ confirm_batch $ overhead)
+      $ never_park $ confirm_batch $ overhead $ race $ race_sample
+      $ break_race_arg)
 
 let crossval_cmd =
   Cmd.v

@@ -75,3 +75,70 @@ let with_actor ?epoch name f =
       current := prev;
       current_epoch := prev_epoch)
     f
+
+(* ------------------------------------------------------------------ *)
+(* Native event family.                                               *)
+(*                                                                    *)
+(* The sim chain above is single-threaded state (plain refs, an       *)
+(* actor stack); native domains must never touch it. The native       *)
+(* family is a separate, thread-safe hook: exactly one listener held  *)
+(* in an Atomic, no actor attribution (the emitting domain IS the     *)
+(* actor), and a sampled access path so a race detector can ride long *)
+(* runs at a stated fraction of full cost.                            *)
+(* ------------------------------------------------------------------ *)
+
+type nkind = N_pool_slot | N_counter
+
+type nevent =
+  | N_ring_push of { ring : int; index : int }
+  | N_ring_pop of { ring : int; index : int }
+  | N_post of { loop : int }
+  | N_drain of { loop : int }
+  | N_park of { loop : int }
+  | N_wake of { loop : int }
+  | N_loop_start of { loop : int }
+  | N_loop_stop of { loop : int }
+  | N_spawn_fence
+  | N_lock of { lock : int; acquire : bool }
+  | N_access of { kind : nkind; id : int; sub : int; write : bool }
+
+let native_listener : (nevent -> unit) option Atomic.t = Atomic.make None
+
+(* [sample_mask + 1] is the sampling period, always a power of two so
+   the keep/skip decision is one AND. Mask 0 = keep everything. *)
+let native_sample_mask = Atomic.make 0
+let native_seen = Atomic.make 0
+let native_kept = Atomic.make 0
+
+let set_native ?(sample = 1) f =
+  let sample = max 1 sample in
+  let rec pow2 p = if p >= sample then p else pow2 (p * 2) in
+  Atomic.set native_sample_mask (pow2 1 - 1);
+  Atomic.set native_seen 0;
+  Atomic.set native_kept 0;
+  Atomic.set native_listener (Some f)
+
+let clear_native () = Atomic.set native_listener None
+let native_enabled () = Atomic.get native_listener <> None
+let native_sample () = Atomic.get native_sample_mask + 1
+
+let native_emit ev =
+  match Atomic.get native_listener with None -> () | Some f -> f ev
+
+(* Sampling drops only plain accesses: synchronisation events
+   (ring push/pop, post/park/wake, lock) must always reach the
+   listener or a happens-before checker would see false races, so
+   those go through [native_emit] unconditionally. Dropping an access
+   can only hide a race, never invent one. *)
+let native_access kind ~id ~sub ~write =
+  match Atomic.get native_listener with
+  | None -> ()
+  | Some f ->
+      let n = Atomic.fetch_and_add native_seen 1 in
+      if n land Atomic.get native_sample_mask = 0 then begin
+        Atomic.incr native_kept;
+        f (N_access { kind; id; sub; write })
+      end
+
+let native_access_counts () =
+  (Atomic.get native_seen, Atomic.get native_kept)

@@ -130,3 +130,88 @@ val with_actor : ?epoch:int -> string -> (unit -> 'a) -> 'a
     exceptions. [epoch] additionally stamps the actor's incarnation
     number into the bracket (the server runtime passes its restart
     counter), readable by listeners via {!epoch}. *)
+
+(** {1 Native event family}
+
+    The listener chain above is single-threaded simulator state and
+    must never be touched from a spawned domain. The native family is
+    the thread-safe counterpart used by the real runtime: one listener
+    held in an [Atomic], events carrying only integers (the emitting
+    domain identifies itself with [Domain.self] inside the listener),
+    and a sampled access path with a stated cost model so the
+    happens-before race detector ([Newt_verify.Race]) can stay armed
+    on long runs. *)
+
+type nkind = N_pool_slot | N_counter
+(** What a sampled {!N_access} touched: a pool slot ([id] = pool,
+    [sub] = slot) or a named shared counter ([id] = counter id). *)
+
+type nevent =
+  | N_ring_push of { ring : int; index : int }
+      (** Producer published element [index] (absolute, un-masked — so
+          reused physical slots across wrap-arounds get distinct
+          locations) on SPSC ring [ring]. Release edge on the ring's
+          tail. *)
+  | N_ring_pop of { ring : int; index : int }
+      (** Consumer took element [index] off ring [ring]. Acquire edge
+          on the ring's tail, release edge on its head (the producer
+          acquires the head before reusing the slot). *)
+  | N_post of { loop : int }
+      (** A closure was posted cross-domain into loop [loop]'s inbox,
+          under the loop mutex. Release edge on the inbox. *)
+  | N_drain of { loop : int }
+      (** Loop [loop] transferred its inbox under the mutex. Acquire
+          edge on the inbox. *)
+  | N_park of { loop : int }  (** Loop [loop] is about to block. *)
+  | N_wake of { loop : int }
+      (** Loop [loop] resumed after parking. Acquire edge on the inbox
+          (the wake saw the poster's signal through the same mutex). *)
+  | N_loop_start of { loop : int }
+      (** Loop [loop] started running on its domain. Acquire edge on
+          the spawn fence: everything the spawning thread did before
+          {!N_spawn_fence} happens-before the loop body. *)
+  | N_loop_stop of { loop : int }  (** Loop [loop] exited its run loop. *)
+  | N_spawn_fence
+      (** The spawning thread is about to [Domain.spawn] the loops:
+          wiring-time writes are published. Release edge on the spawn
+          fence; also tells the detector that SPSC ownership claims
+          start now (pre-spawn wiring pushes don't bind a ring to the
+          spawner's domain). *)
+  | N_lock of { lock : int; acquire : bool }
+      (** A pool mutex was taken ([acquire = true], emitted after
+          [Mutex.lock]) or is about to be dropped ([acquire = false],
+          emitted before [Mutex.unlock]). Acquire/release edges on the
+          lock's clock — two separate events so accesses inside the
+          critical section are ordered by the release. *)
+  | N_access of { kind : nkind; id : int; sub : int; write : bool }
+      (** A plain (unsynchronised-by-construction) access to a shared
+          location, subject to sampling. *)
+
+val set_native : ?sample:int -> (nevent -> unit) -> unit
+(** Arm the native hook. [sample] (default 1) keeps one in [sample]
+    {!native_access} emissions, rounded up to a power of two;
+    synchronisation events are never sampled out (dropping one could
+    invent a false race — dropping an access only hides one). Resets
+    the access counters. *)
+
+val clear_native : unit -> unit
+(** Disarm. Emissions race benignly with disarming: an in-flight event
+    may still be delivered. *)
+
+val native_enabled : unit -> bool
+(** Whether a native listener is armed — use to skip event
+    construction on the fast path. *)
+
+val native_sample : unit -> int
+(** The effective (power-of-two) sampling period. *)
+
+val native_emit : nevent -> unit
+(** Deliver a synchronisation event to the armed listener, if any. *)
+
+val native_access : nkind -> id:int -> sub:int -> write:bool -> unit
+(** Deliver a sampled {!N_access}; one in {!native_sample} emissions
+    is kept. *)
+
+val native_access_counts : unit -> int * int
+(** [(seen, kept)] access emissions since the hook was last armed —
+    the overhead accounting the bench and campaign JSON report. *)

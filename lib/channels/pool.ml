@@ -34,7 +34,21 @@ let with_lock t f =
   | None -> f ()
   | Some m ->
       Mutex.lock m;
-      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+      (* Two separate race-hook events, not one: the acquire is
+         recorded after [Mutex.lock] and the release just before
+         [Mutex.unlock], so slot accesses made inside the critical
+         section are covered by the release edge. A single combined
+         event at entry would release the holder's clock before those
+         accesses and cross-domain slot reuse (free on the owner,
+         alloc on the grantee) would look like a race. *)
+      if Hook.native_enabled () then
+        Hook.native_emit (Hook.N_lock { lock = t.id; acquire = true });
+      Fun.protect
+        ~finally:(fun () ->
+          if Hook.native_enabled () then
+            Hook.native_emit (Hook.N_lock { lock = t.id; acquire = false });
+          Mutex.unlock m)
+        f
 
 let id_counter = ref 0
 
@@ -76,6 +90,7 @@ let alloc t ~len =
       t.live.(slot) <- true;
       if Hook.enabled () then
         Hook.emit (Hook.Pool_alloc { pool = t.id; slot; gen = t.gens.(slot) });
+      Hook.native_access Hook.N_pool_slot ~id:t.id ~sub:slot ~write:true;
       { Rich_ptr.pool = t.id; slot; off = 0; len; gen = t.gens.(slot) }
 
 let check ?(op = `Check) t (p : Rich_ptr.t) =
@@ -103,6 +118,7 @@ let write t p ~src ~src_off =
     Hook.emit
       (Hook.Pool_write
          { pool = t.id; slot = p.Rich_ptr.slot; gen = p.Rich_ptr.gen });
+  Hook.native_access Hook.N_pool_slot ~id:t.id ~sub:p.Rich_ptr.slot ~write:true;
   Bytes.blit src src_off t.data.(p.Rich_ptr.slot) p.Rich_ptr.off p.Rich_ptr.len
 
 let sub_ptr (p : Rich_ptr.t) ~off ~len =
@@ -113,7 +129,8 @@ let sub_ptr (p : Rich_ptr.t) ~off ~len =
 let emit_read t (p : Rich_ptr.t) =
   if Hook.enabled () then
     Hook.emit
-      (Hook.Pool_read { pool = t.id; slot = p.Rich_ptr.slot; gen = p.Rich_ptr.gen })
+      (Hook.Pool_read { pool = t.id; slot = p.Rich_ptr.slot; gen = p.Rich_ptr.gen });
+  Hook.native_access Hook.N_pool_slot ~id:t.id ~sub:p.Rich_ptr.slot ~write:false
 
 let read t p =
   check ~op:`Read t p;
@@ -149,6 +166,7 @@ let free t p =
   t.freed_by.(slot) <- By_free;
   if Hook.enabled () then
     Hook.emit (Hook.Pool_free { pool = t.id; slot; gen = p.Rich_ptr.gen });
+  Hook.native_access Hook.N_pool_slot ~id:t.id ~sub:slot ~write:true;
   Stack.push slot t.free_list
 
 let free_all t =

@@ -45,7 +45,7 @@ let create ?(capacity = 512) ~id () =
   }
 
 let create_native ?(capacity = 512) ~id () =
-  let ring = Spsc_queue.create ~capacity in
+  let ring = Spsc_queue.create ~id ~capacity () in
   {
     id;
     capacity = Spsc_queue.capacity ring;

@@ -10,6 +10,7 @@ type 'a t = {
   slots : 'a option array;
   mask : int;
   cap : int;
+  id : int; (* stable ring id for the native race hook; -1 = untracked *)
   tail : int Atomic.t; (* producer writes, consumer reads *)
   _pad0 : int;
   _pad1 : int;
@@ -26,13 +27,14 @@ let round_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ~capacity =
+let create ?(id = -1) ~capacity () =
   assert (capacity > 0);
   let cap = round_pow2 capacity in
   {
     slots = Array.make cap None;
     mask = cap - 1;
     cap;
+    id;
     tail = Atomic.make 0;
     _pad0 = 0;
     _pad1 = 0;
@@ -52,6 +54,14 @@ let try_push t x =
   let head = Atomic.get t.head in
   if tail - head >= t.cap then false
   else begin
+    (* Race-hook order: the event precedes both the slot write and the
+       tail release-store, so by the time a consumer can observe index
+       [tail] the detector has already recorded the producer's clock.
+       The index is the absolute (un-masked) counter: slot reuse after
+       a wrap gets a fresh location, while a second producer reading
+       the same stale tail collides on the same one. *)
+    if t.id >= 0 && Hook.native_enabled () then
+      Hook.native_emit (Hook.N_ring_push { ring = t.id; index = tail });
     t.slots.(tail land t.mask) <- Some x;
     (* The publication order matters: the slot write must be visible
        before the tail increment. [Atomic.set] is a release store. *)
@@ -64,6 +74,11 @@ let try_pop t =
   let tail = Atomic.get t.tail in
   if tail = head then None
   else begin
+    (* Emitted after the acquire-load of tail and before the slot
+       read: the producer's release (recorded at its push event) is
+       visible here, so the detector joins before checking. *)
+    if t.id >= 0 && Hook.native_enabled () then
+      Hook.native_emit (Hook.N_ring_pop { ring = t.id; index = head });
     let i = head land t.mask in
     let x = t.slots.(i) in
     t.slots.(i) <- None;

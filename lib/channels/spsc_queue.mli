@@ -14,10 +14,13 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
+val create : ?id:int -> capacity:int -> unit -> 'a t
 (** [create ~capacity] makes an empty queue holding at most [capacity]
     elements. [capacity] must be positive; it is rounded up to a power
-    of two. *)
+    of two. [id] (default [-1] = untracked) is a stable ring identity:
+    when non-negative and the native race hook is armed, push/pop emit
+    {!Hook.N_ring_push}/{!Hook.N_ring_pop} so the happens-before
+    checker can model the ring's release/acquire edges. *)
 
 val capacity : 'a t -> int
 (** The rounded-up capacity. *)

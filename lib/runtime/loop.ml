@@ -1,4 +1,5 @@
 module Time = Newt_sim.Time
+module Hook = Newt_channels.Hook
 
 (* One event loop per OCaml domain. Work arrives three ways:
 
@@ -91,6 +92,10 @@ let post t k =
     Mutex.lock t.mutex;
     Queue.push k t.inbox;
     Atomic.incr t.inbox_size;
+    (* Under the mutex: this is the release edge the race detector
+       pairs with the drain/wake acquire on the owning domain. *)
+    if Hook.native_enabled () then
+      Hook.native_emit (Hook.N_post { loop = t.index });
     let was_parked = t.parked in
     if was_parked then Condition.signal t.cond;
     Mutex.unlock t.mutex;
@@ -138,6 +143,8 @@ let take_inbox t =
     Mutex.lock t.mutex;
     Queue.transfer t.inbox t.run;
     Atomic.set t.inbox_size 0;
+    if Hook.native_enabled () then
+      Hook.native_emit (Hook.N_drain { loop = t.index });
     Mutex.unlock t.mutex;
     true
   end
@@ -146,14 +153,35 @@ let take_inbox t =
 let park t ~deadline =
   match deadline with
   | None ->
+      (* Lost-wakeup audit (ISSUE 8): there is no window between the
+         final emptiness check and blocking, because both sides hold
+         the same mutex. The spin in [idle] reads [inbox_size] without
+         the lock and can go stale the instant it gives up — but the
+         decision that matters is re-taken here: [post] can only
+         interleave its push + signal either (a) before our
+         [Mutex.lock], in which case the re-check below sees the
+         non-empty inbox and we never wait, or (b) after we are inside
+         [Condition.wait] (which releases the mutex atomically), in
+         which case [t.parked] is already true, the poster signals,
+         and the wait returns. A signal can NOT land between the check
+         and the wait: the poster cannot take the mutex in that
+         window. The [while] re-check also covers spurious wakeups and
+         the stop flag, which [request_stop] raises under the same
+         mutex before signalling. *)
       Mutex.lock t.mutex;
       if Queue.is_empty t.inbox && not (Atomic.get t.stop) then begin
         t.parked <- true;
         t.parks <- t.parks + 1;
+        if Hook.native_enabled () then
+          Hook.native_emit (Hook.N_park { loop = t.index });
         while Queue.is_empty t.inbox && not (Atomic.get t.stop) do
           Condition.wait t.cond t.mutex
         done;
-        t.parked <- false
+        t.parked <- false;
+        (* Acquire edge: we resumed because a poster signalled under
+           this mutex; join on the inbox clock. *)
+        if Hook.native_enabled () then
+          Hook.native_emit (Hook.N_wake { loop = t.index })
       end;
       Mutex.unlock t.mutex
   | Some at ->
@@ -182,6 +210,8 @@ let idle t =
 
 let run t =
   t.domain_id <- (Domain.self () :> int);
+  if Hook.native_enabled () then
+    Hook.native_emit (Hook.N_loop_start { loop = t.index });
   (try
      while not (Atomic.get t.stop) do
        match Queue.take_opt t.run with
@@ -194,6 +224,8 @@ let run t =
            else idle t
      done
    with e -> t.failure <- Some e);
+  if Hook.native_enabled () then
+    Hook.native_emit (Hook.N_loop_stop { loop = t.index });
   t.domain_id <- -1
 
 let request_stop t =

@@ -21,8 +21,25 @@ module Syscall_srv = Newt_stack.Syscall_srv
 module Sink = Newt_stack.Sink
 module Storage = Newt_reliability.Storage
 module Apps = Newt_sockets.Apps
+module Hook = Newt_channels.Hook
+module Race = Newt_verify.Race
 
 type overhead = No_overhead | Kipc_trap | Copy_per_hop
+
+(* Deliberate concurrency bugs, the --break-recovery pattern applied
+   to memory ordering: each must exit 1 *through the race detector*. *)
+type break_race = Spsc_two_producers | Loop_unfenced_counter
+
+let break_race_of_string = function
+  | "spsc:two-producers" -> Some Spsc_two_producers
+  | "loop:unfenced-counter" -> Some Loop_unfenced_counter
+  | _ -> None
+
+let break_race_to_string = function
+  | Spsc_two_producers -> "spsc:two-producers"
+  | Loop_unfenced_counter -> "loop:unfenced-counter"
+
+let break_race_modes = [ "spsc:two-producers"; "loop:unfenced-counter" ]
 
 type config = {
   domains : int;
@@ -36,6 +53,9 @@ type config = {
   overhead : overhead;  (** Channel-cost ablation (cross-validation). *)
   ping_period : float;  (** Seconds between ICMP echo probes. *)
   port : int;
+  race : bool;  (** Arm the happens-before race detector. *)
+  race_sample : int;  (** Detector sampling period (1 = every access). *)
+  break_race : break_race option;  (** Inject a deliberate race. *)
 }
 
 let default_config =
@@ -51,6 +71,9 @@ let default_config =
     overhead = No_overhead;
     ping_period = 0.002;
     port = 5001;
+    race = false;
+    race_sample = 1;
+    break_race = None;
   }
 
 (* {2 Argument validation (no silent fallback)} *)
@@ -83,6 +106,168 @@ let validate ~recommended ?(allow_oversubscribe = false) ~domains () =
                            surely a mistake" domains)
   else Ok ()
 
+(* {2 The ownership plan}
+
+   The static half of Verify.Race: the pinning plan below, lowered to
+   a table of every mutable structure the native run creates, with its
+   writers, readers and the primitive its cross-domain edges ride.
+   [check_plan] then proves the discipline without running anything.
+   Kept textually adjacent to [run] so a wiring change that adds a
+   structure is a one-screen diff away from declaring it. *)
+
+let slots_order = [ "tcp"; "ip"; "pf"; "drv0"; "sc"; "app"; "udp"; "peer" ]
+
+(* Sentinel loop id the --break-race saboteur registers under, so its
+   counterexamples read "saboteur" rather than "domain#N". *)
+let saboteur_loop_id = 1000
+
+let ownership_plan ?break_race ~domains () : Race.Plan.t =
+  let open Race.Plan in
+  (* Same round-robin as [run]: slot i lands on domain (i mod domains).
+     "main" is the spawning thread — alive and concurrent with every
+     loop, so it gets its own pseudo-domain index; "wiring" marks
+     writes made before Domain.spawn publishes them. *)
+  let placement =
+    List.mapi (fun i n -> (n, i mod domains)) slots_order
+    @ [ ("main", domains); ("wiring", -1) ]
+    @
+    match break_race with
+    | Some Spsc_two_producers -> [ ("saboteur", domains) ]
+    | _ -> []
+  in
+  let ring name p c extra_writers =
+    {
+      res = "ring " ^ name;
+      kind = Ring_buf;
+      owner = None;
+      writers = p :: extra_writers;
+      readers = [ c ];
+      grants = [];
+      via = Some Ring;
+    }
+  in
+  let rings =
+    [
+      ring "ip.to_pf" "ip" "pf" [];
+      ring "pf.to_ip" "pf" "ip" [];
+      ring "tcp.to_ip" "tcp" "ip" [];
+      ring "ip.to_tcp" "ip" "tcp" [];
+      ring "udp.to_ip" "udp" "ip" [];
+      ring "ip.to_udp" "ip" "udp" [];
+      ring "sc.to_tcp" "sc" "tcp" [];
+      ring "tcp.to_sc" "tcp" "sc" [];
+      ring "sc.to_udp" "sc" "udp" [];
+      ring "udp.to_sc" "udp" "sc" [];
+      ring "ip.to_drv0" "ip" "drv0" [];
+      ring "drv0.to_ip" "drv0" "ip" [];
+      ring "drv0.wire_tx" "drv0" "peer" [];
+      ring "drv0.wire_rx" "peer" "drv0"
+        (match break_race with
+        | Some Spsc_two_producers -> [ "saboteur" ]
+        | _ -> []);
+    ]
+  in
+  let comps_on d =
+    List.filteri (fun i _ -> i mod domains = d) slots_order
+  in
+  let inboxes =
+    List.init domains (fun d ->
+        {
+          res = Printf.sprintf "inbox d%d" d;
+          kind = Inbox;
+          owner = None;
+          (* Anyone may post a doorbell or timer insert; the park
+             mutex is exactly the sanction for that. *)
+          writers = "main" :: slots_order;
+          readers = comps_on d;
+          grants = [];
+          via = Some Park_mutex;
+        })
+  in
+  let timers =
+    List.init domains (fun d ->
+        {
+          res = Printf.sprintf "timers d%d" d;
+          kind = Timer_wheel;
+          owner = None;
+          (* Armed only by code already running on the domain (the
+             pre-spawn inserts travel through the inbox). *)
+          writers = comps_on d;
+          readers = comps_on d;
+          grants = [];
+          via = None;
+        })
+  in
+  let pool name owner ~writers ~readers ~grants =
+    { res = "pool " ^ name; kind = Pool; owner = Some owner; writers;
+      readers; grants; via = Some Pool_lock }
+  in
+  let pools =
+    [
+      (* The driver fills granted RX buffers; IP reads and frees them. *)
+      pool "ip.rx" "ip" ~writers:[ "ip"; "drv0" ] ~readers:[ "ip"; "drv0" ]
+        ~grants:[ "drv0" ];
+      pool "ip.hdr" "ip" ~writers:[ "ip" ] ~readers:[ "ip"; "drv0" ]
+        ~grants:[];
+      pool "tcp.tx" "tcp" ~writers:[ "tcp" ] ~readers:[ "tcp"; "drv0" ]
+        ~grants:[];
+      pool "udp.tx" "udp" ~writers:[ "udp" ] ~readers:[ "udp"; "drv0" ]
+        ~grants:[];
+    ]
+  in
+  let tables =
+    [
+      (* Filled at wiring time, read-only once the domains run: the
+         spawn publishes it, no primitive needed. *)
+      {
+        res = "table registry.pools";
+        kind = Table;
+        owner = None;
+        writers = [ "wiring" ];
+        readers = [ "drv0"; "ip"; "tcp"; "udp" ];
+        grants = [];
+        via = None;
+      };
+      {
+        res = "counter drv0.frames";
+        kind = Counter;
+        owner = None;
+        writers = [ "drv0" ];
+        readers = [ "drv0" ];
+        grants = [];
+        via = None;
+      };
+      {
+        res = "counter peer.rtts";
+        kind = Counter;
+        owner = None;
+        writers = [ "peer" ];
+        readers = [ "peer" ];
+        grants = [];
+        via = None;
+      };
+    ]
+  in
+  let sabotage =
+    match break_race with
+    | Some Loop_unfenced_counter ->
+        [
+          (* Two loops increment, the main thread polls — no ring,
+             atomic or mutex anywhere on the edge. *)
+          {
+            res = "counter sabotage.unfenced";
+            kind = Counter;
+            owner = None;
+            writers = [ "tcp"; "ip" ];
+            readers = [ "main" ];
+            grants = [];
+            via = None;
+          };
+        ]
+    | _ -> []
+  in
+  { domains; placement; resources = rings @ inboxes @ timers @ pools @ tables @ sabotage }
+
 (* {2 Results} *)
 
 type ring_stat = {
@@ -109,6 +294,7 @@ type result = {
   checksum_failures : int;
   rings : ring_stat list;
   loops : Loop.stats list;
+  race : Race.Dynamic.outcome option;
 }
 
 let json_of_result (r : result) =
@@ -149,7 +335,13 @@ let json_of_result (r : result) =
            s.Loop.parks s.Loop.wakes s.Loop.posts_remote s.Loop.posts_self
            s.Loop.timer_fires s.Loop.executed))
     r.loops;
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]";
+  (match r.race with
+  | None -> ()
+  | Some o ->
+      Buffer.add_string b ",\"race\":";
+      Buffer.add_string b (Race.Dynamic.to_json ~title:"native race detector" o));
+  Buffer.add_string b "}";
   Buffer.contents b
 
 (* {2 Doorbells}
@@ -191,6 +383,39 @@ let run (cfg : config) : result =
     find 0
   in
   let peer_loop = loop_of_slot.(slot_index "peer") in
+  (* {3 Race detector arming}
+
+     Armed before any wiring so pre-spawn posts and pool traffic are
+     clock-tracked from the first event; ownership claims on the rings
+     only bind after the spawn fence below. *)
+  let race_wanted = cfg.race || cfg.break_race <> None in
+  let ring_names : (int * string) list ref = ref [] in
+  if race_wanted then begin
+    let loop_label i =
+      if i = saboteur_loop_id then "saboteur"
+      else
+        let names =
+          List.filteri (fun j _ -> j mod n_domains = i) slots_order
+        in
+        Printf.sprintf "loop%d(%s)" i (String.concat "+" names)
+    in
+    Race.Dynamic.arm ~sample:cfg.race_sample
+      ~labels:
+        {
+          Race.Dynamic.ring_name =
+            (fun id ->
+              match List.assoc_opt id !ring_names with
+              | Some n -> "ring " ^ n
+              | None -> Printf.sprintf "ring#%d" id);
+          pool_name = (fun id -> Printf.sprintf "pool#%d" id);
+          counter_name =
+            (fun id ->
+              if id = 1 then "counter sabotage.unfenced"
+              else Printf.sprintf "counter#%d" id);
+          loop_name = loop_label;
+        }
+      ()
+  end;
   (* Model-core id -> loop. Cores are created in slot order (minus the
      peer, which is not a machine core), so core id = slot index. *)
   let core_loop core = loop_of_slot.(core) in
@@ -206,6 +431,8 @@ let run (cfg : config) : result =
   Pool.set_default_threadsafe true;
   Fun.protect ~finally:(fun () ->
       Pool.set_default_threadsafe false;
+      (* Harmless if [disarm] already ran; vital if a domain died. *)
+      Hook.clear_native ();
       Proc.set_send_overhead None)
   @@ fun () ->
   (match cfg.overhead with
@@ -276,6 +503,7 @@ let run (cfg : config) : result =
   let ring_stats : (unit -> ring_stat) list ref = ref [] in
   let chan ?capacity name =
     incr chan_ids;
+    ring_names := (!chan_ids, name) :: !ring_names;
     let capacity = Option.value capacity ~default:cfg.chan_capacity in
     let c = Sim_chan.create_native ~capacity ~id:!chan_ids () in
     ring_stats :=
@@ -485,13 +713,85 @@ let run (cfg : config) : result =
   in
   Loop.post peer_loop ping_loop;
   Loop.post drv_loop arm_confirm_flush;
+  (* {3 Sabotage: deliberate races that must fail through the detector} *)
+  let unfenced_counter = ref 0 in
+  (match cfg.break_race with
+  | Some Loop_unfenced_counter ->
+      (* Two loops hammer a plain shared int from timers; nothing
+         orders the bursts. The main thread also polls it during its
+         sleep (below), which is unordered with the loops by
+         construction — no incidental ring traffic can save it. *)
+      let arm_on l =
+        let rec tick () =
+          for _ = 1 to 8 do
+            incr unfenced_counter;
+            Hook.native_access Hook.N_counter ~id:1 ~sub:0 ~write:true
+          done;
+          ignore (Loop.schedule l (Time.of_micros 200.) tick : unit -> unit)
+        in
+        ignore (Loop.schedule l (Time.of_micros 200.) tick : unit -> unit)
+      in
+      arm_on loops.(0);
+      arm_on loops.(1)
+  | _ -> ());
+  let saboteur_stop = Atomic.make false in
+  let spawn_saboteur () =
+    (* A second producer on drv0.wire_rx — the peer's ring. The junk
+       frames parse as garbage and are dropped upstream; the crime is
+       the push itself, from a domain that does not own the ring. *)
+    Domain.spawn (fun () ->
+        (* Register under a name (and pick up the spawn-fence clock —
+           Domain.spawn really does order the wiring before us). *)
+        Hook.native_emit (Hook.N_loop_start { loop = saboteur_loop_id });
+        let junk = Bytes.make 60 '\000' in
+        while not (Atomic.get saboteur_stop) do
+          for _ = 1 to 16 do
+            ignore (Sim_chan.send wire_to_host junk)
+          done;
+          Unix.sleepf 0.001
+        done)
+  in
   (* {3 Spawn, run, stop, join} *)
+  (* Wiring is done: publish it to the detector. Everything above
+     happens-before every loop body (Domain.spawn edge); ring
+     ownership claims start here. *)
+  if race_wanted then Race.Dynamic.fence ();
   let domains_h = Array.map (fun l -> Domain.spawn (fun () -> Loop.run l)) loops in
-  Unix.sleepf cfg.seconds;
+  let saboteur =
+    match cfg.break_race with
+    | Some Spsc_two_producers -> Some (spawn_saboteur ())
+    | _ -> None
+  in
+  (* Sliced sleep rather than one big sleepf: the unfenced-counter
+     sabotage wants the main thread to read the counter mid-run. *)
+  let sleep_until deadline =
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0. then begin
+        Unix.sleepf (Float.min remaining 0.05);
+        (match cfg.break_race with
+        | Some Loop_unfenced_counter ->
+            ignore (Sys.opaque_identity !unfenced_counter);
+            Hook.native_access Hook.N_counter ~id:1 ~sub:0 ~write:false
+        | _ -> ());
+        go ()
+      end
+    in
+    go ()
+  in
+  sleep_until (epoch +. cfg.seconds);
   (* Grace: let retransmissions and final confirms drain. *)
   Unix.sleepf 0.25;
+  Atomic.set saboteur_stop true;
+  Option.iter Domain.join saboteur;
   Array.iter Loop.request_stop loops;
   Array.iter Domain.join domains_h;
+  (* Disarm before touching any cross-domain state from this thread:
+     the post-join stat reads are ordered by Domain.join, which the
+     detector does not model. *)
+  let race_outcome =
+    if race_wanted then Some (Race.Dynamic.disarm ()) else None
+  in
   Array.iter
     (fun l ->
       match Loop.failure l with
@@ -532,4 +832,5 @@ let run (cfg : config) : result =
     checksum_failures = Sink.checksum_failures peer;
     rings = List.map (fun f -> f ()) !ring_stats;
     loops = Array.to_list (Array.map Loop.stats loops);
+    race = race_outcome;
   }

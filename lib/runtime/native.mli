@@ -12,6 +12,19 @@ type overhead =
   | Kipc_trap  (** A kernel-lock round trip per channel send. *)
   | Copy_per_hop  (** Two MSS-sized copies per channel send. *)
 
+(** Deliberate concurrency bugs for the race-detector negative
+    controls — the [--break-recovery] pattern applied to memory
+    ordering. Each mode must make the run exit through the detector. *)
+type break_race =
+  | Spsc_two_producers
+      (** A second domain pushes onto the peer's wire ring. *)
+  | Loop_unfenced_counter
+      (** Two loops and the main thread share a plain [int ref]. *)
+
+val break_race_of_string : string -> break_race option
+val break_race_to_string : break_race -> string
+val break_race_modes : string list
+
 type config = {
   domains : int;
   seconds : float;
@@ -24,6 +37,11 @@ type config = {
   overhead : overhead;  (** Channel-cost ablation (cross-validation). *)
   ping_period : float;  (** Seconds between ICMP echo probes. *)
   port : int;
+  race : bool;  (** Arm {!Newt_verify.Race.Dynamic} around the run. *)
+  race_sample : int;
+      (** Detector sampling period (power of two; 1 = check every
+          access). Clock joins are never sampled out. *)
+  break_race : break_race option;
 }
 
 val default_config : config
@@ -40,6 +58,15 @@ val validate :
     force time-slicing, e.g. for smoke tests on small machines). This
     is the no-silent-fallback guard: the caller must error out, never
     quietly run the simulator instead. *)
+
+val ownership_plan :
+  ?break_race:break_race -> domains:int -> unit -> Newt_verify.Race.Plan.t
+(** The static model of [run]'s wiring: every ring, inbox, timer
+    wheel, pool, table and counter the native run creates, with its
+    writers/readers and the primitive its cross-domain edges ride,
+    under the same round-robin placement [run] uses. Feed it to
+    {!Newt_verify.Race.check_plan}; [break_race] lowers the matching
+    sabotage into the plan so the lint flags it statically too. *)
 
 type ring_stat = {
   ring : string;
@@ -65,6 +92,10 @@ type result = {
   checksum_failures : int;  (** Peer-observed; must be 0. *)
   rings : ring_stat list;
   loops : Loop.stats list;
+  race : Newt_verify.Race.Dynamic.outcome option;
+      (** Present when the run was raced ([config.race] or a
+          [break_race] mode); the JSON carries it as a ["race"] block
+          in the unified verifier shape. *)
 }
 
 val json_of_result : result -> string

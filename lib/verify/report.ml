@@ -13,6 +13,11 @@ type t = {
 
 let ok t = t.violations = []
 
+(* One exit-code convention across verify / mcheck / race so CI and
+   bench-smoke can treat every checker alike: 0 clean, 1 violations.
+   (2 is reserved by the CLI for unusable configurations.) *)
+let exit_code t = if ok t then 0 else 1
+
 let merge ~title reports =
   let checks =
     List.fold_left

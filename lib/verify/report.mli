@@ -24,6 +24,12 @@ type t = {
 val ok : t -> bool
 (** No violations. *)
 
+val exit_code : t -> int
+(** The process exit code every checker CLI uses: 0 when {!ok}, 1 on
+    violations. Exit 2 is reserved for unusable configurations (the
+    native no-silent-fallback guard), so a scripted caller can tell
+    "found a bug" from "could not check". *)
+
 val merge : title:string -> t list -> t
 (** Concatenate several reports (e.g. static + sanitizer) under one
     title; per-check subject counts of the same check name are summed. *)

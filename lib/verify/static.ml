@@ -356,3 +356,10 @@ let check ?directory ?sharding ?(title = "static channel graph")
     checks = List.rev !checks;
     violations = List.rev !violations;
   }
+
+(* The native topology has no Component list to walk — its mutable
+   structures live behind the runtime's pinning plan. The ownership
+   lint for that surface is Race.check_plan; re-exported here so the
+   static checker remains the one front door for "prove the wiring
+   before running it". *)
+let check_native_plan = Race.check_plan

@@ -63,3 +63,9 @@ val check :
   Newt_stack.Component.t list ->
   Report.t
 (** Run every applicable check over the given components. *)
+
+val check_native_plan : ?title:string -> Race.Plan.t -> Report.t
+(** The native counterpart of {!check}: the domain-ownership lint over
+    a {!Race.Plan} (see {!Race.check_plan}, of which this is a
+    re-export). Static checks walk simulated component graphs; native
+    runs have no components to walk, only the pinning plan. *)

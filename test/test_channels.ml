@@ -19,7 +19,7 @@ module Hook = Newt_channels.Hook
    time-share. *)
 let test_spsc_cross_domain_stress () =
   let n = 1_000_000 in
-  let q = Spsc.create ~capacity:1024 in
+  let q = Spsc.create ~capacity:1024 () in
   let backoff tries = if tries < 200 then Domain.cpu_relax () else Unix.sleepf 5e-5 in
   let producer () =
     let rng = Random.State.make [| 7 |] in
@@ -66,7 +66,7 @@ let test_spsc_cross_domain_stress () =
   Alcotest.(check bool) "queue drained" true (Spsc.is_empty q)
 
 let test_spsc_basic () =
-  let q = Spsc.create ~capacity:4 in
+  let q = Spsc.create ~capacity:4 () in
   Alcotest.(check bool) "empty" true (Spsc.is_empty q);
   Alcotest.(check bool) "push 1" true (Spsc.try_push q 1);
   Alcotest.(check bool) "push 2" true (Spsc.try_push q 2);
@@ -76,7 +76,7 @@ let test_spsc_basic () =
   Alcotest.(check (option int)) "pop empty" None (Spsc.try_pop q)
 
 let test_spsc_full () =
-  let q = Spsc.create ~capacity:4 in
+  let q = Spsc.create ~capacity:4 () in
   for i = 1 to 4 do
     Alcotest.(check bool) "fills" true (Spsc.try_push q i)
   done;
@@ -85,11 +85,11 @@ let test_spsc_full () =
   Alcotest.(check bool) "room again" true (Spsc.try_push q 5)
 
 let test_spsc_capacity_rounds_up () =
-  let q = Spsc.create ~capacity:5 in
+  let q = Spsc.create ~capacity:5 () in
   Alcotest.(check int) "rounded to 8" 8 (Spsc.capacity q)
 
 let test_spsc_wraparound () =
-  let q = Spsc.create ~capacity:4 in
+  let q = Spsc.create ~capacity:4 () in
   for round = 0 to 99 do
     Alcotest.(check bool) "push" true (Spsc.try_push q round);
     Alcotest.(check (option int)) "pop" (Some round) (Spsc.try_pop q)
@@ -100,7 +100,7 @@ let test_spsc_cross_domain () =
   (* Producer domain pushes 100k ints; consumer (this domain) pops and
      sums. Checks the ring is safe across real parallel domains. *)
   let n = 100_000 in
-  let q = Spsc.create ~capacity:1024 in
+  let q = Spsc.create ~capacity:1024 () in
   let producer =
     Domain.spawn (fun () ->
         let i = ref 0 in
@@ -121,7 +121,7 @@ let test_spsc_cross_domain () =
 
 let test_spsc_ordering_cross_domain () =
   let n = 50_000 in
-  let q = Spsc.create ~capacity:64 in
+  let q = Spsc.create ~capacity:64 () in
   let producer =
     Domain.spawn (fun () ->
         let i = ref 0 in

@@ -13,5 +13,6 @@ let () =
       ("scale", Test_scale.suite);
       ("verify", Test_verify.suite);
       ("runtime", Test_runtime.suite);
+      ("race", Test_race.suite);
       ("integration", Test_integration.suite);
     ]
