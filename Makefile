@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs on every PR.
 .PHONY: check build test fmt verify verify-protocol verify-continuous \
-	sanitize-smoke bench-smoke native-smoke model-check \
+	sanitize-smoke bench-smoke churn-smoke native-smoke model-check \
 	model-check-negative race-check clean
 
 check: build test fmt verify
@@ -110,6 +110,29 @@ bench-smoke: build
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --sanitize --verify-continuous --json | grep -q '"counters"'
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --pf-shards 2 --json | grep -q '"pf_shards":\[{"shard":0,'
 	dune exec bench/main.exe -- micro-spsc | grep -q '"spsc_cross_domain"'
+
+# Churn smoke: short flow-churn runs with the continuous checker
+# attached. Asserts the streaming-histogram percentile block is in the
+# JSON, that the SYN flood forces half-open (never established)
+# conntrack evictions, that listen-queue pressure trips the backlog
+# cap, and that a shard crash mid-churn recovers cleanly.
+churn-smoke: build
+	dune exec bin/newtos_sim.exe -- churn --duration 0.25 --rate 4000 \
+	    --json --verify-continuous > _churn.json
+	grep -q '"p99_us"' _churn.json
+	grep -q '"p999_us"' _churn.json
+	dune exec bin/newtos_sim.exe -- churn --scenario syn-flood \
+	    --duration 0.25 --rate 4000 --flood-rate 15000 \
+	    --conntrack-total 1024 --json --verify-continuous > _churn.json
+	grep -q '"evicted_half_open":[1-9]' _churn.json
+	grep -q '"evicted_established":0' _churn.json
+	dune exec bin/newtos_sim.exe -- churn --scenario listen-pressure \
+	    --duration 0.25 --json --verify-continuous > _churn.json
+	grep -q '"listen_overflows":[1-9]' _churn.json
+	dune exec bin/newtos_sim.exe -- churn --scenario crash-during-churn \
+	    --duration 0.3 --rate 3000 --json --verify-continuous > _churn.json
+	grep -q '"shard_restarts":1' _churn.json
+	rm -f _churn.json
 
 # A bounded run of the native runtime: the component servers on two
 # real OCaml domains over real SPSC rings, iperf bulk + split-stack

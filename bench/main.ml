@@ -16,7 +16,7 @@
       prints paper-vs-measured, plus an ablation of the design choices.
 
    Run everything: dune exec bench/main.exe
-   One piece:      dune exec bench/main.exe -- [micro|table2|campaign|fig4|fig5|coalesce|ablate|scaling] *)
+   One piece:      dune exec bench/main.exe -- [micro|table2|campaign|fig4|fig5|coalesce|ablate|scaling|churn] *)
 
 module E = Newt_core.Experiments
 module V = Newt_verify
@@ -561,6 +561,37 @@ let print_micro_hook () =
     disarmed every sampled sync seen kept;
   print_newline ()
 
+let print_churn () =
+  let module Ch = Newt_core.Churn in
+  print_endline "Churn — short-RPC tail latency through the sharded stack";
+  print_endline "=========================================================";
+  with_verify @@ fun verify ->
+  let results =
+    List.map
+      (fun scenario -> Ch.run ~scenario ~duration:0.5 ~verify ())
+      Ch.all_scenarios
+  in
+  List.iter
+    (fun (r : Ch.result) ->
+      Printf.printf
+        "  %-18s %6d/%-6d RPCs; connect p99 %8.1f p999 %8.1f µs; request p99 \
+         %8.1f p999 %8.1f µs; bulk %5.2f Gbps\n"
+        (Ch.scenario_name r.Ch.scenario)
+        r.Ch.completed r.Ch.started r.Ch.connect.Ch.p99_us
+        r.Ch.connect.Ch.p999_us r.Ch.request.Ch.p99_us r.Ch.request.Ch.p999_us
+        r.Ch.bulk_goodput_gbps;
+      if r.Ch.flood_syns > 0 || r.Ch.listen_overflows > 0 then
+        Printf.printf
+        "      overflows %d; conntrack %d entries (%d half-open); evicted %d \
+         half-open / %d established; restarts %d\n"
+          r.Ch.listen_overflows r.Ch.conntrack_entries r.Ch.conntrack_half_open
+          r.Ch.evicted_half_open r.Ch.evicted_established r.Ch.shard_restarts)
+    results;
+  print_endline
+    "(open-loop workers: stack-side queueing shows up in the tail, not as a";
+  print_endline " reduced offered rate; percentiles from streaming histograms)";
+  print_newline ()
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
@@ -577,6 +608,7 @@ let () =
   | "crosscheck" -> print_crosscheck ()
   | "ablate" -> print_ablation ()
   | "scaling" -> print_scaling ()
+  | "churn" -> print_churn ()
   | "all" ->
       print_table2 ();
       print_fig4 ();
@@ -586,10 +618,11 @@ let () =
       print_coalesce ();
       print_ablation ();
       print_scaling ();
+      print_churn ();
       run_bechamel ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (use \
-         micro|micro-spsc|micro-hook|table2|campaign|fig4|fig5|coalesce|ablate|scaling|all)\n"
+         micro|micro-spsc|micro-hook|table2|campaign|fig4|fig5|coalesce|ablate|scaling|churn|all)\n"
         other;
       exit 1

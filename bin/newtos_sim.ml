@@ -259,6 +259,102 @@ let print_scaling ?verify shard_counts ip_replicas pf_shards flows duration =
     r.E.points;
   print_newline ()
 
+module Ch = Newt_core.Churn
+
+let churn_tail_json (t : Ch.tail) =
+  Printf.sprintf
+    "{\"samples\":%d,\"mean_us\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f}"
+    t.Ch.samples t.Ch.mean_us t.Ch.p50_us t.Ch.p99_us t.Ch.p999_us
+
+let churn_json (r : Ch.result) =
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"offered_rate\":%.0f,\"duration_s\":%.2f,\"started\":%d,\
+     \"completed\":%d,\"rpc_errors\":%d,\"shed\":%d,\"completed_rate\":%.0f,\
+     \"connect\":%s,\"request\":%s,\"bulk_goodput_gbps\":%.3f,\
+     \"listen_overflows\":%d,\"accepted\":%d,\"client_resets\":%d,\
+     \"flood_syns\":%d,\"conntrack\":{\"entries\":%d,\"half_open\":%d,\
+     \"evicted_half_open\":%d,\"evicted_established\":%d},\
+     \"conns_at_kill\":%d,\"shard_restarts\":%d,\"steering_violations\":%d,\
+     \"checksum_failures\":%d}"
+    (Ch.scenario_name r.Ch.scenario)
+    r.Ch.offered_rate r.Ch.duration_s r.Ch.started r.Ch.completed
+    r.Ch.rpc_errors r.Ch.shed r.Ch.completed_rate
+    (churn_tail_json r.Ch.connect)
+    (churn_tail_json r.Ch.request)
+    r.Ch.bulk_goodput_gbps r.Ch.listen_overflows r.Ch.accepted
+    r.Ch.client_resets r.Ch.flood_syns r.Ch.conntrack_entries
+    r.Ch.conntrack_half_open r.Ch.evicted_half_open r.Ch.evicted_established
+    r.Ch.conns_at_kill r.Ch.shard_restarts r.Ch.steering_violations
+    r.Ch.checksum_failures
+
+let churn_print_human (r : Ch.result) =
+  Printf.printf "churn %s — %.0f conn/s offered for %.2f s\n"
+    (Ch.scenario_name r.Ch.scenario)
+    r.Ch.offered_rate r.Ch.duration_s;
+  Printf.printf "  started %d  completed %d  errors %d  shed %d  (%.0f conn/s completed)\n"
+    r.Ch.started r.Ch.completed r.Ch.rpc_errors r.Ch.shed r.Ch.completed_rate;
+  let tail name (t : Ch.tail) =
+    if t.Ch.samples > 0 then
+      Printf.printf
+        "  %-7s µs: p50 %8.1f  p99 %8.1f  p999 %8.1f  (n=%d, mean %.1f)\n" name
+        t.Ch.p50_us t.Ch.p99_us t.Ch.p999_us t.Ch.samples t.Ch.mean_us
+  in
+  tail "connect" r.Ch.connect;
+  tail "request" r.Ch.request;
+  if r.Ch.bulk_goodput_gbps > 0.0 then
+    Printf.printf "  bulk goodput %.2f Gbps\n" r.Ch.bulk_goodput_gbps;
+  if r.Ch.scenario = Ch.Listen_pressure then
+    Printf.printf "  listener: accepted %d; overflows (RST) %d; client resets %d\n"
+      r.Ch.accepted r.Ch.listen_overflows r.Ch.client_resets
+  else if r.Ch.listen_overflows > 0 then
+    Printf.printf "  listen overflows %d\n" r.Ch.listen_overflows;
+  if r.Ch.flood_syns > 0 then
+    Printf.printf
+      "  flood: %d SYNs; conntrack %d entries (%d half-open); evictions %d \
+       half-open / %d established\n"
+      r.Ch.flood_syns r.Ch.conntrack_entries r.Ch.conntrack_half_open
+      r.Ch.evicted_half_open r.Ch.evicted_established;
+  if r.Ch.scenario = Ch.Crash_during_churn then
+    Printf.printf "  crash: %d connections on the shard at kill; %d restart(s)\n"
+      r.Ch.conns_at_kill r.Ch.shard_restarts;
+  Printf.printf "  steering violations %d; checksum failures %d\n\n"
+    r.Ch.steering_violations r.Ch.checksum_failures
+
+let print_churn scenario rate duration shards ip_replicas pf_shards bulk_flows
+    workers payload flood_rate conntrack_total backlog seed json
+    verify_continuous =
+  let scenarios =
+    if scenario = "all" then Ch.all_scenarios
+    else
+      match Ch.scenario_of_name scenario with
+      | Some s -> [ s ]
+      | None ->
+          Printf.eprintf
+            "unknown scenario %S (baseline, syn-flood, crash-during-churn, \
+             listen-pressure, all)\n"
+            scenario;
+          exit 2
+  in
+  if not json then begin
+    print_endline
+      "Churn — short-RPC flows through the sharded stack, tail latency";
+    print_endline
+      "----------------------------------------------------------------"
+  end;
+  with_continuous ~quiet:json verify_continuous @@ fun verify ->
+  let results =
+    List.map
+      (fun s ->
+        Ch.run ~scenario:s ~rate ~duration ~shards ~ip_replicas ~pf_shards
+          ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total ~backlog
+          ~seed ?verify ())
+      scenarios
+  in
+  if json then
+    print_endline
+      (Printf.sprintf "[%s]" (String.concat "," (List.map churn_json results)))
+  else List.iter churn_print_human results
+
 (* verify --protocol: replay the request/confirm contract over the two
    figure fault runs (an IP crash, a double PF crash) and demand a
    clean close — every obligation confirmed or aborted, stale confirms
@@ -695,6 +791,73 @@ let scaling_cmd =
       $ verify_continuous $ shard_counts $ ip_replicas $ pf_shards $ flows
       $ duration)
 
+let churn_cmd =
+  let scenario =
+    let doc =
+      "Scenario: baseline, syn-flood, crash-during-churn, listen-pressure, \
+       or all."
+    in
+    Arg.(value & opt string "baseline" & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let rate =
+    let doc = "Offered RPC starts per second." in
+    Arg.(value & opt float 10_000.0 & info [ "rate" ] ~doc)
+  in
+  let duration =
+    let doc = "Simulated seconds of churn." in
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc)
+  in
+  let shards =
+    let doc = "TCP shards." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~doc)
+  in
+  let ip_replicas =
+    let doc = "IP server replicas (capped at the shard count)." in
+    Arg.(value & opt int 4 & info [ "ip-replicas" ] ~doc)
+  in
+  let pf_shards =
+    let doc = "Packet-filter shards (capped at the shard count)." in
+    Arg.(value & opt int 2 & info [ "pf-shards" ] ~doc)
+  in
+  let bulk_flows =
+    let doc = "Bulk iperf flows riding alongside the churn." in
+    Arg.(value & opt int 4 & info [ "bulk-flows" ] ~doc)
+  in
+  let workers =
+    let doc = "Open-loop RPC workers sharing the offered rate." in
+    Arg.(value & opt int 8 & info [ "workers" ] ~doc)
+  in
+  let payload =
+    let doc = "RPC payload bytes (echoed back)." in
+    Arg.(value & opt int 256 & info [ "payload" ] ~doc)
+  in
+  let flood_rate =
+    let doc = "Spoofed SYNs per second in the flood scenarios." in
+    Arg.(value & opt float 20_000.0 & info [ "flood-rate" ] ~doc)
+  in
+  let conntrack_total =
+    let doc = "Whole-stack conntrack budget (split across PF shards)." in
+    Arg.(value & opt int 8192 & info [ "conntrack-total" ] ~doc)
+  in
+  let backlog =
+    let doc = "Listener backlog in the listen-pressure scenario." in
+    Arg.(value & opt int 16 & info [ "backlog" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the results as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Flow churn: short RPC connections at rate alongside bulk flows; \
+          p50/p99/p999 connect and request latency, plus the SYN-flood, \
+          listen-pressure and crash-during-churn adversarial scenarios")
+    Term.(
+      const print_churn $ scenario $ rate $ duration $ shards $ ip_replicas
+      $ pf_shards $ bulk_flows $ workers $ payload $ flood_rate
+      $ conntrack_total $ backlog $ seed $ json $ verify_continuous)
+
 let mcheck_cmd =
   let json =
     let doc = "Emit the machine-readable JSON verdict instead of the report." in
@@ -866,6 +1029,7 @@ let () =
           coalesce_cmd;
           sweep_cmd;
           scaling_cmd;
+          churn_cmd;
           verify_cmd;
           mcheck_cmd;
           native_cmd;

@@ -21,8 +21,11 @@ let ttl t = t.ttl
 
 let filter t ~now pkt =
   let flow = Conntrack.flow_of_packet pkt in
+  let dir = pkt.Rule.dir in
   let state_hit =
-    match flow with Some f -> Conntrack.seen t.ct ~now f | None -> false
+    match flow with
+    | Some f -> Conntrack.seen t.ct ~now ~dir f
+    | None -> false
   in
   if state_hit then { action = Rule.Pass; rules_walked = 0; state_hit = true }
   else begin
@@ -40,7 +43,7 @@ let filter t ~now pkt =
     | None -> { action = Rule.Pass; rules_walked; state_hit = false }
     | Some r ->
         if r.Rule.action = Rule.Pass && r.Rule.keep_state then
-          Option.iter (Conntrack.insert t.ct ~now) flow;
+          Option.iter (Conntrack.insert t.ct ~now ~dir) flow;
         { action = r.Rule.action; rules_walked; state_hit = false }
   end
 

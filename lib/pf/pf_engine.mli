@@ -43,15 +43,16 @@ val classify :
 val export_rules : t -> Rule.t list
 (** The static configuration, as saved to the storage server. *)
 
-val export_states : t -> (Conntrack.flow * Newt_sim.Time.cycles) list
-(** Tracked flows with their last-seen times — what the PF server
-    snapshots to storage, so a restart does not resurrect idle entries
-    as freshly-seen. *)
+val export_states : t -> (Conntrack.flow * Newt_sim.Time.cycles * bool) list
+(** Tracked flows with their last-seen times and confirmation bits —
+    what the PF server snapshots to storage, so a restart does not
+    resurrect idle entries as freshly-seen (nor flood entries as
+    established). *)
 
 val restore :
   t ->
   rules:Rule.t list ->
-  states:(Conntrack.flow * Newt_sim.Time.cycles) list ->
+  states:(Conntrack.flow * Newt_sim.Time.cycles * bool) list ->
   unit
 (** Rebuild after a crash: rules from storage, states (with their
     preserved last-seen times) from the snapshot and/or from querying

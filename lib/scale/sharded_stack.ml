@@ -36,6 +36,7 @@ type config = {
   link_gbps : float;
   pf_rules : Rule.t list option;
   tcp_config : Tcp.config option;
+  conntrack_total : int;
   nic_reset_time : Time.cycles;
   heartbeat_period : Time.cycles;
   restart_delay : Time.cycles;
@@ -52,15 +53,12 @@ let default_config =
     link_gbps = 40.0;
     pf_rules = None;
     tcp_config = None;
+    conntrack_total = 65536;
     nic_reset_time = Time.of_seconds 1.2;
     heartbeat_period = Component.Defaults.heartbeat_period;
     restart_delay = Component.Defaults.restart_delay;
   }
 
-(* The conntrack capacity of the unsharded filter ({!Newt_pf.Conntrack}'s
-   default); a sharded filter divides it so N shards hold the same
-   total state as one. *)
-let conntrack_total_entries = 65536
 
 (* The canonical flow key of the steering journal — the same
    canonicalization the RSS hash applies, so both directions of a flow
@@ -222,6 +220,9 @@ type pf_shard_stats = {
   pf_blocked : int;
   expired : int;
   entries : int;
+  half_open : int;
+  evicted_half_open : int;
+  evicted_established : int;
   pf_restarts : int;
 }
 
@@ -237,6 +238,11 @@ let pf_shard_stats t =
             pf_blocked = Pf_srv.blocked srv;
             expired = Pf_srv.conntrack_expired srv;
             entries = Conntrack.size (Pf_engine.conntrack (Pf_srv.engine_of srv));
+            half_open =
+              Conntrack.half_open_count
+                (Pf_engine.conntrack (Pf_srv.engine_of srv));
+            evicted_half_open = Pf_srv.evicted_half_open srv;
+            evicted_established = Pf_srv.evicted_established srv;
             pf_restarts = Replica_set.restarts pfs j;
           })
         (Replica_set.servers pfs)
@@ -335,7 +341,7 @@ let create ?(config = default_config) () =
                     = j
                in
                Pf_srv.create comp ~save ~load
-                 ~max_entries:(max 1 (conntrack_total_entries / np))
+                 ~max_entries:(max 1 (config.conntrack_total / np))
                  ~owns ()))
   in
   let nic =

@@ -61,6 +61,12 @@ type config = {
           no-PF column); [Some rules] wires [pf_shards] PF servers
           sharing this one ruleset. *)
   tcp_config : Newt_net.Tcp.config option;
+  conntrack_total : int;
+      (** Whole-stack conntrack budget (default 65536): each of the
+          [pf_shards] filter instances caps its partition at
+          [conntrack_total / pf_shards], so N shards hold the same
+          total state as one. The adversarial churn scenarios shrink
+          it to force eviction within a short run. *)
   nic_reset_time : Newt_sim.Time.cycles;
   heartbeat_period : Newt_sim.Time.cycles;
   restart_delay : Newt_sim.Time.cycles;
@@ -192,6 +198,11 @@ type pf_shard_stats = {
   pf_blocked : int;
   expired : int;  (** Conntrack entries swept by this shard's TTL sweep. *)
   entries : int;  (** Live conntrack entries in this shard's partition. *)
+  half_open : int;  (** Of [entries], how many are still unconfirmed. *)
+  evicted_half_open : int;
+      (** Capacity evictions that took a half-open entry. *)
+  evicted_established : int;
+      (** Capacity evictions forced onto an established entry. *)
   pf_restarts : int;
 }
 

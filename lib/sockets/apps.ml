@@ -195,6 +195,119 @@ module Ssh_session = struct
     t
 end
 
+module Rpc_churn = struct
+  module Stats = Newt_sim.Stats
+
+  (* One open-loop worker: a new RPC starts every [pace] cycles no
+     matter how the previous ones are doing — exactly the load model
+     under which queueing delay shows up as tail latency instead of a
+     quietly reduced request rate. [max_outstanding] only bounds memory
+     when the stack wedges completely; shed starts are counted, never
+     silently absorbed into the schedule. *)
+  type t = {
+    machine : Machine.t;
+    sc : Sc.t;
+    app : Sc.app;
+    dst : Addr.Ipv4.t;
+    port : int;
+    pace : Time.cycles;
+    until : Time.cycles;
+    payload : int;
+    max_outstanding : int;
+    connect_hist : Stats.Hist.t;
+    request_hist : Stats.Hist.t;
+    mutable started : int;
+    mutable completed : int;
+    mutable errors : int;
+    mutable shed : int;
+    mutable outstanding : int;
+  }
+
+  let started t = t.started
+  let completed t = t.completed
+  let errors t = t.errors
+  let shed t = t.shed
+  let outstanding t = t.outstanding
+  let connect_hist t = t.connect_hist
+  let request_hist t = t.request_hist
+
+  let now t = Exec.now (Machine.exec t.machine)
+  let to_micros c = Time.to_seconds c *. 1e6
+
+  let finish t conn ok =
+    t.outstanding <- t.outstanding - 1;
+    if ok then t.completed <- t.completed + 1 else t.errors <- t.errors + 1;
+    Socket_api.close conn (fun () -> ())
+
+  (* connect -> send -> recv the echo -> close: the whole short-RPC
+     lifecycle, timed from the connect call (so listen-queue and
+     handshake delay are part of the request latency, as a client
+     would experience it). *)
+  let rpc t =
+    t.started <- t.started + 1;
+    t.outstanding <- t.outstanding + 1;
+    let t0 = now t in
+    Socket_api.tcp_socket t.sc t.app (fun conn ->
+        Socket_api.connect conn ~dst:t.dst ~port:t.port (fun result ->
+            match result with
+            | `Error _ -> finish t conn false
+            | `Ok ->
+                Stats.Hist.record t.connect_hist (to_micros (now t - t0));
+                let data = Bytes.make t.payload 'r' in
+                Socket_api.send conn data (fun result ->
+                    match result with
+                    | `Error _ -> finish t conn false
+                    | `Sent _ ->
+                        let rec await got =
+                          Socket_api.recv conn ~max:t.payload
+                            ~timeout:(Time.of_seconds 4.0) (fun result ->
+                              match result with
+                              | `Data d ->
+                                  let got = got + Bytes.length d in
+                                  if got >= t.payload then begin
+                                    Stats.Hist.record t.request_hist
+                                      (to_micros (now t - t0));
+                                    finish t conn true
+                                  end
+                                  else await got
+                              | `Timeout | `Eof | `Error _ ->
+                                  finish t conn false)
+                        in
+                        await 0)))
+
+  let rec tick t =
+    if now t < t.until then begin
+      if t.outstanding >= t.max_outstanding then t.shed <- t.shed + 1
+      else rpc t;
+      sched t.machine t.app t.pace (fun () -> tick t)
+    end
+
+  let start machine ~sc ~app ~dst ~port ~pace ?(payload = 256)
+      ?(max_outstanding = 256) ~until () =
+    let t =
+      {
+        machine;
+        sc;
+        app;
+        dst;
+        port;
+        pace;
+        until;
+        payload;
+        max_outstanding;
+        connect_hist = Stats.Hist.create ();
+        request_hist = Stats.Hist.create ();
+        started = 0;
+        completed = 0;
+        errors = 0;
+        shed = 0;
+        outstanding = 0;
+      }
+    in
+    tick t;
+    t
+end
+
 module Dns_client = struct
   type t = {
     machine : Machine.t;

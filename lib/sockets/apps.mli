@@ -62,6 +62,46 @@ module Ssh_session : sig
   val connected : t -> bool
 end
 
+module Rpc_churn : sig
+  type t
+
+  val start :
+    Newt_hw.Machine.t ->
+    sc:Newt_stack.Syscall_srv.t ->
+    app:Newt_stack.Syscall_srv.app ->
+    dst:Newt_net.Addr.Ipv4.t ->
+    port:int ->
+    pace:Newt_sim.Time.cycles ->
+    ?payload:int ->
+    ?max_outstanding:int ->
+    until:Newt_sim.Time.cycles ->
+    unit ->
+    t
+  (** An open-loop short-RPC worker: every [pace] cycles it starts a
+      fresh connect → send [payload] bytes → receive the echo → close
+      cycle against [dst:port], regardless of how earlier RPCs are
+      faring — so stack-side queueing shows up as tail latency, not as
+      a reduced offered rate. Starts are shed (and counted) only past
+      [max_outstanding] (default 256) concurrent RPCs. *)
+
+  val started : t -> int
+  val completed : t -> int
+  val errors : t -> int
+
+  val shed : t -> int
+  (** RPCs not started because [max_outstanding] were already in
+      flight — nonzero means the measured percentiles undercount the
+      would-be tail. *)
+
+  val outstanding : t -> int
+
+  val connect_hist : t -> Newt_sim.Stats.Hist.t
+  (** Connect-call → established latency, recorded in microseconds. *)
+
+  val request_hist : t -> Newt_sim.Stats.Hist.t
+  (** Connect-call → full echo received latency, in microseconds. *)
+end
+
 module Dns_client : sig
   type t
 

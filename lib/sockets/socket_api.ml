@@ -25,7 +25,8 @@ let connect c ~dst ~port k =
 let bind c ~port k =
   Sc.call c.sc c.app ~sock:c.sock (Msg.Call_bind { port }) (unit_result k)
 
-let listen c k = Sc.call c.sc c.app ~sock:c.sock Msg.Call_listen (unit_result k)
+let listen ?(backlog = 128) c k =
+  Sc.call c.sc c.app ~sock:c.sock (Msg.Call_listen { backlog }) (unit_result k)
 
 let accept c k =
   Sc.call c.sc c.app ~sock:c.sock (Msg.Call_accept { new_sock = 0 }) (fun result ->

@@ -27,7 +27,12 @@ val connect :
 
 val bind : conn -> port:int -> ([ `Ok | `Error of string ] -> unit) -> unit
 
-val listen : conn -> ([ `Ok | `Error of string ] -> unit) -> unit
+val listen :
+  ?backlog:int -> conn -> ([ `Ok | `Error of string ] -> unit) -> unit
+(** Start accepting on the bound port. [backlog] (default 128) caps the
+    accept queue: connections completing their handshake while the
+    queue is full are refused with a RST and counted by the transport
+    ([listen_overflows]), mirroring a kernel's listen(2) backlog. *)
 
 val accept : conn -> ([ `Conn of conn | `Error of string ] -> unit) -> unit
 

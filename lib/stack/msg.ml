@@ -3,7 +3,7 @@ type socket_id = int
 type sock_call =
   | Call_socket
   | Call_bind of { port : int }
-  | Call_listen
+  | Call_listen of { backlog : int }
   | Call_connect of { dst : Newt_net.Addr.Ipv4.t; dst_port : int }
   | Call_send of { data : Bytes.t }
   | Call_recv of { max : int; timeout : int }

@@ -12,7 +12,10 @@ type socket_id = int
 type sock_call =
   | Call_socket  (** Create a socket. *)
   | Call_bind of { port : int }
-  | Call_listen
+  | Call_listen of { backlog : int }
+      (** [backlog] caps the listener's accept queue: a connection
+          completing the handshake while the queue is full is refused
+          (RST) and counted, never queued without bound. *)
   | Call_connect of { dst : Newt_net.Addr.Ipv4.t; dst_port : int }
   | Call_send of { data : Bytes.t }
       (** Data the application placed in the socket's shared buffer;

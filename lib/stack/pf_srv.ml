@@ -32,6 +32,12 @@ let blocked t = t.blocked
 let conntrack_expired t = t.expired
 let rule_count t = List.length (Pf_engine.rules t.engine)
 
+let evicted_half_open t =
+  Conntrack.evicted_half_open (Pf_engine.conntrack t.engine)
+
+let evicted_established t =
+  Conntrack.evicted_established (Pf_engine.conntrack t.engine)
+
 (* Verdicts go back on the channel paired with the one the request
    arrived on, so several IP replicas can share one filter. *)
 let handle_msg t ~reply_to msg =
@@ -119,19 +125,21 @@ let create comp ~save ~load ?max_entries ?(owns = fun _ -> true) () =
       let snapshot =
         match t.load "conntrack" with
         | Some blob ->
-            (Marshal.from_string blob 0 : (Conntrack.flow * int) list)
+            (Marshal.from_string blob 0 : (Conntrack.flow * int * bool) list)
         | None -> []
       in
       (* A sharded filter restores only the partition it owns — both
          from the snapshot and from the transport servers' live tables
          — so a foreign shard's flows are never re-tracked here. *)
       Pf_engine.restore t.engine ~rules
-        ~states:(List.filter (fun (f, _) -> t.owns f) snapshot);
+        ~states:(List.filter (fun (f, _, _) -> t.owns f) snapshot);
       let ct = Pf_engine.conntrack t.engine in
+      (* Transport servers only hold live connections, so re-tracked
+         flows are established by definition. *)
       List.iter
         (fun f ->
           if t.owns f && not (Conntrack.mem ct f) then
-            Conntrack.insert ct ~now:(now t) f)
+            Conntrack.insert ct ~now:(now t) ~confirmed:true f)
         (t.tcp_source () @ t.udp_source ());
       arm_sweep t);
   arm_sweep t;

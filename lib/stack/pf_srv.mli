@@ -69,3 +69,10 @@ val blocked : t -> int
 val conntrack_expired : t -> int
 (** Conntrack entries dropped by the idle-timeout sweep so far (this
     incarnation). *)
+
+val evicted_half_open : t -> int
+(** Capacity evictions that took an unconfirmed (half-open) entry. *)
+
+val evicted_established : t -> int
+(** Capacity evictions forced onto an established entry — nonzero only
+    when the table filled with confirmed flows. *)

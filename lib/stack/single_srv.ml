@@ -252,7 +252,7 @@ let handle_call t s req (call : Msg.sock_call) =
       (match s.pcb with Some pcb -> Tcp.close pcb | None -> ());
       s.dead <- true;
       reply t req Msg.Ok_unit
-  | Msg.Call_bind _ | Msg.Call_listen | Msg.Call_accept _ | Msg.Call_sendto _
+  | Msg.Call_bind _ | Msg.Call_listen _ | Msg.Call_accept _ | Msg.Call_sendto _
   | Msg.Call_recvfrom _ | Msg.Call_select _ | Msg.Call_shutdown ->
       reply t req (Msg.Err "not supported by the single-server harness")
 

@@ -51,11 +51,12 @@ let send_frame t ~dst_mac ~payload ~ethertype =
   in
   t.io.io_emit frame
 
-let send_ip t ~dst ~proto ~payload =
+let send_ip ?src t ~dst ~proto ~payload =
+  let src = Option.value src ~default:t.addr in
   t.ident <- (t.ident + 1) land 0xffff;
   let pkt =
     Ipv4.packet
-      { Ipv4.src = t.addr; dst; protocol = proto; ttl = 64; ident = t.ident; total_len = 0 }
+      { Ipv4.src; dst; protocol = proto; ttl = 64; ident = t.ident; total_len = 0 }
       ~payload
   in
   match Arp.Cache.lookup t.arp dst with
@@ -243,6 +244,26 @@ let serve_tcp_echo t ~port =
               ()))
 
 let connect t ~dst ~dst_port = Tcp.connect t.tcp ~src:t.addr ~dst ~dst_port ()
+
+(* A bare SYN from a (usually spoofed) source: the attack primitive of
+   the flood scenarios. No pcb is created on this side — the victim's
+   SYN-ACK goes to an address that never answers ARP, so its handshake
+   stays half-open until its retries exhaust. *)
+let send_tcp_syn t ~src ~src_port ~dst ~dst_port =
+  let hdr =
+    {
+      Tcp_wire.src_port;
+      dst_port;
+      seq = t.io.io_random 0x3FFFFFFF;
+      ack = 0;
+      flags = Tcp_wire.flag_syn;
+      window = 65535;
+      mss = Some 1460;
+      wscale = None;
+    }
+  in
+  let seg = Tcp_wire.encode ~src ~dst hdr ~payload:Bytes.empty in
+  send_ip ~src t ~dst ~proto:Ipv4.Tcp ~payload:seg
 
 let ping t ~dst k =
   t.next_ping <- t.next_ping + 1;

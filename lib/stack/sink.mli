@@ -81,6 +81,18 @@ val connect :
 (** Open a TCP connection from the sink towards the NewtOS host (used
     to test inbound reachability after crashes). *)
 
+val send_tcp_syn :
+  t ->
+  src:Newt_net.Addr.Ipv4.t ->
+  src_port:int ->
+  dst:Newt_net.Addr.Ipv4.t ->
+  dst_port:int ->
+  unit
+(** Inject a single SYN claiming to come from [src] — the SYN-flood
+    primitive. No connection state is kept on this side: when [src] is
+    spoofed (unroutable), the victim's SYN-ACK dies in ARP resolution
+    and its half-open handshake lingers until the retries exhaust. *)
+
 val ping :
   t ->
   dst:Newt_net.Addr.Ipv4.t ->

@@ -34,6 +34,7 @@ type socket = {
   mutable pcb : Tcp.pcb option;
   mutable listen_port : int option;
   mutable bound_port : int option;
+  mutable backlog : int;
   accept_q : Tcp.pcb Queue.t;
   mutable op : pending_op;
   mutable dead : bool;  (* reset/closed *)
@@ -189,6 +190,7 @@ let sock t id =
           pcb = None;
           listen_port = None;
           bound_port = None;
+          backlog = 0;
           accept_q = Queue.create ();
           op = P_none;
           dead = false;
@@ -205,7 +207,10 @@ let reply t req result =
 let persist_listeners t =
   let listeners =
     Hashtbl.fold
-      (fun id s acc -> match s.listen_port with Some p -> (id, p) :: acc | None -> acc)
+      (fun id s acc ->
+        match s.listen_port with
+        | Some p -> (id, p, s.backlog) :: acc
+        | None -> acc)
       t.sockets []
   in
   t.save "listeners" (Marshal.to_string (List.sort compare listeners) [])
@@ -311,26 +316,40 @@ and attach_handler t s pcb =
           progress t s);
       check_select t)
 
+(* A connection completing its handshake against a full accept queue is
+   refused — RST and counted — never queued without bound: under an
+   accept-starved listener (or a flood) the queue length is the
+   application's problem, not the server's memory. *)
+let enqueue_accept t s pcb =
+  if Queue.length s.accept_q >= s.backlog then begin
+    Stats.incr (Proc.stats t.proc) "listen_overflows";
+    Tcp.abort pcb
+  end
+  else begin
+    Queue.push pcb s.accept_q;
+    (* Accepted connections produce events as soon as an accept claims
+       them; meanwhile track and ack. *)
+    progress t s;
+    check_select t
+  end
+
 let handle_call t s req (call : Msg.sock_call) =
   match call with
   | Msg.Call_socket -> reply t req (Msg.Ok_socket s.sock_id)
   | Msg.Call_bind { port } ->
       s.bound_port <- Some port;
       reply t req Msg.Ok_unit
-  | Msg.Call_listen -> (
+  | Msg.Call_listen { backlog } -> (
       match s.bound_port with
       | None -> reply t req (Msg.Err "not bound")
       | Some port -> (
           match
             Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
-                Queue.push pcb s.accept_q;
-                (* Accepted connections produce events as soon as an
-                   accept claims them; meanwhile track and ack. *)
-                progress t s;
-                check_select t)
+                enqueue_accept t s pcb)
           with
           | () ->
               s.listen_port <- Some port;
+              s.backlog <- max 1 backlog;
               persist_listeners t;
               reply t req Msg.Ok_unit
           | exception Invalid_argument m -> reply t req (Msg.Err m)))
@@ -517,16 +536,20 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
       match t.load "listeners" with
       | None -> ()
       | Some blob ->
-          let listeners : (Msg.socket_id * int) list = Marshal.from_string blob 0 in
+          (* The backlog is part of the listener's recoverable state:
+             a restarted shard enforces the same cap. *)
+          let listeners : (Msg.socket_id * int * int) list =
+            Marshal.from_string blob 0
+          in
           List.iter
-            (fun (sock_id, port) ->
+            (fun (sock_id, port, backlog) ->
               let s = sock t sock_id in
               s.bound_port <- Some port;
               s.listen_port <- Some port;
+              s.backlog <- backlog;
               try
                 Tcp.listen t.engine ~port ~on_accept:(fun pcb ->
-                    Queue.push pcb s.accept_q;
-                    progress t s)
+                    enqueue_accept t s pcb)
               with Invalid_argument _ -> ())
             listeners);
   t
@@ -579,3 +602,5 @@ let on_ip_restart t =
         pkts)
 
 let repersist t = persist_listeners t
+
+let listen_overflows t = Stats.get (Proc.stats t.proc) "listen_overflows"

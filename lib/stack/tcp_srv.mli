@@ -87,3 +87,7 @@ val total_segs_out : t -> int
 val total_bytes_out : t -> int
 (** Lifetime totals: the live engine's counters plus those banked from
     incarnations that died — what per-shard stats should report. *)
+
+val listen_overflows : t -> int
+(** Connections refused (RST) because their listener's accept queue
+    was at its backlog cap when the handshake completed. *)

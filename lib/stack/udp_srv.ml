@@ -263,7 +263,7 @@ let handle_call t s req (call : Msg.sock_call) =
                     reply t req (Msg.Ok_ready [])
                 | Some _ | None -> ()))
   | Msg.Call_shutdown -> reply t req (Msg.Err "udp cannot shutdown")
-  | Msg.Call_listen -> reply t req (Msg.Err "udp cannot listen")
+  | Msg.Call_listen _ -> reply t req (Msg.Err "udp cannot listen")
   | Msg.Call_accept _ -> reply t req (Msg.Err "udp cannot accept")
   | Msg.Call_close ->
       Hashtbl.remove t.sockets s.sock_id;

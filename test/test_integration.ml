@@ -97,6 +97,39 @@ let test_tcp_crash_breaks_connections_but_listeners_recover () =
   Alcotest.(check bool) "listener recovered, new connections accepted" true !reachable;
   Alcotest.(check int) "exactly one restart" 1 (Host.restarts_of h Host.C_tcp)
 
+let test_listen_backlog_refuses_overflow () =
+  (* Regression: the accept queue used to grow without bound — a
+     listener that never accepts absorbed every handshake. With the
+     backlog cap, completions past the cap are RST and counted. *)
+  let h = make_host () in
+  Socket_api.tcp_socket (Host.sc h) (Host.app h) (fun l ->
+      Socket_api.bind l ~port:2222 (fun _ ->
+          Socket_api.listen ~backlog:2 l (fun _ -> (* never accepts *) ())));
+  Host.run h ~until:(sec 0.1);
+  let peer = Host.sink h 0 in
+  let resets = ref 0 in
+  let dial n =
+    for _ = 1 to n do
+      let pcb = Sink.connect peer ~dst:(Host.local_addr h 0) ~dst_port:2222 in
+      Tcp.set_handler pcb (fun ev -> if ev = Tcp.Reset then incr resets)
+    done
+  in
+  dial 8;
+  Host.run h ~until:(sec 1.0);
+  Alcotest.(check int) "six of eight refused at the backlog" 6
+    (Newt_stack.Tcp_srv.listen_overflows (Host.tcp_srv h));
+  Alcotest.(check int) "each refusal RST the client" 6 !resets;
+  (* The cap is part of the listener's persisted state: it survives a
+     TCP server crash (the queued-but-unaccepted handshakes die with
+     the server; the restored listener enforces the same backlog). *)
+  Host.at h (sec 1.1) (fun () -> Host.kill_component h Host.C_tcp);
+  Host.run h ~until:(sec 3.0);
+  resets := 0;
+  dial 8;
+  Host.run h ~until:(sec 4.0);
+  Alcotest.(check int) "restored listener still caps at two" 6 !resets;
+  Alcotest.(check int) "exactly one restart" 1 (Host.restarts_of h Host.C_tcp)
+
 let test_udp_crash_transparent () =
   let h = make_host () in
   let peer = Host.sink h 0 in
@@ -808,6 +841,64 @@ let test_channel_directory () =
   Alcotest.(check bool) "trace recorded RESTART" true
     (List.exists (fun e -> e.Newt_sim.Trace.message = "RESTART") tcp_events)
 
+module Churn = Newt_core.Churn
+module Continuous = Newt_verify.Continuous
+
+(* The churn scenarios at test scale: smaller topology, shorter runs,
+   same mechanics as [newtos_sim churn]. *)
+let churn_run ?verify scenario =
+  Churn.run ~scenario ~rate:3000.0 ~duration:0.3 ~shards:4 ~ip_replicas:2
+    ~pf_shards:2 ~bulk_flows:2 ~workers:4 ~flood_rate:12_000.0
+    ~conntrack_total:1024 ?verify ()
+
+let test_churn_flood_keeps_established_flows () =
+  let base = churn_run Churn.Baseline in
+  let flood = churn_run Churn.Syn_flood in
+  Alcotest.(check bool) "flood filled the table and forced eviction" true
+    (flood.Churn.evicted_half_open > 0);
+  Alcotest.(check int) "no established flow was evicted for flood state" 0
+    flood.Churn.evicted_established;
+  Alcotest.(check bool)
+    (Printf.sprintf "completions under flood near baseline (%d vs %d)"
+       flood.Churn.completed base.Churn.completed)
+    true
+    (float_of_int flood.Churn.completed
+    >= 0.9 *. float_of_int base.Churn.completed);
+  Alcotest.(check bool)
+    (Printf.sprintf "bulk goodput under flood near baseline (%.2f vs %.2f)"
+       flood.Churn.bulk_goodput_gbps base.Churn.bulk_goodput_gbps)
+    true
+    (flood.Churn.bulk_goodput_gbps >= 0.7 *. base.Churn.bulk_goodput_gbps)
+
+let test_churn_crash_recovers_under_verification () =
+  let v = Continuous.create () in
+  let r = churn_run ~verify:v Churn.Crash_during_churn in
+  Alcotest.(check int) "exactly one shard restart" 1 r.Churn.shard_restarts;
+  Alcotest.(check bool) "the static checker re-ran mid-churn" true
+    ((Continuous.totals v).Continuous.re_checks >= 1);
+  Alcotest.(check bool) "no violations, no leaks" true (Continuous.ok v);
+  Alcotest.(check bool)
+    (Printf.sprintf "churn kept completing through the crash (%d of %d)"
+       r.Churn.completed r.Churn.started)
+    true
+    (float_of_int r.Churn.completed >= 0.8 *. float_of_int r.Churn.started);
+  Alcotest.(check int) "affinity held throughout" 0 r.Churn.steering_violations
+
+let test_churn_listen_pressure_stays_bounded () =
+  let r =
+    Churn.run ~scenario:Churn.Listen_pressure ~rate:1500.0 ~duration:0.3
+      ~backlog:4 ()
+  in
+  Alcotest.(check bool) "the backlog cap was hit" true
+    (r.Churn.listen_overflows > 0);
+  Alcotest.(check int) "every overflow RST its client"
+    r.Churn.listen_overflows r.Churn.client_resets;
+  Alcotest.(check bool)
+    (Printf.sprintf "every arrival accepted or refused (%d + %d vs %d)"
+       r.Churn.accepted r.Churn.client_resets r.Churn.started)
+    true
+    (abs (r.Churn.started - (r.Churn.accepted + r.Churn.client_resets)) <= 4)
+
 let test_multi_nic_host () =
   let config = { Host.default_config with Host.nics = 3 } in
   let h = Host.create ~config () in
@@ -873,6 +964,18 @@ let suite =
       `Quick,
       test_select_survives_transport_crash );
     ("multi-NIC host drives all links", `Quick, test_multi_nic_host);
+    ( "listen backlog refuses overflow and survives restart",
+      `Quick,
+      test_listen_backlog_refuses_overflow );
+    ( "churn: flood cannot evict established flows",
+      `Quick,
+      test_churn_flood_keeps_established_flows );
+    ( "churn: shard crash recovers under continuous verification",
+      `Quick,
+      test_churn_crash_recovers_under_verification );
+    ( "churn: listen pressure stays bounded",
+      `Quick,
+      test_churn_listen_pressure_stays_bounded );
     ("IP crash during PF recovery", `Quick, test_ip_crash_during_pf_recovery);
     ("double IP crash mid-reset", `Quick, test_double_ip_crash);
     ( "all five components crash in sequence",

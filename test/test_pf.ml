@@ -158,6 +158,68 @@ let test_conntrack_cap_evicts_oldest () =
   Conntrack.insert ct ~now:6 (ct_flow ~lport:2 ());
   Alcotest.(check int) "refresh keeps size" 4 (Conntrack.size ct)
 
+let test_conntrack_handshake_confirmation () =
+  let ct = Conntrack.create () in
+  let f = ct_flow () in
+  Conntrack.insert ct ~now:1 ~dir:`In f;
+  Alcotest.(check (option bool)) "new entry starts half-open" (Some false)
+    (Conntrack.confirmed ct f);
+  Alcotest.(check int) "counted half-open" 1 (Conntrack.half_open_count ct);
+  (* A lone reply is not enough: an inbound flood SYN provokes an
+     automatic RST/SYN-ACK, so two-way traffic comes for free. *)
+  ignore (Conntrack.seen ct ~now:2 ~dir:`Out f);
+  Alcotest.(check (option bool)) "a lone reply does not confirm" (Some false)
+    (Conntrack.confirmed ct f);
+  ignore (Conntrack.seen ct ~now:3 ~dir:`Out f);
+  Alcotest.(check (option bool)) "more replies still do not" (Some false)
+    (Conntrack.confirmed ct f);
+  (* The originator speaking again after the reply — the handshake's
+     third packet, which a spoofed source can never send. *)
+  ignore (Conntrack.seen ct ~now:4 ~dir:`In f);
+  Alcotest.(check (option bool)) "originator-after-reply confirms"
+    (Some true) (Conntrack.confirmed ct f);
+  Alcotest.(check int) "no longer half-open" 0 (Conntrack.half_open_count ct);
+  (* The confirmation bit travels through export/import. *)
+  let ct2 = Conntrack.create () in
+  Conntrack.import ct2 (Conntrack.export ct);
+  Alcotest.(check (option bool)) "confirmation survives a snapshot"
+    (Some true) (Conntrack.confirmed ct2 f)
+
+let test_conntrack_flood_evicts_half_open_first () =
+  (* Regression against the state-blind LRU: under a SYN flood the
+     oldest entries are precisely the long-lived established flows, so
+     pure LRU evicted the connections the recovery story exists to
+     protect and kept the attacker's half-open state. *)
+  let ct = Conntrack.create ~max_entries:8 () in
+  Conntrack.insert ct ~now:1 ~confirmed:true (ct_flow ~lport:1 ());
+  Conntrack.insert ct ~now:2 ~confirmed:true (ct_flow ~lport:2 ());
+  for i = 3 to 20 do
+    (* The flood: strictly fresher than both established flows. *)
+    Conntrack.insert ct ~now:i ~dir:`In (ct_flow ~lport:(1000 + i) ())
+  done;
+  Alcotest.(check int) "capped" 8 (Conntrack.size ct);
+  Alcotest.(check bool) "oldest established flow survives the flood" true
+    (Conntrack.mem ct (ct_flow ~lport:1 ()));
+  Alcotest.(check bool) "second established flow survives too" true
+    (Conntrack.mem ct (ct_flow ~lport:2 ()));
+  Alcotest.(check int) "every eviction hit a half-open entry" 12
+    (Conntrack.evicted_half_open ct);
+  Alcotest.(check int) "no established entry was sacrificed" 0
+    (Conntrack.evicted_established ct)
+
+let test_conntrack_established_evicted_only_as_last_resort () =
+  let ct = Conntrack.create ~max_entries:4 () in
+  for i = 1 to 4 do
+    Conntrack.insert ct ~now:i ~confirmed:true (ct_flow ~lport:i ())
+  done;
+  Conntrack.insert ct ~now:5 ~dir:`In (ct_flow ~lport:5 ());
+  Alcotest.(check bool) "all-established table evicts its oldest" false
+    (Conntrack.mem ct (ct_flow ~lport:1 ()));
+  Alcotest.(check int) "counted as an established eviction" 1
+    (Conntrack.evicted_established ct);
+  Alcotest.(check int) "no half-open eviction happened" 0
+    (Conntrack.evicted_half_open ct)
+
 let test_conntrack_import_keeps_expiry_clock () =
   (* The restart scenario the timestamps exist for: entries restored
      from a snapshot must be as close to expiry as when exported, not
@@ -232,7 +294,7 @@ let test_generated_ruleset_shape () =
 let test_restore () =
   let e = Pf_engine.create () in
   let rules = Pf_engine.generate_ruleset (Rng.create 5) ~n:16 ~protect_port:80 in
-  let states = [ (ct_flow ~lport:1 ~rport:2 (), 42) ] in
+  let states = [ (ct_flow ~lport:1 ~rport:2 (), 42, true) ] in
   Pf_engine.restore e ~rules ~states;
   Alcotest.(check int) "rules restored" 16 (List.length (Pf_engine.export_rules e));
   Alcotest.(check int) "states restored" 1 (List.length (Pf_engine.export_states e))
@@ -339,6 +401,15 @@ let suite =
     ("conntrack export/import (recovery)", `Quick, test_conntrack_export_import);
     ("conntrack idle entries expire", `Quick, test_conntrack_expiry);
     ("conntrack cap evicts the coldest entry", `Quick, test_conntrack_cap_evicts_oldest);
+    ( "conntrack confirmation needs the handshake shape",
+      `Quick,
+      test_conntrack_handshake_confirmation );
+    ( "conntrack eviction spares established flows under flood",
+      `Quick,
+      test_conntrack_flood_evicts_half_open_first );
+    ( "conntrack evicts established only as a last resort",
+      `Quick,
+      test_conntrack_established_evicted_only_as_last_resort );
     ( "conntrack import keeps the expiry clock",
       `Quick,
       test_conntrack_import_keeps_expiry_clock );

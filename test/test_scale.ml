@@ -431,7 +431,8 @@ let test_pf_shard_crash_isolation () =
   in
   let sibling_at_kill = ref [] in
   S.at s (Time.of_seconds 0.3) (fun () ->
-      sibling_at_kill := List.map fst (Conntrack.export (pf_conntrack s 1));
+      sibling_at_kill :=
+        List.map (fun (f, _, _) -> f) (Conntrack.export (pf_conntrack s 1));
       S.kill_pf_shard s 0);
   S.run s ~until:(Time.of_seconds 1.3);
   Alcotest.(check int) "killed pf shard restarted once" 1
@@ -472,7 +473,9 @@ let test_pf_shard_crash_isolation () =
      space: recovery re-tracked the dead shard's flows (from its
      snapshot and the transports) and nothing foreign. *)
   let check_partition j =
-    let entries = List.map fst (Conntrack.export (pf_conntrack s j)) in
+    let entries =
+      List.map (fun (f, _, _) -> f) (Conntrack.export (pf_conntrack s j))
+    in
     Alcotest.(check bool)
       (Printf.sprintf "pf shard %d re-tracked its flows" j)
       true (entries <> []);

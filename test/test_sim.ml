@@ -207,6 +207,90 @@ let test_stats_percentile_single_sample () =
         (Stats.percentile st "one" p))
     [ 0.0; 33.3; 50.0; 99.9; 100.0 ]
 
+(* A deterministic pseudo-random stream (LCG) — no wall-clock seed, no
+   Random state shared with the engine. *)
+let lcg_stream n =
+  let s = ref 123456789 in
+  Array.init n (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      1.0 +. float_of_int (!s mod 1_000_000))
+
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let test_hist_agrees_with_exact_percentiles () =
+  (* The histogram trades a sort per query for bucketed values: every
+     quantile must land within the documented 1/64 of the exact
+     sorted-series answer, across three orders of magnitude. *)
+  let samples = lcg_stream 50_000 in
+  let h = Newt_sim.Stats.Hist.create () in
+  Array.iter (Newt_sim.Stats.Hist.record h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check int) "count" 50_000 (Newt_sim.Stats.Hist.count h);
+  List.iter
+    (fun p ->
+      let exact = exact_percentile sorted p in
+      let approx =
+        match Newt_sim.Stats.Hist.percentile h p with
+        | Some v -> v
+        | None -> Alcotest.fail "expected samples"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.1f within 1/64 (exact %.0f, hist %.0f)" p exact
+           approx)
+        true
+        (abs_float (approx -. exact) <= exact /. 32.0))
+    [ 1.0; 25.0; 50.0; 90.0; 99.0; 99.9; 99.99 ];
+  (* The extremes are exact, not bucket edges. *)
+  Alcotest.(check (option (float 1e-9))) "p0 is the true minimum"
+    (Some sorted.(0))
+    (Newt_sim.Stats.Hist.percentile h 0.0);
+  Alcotest.(check (option (float 1e-9))) "p100 is the true maximum"
+    (Some sorted.(49_999))
+    (Newt_sim.Stats.Hist.percentile h 100.0)
+
+let test_hist_merge_adds_counts () =
+  let h1 = Newt_sim.Stats.Hist.create () in
+  let h2 = Newt_sim.Stats.Hist.create () in
+  for i = 1 to 1000 do
+    Newt_sim.Stats.Hist.record h1 (float_of_int i)
+  done;
+  for i = 1001 to 2000 do
+    Newt_sim.Stats.Hist.record h2 (float_of_int i)
+  done;
+  Newt_sim.Stats.Hist.merge ~into:h1 h2;
+  Alcotest.(check int) "merged count" 2000 (Newt_sim.Stats.Hist.count h1);
+  let p50 = Option.get (Newt_sim.Stats.Hist.percentile h1 50.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "merged median near 1000 (got %.0f)" p50)
+    true
+    (abs_float (p50 -. 1000.0) <= 1000.0 /. 32.0);
+  Alcotest.(check (option (float 1e-9))) "merged max" (Some 2000.0)
+    (Newt_sim.Stats.Hist.percentile h1 100.0)
+
+let test_stats_series_migrates_to_hist () =
+  (* Past the exact threshold a named series silently becomes a
+     histogram: same API, same answers (to bucket precision), no sort
+     per query on a big series. *)
+  let st = Stats.create () in
+  for i = 1 to 5000 do
+    Stats.observe st "lat" (float_of_int i)
+  done;
+  Alcotest.(check int) "count unaffected by migration" 5000
+    (Stats.count st "lat");
+  let p50 = Option.get (Stats.percentile st "lat" 50.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "median within 1/64 after migration (got %.0f)" p50)
+    true
+    (abs_float (p50 -. 2500.0) <= 2500.0 /. 32.0);
+  Alcotest.(check (option (float 1e-9))) "max exact" (Some 5000.0)
+    (Stats.percentile st "lat" 100.0);
+  Alcotest.(check (option (float 1e-9))) "min exact" (Some 1.0)
+    (Stats.percentile st "lat" 0.0)
+
 let test_trace_bounded () =
   let t = Newt_sim.Trace.create ~capacity:3 () in
   for i = 1 to 5 do
@@ -235,6 +319,13 @@ let suite =
     ("stats distributions", `Quick, test_stats_samples);
     ("stats percentile bounds and clamping", `Quick, test_stats_percentile);
     ("stats percentile single sample", `Quick, test_stats_percentile_single_sample);
+    ( "hist percentiles agree with exact sort",
+      `Quick,
+      test_hist_agrees_with_exact_percentiles );
+    ("hist merge adds shard counts", `Quick, test_hist_merge_adds_counts);
+    ( "stats series migrates to hist past the threshold",
+      `Quick,
+      test_stats_series_migrates_to_hist );
     ("series bins by time", `Quick, test_series_binning);
     ("series converts to Mbps", `Quick, test_series_mbps);
     ("trace log is bounded", `Quick, test_trace_bounded);

@@ -581,6 +581,79 @@ let test_half_close_data_after_fin () =
     (Buffer.contents got);
   Alcotest.(check bool) "fully closed" true (Tcp.state pcb = Tcp.Closed)
 
+let test_time_wait_reaped_after_2msl () =
+  (* Churn regression: TIME_WAIT must actually end after 2×MSL, or at
+     tens of thousands of connections per second the connection table
+     fills with corpses and the ephemeral range runs dry. *)
+  let config = { Tcp.default_config with Tcp.msl = Time.of_seconds 0.05 } in
+  let w = make_world ~config_a:config ~config_b:config () in
+  Tcp.listen w.tcp_b ~port:80 ~on_accept:(fun pcb ->
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              ignore (Tcp.recv pcb ~max:64);
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | _ -> ()));
+  let pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:80 () in
+  Tcp.set_handler pcb (fun ev -> if ev = Tcp.Connected then Tcp.close pcb);
+  (* Established and actively closed well within one MSL... *)
+  Engine.run ~until:(Time.of_seconds 0.04) w.engine;
+  Alcotest.(check bool) "active closer parks in TIME_WAIT" true
+    (Tcp.state pcb = Tcp.Time_wait);
+  Alcotest.(check int) "the corpse still occupies the table" 1
+    (Tcp.connection_count w.tcp_a);
+  (* The [port_in_use] probe — what Tcp_srv's port selector consults —
+     must agree: the four-tuple is taken while the corpse sits there. *)
+  let _, local_port = Tcp.local_addr pcb in
+  let tuple_in_use () =
+    Tcp.port_in_use w.tcp_a ~local_ip:ip_a ~port:local_port ~remote_ip:ip_b
+      ~remote_port:80
+  in
+  Alcotest.(check bool) "port_in_use sees the TIME_WAIT tuple" true
+    (tuple_in_use ());
+  (* ...and reaped once 2×MSL has passed. *)
+  Engine.run ~until:(Time.of_seconds 0.25) w.engine;
+  Alcotest.(check bool) "reaped after 2 MSL" true (Tcp.state pcb = Tcp.Closed);
+  Alcotest.(check int) "client table empty again" 0
+    (Tcp.connection_count w.tcp_a);
+  Alcotest.(check bool) "port_in_use agrees the tuple is free again" false
+    (tuple_in_use ())
+
+let test_ephemeral_port_reuse_at_churn_rates () =
+  (* More connects than the whole 16384-port ephemeral range: every
+     four-tuple is reused at least once. Only works because TIME_WAIT
+     corpses are reaped on time — were they not, [Tcp.connect] would
+     run out of ports partway through ("Tcp: out of ephemeral ports"). *)
+  let config = { Tcp.default_config with Tcp.msl = Time.of_micros 500.0 } in
+  let w = make_world ~latency_us:5.0 ~config_a:config ~config_b:config () in
+  Tcp.listen w.tcp_b ~port:80 ~on_accept:(fun pcb ->
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              ignore (Tcp.recv pcb ~max:64);
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | _ -> ()));
+  let n = 17_000 in
+  let completed = ref 0 in
+  let rec spawn i =
+    if i < n then begin
+      let pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:80 () in
+      Tcp.set_handler pcb (fun ev ->
+          if ev = Tcp.Connected then begin
+            incr completed;
+            Tcp.close pcb
+          end);
+      ignore
+        (Engine.schedule w.engine (Time.of_micros 30.0) (fun () ->
+             spawn (i + 1)))
+    end
+  in
+  spawn 0;
+  Engine.run ~until:(Time.of_seconds 1.0) w.engine;
+  Alcotest.(check int) "every connect found a recycled port" n !completed;
+  Alcotest.(check bool) "client table stays bounded" true
+    (Tcp.connection_count w.tcp_a < 200)
+
 let suite =
   [
     ("three-way handshake", `Quick, test_handshake);
@@ -604,6 +677,10 @@ let suite =
     ("abort sends RST", `Quick, test_abort_sends_rst);
     ("simultaneous close", `Quick, test_simultaneous_close);
     ("data flows after a half-close", `Quick, test_half_close_data_after_fin);
+    ("TIME_WAIT reaped after 2 MSL", `Quick, test_time_wait_reaped_after_2msl);
+    ( "ephemeral ports recycle at churn rates",
+      `Quick,
+      test_ephemeral_port_reuse_at_churn_rates );
     test_random_corruption;
     test_random_reordering;
     test_random_duplication;
