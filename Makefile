@@ -1,7 +1,7 @@
 # Tier-1 gate: what CI runs on every PR.
 .PHONY: check build test fmt verify verify-protocol verify-continuous \
 	sanitize-smoke bench-smoke churn-smoke native-smoke model-check \
-	model-check-negative race-check clean
+	model-check-negative race-check fsm-check clean
 
 check: build test fmt verify
 
@@ -87,6 +87,41 @@ race-check: build
 	rm -f _race_run.json
 	dune exec bench/main.exe -- micro-hook | grep -q '"hook_native"'
 
+# TCP conformance checking, both polarities. Positive: the rule table
+# lints total/deterministic/no-dead-rules, and the fig4/fig5 crash
+# replays plus a crash-during-churn flood replay run violation-free
+# under the checker, in the simulator and on the native runtime.
+# Negative: each --break-tcp sabotage (a crashed shard's ESTABLISHED
+# connections resurrected without a handshake; a bare ACK where RFC
+# 793 demands RST) must exit 1 through the checker with a
+# trace-carrying counterexample, again in both runtimes.
+fsm-check: build
+	dune exec bin/newtos_sim.exe -- verify --tcp-fsm
+	! dune exec bin/newtos_sim.exe -- churn --scenario crash-during-churn \
+	    --break-tcp stale-established --duration 0.4 --rate 2000 \
+	    --shards 4 --json > _fsm.json
+	grep -q '"ok":false' _fsm.json
+	grep -q '"trace":\["' _fsm.json
+	! dune exec bin/newtos_sim.exe -- churn --scenario syn-flood \
+	    --break-tcp ack-from-closed --duration 0.4 --rate 2000 \
+	    --shards 4 --json > _fsm.json
+	grep -q '"ack-from-wrong-state"' _fsm.json
+	grep -q '"trace":\["' _fsm.json
+	dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 1 \
+	    --allow-oversubscribe --tcp-fsm --json > _fsm.json
+	grep -q '"tcpfsm":{"component":"tcp-fsm","ok":true' _fsm.json
+	! dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 1 \
+	    --allow-oversubscribe --break-tcp ack-from-closed --json \
+	    > _fsm.json
+	grep -q '"ok":false' _fsm.json
+	grep -q '"trace":\["' _fsm.json
+	! dune exec bin/newtos_sim.exe -- native --domains 2 --seconds 1 \
+	    --allow-oversubscribe --break-tcp stale-established --json \
+	    > _fsm.json
+	grep -q '"illegal-transition"' _fsm.json
+	grep -q '"trace":\["' _fsm.json
+	rm -f _fsm.json
+
 # Continuous verification: a sanitized fault campaign that re-runs the
 # static checker against the live topology after every reincarnation
 # and leak-checks each quiesced run tail. Any violation or leak exits 1.
@@ -109,6 +144,11 @@ bench-smoke: build
 	dune exec bin/newtos_sim.exe -- scaling --shards 2 --ip-replicas 2 --pf-shards 2 --flows 2 --duration 0.05
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --sanitize --verify-continuous --json | grep -q '"counters"'
 	dune exec bin/newtos_sim.exe -- campaign --runs 2 --pf-shards 2 --json | grep -q '"pf_shards":\[{"shard":0,'
+	dune exec bin/newtos_sim.exe -- churn --duration 0.25 --rate 4000 \
+	    --tcp-fsm --json > _bench_fsm.json
+	grep -q '"tcpfsm":{"component":"tcp-fsm","ok":true' _bench_fsm.json
+	grep -q '"segments":[1-9]' _bench_fsm.json
+	rm -f _bench_fsm.json
 	dune exec bench/main.exe -- micro-spsc | grep -q '"spsc_cross_domain"'
 
 # Churn smoke: short flow-churn runs with the continuous checker

@@ -67,6 +67,38 @@ let with_protocol ?(quiet = false) ?(drained = false) enabled f =
     if not (V.Report.ok report) then exit 1
   end
 
+(* Run [f] with the TCP conformance checker riding the simulator's TCP
+   hook chain, then print its verdict.  Under --verify-continuous the
+   per-run aggregation absorbs and resets the checker's state, so this
+   outer report only carries whatever the aggregator did not claim. *)
+let with_tcpfsm ?(quiet = false) enabled f =
+  if not enabled then f ()
+  else begin
+    V.Tcpfsm.install ();
+    Fun.protect ~finally:V.Tcpfsm.uninstall f;
+    let report = V.Tcpfsm.report ~title:"tcp-fsm conformance checker" () in
+    if not quiet then begin
+      print_string (V.Report.to_string report);
+      print_newline ()
+    end;
+    if not (V.Report.ok report) then exit 1
+  end
+
+(* Run [f] with the simulator's verification hooks sampled one subject
+   in [n] (pool slots, request ids, TCP connections; clock-critical
+   events are never sampled out), restoring full fidelity after. *)
+let with_sample n f =
+  if n <= 1 then f ()
+  else begin
+    Newt_channels.Hook.set_sim_sample n;
+    Newt_channels.Hook.set_tcp_sample n;
+    Fun.protect
+      ~finally:(fun () ->
+        Newt_channels.Hook.set_sim_sample 1;
+        Newt_channels.Hook.set_tcp_sample 1)
+      f
+  end
+
 (* Run [f] with a continuous-verification aggregator when requested:
    the experiment re-runs the static checker after every reincarnation
    and leak-checks each quiesced run tail.  Any violation or leak fails
@@ -93,23 +125,27 @@ let with_continuous ?(quiet = false) enabled f =
     if not (V.Continuous.ok v) then exit 1
   end
 
-let print_fig4 seed sanitize protocol verify_continuous =
-  with_sanitizer sanitize (fun () ->
-      with_protocol ~drained:true protocol (fun () ->
-          with_continuous verify_continuous (fun verify ->
-              let t = E.figure_ip_crash ~seed ?verify () in
-              print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
-                ~paper_note:
-                  "paper: gap of ~2s while the link resets, one retransmission, full recovery")))
+let print_fig4 seed sanitize protocol verify_continuous tcp_fsm sample =
+  with_sample sample (fun () ->
+      with_tcpfsm tcp_fsm (fun () ->
+          with_sanitizer sanitize (fun () ->
+              with_protocol ~drained:true protocol (fun () ->
+                  with_continuous verify_continuous (fun verify ->
+                      let t = E.figure_ip_crash ~seed ?verify () in
+                      print_trace "Figure 4 — bitrate across an IP server crash (at t=4s)" t
+                        ~paper_note:
+                          "paper: gap of ~2s while the link resets, one retransmission, full recovery")))))
 
-let print_fig5 seed sanitize protocol verify_continuous =
-  with_sanitizer sanitize (fun () ->
-      with_protocol ~drained:true protocol (fun () ->
-          with_continuous verify_continuous (fun verify ->
-              let t = E.figure_pf_crash ~seed ?verify () in
-              print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
-                ~paper_note:
-                  "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered")))
+let print_fig5 seed sanitize protocol verify_continuous tcp_fsm sample =
+  with_sample sample (fun () ->
+      with_tcpfsm tcp_fsm (fun () ->
+          with_sanitizer sanitize (fun () ->
+              with_protocol ~drained:true protocol (fun () ->
+                  with_continuous verify_continuous (fun verify ->
+                      let t = E.figure_pf_crash ~seed ?verify () in
+                      print_trace "Figure 5 — bitrate across two packet filter crashes (t=6s, t=12s)" t
+                        ~paper_note:
+                          "paper: crashes almost not noticeable, no packets lost, 1024 rules recovered")))))
 
 let campaign_json runs (c : E.campaign) verify =
   let b = Buffer.create 512 in
@@ -174,7 +210,8 @@ let print_campaign_tables runs c =
   print_newline ()
 
 let print_campaign runs seed sanitize protocol verify_continuous break_recovery
-    pf_shards json =
+    pf_shards json sample =
+  with_sample sample @@ fun () ->
   with_sanitizer ~quiet:json sanitize @@ fun () ->
   (* Not [~drained]: a campaign world can end frozen (reboot cases), so
      only hard violations gate here; the per-run obligation accounting
@@ -322,7 +359,7 @@ let churn_print_human (r : Ch.result) =
 
 let print_churn scenario rate duration shards ip_replicas pf_shards bulk_flows
     workers payload flood_rate conntrack_total backlog seed json
-    verify_continuous =
+    verify_continuous tcp_fsm break_tcp sample =
   let scenarios =
     if scenario = "all" then Ch.all_scenarios
     else
@@ -341,19 +378,73 @@ let print_churn scenario rate duration shards ip_replicas pf_shards bulk_flows
     print_endline
       "----------------------------------------------------------------"
   end;
+  (* --break-tcp implies the checker: a planted bug that nothing judges
+     would be a silently green sabotage run. *)
+  let fsm_wanted = tcp_fsm || break_tcp <> None in
+  with_sample sample @@ fun () ->
   with_continuous ~quiet:json verify_continuous @@ fun verify ->
   let results =
     List.map
       (fun s ->
-        Ch.run ~scenario:s ~rate ~duration ~shards ~ip_replicas ~pf_shards
-          ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total ~backlog
-          ~seed ?verify ())
+        (* One checker lifetime per scenario: each run is a fresh world
+           reusing the same addresses, so shadow PCBs must not leak
+           from one run into the next. *)
+        if fsm_wanted then begin
+          V.Tcpfsm.install ();
+          V.Tcpfsm.reset ()
+        end;
+        let r =
+          Ch.run ~scenario:s ~rate ~duration ~shards ~ip_replicas ~pf_shards
+            ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total
+            ~backlog ~seed ?verify ?break_tcp ()
+        in
+        let fsm =
+          if fsm_wanted then
+            Some
+              ( V.Tcpfsm.report
+                  ~title:
+                    (Printf.sprintf "tcp-fsm over churn %s"
+                       (Ch.scenario_name s))
+                  (),
+                V.Tcpfsm.verdict_json () )
+          else None
+        in
+        (r, fsm))
       scenarios
   in
+  if fsm_wanted then V.Tcpfsm.uninstall ();
   if json then
     print_endline
-      (Printf.sprintf "[%s]" (String.concat "," (List.map churn_json results)))
-  else List.iter churn_print_human results
+      (Printf.sprintf "[%s]"
+         (String.concat ","
+            (List.map
+               (fun (r, fsm) ->
+                 let obj = churn_json r in
+                 match fsm with
+                 | None -> obj
+                 | Some (_, js) ->
+                     (* Splice the verdict into the run's object. *)
+                     String.sub obj 0 (String.length obj - 1)
+                     ^ ",\"tcpfsm\":" ^ js ^ "}")
+               results)))
+  else
+    List.iter
+      (fun (r, fsm) ->
+        churn_print_human r;
+        Option.iter
+          (fun (rep, _) ->
+            print_string (V.Report.to_string rep);
+            print_newline ())
+          fsm)
+      results;
+  List.iter
+    (fun (_, fsm) ->
+      Option.iter
+        (fun (rep, _) ->
+          let code = V.Report.exit_code rep in
+          if code <> 0 then exit code)
+        fsm)
+    results
 
 (* verify --protocol: replay the request/confirm contract over the two
    figure fault runs (an IP crash, a double PF crash) and demand a
@@ -379,6 +470,62 @@ let print_verify_protocol json =
        else "VERDICT: FAILED")
   end;
   if not (V.Report.ok combined) then exit 1
+
+(* verify --tcp-fsm: first prove the rule tables themselves (totality,
+   determinism, no dead rules, liveness of the transition relation),
+   then replay the checker over both figure fault runs and a
+   crash-during-churn run with the SYN flood on — every observed
+   segment and state transition of every PCB judged against RFC 793
+   plus the paper's Table I crash semantics. *)
+let print_verify_tcpfsm json =
+  let lint = V.Tcpfsm.lint_table () in
+  let replay title f =
+    V.Tcpfsm.install ();
+    V.Tcpfsm.reset ();
+    f ();
+    let r = V.Tcpfsm.report ~title () in
+    V.Tcpfsm.uninstall ();
+    r
+  in
+  let r_fig4 =
+    replay "tcp-fsm over fig4 (IP crash)" (fun () ->
+        ignore (E.figure_ip_crash ~seed:42 ()))
+  in
+  let r_fig5 =
+    replay "tcp-fsm over fig5 (double PF crash)" (fun () ->
+        ignore (E.figure_pf_crash ~seed:42 ()))
+  in
+  let r_churn =
+    replay "tcp-fsm over churn (shard crash, flood on)" (fun () ->
+        ignore
+          (Ch.run ~scenario:Ch.Crash_during_churn ~rate:2_000.0 ~duration:0.4
+             ~shards:4 ~ip_replicas:2 ~pf_shards:2 ~workers:4
+             ~flood_rate:5_000.0 ~seed:42 ()))
+  in
+  let combined =
+    V.Report.merge ~title:"tcp conformance" [ lint; r_fig4; r_fig5; r_churn ]
+  in
+  if json then print_endline (V.Report.to_json combined)
+  else begin
+    print_endline "Stack verifier — TCP state-machine conformance";
+    print_endline "-----------------------------------------------";
+    print_endline "segment rules (first match wins):";
+    List.iter (fun l -> Printf.printf "  %s\n" l) (V.Tcpfsm.describe_rules ());
+    print_endline "transition relation:";
+    List.iter
+      (fun l -> Printf.printf "  %s\n" l)
+      (V.Tcpfsm.describe_transitions ());
+    print_newline ();
+    print_string (V.Report.to_string lint);
+    print_string (V.Report.to_string r_fig4);
+    print_string (V.Report.to_string r_fig5);
+    print_string (V.Report.to_string r_churn);
+    Printf.printf "\n%s\n"
+      (if V.Report.ok combined then "VERDICT: OK (no violations)"
+       else "VERDICT: FAILED")
+  end;
+  let code = V.Report.exit_code combined in
+  if code <> 0 then exit code
 
 let print_verify_static json max_shards =
   let reports = E.verify_configs ~max_shards () in
@@ -429,10 +576,11 @@ let print_verify_native_ownership json break_race domains_opt =
   let code = V.Report.exit_code combined in
   if code <> 0 then exit code
 
-let print_verify json protocol native_ownership break_race domains_opt
+let print_verify json protocol native_ownership tcp_fsm break_race domains_opt
     max_shards =
   if native_ownership then print_verify_native_ownership json break_race
       domains_opt
+  else if tcp_fsm then print_verify_tcpfsm json
   else if protocol then print_verify_protocol json
   else print_verify_static json max_shards
 
@@ -465,7 +613,7 @@ let print_native_result (r : R.Native.result) =
 
 let run_native domains seconds seed json skip_unsupported allow_oversub
     write_size spin_budget never_park confirm_batch overhead race race_sample
-    break_race =
+    break_race tcp_fsm break_tcp =
   let recommended = Domain.recommended_domain_count () in
   match
     R.Native.validate ~recommended ~allow_oversubscribe:allow_oversub ~domains
@@ -492,13 +640,24 @@ let run_native domains seconds seed json skip_unsupported allow_oversub
           race;
           race_sample;
           break_race;
+          tcp_fsm;
+          break_tcp;
         }
       in
       let r = R.Native.run cfg in
       if json then print_endline (R.Native.json_of_result r)
       else print_native_result r;
-      (* The race verdict decides the exit code (JSON already carries
-         the full "race" block inside json_of_result). *)
+      (* The checker verdicts decide the exit code (JSON already
+         carries the full "tcpfsm"/"race" blocks inside
+         json_of_result). *)
+      (match r.R.Native.tcpfsm with
+      | None -> ()
+      | Some (true, _) ->
+          if not json then print_endline "tcp-fsm conformance: OK"
+      | Some (false, js) ->
+          if not json then
+            print_endline ("tcp-fsm conformance FAILED: " ^ js);
+          exit 1);
       match r.R.Native.race with
       | None -> ()
       | Some o ->
@@ -576,6 +735,61 @@ let verify_continuous =
   in
   Arg.(value & flag & info [ "verify-continuous" ] ~doc)
 
+let tcp_fsm_flag =
+  let doc =
+    "Arm the TCP state-machine conformance checker over the run: every \
+     observed segment and state transition of every PCB is judged against \
+     a declarative RFC 793 + crash-semantics rule table. Exits 1 on any \
+     violation. Composes with $(b,--verify-continuous), which folds the \
+     checker's counters into its per-run JSON."
+  in
+  Arg.(value & flag & info [ "tcp-fsm" ] ~doc)
+
+let verify_sample =
+  let doc =
+    "Sample the verification hooks one subject in N (rounded up to a power \
+     of two; 1 checks everything): whole pool slots, request conversations \
+     and TCP connections are kept or dropped together, and clock- and \
+     ownership-critical events are never sampled out — sampling can hide a \
+     violation but never invent one."
+  in
+  Arg.(value & opt int 1 & info [ "verify-sample" ] ~docv:"N" ~doc)
+
+(* --break-tcp: the --break-recovery pattern applied to the TCP state
+   machine. Each mode plants the paper's §V-B bug class — answering
+   traffic from the wrong protocol state — and implies the checker. *)
+let break_tcp_arg =
+  let parse s =
+    match s with
+    | "stale-established" -> Ok Newt_net.Tcp.Stale_established
+    | "ack-from-closed" -> Ok Newt_net.Tcp.Ack_from_closed
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown TCP sabotage %S (expected stale-established or \
+                ack-from-closed)"
+               s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with
+      | Newt_net.Tcp.Stale_established -> "stale-established"
+      | Newt_net.Tcp.Ack_from_closed -> "ack-from-closed")
+  in
+  let doc =
+    "Plant a deliberate TCP conformance bug the checker must catch (exit \
+     1; implies $(b,--tcp-fsm)): $(b,stale-established) resurrects a \
+     crashed engine's connections as forged Established PCBs, so peers \
+     see stale Established state instead of RST-from-Closed; \
+     $(b,ack-from-closed) answers segments for closed ports with a bare \
+     ACK instead of the RST that RFC 793 demands."
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "break-tcp" ] ~docv:"MODE" ~doc)
+
 let break_recovery =
   let parse s =
     let comp_of = function
@@ -643,11 +857,15 @@ let table2_cmd =
 
 let fig4_cmd =
   Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (IP server crash bitrate trace)")
-    Term.(const print_fig4 $ seed $ sanitize $ protocol_flag $ verify_continuous)
+    Term.(
+      const print_fig4 $ seed $ sanitize $ protocol_flag $ verify_continuous
+      $ tcp_fsm_flag $ verify_sample)
 
 let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (packet filter crash bitrate trace)")
-    Term.(const print_fig5 $ seed $ sanitize $ protocol_flag $ verify_continuous)
+    Term.(
+      const print_fig5 $ seed $ sanitize $ protocol_flag $ verify_continuous
+      $ tcp_fsm_flag $ verify_sample)
 
 let campaign_pf_shards =
   let doc =
@@ -662,7 +880,8 @@ let campaign_cmd =
     Term.(
       const print_campaign
       $ runs $ campaign_seed $ sanitize $ protocol_flag $ verify_continuous
-      $ break_recovery $ campaign_pf_shards $ campaign_json_flag)
+      $ break_recovery $ campaign_pf_shards $ campaign_json_flag
+      $ verify_sample)
 
 (* --break-race: the --break-recovery pattern applied to memory
    ordering. The same argument serves both the static lint (the
@@ -729,6 +948,18 @@ let verify_cmd =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
   in
+  let tcp_fsm =
+    let doc =
+      "Check TCP state-machine conformance instead: print the declarative \
+       (state × segment class × direction) rule table and the transition \
+       relation, prove them total, deterministic, free of dead rules and \
+       dead-end states (the static lint), then replay the checker over the \
+       two figure fault runs and a crash-during-churn run with the SYN \
+       flood on — every observed segment and transition of every PCB \
+       judged against RFC 793 plus the paper's Table I crash semantics."
+    in
+    Arg.(value & flag & info [ "tcp-fsm" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -738,10 +969,11 @@ let verify_cmd =
           ownership, shard affinity). With $(b,--protocol), the dynamic \
           channel-protocol contract over crash runs instead; with \
           $(b,--native-ownership), the native runtime's domain-ownership \
-          lint. Exits 1 on any violation.")
+          lint; with $(b,--tcp-fsm), the TCP state-machine conformance \
+          tables (lint + replay). Exits 1 on any violation.")
     Term.(
-      const print_verify $ json $ protocol $ native_ownership $ break_race_arg
-      $ lint_domains $ max_shards)
+      const print_verify $ json $ protocol $ native_ownership $ tcp_fsm
+      $ break_race_arg $ lint_domains $ max_shards)
 
 let coalesce_cmd =
   Cmd.v (Cmd.info "coalesce" ~doc:"Driver coalescing analysis (Section VI-A)")
@@ -856,7 +1088,8 @@ let churn_cmd =
     Term.(
       const print_churn $ scenario $ rate $ duration $ shards $ ip_replicas
       $ pf_shards $ bulk_flows $ workers $ payload $ flood_rate
-      $ conntrack_total $ backlog $ seed $ json $ verify_continuous)
+      $ conntrack_total $ backlog $ seed $ json $ verify_continuous
+      $ tcp_fsm_flag $ break_tcp_arg $ verify_sample)
 
 let mcheck_cmd =
   let json =
@@ -983,12 +1216,14 @@ let native_cmd =
           ping path. Errors out (exit 2) when the machine cannot honour \
           $(b,--domains) — it never silently simulates instead. \
           $(b,--race) arms the vector-clock race detector; \
-          $(b,--break-race) plants a deliberate race it must catch.")
+          $(b,--break-race) plants a deliberate race it must catch. \
+          $(b,--tcp-fsm) arms the TCP conformance checker; \
+          $(b,--break-tcp) plants a deliberate TCP bug it must catch.")
     Term.(
       const run_native $ native_domains $ native_seconds $ seed $ native_json
       $ skip_unsupported $ allow_oversubscribe $ write_size $ spin_budget
       $ never_park $ confirm_batch $ overhead $ race $ race_sample
-      $ break_race_arg)
+      $ break_race_arg $ tcp_fsm_flag $ break_tcp_arg)
 
 let crossval_cmd =
   Cmd.v
@@ -1005,9 +1240,9 @@ let crossval_cmd =
 let all_cmd =
   let run () =
     print_table2 ();
-    print_fig4 42 false false false;
-    print_fig5 42 false false false;
-    print_campaign 100 2 false false false None 1 false;
+    print_fig4 42 false false false false 1;
+    print_fig5 42 false false false false 1;
+    print_campaign 100 2 false false false None 1 false 1;
     print_crosscheck ();
     print_coalesce ();
     print_sweep ();

@@ -113,7 +113,30 @@ val enabled : unit -> bool
 
 val emit : event -> unit
 (** Deliver an event (with the current actor) to every registered
-    listener. *)
+    listener. Subject to simulator-side sampling (see
+    {!set_sim_sample}): when a sampling period is set, events whose
+    subject's hash misses the mask are dropped before delivery. *)
+
+val set_sim_sample : int -> unit
+(** Sample the simulator event chain by {e subject}: keep one in
+    [sample] subjects (rounded up to a power of two; 1 = keep all),
+    where a subject is a pool slot for the pool/channel lifecycle
+    events and a request id for the request/confirm family. A kept
+    subject's events are all delivered, a dropped subject's none — so
+    the sanitizer's slot state machines and the protocol checker's
+    per-id conversations stay coherent under sampling; dropping a
+    subject can hide a violation but never invent one. Clock-critical
+    events (pool ownership/grant, wholesale frees, database resets)
+    and already-detected violations are never sampled out. Resets the
+    sampling counters. *)
+
+val sim_sample : unit -> int
+(** The effective (power-of-two) simulator sampling period. *)
+
+val sim_sample_counts : unit -> int * int
+(** [(seen, kept)] sampleable emissions since {!set_sim_sample} —
+    events bypassing sampling (no listener, clock-critical) are not
+    counted. *)
 
 val actor : unit -> string option
 (** The identity currently being charged, if inside {!with_actor}. *)
@@ -215,3 +238,99 @@ val native_access : nkind -> id:int -> sub:int -> write:bool -> unit
 val native_access_counts : unit -> int * int
 (** [(seen, kept)] access emissions since the hook was last armed —
     the overhead accounting the bench and campaign JSON report. *)
+
+(** {1 TCP event family}
+
+    The feed for the TCP state-machine conformance checker
+    ([Newt_verify.Tcpfsm]). TCP engines mirror every PCB state
+    transition and every segment sent/received through these events.
+    They carry only integers — this library sits below [Newt_net], so
+    states travel as codes ([Newt_net.Tcp.state_code]) and addresses
+    as raw [int32]s — and are always {e local-oriented}: [lip]/[lport]
+    is the emitting engine's own end of the connection for both
+    directions, so a checker keys its shadow PCB table uniformly.
+
+    Like the families above, the sim side is a listener chain
+    (single-threaded) and the native side one listener in an
+    [Atomic]; {!tcp_emit} feeds both. *)
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool; data : bool }
+(** Header flags of a segment; [data] is payload-length > 0. *)
+
+(** Why a state transition happened: an API call (connect/close/abort),
+    a timer (retransmission exhaustion, 2MSL expiry), a crash
+    (wholesale [shutdown_all] — the paper's Table I semantics), or a
+    segment received/sent with the given flags. *)
+type tcp_cause =
+  | T_api
+  | T_timer
+  | T_crash
+  | T_rx of tcp_flags
+  | T_tx of tcp_flags
+
+type tcp_event =
+  | T_state_change of {
+      lip : int32;
+      lport : int;
+      rip : int32;
+      rport : int;
+      from_s : int;
+      to_s : int;
+      cause : tcp_cause;
+    }
+      (** A PCB moved from state code [from_s] to [to_s]. Emitted
+          before the assignment takes effect. *)
+  | T_seg_tx of {
+      lip : int32;
+      lport : int;
+      rip : int32;
+      rport : int;
+      flags : tcp_flags;
+    }
+      (** The engine emitted a segment on connection
+          [(lip,lport,rip,rport)] (local end first). *)
+  | T_seg_rx of {
+      lip : int32;
+      lport : int;
+      rip : int32;
+      rport : int;
+      flags : tcp_flags;
+    }
+      (** The engine accepted a segment for demultiplexing. *)
+
+val tcp_add : (tcp_event -> unit) -> token
+(** Register a simulator-side TCP listener; returns a token for
+    {!tcp_remove}. *)
+
+val tcp_remove : token -> unit
+(** Unregister a simulator-side TCP listener. *)
+
+val set_tcp_native : (tcp_event -> unit) -> unit
+(** Arm the (single) native TCP listener. The listener runs on
+    whichever domain emits — it must be thread-safe. *)
+
+val clear_tcp_native : unit -> unit
+(** Disarm the native TCP listener. *)
+
+val tcp_enabled : unit -> bool
+(** Whether any TCP listener (sim or native) is armed — engines use
+    this to skip event construction entirely on the fast path. *)
+
+val set_tcp_sample : int -> unit
+(** Sample TCP events by {e connection}: keep one in [sample] 4-tuples
+    (rounded up to a power of two; 1 = keep all). A kept connection
+    delivers its entire transition/segment stream; a dropped one
+    nothing — the shadow state machine for any observed connection
+    stays complete, so sampling hides violations on unobserved
+    connections but never fabricates one. Resets the counters. *)
+
+val tcp_sample : unit -> int
+(** The effective (power-of-two) TCP sampling period. *)
+
+val tcp_emit : tcp_event -> unit
+(** Deliver a TCP event to the sim chain and the native listener,
+    subject to per-connection sampling. *)
+
+val tcp_sample_counts : unit -> int * int
+(** [(seen, kept)] TCP emissions since {!set_tcp_sample}; only counted
+    while a sampling period > 1 is in force. *)

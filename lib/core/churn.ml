@@ -10,6 +10,9 @@ module Apps = Newt_sockets.Apps
 module Socket_api = Newt_sockets.Socket_api
 module Static = Newt_verify.Static
 module Continuous = Newt_verify.Continuous
+module Tcpfsm = Newt_verify.Tcpfsm
+module Pf_srv = Newt_stack.Pf_srv
+module Pf_engine = Newt_pf.Pf_engine
 module S = Newt_scale.Sharded_stack
 
 type scenario = Baseline | Syn_flood | Crash_during_churn | Listen_pressure
@@ -143,8 +146,8 @@ let start_flood s ~rate ~from_t ~until_t counter =
 (* {1 The sharded scenarios: baseline, flood, crash-during-churn} *)
 
 let run_sharded scenario ~rate ~duration ~shards ~ip_replicas ~pf_shards
-    ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total ~seed ?verify ()
-    =
+    ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total ~seed ?verify
+    ?break_tcp () =
   let config =
     {
       S.default_config with
@@ -158,6 +161,15 @@ let run_sharded scenario ~rate ~duration ~shards ~ip_replicas ~pf_shards
     }
   in
   let s = S.create ~config () in
+  (* Sabotage arming rides every shard's incarnations: Ack_from_closed
+     bites on flood traffic to unbound ports, Stale_established on the
+     shard kill below. *)
+  Option.iter
+    (fun mode ->
+      for i = 0 to shards - 1 do
+        Tcp_srv.set_break_tcp (S.tcp_shard s i) (Some mode)
+      done)
+    break_tcp;
   Option.iter
     (fun v ->
       S.on_reincarnated s (fun comp ->
@@ -211,6 +223,16 @@ let run_sharded scenario ~rate ~duration ~shards ~ip_replicas ~pf_shards
   (* Let in-flight RPCs and the recovery drain before reading stats —
      with the verifier attached, far enough that the world quiesces. *)
   S.run s ~until:(until + Time.of_seconds 0.5);
+  (* With the FSM checker riding, cross-check every filter shard's
+     conntrack confirmation bits against the checker's shadow states
+     before the verdict is absorbed. *)
+  if Tcpfsm.active () then
+    for i = 0 to S.pf_shard_count s - 1 do
+      Tcpfsm.crosscheck_conntrack
+        ~where:
+          (Printf.sprintf "churn %s: pf shard %d" (scenario_name scenario) i)
+        (Pf_engine.conntrack (Pf_srv.engine_of (S.pf_shard s i)))
+    done;
   Option.iter
     (fun v ->
       S.run s ~until:(until + Time.of_seconds 0.75);
@@ -350,12 +372,13 @@ let run ?(scenario = Baseline) ?(rate = 10_000.0) ?(duration = 1.0)
     ?(shards = 8) ?(ip_replicas = 4) ?(pf_shards = 2) ?(bulk_flows = 4)
     ?(workers = 8) ?(payload = 256) ?(flood_rate = 20_000.0)
     ?(conntrack_total = 8192) ?(backlog = 16)
-    ?(accept_interval = Time.of_seconds 0.005) ?(seed = 42) ?verify () =
+    ?(accept_interval = Time.of_seconds 0.005) ?(seed = 42) ?verify
+    ?break_tcp () =
   match scenario with
   | Baseline | Syn_flood | Crash_during_churn ->
       run_sharded scenario ~rate ~duration ~shards ~ip_replicas ~pf_shards
         ~bulk_flows ~workers ~payload ~flood_rate ~conntrack_total ~seed
-        ?verify ()
+        ?verify ?break_tcp ()
   | Listen_pressure ->
       run_listen_pressure ~rate:(Float.min rate 2000.0) ~duration ~backlog
         ~accept_interval ~seed ?verify ()

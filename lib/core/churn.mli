@@ -95,6 +95,7 @@ val run :
   ?accept_interval:Newt_sim.Time.cycles ->
   ?seed:int ->
   ?verify:Newt_verify.Continuous.t ->
+  ?break_tcp:Newt_net.Tcp.sabotage ->
   unit ->
   result
 (** Run one scenario. Defaults: baseline, 10k conn/s offered over 1 s
@@ -102,6 +103,15 @@ val run :
     SYN/s flood (flood scenarios), an 8192-entry conntrack budget, and
     for {!Listen_pressure} a backlog of 16 against one accept every
     5 ms (its rate is clamped to 2k conn/s — one listener's worth).
+
+    [break_tcp] arms a conformance sabotage on every TCP shard (see
+    [Newt_net.Tcp.sabotage]); pair [Stale_established] with
+    {!Crash_during_churn} and [Ack_from_closed] with {!Syn_flood} so
+    the planted bug is actually exercised. When the FSM checker
+    ([Newt_verify.Tcpfsm]) is armed, the sharded scenarios also
+    cross-check each filter shard's conntrack confirmation bits
+    against the checker's shadow states before the run's verdict is
+    read.
 
     [workers] open-loop RPC workers share the offered rate; each paces
     starts independently of completions, so stack-side queueing

@@ -26,6 +26,35 @@ let pp_state ppf s =
     | Time_wait -> "TIME_WAIT"
     | Closed -> "CLOSED")
 
+(* Stable integer codes for crossing the [Newt_channels.Hook] boundary
+   (that library sits below us and cannot name [state]). *)
+let state_code = function
+  | Listen -> 0
+  | Syn_sent -> 1
+  | Syn_received -> 2
+  | Established -> 3
+  | Fin_wait_1 -> 4
+  | Fin_wait_2 -> 5
+  | Close_wait -> 6
+  | Closing -> 7
+  | Last_ack -> 8
+  | Time_wait -> 9
+  | Closed -> 10
+
+let state_of_code = function
+  | 0 -> Listen
+  | 1 -> Syn_sent
+  | 2 -> Syn_received
+  | 3 -> Established
+  | 4 -> Fin_wait_1
+  | 5 -> Fin_wait_2
+  | 6 -> Close_wait
+  | 7 -> Closing
+  | 8 -> Last_ack
+  | 9 -> Time_wait
+  | 10 -> Closed
+  | n -> invalid_arg (Printf.sprintf "Tcp.state_of_code: %d" n)
+
 type event =
   | Connected
   | Accepted
@@ -84,6 +113,13 @@ type stats = {
 }
 
 type conn_key = Addr.Ipv4.t * int * Addr.Ipv4.t * int
+
+(* Deliberate conformance bugs for the checker's negative controls
+   (the paper's §V-B class: answering traffic from the wrong protocol
+   state). [Stale_established] is planted by [resurrect] after a
+   crash; [Ack_from_closed] replaces the RST a closed port owes an
+   unknown segment with a bare ACK. *)
+type sabotage = Stale_established | Ack_from_closed
 
 type pcb = {
   t : t;
@@ -145,6 +181,7 @@ and t = {
   listeners : (int, listener) Hashtbl.t;
   stats : stats;
   mutable next_ephemeral : int;
+  mutable sabotage : sabotage option;
 }
 
 let create ?(config = default_config) env =
@@ -165,6 +202,7 @@ let create ?(config = default_config) env =
         rsts_in = 0;
       };
     next_ephemeral = 49152;
+    sabotage = None;
   }
 
 let stats t = t.stats
@@ -178,6 +216,55 @@ let srtt pcb = if pcb.srtt = 0 then None else Some (pcb.srtt / 8)
 
 let key_of pcb : conn_key =
   (pcb.local_ip, pcb.local_port, pcb.remote_ip, pcb.remote_port)
+
+(* {2 Conformance-event mirroring}
+
+   Every state transition and every segment crossing the engine is
+   mirrored to the [Hook] TCP family so the FSM conformance checker
+   ([Newt_verify.Tcpfsm]) can replay them against its rule table. All
+   emissions are guarded by [Hook.tcp_enabled] so an unarmed run pays
+   one branch per site. Events are local-oriented: [lip]/[lport] is
+   always this engine's end. *)
+
+module Hook = Newt_channels.Hook
+
+let hook_flags (f : Tcp_wire.flags) ~payload_len =
+  {
+    Hook.syn = f.Tcp_wire.syn;
+    ack = f.Tcp_wire.ack;
+    fin = f.Tcp_wire.fin;
+    rst = f.Tcp_wire.rst;
+    data = payload_len > 0;
+  }
+
+(* [hook_transition] reports [from_] explicitly so creation sites can
+   report the implicit Closed origin of a fresh PCB. Emitted before
+   the state field is assigned. *)
+let hook_transition pcb ~from_ ~to_ cause =
+  if from_ <> to_ && Hook.tcp_enabled () then
+    Hook.tcp_emit
+      (Hook.T_state_change
+         {
+           lip = Addr.Ipv4.to_int32 pcb.local_ip;
+           lport = pcb.local_port;
+           rip = Addr.Ipv4.to_int32 pcb.remote_ip;
+           rport = pcb.remote_port;
+           from_s = state_code from_;
+           to_s = state_code to_;
+           cause;
+         })
+
+let set_state pcb cause to_ =
+  hook_transition pcb ~from_:pcb.state ~to_ cause;
+  pcb.state <- to_
+
+let hook_seg ~tx ~lip ~lport ~rip ~rport flags =
+  if Hook.tcp_enabled () then begin
+    let lip = Addr.Ipv4.to_int32 lip and rip = Addr.Ipv4.to_int32 rip in
+    Hook.tcp_emit
+      (if tx then Hook.T_seg_tx { lip; lport; rip; rport; flags }
+       else Hook.T_seg_rx { lip; lport; rip; rport; flags })
+  end
 
 let wscale_of_buf buf_size =
   let rec go shift = if buf_size lsr shift <= 0xffff || shift >= 14 then shift else go (shift + 1) in
@@ -266,6 +353,9 @@ let emit_seg pcb ?(payload = Bytes.empty) ?(push = false) ~seq (flags : Tcp_wire
   in
   t.stats.segs_out <- t.stats.segs_out + 1;
   t.stats.bytes_out <- t.stats.bytes_out + Bytes.length payload;
+  hook_seg ~tx:true ~lip:pcb.local_ip ~lport:pcb.local_port ~rip:pcb.remote_ip
+    ~rport:pcb.remote_port
+    (hook_flags hdr.Tcp_wire.flags ~payload_len:(Bytes.length payload));
   t.env.emit ~src:pcb.local_ip ~dst:pcb.remote_ip hdr ~payload
 
 let emit_rst t ~src ~dst ~src_port ~dst_port ~seq ~ack ~with_ack =
@@ -284,6 +374,8 @@ let emit_rst t ~src ~dst ~src_port ~dst_port ~seq ~ack ~with_ack =
   in
   t.stats.rsts_out <- t.stats.rsts_out + 1;
   t.stats.segs_out <- t.stats.segs_out + 1;
+  hook_seg ~tx:true ~lip:src ~lport:src_port ~rip:dst ~rport:dst_port
+    (hook_flags flags ~payload_len:0);
   t.env.emit ~src ~dst hdr ~payload:Bytes.empty
 
 let ack_now pcb =
@@ -314,7 +406,7 @@ let stop_persist pcb =
 
 let flight pcb = Seq32.diff pcb.snd_nxt pcb.snd_una
 
-let teardown pcb =
+let teardown ~cause pcb =
   stop_rtx pcb;
   stop_persist pcb;
   cancel_timer pcb.delack_cancel;
@@ -322,7 +414,7 @@ let teardown pcb =
   cancel_timer pcb.timewait_cancel;
   pcb.timewait_cancel <- None;
   Hashtbl.remove pcb.t.conns (key_of pcb);
-  pcb.state <- Closed
+  set_state pcb cause Closed
 
 let rec arm_rtx pcb =
   stop_rtx pcb;
@@ -333,7 +425,7 @@ and on_rto pcb =
   pcb.retries <- pcb.retries + 1;
   if pcb.retries > pcb.t.config.max_retries then begin
     let h = pcb.handler in
-    teardown pcb;
+    teardown ~cause:Hook.T_timer pcb;
     h Reset
   end
   else begin
@@ -465,9 +557,12 @@ and send_fin pcb =
     emit_seg pcb ~seq:pcb.snd_nxt Tcp_wire.flag_fin_ack;
     pcb.snd_nxt <- Seq32.add pcb.snd_nxt 1;
     pcb.snd_max <- Seq32.max pcb.snd_max pcb.snd_nxt;
+    let tx_fin =
+      Hook.T_tx { Hook.syn = false; ack = true; fin = true; rst = false; data = false }
+    in
     (match pcb.state with
-    | Established -> pcb.state <- Fin_wait_1
-    | Close_wait -> pcb.state <- Last_ack
+    | Established -> set_state pcb tx_fin Fin_wait_1
+    | Close_wait -> set_state pcb tx_fin Last_ack
     | Syn_sent | Syn_received | Listen | Fin_wait_1 | Fin_wait_2 | Closing
     | Last_ack | Time_wait | Closed ->
         ());
@@ -504,6 +599,7 @@ let connect t ~src ~dst ~dst_port ?src_port () =
   pcb.snd_nxt <- Seq32.add pcb.iss 1;
   pcb.snd_max <- pcb.snd_nxt;
   Hashtbl.replace t.conns (key_of pcb) pcb;
+  hook_transition pcb ~from_:Closed ~to_:Syn_sent Hook.T_api;
   emit_seg pcb ~seq:pcb.iss Tcp_wire.flag_syn;
   arm_rtx pcb;
   pcb
@@ -520,7 +616,7 @@ let close pcb =
   | Established | Close_wait ->
       pcb.close_pending <- true;
       output pcb
-  | Syn_sent | Syn_received -> teardown pcb
+  | Syn_sent | Syn_received -> teardown ~cause:Hook.T_api pcb
   | Listen | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed -> ()
 
 let abort pcb =
@@ -531,7 +627,7 @@ let abort pcb =
     | Last_ack | Time_wait ->
         emit_rst pcb.t ~src:pcb.local_ip ~dst:pcb.remote_ip ~src_port:pcb.local_port
           ~dst_port:pcb.remote_port ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~with_ack:true);
-    teardown pcb
+    teardown ~cause:Hook.T_api pcb
   end
 
 let send pcb data =
@@ -738,12 +834,13 @@ let rec process_payload pcb (hdr : Tcp_wire.header) payload =
       if fin_in_order && not pcb.rcv_fin then begin
         pcb.rcv_fin <- true;
         pcb.rcv_nxt <- Seq32.add pcb.rcv_nxt 1;
+        let rx_fin = Hook.T_rx (hook_flags hdr.Tcp_wire.flags ~payload_len:len) in
         (match pcb.state with
-        | Established -> pcb.state <- Close_wait
+        | Established -> set_state pcb rx_fin Close_wait
         | Fin_wait_1 ->
             (* Our FIN not yet acked: simultaneous close. *)
-            pcb.state <- Closing
-        | Fin_wait_2 -> enter_time_wait pcb
+            set_state pcb rx_fin Closing
+        | Fin_wait_2 -> enter_time_wait ~cause:rx_fin pcb
         | Syn_received | Listen | Syn_sent | Close_wait | Closing | Last_ack
         | Time_wait | Closed ->
             ());
@@ -760,8 +857,8 @@ let rec process_payload pcb (hdr : Tcp_wire.header) payload =
     end
   end
 
-and enter_time_wait pcb =
-  pcb.state <- Time_wait;
+and enter_time_wait ~cause pcb =
+  set_state pcb cause Time_wait;
   stop_rtx pcb;
   cancel_timer pcb.timewait_cancel;
   pcb.timewait_cancel <-
@@ -769,7 +866,7 @@ and enter_time_wait pcb =
       (pcb.t.env.set_timer (2 * pcb.t.config.msl) (fun () ->
            pcb.timewait_cancel <- None;
            let h = pcb.handler in
-           teardown pcb;
+           teardown ~cause:Hook.T_timer pcb;
            h Closed_normally))
 
 (* {2 Input demultiplexing and the state machine} *)
@@ -787,11 +884,12 @@ let negotiate_from_syn pcb (hdr : Tcp_wire.header) =
       pcb.rcv_wscale <- 0
 
 let handle_syn_sent pcb (hdr : Tcp_wire.header) =
+  let rx = Hook.T_rx (hook_flags hdr.Tcp_wire.flags ~payload_len:0) in
   if hdr.Tcp_wire.flags.Tcp_wire.rst then begin
     if hdr.Tcp_wire.flags.Tcp_wire.ack && hdr.Tcp_wire.ack = pcb.snd_nxt then begin
       pcb.t.stats.rsts_in <- pcb.t.stats.rsts_in + 1;
       let h = pcb.handler in
-      teardown pcb;
+      teardown ~cause:rx pcb;
       h Reset
     end
   end
@@ -805,7 +903,7 @@ let handle_syn_sent pcb (hdr : Tcp_wire.header) =
       pcb.snd_wnd <- hdr.Tcp_wire.window;
       pcb.snd_wl1 <- hdr.Tcp_wire.seq;
       pcb.snd_wl2 <- hdr.Tcp_wire.ack;
-      pcb.state <- Established;
+      set_state pcb rx Established;
       pcb.retries <- 0;
       stop_rtx pcb;
       ack_now pcb;
@@ -821,7 +919,7 @@ let handle_syn_sent pcb (hdr : Tcp_wire.header) =
     negotiate_from_syn pcb hdr;
     pcb.irs <- hdr.Tcp_wire.seq;
     pcb.rcv_nxt <- Seq32.add hdr.Tcp_wire.seq 1;
-    pcb.state <- Syn_received;
+    set_state pcb rx Syn_received;
     emit_seg pcb ~seq:pcb.iss Tcp_wire.flag_syn_ack
   end
 
@@ -843,6 +941,8 @@ let handle_listener t listener ~src ~dst (hdr : Tcp_wire.header) =
     pcb.snd_wl1 <- hdr.Tcp_wire.seq;
     pcb.snd_wl2 <- 0;
     Hashtbl.replace t.conns (key_of pcb) pcb;
+    hook_transition pcb ~from_:Closed ~to_:Syn_received
+      (Hook.T_rx (hook_flags hdr.Tcp_wire.flags ~payload_len:0));
     (* Remember the acceptor so establishment can hand the pcb over. *)
     pcb.handler <-
       (fun ev ->
@@ -858,10 +958,13 @@ let handle_listener t listener ~src ~dst (hdr : Tcp_wire.header) =
       ~with_ack:(not hdr.Tcp_wire.flags.Tcp_wire.ack)
 
 let handle_synchronized pcb (hdr : Tcp_wire.header) payload =
+  let rx =
+    Hook.T_rx (hook_flags hdr.Tcp_wire.flags ~payload_len:(Bytes.length payload))
+  in
   if hdr.Tcp_wire.flags.Tcp_wire.rst then begin
     pcb.t.stats.rsts_in <- pcb.t.stats.rsts_in + 1;
     let h = pcb.handler in
-    teardown pcb;
+    teardown ~cause:rx pcb;
     h Reset
   end
   else if hdr.Tcp_wire.flags.Tcp_wire.syn && pcb.state = Syn_received then
@@ -871,7 +974,7 @@ let handle_synchronized pcb (hdr : Tcp_wire.header) payload =
     (* Establishment completion for a passive open. *)
     (if pcb.state = Syn_received && hdr.Tcp_wire.flags.Tcp_wire.ack then
        if hdr.Tcp_wire.ack = pcb.snd_nxt then begin
-         pcb.state <- Established;
+         set_state pcb rx Established;
          pcb.snd_una <- hdr.Tcp_wire.ack;
          pcb.snd_wnd <- hdr.Tcp_wire.window lsl pcb.snd_wscale;
          pcb.snd_wl1 <- hdr.Tcp_wire.seq;
@@ -894,11 +997,11 @@ let handle_synchronized pcb (hdr : Tcp_wire.header) payload =
           update_snd_wnd pcb hdr;
           (* FIN-progress state transitions. *)
           (match pcb.state with
-          | Fin_wait_1 when fin_was_acked () -> pcb.state <- Fin_wait_2
-          | Closing when fin_was_acked () -> enter_time_wait pcb
+          | Fin_wait_1 when fin_was_acked () -> set_state pcb rx Fin_wait_2
+          | Closing when fin_was_acked () -> enter_time_wait ~cause:rx pcb
           | Last_ack when fin_was_acked () ->
               let h = pcb.handler in
-              teardown pcb;
+              teardown ~cause:rx pcb;
               h Closed_normally
           | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
           | Last_ack | Syn_received | Syn_sent | Listen | Time_wait | Closed ->
@@ -912,13 +1015,16 @@ let handle_synchronized pcb (hdr : Tcp_wire.header) payload =
         (* A retransmitted FIN: re-ACK and restart the 2MSL timer. *)
         if hdr.Tcp_wire.flags.Tcp_wire.fin then begin
           ack_now pcb;
-          enter_time_wait pcb
+          enter_time_wait ~cause:rx pcb
         end
     | Syn_received | Syn_sent | Listen | Closed -> ()
   end
 
 let input t ~src ~dst (hdr : Tcp_wire.header) ~payload =
   t.stats.segs_in <- t.stats.segs_in + 1;
+  hook_seg ~tx:false ~lip:dst ~lport:hdr.Tcp_wire.dst_port ~rip:src
+    ~rport:hdr.Tcp_wire.src_port
+    (hook_flags hdr.Tcp_wire.flags ~payload_len:(Bytes.length payload));
   let key = (dst, hdr.Tcp_wire.dst_port, src, hdr.Tcp_wire.src_port) in
   match Hashtbl.find_opt t.conns key with
   | Some pcb -> (
@@ -939,11 +1045,40 @@ let input t ~src ~dst (hdr : Tcp_wire.header) ~payload =
               + (if hdr.Tcp_wire.flags.Tcp_wire.syn then 1 else 0)
               + if hdr.Tcp_wire.flags.Tcp_wire.fin then 1 else 0
             in
-            emit_rst t ~src:dst ~dst:src ~src_port:hdr.Tcp_wire.dst_port
-              ~dst_port:hdr.Tcp_wire.src_port
-              ~seq:(if hdr.Tcp_wire.flags.Tcp_wire.ack then hdr.Tcp_wire.ack else 0)
-              ~ack:(Seq32.add hdr.Tcp_wire.seq seg_len)
-              ~with_ack:(not hdr.Tcp_wire.flags.Tcp_wire.ack)
+            match t.sabotage with
+            | Some Ack_from_closed ->
+                (* The §V-B bug: a closed port owes the sender a RST
+                   (Table I — peers of a crashed server must see their
+                   connection refused) but answers with a bare ACK
+                   instead, keeping the peer convinced the connection
+                   lives. The segment rule table must flag the ACK. *)
+                let hdr' =
+                  {
+                    Tcp_wire.src_port = hdr.Tcp_wire.dst_port;
+                    dst_port = hdr.Tcp_wire.src_port;
+                    seq =
+                      (if hdr.Tcp_wire.flags.Tcp_wire.ack then hdr.Tcp_wire.ack
+                       else 0);
+                    ack = Seq32.add hdr.Tcp_wire.seq seg_len;
+                    flags = Tcp_wire.flag_ack;
+                    window = 0;
+                    mss = None;
+                    wscale = None;
+                  }
+                in
+                t.stats.segs_out <- t.stats.segs_out + 1;
+                hook_seg ~tx:true ~lip:dst ~lport:hdr.Tcp_wire.dst_port ~rip:src
+                  ~rport:hdr.Tcp_wire.src_port
+                  (hook_flags Tcp_wire.flag_ack ~payload_len:0);
+                t.env.emit ~src:dst ~dst:src hdr' ~payload:Bytes.empty
+            | Some Stale_established | None ->
+                emit_rst t ~src:dst ~dst:src ~src_port:hdr.Tcp_wire.dst_port
+                  ~dst_port:hdr.Tcp_wire.src_port
+                  ~seq:
+                    (if hdr.Tcp_wire.flags.Tcp_wire.ack then hdr.Tcp_wire.ack
+                     else 0)
+                  ~ack:(Seq32.add hdr.Tcp_wire.seq seg_len)
+                  ~with_ack:(not hdr.Tcp_wire.flags.Tcp_wire.ack)
           end)
 
 (* {2 Introspection and crash support} *)
@@ -978,7 +1113,25 @@ let shutdown_all t =
       pcb.delack_cancel <- None;
       cancel_timer pcb.timewait_cancel;
       pcb.timewait_cancel <- None;
-      pcb.state <- Closed)
+      set_state pcb Hook.T_crash Closed)
     pcbs;
   Hashtbl.reset t.conns;
   Hashtbl.reset t.listeners
+
+let set_sabotage t s = t.sabotage <- s
+
+let resurrect t tuples =
+  List.iter
+    (fun ((lip, lp, rip, rp) as key) ->
+      if not (Hashtbl.mem t.conns key) then begin
+        let pcb =
+          new_pcb t ~local_ip:lip ~local_port:lp ~remote_ip:rip ~remote_port:rp
+            ~state:Established
+        in
+        Hashtbl.replace t.conns key pcb;
+        (* The forged transition the rule table must reject: a crash
+           wiped this PCB, yet the restarted engine claims it is
+           Established again with no handshake behind it. *)
+        hook_transition pcb ~from_:Closed ~to_:Established Hook.T_api
+      end)
+    tuples

@@ -39,6 +39,15 @@ type state =
 
 val pp_state : Format.formatter -> state -> unit
 
+val state_code : state -> int
+(** Stable integer code (0–10, declaration order) used when a state
+    crosses the [Newt_channels.Hook] TCP event boundary — that library
+    sits below this one and cannot name {!state}. *)
+
+val state_of_code : int -> state
+(** Inverse of {!state_code}; raises [Invalid_argument] on out-of-range
+    codes. *)
+
 type event =
   | Connected  (** Three-way handshake completed (active open). *)
   | Accepted  (** Handshake completed on a listener (passive open). *)
@@ -194,4 +203,30 @@ val connection_count : t -> int
 
 val shutdown_all : t -> unit
 (** Drop every connection and listener without emitting anything — the
-    moment of a TCP server crash. *)
+    moment of a TCP server crash. Each dropped PCB reports a
+    crash-caused transition to Closed through the hook family, so the
+    conformance checker's shadow table follows Table I semantics. *)
+
+(** {1 Conformance sabotage}
+
+    Negative controls for [Newt_verify.Tcpfsm]: each mode plants the
+    paper's §V-B bug class — answering traffic from the wrong protocol
+    state — and must fail through the checker, never silently pass. *)
+
+type sabotage =
+  | Stale_established
+      (** After a crash, {!resurrect} forges Established PCBs with no
+          handshake behind them, so peers of the dead incarnation see
+          a stale Established transition instead of RST-from-Closed. *)
+  | Ack_from_closed
+      (** Segments for a closed port are answered with a bare ACK
+          instead of the RST that RFC 793 and Table I demand. *)
+
+val set_sabotage : t -> sabotage option -> unit
+(** Arm or clear a sabotage mode on this engine. *)
+
+val resurrect : t -> (Addr.Ipv4.t * int * Addr.Ipv4.t * int) list -> unit
+(** Forge an Established PCB for each 4-tuple not already present —
+    the [Stale_established] payload, fed with the tuples captured
+    before the crash. Each forged PCB reports a Closed→Established
+    transition the checker's transition relation must reject. *)

@@ -23,6 +23,8 @@ module Storage = Newt_reliability.Storage
 module Apps = Newt_sockets.Apps
 module Hook = Newt_channels.Hook
 module Race = Newt_verify.Race
+module Tcp = Newt_net.Tcp
+module Tcpfsm = Newt_verify.Tcpfsm
 
 type overhead = No_overhead | Kipc_trap | Copy_per_hop
 
@@ -56,6 +58,8 @@ type config = {
   race : bool;  (** Arm the happens-before race detector. *)
   race_sample : int;  (** Detector sampling period (1 = every access). *)
   break_race : break_race option;  (** Inject a deliberate race. *)
+  tcp_fsm : bool;  (** Arm the TCP conformance checker. *)
+  break_tcp : Tcp.sabotage option;  (** Inject a deliberate TCP bug. *)
 }
 
 let default_config =
@@ -74,6 +78,8 @@ let default_config =
     race = false;
     race_sample = 1;
     break_race = None;
+    tcp_fsm = false;
+    break_tcp = None;
   }
 
 (* {2 Argument validation (no silent fallback)} *)
@@ -295,6 +301,8 @@ type result = {
   rings : ring_stat list;
   loops : Loop.stats list;
   race : Race.Dynamic.outcome option;
+  tcpfsm : (bool * string) option;
+      (** Conformance verdict: [ok] flag plus the mcheck-shaped JSON. *)
 }
 
 let json_of_result (r : result) =
@@ -341,6 +349,11 @@ let json_of_result (r : result) =
   | Some o ->
       Buffer.add_string b ",\"race\":";
       Buffer.add_string b (Race.Dynamic.to_json ~title:"native race detector" o));
+  (match r.tcpfsm with
+  | None -> ()
+  | Some (_, js) ->
+      Buffer.add_string b ",\"tcpfsm\":";
+      Buffer.add_string b js);
   Buffer.add_string b "}";
   Buffer.contents b
 
@@ -416,6 +429,13 @@ let run (cfg : config) : result =
         }
       ()
   end;
+  (* {3 TCP conformance checker arming}
+
+     Armed before any engine exists so the very first handshake is
+     judged; events arrive from the tcp and peer domains and are
+     serialized on the checker's own mutex. *)
+  let fsm_wanted = cfg.tcp_fsm || cfg.break_tcp <> None in
+  if fsm_wanted then Tcpfsm.install_native ();
   (* Model-core id -> loop. Cores are created in slot order (minus the
      peer, which is not a machine core), so core id = slot index. *)
   let core_loop core = loop_of_slot.(core) in
@@ -433,6 +453,7 @@ let run (cfg : config) : result =
       Pool.set_default_threadsafe false;
       (* Harmless if [disarm] already ran; vital if a domain died. *)
       Hook.clear_native ();
+      Tcpfsm.uninstall_native ();
       Proc.set_send_overhead None)
   @@ fun () ->
   (match cfg.overhead with
@@ -490,6 +511,9 @@ let run (cfg : config) : result =
     Tcp_srv.create tcp_comp ~registry ~local_addr:host_addr ~save:save_tcp
       ~load:load_tcp ()
   in
+  (* Sabotage: Ack_from_closed plants the engine-level bug now; the
+     Stale_established crash-and-resurrect is scheduled below. *)
+  Tcp_srv.set_break_tcp tcp_srv cfg.break_tcp;
   let udp_srv =
     Udp_srv.create udp_comp ~registry ~local_addr:host_addr ~save:save_udp
       ~load:load_udp ()
@@ -712,6 +736,41 @@ let run (cfg : config) : result =
     end
   in
   Loop.post peer_loop ping_loop;
+  (* With the conformance checker riding, the peer also probes a port
+     nobody listens on: a correct DUT answers every probe RST-from-
+     Closed (legal, Table I); the Ack_from_closed sabotage answers
+     with a bare ACK the checker's segment table must reject. *)
+  if fsm_wanted then begin
+    let probe_port = ref 40_000 in
+    let rec probe_loop () =
+      if now () < ping_deadline then begin
+        incr probe_port;
+        Sink.send_tcp_syn peer ~src:peer_addr ~src_port:!probe_port
+          ~dst:host_addr ~dst_port:9;
+        ignore
+          (Loop.schedule peer_loop (Time.of_seconds 0.05) probe_loop
+            : unit -> unit)
+      end
+    in
+    Loop.post peer_loop probe_loop
+  end;
+  (* Stale_established: mid-run, on the TCP server's own domain, the
+     engine "crashes" (Table I teardown) and comes back with its old
+     Established PCBs forged — the checker must see Closed→Established
+     with no handshake. *)
+  (match cfg.break_tcp with
+  | Some Tcp.Stale_established ->
+      let tcp_loop = loop_of_slot.(slot_index "tcp") in
+      ignore
+        (Loop.schedule tcp_loop
+           (Time.of_seconds (0.5 *. cfg.seconds))
+           (fun () ->
+             let engine = Tcp_srv.engine tcp_srv in
+             let tuples = Tcp.established_tuples engine in
+             Tcp.shutdown_all engine;
+             Tcp.resurrect engine tuples)
+          : unit -> unit)
+  | Some Tcp.Ack_from_closed | None -> ());
   Loop.post drv_loop arm_confirm_flush;
   (* {3 Sabotage: deliberate races that must fail through the detector} *)
   let unfenced_counter = ref 0 in
@@ -792,6 +851,15 @@ let run (cfg : config) : result =
   let race_outcome =
     if race_wanted then Some (Race.Dynamic.disarm ()) else None
   in
+  let fsm_outcome =
+    if fsm_wanted then begin
+      let ok = Tcpfsm.violations () = [] in
+      let js = Tcpfsm.verdict_json () in
+      Tcpfsm.uninstall_native ();
+      Some (ok, js)
+    end
+    else None
+  in
   Array.iter
     (fun l ->
       match Loop.failure l with
@@ -833,4 +901,5 @@ let run (cfg : config) : result =
     rings = List.map (fun f -> f ()) !ring_stats;
     loops = Array.to_list (Array.map Loop.stats loops);
     race = race_outcome;
+    tcpfsm = fsm_outcome;
   }

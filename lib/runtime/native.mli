@@ -42,6 +42,17 @@ type config = {
       (** Detector sampling period (power of two; 1 = check every
           access). Clock joins are never sampled out. *)
   break_race : break_race option;
+  tcp_fsm : bool;
+      (** Arm {!Newt_verify.Tcpfsm} as the native TCP-hook listener for
+          the run; the peer then also probes a closed port so the
+          RST-from-Closed contract is exercised, not just vacuously
+          satisfied. *)
+  break_tcp : Newt_net.Tcp.sabotage option;
+      (** Plant a deliberate TCP conformance bug (implies the checker):
+          [Ack_from_closed] arms the engine-level sabotage on the DUT;
+          [Stale_established] crash-and-resurrects the TCP engine's
+          connections mid-run on its own domain. Each must make the run
+          fail through the checker. *)
 }
 
 val default_config : config
@@ -96,6 +107,11 @@ type result = {
       (** Present when the run was raced ([config.race] or a
           [break_race] mode); the JSON carries it as a ["race"] block
           in the unified verifier shape. *)
+  tcpfsm : (bool * string) option;
+      (** Present when the conformance checker rode the run
+          ([config.tcp_fsm] or a [break_tcp] mode): the ok flag plus
+          {!Newt_verify.Tcpfsm.verdict_json}, carried as a ["tcpfsm"]
+          block in the JSON. *)
 }
 
 val json_of_result : result -> string

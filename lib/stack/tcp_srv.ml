@@ -64,6 +64,9 @@ type t = {
     dst:Addr.Ipv4.t ->
     dst_port:int ->
     [ `Any | `Port of int | `Exhausted ];
+  mutable break_tcp : Tcp.sabotage option;
+  mutable stale_tuples : (Addr.Ipv4.t * int * Addr.Ipv4.t * int) list;
+      (* Tuples captured at crash time for [Stale_established]. *)
   rng : Rng.t;
 }
 
@@ -513,6 +516,8 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
       resubmitted = 0;
       src_select = (fun _ -> local_addr);
       port_select = (fun ~src:_ ~dst:_ ~dst_port:_ -> `Any);
+      break_tcp = None;
+      stale_tuples = [];
       rng = Rng.split (Engine.rng (Machine.engine machine));
     }
   in
@@ -526,11 +531,21 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
       Component.archive_add comp "tcp.segs_out" st.Tcp.segs_out;
       Component.archive_add comp "tcp.bytes_out" st.Tcp.bytes_out;
       t.select_pending <- None;
+      (* Sabotage capture: the stale-Established bug needs the dead
+         incarnation's connections to resurrect after restart. *)
+      if t.break_tcp = Some Tcp.Stale_established then
+        t.stale_tuples <- Tcp.established_tuples t.engine;
       Tcp.shutdown_all t.engine;
       Hashtbl.reset t.sockets;
       t.resubmit <- []);
   Component.on_restart comp ~step:"reload-listeners" (fun ~fresh:_ ->
       t.engine <- make_engine t;
+      Tcp.set_sabotage t.engine t.break_tcp;
+      (match t.break_tcp with
+      | Some Tcp.Stale_established ->
+          Tcp.resurrect t.engine t.stale_tuples;
+          t.stale_tuples <- []
+      | Some Tcp.Ack_from_closed | None -> ());
       (* Listening sockets are the recoverable part of our state
          (Table I): re-open them from the storage server. *)
       match t.load "listeners" with
@@ -556,6 +571,10 @@ let create comp ~registry ~local_addr ?tcp_config ~save ~load () =
 
 let set_src_select t f = t.src_select <- f
 let set_port_select t f = t.port_select <- f
+
+let set_break_tcp t mode =
+  t.break_tcp <- mode;
+  Tcp.set_sabotage t.engine mode
 
 let connect_ip t ~to_ip ~from_ip =
   t.to_ip <- Some to_ip;

@@ -56,6 +56,14 @@ val set_port_select :
     use, which the server surfaces to the caller as a connect error
     rather than silently opening on a port steered to another shard. *)
 
+val set_break_tcp : t -> Newt_net.Tcp.sabotage option -> unit
+(** Arm (or clear) a conformance-sabotage mode across this server's
+    incarnations: [Ack_from_closed] plants the engine-level bug now
+    and after every restart; [Stale_established] captures the live
+    4-tuples at the moment of crash and resurrects them as forged
+    Established PCBs when the server comes back. Negative control for
+    [Newt_verify.Tcpfsm] — must never survive an armed checker. *)
+
 val connect_ip :
   t ->
   to_ip:Msg.t Newt_channels.Sim_chan.t ->

@@ -19,6 +19,10 @@ type counters = {
   protocol_aborts : int;
   protocol_stale_confirms : int;
   protocol_events : int;
+  tcpfsm_violations : int;
+  tcpfsm_segments : int;
+  tcpfsm_transitions : int;
+  tcpfsm_overhead_cycles : int;
 }
 
 let zero =
@@ -39,6 +43,10 @@ let zero =
     protocol_aborts = 0;
     protocol_stale_confirms = 0;
     protocol_events = 0;
+    tcpfsm_violations = 0;
+    tcpfsm_segments = 0;
+    tcpfsm_transitions = 0;
+    tcpfsm_overhead_cycles = 0;
   }
 
 let add a b =
@@ -59,6 +67,10 @@ let add a b =
     protocol_aborts = a.protocol_aborts + b.protocol_aborts;
     protocol_stale_confirms = a.protocol_stale_confirms + b.protocol_stale_confirms;
     protocol_events = a.protocol_events + b.protocol_events;
+    tcpfsm_violations = a.tcpfsm_violations + b.tcpfsm_violations;
+    tcpfsm_segments = a.tcpfsm_segments + b.tcpfsm_segments;
+    tcpfsm_transitions = a.tcpfsm_transitions + b.tcpfsm_transitions;
+    tcpfsm_overhead_cycles = a.tcpfsm_overhead_cycles + b.tcpfsm_overhead_cycles;
   }
 
 type t = {
@@ -131,13 +143,28 @@ let end_run ?(check_leaks = false) t =
     end
     else c
   in
+  let c =
+    if Tcpfsm.active () then begin
+      let fvs = Tcpfsm.violations () in
+      t.viols <- t.viols @ fvs;
+      {
+        c with
+        tcpfsm_violations = List.length fvs;
+        tcpfsm_segments = Tcpfsm.segment_count ();
+        tcpfsm_transitions = Tcpfsm.transition_count ();
+        tcpfsm_overhead_cycles = Tcpfsm.overhead_cycles ();
+      }
+    end
+    else c
+  in
   t.runs <- t.runs @ [ c ];
   t.cur_re_checks <- 0;
   t.cur_static_violations <- 0;
   (* The next run starts with fresh shadow state; the listeners stay
      installed so they capture the new world's pool announcements. *)
   if Sanitizer.active () then Sanitizer.reset ();
-  if Protocol.active () then Protocol.reset ()
+  if Protocol.active () then Protocol.reset ();
+  if Tcpfsm.active () then Tcpfsm.reset ()
 
 let runs t = t.runs
 
@@ -171,12 +198,13 @@ let report ~title t =
 
 let counters_json c =
   Printf.sprintf
-    "{\"re_checks\":%d,\"static_violations\":%d,\"sanitizer_violations\":%d,\"leaks\":%d,\"stale_derefs\":%d,\"allocs\":%d,\"frees\":%d,\"handoffs\":%d,\"hook_events\":%d,\"hook_overhead_cycles\":%d,\"protocol_violations\":%d,\"protocol_requests\":%d,\"protocol_confirms\":%d,\"protocol_aborts\":%d,\"protocol_stale_confirms\":%d,\"protocol_events\":%d}"
+    "{\"re_checks\":%d,\"static_violations\":%d,\"sanitizer_violations\":%d,\"leaks\":%d,\"stale_derefs\":%d,\"allocs\":%d,\"frees\":%d,\"handoffs\":%d,\"hook_events\":%d,\"hook_overhead_cycles\":%d,\"protocol_violations\":%d,\"protocol_requests\":%d,\"protocol_confirms\":%d,\"protocol_aborts\":%d,\"protocol_stale_confirms\":%d,\"protocol_events\":%d,\"tcpfsm_violations\":%d,\"tcpfsm_segments\":%d,\"tcpfsm_transitions\":%d,\"tcpfsm_overhead_cycles\":%d}"
     c.re_checks c.static_violations c.sanitizer_violations c.leaks
     c.stale_derefs c.allocs c.frees c.handoffs c.hook_events
     c.hook_overhead_cycles c.protocol_violations c.protocol_requests
     c.protocol_confirms c.protocol_aborts c.protocol_stale_confirms
-    c.protocol_events
+    c.protocol_events c.tcpfsm_violations c.tcpfsm_segments
+    c.tcpfsm_transitions c.tcpfsm_overhead_cycles
 
 let json t =
   Printf.sprintf "\"counters\":%s,\"run_counters\":[%s]"

@@ -37,6 +37,12 @@ type counters = {
   protocol_stale_confirms : int;
       (** Confirms for crash-closed conversations, absorbed by design. *)
   protocol_events : int;  (** Protocol hook events replayed. *)
+  tcpfsm_violations : int;
+      (** TCP FSM conformance breaches ({!Tcpfsm}): illegal
+          transitions, wrong-state segments, conntrack drift. *)
+  tcpfsm_segments : int;  (** Segments judged by the rule table. *)
+  tcpfsm_transitions : int;  (** State transitions judged. *)
+  tcpfsm_overhead_cycles : int;  (** {!Tcpfsm.overhead_cycles}. *)
 }
 
 val zero : counters
@@ -59,10 +65,11 @@ val end_run : ?check_leaks:bool -> t -> unit
     protocol checker's verdict when it is active ([check_leaks] also
     closes its trace via {!Protocol.finish}[ ~drained:true]: the same
     quiescence that makes outstanding slots leaks makes open request
-    obligations violations), append the run's counter block, and reset
-    both checkers' shadow state for the next run (the listeners stay
-    installed). With neither checker active only the static-recheck
-    counters are recorded. *)
+    obligations violations), absorb the TCP FSM checker's verdict when
+    it is active ({!Tcpfsm}), append the run's counter block, and
+    reset every active checker's shadow state for the next run (the
+    listeners stay installed). With no checker active only the
+    static-recheck counters are recorded. *)
 
 val runs : t -> counters list
 (** Counter blocks of completed runs, oldest first. *)

@@ -654,6 +654,157 @@ let test_ephemeral_port_reuse_at_churn_rates () =
   Alcotest.(check bool) "client table stays bounded" true
     (Tcp.connection_count w.tcp_a < 200)
 
+(* {2 The conformance checker riding the rare close paths}
+
+   [Newt_verify.Tcpfsm] judges every hook event these worlds emit. The
+   rare paths — simultaneous close, a lost final ACK, a RST landing in
+   TIME_WAIT — are exactly where a hand-maintained rule table drifts
+   from the engine, so each must come out clean; the sabotage modes
+   must each come out dirty with the right check name. *)
+
+module Tcpfsm = Newt_verify.Tcpfsm
+module Report = Newt_verify.Report
+
+let with_fsm f =
+  Tcpfsm.install ();
+  Tcpfsm.reset ();
+  Fun.protect ~finally:Tcpfsm.uninstall f
+
+let fsm_clean label =
+  Alcotest.(check (list string))
+    label []
+    (List.map (fun v -> v.Report.detail) (Tcpfsm.violations ()));
+  Alcotest.(check bool) (label ^ ": segments judged") true (Tcpfsm.segment_count () > 0);
+  Alcotest.(check bool) (label ^ ": transitions judged") true
+    (Tcpfsm.transition_count () > 0)
+
+let fsm_checks () = List.map (fun v -> v.Report.check) (Tcpfsm.violations ())
+
+let test_fsm_simultaneous_close () =
+  with_fsm @@ fun () ->
+  let w = make_world () in
+  let server_pcb = ref None in
+  Tcp.listen w.tcp_b ~port:80 ~on_accept:(fun pcb -> server_pcb := Some pcb);
+  let pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:80 () in
+  Engine.run ~until:(Time.of_seconds 0.5) w.engine;
+  let sp =
+    match !server_pcb with Some sp -> sp | None -> Alcotest.fail "not accepted"
+  in
+  Tcp.close pcb;
+  Tcp.close sp;
+  (* Both FINs are in flight and neither acknowledges the other's:
+     each side must pass through CLOSING on its way out. *)
+  Engine.run ~until:(Time.of_seconds 0.5 + Time.of_micros 80.0) w.engine;
+  Alcotest.(check bool) "client traverses CLOSING" true
+    (Tcp.state pcb = Tcp.Closing);
+  Alcotest.(check bool) "server traverses CLOSING" true
+    (Tcp.state sp = Tcp.Closing);
+  Engine.run ~until:(Time.of_seconds 10.0) w.engine;
+  Alcotest.(check bool) "both closed" true
+    (Tcp.state pcb = Tcp.Closed && Tcp.state sp = Tcp.Closed);
+  fsm_clean "simultaneous close is conformant"
+
+let test_fsm_last_ack_retransmission () =
+  with_fsm @@ fun () ->
+  let w = make_world () in
+  let server_pcb = ref None in
+  Tcp.listen w.tcp_b ~port:80 ~on_accept:(fun pcb ->
+      server_pcb := Some pcb;
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              ignore (Tcp.recv pcb ~max:64);
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | _ -> ()));
+  let pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:80 () in
+  Tcp.set_handler pcb (fun ev -> if ev = Tcp.Connected then Tcp.close pcb);
+  (* Swallow the client's final ACK while the server sits in LAST_ACK:
+     the server must retransmit its FIN from LAST_ACK — a legal tx
+     under the table — and still reach CLOSED on the re-ACK. *)
+  let dropped = ref false in
+  w.filter <-
+    (fun ~from hdr len ->
+      match !server_pcb with
+      | Some sp
+        when from = `A
+             && (not !dropped)
+             && Tcp.state sp = Tcp.Last_ack
+             && len = 0
+             && not hdr.Tcp_wire.flags.Tcp_wire.fin
+             && not hdr.Tcp_wire.flags.Tcp_wire.syn
+             && not hdr.Tcp_wire.flags.Tcp_wire.rst ->
+          dropped := true;
+          true
+      | _ -> false);
+  Engine.run ~until:(Time.of_seconds 10.0) w.engine;
+  Alcotest.(check bool) "the final ACK was dropped once" true !dropped;
+  let sp = Option.get !server_pcb in
+  Alcotest.(check bool) "server reached CLOSED anyway" true
+    (Tcp.state sp = Tcp.Closed);
+  Alcotest.(check bool) "server retransmitted from LAST_ACK" true
+    ((Tcp.stats w.tcp_b).Tcp.retransmits >= 1);
+  Alcotest.(check bool) "client reached CLOSED" true (Tcp.state pcb = Tcp.Closed);
+  fsm_clean "LAST_ACK retransmission is conformant"
+
+let test_fsm_rst_in_time_wait () =
+  with_fsm @@ fun () ->
+  let w = make_world () in
+  Tcp.listen w.tcp_b ~port:80 ~on_accept:(fun pcb ->
+      Tcp.set_handler pcb (fun ev ->
+          match ev with
+          | Tcp.Readable ->
+              ignore (Tcp.recv pcb ~max:64);
+              if Tcp.recv_eof pcb then Tcp.close pcb
+          | _ -> ()));
+  let pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:80 () in
+  Tcp.set_handler pcb (fun ev -> if ev = Tcp.Connected then Tcp.close pcb);
+  Engine.run ~until:(Time.of_seconds 0.5) w.engine;
+  Alcotest.(check bool) "active closer parks in TIME_WAIT" true
+    (Tcp.state pcb = Tcp.Time_wait);
+  (* An in-window RST assassinates the TIME_WAIT corpse on the spot —
+     no 2-MSL wait — and the table must agree it is a legal exit. *)
+  let _, local_port = Tcp.local_addr pcb in
+  let rst =
+    {
+      Tcp_wire.src_port = 80;
+      dst_port = local_port;
+      seq = Tcp.rcv_next pcb;
+      ack = 0;
+      flags = Tcp_wire.flag_rst;
+      window = 0;
+      mss = None;
+      wscale = None;
+    }
+  in
+  Tcp.input w.tcp_a ~src:ip_b ~dst:ip_a rst ~payload:Bytes.empty;
+  Alcotest.(check bool) "TIME_WAIT assassinated immediately" true
+    (Tcp.state pcb = Tcp.Closed);
+  Alcotest.(check int) "corpse gone from the table" 0
+    (Tcp.connection_count w.tcp_a);
+  fsm_clean "RST in TIME_WAIT is conformant"
+
+let test_fsm_flags_ack_from_closed_sabotage () =
+  with_fsm @@ fun () ->
+  let w = make_world () in
+  Tcp.set_sabotage w.tcp_b (Some Tcp.Ack_from_closed);
+  (* Nothing listens on 81: the engine must RST; the sabotage ACKs
+     instead, which the checker pins as ack-from-wrong-state. *)
+  let _pcb = Tcp.connect w.tcp_a ~src:ip_a ~dst:ip_b ~dst_port:81 () in
+  Engine.run ~until:(Time.of_seconds 0.2) w.engine;
+  Alcotest.(check bool) "checker flags the bare ACK from CLOSED" true
+    (List.mem "ack-from-wrong-state" (fsm_checks ()))
+
+let test_fsm_flags_resurrected_pcb () =
+  with_fsm @@ fun () ->
+  let w = make_world () in
+  (* A PCB materializing in ESTABLISHED with no handshake — the
+     stale-connection crash bug of Table I, in miniature. *)
+  Tcp.resurrect w.tcp_b [ (ip_b, 80, ip_a, 40_000) ];
+  Alcotest.(check bool) "checker flags CLOSED -> ESTABLISHED" true
+    (List.mem "illegal-transition" (fsm_checks ()));
+  Alcotest.(check bool) "a counterexample trace is attached" true
+    (Tcpfsm.trace () <> [])
+
 let suite =
   [
     ("three-way handshake", `Quick, test_handshake);
@@ -681,6 +832,17 @@ let suite =
     ( "ephemeral ports recycle at churn rates",
       `Quick,
       test_ephemeral_port_reuse_at_churn_rates );
+    ("fsm checker: simultaneous close", `Quick, test_fsm_simultaneous_close);
+    ( "fsm checker: LAST_ACK retransmission",
+      `Quick,
+      test_fsm_last_ack_retransmission );
+    ("fsm checker: RST in TIME_WAIT", `Quick, test_fsm_rst_in_time_wait);
+    ( "fsm checker flags ACK from CLOSED",
+      `Quick,
+      test_fsm_flags_ack_from_closed_sabotage );
+    ( "fsm checker flags a resurrected PCB",
+      `Quick,
+      test_fsm_flags_resurrected_pcb );
     test_random_corruption;
     test_random_reordering;
     test_random_duplication;

@@ -788,6 +788,170 @@ let test_sanitized_crash_run_clean () =
   Alcotest.(check bool) "the crash actually happened" true
     (trace.E.component_restarts >= 1)
 
+(* --- tcp-fsm checker: table lint, conntrack drift, sampling ------- *)
+
+module Tcpfsm = Newt_verify.Tcpfsm
+module Conntrack = Newt_pf.Conntrack
+module Tcp = Newt_net.Tcp
+module Addr = Newt_net.Addr
+
+let test_tcpfsm_lint_clean () =
+  let r = Tcpfsm.lint_table () in
+  Alcotest.(check bool)
+    (Printf.sprintf "shipped tables lint clean:\n%s" (Report.to_string r))
+    true (Report.ok r);
+  Alcotest.(check bool) "rules and transitions are documented" true
+    (Tcpfsm.describe_rules () <> [] && Tcpfsm.describe_transitions () <> [])
+
+let test_tcpfsm_lint_catches_deleted_rules () =
+  (* The lint is only worth trusting if it notices sabotage. Deleting
+     a Deny backstop or the trailing rx wildcard must break totality;
+     deleting an Allow whose cells a later Deny still covers may lint
+     clean — so we count, not quantify-over-all. *)
+  let broken = ref 0 in
+  for i = 0 to Tcpfsm.seg_rule_count - 1 do
+    if not (Report.ok (Tcpfsm.lint_dropping i)) then incr broken
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "most single-rule deletions break the lint (%d/%d)" !broken
+       Tcpfsm.seg_rule_count)
+    true
+    (!broken >= 6);
+  Alcotest.(check bool) "deleting the rx wildcard breaks totality" false
+    (Report.ok (Tcpfsm.lint_dropping (Tcpfsm.seg_rule_count - 1)))
+
+let drift_lip = Addr.Ipv4.v 10 9 0 1
+let drift_rip = Addr.Ipv4.v 10 9 0 2
+
+let drift_transition ~from_s ~to_s cause =
+  Hook.tcp_emit
+    (Hook.T_state_change
+       {
+         lip = Addr.Ipv4.to_int32 drift_lip;
+         lport = 80;
+         rip = Addr.Ipv4.to_int32 drift_rip;
+         rport = 4242;
+         from_s = Tcp.state_code from_s;
+         to_s = Tcp.state_code to_s;
+         cause;
+       })
+
+let rx_syn =
+  Hook.T_rx { Hook.syn = true; ack = false; fin = false; rst = false; data = false }
+
+let rx_ack =
+  Hook.T_rx { Hook.syn = false; ack = true; fin = false; rst = false; data = false }
+
+let test_tcpfsm_conntrack_drift_flagged () =
+  Tcpfsm.install ();
+  Tcpfsm.reset ();
+  Fun.protect ~finally:Tcpfsm.uninstall @@ fun () ->
+  (* A half-open PCB: the shadow FSM parks it in SYN_RECEIVED. *)
+  drift_transition ~from_s:Tcp.Closed ~to_s:Tcp.Syn_received rx_syn;
+  Alcotest.(check bool) "shadow tracks SYN_RECEIVED" true
+    (Tcpfsm.state_of
+       ~lip:(Addr.Ipv4.to_int32 drift_lip)
+       ~lport:80
+       ~rip:(Addr.Ipv4.to_int32 drift_rip)
+       ~rport:4242
+    = Tcp.Syn_received);
+  (* The filter claims the handshake completed: drift, flagged. *)
+  let flow =
+    {
+      Conntrack.proto = Conntrack.Ct_tcp;
+      local_ip = drift_lip;
+      local_port = 80;
+      remote_ip = drift_rip;
+      remote_port = 4242;
+    }
+  in
+  let ct = Conntrack.create () in
+  Conntrack.insert ct ~now:0 ~confirmed:true flow;
+  Tcpfsm.crosscheck_conntrack ~where:"drift test" ct;
+  Alcotest.(check bool) "confirmed-while-half-open flagged" true
+    (List.exists
+       (fun (v : Report.violation) ->
+         v.Report.check = "conntrack-confirmed-half-open")
+       (Tcpfsm.violations ()))
+
+let test_tcpfsm_conntrack_agreement_clean () =
+  Tcpfsm.install ();
+  Tcpfsm.reset ();
+  Fun.protect ~finally:Tcpfsm.uninstall @@ fun () ->
+  (* The same flow, handshake completed: confirmation is earned. *)
+  drift_transition ~from_s:Tcp.Closed ~to_s:Tcp.Syn_received rx_syn;
+  drift_transition ~from_s:Tcp.Syn_received ~to_s:Tcp.Established rx_ack;
+  let flow =
+    {
+      Conntrack.proto = Conntrack.Ct_tcp;
+      local_ip = drift_lip;
+      local_port = 80;
+      remote_ip = drift_rip;
+      remote_port = 4242;
+    }
+  in
+  let ct = Conntrack.create () in
+  Conntrack.insert ct ~now:0 ~confirmed:true flow;
+  (* Plus one the checker never saw: skipped, not guessed at. *)
+  Conntrack.insert ct ~now:0 ~confirmed:true
+    { flow with Conntrack.remote_port = 5353 };
+  Tcpfsm.crosscheck_conntrack ~where:"agreement test" ct;
+  Alcotest.(check int) "established + confirmed cross-checks clean" 0
+    (List.length (Tcpfsm.violations ()))
+
+let test_tcpfsm_sampling_keeps_whole_connections () =
+  (* 1-in-N sampling must drop whole connections, never truncate a
+     stream mid-flight — a half-seen handshake would read as an
+     illegal transition and poison the verdict. *)
+  Tcpfsm.install ();
+  Tcpfsm.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tcpfsm.uninstall ();
+      Hook.set_tcp_sample 1)
+  @@ fun () ->
+  Hook.set_tcp_sample 4;
+  let syn_sent_cause = Hook.T_api in
+  for rport = 1000 to 1063 do
+    Hook.tcp_emit
+      (Hook.T_state_change
+         {
+           lip = Addr.Ipv4.to_int32 drift_lip;
+           lport = 30_000 + rport;
+           rip = Addr.Ipv4.to_int32 drift_rip;
+           rport;
+           from_s = Tcp.state_code Tcp.Closed;
+           to_s = Tcp.state_code Tcp.Syn_sent;
+           cause = syn_sent_cause;
+         });
+    Hook.tcp_emit
+      (Hook.T_state_change
+         {
+           lip = Addr.Ipv4.to_int32 drift_lip;
+           lport = 30_000 + rport;
+           rip = Addr.Ipv4.to_int32 drift_rip;
+           rport;
+           from_s = Tcp.state_code Tcp.Syn_sent;
+           to_s = Tcp.state_code Tcp.Established;
+           cause =
+             Hook.T_rx
+               { Hook.syn = true; ack = true; fin = false; rst = false;
+                 data = false };
+         })
+  done;
+  let seen, kept = Hook.tcp_sample_counts () in
+  Alcotest.(check int) "every emission was counted" 128 seen;
+  Alcotest.(check bool)
+    (Printf.sprintf "a strict nonempty subset was kept (%d/%d)" kept seen)
+    true
+    (kept > 0 && kept < seen);
+  Alcotest.(check bool) "kept events come in whole connections" true
+    (kept mod 2 = 0);
+  (* No transition-origin mismatches: dropped connections vanished
+     whole, so the checker saw nothing inconsistent. *)
+  Alcotest.(check int) "sampling produced no violations" 0
+    (List.length (Tcpfsm.violations ()))
+
 let suite =
   [
     ("all shipped configurations verify", `Quick, test_all_configs_verify_clean);
@@ -848,4 +1012,13 @@ let suite =
       test_mcheck_budget_skips_never_drops);
     ("mcheck: split-stack crash-point space", `Quick,
       test_mcheck_split_crash_point_space);
+    ("tcp-fsm: tables lint clean", `Quick, test_tcpfsm_lint_clean);
+    ("tcp-fsm: lint catches deleted rules", `Quick,
+      test_tcpfsm_lint_catches_deleted_rules);
+    ("tcp-fsm: conntrack confirmed-while-half-open flagged", `Quick,
+      test_tcpfsm_conntrack_drift_flagged);
+    ("tcp-fsm: conntrack agreement cross-checks clean", `Quick,
+      test_tcpfsm_conntrack_agreement_clean);
+    ("tcp-fsm: sampling keeps whole connections", `Quick,
+      test_tcpfsm_sampling_keeps_whole_connections);
   ]
